@@ -1,0 +1,21 @@
+"""Figure 1 regeneration: prefix sums, measured vs QSM/BSP predictions.
+
+Paper shape: both predictions constant in n and below the measured
+communication time (overhead/latency dominate tiny messages); QSM below
+BSP; absolute error small next to total running time at large n.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig1_prefix import run as run_fig1
+
+
+def test_fig1_prefix_sums(benchmark, fast_mode):
+    result = run_once(benchmark, run_fig1, fast=fast_mode)
+    print()
+    print(result.render())
+    qsm, bsp = result.data["comm_qsm_pred"], result.data["comm_bsp_pred"]
+    meas, total = result.data["comm_measured"], result.data["total_measured"]
+    assert len(set(qsm)) == 1 and len(set(bsp)) == 1  # n-independent predictions
+    assert all(q < b < m for q, b, m in zip(qsm, bsp, meas))
+    # absolute comm-prediction error is small next to total time at the top n
+    assert (meas[-1] - qsm[-1]) / total[-1] < 0.5

@@ -1,0 +1,25 @@
+"""Figure 2 regeneration: sample sort, five prediction/measurement lines.
+
+Paper shape: Best-case and WHP bound bracket the measurement; the QSM
+estimate under-predicts but converges — within 10% of measured
+communication by n ≈ 125,000; the BSP estimate is closer throughout.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig2_samplesort import run as run_fig2
+
+
+def test_fig2_sample_sort(benchmark, fast_mode):
+    result = run_once(benchmark, run_fig2, fast=fast_mode)
+    print()
+    print(result.render())
+    meas = result.data["comm_measured"]
+    best, whp = result.data["best_case"], result.data["whp_bound"]
+    qsm, bsp = result.data["qsm_estimate"], result.data["bsp_estimate"]
+    for i, n in enumerate(result.data["x"]):
+        assert best[i] <= meas[i] <= whp[i], f"band violated at n={n}"
+        assert qsm[i] < meas[i], f"QSM should under-predict at n={n}"
+        assert abs(bsp[i] - meas[i]) <= abs(qsm[i] - meas[i]), f"BSP not closer at n={n}"
+    big = [i for i, n in enumerate(result.data["x"]) if n >= 125000]
+    for i in big:
+        assert abs(qsm[i] - meas[i]) / meas[i] <= 0.10

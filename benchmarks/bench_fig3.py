@@ -1,0 +1,28 @@
+"""Figure 3 regeneration: list ranking, five prediction/measurement lines.
+
+Paper shape: prediction accuracy improves with n; BSP within 15% for
+n ≥ 40,000 and QSM within 15% for n ≥ 60,000; Best-case / WHP bracket.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig3_listrank import run as run_fig3
+
+
+def test_fig3_list_ranking(benchmark, fast_mode):
+    result = run_once(benchmark, run_fig3, fast=fast_mode)
+    print()
+    print(result.render())
+    ns = result.data["x"]
+    meas = result.data["comm_measured"]
+    qsm, bsp = result.data["qsm_estimate"], result.data["bsp_estimate"]
+    best, whp = result.data["best_case"], result.data["whp_bound"]
+    for i, n in enumerate(ns):
+        assert best[i] <= meas[i] * 1.02
+        assert meas[i] <= whp[i] * 1.05
+        assert abs(bsp[i] - meas[i]) <= abs(qsm[i] - meas[i])
+        if n >= 60000:
+            assert abs(qsm[i] - meas[i]) / meas[i] <= 0.15
+        if n >= 40000:
+            assert abs(bsp[i] - meas[i]) / meas[i] <= 0.15
+    errs = [abs(q - m) / m for q, m in zip(qsm, meas)]
+    assert errs[-1] < errs[0]  # accuracy improves with n

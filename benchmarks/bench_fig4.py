@@ -1,0 +1,29 @@
+"""Figure 4 regeneration: sample-sort comm vs QSM predictions as l varies.
+
+Paper shape: QSM's prediction band is constant in l; larger l lifts the
+measured curves by a per-phase constant that loses relative weight as n
+grows.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig4_latency_sweep import run as run_fig4
+
+
+def test_fig4_latency_sweep(benchmark, fast_mode):
+    result = run_once(benchmark, run_fig4, fast=fast_mode)
+    print()
+    print(result.render())
+    measured_keys = sorted(
+        (k for k in result.data if k.startswith("measured_l=")),
+        key=lambda k: int(k.split("=")[1]),
+    )
+    curves = [result.data[k] for k in measured_keys]
+    # Monotone in l at every n.
+    for i in range(len(result.data["x"])):
+        column = [c[i] for c in curves]
+        assert column == sorted(column)
+    # The latency penalty shrinks relatively as n grows.
+    low, high = curves[0], curves[-1]
+    rel_gap_small = (high[0] - low[0]) / low[0]
+    rel_gap_big = (high[-1] - low[-1]) / low[-1]
+    assert rel_gap_big < rel_gap_small

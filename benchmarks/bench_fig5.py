@@ -1,0 +1,17 @@
+"""Figure 5 regeneration: band-entry problem size vs latency l.
+
+Paper shape: the required problem size grows linearly with l.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig5_latency_crossover import run as run_fig5
+
+
+def test_fig5_latency_crossover(benchmark, fast_mode):
+    result = run_once(benchmark, run_fig5, fast=fast_mode)
+    print()
+    print(result.render())
+    ys = result.data["crossover_n"]
+    assert ys == sorted(ys)  # monotone in l
+    assert result.data["slope"] > 0
+    assert result.data["r2"] > 0.95  # the paper's linear relationship

@@ -1,0 +1,17 @@
+"""Figure 6 regeneration: band-entry problem size vs per-message overhead o.
+
+Paper shape: linear growth, as for latency.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig6_overhead_crossover import run as run_fig6
+
+
+def test_fig6_overhead_crossover(benchmark, fast_mode):
+    result = run_once(benchmark, run_fig6, fast=fast_mode)
+    print()
+    print(result.render())
+    ys = result.data["crossover_n"]
+    assert ys == sorted(ys)
+    assert result.data["slope"] > 0
+    assert result.data["r2"] > 0.95

@@ -1,0 +1,29 @@
+"""Figure 7 regeneration: memory-bank microbenchmark on four platforms.
+
+Paper shape: NoConflict ≤ Random ≪ Conflict; NoConflict beats Random by
+0–68%; Conflict is a factor of 2–4 worse than NoConflict on the
+hardware-shared-memory platforms.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.fig7_membank import run as run_fig7
+
+
+def test_fig7_membank(benchmark, fast_mode):
+    result = run_once(benchmark, run_fig7, fast=fast_mode)
+    print()
+    print(result.render())
+    for machine, p, nc, rd, cf, rd_nc, cf_nc in result.data["rows"]:
+        # When p < banks, Random legitimately edges out NoConflict by a
+        # few percent (it spreads over all banks while NoConflict uses
+        # only p of them), hence the 10% tolerance.
+        assert nc <= rd * 1.10, f"{machine} p={p}: Random beat NoConflict"
+        assert rd <= cf * 1.02, f"{machine} p={p}: Conflict beat Random"
+        assert rd_nc <= 1.68, f"{machine} p={p}: Random >68% over NoConflict"
+    # Hardware shared memory at full machine size: conflict factor 2-4x.
+    hw_rows = [
+        r for r in result.data["rows"] if r[0] in ("SMP-NATIVE", "Cray-T3E") and r[1] >= 8
+    ]
+    assert hw_rows
+    for machine, p, nc, rd, cf, rd_nc, cf_nc in hw_rows:
+        assert 2.0 <= cf_nc <= 4.6, f"{machine} p={p}: conflict factor {cf_nc}"

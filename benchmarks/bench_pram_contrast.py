@@ -1,0 +1,40 @@
+"""Extension benchmark: PRAM-style vs QSM-style phase structure (§2.1).
+
+Not a paper figure — it quantifies the §2.1 argument that PRAM's
+step-synchronous style costs real machines extra phases: the same
+prefix-sums problem solved with the one-phase QSM broadcast and with a
+Hillis–Steele scan (1 + log2 p phases), on the same simulated machine.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.algorithms import run_prefix_sums, run_prefix_sums_pram
+from repro.qsmlib import QSMMachine, RunConfig
+from repro.util.tables import format_table
+
+
+def test_pram_vs_qsm_phase_structure(benchmark):
+    def study():
+        values = np.arange(1 << 18)
+        qsm = run_prefix_sums(values, RunConfig(seed=1, check_semantics=False))
+        pram = run_prefix_sums_pram(values, RunConfig(seed=1, check_semantics=False))
+        assert np.array_equal(qsm.result, pram.result)
+        return qsm.run, pram.run
+
+    qsm_run, pram_run = run_once(benchmark, study)
+    floor = QSMMachine(RunConfig()).cost_model().sync_floor_cycles(16)
+    print()
+    print(
+        format_table(
+            ["formulation", "phases", "comm (cycles)", "total (cycles)"],
+            [
+                ["QSM (broadcast once)", qsm_run.n_phases, round(qsm_run.comm_cycles), round(qsm_run.total_cycles)],
+                ["PRAM-style (Hillis-Steele)", pram_run.n_phases, round(pram_run.comm_cycles), round(pram_run.total_cycles)],
+            ],
+            title="Prefix sums, n=2^18, p=16: phase structure is the cost",
+        )
+    )
+    print(f"empty-sync floor on this machine: {floor:,.0f} cycles/phase")
+    assert pram_run.comm_cycles > 3 * qsm_run.comm_cycles
+    assert pram_run.n_phases == 5 and qsm_run.n_phases == 1

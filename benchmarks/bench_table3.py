@@ -1,0 +1,22 @@
+"""Table 3 regeneration: hardware vs observed (HW+SW) network performance.
+
+Paper row: put 35 cycles/byte, get 287 cycles/byte, 16-processor
+barrier 25500 cycles.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.experiments.table3_observed import run as run_table3
+
+
+def test_table3_observed_performance(benchmark):
+    # Full fidelity always: the full-size transfer takes well under a
+    # second, and the fast 2K-word transfer leaves the per-sync floor
+    # unamortised (observed gap ~40 c/B instead of the asymptotic 35).
+    result = run_once(benchmark, run_table3, fast=False)
+    print()
+    print(result.render())
+    assert result.data["put_cpb"] == pytest.approx(35.0, rel=0.10)
+    assert result.data["get_cpb"] == pytest.approx(287.0, rel=0.10)
+    assert result.data["barrier"] == pytest.approx(25500.0, rel=0.05)

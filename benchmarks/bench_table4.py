@@ -1,0 +1,23 @@
+"""Table 4 regeneration: extrapolated n_min/p for six architectures.
+
+Paper shape: the TCP/Ethernet Pentium cluster needs by far the largest
+problems; the fast-network MPPs the smallest; ordering and order of
+magnitude are the success criterion (absolute values carry the paper's
+uncalibrated software factor k).
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table4_extrapolation import run as run_table4
+
+
+def test_table4_extrapolation(benchmark, fast_mode):
+    result = run_once(benchmark, run_table4, fast=fast_mode)
+    print()
+    print(result.render())
+    ours = {row[0]: row[5] for row in result.data["rows"]}
+    # The Ethernet cluster dominates everything, as in the paper.
+    assert ours["pentium2-tcp-ethernet"] == max(ours.values())
+    assert ours["pentium2-tcp-ethernet"] > 5 * ours["default-simulation"]
+    # The fitted relationship is increasing in both l and o.
+    model = result.data["model"]
+    assert model.slope_l > 0 and model.slope_o > 0

@@ -1,0 +1,25 @@
+"""Tables 1 and 2 regeneration: the static configuration tables.
+
+These render from live code (model parameters, node configuration), so
+the benchmark asserts the printed values still match the paper's.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments.table1_contract import run as run_table1
+from repro.experiments.table2_node import run as run_table2
+
+
+def test_table1_contract(benchmark):
+    result = run_once(benchmark, run_table1)
+    print()
+    print(result.render())
+    assert "max(m_op, g*m_rw, kappa)" in result.text
+    assert "randomizing data layout" in result.text
+
+
+def test_table2_node_parameters(benchmark):
+    result = run_once(benchmark, run_table2)
+    print()
+    print(result.render())
+    for expected in ["4 int / 4 FPU / 2 load-store", "8KB 2-way", "256KB 8-way", "3 + 7 cycles", "400 MHz"]:
+        assert expected in result.text

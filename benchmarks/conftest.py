@@ -1,0 +1,28 @@
+"""Shared benchmark plumbing.
+
+Each benchmark regenerates one of the paper's tables or figures
+(``--benchmark-only`` runs all of them) and prints the rows/series the
+paper reports.  Experiments are deterministic simulations, so each runs
+once per benchmark round; wall-clock numbers measure the harness, the
+scientific output is the printed table.
+
+Use ``FULL=1 pytest benchmarks/ --benchmark-only`` for the
+full-fidelity sweeps (10 repetitions, the paper's grids); the default
+fast mode preserves every qualitative shape in a fraction of the time.
+"""
+
+import os
+
+import pytest
+
+FULL = bool(int(os.environ.get("FULL", "0")))
+
+
+@pytest.fixture(scope="session")
+def fast_mode() -> bool:
+    return not FULL
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run *fn* exactly once under the benchmark clock and return it."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Memory-bank contention study: is randomising the layout good enough?
+
+The §4 experiment: stress the memory system of four platform models
+with three access patterns and compare.  QSM's contract says the
+runtime may hash data across banks instead of the programmer hand-
+placing it; the study quantifies what that costs (Random vs NoConflict)
+and what it saves (Random vs Conflict).
+
+Run:  python examples/membank_study.py
+"""
+
+from repro.membank import CONFLICT, MEMBANK_MACHINES, NOCONFLICT, RANDOM
+from repro.membank.microbench import pattern_sweep
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    rows = []
+    for name, factory in MEMBANK_MACHINES.items():
+        cfg = factory()
+        res = pattern_sweep(cfg, [NOCONFLICT, RANDOM, CONFLICT], accesses_per_proc=1500)
+        nc = res["NoConflict"].mean_access_us
+        rd = res["Random"].mean_access_us
+        cf = res["Conflict"].mean_access_us
+        rows.append([
+            name,
+            cfg.p,
+            round(nc, 3),
+            round(rd, 3),
+            round(cf, 3),
+            f"{100 * (rd / nc - 1):.0f}%",
+            f"{cf / nc:.1f}x",
+        ])
+
+    print(format_table(
+        ["machine", "p", "NoConflict us", "Random us", "Conflict us",
+         "hand-layout speedup", "hot-spot penalty"],
+        rows,
+        title="Remote access time under three layouts (paper Figure 7)",
+    ))
+    print("\nReading: the QSM-style Random layout gives up at most tens of")
+    print("percent against a perfect hand layout, but avoids the 2-4x")
+    print("hot-spot collapse — and on software shared-memory layers the")
+    print("per-access overhead hides bank contention almost entirely.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Model comparison: one measured program under QSM, s-QSM, BSP and LogP.
+
+Runs list ranking on the simulated machine, converts its measured
+per-phase operation counts into :class:`PhaseWork` records, and prices
+the same execution under all four cost models of §2.1 — the number of
+parameters each model asks you to know is the real difference.
+
+Run:  python examples/model_comparison.py
+"""
+
+from repro.algorithms import make_random_list, run_list_ranking
+from repro.core import (
+    BSPModel,
+    BSPParams,
+    LogPModel,
+    LogPParams,
+    PhaseWork,
+    QSMModel,
+    QSMParams,
+    SQSMModel,
+    SQSMParams,
+)
+from repro.qsmlib import QSMMachine, RunConfig
+from repro.util.tables import format_table
+
+
+def main() -> None:
+    config = RunConfig(seed=5, check_semantics=False, track_kappa=True)
+    qm = QSMMachine(config)
+    costs = qm.cost_model()
+    p = qm.p
+
+    n = 40000
+    out = run_list_ranking(make_random_list(n, seed=5), config)
+    phases = [PhaseWork.from_phase_record(ph) for ph in out.run.phases]
+
+    # Effective per-word gap of this machine (software included); L from
+    # the measured barrier; LogP's o/l from the hardware settings.
+    g_word = 0.5 * (costs.put_word_cycles + costs.get_word_cycles)
+    L = costs.barrier_cycles(p)
+    net = config.machine.network
+
+    models = {
+        "QSM   (p, g)": QSMModel(QSMParams(p=p, g=g_word)),
+        "s-QSM (p, g)": SQSMModel(SQSMParams(p=p, g=g_word)),
+        "BSP   (p, g, L)": BSPModel(BSPParams(p=p, g=g_word, L=L)),
+        "LogP  (p, l, o, g)": LogPModel(
+            LogPParams(p=p, l=net.latency_cycles, o=net.overhead_cycles, g=g_word)
+        ),
+    }
+    # LogP prices messages; approximate one message per peer per phase.
+    logp_phases = [
+        PhaseWork(w.m_op, w.m_rw, w.kappa, messages=(p - 1) if w.m_rw else 0) for w in phases
+    ]
+
+    measured = out.run.total_cycles
+    rows = []
+    for name, model in models.items():
+        work = logp_phases if name.startswith("LogP") else phases
+        cost = model.program_cost(work)
+        rows.append([name, round(cost), f"{cost / measured:.2f}"])
+    rows.append(["measured (DES)", round(measured), "1.00"])
+
+    print(format_table(
+        ["model (parameters)", "predicted cycles", "vs measured"],
+        rows,
+        title=f"List ranking, n={n}, p={p}: one run priced under four models",
+    ))
+    print(f"\nphases: {out.run.n_phases}; max kappa observed: "
+          f"{max(ph.kappa for ph in out.run.phases)}")
+    print("\nReading: the two-parameter QSM prices the program nearly as")
+    print("faithfully as the four-parameter LogP for this bulk-synchronous")
+    print("code — which is the paper's argument for the simpler contract.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Reproduction of *Experimental Evaluation of QSM, a Simple
+Shared-Memory Model* (Grayson, Dahlin, Ramachandran; UTCS TR98-21 /
+IPPS 1999).
+
+Top-level packages:
+
+* :mod:`repro.core` — QSM/s-QSM/BSP/LogP cost models, Chernoff
+  machinery, and the per-algorithm prediction lines;
+* :mod:`repro.qsmlib` — the bulk-synchronous shared-memory library
+  (get/put/sync) and the SPMD program driver;
+* :mod:`repro.machine` — the simulated multiprocessor (node cost
+  model, parametric network) standing in for Armadillo;
+* :mod:`repro.msg` — message passing and tree collectives on the
+  simulated network;
+* :mod:`repro.sim` — the deterministic discrete-event kernel;
+* :mod:`repro.algorithms` — prefix sums, sample sort, list ranking
+  (QSM programs) plus sequential baselines;
+* :mod:`repro.membank` — the §4 memory-bank contention microbenchmark;
+* :mod:`repro.experiments` — one regeneration target per paper
+  table/figure;
+* :mod:`repro.analysis` — error metrics, crossovers, extrapolation.
+"""
+
+__version__ = "1.0.0"

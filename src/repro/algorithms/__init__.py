@@ -1,0 +1,43 @@
+"""The paper's three workloads as QSM programs, plus sequential baselines.
+
+* :mod:`repro.algorithms.prefix` — prefix sums, one synchronization
+  (§3.1.1 "Prefix Sums" / appendix ``parallelprefix``);
+* :mod:`repro.algorithms.samplesort` — over-sampling sample sort in
+  five phases (appendix ``samplesort``);
+* :mod:`repro.algorithms.listrank` — randomized list ranking by
+  coin-flip elimination, sequential finish at processor 0, and a
+  mirrored expansion sweep (appendix ``listrank``);
+* :mod:`repro.algorithms.sequential` — uniprocessor reference
+  implementations used to verify every parallel result;
+* :mod:`repro.algorithms.common` — operation-profile builders shared by
+  the algorithms and the analytic predictors.
+"""
+
+from repro.algorithms.broadcast import BroadcastOutcome, run_broadcast
+from repro.algorithms.prefix import prefix_sums_program, run_prefix_sums
+from repro.algorithms.prefix_tree import prefix_sums_pram_program, run_prefix_sums_pram
+from repro.algorithms.samplesort import SampleSortParams, run_sample_sort, sample_sort_program
+from repro.algorithms.listrank import ListRankParams, make_random_list, run_list_ranking
+from repro.algorithms.sequential import (
+    sequential_list_rank,
+    sequential_prefix_sums,
+    sequential_sort,
+)
+
+__all__ = [
+    "BroadcastOutcome",
+    "run_broadcast",
+    "prefix_sums_program",
+    "run_prefix_sums",
+    "prefix_sums_pram_program",
+    "run_prefix_sums_pram",
+    "SampleSortParams",
+    "run_sample_sort",
+    "sample_sort_program",
+    "ListRankParams",
+    "make_random_list",
+    "run_list_ranking",
+    "sequential_list_rank",
+    "sequential_prefix_sums",
+    "sequential_sort",
+]

@@ -1,0 +1,85 @@
+"""Broadcast: a one-word design study under QSM (extension).
+
+The LogP literature the paper cites (Karp et al., "Optimal broadcast
+and summation in the LogP model") shows that under a fine-grained model
+the optimal broadcast is a tree.  Under QSM the question looks
+different: a *flat* broadcast (the root puts the word to all p−1 peers)
+finishes in one phase, while a *tree* broadcast needs ``ceil(log2 p)``
+phases of one put each — and on a bulk-synchronous machine every phase
+pays the sync floor (plan + barrier).
+
+Both are implemented here so the trade-off can be measured: at the
+paper's machine scale (p = 16, L ≈ 25K cycles) the flat version wins
+decisively, which is exactly why the appendix algorithms broadcast by
+flat remote puts and keep phase counts minimal.  The tree would win
+only when ``(p−1)·g`` outgrows ``(log2 p − 1)·floor`` — thousands of
+processors at this g/L ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.common import log2ceil
+from repro.qsmlib import QSMMachine, RunConfig, RunResult, SharedArray
+from repro.util.validation import require
+
+
+def flat_broadcast_program(ctx, B: SharedArray, value: int):
+    """Root writes the value into every processor's slot: one phase."""
+    p, pid = ctx.p, ctx.pid
+    if pid == 0:
+        peers = np.arange(1, p, dtype=np.int64)
+        if peers.size:
+            ctx.put(B, peers, np.full(peers.size, value, dtype=np.int64))
+        ctx.local(B)[:] = value
+    yield ctx.sync()
+    return int(ctx.local(B)[0])
+
+
+def tree_broadcast_program(ctx, B: SharedArray, value: int):
+    """Binomial-tree broadcast: ceil(log2 p) one-put phases.
+
+    In round k, every processor that already has the value forwards it
+    to its partner ``pid + 2^k`` — doubling coverage each phase.
+    """
+    p, pid = ctx.p, ctx.pid
+    if pid == 0:
+        ctx.local(B)[:] = value
+    rounds = log2ceil(max(p, 1))
+    for k in range(rounds):
+        stride = 1 << k
+        if pid < stride and pid + stride < p:
+            ctx.put(B, [pid + stride], [int(ctx.local(B)[0])])
+        yield ctx.sync()
+    return int(ctx.local(B)[0])
+
+
+@dataclass
+class BroadcastOutcome:
+    values: list
+    run: RunResult
+
+
+def run_broadcast(
+    value: int,
+    config: Optional[RunConfig] = None,
+    strategy: str = "flat",
+) -> BroadcastOutcome:
+    """Broadcast *value* from processor 0; returns per-processor values.
+
+    ``strategy`` is ``"flat"`` (one phase, p−1 puts by the root) or
+    ``"tree"`` (log2 p phases, one put per holder per phase).
+    """
+    config = config or RunConfig()
+    p = config.machine.p
+    require(strategy in ("flat", "tree"), f"unknown broadcast strategy {strategy!r}")
+
+    qm = QSMMachine(config)
+    B = qm.allocate("bcast.B", p)  # one word per processor (blocked)
+    program = flat_broadcast_program if strategy == "flat" else tree_broadcast_program
+    run = qm.run(program, B=B, value=value)
+    return BroadcastOutcome(values=run.returns, run=run)

@@ -1,0 +1,252 @@
+"""QSM randomized list ranking (appendix ``listrank``).
+
+The canonical irregular-communication workload.  Elements 0..n-1 are
+distributed in blocks; ``S``/``Pr`` hold successor/predecessor pointers
+(-1 at the tail/head), ``D[i]`` the distance from *i*'s current
+surviving predecessor (initially 1), and the result ``R[i]`` is the
+1-based position of *i* in the list.
+
+Compression (``T = 4·ceil(log2 p)`` iterations, 3 phases each):
+
+A. apply queued distance contributions, flip a random bit per active
+   element (writing the shared flip array locally);
+B. elements that flipped 1 and are neither head nor tail *get* their
+   successor's flip — the irregular remote traffic;
+C. an element whose successor flipped 0 removes itself: it *puts*
+   ``S[pred] = succ``, ``Pr[succ] = pred`` and its distance
+   contribution ``DC[succ] = D[i]`` (applied by the owner in the next
+   phase A).  Because a remover flipped 1 and its successor flipped 0,
+   no two adjacent elements ever remove together, so all updates have
+   unique writers — a queue-model-friendly pattern.
+
+Then counts are broadcast, survivors are shipped to processor 0 (id,
+pred, distance), processor 0 walks the residual list sequentially and
+puts final ranks back, and the removal batches are expanded in reverse
+order: each removed element gets its removal-time predecessor's final
+rank and adds its stored distance.
+
+QSM time O(gn/p) with O(log p) phases whp; the measured skews
+``x_i`` (max active per processor), flip and removal counts, and ``z``
+(survivors) are reported via ``ctx.observe`` for Figure 3's
+prediction-from-observation lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.algorithms.common import (
+    log2ceil,
+    profile_gather_scatter,
+    profile_pointer_walk,
+    profile_random_bits,
+    profile_scan_add,
+)
+from repro.algorithms.sequential import random_list_successors
+from repro.qsmlib import Layout, QSMMachine, RunConfig, RunResult, SharedArray
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class ListRankParams:
+    """Tunables of the randomized list-ranking algorithm."""
+
+    #: Compression runs for iter_factor·ceil(log2 p) iterations; 4 keeps
+    #: the expected survivor count at n·(3/4)^(4·log2 p), the paper's z.
+    iter_factor: int = 4
+
+    def iterations(self, p: int) -> int:
+        return self.iter_factor * log2ceil(max(p, 1)) if p > 1 else 0
+
+
+def list_rank_program(ctx, S: SharedArray, Pr: SharedArray, D: SharedArray, R: SharedArray, params: ListRankParams):
+    """SPMD body of the randomized list-ranking algorithm."""
+    p, pid = ctx.p, ctx.pid
+    n = S.n
+    T = params.iterations(p)
+
+    # -- registration phase ------------------------------------------------
+    F = ctx.alloc("lr.F", n)
+    DC = ctx.alloc("lr.DC", n)
+    CNT = ctx.alloc("lr.cnt", p * p)
+    stage_id = ctx.alloc("lr.stage_id", n, layout=Layout.ROOT)
+    stage_pred = ctx.alloc("lr.stage_pred", n, layout=Layout.ROOT)
+    stage_d = ctx.alloc("lr.stage_d", n, layout=Layout.ROOT)
+    yield ctx.sync()
+
+    base = ctx.local_offset(S)
+    s_loc = ctx.local(S)
+    pr_loc = ctx.local(Pr)
+    d_loc = ctx.local(D)
+    r_loc = ctx.local(R)
+    f_loc = ctx.local(F.array)
+    dc_loc = ctx.local(DC.array)
+    m = len(s_loc)
+    alive = np.ones(m, dtype=bool)
+    # One removal batch per iteration: (local offsets, pred ids, distances).
+    batches: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+
+    # ======================= Major step 1: compression ====================
+    for _ in range(T):
+        active = np.flatnonzero(alive)
+
+        # -- Phase A: apply distance contributions, generate flips ---------
+        d_loc[active] += dc_loc[active]
+        dc_loc[active] = 0
+        flips = ctx.rng.integers(0, 2, size=active.size)
+        f_loc[active] = flips
+        ctx.charge(profile_random_bits(active.size))
+        ctx.charge(profile_gather_scatter(3 * active.size, region=m))
+        ctx.observe("x", active.size)
+        yield ctx.sync()
+
+        # -- Phase B: fetch successor flips for candidates -----------------
+        cand_mask = (flips == 1) & (s_loc[active] >= 0) & (pr_loc[active] >= 0)
+        cand = active[cand_mask]
+        cand_succ = s_loc[cand]
+        handle = ctx.get(F.array, cand_succ) if cand.size else None
+        ctx.charge(profile_gather_scatter(2 * cand.size, region=m))
+        ctx.observe("flip1", cand.size)
+        yield ctx.sync()
+
+        # -- Phase C: remove; notify neighbours and queue distances --------
+        if handle is not None:
+            removers = cand[handle.data == 0]
+        else:
+            removers = np.zeros(0, dtype=np.int64)
+        rem_succ = s_loc[removers]
+        rem_pred = pr_loc[removers]
+        rem_d = d_loc[removers].copy()
+        if removers.size:
+            ctx.put(S, rem_pred, rem_succ)
+            ctx.put(Pr, rem_succ, rem_pred)
+            ctx.put(DC.array, rem_succ, rem_d)
+            alive[removers] = False
+        batches.append((removers, rem_pred.copy(), rem_d))
+        ctx.charge(profile_gather_scatter(5 * removers.size, region=m))
+        ctx.observe("removed", removers.size)
+        yield ctx.sync()
+
+    # =============== Major step 2: sequential finish at node 0 ============
+    active = np.flatnonzero(alive)
+    k = active.size
+    # Apply the distance contributions queued by the final iteration's
+    # removals (normally absorbed by the next phase A).
+    d_loc[active] += dc_loc[active]
+    dc_loc[active] = 0
+    ctx.charge(profile_gather_scatter(2 * k, region=m))
+
+    # -- broadcast survivor counts (the "parallel prefix on counts") -------
+    peers = np.array([d for d in range(p) if d != pid], dtype=np.int64)
+    if peers.size:
+        ctx.put(CNT.array, peers * p + pid, np.full(peers.size, k, dtype=np.int64))
+    ctx.local(CNT.array)[pid] = k
+    ctx.observe("z_local", k)
+    yield ctx.sync()
+
+    # -- ship survivors (id, pred, distance) to processor 0 ----------------
+    cnts = ctx.local(CNT.array)
+    offset = int(cnts[:pid].sum())
+    ctx.charge(profile_scan_add(p))
+    if k:
+        ctx.put_range(stage_id.array, offset, base + active)
+        ctx.put_range(stage_pred.array, offset, pr_loc[active])
+        ctx.put_range(stage_d.array, offset, d_loc[active])
+        ctx.charge(profile_gather_scatter(3 * k, region=m))
+    yield ctx.sync()
+
+    # -- node 0 ranks the residual list and puts final ranks back ----------
+    if pid == 0:
+        z = int(cnts.sum())
+        sid = ctx.local(stage_id.array)[:z]
+        spred = ctx.local(stage_pred.array)[:z]
+        sd = ctx.local(stage_d.array)[:z]
+        # position of the entry whose predecessor is a given element id
+        succ_pos = np.full(n, -1, dtype=np.int64)
+        valid = spred >= 0
+        succ_pos[spred[valid]] = np.flatnonzero(valid)
+        heads = np.flatnonzero(~valid)
+        if heads.size != 1:
+            raise RuntimeError(f"residual list has {heads.size} heads; expected 1")
+        ranks = np.zeros(z, dtype=np.int64)
+        cur = int(heads[0])
+        total = 0
+        for _ in range(z):
+            total += int(sd[cur])
+            ranks[cur] = total
+            cur = int(succ_pos[sid[cur]])
+            if cur == -1:
+                break
+        ctx.charge(profile_pointer_walk(z, region=max(n, 1)))
+        ctx.put(R, sid, ranks)
+    yield ctx.sync()
+
+    # ================= Major step 3: expansion (reverse order) ============
+    pending: Optional[Tuple[np.ndarray, np.ndarray, object]] = None
+    for it in reversed(range(T)):
+        if pending is not None:
+            prev_rem, prev_d, prev_handle = pending
+            r_loc[prev_rem] = prev_handle.data + prev_d
+            ctx.charge(profile_gather_scatter(2 * prev_rem.size, region=m))
+        removers, rem_pred, rem_d = batches[it]
+        if removers.size:
+            handle = ctx.get(R, rem_pred)
+            pending = (removers, rem_d, handle)
+        else:
+            pending = None
+        yield ctx.sync()
+    if pending is not None:
+        prev_rem, prev_d, prev_handle = pending
+        r_loc[prev_rem] = prev_handle.data + prev_d
+        ctx.charge(profile_gather_scatter(2 * prev_rem.size, region=m))
+
+    # -- final phase: unregister temporaries --------------------------------
+    ctx.free(F)
+    ctx.free(DC)
+    ctx.free(CNT)
+    ctx.free(stage_id)
+    ctx.free(stage_pred)
+    ctx.free(stage_d)
+    yield ctx.sync()
+    return k
+
+
+@dataclass
+class ListRankOutcome:
+    ranks: np.ndarray
+    run: RunResult
+
+
+def make_random_list(n: int, seed: int = 0) -> np.ndarray:
+    """Successor pointers of a uniformly random list over 0..n-1."""
+    return random_list_successors(n, np.random.default_rng(seed))
+
+
+def run_list_ranking(
+    succ: np.ndarray,
+    config: Optional[RunConfig] = None,
+    params: Optional[ListRankParams] = None,
+) -> ListRankOutcome:
+    """Rank the list *succ*; returns ranks (head=1..tail=n) + measurements."""
+    config = config or RunConfig()
+    params = params or ListRankParams()
+    succ = np.asarray(succ, dtype=np.int64)
+    n, p = succ.size, config.machine.p
+    require(n >= p, f"list ranking needs n >= p ({n} < {p})")
+
+    qm = QSMMachine(config)
+    S = qm.allocate("lr.S", n)
+    S.data[:] = succ
+    Pr = qm.allocate("lr.Pr", n)
+    pred = np.full(n, -1, dtype=np.int64)
+    valid = succ >= 0
+    pred[succ[valid]] = np.flatnonzero(valid)
+    Pr.data[:] = pred
+    D = qm.allocate("lr.D", n)
+    D.data[:] = 1
+    R = qm.allocate("lr.R", n)
+    run = qm.run(list_rank_program, S=S, Pr=Pr, D=D, R=R, params=params)
+    return ListRankOutcome(ranks=R.data.copy(), run=run)

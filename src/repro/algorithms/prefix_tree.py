@@ -1,0 +1,93 @@
+"""PRAM-style prefix sums: log p synchronized rounds (§2.1 contrast).
+
+The same problem as :mod:`repro.algorithms.prefix`, formulated the way
+a PRAM algorithm would be: after the local prefix pass, the p block
+totals are combined by Hillis–Steele parallel scan — ``ceil(log2 p)``
+rounds, each a *separate phase* in which processor i reads the running
+total of processor ``i − 2^k``.  Correct, elegant, and on a real
+machine every round pays the full synchronization floor; the QSM
+formulation broadcasts once and synchronizes once.
+
+Running both on the same simulated machine quantifies §2.1's argument
+that "the synchronous nature of the PRAM model typically results in a
+larger number of phases ... and thus results in larger latency and
+synchronization costs than in the QSM".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.common import log2ceil, profile_scan_add
+from repro.qsmlib import QSMMachine, RunConfig, RunResult, SharedArray
+from repro.util.validation import require
+
+
+def prefix_sums_pram_program(ctx, A: SharedArray, R: SharedArray, T: SharedArray):
+    """SPMD body: local prefix, Hillis–Steele scan of block totals, fixup.
+
+    ``T`` has one word per processor (blocked, block size 1), holding
+    the running inclusive scan of block totals.
+    """
+    p, pid = ctx.p, ctx.pid
+
+    a = ctx.local(A)
+    r = ctx.local(R)
+    np.cumsum(a, out=r)
+    ctx.charge(profile_scan_add(len(a)))
+    ctx.local(T)[:] = int(r[-1]) if len(r) else 0
+    yield ctx.sync()  # round 0 barrier: totals visible
+
+    rounds = log2ceil(max(p, 1))
+    pending = None
+    for k in range(rounds):
+        # Apply the previous round's fetched partial before reading on.
+        if pending is not None:
+            ctx.local(T)[:] = int(ctx.local(T)[0]) + int(pending.data[0])
+            ctx.charge(profile_scan_add(1))
+        stride = 1 << k
+        if pid >= stride:
+            pending = ctx.get(T, [pid - stride])
+        else:
+            pending = None
+        yield ctx.sync()
+    if pending is not None:
+        ctx.local(T)[:] = int(ctx.local(T)[0]) + int(pending.data[0])
+        ctx.charge(profile_scan_add(1))
+
+    # T[pid] now holds the inclusive scan of block totals; my offset is
+    # the exclusive value.
+    my_total = int(r[-1]) if len(r) else 0
+    offset = int(ctx.local(T)[0]) - my_total
+    r += offset
+    ctx.charge(profile_scan_add(len(r)))
+    return offset
+
+
+@dataclass
+class PrefixTreeOutcome:
+    result: np.ndarray
+    run: RunResult
+
+
+def run_prefix_sums_pram(values: np.ndarray, config: Optional[RunConfig] = None) -> PrefixTreeOutcome:
+    """Run the PRAM-style prefix sums; returns sums + measurements.
+
+    Uses ``1 + ceil(log2 p)`` synchronizations against the QSM
+    formulation's single one.
+    """
+    config = config or RunConfig()
+    values = np.asarray(values, dtype=np.int64)
+    p = config.machine.p
+    require(values.size >= p, f"prefix sums needs n >= p ({values.size} < {p})")
+
+    qm = QSMMachine(config)
+    A = qm.allocate("ptree.A", values.size)
+    A.data[:] = values
+    R = qm.allocate("ptree.R", values.size)
+    T = qm.allocate("ptree.T", p)
+    run = qm.run(prefix_sums_pram_program, A=A, R=R, T=T)
+    return PrefixTreeOutcome(result=R.data.copy(), run=run)

@@ -1,0 +1,169 @@
+"""QSM sample sort (appendix ``samplesort``): five phases *whp*.
+
+Pivot selection by over-sampling (``c·log2 n`` samples per processor,
+``c = 4`` to match the paper's ``4(p−1)g·log n`` sample-broadcast term),
+then redistribution into p buckets, local sort, and a final write into
+the output array.  The five synchronizations are:
+
+0. register temporary structures;
+1. broadcast samples;
+2. partition locally, send per-bucket (count, pointer) pairs;
+3. fetch my bucket's remote contributions; broadcast my bucket total;
+4. sort my bucket locally and write it to the output positions.
+
+QSM communication: ``c(p−1)g·log n + 3(p−1)g + g·B·r + g·B`` where
+``B`` is the largest bucket and ``r`` the largest remote fraction of a
+bucket — the two load-balance skews Figure 2's prediction lines differ
+on.  The program reports both via ``ctx.observe``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.algorithms.common import (
+    log2ceil,
+    profile_copy,
+    profile_gather_scatter,
+    profile_partition,
+    profile_scan_add,
+    profile_sort,
+)
+from repro.qsmlib import QSMMachine, RunConfig, RunResult, SharedArray
+from repro.util.validation import require
+
+
+@dataclass(frozen=True)
+class SampleSortParams:
+    """Tunables of the sample sort algorithm."""
+
+    #: Over-sampling factor: each processor contributes c·log2(n) samples.
+    oversampling: int = 4
+
+    def samples_per_proc(self, n: int) -> int:
+        return max(1, self.oversampling * log2ceil(max(n, 2)))
+
+
+def sample_sort_program(ctx, S_in: SharedArray, S_out: SharedArray, params: SampleSortParams):
+    """SPMD body of the five-phase sample sort."""
+    p, pid = ctx.p, ctx.pid
+    n = S_in.n
+    s = params.samples_per_proc(n)
+
+    # -- Phase 0: allocate and register temporary structures -------------
+    samples = ctx.alloc("ss.samples", p * p * s)  # dest-major: block d holds p*s slots
+    counts = ctx.alloc("ss.counts", p * 2 * p)  # block d: (count_j, ptr_j) for each j
+    totals = ctx.alloc("ss.totals", p * p)  # block d: bucket totals B_j
+    staging = ctx.alloc("ss.staging", n)  # bucket-grouped local elements
+    yield ctx.sync()
+
+    local = ctx.local(S_in)
+    m = len(local)
+
+    # -- Phase 1: select and broadcast samples ----------------------------
+    picks = local[ctx.rng.integers(0, m, size=s)] if m else np.zeros(s, dtype=np.int64)
+    ctx.charge(profile_gather_scatter(s, region=m))
+    for d in range(p):
+        slot = d * (p * s) + pid * s
+        if d == pid:
+            ctx.local(samples.array)[pid * s : pid * s + s] = picks
+        else:
+            ctx.put_range(samples.array, slot, picks)
+    yield ctx.sync()
+
+    # -- Phase 2: pivots, local partition, announce counts ----------------
+    all_samples = np.sort(ctx.local(samples.array))
+    ctx.charge(profile_sort(p * s))
+    pivots = all_samples[s - 1 : (p - 1) * s : s][: p - 1]  # every s-th sample
+
+    bucket_of = np.searchsorted(pivots, local, side="right")
+    ctx.charge(profile_partition(m, p))
+    order = np.argsort(bucket_of, kind="stable")
+    stage_local = ctx.local(staging.array)
+    stage_local[:m] = local[order]
+    ctx.charge(profile_gather_scatter(m, region=m))
+    my_counts = np.bincount(bucket_of, minlength=p)
+    starts = np.concatenate(([0], np.cumsum(my_counts)[:-1]))
+    stage_base = staging.local_offset(pid)
+    ctx.charge(profile_scan_add(p))
+    for d in range(p):
+        pair = np.array([my_counts[d], stage_base + starts[d]], dtype=np.int64)
+        slot = d * (2 * p) + 2 * pid
+        if d == pid:
+            ctx.local(counts.array)[2 * pid : 2 * pid + 2] = pair
+        else:
+            ctx.put_range(counts.array, slot, pair)
+    yield ctx.sync()
+
+    # -- Phase 3: gather my bucket; broadcast its total --------------------
+    pairs = ctx.local(counts.array).reshape(p, 2)
+    bucket_size = int(pairs[:, 0].sum())
+    remote_words = int(pairs[:, 0].sum() - pairs[pid, 0])
+    ctx.observe("B", bucket_size)
+    ctx.observe("r", remote_words / bucket_size if bucket_size else 0.0)
+
+    handles = []
+    for j in range(p):
+        cnt, ptr = int(pairs[j, 0]), int(pairs[j, 1])
+        if cnt:
+            handles.append(ctx.get_range(staging.array, ptr, cnt))
+    for d in range(p):
+        if d == pid:
+            ctx.local(totals.array)[pid] = bucket_size
+        else:
+            ctx.put(totals.array, [d * p + pid], [bucket_size])
+    yield ctx.sync()
+
+    # -- Phase 4: sort my bucket, write it to the output -------------------
+    bucket = (
+        np.concatenate([h.data for h in handles]) if handles else np.zeros(0, dtype=np.int64)
+    )
+    bucket = np.sort(bucket, kind="stable")
+    ctx.charge(profile_sort(len(bucket)))
+    bucket_totals = ctx.local(totals.array)
+    out_start = int(bucket_totals[:pid].sum())
+    ctx.charge(profile_scan_add(p))
+    if len(bucket):
+        ctx.put_range(S_out, out_start, bucket)
+        ctx.charge(profile_copy(len(bucket)))
+
+    ctx.free(samples)
+    ctx.free(counts)
+    ctx.free(totals)
+    ctx.free(staging)
+    yield ctx.sync()
+    return bucket_size
+
+
+@dataclass
+class SampleSortOutcome:
+    result: np.ndarray
+    run: RunResult
+
+
+def run_sample_sort(
+    values: np.ndarray,
+    config: Optional[RunConfig] = None,
+    params: Optional[SampleSortParams] = None,
+) -> SampleSortOutcome:
+    """Sort *values* with the QSM sample sort; returns output + measurements."""
+    config = config or RunConfig()
+    params = params or SampleSortParams()
+    values = np.asarray(values, dtype=np.int64)
+    n, p = values.size, config.machine.p
+    s = params.samples_per_proc(max(n, 2))
+    require(
+        n >= max(p * s, p * p),
+        f"sample sort needs n >= max(p*s, p^2) = {max(p * s, p * p)} (got n={n}); "
+        "the paper requires p <= sqrt(n / log n)",
+    )
+
+    qm = QSMMachine(config)
+    S_in = qm.allocate("ss.in", n)
+    S_in.data[:] = values
+    S_out = qm.allocate("ss.out", n)
+    run = qm.run(sample_sort_program, S_in=S_in, S_out=S_out, params=params)
+    return SampleSortOutcome(result=S_out.data.copy(), run=run)

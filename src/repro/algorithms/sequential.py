@@ -1,0 +1,69 @@
+"""Uniprocessor reference implementations.
+
+Every parallel result in the test suite is verified against these; they
+are also the baselines a user would compare speedups against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def sequential_prefix_sums(values: np.ndarray) -> np.ndarray:
+    """Inclusive prefix sums (the appendix algorithms are inclusive)."""
+    return np.cumsum(np.asarray(values))
+
+
+def sequential_sort(values: np.ndarray) -> np.ndarray:
+    """Plain comparison sort."""
+    return np.sort(np.asarray(values), kind="stable")
+
+
+def sequential_list_rank(succ: np.ndarray) -> np.ndarray:
+    """Ranks of a linked list given successor pointers.
+
+    ``succ[i]`` is the element following *i*, or ``-1`` for the tail.
+    Returns ``rank`` with ``rank[head] == 1`` and ``rank[tail] == n``.
+    Validates that *succ* encodes exactly one list over all elements.
+    """
+    succ = np.asarray(succ, dtype=np.int64)
+    n = succ.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if ((succ < -1) | (succ >= n)).any():
+        raise ValueError("successor pointers out of range")
+    tails = np.count_nonzero(succ == -1)
+    if tails != 1:
+        raise ValueError(f"list must have exactly one tail, found {tails}")
+    has_pred = np.zeros(n, dtype=bool)
+    valid = succ >= 0
+    if np.unique(succ[valid]).size != np.count_nonzero(valid):
+        raise ValueError("two elements share a successor; not a list")
+    has_pred[succ[valid]] = True
+    heads = np.flatnonzero(~has_pred)
+    if heads.size != 1:
+        raise ValueError(f"list must have exactly one head, found {heads.size}")
+
+    rank = np.zeros(n, dtype=np.int64)
+    node = int(heads[0])
+    for position in range(1, n + 1):
+        if node == -1:
+            raise ValueError("list is shorter than n; contains a cycle elsewhere")
+        rank[node] = position
+        node = int(succ[node])
+    if node != -1:
+        raise ValueError("list traversal did not end at the tail")
+    return rank
+
+
+def random_list_successors(n: int, rng: np.random.Generator) -> np.ndarray:
+    """A uniformly random linked list over elements 0..n-1.
+
+    Returns the successor array of a random permutation order.
+    """
+    if n < 1:
+        raise ValueError(f"need n >= 1, got {n}")
+    order = rng.permutation(n)
+    succ = np.full(n, -1, dtype=np.int64)
+    succ[order[:-1]] = order[1:]
+    return succ

@@ -1,0 +1,20 @@
+"""Analysis utilities: prediction error, band crossovers, extrapolation."""
+
+from repro.analysis.errors import first_n_within, relative_error, within_fraction
+from repro.analysis.crossover import band_crossover, interpolate_crossover
+from repro.analysis.extrapolate import n_min_per_proc, table4_rows
+from repro.analysis.speedup import ScalingPoint, break_even_p, scaling_point, scaling_table
+
+__all__ = [
+    "relative_error",
+    "within_fraction",
+    "first_n_within",
+    "band_crossover",
+    "interpolate_crossover",
+    "n_min_per_proc",
+    "table4_rows",
+    "ScalingPoint",
+    "break_even_p",
+    "scaling_point",
+    "scaling_table",
+]

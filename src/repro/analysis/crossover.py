@@ -1,0 +1,68 @@
+"""Band-crossover detection for Figures 5 and 6.
+
+Figure 5 plots, against the latency ``l``, "the problem size needed for
+actual communication time to fall within the range between the WHP
+bound and the Best-case lines"; Figure 6 does the same against the
+overhead ``o``.  Both require locating where a measured-vs-n curve
+drops below the WHP-bound-vs-n curve — done here with linear
+interpolation between sample points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def interpolate_crossover(
+    ns: Sequence[float],
+    upper_minus_measured: Sequence[float],
+) -> Optional[float]:
+    """First n where the series crosses from negative to nonnegative.
+
+    ``upper_minus_measured[i] = bound(ns[i]) − measured(ns[i])``; the
+    measured curve has entered the band when this becomes ≥ 0.  Linear
+    interpolation between the straddling samples refines the estimate.
+    Returns None when the curve never enters the band, and ``ns[0]``
+    when it starts inside it.
+    """
+    if len(ns) != len(upper_minus_measured):
+        raise ValueError("series must have equal lengths")
+    if len(ns) == 0:
+        return None
+    if upper_minus_measured[0] >= 0:
+        return float(ns[0])
+    for i in range(1, len(ns)):
+        lo, hi = upper_minus_measured[i - 1], upper_minus_measured[i]
+        if hi >= 0:
+            span = hi - lo
+            t = (-lo / span) if span > 0 else 1.0
+            return float(ns[i - 1] + t * (ns[i] - ns[i - 1]))
+    return None
+
+
+def band_crossover(
+    ns: Sequence[float],
+    measured: Sequence[float],
+    whp_bound: Sequence[float],
+    best_case: Sequence[float],
+) -> Optional[float]:
+    """Smallest n where measured lies inside [best_case, whp_bound].
+
+    For these workloads the measured curve approaches the band from
+    above (overheads the models ignore), so entering the band means
+    dropping below the WHP bound; the best-case line is checked as a
+    sanity condition (measured must not dip below it at the crossover).
+    """
+    if not (len(ns) == len(measured) == len(whp_bound) == len(best_case)):
+        raise ValueError("series must have equal lengths")
+    diffs = [w - m for w, m in zip(whp_bound, measured)]
+    n_star = interpolate_crossover(ns, diffs)
+    if n_star is None:
+        return None
+    for n, m, b in zip(ns, measured, best_case):
+        if n >= n_star and m < b * 0.5:
+            raise ValueError(
+                f"measured fell to less than half the best case at n={n}; "
+                "the cost model is inconsistent"
+            )
+    return n_star

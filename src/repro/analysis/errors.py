@@ -1,0 +1,51 @@
+"""Prediction-accuracy metrics used throughout §3.2–3.3.
+
+The paper's accuracy statements are of the form "the QSM prediction is
+within 10% of the actual communication time as long as n ≥ 125,000".
+These helpers compute the relative error series and locate that
+threshold n.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """|predicted − measured| / measured (measured must be positive)."""
+    if measured <= 0:
+        raise ValueError(f"measured value must be positive, got {measured}")
+    return abs(predicted - measured) / measured
+
+
+def within_fraction(predicted: float, measured: float, fraction: float) -> bool:
+    """True when the prediction is within *fraction* of the measurement."""
+    if fraction < 0:
+        raise ValueError(f"fraction must be >= 0, got {fraction}")
+    return relative_error(predicted, measured) <= fraction
+
+
+def first_n_within(
+    ns: Sequence[float],
+    predicted: Sequence[float],
+    measured: Sequence[float],
+    fraction: float = 0.10,
+) -> Optional[float]:
+    """Smallest n from which the prediction stays within *fraction*.
+
+    Scans the (sorted-by-n) series and returns the first n such that
+    this and every larger n satisfy the accuracy bound; None if the
+    bound is never reached-and-held.
+    """
+    if not (len(ns) == len(predicted) == len(measured)):
+        raise ValueError("series must have equal lengths")
+    if list(ns) != sorted(ns):
+        raise ValueError("ns must be sorted ascending")
+    threshold = None
+    for n, pred, meas in zip(ns, predicted, measured):
+        if within_fraction(pred, meas, fraction):
+            if threshold is None:
+                threshold = n
+        else:
+            threshold = None
+    return threshold

@@ -1,0 +1,116 @@
+"""Table 4: extrapolating the accuracy threshold to other machines.
+
+Section 3.3 finds a *linear* relationship between the network latency
+``l`` (Figure 5) or per-message overhead ``o`` (Figure 6) and the
+problem size at which QSM starts predicting sample-sort communication
+accurately.  Table 4 extrapolates that relationship to six published
+machine parameter sets.
+
+We fit the same affine model from our own sweep measurements::
+
+    n_min/p  =  (s_l·l + s_o·o + c) · g0 / g
+
+with ``s_l``/``s_o`` the fitted slopes, ``c`` pinned so the model
+passes through the default machine's measured threshold, and the
+``g0/g`` factor reflecting that a faster per-word rate amortises fixed
+costs over fewer words (the theoretical g-scaling of §3.2; our sweeps
+hold g fixed).  The paper's published ``n_min`` values (its Table 4)
+are carried as reference data; like the paper's, our extrapolations
+absorb software differences into a multiplicative ``k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.machine.config import ArchPreset, TABLE4_PRESETS
+
+
+#: The paper's published n_min/p column (Table 4), for comparison.
+#: Values in parentheses in the paper carry the software factor k.
+PAPER_NMIN_PER_PROC: Dict[str, float] = {
+    "default-simulation": 8000.0,
+    "berkeley-now": 4640.0,
+    "pentium2-tcp-ethernet": 325000.0,
+    "cray-t3e": 1558.0,
+    "intel-paragon": 15429.0,
+    "meico-cs2": 5325.0,
+}
+
+
+@dataclass(frozen=True)
+class NMinModel:
+    """Fitted affine threshold model (per-processor problem size)."""
+
+    slope_l: float
+    slope_o: float
+    intercept: float
+    g0: float
+
+    def n_min_per_proc(self, l: float, o: float, g: float) -> float:
+        if g <= 0:
+            raise ValueError(f"gap must be positive, got {g}")
+        value = (self.slope_l * l + self.slope_o * o + self.intercept) * (self.g0 / g)
+        return max(0.0, value)
+
+
+def fit_nmin_model(
+    l_values: Sequence[float],
+    nmin_at_l: Sequence[float],
+    o_values: Sequence[float],
+    nmin_at_o: Sequence[float],
+    default_l: float,
+    default_o: float,
+    default_g: float,
+) -> NMinModel:
+    """Fit the affine model from the Figure 5 and Figure 6 sweeps.
+
+    ``nmin_at_l[i]`` is the measured per-processor crossover size with
+    latency ``l_values[i]`` (overhead at default), and vice versa.  The
+    slopes come from least-squares lines; the intercept is chosen so
+    the model reproduces the default point (averaged between the two
+    sweeps' readings of it).
+    """
+    l_values = np.asarray(l_values, dtype=float)
+    o_values = np.asarray(o_values, dtype=float)
+    nmin_l = np.asarray(nmin_at_l, dtype=float)
+    nmin_o = np.asarray(nmin_at_o, dtype=float)
+    if l_values.size < 2 or o_values.size < 2:
+        raise ValueError("need at least two points per sweep to fit slopes")
+
+    slope_l = float(np.polyfit(l_values, nmin_l, 1)[0])
+    slope_o = float(np.polyfit(o_values, nmin_o, 1)[0])
+    # Pin the intercept at the default machine's observed threshold.
+    base_l = float(np.interp(default_l, l_values, nmin_l))
+    base_o = float(np.interp(default_o, o_values, nmin_o))
+    base = 0.5 * (base_l + base_o)
+    intercept = base - slope_l * default_l - slope_o * default_o
+    return NMinModel(slope_l=slope_l, slope_o=slope_o, intercept=intercept, g0=default_g)
+
+
+def n_min_per_proc(model: NMinModel, preset: ArchPreset) -> float:
+    """Extrapolated per-processor threshold for one Table 4 machine."""
+    return model.n_min_per_proc(
+        preset.latency_cycles, preset.overhead_cycles, preset.gap_cycles_per_byte
+    )
+
+
+def table4_rows(model: NMinModel) -> List[list]:
+    """All Table 4 rows: preset parameters, our extrapolation, the paper's."""
+    rows = []
+    for name, preset in TABLE4_PRESETS.items():
+        rows.append(
+            [
+                name,
+                preset.p,
+                preset.latency_cycles,
+                preset.overhead_cycles,
+                preset.gap_cycles_per_byte,
+                round(n_min_per_proc(model, preset)),
+                PAPER_NMIN_PER_PROC[name],
+            ]
+        )
+    return rows

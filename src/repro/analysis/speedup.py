@@ -1,0 +1,90 @@
+"""Speedup and parallel-efficiency analysis.
+
+Utilities for the scalability questions a user of the library asks
+next: given measured runs at several processor counts, what speedup did
+the simulated machine deliver against the one-node cost, and where does
+communication overtake computation?  (The paper keeps p fixed at 16 —
+its simulator could not sweep p, §3.3 — so this is analysis machinery
+the reproduction adds.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.qsmlib.stats import RunResult
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (p, run) observation against a sequential baseline."""
+
+    p: int
+    total_cycles: float
+    comm_cycles: float
+    compute_cycles: float
+    sequential_cycles: float
+
+    @property
+    def speedup(self) -> float:
+        """Sequential time over parallel time (>1 means parallel wins)."""
+        if self.total_cycles <= 0:
+            raise ValueError("total_cycles must be positive")
+        return self.sequential_cycles / self.total_cycles
+
+    @property
+    def efficiency(self) -> float:
+        """Speedup per processor (1.0 = perfect scaling)."""
+        return self.speedup / self.p
+
+    @property
+    def comm_fraction(self) -> float:
+        """Share of the parallel run spent communicating."""
+        if self.total_cycles <= 0:
+            raise ValueError("total_cycles must be positive")
+        return self.comm_cycles / self.total_cycles
+
+
+def scaling_point(p: int, run: RunResult, sequential_cycles: float) -> ScalingPoint:
+    """Build a :class:`ScalingPoint` from a measured run."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if sequential_cycles <= 0:
+        raise ValueError("sequential baseline must be positive")
+    return ScalingPoint(
+        p=p,
+        total_cycles=run.total_cycles,
+        comm_cycles=run.comm_cycles,
+        compute_cycles=run.compute_cycles,
+        sequential_cycles=sequential_cycles,
+    )
+
+
+def scaling_table(points: Sequence[ScalingPoint]) -> List[list]:
+    """Rows [p, total, speedup, efficiency, comm%] sorted by p."""
+    rows = []
+    for pt in sorted(points, key=lambda q: q.p):
+        rows.append(
+            [
+                pt.p,
+                round(pt.total_cycles),
+                round(pt.speedup, 2),
+                round(pt.efficiency, 2),
+                f"{pt.comm_fraction:.0%}",
+            ]
+        )
+    return rows
+
+
+def break_even_p(points: Sequence[ScalingPoint]) -> Dict[str, object]:
+    """Smallest measured p with speedup > 1, plus the best observed point.
+
+    Returns ``{"break_even": p or None, "best_p": p, "best_speedup": s}``.
+    """
+    if not points:
+        raise ValueError("need at least one scaling point")
+    ordered = sorted(points, key=lambda q: q.p)
+    break_even = next((pt.p for pt in ordered if pt.speedup > 1.0), None)
+    best = max(ordered, key=lambda q: q.speedup)
+    return {"break_even": break_even, "best_p": best.p, "best_speedup": best.speedup}

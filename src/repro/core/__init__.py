@@ -1,0 +1,75 @@
+"""The paper's primary contribution: QSM cost modelling and prediction.
+
+* :mod:`repro.core.params` — parameter sets of the four models the
+  paper discusses (QSM, s-QSM, BSP, LogP; §2.1 and Table 1);
+* :mod:`repro.core.models` — phase/superstep cost evaluation for each
+  model, usable on abstract op counts or on measured
+  :class:`~repro.qsmlib.stats.PhaseRecord` logs;
+* :mod:`repro.core.chernoff` — binomial tail machinery behind every
+  *WHP bound* line (90% confidence, union bound over processors);
+* :mod:`repro.core.estimators` — generic QSM/BSP communication
+  estimates computed from a run's observed per-phase word counts;
+* :mod:`repro.core.predict_prefix` / :mod:`~repro.core.predict_samplesort`
+  / :mod:`~repro.core.predict_listrank` — the closed-form Best-case,
+  WHP-bound, QSM-estimate and BSP-estimate lines of Figures 1–3.
+"""
+
+from repro.core.params import BSPParams, LogPParams, QSMParams, SQSMParams
+from repro.core.models import (
+    BSPModel,
+    LogPModel,
+    PhaseWork,
+    QSMModel,
+    SQSMModel,
+)
+from repro.core.chernoff import (
+    chernoff_binomial_lower,
+    binomial_tail_inverse_exact,
+    chernoff_binomial_upper,
+    chernoff_delta_upper,
+    oversampling_bucket_bound,
+)
+from repro.core.estimators import bsp_comm_estimate, qsm_comm_estimate
+from repro.core.emulation import (
+    EmulationParams,
+    emulation_slowdown,
+    qsm_phase_on_bsp,
+    qsm_program_on_bsp,
+    work_preserving_threshold,
+)
+from repro.core.pram import AccessRule, PRAMAccessError, PRAMModel, PRAMParams, pram_vs_qsm_phase_gap
+from repro.core.predict_prefix import PrefixPredictor
+from repro.core.predict_samplesort import SampleSortPredictor
+from repro.core.predict_listrank import ListRankPredictor
+
+__all__ = [
+    "QSMParams",
+    "SQSMParams",
+    "BSPParams",
+    "LogPParams",
+    "PhaseWork",
+    "QSMModel",
+    "SQSMModel",
+    "BSPModel",
+    "LogPModel",
+    "chernoff_binomial_upper",
+    "chernoff_binomial_lower",
+    "chernoff_delta_upper",
+    "binomial_tail_inverse_exact",
+    "oversampling_bucket_bound",
+    "qsm_comm_estimate",
+    "bsp_comm_estimate",
+    "EmulationParams",
+    "emulation_slowdown",
+    "qsm_phase_on_bsp",
+    "qsm_program_on_bsp",
+    "work_preserving_threshold",
+    "AccessRule",
+    "PRAMAccessError",
+    "PRAMModel",
+    "PRAMParams",
+    "pram_vs_qsm_phase_gap",
+    "PrefixPredictor",
+    "SampleSortPredictor",
+    "ListRankPredictor",
+]

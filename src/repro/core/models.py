@@ -1,0 +1,149 @@
+"""Cost evaluation under the four models.
+
+Each model consumes :class:`PhaseWork` descriptions — the abstract
+quantities Table 1 says an algorithm designer should track — and
+returns time costs in the model's unit (local operations; with ``g``
+expressed in cycles per word the costs come out in cycles).
+
+These evaluators serve three roles in the reproduction:
+
+1. textbook reference implementations (tested against hand-computed
+   examples),
+2. generic re-analysis of *measured* runs: a
+   :class:`~repro.qsmlib.stats.PhaseRecord` maps directly onto a
+   :class:`PhaseWork`,
+3. the machinery behind the prediction lines of Figures 1–3 (via
+   :mod:`repro.core.estimators`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.params import BSPParams, LogPParams, QSMParams, SQSMParams
+
+
+@dataclass(frozen=True)
+class PhaseWork:
+    """Per-phase quantities: the algorithm-designer's view (Table 1).
+
+    ``m_op`` — max local operations at any processor;
+    ``m_rw`` — max remote reads+writes by any processor;
+    ``kappa`` — max accesses to any one shared-memory word;
+    ``messages`` — max messages sent by any processor (LogP only).
+    """
+
+    m_op: float = 0.0
+    m_rw: float = 0.0
+    kappa: float = 0.0
+    messages: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("m_op", "m_rw", "kappa", "messages"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")
+
+    @classmethod
+    def from_phase_record(cls, record) -> "PhaseWork":
+        """Build from a measured :class:`~repro.qsmlib.stats.PhaseRecord`."""
+        return cls(
+            m_op=float(record.op_counts.max()) if record.op_counts.size else 0.0,
+            m_rw=float(record.max_m_rw),
+            kappa=float(record.kappa or 0),
+        )
+
+
+class QSMModel:
+    """QSM phase cost: ``max(m_op, g·m_rw, kappa)`` (§2)."""
+
+    def __init__(self, params: QSMParams) -> None:
+        self.params = params
+
+    def phase_cost(self, work: PhaseWork) -> float:
+        g = self.params.g
+        return max(work.m_op, g * work.m_rw, work.kappa)
+
+    def program_cost(self, phases: Iterable[PhaseWork]) -> float:
+        return sum(self.phase_cost(w) for w in phases)
+
+
+class SQSMModel:
+    """s-QSM phase cost: ``max(m_op, g·m_rw, g·kappa)`` (§2).
+
+    The symmetric variant charges the gap at the memory side too; the
+    paper presents its running times for the s-QSM.
+    """
+
+    def __init__(self, params: SQSMParams) -> None:
+        self.params = params
+
+    def phase_cost(self, work: PhaseWork) -> float:
+        g = self.params.g
+        return max(work.m_op, g * work.m_rw, g * work.kappa)
+
+    def program_cost(self, phases: Iterable[PhaseWork]) -> float:
+        return sum(self.phase_cost(w) for w in phases)
+
+
+class BSPModel:
+    """BSP superstep cost: ``w + g·h + L`` (§2.1).
+
+    The h-relation of a QSM phase is its ``m_rw`` (words in or out per
+    processor); hot-spot contention has no separate term in BSP.
+    """
+
+    def __init__(self, params: BSPParams) -> None:
+        self.params = params
+
+    def superstep_cost(self, work: PhaseWork) -> float:
+        return work.m_op + self.params.g * work.m_rw + self.params.L
+
+    def program_cost(self, phases: Iterable[PhaseWork]) -> float:
+        return sum(self.superstep_cost(w) for w in phases)
+
+
+class LogPModel:
+    """LogP cost of a bulk-synchronous phase.
+
+    Sending ``M`` messages costs the sender ``o + (M−1)·max(g, o) + o``
+    overhead/gap cycles with the last message landing ``l`` later; for a
+    phase where every processor sends its ``messages`` and then
+    synchronizes, the standard estimate is::
+
+        m_op + 2·o·M + (M−1)·max(g−o, 0) + l
+
+    (consecutive submissions are spaced by ``max(g, o)``; the receive
+    overhead of the last message cannot be hidden).
+    """
+
+    def __init__(self, params: LogPParams) -> None:
+        self.params = params
+
+    def phase_cost(self, work: PhaseWork) -> float:
+        prm = self.params
+        m = work.messages
+        if m <= 0:
+            return work.m_op
+        spacing = max(prm.g, prm.o)
+        send_time = prm.o + (m - 1) * spacing
+        return work.m_op + send_time + prm.l + prm.o
+
+    def program_cost(self, phases: Iterable[PhaseWork]) -> float:
+        return sum(self.phase_cost(w) for w in phases)
+
+
+def compare_models(
+    phases: Sequence[PhaseWork],
+    qsm: QSMParams,
+    sqsm: SQSMParams,
+    bsp: BSPParams,
+    logp: LogPParams,
+) -> dict:
+    """Evaluate one program under all four models (teaching/inspection)."""
+    return {
+        "qsm": QSMModel(qsm).program_cost(phases),
+        "s-qsm": SQSMModel(sqsm).program_cost(phases),
+        "bsp": BSPModel(bsp).program_cost(phases),
+        "logp": LogPModel(logp).program_cost(phases),
+    }

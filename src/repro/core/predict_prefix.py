@@ -1,0 +1,68 @@
+"""Prediction lines for the prefix-sums algorithm (Figure 1).
+
+The QSM analysis of the implemented algorithm predicts communication
+``g·(p−1)`` — one broadcast word to each peer, independent of ``n``.
+BSP adds one superstep's ``L``.  Neither accounts for per-message
+overhead or latency, which dominate here because the messages are tiny:
+this is the paper's example of a *large relative / small absolute*
+prediction error (§3.2 "Prefix").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.common import profile_scan_add
+from repro.machine.cpu import CPUModel
+from repro.qsmlib.costmodel import CommCostModel
+from repro.qsmlib.stats import RunResult
+
+
+@dataclass
+class PrefixPredictor:
+    """Analytic QSM/BSP predictions for the implemented prefix sums."""
+
+    p: int
+    costs: CommCostModel
+    cpu: CPUModel
+
+    #: The algorithm uses exactly one synchronization.
+    N_PHASES = 1
+
+    # -- communication ----------------------------------------------------
+    def qsm_comm(self, n: int) -> float:
+        """QSM estimate: g·(p−1), with g the effective put-word cost."""
+        return (self.p - 1) * self.costs.put_word_cycles
+
+    def bsp_comm(self, n: int) -> float:
+        """BSP estimate: QSM plus one superstep's L."""
+        return self.qsm_comm(n) + self.N_PHASES * self.costs.barrier_cycles(self.p)
+
+    # -- computation -------------------------------------------------------
+    def compute(self, n: int) -> float:
+        """Local-work estimate matching the program's charges."""
+        per_proc = -(-n // self.p)
+        phase1 = self.cpu.cycles(profile_scan_add(per_proc))
+        phase2 = self.cpu.cycles(profile_scan_add(self.p)) + self.cpu.cycles(
+            profile_scan_add(per_proc)
+        )
+        return phase1 + phase2
+
+    def qsm_total(self, n: int) -> float:
+        return self.compute(n) + self.qsm_comm(n)
+
+    def bsp_total(self, n: int) -> float:
+        return self.compute(n) + self.bsp_comm(n)
+
+    # -- sanity hook -------------------------------------------------------
+    def check_run(self, run: RunResult) -> None:
+        """Assert the measured run has the predicted communication shape."""
+        if run.n_phases != self.N_PHASES:
+            raise AssertionError(
+                f"prefix sums should synchronize once, measured {run.n_phases}"
+            )
+        if run.sum_max_put_words() != self.p - 1:
+            raise AssertionError(
+                f"prefix sums should put p-1 remote words, measured "
+                f"{run.sum_max_put_words()}"
+            )

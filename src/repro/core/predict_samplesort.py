@@ -1,0 +1,144 @@
+"""Prediction lines for sample sort (Figure 2).
+
+The paper's QSM analysis of the algorithm gives (per-word gap ``g``)::
+
+    4(p−1)·g·log n  +  3(p−1)·g  +  g·B·r  +  g·B
+
+sample broadcast, control traffic (counts + bucket totals), bucket
+gather (``B`` = largest bucket, ``r`` = its remote fraction), and the
+output write.  Our implementation computes output offsets so that a
+perfectly balanced bucket lands exactly on its owner's block — the
+output-write term is therefore *zero* in the best case and grows with
+the imbalance (bounded by ``p·(B − n/p)``), slightly sharper than the
+paper's blanket ``g·B``.  Three prediction lines:
+
+* :meth:`best_case` — ``B = n/p``, ``r = (p−1)/p``, aligned output;
+* :meth:`whp_bound` — Chernoff bounds on ``B`` and the misalignment,
+  holding for ≥ 90% of runs (union bound over the p buckets);
+* :meth:`estimate_from_run` — the observed skews plugged in, which is
+  by construction the generic QSM estimate of the measured run.
+
+BSP versions add ``5·L`` (five supersteps).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algorithms.common import (
+    log2ceil,
+    profile_copy,
+    profile_gather_scatter,
+    profile_partition,
+    profile_scan_add,
+    profile_sort,
+)
+from repro.algorithms.samplesort import SampleSortParams
+from repro.core.chernoff import chernoff_binomial_upper, oversampling_bucket_bound
+from repro.core.estimators import bsp_comm_estimate, qsm_comm_estimate
+from repro.machine.cpu import CPUModel
+from repro.qsmlib.costmodel import CommCostModel
+from repro.qsmlib.stats import RunResult
+
+
+@dataclass
+class SampleSortPredictor:
+    """Analytic QSM/BSP predictions for the implemented sample sort."""
+
+    p: int
+    costs: CommCostModel
+    cpu: CPUModel
+    params: SampleSortParams = SampleSortParams()
+    confidence: float = 0.9
+
+    N_PHASES = 5
+
+    # ------------------------------------------------------------------
+    # Core closed form
+    # ------------------------------------------------------------------
+    def qsm_comm(self, n: int, B: float, r: float, out_remote: float) -> float:
+        """QSM communication for given skews, in cycles.
+
+        ``B`` — largest bucket; ``r`` — largest remote fraction of a
+        bucket; ``out_remote`` — remote words of the final write.
+        """
+        p = self.p
+        s = self.params.samples_per_proc(n)
+        g_put = self.costs.put_word_cycles
+        g_get = self.costs.get_word_cycles
+        samples = s * (p - 1) * g_put  # phase 1 (the paper's 4(p−1)g·log n)
+        control = (2 * (p - 1) + (p - 1)) * g_put  # phases 2+3 (3(p−1)g)
+        gather = B * r * g_get  # phase 3 (g·B·r)
+        output = out_remote * g_put  # phase 4 (≤ g·B)
+        return samples + control + gather + output
+
+    def bsp_comm(self, n: int, B: float, r: float, out_remote: float) -> float:
+        return self.qsm_comm(n, B, r, out_remote) + self.N_PHASES * self.costs.barrier_cycles(
+            self.p
+        )
+
+    # ------------------------------------------------------------------
+    # The three load-balance scenarios (Figure 2's lines)
+    # ------------------------------------------------------------------
+    def best_case_skews(self, n: int) -> tuple:
+        """Perfect balance: B = n/p, r = (p−1)/p, aligned output."""
+        B = n / self.p
+        return B, (self.p - 1) / self.p, 0.0
+
+    def whp_skews(self, n: int) -> tuple:
+        """Chernoff bounds holding for ≥ `confidence` of runs.
+
+        The largest bucket is bounded by the over-sampling window
+        argument (:func:`~repro.core.chernoff.oversampling_bucket_bound`)
+        — a constant factor above n/p determined by the per-processor
+        sample count, matching the paper's observation that the WHP
+        line's *slope* differs from the best case's.
+        """
+        alpha = 1.0 - self.confidence
+        s = self.params.samples_per_proc(n)
+        B = oversampling_bucket_bound(n, self.p, s, alpha=alpha)
+        r = 1.0  # safe upper bound on the remote fraction
+        out_remote = min(B, self.p * max(0.0, B - n / self.p))
+        return float(B), r, out_remote
+
+    def qsm_best_case(self, n: int) -> float:
+        return self.qsm_comm(n, *self.best_case_skews(n))
+
+    def qsm_whp_bound(self, n: int) -> float:
+        return self.qsm_comm(n, *self.whp_skews(n))
+
+    def bsp_best_case(self, n: int) -> float:
+        return self.bsp_comm(n, *self.best_case_skews(n))
+
+    def bsp_whp_bound(self, n: int) -> float:
+        return self.bsp_comm(n, *self.whp_skews(n))
+
+    def qsm_estimate_from_run(self, run: RunResult) -> float:
+        """The observed-skew estimate (generic per-phase QSM estimate)."""
+        return qsm_comm_estimate(run, self.costs)
+
+    def bsp_estimate_from_run(self, run: RunResult) -> float:
+        return bsp_comm_estimate(run, self.costs)
+
+    # ------------------------------------------------------------------
+    # Computation estimate for total-time lines
+    # ------------------------------------------------------------------
+    def compute(self, n: int, B: float = None) -> float:
+        """Local-work estimate matching the program's charges."""
+        p = self.p
+        s = self.params.samples_per_proc(n)
+        m = -(-n // p)
+        if B is None:
+            B = n / p
+        cycles = 0.0
+        cycles += self.cpu.cycles(profile_gather_scatter(s, region=m))  # sampling
+        cycles += self.cpu.cycles(profile_sort(p * s))  # sample sort
+        cycles += self.cpu.cycles(profile_partition(m, p))  # bucket assignment
+        cycles += self.cpu.cycles(profile_gather_scatter(m, region=m))  # staging
+        cycles += 2 * self.cpu.cycles(profile_scan_add(p))  # offsets
+        cycles += self.cpu.cycles(profile_sort(int(B)))  # bucket sort
+        cycles += self.cpu.cycles(profile_copy(int(B)))  # output copy
+        return cycles
+
+    def qsm_total_best_case(self, n: int) -> float:
+        return self.compute(n) + self.qsm_best_case(n)

@@ -1,0 +1,21 @@
+"""Experiment harness: one module per table/figure of the paper.
+
+Every experiment exposes ``run(fast=False, seed=0) -> ExperimentResult``
+and is registered in :mod:`repro.experiments.registry`; the CLI
+(``python -m repro.experiments`` or the ``qsm-repro`` entry point)
+renders any of them as the fixed-width tables the paper's figures
+plot.  ``fast=True`` shrinks sweeps/repetitions for CI and the
+benchmark suite; the qualitative claims hold in both modes.
+"""
+
+from repro.experiments.base import ExperimentResult, mean_std, repeat_seeds
+from repro.experiments.registry import EXPERIMENTS, get_experiment, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "mean_std",
+    "repeat_seeds",
+    "EXPERIMENTS",
+    "get_experiment",
+    "run_experiment",
+]

@@ -1,0 +1,88 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    qsm-repro list
+    qsm-repro run fig2 [--fast] [--seed 7]
+    qsm-repro all [--fast]
+
+(or ``python -m repro.experiments.cli ...``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="qsm-repro",
+        description="Regenerate the tables and figures of the QSM evaluation paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment")
+    run_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run_p.add_argument("--fast", action="store_true", help="smaller sweeps/fewer reps")
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--json", metavar="PATH", help="also dump the series/rows as JSON")
+
+    all_p = sub.add_parser("all", help="run every experiment in order")
+    all_p.add_argument("--fast", action="store_true")
+    all_p.add_argument("--seed", type=int, default=0)
+    all_p.add_argument("--json", metavar="PATH", help="also dump all results as one JSON file")
+
+    rep_p = sub.add_parser("report", help="run experiments and write a markdown report")
+    rep_p.add_argument("output", help="path of the markdown file to write")
+    rep_p.add_argument("--fast", action="store_true")
+    rep_p.add_argument("--seed", type=int, default=0)
+    rep_p.add_argument(
+        "--only", nargs="+", choices=sorted(EXPERIMENTS), help="subset of experiments"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in sorted(EXPERIMENTS):
+            print(exp_id)
+        return 0
+
+    if args.command == "report":
+        from repro.experiments.report import generate_report
+
+        generate_report(args.output, experiment_ids=args.only, fast=args.fast, seed=args.seed)
+        print(f"[wrote markdown report to {args.output}]")
+        return 0
+
+    ids = sorted(EXPERIMENTS) if args.command == "all" else [args.experiment]
+    results = []
+    for exp_id in ids:
+        t0 = time.time()
+        result = run_experiment(exp_id, fast=args.fast, seed=args.seed)
+        elapsed = time.time() - t0
+        results.append(result)
+        print(result.render())
+        print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
+
+    if getattr(args, "json", None):
+        import json
+
+        payload = [r.to_json_dict() for r in results]
+        with open(args.json, "w") as fh:
+            json.dump(payload[0] if len(payload) == 1 else payload, fh, indent=2)
+        print(f"[wrote JSON to {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

@@ -1,0 +1,73 @@
+"""Figure 1: measured vs. predicted performance for prefix sums.
+
+Plots (as a table): total running time, measured communication time,
+and the QSM / BSP communication predictions, against n at p = 16.
+
+Expected shape (§3.2 "Prefix"): both predictions are *constant* in n
+and far below the measured communication time — the messages are tiny,
+so per-message overhead, latency, plan distribution and the barrier
+dominate; QSM sits below BSP because it also omits L.  The relative
+error is large but the absolute error is small compared to total
+running time, and shrinks in relative-to-total terms as n grows.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.prefix import run_prefix_sums
+from repro.core.predict_prefix import PrefixPredictor
+from repro.experiments.base import ExperimentResult, mean_std, render_series, repeat_seeds, reps_for
+from repro.qsmlib import QSMMachine, RunConfig
+
+FULL_NS = [4096, 16384, 65536, 262144, 1048576]
+FAST_NS = [4096, 32768, 262144]
+
+
+def run(fast: bool = False, seed: int = 0, ns: Optional[List[int]] = None) -> ExperimentResult:
+    ns = ns or (FAST_NS if fast else FULL_NS)
+    reps = reps_for(fast)
+    config = RunConfig(seed=seed, check_semantics=False)
+    qm = QSMMachine(config)
+    predictor = PrefixPredictor(config.machine.p, qm.cost_model(), qm.machine.cpus[0])
+
+    total_mean, comm_mean, comm_rel_std = [], [], []
+    qsm_pred, bsp_pred = [], []
+    for n in ns:
+        def one(run_seed: int, n=n) -> float:
+            rng = np.random.default_rng(run_seed)
+            out = run_prefix_sums(
+                rng.integers(0, 1000, size=n),
+                RunConfig(seed=run_seed, check_semantics=False),
+            )
+            one.last_total = out.run.total_cycles  # type: ignore[attr-defined]
+            return out.run.comm_cycles
+
+        totals = []
+        comms = []
+        for r in range(reps):
+            comms.append(one(seed + 1000 * r + 1))
+            totals.append(one.last_total)  # type: ignore[attr-defined]
+        cm, cs = mean_std(comms)
+        tm, _ = mean_std(totals)
+        total_mean.append(round(tm))
+        comm_mean.append(round(cm))
+        comm_rel_std.append(round(cs / cm, 4) if cm else 0.0)
+        qsm_pred.append(round(predictor.qsm_comm(n)))
+        bsp_pred.append(round(predictor.bsp_comm(n)))
+
+    return render_series(
+        "fig1",
+        "Prefix sums: measured vs QSM/BSP predicted communication (cycles, p=16)",
+        "n",
+        ns,
+        {
+            "total_measured": total_mean,
+            "comm_measured": comm_mean,
+            "comm_rel_std": comm_rel_std,
+            "comm_qsm_pred": qsm_pred,
+            "comm_bsp_pred": bsp_pred,
+        },
+    )

@@ -1,0 +1,75 @@
+"""Figure 2: measured vs. predicted performance for sample sort.
+
+Five lines against n at p = 16: measured communication time (mean of
+10 runs), the *Best case* and *WHP bound* closed forms, the *QSM
+estimate* computed from each run's observed load-balance skews, and
+the *BSP estimate* (QSM estimate + 5L).
+
+Expected shape (§3.2 "Sample Sort"): QSM underestimates by a roughly
+constant amount (the o/l/plan/barrier costs it ignores), so accuracy
+improves with n — within 10% of measured communication for n ≳ 125,000
+(8000 elements per processor); the Best-case and WHP lines bound the
+measurement over nearly the whole range.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.algorithms.samplesort import run_sample_sort
+from repro.core.predict_samplesort import SampleSortPredictor
+from repro.experiments.base import ExperimentResult, mean_std, render_series, reps_for
+from repro.qsmlib import QSMMachine, RunConfig
+
+FULL_NS = [4096, 8192, 16384, 32768, 65536, 125000, 250000, 500000]
+FAST_NS = [8192, 65536, 250000]
+
+
+def run(fast: bool = False, seed: int = 0, ns: Optional[List[int]] = None) -> ExperimentResult:
+    ns = ns or (FAST_NS if fast else FULL_NS)
+    reps = reps_for(fast)
+    config = RunConfig(seed=seed, check_semantics=False)
+    qm = QSMMachine(config)
+    predictor = SampleSortPredictor(config.machine.p, qm.cost_model(), qm.machine.cpus[0])
+
+    comm_mean, comm_rel_std, qsm_est, bsp_est = [], [], [], []
+    best_case, whp_bound, total_mean = [], [], []
+    for n in ns:
+        comms, totals, ests, bsps = [], [], [], []
+        for r in range(reps):
+            run_seed = seed + 1000 * r + 1
+            rng = np.random.default_rng(run_seed)
+            out = run_sample_sort(
+                rng.integers(0, 2**62, size=n),
+                RunConfig(seed=run_seed, check_semantics=False),
+            )
+            comms.append(out.run.comm_cycles)
+            totals.append(out.run.total_cycles)
+            ests.append(predictor.qsm_estimate_from_run(out.run))
+            bsps.append(predictor.bsp_estimate_from_run(out.run))
+        cm, cs = mean_std(comms)
+        comm_mean.append(round(cm))
+        comm_rel_std.append(round(cs / cm, 4))
+        total_mean.append(round(mean_std(totals)[0]))
+        qsm_est.append(round(mean_std(ests)[0]))
+        bsp_est.append(round(mean_std(bsps)[0]))
+        best_case.append(round(predictor.qsm_best_case(n)))
+        whp_bound.append(round(predictor.qsm_whp_bound(n)))
+
+    return render_series(
+        "fig2",
+        "Sample sort: measured vs predicted communication (cycles, p=16)",
+        "n",
+        ns,
+        {
+            "total_measured": total_mean,
+            "comm_measured": comm_mean,
+            "comm_rel_std": comm_rel_std,
+            "best_case": best_case,
+            "whp_bound": whp_bound,
+            "qsm_estimate": qsm_est,
+            "bsp_estimate": bsp_est,
+        },
+    )

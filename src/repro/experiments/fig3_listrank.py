@@ -1,0 +1,68 @@
+"""Figure 3: measured vs. predicted performance for list ranking.
+
+Same five lines as Figure 2, for the irregular-communication workload.
+
+Expected shape (§3.2 "List Ranking"): prediction accuracy improves
+with n; the BSP estimate comes within ~15% of measured communication
+for n ≳ 40,000 and the QSM estimate for n ≳ 60,000; Best-case and WHP
+bound bracket the measurement.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.algorithms.listrank import make_random_list, run_list_ranking
+from repro.core.predict_listrank import ListRankPredictor
+from repro.experiments.base import ExperimentResult, mean_std, render_series, reps_for
+from repro.qsmlib import QSMMachine, RunConfig
+
+FULL_NS = [8192, 20000, 40000, 60000, 120000, 256000]
+FAST_NS = [8192, 40000, 120000]
+
+
+def run(fast: bool = False, seed: int = 0, ns: Optional[List[int]] = None) -> ExperimentResult:
+    ns = ns or (FAST_NS if fast else FULL_NS)
+    reps = reps_for(fast)
+    config = RunConfig(seed=seed, check_semantics=False)
+    qm = QSMMachine(config)
+    predictor = ListRankPredictor(config.machine.p, qm.cost_model(), qm.machine.cpus[0])
+
+    comm_mean, comm_rel_std, qsm_est, bsp_est = [], [], [], []
+    best_case, whp_bound, total_mean = [], [], []
+    for n in ns:
+        comms, totals, ests, bsps = [], [], [], []
+        for r in range(reps):
+            run_seed = seed + 1000 * r + 1
+            succ = make_random_list(n, seed=run_seed)
+            out = run_list_ranking(
+                succ, RunConfig(seed=run_seed, check_semantics=False)
+            )
+            comms.append(out.run.comm_cycles)
+            totals.append(out.run.total_cycles)
+            ests.append(predictor.qsm_estimate_from_run(out.run))
+            bsps.append(predictor.bsp_estimate_from_run(out.run))
+        cm, cs = mean_std(comms)
+        comm_mean.append(round(cm))
+        comm_rel_std.append(round(cs / cm, 4))
+        total_mean.append(round(mean_std(totals)[0]))
+        qsm_est.append(round(mean_std(ests)[0]))
+        bsp_est.append(round(mean_std(bsps)[0]))
+        best_case.append(round(predictor.qsm_best_case(n)))
+        whp_bound.append(round(predictor.qsm_whp_bound(n)))
+
+    return render_series(
+        "fig3",
+        "List ranking: measured vs predicted communication (cycles, p=16)",
+        "n",
+        ns,
+        {
+            "total_measured": total_mean,
+            "comm_measured": comm_mean,
+            "comm_rel_std": comm_rel_std,
+            "best_case": best_case,
+            "whp_bound": whp_bound,
+            "qsm_estimate": qsm_est,
+            "bsp_estimate": bsp_est,
+        },
+    )

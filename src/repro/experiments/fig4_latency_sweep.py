@@ -1,0 +1,49 @@
+"""Figure 4: sample-sort communication vs. QSM predictions as l varies.
+
+One measured comm-vs-n column per hardware latency, next to the QSM
+Best-case and WHP-bound lines, which do not depend on l (QSM has no
+latency parameter — "QSM's predictions ... are thus constant as l is
+varied").
+
+Expected shape: larger l lifts the measured curves by a constant
+per-phase amount, pushing the point where they fall inside the
+prediction band to larger n (quantified in Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.base import ExperimentResult, render_series, reps_for
+from repro.experiments.sweeps import (
+    FAST_LS,
+    FAST_SWEEP_NS,
+    FULL_LS,
+    FULL_SWEEP_NS,
+    latency_sweeps,
+)
+
+
+def run(fast: bool = False, seed: int = 0, ls: Optional[List[float]] = None) -> ExperimentResult:
+    ls = ls or (FAST_LS if fast else FULL_LS)
+    ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
+    reps = reps_for(fast)
+    sweeps = latency_sweeps(ls, ns, reps, seed=seed)
+
+    any_sweep = sweeps[ls[0]]
+    series = {
+        "best_case": [round(v) for v in any_sweep.best_case],
+        "whp_bound": [round(v) for v in any_sweep.whp_bound],
+    }
+    for l in ls:
+        series[f"measured_l={int(l)}"] = [round(v) for v in sweeps[l].measured]
+
+    result = render_series(
+        "fig4",
+        "Sample sort: measured communication vs QSM predictions as latency l varies",
+        "n",
+        ns,
+        series,
+    )
+    result.data["sweeps"] = sweeps
+    return result

@@ -1,0 +1,73 @@
+"""Figure 5: problem size needed for band entry, as latency l varies.
+
+For each hardware latency, the problem size at which measured
+communication falls inside the [Best-case, WHP-bound] range of the QSM
+analysis (found by interpolating the Figure 4 curves).
+
+Expected shape: the required problem size grows **linearly** in l —
+the relationship §3.3 extrapolates from in Table 4.  The rendered
+table includes the least-squares slope and the linear-fit R².
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, render_series, reps_for
+from repro.experiments.sweeps import (
+    FAST_LS,
+    FAST_SWEEP_NS,
+    FULL_LS,
+    FULL_SWEEP_NS,
+    SampleSortSweep,
+    latency_sweeps,
+)
+
+
+def crossovers_from_sweeps(sweeps: Dict[float, SampleSortSweep]) -> Dict[float, float]:
+    """Band-entry problem size per swept parameter value."""
+    out = {}
+    for key, sweep in sweeps.items():
+        n_star = sweep.crossover_n()
+        if n_star is None:
+            raise RuntimeError(
+                f"measured communication never entered the prediction band "
+                f"for parameter value {key}; extend the n grid"
+            )
+        out[key] = n_star
+    return out
+
+
+def linear_fit(xs: List[float], ys: List[float]) -> tuple:
+    """Least-squares slope/intercept/R² of y(x)."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    pred = slope * x + intercept
+    ss_res = float(((y - pred) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r2 = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return float(slope), float(intercept), r2
+
+
+def run(fast: bool = False, seed: int = 0, ls: Optional[List[float]] = None) -> ExperimentResult:
+    ls = ls or (FAST_LS if fast else FULL_LS)
+    ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
+    sweeps = latency_sweeps(ls, ns, reps_for(fast), seed=seed)
+    crossovers = crossovers_from_sweeps(sweeps)
+    xs = sorted(crossovers)
+    ys = [crossovers[x] for x in xs]
+    slope, intercept, r2 = linear_fit(xs, ys)
+
+    result = render_series(
+        "fig5",
+        f"Problem size for band entry vs latency l "
+        f"(fit: n* = {slope:.2f}·l + {intercept:.0f}, R²={r2:.3f})",
+        "latency_l",
+        xs,
+        {"crossover_n": [round(y) for y in ys]},
+    )
+    result.data.update({"slope": slope, "intercept": intercept, "r2": r2, "sweeps": sweeps})
+    return result

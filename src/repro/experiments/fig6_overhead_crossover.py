@@ -1,0 +1,43 @@
+"""Figure 6: problem size needed for band entry, as overhead o varies.
+
+The Figure 5 experiment with the per-message overhead ``o`` swept
+instead of the latency.  Expected shape: again linear growth —
+together with Figure 5 this is the evidence that QSM's omission of
+``l`` and ``o`` costs only a (linearly growing but modest) minimum
+problem size.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.experiments.base import ExperimentResult, render_series, reps_for
+from repro.experiments.fig5_latency_crossover import crossovers_from_sweeps, linear_fit
+from repro.experiments.sweeps import (
+    FAST_OS,
+    FAST_SWEEP_NS,
+    FULL_OS,
+    FULL_SWEEP_NS,
+    overhead_sweeps,
+)
+
+
+def run(fast: bool = False, seed: int = 0, os_: Optional[List[float]] = None) -> ExperimentResult:
+    os_ = os_ or (FAST_OS if fast else FULL_OS)
+    ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
+    sweeps = overhead_sweeps(os_, ns, reps_for(fast), seed=seed)
+    crossovers = crossovers_from_sweeps(sweeps)
+    xs = sorted(crossovers)
+    ys = [crossovers[x] for x in xs]
+    slope, intercept, r2 = linear_fit(xs, ys)
+
+    result = render_series(
+        "fig6",
+        f"Problem size for band entry vs per-message overhead o "
+        f"(fit: n* = {slope:.2f}·o + {intercept:.0f}, R²={r2:.3f})",
+        "overhead_o",
+        xs,
+        {"crossover_n": [round(y) for y in ys]},
+    )
+    result.data.update({"slope": slope, "intercept": intercept, "r2": r2, "sweeps": sweeps})
+    return result

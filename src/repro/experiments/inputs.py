@@ -1,0 +1,80 @@
+"""Workload input generators.
+
+The paper's experiments use uniform random keys and uniformly random
+lists; these generators add the distributions a robustness study needs
+(duplicates, skew, adversarial orders) while keeping everything
+seeded/reproducible.  Used by the experiment harness and the
+robustness test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.sequential import random_list_successors
+from repro.util.validation import check_positive, require
+
+
+def uniform_keys(n: int, seed: int = 0, bits: int = 62) -> np.ndarray:
+    """n i.i.d. uniform keys in [0, 2^bits) — the paper's sort input."""
+    check_positive("n", n)
+    require(1 <= bits <= 62, f"bits must be in 1..62, got {bits}")
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 1 << bits, size=n)
+
+
+def duplicate_heavy_keys(n: int, distinct: int = 8, seed: int = 0) -> np.ndarray:
+    """n keys drawn from a tiny alphabet — every bucket boundary ties."""
+    check_positive("n", n)
+    check_positive("distinct", distinct)
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, distinct, size=n)
+
+
+def zipf_keys(n: int, a: float = 1.5, seed: int = 0) -> np.ndarray:
+    """n Zipf(a)-distributed keys: heavy skew toward small values.
+
+    Stresses sample sort's pivot selection — a few values dominate, so
+    buckets around them balloon unless the over-sampling resolves ties.
+    """
+    check_positive("n", n)
+    require(a > 1.0, f"zipf exponent must exceed 1, got {a}")
+    rng = np.random.default_rng(seed)
+    return rng.zipf(a, size=n).astype(np.int64)
+
+
+def sorted_runs_keys(n: int, runs: int = 16, seed: int = 0) -> np.ndarray:
+    """Concatenated ascending runs — nearly-sorted realistic input."""
+    check_positive("n", n)
+    check_positive("runs", runs)
+    rng = np.random.default_rng(seed)
+    pieces = []
+    bounds = np.linspace(0, n, runs + 1).astype(int)
+    for lo, hi in zip(bounds[:-1], bounds[1:]):
+        pieces.append(np.sort(rng.integers(0, 1 << 40, size=hi - lo)))
+    return np.concatenate(pieces) if pieces else np.zeros(0, dtype=np.int64)
+
+
+def random_list(n: int, seed: int = 0) -> np.ndarray:
+    """Uniformly random linked list (the paper's list-rank input)."""
+    return random_list_successors(n, np.random.default_rng(seed))
+
+
+def sequential_list(n: int) -> np.ndarray:
+    """The identity-order chain 0→1→…→n−1 — the layout-local best case
+    for list ranking's neighbour traffic."""
+    check_positive("n", n)
+    succ = np.arange(1, n + 1, dtype=np.int64)
+    succ[-1] = -1
+    return succ
+
+
+def strided_list(n: int, stride: int = 7) -> np.ndarray:
+    """A list visiting elements with a fixed coprime stride — every
+    successor lives a long way from its element, defeating locality."""
+    check_positive("n", n)
+    require(np.gcd(stride, n) == 1, f"stride {stride} must be coprime with n={n}")
+    order = (np.arange(n, dtype=np.int64) * stride) % n
+    succ = np.full(n, -1, dtype=np.int64)
+    succ[order[:-1]] = order[1:]
+    return succ

@@ -1,0 +1,47 @@
+"""Registry mapping experiment ids to runners."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.experiments import (
+    fig1_prefix,
+    fig2_samplesort,
+    fig3_listrank,
+    fig4_latency_sweep,
+    fig5_latency_crossover,
+    fig6_overhead_crossover,
+    fig7_membank,
+    table1_contract,
+    table2_node,
+    table3_observed,
+    table4_extrapolation,
+)
+from repro.experiments.base import ExperimentResult
+
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1_contract.run,
+    "table2": table2_node.run,
+    "table3": table3_observed.run,
+    "table4": table4_extrapolation.run,
+    "fig1": fig1_prefix.run,
+    "fig2": fig2_samplesort.run,
+    "fig3": fig3_listrank.run,
+    "fig4": fig4_latency_sweep.run,
+    "fig5": fig5_latency_crossover.run,
+    "fig6": fig6_overhead_crossover.run,
+    "fig7": fig7_membank.run,
+}
+
+
+def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {exp_id!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        ) from None
+
+
+def run_experiment(exp_id: str, fast: bool = False, seed: int = 0) -> ExperimentResult:
+    return get_experiment(exp_id)(fast=fast, seed=seed)

@@ -1,0 +1,117 @@
+"""Shared sample-sort sweep machinery for Figures 4–6 and Table 4.
+
+Each sweep point runs the sample sort benchmark on a machine whose
+hardware latency ``l`` or per-message overhead ``o`` is overridden,
+keeping everything else at the Table 2/3 defaults — exactly the §3.3
+methodology ("we vary l, the hardware latency, over a range of values
+and compare the measured performance against QSM's predictions").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.algorithms.samplesort import run_sample_sort
+from repro.analysis.crossover import band_crossover
+from repro.core.predict_samplesort import SampleSortPredictor
+from repro.experiments.base import mean_std
+from repro.machine.config import MachineConfig
+from repro.qsmlib import QSMMachine, RunConfig
+
+FULL_SWEEP_NS = [4096, 8192, 16384, 32768, 65536, 125000, 250000, 500000]
+FAST_SWEEP_NS = [4096, 16384, 65536, 250000]
+
+#: Hardware latencies swept in Figure 4/5 (default is 1600).
+FULL_LS = [400.0, 1600.0, 6400.0, 25600.0, 102400.0]
+FAST_LS = [400.0, 6400.0, 102400.0]
+
+#: Per-message overheads swept in Figure 6 (default is 400).
+FULL_OS = [100.0, 400.0, 1600.0, 6400.0, 25600.0]
+FAST_OS = [100.0, 1600.0, 25600.0]
+
+
+@dataclass
+class SweepPoint:
+    """Aggregated measurements for one (machine, n) grid point."""
+
+    n: int
+    comm_mean: float
+    comm_std: float
+
+
+@dataclass
+class SampleSortSweep:
+    """Measured comm-vs-n curve for one machine configuration, plus the
+    n-independent-of-measurement prediction lines."""
+
+    machine: MachineConfig
+    points: List[SweepPoint]
+    best_case: List[float]
+    whp_bound: List[float]
+
+    @property
+    def ns(self) -> List[int]:
+        return [pt.n for pt in self.points]
+
+    @property
+    def measured(self) -> List[float]:
+        return [pt.comm_mean for pt in self.points]
+
+    def crossover_n(self) -> Optional[float]:
+        """Problem size where measured falls inside [best case, WHP]."""
+        return band_crossover(self.ns, self.measured, self.whp_bound, self.best_case)
+
+
+def run_samplesort_sweep(
+    machine: MachineConfig,
+    ns: Sequence[int],
+    reps: int,
+    seed: int = 0,
+) -> SampleSortSweep:
+    """Measure sample-sort communication over the n grid on *machine*."""
+    probe = QSMMachine(RunConfig(machine=machine, seed=seed))
+    predictor = SampleSortPredictor(machine.p, probe.cost_model(), probe.machine.cpus[0])
+
+    points: List[SweepPoint] = []
+    best_case: List[float] = []
+    whp_bound: List[float] = []
+    for n in ns:
+        comms = []
+        for r in range(reps):
+            run_seed = seed + 1000 * r + 1
+            rng = np.random.default_rng(run_seed)
+            out = run_sample_sort(
+                rng.integers(0, 2**62, size=n),
+                RunConfig(machine=machine, seed=run_seed, check_semantics=False),
+            )
+            comms.append(out.run.comm_cycles)
+        cm, cs = mean_std(comms)
+        points.append(SweepPoint(n=n, comm_mean=cm, comm_std=cs))
+        best_case.append(predictor.qsm_best_case(n))
+        whp_bound.append(predictor.qsm_whp_bound(n))
+    return SampleSortSweep(machine=machine, points=points, best_case=best_case, whp_bound=whp_bound)
+
+
+def latency_sweeps(
+    ls: Sequence[float], ns: Sequence[int], reps: int, seed: int = 0
+) -> Dict[float, SampleSortSweep]:
+    """One sweep per hardware latency value (Figures 4 and 5)."""
+    base = MachineConfig()
+    return {
+        l: run_samplesort_sweep(base.with_network(latency_cycles=l), ns, reps, seed=seed)
+        for l in ls
+    }
+
+
+def overhead_sweeps(
+    os_: Sequence[float], ns: Sequence[int], reps: int, seed: int = 0
+) -> Dict[float, SampleSortSweep]:
+    """One sweep per per-message overhead value (Figure 6)."""
+    base = MachineConfig()
+    return {
+        o: run_samplesort_sweep(base.with_network(overhead_cycles=o), ns, reps, seed=seed)
+        for o in os_
+    }

@@ -1,0 +1,29 @@
+"""Table 2: per-node architectural parameters, rendered from the live
+:class:`~repro.machine.config.NodeConfig` defaults."""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, render_table
+from repro.machine.config import NodeConfig
+
+
+def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+    node = NodeConfig()
+    rows = [
+        ["Functional Units", f"{node.int_units} int / {node.fp_units} FPU / {node.ls_units} load-store"],
+        ["Functional Unit Latency", f"{node.fu_latency:g} cycle"],
+        ["Max. Instructions Issued per Cycle", str(node.issue_width)],
+        ["L1 Cache Size", f"{node.l1.size_bytes // 1024}KB {node.l1.associativity}-way"],
+        ["L1 Hit Time", f"{node.l1.hit_cycles:g} cycle"],
+        ["L2 Cache Size", f"{node.l2.size_bytes // 1024}KB {node.l2.associativity}-way"],
+        ["L2 Hit Time", f"{node.l2.hit_cycles:g} cycles"],
+        ["L2 Miss Time", f"{node.l2.hit_cycles:g} + {node.l2_miss_extra_cycles:g} cycles"],
+        ["Branch Mispredict Rate / Penalty", f"{node.branch_mispredict_rate:.0%} / {node.branch_mispredict_penalty:g} cycles"],
+        ["Clock frequency", f"{node.clock_hz / 1e6:.0f} MHz"],
+    ]
+    return render_table(
+        "table2",
+        "Architectural parameters for each node (cost-model configuration)",
+        ["parameter", "setting"],
+        rows,
+    )

@@ -1,0 +1,123 @@
+"""Table 3: raw hardware vs. observed (HW + SW) network performance.
+
+Three DES microbenchmarks on the default simulated machine:
+
+* **put gap** — every processor streams a block of words into its
+  neighbour's memory; observed cycles/byte of communication time;
+* **get gap** — every processor fetches a block from its neighbour;
+* **barrier** — the bare software tree barrier (no data phase).
+
+Paper reference values (their Table 3): put 35 cycles/byte, get 287
+cycles/byte, 16-processor barrier 25500 cycles; hardware settings
+g = 3 cycles/byte, o = 400, l = 1600.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.base import ExperimentResult, render_table
+from repro.machine.cluster import Machine
+from repro.machine.config import MachineConfig
+from repro.msg.mp import make_endpoints
+from repro.qsmlib import QSMMachine, RunConfig, SoftwareConfig
+from repro.qsmlib.runtime import SyncEngine
+
+PAPER_PUT_CPB = 35.0
+PAPER_GET_CPB = 287.0
+PAPER_BARRIER_16 = 25500.0
+
+FULL_WORDS = 16384
+FAST_WORDS = 2048
+
+
+def _neighbour_put_program(ctx, A, words):
+    base = A.local_offset((ctx.pid + 1) % ctx.p)
+    ctx.put_range(A, base, np.arange(words, dtype=np.int64))
+    yield ctx.sync()
+
+
+def _neighbour_get_program(ctx, A, words):
+    base = A.local_offset((ctx.pid + 1) % ctx.p)
+    ctx.get_range(A, base, words)
+    yield ctx.sync()
+
+
+def measure_put_gap(words: int, config: RunConfig = None) -> float:
+    """Observed cycles/byte for bulk neighbour puts through the library."""
+    config = config or RunConfig(check_semantics=False)
+    qm = QSMMachine(config)
+    per_block = max(words, 1)
+    A = qm.allocate("t3.A", per_block * qm.p)
+    run = qm.run(_neighbour_put_program, A=A, words=per_block)
+    nbytes = per_block * config.software.word_bytes
+    return run.comm_cycles / nbytes
+
+
+def measure_get_gap(words: int, config: RunConfig = None) -> float:
+    """Observed cycles/byte for bulk neighbour gets through the library."""
+    config = config or RunConfig(check_semantics=False)
+    qm = QSMMachine(config)
+    per_block = max(words, 1)
+    A = qm.allocate("t3.A", per_block * qm.p)
+    run = qm.run(_neighbour_get_program, A=A, words=per_block)
+    nbytes = per_block * config.software.word_bytes
+    return run.comm_cycles / nbytes
+
+
+def measure_barrier(p: int = 16, software: SoftwareConfig = None) -> float:
+    """DES-measured bare tree barrier for *p* processors."""
+    software = software or SoftwareConfig()
+    machine = Machine(MachineConfig(p=p))
+    endpoints = make_endpoints(machine.network)
+    engine = SyncEngine(machine, endpoints, software)
+
+    def node(pid):
+        yield from engine._barrier(endpoints[pid], p, ("t3bar", 0))
+
+    procs = [machine.sim.process(node(pid)) for pid in range(p)]
+    machine.sim.run()
+    for pr in procs:
+        pr.value
+    return machine.sim.now
+
+
+def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+    words = FAST_WORDS if fast else FULL_WORDS
+    config = RunConfig(seed=seed, check_semantics=False)
+    net = config.machine.network
+
+    put_cpb = measure_put_gap(words, config)
+    get_cpb = measure_get_gap(words, config)
+    barrier = measure_barrier(config.machine.p, config.software)
+
+    rows = [
+        [
+            "Gap g (cycles/byte, put)",
+            net.gap_cycles_per_byte,
+            round(put_cpb, 1),
+            PAPER_PUT_CPB,
+        ],
+        [
+            "Gap g (cycles/byte, get)",
+            net.gap_cycles_per_byte,
+            round(get_cpb, 1),
+            PAPER_GET_CPB,
+        ],
+        ["Per-message overhead o (cycles)", net.overhead_cycles, "N/A", 400],
+        ["Latency l (cycles)", net.latency_cycles, "N/A", 1600],
+        [
+            f"Barrier L (cycles, {config.machine.p} processors)",
+            "N/A",
+            round(barrier),
+            PAPER_BARRIER_16,
+        ],
+    ]
+    result = render_table(
+        "table3",
+        "Hardware settings vs observed performance through the library",
+        ["parameter", "hardware", "observed (HW+SW)", "paper"],
+        rows,
+    )
+    result.data.update({"put_cpb": put_cpb, "get_cpb": get_cpb, "barrier": barrier})
+    return result

@@ -1,0 +1,59 @@
+"""Table 4: extrapolated accuracy thresholds for six architectures.
+
+Runs the Figure 5 (latency) and Figure 6 (overhead) sweeps, fits the
+affine threshold model of :mod:`repro.analysis.extrapolate`, and
+evaluates it at each published machine's ``(l, o, g)``.  The paper's
+own n_min/p column is shown alongside; like the paper's parenthesised
+entries, cross-machine numbers carry an uncalibrated software factor
+``k``, so agreement in *ordering and order of magnitude* is the
+success criterion.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.extrapolate import fit_nmin_model, table4_rows
+from repro.experiments.base import ExperimentResult, render_table, reps_for
+from repro.experiments.fig5_latency_crossover import crossovers_from_sweeps
+from repro.experiments.sweeps import (
+    FAST_LS,
+    FAST_OS,
+    FAST_SWEEP_NS,
+    FULL_LS,
+    FULL_OS,
+    FULL_SWEEP_NS,
+    latency_sweeps,
+    overhead_sweeps,
+)
+from repro.machine.config import MachineConfig
+
+
+def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+    ls = FAST_LS if fast else FULL_LS
+    os_ = FAST_OS if fast else FULL_OS
+    ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
+    reps = reps_for(fast)
+
+    l_cross = crossovers_from_sweeps(latency_sweeps(ls, ns, reps, seed=seed))
+    o_cross = crossovers_from_sweeps(overhead_sweeps(os_, ns, reps, seed=seed))
+
+    default = MachineConfig()
+    p = default.p
+    model = fit_nmin_model(
+        sorted(l_cross),
+        [l_cross[l] / p for l in sorted(l_cross)],
+        sorted(o_cross),
+        [o_cross[o] / p for o in sorted(o_cross)],
+        default_l=default.network.latency_cycles,
+        default_o=default.network.overhead_cycles,
+        default_g=default.network.gap_cycles_per_byte,
+    )
+
+    rows = table4_rows(model)
+    result = render_table(
+        "table4",
+        "Extrapolated n_min/p for QSM accuracy on published architectures",
+        ["architecture", "p", "l", "o", "g", "nmin/p (ours)", "nmin/p (paper, xk)"],
+        rows,
+    )
+    result.data.update({"model": model, "l_crossovers": l_cross, "o_crossovers": o_cross})
+    return result

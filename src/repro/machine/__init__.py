@@ -1,0 +1,52 @@
+"""Simulated multiprocessor: node cost model + parametric network.
+
+This package is the stand-in for the paper's *Armadillo* simulator
+(§3.1.2).  It provides:
+
+* :mod:`repro.machine.config` — Table 2 node parameters, Table 3
+  network parameters, and the Table 4 architecture presets;
+* :mod:`repro.machine.cache` — two-level cache timing (analytic model
+  plus a behavioural set-associative simulator used to validate it);
+* :mod:`repro.machine.cpu` — a superscalar operation-profile cost model
+  (issue width, functional-unit throughput, branch and memory stalls);
+* :mod:`repro.machine.network` — NICs and wires with the three
+  parameters the paper sweeps: gap ``g`` (cycles/byte), per-message
+  overhead ``o``, and wire latency ``l``; no network contention,
+  matching Armadillo;
+* :mod:`repro.machine.cluster` — a ready-to-run machine: ``p`` nodes,
+  each with a CPU model, attached to one network inside one simulator.
+"""
+
+from repro.machine.config import (
+    ArchPreset,
+    CacheConfig,
+    MachineConfig,
+    NetworkConfig,
+    NodeConfig,
+    TABLE4_PRESETS,
+    default_machine,
+)
+from repro.machine.cache import AnalyticCache, CacheSim, MemoryAccess, RandomAccess, SequentialAccess
+from repro.machine.cpu import CPUModel, OpProfile
+from repro.machine.network import Message, Network
+from repro.machine.cluster import Machine
+
+__all__ = [
+    "ArchPreset",
+    "CacheConfig",
+    "MachineConfig",
+    "NetworkConfig",
+    "NodeConfig",
+    "TABLE4_PRESETS",
+    "default_machine",
+    "AnalyticCache",
+    "CacheSim",
+    "MemoryAccess",
+    "RandomAccess",
+    "SequentialAccess",
+    "CPUModel",
+    "OpProfile",
+    "Message",
+    "Network",
+    "Machine",
+]

@@ -1,0 +1,38 @@
+"""Machine assembly: one simulator, p nodes, one network.
+
+A :class:`Machine` is created fresh for each simulated run (the
+simulator clock and statistics start at zero).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.machine.config import MachineConfig
+from repro.machine.cpu import CPUModel
+from repro.machine.network import Network
+from repro.sim import Simulator
+
+
+class Machine:
+    """A ready-to-run simulated multiprocessor."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.sim = Simulator()
+        self.network = Network(self.sim, config.network, config.p)
+        self.cpus: List[CPUModel] = [CPUModel(config.node) for _ in range(config.p)]
+
+    @property
+    def p(self) -> int:
+        return self.config.p
+
+    def cycles_to_us(self, cycles: float) -> float:
+        return cycles / self.config.node.clock_hz * 1e6
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        net = self.config.network
+        return (
+            f"<Machine p={self.p} g={net.gap_cycles_per_byte}c/B "
+            f"o={net.overhead_cycles} l={net.latency_cycles}>"
+        )

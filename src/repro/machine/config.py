@@ -1,0 +1,212 @@
+"""Machine configuration records.
+
+Three layers of configuration, mirroring the paper's tables:
+
+* :class:`NodeConfig` — the per-node processor/memory parameters of
+  Table 2 (functional-unit mix, issue width, cache hierarchy, clock);
+* :class:`NetworkConfig` — the network hardware parameters of Table 3
+  (gap ``g`` in cycles/byte, per-message overhead ``o``, latency ``l``);
+* :class:`MachineConfig` — ``p`` nodes plus a network.
+
+:data:`TABLE4_PRESETS` carries the six architectures of Table 4 with the
+paper's published ``(p, l, o, g)`` values (already converted to clock
+cycles in the paper).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.util.validation import check_positive, check_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level."""
+
+    size_bytes: int
+    associativity: int
+    line_bytes: int
+    hit_cycles: float
+
+    def __post_init__(self) -> None:
+        check_positive("size_bytes", self.size_bytes)
+        check_positive("associativity", self.associativity)
+        check_power_of_two("line_bytes", self.line_bytes)
+        if self.size_bytes % (self.line_bytes * self.associativity):
+            raise ValueError(
+                f"cache size {self.size_bytes} not divisible by "
+                f"line*assoc = {self.line_bytes * self.associativity}"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_bytes
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Per-node architectural parameters (paper Table 2)."""
+
+    int_units: int = 4
+    fp_units: int = 4
+    ls_units: int = 2
+    fu_latency: float = 1.0
+    issue_width: int = 4
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=8 * 1024, associativity=2, line_bytes=64, hit_cycles=1.0
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=256 * 1024, associativity=8, line_bytes=64, hit_cycles=3.0
+        )
+    )
+    #: L2 miss = "3 + 7 cycles" in Table 2: 3 for the L2 probe + 7 to memory.
+    l2_miss_extra_cycles: float = 7.0
+    #: Fraction of branches mispredicted by the 64K-entry 8-bit-history
+    #: predictor (Table 2); modern correlated predictors on these simple
+    #: kernels run ~2% misprediction.
+    branch_mispredict_rate: float = 0.02
+    branch_mispredict_penalty: float = 7.0
+    clock_hz: float = 400e6
+
+    def __post_init__(self) -> None:
+        for name in ("int_units", "fp_units", "ls_units", "issue_width"):
+            check_positive(name, getattr(self, name))
+        check_positive("clock_hz", self.clock_hz)
+        if not 0 <= self.branch_mispredict_rate <= 1:
+            raise ValueError("branch_mispredict_rate must be in [0,1]")
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Network hardware parameters (paper Table 3, 'Hardware Setting').
+
+    ``gap_cycles_per_byte`` is the per-byte serialisation cost at the
+    NIC (3 cycles/byte = 133 MB/s at 400 MHz), ``overhead_cycles`` the
+    per-message controller occupancy on each side (400 cycles = 1 us),
+    ``latency_cycles`` the wire/switch latency (1600 cycles = 4 us).
+    Network contention is *not* modelled, matching Armadillo (§3.1.2).
+    """
+
+    gap_cycles_per_byte: float = 3.0
+    overhead_cycles: float = 400.0
+    latency_cycles: float = 1600.0
+
+    #: Receive-side buffering.  0 (the default, matching Armadillo's
+    #: contention-free network) means unlimited; a positive value caps
+    #: how many messages may queue at a receive engine — an arrival that
+    #: finds the buffer full backs off and retries, modelling the
+    #: receiver-overrun congestion of Brewer & Kuszmaul that §2 says the
+    #: runtime must avoid by limiting send rates.
+    recv_buffer_slots: int = 0
+
+    #: Backoff before a bounced message retries delivery.
+    retry_backoff_cycles: float = 2000.0
+
+    #: Receiver cycles consumed handling each bounced arrival (NACK
+    #: generation / interrupt) — the throughput the overrun steals.
+    nack_cycles: float = 200.0
+
+    def __post_init__(self) -> None:
+        check_positive("gap_cycles_per_byte", self.gap_cycles_per_byte)
+        if self.overhead_cycles < 0 or self.latency_cycles < 0:
+            raise ValueError("overhead and latency must be nonnegative")
+        if self.recv_buffer_slots < 0:
+            raise ValueError("recv_buffer_slots must be >= 0 (0 = unlimited)")
+        if self.retry_backoff_cycles < 0:
+            raise ValueError("retry_backoff_cycles must be >= 0")
+        if self.nack_cycles < 0:
+            raise ValueError("nack_cycles must be >= 0")
+
+    def message_send_cycles(self, nbytes: int) -> float:
+        """NIC occupancy to inject one message of *nbytes*."""
+        return self.overhead_cycles + nbytes * self.gap_cycles_per_byte
+
+    def message_recv_cycles(self, nbytes: int) -> float:
+        """NIC occupancy to drain one message of *nbytes*."""
+        return self.overhead_cycles + nbytes * self.gap_cycles_per_byte
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A complete simulated machine: ``p`` identical nodes + network."""
+
+    p: int = 16
+    node: NodeConfig = field(default_factory=NodeConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+
+    def __post_init__(self) -> None:
+        check_positive("p", self.p)
+
+    def with_network(self, **changes) -> "MachineConfig":
+        """A copy with some network parameters replaced (used by the
+        l/o sweeps of Figures 4–6)."""
+        return dataclasses.replace(self, network=dataclasses.replace(self.network, **changes))
+
+    def with_p(self, p: int) -> "MachineConfig":
+        return dataclasses.replace(self, p=p)
+
+
+def default_machine(p: int = 16) -> MachineConfig:
+    """The paper's default simulated system (Tables 2 and 3)."""
+    return MachineConfig(p=p)
+
+
+@dataclass(frozen=True)
+class ArchPreset:
+    """One row of Table 4: published ``(p, l, o, g)`` for a machine.
+
+    All values are in clock cycles of the machine in question, as in the
+    paper.  ``estimated`` marks values the paper shows in parentheses.
+    ``k_software`` is the paper's fudge factor for differences in the
+    software communication layer (reported symbolically as ``k``).
+    """
+
+    name: str
+    p: int
+    latency_cycles: float
+    overhead_cycles: float
+    gap_cycles_per_byte: float
+    estimated: frozenset = frozenset()
+
+    def machine_config(self, node: Optional[NodeConfig] = None) -> MachineConfig:
+        """Instantiate a simulatable machine from the preset."""
+        return MachineConfig(
+            p=self.p,
+            node=node or NodeConfig(),
+            network=NetworkConfig(
+                gap_cycles_per_byte=self.gap_cycles_per_byte,
+                overhead_cycles=self.overhead_cycles,
+                latency_cycles=self.latency_cycles,
+            ),
+        )
+
+
+#: The six rows of Table 4.
+TABLE4_PRESETS: Dict[str, ArchPreset] = {
+    preset.name: preset
+    for preset in [
+        ArchPreset("default-simulation", 16, 1600.0, 400.0, 3.0),
+        ArchPreset("berkeley-now", 32, 830.0, 481.0, 4.3),
+        ArchPreset(
+            "pentium2-tcp-ethernet",
+            32,
+            75000.0,
+            150000.0,
+            24.0,
+            estimated=frozenset({"p"}),
+        ),
+        ArchPreset("cray-t3e", 64, 126.0, 50.0, 1.6, estimated=frozenset({"p", "o"})),
+        ArchPreset("intel-paragon", 64, 325.0, 90.0, 0.35, estimated=frozenset({"p"})),
+        ArchPreset("meico-cs2", 32, 497.0, 112.0, 1.4, estimated=frozenset({"p"})),
+    ]
+}

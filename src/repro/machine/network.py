@@ -1,0 +1,141 @@
+"""The simulated interconnect: per-node NICs, parametric wires.
+
+Matches the Armadillo network model of §3.1.2:
+
+* a *gap* ``g`` in cycles/byte limits per-NIC bandwidth,
+* a per-message *overhead* ``o`` occupies the NIC controller on both
+  the sending and the receiving side,
+* a *latency* ``l`` delays each message in flight,
+* there is **no network contention** — only the endpoints serialise.
+
+Each node owns two FCFS :class:`~repro.sim.resource.Resource`\\ s (send
+engine, receive engine), so messages from one node pipeline behind each
+other while messages to distinct nodes proceed in parallel — this is
+what lets bulk-synchronous programs hide ``l`` and amortise ``o``, the
+central phenomenon the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.machine.config import NetworkConfig
+from repro.sim import Event, Process, Resource, Simulator, Store
+from repro.sim.monitor import TallyStat
+
+
+@dataclass
+class Message:
+    """One message in flight between two nodes."""
+
+    src: int
+    dst: int
+    tag: Any
+    nbytes: int
+    payload: Any = None
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
+
+
+class Network:
+    """``p`` NIC pairs plus wires, all inside one simulator."""
+
+    def __init__(self, sim: Simulator, config: NetworkConfig, p: int) -> None:
+        if p < 1:
+            raise ValueError(f"need at least one node, got p={p}")
+        self.sim = sim
+        self.config = config
+        self.p = p
+        self.send_engine: List[Resource] = [
+            Resource(sim, capacity=1, name=f"nic{pid}.send") for pid in range(p)
+        ]
+        self.recv_engine: List[Resource] = [
+            Resource(sim, capacity=1, name=f"nic{pid}.recv") for pid in range(p)
+        ]
+        self.inbox: List[Store] = [Store(sim, name=f"inbox{pid}") for pid in range(p)]
+        self.latency_stat = TallyStat()
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        #: Deliveries that bounced off a full receive buffer (congestion).
+        self.retries = 0
+        # Receiver cycles owed for NACK handling, collected by the next
+        # successful delivery at that node.
+        self._bounce_debt = [0.0] * p
+
+    # ------------------------------------------------------------------
+    def transfer(self, msg: Message) -> Process:
+        """Launch the full life of *msg*; returns the (awaitable) process.
+
+        The returned process fires when the message has been deposited
+        in the destination inbox.  The *sender-side* completion (NIC
+        free again) is what a sending node should wait on — use
+        :meth:`send_from` inside node processes for that.
+        """
+        self._check_ids(msg)
+        return self.sim.process(self._transfer_proc(msg))
+
+    def send_from(self, msg: Message):
+        """Generator for the *sender's* view: returns once the local NIC
+        has finished injecting the message; delivery continues in the
+        background."""
+        self._check_ids(msg)
+        yield from self.send_engine[msg.src].serve(self.config.message_send_cycles(msg.nbytes))
+        msg.sent_at = self.sim.now
+        self.bytes_sent += msg.nbytes
+        self.messages_sent += 1
+        self.sim.process(self._wire_and_recv(msg))
+
+    def _transfer_proc(self, msg: Message):
+        yield from self.send_from(msg)
+        # Wait for delivery too.
+        done = self.sim.event()
+        msg_tag = (msg, done)
+        # _wire_and_recv delivers to the inbox; emulate a join by
+        # re-running the tail here instead would double-deliver, so we
+        # watch the delivered_at field via a dedicated event. Simpler:
+        # the background process sets delivered_at and succeeds `done`
+        # if it finds one attached.
+        msg._done_event = done  # type: ignore[attr-defined]
+        yield done
+        return msg
+
+    def _wire_and_recv(self, msg: Message):
+        if self.config.latency_cycles:
+            yield self.sim.timeout(self.config.latency_cycles)
+        slots = self.config.recv_buffer_slots
+        if slots:
+            # Receiver-overrun model: a message arriving at a full
+            # buffer bounces and retries after a backoff, re-crossing
+            # the wire (the NACK/retransmit of Brewer & Kuszmaul).  Each
+            # bounce also steals NACK-handling cycles from the receive
+            # engine, collected by the next successful delivery.
+            attempt = 0
+            while self.recv_engine[msg.dst].queue_length >= slots:
+                self.retries += 1
+                self._bounce_debt[msg.dst] += self.config.nack_cycles
+                # Exponential backoff (capped), as real transports use —
+                # also what keeps a retry storm from melting the fabric.
+                backoff = self.config.retry_backoff_cycles * (1 << min(attempt, 10))
+                attempt += 1
+                yield self.sim.timeout(backoff + self.config.latency_cycles)
+        hold = self.config.message_recv_cycles(msg.nbytes) + self._bounce_debt[msg.dst]
+        self._bounce_debt[msg.dst] = 0.0
+        yield from self.recv_engine[msg.dst].serve(hold)
+        msg.delivered_at = self.sim.now
+        self.latency_stat.record(msg.delivered_at - msg.sent_at)
+        self.inbox[msg.dst].put(msg)
+        done = getattr(msg, "_done_event", None)
+        if done is not None:
+            done.succeed(msg)
+
+    # ------------------------------------------------------------------
+    def _check_ids(self, msg: Message) -> None:
+        if not (0 <= msg.src < self.p and 0 <= msg.dst < self.p):
+            raise ValueError(f"message endpoints out of range: {msg.src}->{msg.dst} (p={self.p})")
+        if msg.src == msg.dst:
+            raise ValueError("self-messages do not traverse the network")

@@ -1,0 +1,45 @@
+"""Memory banks as FCFS servers."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sim import Resource, Simulator
+from repro.sim.monitor import TallyStat
+
+
+class BankArray:
+    """An array of memory banks, each a single-ported FCFS server.
+
+    ``service_cycles`` is the bank-busy time per access (row activate +
+    column access + precharge for DRAM of the era).  Queue-wait is where
+    contention shows up.
+    """
+
+    def __init__(self, sim: Simulator, n_banks: int, service_cycles: float) -> None:
+        if n_banks < 1:
+            raise ValueError(f"need at least one bank, got {n_banks}")
+        if service_cycles <= 0:
+            raise ValueError(f"service time must be positive, got {service_cycles}")
+        self.sim = sim
+        self.n_banks = n_banks
+        self.service_cycles = service_cycles
+        self.banks: List[Resource] = [
+            Resource(sim, capacity=1, name=f"bank{i}") for i in range(n_banks)
+        ]
+        self.wait_stat = TallyStat()
+
+    def access(self, bank: int):
+        """Generator: queue at *bank* and hold it for one service."""
+        if not 0 <= bank < self.n_banks:
+            raise ValueError(f"bank {bank} out of range (0..{self.n_banks - 1})")
+        t0 = self.sim.now
+        req = self.banks[bank].request()
+        yield req
+        self.wait_stat.record(self.sim.now - t0)
+        yield self.sim.timeout(self.service_cycles)
+        self.banks[bank].release(req)
+
+    def utilization(self, bank: int) -> float:
+        """Time-averaged busy fraction of *bank*."""
+        return self.banks[bank].busy_stat.time_average()

@@ -1,0 +1,146 @@
+"""Interconnect models between processors and memory banks.
+
+Each model is a pair of generator methods — :meth:`request_path` and
+:meth:`response_path` — run inside an accessing processor's simulation
+process.  They charge the medium-specific delays and contend for any
+shared medium (bus, Ethernet segment).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.sim import Resource, Simulator
+
+
+class Interconnect:
+    """Base class; subclasses model one medium."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+
+    def request_path(self, pid: int, bank: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield
+
+    def response_path(self, pid: int, bank: int):  # pragma: no cover - abstract
+        raise NotImplementedError
+        yield
+
+    def per_access_target_occupancy(self) -> float:
+        """Exclusive time one access holds a *target-node-local* shared
+        stage (link, port) — the interconnect's contribution to a
+        hot-spot bottleneck.  Zero when the medium has no per-target
+        serialisation (used by the analytic model's Conflict bound)."""
+        return 0.0
+
+    def per_access_global_occupancy(self) -> tuple:
+        """(cycles, capacity) of the *globally shared* stage each access
+        occupies — e.g. the snooping bus.  ``(0.0, 1)`` when none."""
+        return (0.0, 1)
+
+
+class BusInterconnect(Interconnect):
+    """A split-transaction snooping bus (the Sun UltraEnterprise SMP).
+
+    The address/snoop phase occupies the shared bus; the wide data path
+    is modelled inside the same occupancy.  ``width`` > 1 models a
+    pipelined/split bus that overlaps transactions.
+    """
+
+    def __init__(self, sim: Simulator, occupancy_cycles: float, width: int = 2) -> None:
+        super().__init__(sim)
+        if occupancy_cycles <= 0:
+            raise ValueError("bus occupancy must be positive")
+        self.occupancy_cycles = occupancy_cycles
+        self.bus = Resource(sim, capacity=width, name="bus")
+
+    def request_path(self, pid: int, bank: int):
+        yield from self.bus.serve(self.occupancy_cycles)
+
+    def response_path(self, pid: int, bank: int):
+        yield from self.bus.serve(self.occupancy_cycles)
+
+    def per_access_global_occupancy(self) -> tuple:
+        # Two bus grants per access (address + data return) on a bus
+        # with `width` concurrent transactions.
+        return (2.0 * self.occupancy_cycles, self.bus.capacity)
+
+
+class EthernetInterconnect(Interconnect):
+    """TCP over 10 Mb/s switched Ethernet (the NOW cluster).
+
+    Every node has an ingress and an egress link; a frame occupies the
+    sender's egress and the receiver's ingress for its serialisation
+    time (frame bits / 10 Mb/s, in CPU cycles) and each endpoint pays
+    protocol-stack cycles.  Contention therefore concentrates on the
+    *serving node's ingress link* when all processors target one node —
+    the cluster's analogue of a bank conflict.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        n_nodes: int,
+        frame_cycles: float,
+        stack_cycles: float,
+        propagation_cycles: float = 0.0,
+    ) -> None:
+        super().__init__(sim)
+        if n_nodes < 1 or frame_cycles <= 0 or stack_cycles < 0 or propagation_cycles < 0:
+            raise ValueError("invalid Ethernet timing parameters")
+        self.n_nodes = n_nodes
+        self.frame_cycles = frame_cycles
+        self.stack_cycles = stack_cycles
+        self.propagation_cycles = propagation_cycles
+        self.egress = [Resource(sim, capacity=1, name=f"eth{i}.out") for i in range(n_nodes)]
+        self.ingress = [Resource(sim, capacity=1, name=f"eth{i}.in") for i in range(n_nodes)]
+
+    def _one_way(self, src: int, dst: int):
+        yield self.sim.timeout(self.stack_cycles)
+        yield from self.egress[src % self.n_nodes].serve(self.frame_cycles)
+        yield from self.ingress[dst % self.n_nodes].serve(self.frame_cycles)
+        if self.propagation_cycles:
+            yield self.sim.timeout(self.propagation_cycles)
+
+    def request_path(self, pid: int, bank: int):
+        yield from self._one_way(pid, bank)
+
+    def response_path(self, pid: int, bank: int):
+        yield from self._one_way(bank, pid)
+
+    def per_access_target_occupancy(self) -> float:
+        # Each access serialises one request frame on the target's
+        # ingress link and one reply frame on its egress; the two links
+        # work in parallel, so the per-stage occupancy is one frame.
+        return self.frame_cycles
+
+
+class TorusInterconnect(Interconnect):
+    """A 3-D torus (the Cray T3E): per-hop latency, ample link bandwidth.
+
+    Link contention is negligible for this workload on the T3E's
+    interconnect, so only hop latency and router overhead are charged;
+    hop count is the average for a 3-D torus of ``n_nodes``.
+    """
+
+    def __init__(self, sim: Simulator, n_nodes: int, hop_cycles: float, inject_cycles: float) -> None:
+        super().__init__(sim)
+        if n_nodes < 1 or hop_cycles < 0 or inject_cycles < 0:
+            raise ValueError("invalid torus parameters")
+        self.n_nodes = n_nodes
+        self.hop_cycles = hop_cycles
+        self.inject_cycles = inject_cycles
+        side = max(1, round(n_nodes ** (1.0 / 3.0)))
+        # Average distance per dimension on a ring of length `side` is
+        # ~side/4; three dimensions.
+        self.avg_hops = max(1.0, 3.0 * side / 4.0)
+
+    def _one_way(self):
+        yield self.sim.timeout(self.inject_cycles + self.avg_hops * self.hop_cycles)
+
+    def request_path(self, pid: int, bank: int):
+        yield from self._one_way()
+
+    def response_path(self, pid: int, bank: int):
+        yield from self._one_way()

@@ -1,0 +1,110 @@
+"""The §4 microbenchmark driver.
+
+Each processor issues back-to-back accesses to global memory ("as
+quickly as it can"), choosing banks per the access pattern.  The
+reported figure of merit is the mean access time once the system is in
+steady state (a warm-up prefix is discarded, mirroring the paper's use
+of arrays too large to cache — there is no cold-cache transient to
+measure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.membank.banks import BankArray
+from repro.membank.machines import MemoryMachineConfig
+from repro.membank.patterns import AccessPattern
+from repro.sim import Simulator
+from repro.sim.monitor import TallyStat
+from repro.util.rng import spawn_rngs
+
+
+@dataclass
+class MicrobenchResult:
+    """Outcome of one (machine, pattern) microbenchmark run."""
+
+    machine: str
+    pattern: str
+    p: int
+    accesses_per_proc: int
+    mean_access_cycles: float
+    mean_access_us: float
+    per_proc_mean_cycles: np.ndarray
+    max_bank_utilization: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.machine:14s} {self.pattern:10s} "
+            f"{self.mean_access_us:10.3f} us/access"
+        )
+
+
+def run_microbenchmark(
+    config: MemoryMachineConfig,
+    pattern: AccessPattern,
+    accesses_per_proc: int = 2000,
+    warmup: Optional[int] = None,
+    seed: int = 0,
+) -> MicrobenchResult:
+    """Run the stress microbenchmark; returns steady-state access times."""
+    if accesses_per_proc < 1:
+        raise ValueError("need at least one access per processor")
+    warmup = accesses_per_proc // 10 if warmup is None else warmup
+    if warmup >= accesses_per_proc:
+        raise ValueError(f"warmup ({warmup}) must be < accesses ({accesses_per_proc})")
+
+    sim = Simulator()
+    banks = BankArray(sim, config.n_banks, config.bank_service_cycles)
+    interconnect = config.make_interconnect(sim)
+    rngs = spawn_rngs(seed, config.p)
+    stats: List[TallyStat] = [TallyStat() for _ in range(config.p)]
+
+    def proc(pid: int):
+        targets = pattern.choose(rngs[pid], pid, config.n_banks, accesses_per_proc)
+        for k in range(accesses_per_proc):
+            t0 = sim.now
+            if config.software_cycles:
+                yield sim.timeout(config.software_cycles)
+            yield from interconnect.request_path(pid, int(targets[k]))
+            yield from banks.access(int(targets[k]))
+            yield from interconnect.response_path(pid, int(targets[k]))
+            if k >= warmup:
+                stats[pid].record(sim.now - t0)
+
+    procs = [sim.process(proc(pid)) for pid in range(config.p)]
+    sim.run()
+    for pr in procs:
+        pr.value  # surface any process failure
+
+    per_proc = np.array([s.mean for s in stats])
+    total = float(
+        sum(s.mean * s.count for s in stats) / max(1, sum(s.count for s in stats))
+    )
+    util = max(banks.utilization(b) for b in range(config.n_banks))
+    return MicrobenchResult(
+        machine=config.name,
+        pattern=pattern.name,
+        p=config.p,
+        accesses_per_proc=accesses_per_proc,
+        mean_access_cycles=total,
+        mean_access_us=config.cycles_to_us(total),
+        per_proc_mean_cycles=per_proc,
+        max_bank_utilization=util,
+    )
+
+
+def pattern_sweep(
+    config: MemoryMachineConfig,
+    patterns,
+    accesses_per_proc: int = 2000,
+    seed: int = 0,
+) -> Dict[str, MicrobenchResult]:
+    """Run several patterns on one machine; returns results by pattern name."""
+    return {
+        pat.name: run_microbenchmark(config, pat, accesses_per_proc=accesses_per_proc, seed=seed)
+        for pat in patterns
+    }

@@ -1,0 +1,49 @@
+"""The three access patterns of the §4 microbenchmark."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class AccessPattern:
+    """Chooses the target bank for each access.
+
+    ``choose(rng, pid, n_banks, count)`` returns *count* bank indices
+    for processor *pid*.
+    """
+
+    name: str
+    choose: Callable[[np.random.Generator, int, int, int], np.ndarray]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def _random(rng: np.random.Generator, pid: int, n_banks: int, count: int) -> np.ndarray:
+    return rng.integers(0, n_banks, size=count)
+
+
+def _conflict(rng: np.random.Generator, pid: int, n_banks: int, count: int) -> np.ndarray:
+    return np.zeros(count, dtype=np.int64)
+
+
+def _noconflict(rng: np.random.Generator, pid: int, n_banks: int, count: int) -> np.ndarray:
+    return np.full(count, (pid + 1) % n_banks, dtype=np.int64)
+
+
+#: Every access to a random word in a random remote bank — the layout a
+#: QSM runtime achieves by hashing addresses.
+RANDOM = AccessPattern("Random", _random)
+
+#: Every access to bank 0 — an unmitigated hot spot.
+CONFLICT = AccessPattern("Conflict", _conflict)
+
+#: Processor i always accesses bank i+1 — a perfect hand layout with no
+#: two processors sharing a bank (when p <= banks).
+NOCONFLICT = AccessPattern("NoConflict", _noconflict)
+
+ALL_PATTERNS = (RANDOM, CONFLICT, NOCONFLICT)

@@ -1,0 +1,25 @@
+"""Message-passing library on top of the simulated network.
+
+This is the reproduction's stand-in for Armadillo's ``libmvpplus``
+(§3.1.2): a thin matched-receive layer (:mod:`repro.msg.mp`) plus tree
+collectives (:mod:`repro.msg.collectives`).  The bulk-synchronous
+shared-memory library (:mod:`repro.qsmlib`) is implemented entirely on
+these primitives, exactly as in the paper.
+"""
+
+from repro.msg.mp import Endpoint, make_endpoints
+from repro.msg.collectives import (
+    barrier_proc,
+    broadcast_proc,
+    gather_proc,
+    tree_barrier_cost_estimate,
+)
+
+__all__ = [
+    "Endpoint",
+    "make_endpoints",
+    "barrier_proc",
+    "broadcast_proc",
+    "gather_proc",
+    "tree_barrier_cost_estimate",
+]

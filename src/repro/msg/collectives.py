@@ -1,0 +1,106 @@
+"""Tree collectives built from point-to-point messages.
+
+The shared-memory library's ``sync()`` ends every phase with a barrier;
+the paper measures the full software barrier at L ≈ 25500 cycles for 16
+processors (Table 3).  We implement the textbook binary-tree barrier
+(reduce up, broadcast down); its cost emerges from the NIC model
+(2 · depth · (2o + l + header·g) plus software per-hop cycles charged by
+the caller).
+
+All collectives here are *generators* meant to be ``yield from``-ed
+inside a per-node simulation process; every node of the machine must
+run the same collective with the same ``seq`` number or the simulation
+deadlocks (as real SPMD code would).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, List, Optional, Sequence
+
+from repro.machine.config import NetworkConfig
+from repro.msg.mp import Endpoint
+
+#: Size of a barrier/control hop on the wire, in bytes.
+CONTROL_BYTES = 8
+
+
+def _children(pid: int, p: int) -> List[int]:
+    """Children of *pid* in the implicit binary tree over 0..p-1."""
+    return [c for c in (2 * pid + 1, 2 * pid + 2) if c < p]
+
+
+def _parent(pid: int) -> int:
+    return (pid - 1) // 2
+
+
+def barrier_proc(ep: Endpoint, p: int, seq: Any):
+    """One node's part of barrier number *seq* (binary-tree, 2 sweeps)."""
+    pid = ep.pid
+    if p == 1:
+        return
+    up = ("bar", seq, "up")
+    down = ("bar", seq, "down")
+    for child in _children(pid, p):
+        yield from ep.recv(src=child, tag=up)
+    if pid != 0:
+        yield from ep.send(_parent(pid), up, CONTROL_BYTES)
+        yield from ep.recv(src=_parent(pid), tag=down)
+    for child in _children(pid, p):
+        yield from ep.send(child, down, CONTROL_BYTES)
+
+
+def broadcast_proc(ep: Endpoint, p: int, seq: Any, value: Any = None, nbytes: int = CONTROL_BYTES):
+    """Binary-tree broadcast from node 0; returns the broadcast value."""
+    pid = ep.pid
+    tag = ("bcast", seq)
+    if pid != 0:
+        msg = yield from ep.recv(src=_parent(pid), tag=tag)
+        value = msg.payload
+        nbytes = msg.nbytes
+    for child in _children(pid, p):
+        yield from ep.send(child, tag, nbytes, payload=value)
+    return value
+
+
+def gather_proc(ep: Endpoint, p: int, seq: Any, value: Any, nbytes: int = CONTROL_BYTES):
+    """Binary-tree gather to node 0; node 0 returns the list indexed by pid.
+
+    Intermediate nodes combine their subtree's contributions, so message
+    sizes grow toward the root as real gathers do.
+    """
+    pid = ep.pid
+    tag = ("gather", seq)
+    collected = {pid: value}
+    total_bytes = nbytes
+    for child in _children(pid, p):
+        msg = yield from ep.recv(src=child, tag=tag)
+        collected.update(msg.payload)
+        total_bytes += msg.nbytes
+    if pid != 0:
+        yield from ep.send(_parent(pid), tag, total_bytes, payload=collected)
+        return None
+    return [collected[i] for i in range(p)]
+
+
+def tree_depth(p: int) -> int:
+    """Depth of the binary tree over p nodes (hops from deepest leaf to root)."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    return int(math.floor(math.log2(p))) if p > 1 else 0
+
+
+def tree_barrier_cost_estimate(net: NetworkConfig, p: int, sw_hop_cycles: float = 0.0) -> float:
+    """Closed-form estimate of the barrier time (used for BSP's L parameter).
+
+    Two tree sweeps; each hop costs send-NIC + wire + recv-NIC plus any
+    software per-hop cycles.  The DES-measured value (Table 3 experiment)
+    should land near this.
+    """
+    hop = (
+        net.message_send_cycles(CONTROL_BYTES)
+        + net.latency_cycles
+        + net.message_recv_cycles(CONTROL_BYTES)
+        + sw_hop_cycles
+    )
+    return 2.0 * tree_depth(p) * hop

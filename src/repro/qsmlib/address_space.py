@@ -1,0 +1,126 @@
+"""The shared address space: registered arrays with layouts.
+
+A :class:`SharedArray` is the unit of shared memory visible to QSM
+programs.  Its authoritative contents live in one numpy array held by
+the (driver-side) :class:`AddressSpace`; the *layout* determines which
+simulated node owns each word, and therefore what communication a
+``get``/``put`` generates.  Registration mirrors the appendix
+algorithms' "allocate and register temporary structures" steps.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterator, Optional
+
+import numpy as np
+
+from repro.qsmlib.layout import Layout, LayoutMap
+
+
+class SharedArray:
+    """One registered shared-memory array."""
+
+    def __init__(
+        self,
+        aid: int,
+        name: str,
+        n: int,
+        p: int,
+        layout: Layout = Layout.BLOCKED,
+        dtype=np.int64,
+        salt: int = 0,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"array length must be >= 1, got {n}")
+        self.aid = aid
+        self.name = name
+        self.n = n
+        self.map = LayoutMap(layout=layout, n=n, p=p, salt=salt)
+        self.data = np.zeros(n, dtype=dtype)
+        self.registered = True
+
+    @property
+    def layout(self) -> Layout:
+        return self.map.layout
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def local_view(self, pid: int) -> np.ndarray:
+        """The node-local portion (a real numpy view; BLOCKED only).
+
+        Programs may read and write this view freely — it is node-local
+        memory, costed through ``ctx.charge`` like any local work.
+        """
+        self._check_registered()
+        return self.data[self.map.local_slice(pid)]
+
+    def local_offset(self, pid: int) -> int:
+        """Global index of the first word owned by *pid* (BLOCKED only)."""
+        return self.map.local_slice(pid).start
+
+    def owner_of(self, indices) -> np.ndarray:
+        self._check_registered()
+        return self.map.owner_of(np.asarray(indices, dtype=np.int64))
+
+    def _check_registered(self) -> None:
+        if not self.registered:
+            raise RuntimeError(f"shared array {self.name!r} has been unregistered")
+
+    def __len__(self) -> int:
+        return self.n
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<SharedArray {self.name!r} n={self.n} {self.layout.value} {self.dtype}>"
+
+
+class AddressSpace:
+    """Registry of all shared arrays of one program run."""
+
+    def __init__(self, p: int, default_salt: int = 0) -> None:
+        if p < 1:
+            raise ValueError(f"p must be >= 1, got {p}")
+        self.p = p
+        self.default_salt = default_salt
+        self._arrays: Dict[int, SharedArray] = {}
+        self._ids = itertools.count()
+
+    def allocate(
+        self,
+        name: str,
+        n: int,
+        layout: Layout = Layout.BLOCKED,
+        dtype=np.int64,
+        salt: Optional[int] = None,
+    ) -> SharedArray:
+        """Register a new shared array (zero-initialised)."""
+        aid = next(self._ids)
+        arr = SharedArray(
+            aid,
+            name,
+            n,
+            self.p,
+            layout=layout,
+            dtype=dtype,
+            salt=self.default_salt if salt is None else salt,
+        )
+        self._arrays[aid] = arr
+        return arr
+
+    def unregister(self, arr: SharedArray) -> None:
+        """Drop *arr* from the space; further access raises."""
+        if arr.aid not in self._arrays:
+            raise KeyError(f"array {arr.name!r} is not registered here")
+        arr.registered = False
+        del self._arrays[arr.aid]
+
+    def __iter__(self) -> Iterator[SharedArray]:
+        return iter(self._arrays.values())
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def get(self, aid: int) -> SharedArray:
+        return self._arrays[aid]

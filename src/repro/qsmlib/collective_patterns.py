@@ -1,0 +1,115 @@
+"""Reusable QSM communication patterns.
+
+The appendix algorithms all build on the same few moves: *share one
+word with everyone by remote puts* (prefix totals, sample-sort bucket
+totals, list-ranking survivor counts), *compute offsets from the shared
+words*, and *ship a block to one owner*.  This module packages them as
+first-class program building blocks so user algorithms don't re-derive
+the p×p slot conventions.
+
+All helpers follow the bulk-synchronous discipline: values *posted* in
+one phase are *readable* after the next ``yield ctx.sync()``.
+
+Example — computing every processor's output offset in two phases::
+
+    def program(ctx, data):
+        board = AllShareBoard.alloc(ctx, "totals")
+        yield ctx.sync()                     # registration
+        board.post(ctx, len(my_part))
+        yield ctx.sync()                     # exchange
+        offset = board.exclusive_prefix(ctx) # Σ of lower-pid values
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.qsmlib.context import QSMContext, SharedArrayRef
+
+
+class AllShareBoard:
+    """A p×p blocked exchange board: all-to-all sharing of one word.
+
+    Processor ``d`` owns slots ``d·p .. d·p+p−1``; ``post`` writes the
+    caller's value into its slot at *every* processor (p−1 remote puts
+    + 1 local write — the single-phase broadcast trick of the appendix
+    prefix algorithm).  After the sync, ``read`` returns all p values
+    from node-local memory at zero communication cost.
+    """
+
+    def __init__(self, ref: SharedArrayRef) -> None:
+        self._ref = ref
+
+    @classmethod
+    def alloc(cls, ctx: QSMContext, name: str) -> "AllShareBoard":
+        """Collectively allocate a board (usable after the next sync)."""
+        return cls(ctx.alloc(f"board.{name}", ctx.p * ctx.p))
+
+    # ------------------------------------------------------------------
+    def post(self, ctx: QSMContext, value: int) -> None:
+        """Share *value* with every processor (visible after the sync)."""
+        p, pid = ctx.p, ctx.pid
+        peers = np.array([d for d in range(p) if d != pid], dtype=np.int64)
+        if peers.size:
+            ctx.put(
+                self._ref.array,
+                peers * p + pid,
+                np.full(peers.size, int(value), dtype=np.int64),
+            )
+        ctx.local(self._ref.array)[pid] = int(value)
+
+    def read(self, ctx: QSMContext) -> np.ndarray:
+        """All p posted values, indexed by pid (node-local read)."""
+        return ctx.local(self._ref.array).copy()
+
+    def total(self, ctx: QSMContext) -> int:
+        """Sum of all posted values."""
+        return int(ctx.local(self._ref.array).sum())
+
+    def exclusive_prefix(self, ctx: QSMContext) -> int:
+        """Sum of the values posted by lower-numbered processors —
+        the output-placement offset every appendix algorithm needs."""
+        return int(ctx.local(self._ref.array)[: ctx.pid].sum())
+
+    def maximum(self, ctx: QSMContext) -> int:
+        """Max of all posted values (e.g. a measured skew)."""
+        return int(ctx.local(self._ref.array).max())
+
+    def free(self, ctx: QSMContext) -> None:
+        ctx.free(self._ref)
+
+
+def ship_block_to(
+    ctx: QSMContext,
+    arr,
+    owner_offset: int,
+    values: np.ndarray,
+) -> None:
+    """Write *values* contiguously into *arr* starting at a global
+    offset (typically computed from an :class:`AllShareBoard`
+    exclusive prefix).  Local portions short-circuit automatically."""
+    values = np.asarray(values)
+    if values.size:
+        ctx.put_range(arr, owner_offset, values)
+
+
+def scatter_from_root(ctx: QSMContext, arr, block_values: Optional[np.ndarray]) -> None:
+    """Processor 0 writes one block per processor into a blocked array;
+    everyone else passes ``None``.  Readable locally after the sync."""
+    if ctx.pid != 0:
+        if block_values is not None:
+            raise ValueError("only processor 0 supplies scatter data")
+        return
+    block_values = np.asarray(block_values)
+    if block_values.shape[0] != ctx.p:
+        raise ValueError(
+            f"need one block per processor ({ctx.p}), got {block_values.shape[0]}"
+        )
+    flat = block_values.reshape(ctx.p, -1)
+    block = arr.map.block
+    if flat.shape[1] > block:
+        raise ValueError(f"blocks of {flat.shape[1]} words exceed the array block ({block})")
+    for d in range(ctx.p):
+        ctx.put_range(arr, d * block, flat[d])

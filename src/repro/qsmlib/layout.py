@@ -1,0 +1,106 @@
+"""Data layouts: how a shared array's words map onto nodes.
+
+QSM's implementation contract says the runtime may *randomise* the
+layout (hash addresses across banks/nodes) to avoid contention, unless
+the algorithm declares its own balanced layout (§2, bullet 2).  We
+provide the three layouts the algorithms and experiments need:
+
+* ``BLOCKED`` — word ``i`` lives on node ``i // ceil(n/p)``.  The
+  appendix algorithms distribute inputs/outputs this way.
+* ``CYCLIC`` — word ``i`` lives on node ``i % p``.
+* ``HASHED`` — cache-line-sized blocks are assigned to nodes by a
+  multiplicative hash, the paper's randomised default.
+* ``ROOT`` — every word lives on node 0 (used for list ranking's
+  "send all remaining elements to processor 0" step).
+
+Owner computation is vectorised (one numpy expression per call) because
+the irregular algorithms look up owners for hundreds of thousands of
+indices per phase.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Words per hashed block (64-byte lines of 8-byte words).
+HASH_BLOCK_WORDS = 8
+
+#: Knuth's multiplicative constant (golden-ratio based, 64-bit).
+_HASH_MULT = np.uint64(0x9E3779B97F4A7C15)
+
+
+class Layout(enum.Enum):
+    """Placement policy for one shared array."""
+
+    BLOCKED = "blocked"
+    CYCLIC = "cyclic"
+    HASHED = "hashed"
+    ROOT = "root"
+
+
+@dataclass(frozen=True)
+class LayoutMap:
+    """A concrete layout instance for an array of ``n`` words on ``p`` nodes."""
+
+    layout: Layout
+    n: int
+    p: int
+    salt: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"array length must be >= 1, got {self.n}")
+        if self.p < 1:
+            raise ValueError(f"p must be >= 1, got {self.p}")
+
+    @property
+    def block(self) -> int:
+        """Block size of the BLOCKED layout (ceil(n/p))."""
+        return -(-self.n // self.p)
+
+    # ------------------------------------------------------------------
+    def owner_of(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised owner lookup; *indices* is any integer ndarray."""
+        idx = np.asarray(indices)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n):
+            bad = idx[(idx < 0) | (idx >= self.n)][0]
+            raise IndexError(f"index {bad} out of bounds for array of length {self.n}")
+        if self.layout is Layout.BLOCKED:
+            return idx // self.block
+        if self.layout is Layout.CYCLIC:
+            return idx % self.p
+        if self.layout is Layout.ROOT:
+            return np.zeros(idx.shape, dtype=np.int64)
+        if self.layout is Layout.HASHED:
+            blocks = (idx // HASH_BLOCK_WORDS).astype(np.uint64)
+            salted = (blocks + np.uint64(self.salt)) * _HASH_MULT
+            return ((salted >> np.uint64(33)) % np.uint64(self.p)).astype(np.int64)
+        raise AssertionError(f"unhandled layout {self.layout}")
+
+    def owner_of_scalar(self, index: int) -> int:
+        return int(self.owner_of(np.asarray([index]))[0])
+
+    # ------------------------------------------------------------------
+    def local_slice(self, pid: int):
+        """The contiguous global slice owned by *pid* (BLOCKED/ROOT only)."""
+        if self.layout is Layout.ROOT:
+            return slice(0, self.n) if pid == 0 else slice(0, 0)
+        if self.layout is not Layout.BLOCKED:
+            raise ValueError(f"local_slice is only defined for BLOCKED/ROOT, not {self.layout}")
+        lo = min(pid * self.block, self.n)
+        hi = min(lo + self.block, self.n)
+        return slice(lo, hi)
+
+    def local_count(self, pid: int) -> int:
+        """Number of words owned by *pid* under this layout."""
+        if self.layout in (Layout.BLOCKED, Layout.ROOT):
+            sl = self.local_slice(pid)
+            return sl.stop - sl.start
+        if self.layout is Layout.CYCLIC:
+            return (self.n - pid + self.p - 1) // self.p if pid < self.n else 0
+        # HASHED: count exactly (used only in tests / small arrays).
+        owners = self.owner_of(np.arange(self.n))
+        return int(np.count_nonzero(owners == pid))

@@ -1,0 +1,136 @@
+"""Communication-plan construction: per-pair traffic from request queues.
+
+During a ``sync()``, the library "first builds and distributes a
+communications plan that indicates how many gets and puts will occur
+between each pair of nodes" (§3.1.2).  This module computes those
+matrices (vectorised over the numpy index arrays of each request) and
+the phase-semantics bookkeeping (kappa contention, read/write-overlap
+checking).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.qsmlib.address_space import SharedArray
+from repro.qsmlib.requests import RequestQueue
+
+
+class QSMSemanticsError(RuntimeError):
+    """A program violated the bulk-synchronous memory semantics of §2."""
+
+
+@dataclass
+class PhaseTraffic:
+    """Per-pair word counts for one phase.
+
+    ``put_words[s, d]`` — words processor *s* puts into words owned by
+    *d*; ``get_words[s, d]`` — words *s* gets from owner *d*.  Diagonals
+    are zero; locally-served words are in ``local_words``.
+    """
+
+    put_words: np.ndarray
+    get_words: np.ndarray
+    local_words: np.ndarray
+    kappa: Optional[int]
+
+    @property
+    def p(self) -> int:
+        return self.put_words.shape[0]
+
+    def remote_put_row(self, pid: int) -> int:
+        return int(self.put_words[pid].sum())
+
+    def remote_get_row(self, pid: int) -> int:
+        return int(self.get_words[pid].sum())
+
+    def expected_data_sources(self, pid: int) -> List[int]:
+        """Nodes that will send a data message (puts and/or get requests) to *pid*."""
+        inbound = self.put_words[:, pid] + self.get_words[:, pid]
+        return [s for s in range(self.p) if s != pid and inbound[s] > 0]
+
+    def expected_reply_sources(self, pid: int) -> List[int]:
+        """Owners that will send a get-reply message to *pid*."""
+        return [d for d in range(self.p) if d != pid and self.get_words[pid, d] > 0]
+
+
+def build_traffic(queues: Sequence[RequestQueue], p: int) -> PhaseTraffic:
+    """Aggregate all queued requests into per-pair word-count matrices."""
+    put_words = np.zeros((p, p), dtype=np.int64)
+    get_words = np.zeros((p, p), dtype=np.int64)
+    local_words = np.zeros(p, dtype=np.int64)
+
+    for q in queues:
+        for req in q.puts:
+            counts = np.bincount(req.arr.owner_of(req.indices), minlength=p)
+            local_words[q.pid] += counts[q.pid]
+            counts[q.pid] = 0
+            put_words[q.pid] += counts
+        for req in q.gets:
+            counts = np.bincount(req.arr.owner_of(req.indices), minlength=p)
+            local_words[q.pid] += counts[q.pid]
+            counts[q.pid] = 0
+            get_words[q.pid] += counts
+
+    return PhaseTraffic(put_words, get_words, local_words, kappa=None)
+
+
+def compute_kappa(queues: Sequence[RequestQueue]) -> int:
+    """Maximum number of accesses to any single word this phase (QSM kappa)."""
+    per_array: Dict[int, Tuple[SharedArray, List[np.ndarray]]] = {}
+    for q in queues:
+        for req in list(q.puts) + list(q.gets):
+            per_array.setdefault(req.arr.aid, (req.arr, []))[1].append(req.indices)
+    kappa = 0
+    for arr, idx_lists in per_array.values():
+        idx = np.concatenate(idx_lists)
+        if idx.size == 0:
+            continue
+        counts = np.bincount(idx, minlength=arr.n)
+        kappa = max(kappa, int(counts.max()))
+    return kappa
+
+
+def check_phase_semantics(queues: Sequence[RequestQueue]) -> None:
+    """Enforce §2: no word may be both read and written in one phase.
+
+    Raises :class:`QSMSemanticsError` naming the first offending array.
+    """
+    reads: Dict[int, Tuple[SharedArray, List[np.ndarray]]] = {}
+    writes: Dict[int, Tuple[SharedArray, List[np.ndarray]]] = {}
+    for q in queues:
+        for req in q.gets:
+            reads.setdefault(req.arr.aid, (req.arr, []))[1].append(req.indices)
+        for req in q.puts:
+            writes.setdefault(req.arr.aid, (req.arr, []))[1].append(req.indices)
+    for aid, (arr, write_lists) in writes.items():
+        if aid not in reads:
+            continue
+        mask = np.zeros(arr.n, dtype=bool)
+        mask[np.concatenate(write_lists)] = True
+        read_idx = np.concatenate(reads[aid][1])
+        overlap = mask[read_idx]
+        if overlap.any():
+            word = int(read_idx[overlap.argmax()])
+            raise QSMSemanticsError(
+                f"word {word} of array {arr.name!r} is both read and written "
+                "in the same phase, which QSM forbids (§2)"
+            )
+
+
+def apply_phase_semantics(queues: Sequence[RequestQueue]) -> None:
+    """Fulfil gets from the phase-start snapshot, then apply puts.
+
+    Serving every get before applying any put implements the snapshot
+    semantics; puts apply in processor order (a deterministic
+    realisation of the queue-write model's "arbitrary winner").
+    """
+    for q in queues:
+        for req in q.gets:
+            req.handle._fulfill(req.arr.data[req.indices].copy())
+    for q in queues:
+        for req in q.puts:
+            req.arr.data[req.indices] = req.values

@@ -1,0 +1,114 @@
+"""Get/put request batches queued between syncs.
+
+Per the bulk-synchronous contract (§2), ``get``/``put`` calls merely
+*enqueue* requests; all communication happens inside ``sync()``.  A
+:class:`RequestQueue` holds one processor's pending requests for the
+current phase; each request carries numpy index/value arrays so that
+per-owner splitting stays vectorised.
+
+Semantics implemented (and enforced) from §2:
+
+* values returned by gets issued in a phase reflect the shared memory
+  state at the *start* of the phase;
+* puts become visible at the *end* of the phase;
+* the same location may not be both read and written within one phase
+  (checked by the runtime when semantics checking is enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.qsmlib.address_space import SharedArray
+
+
+class GetHandle:
+    """Future for a get; ``data`` is available after the next ``sync()``.
+
+    ``data[k]`` corresponds to ``indices[k]`` of the original request.
+    """
+
+    __slots__ = ("arr", "indices", "_data")
+
+    def __init__(self, arr: SharedArray, indices: np.ndarray) -> None:
+        self.arr = arr
+        self.indices = indices
+        self._data: Optional[np.ndarray] = None
+
+    @property
+    def ready(self) -> bool:
+        return self._data is not None
+
+    @property
+    def data(self) -> np.ndarray:
+        if self._data is None:
+            raise RuntimeError(
+                "get() result read before sync(); QSM forbids using values "
+                "fetched in the same phase"
+            )
+        return self._data
+
+    def _fulfill(self, values: np.ndarray) -> None:
+        self._data = values
+
+
+@dataclass
+class GetRequest:
+    arr: SharedArray
+    indices: np.ndarray
+    handle: GetHandle
+
+
+@dataclass
+class PutRequest:
+    arr: SharedArray
+    indices: np.ndarray
+    values: np.ndarray
+
+
+@dataclass
+class RequestQueue:
+    """All requests one processor queued since the last sync."""
+
+    pid: int
+    gets: List[GetRequest] = field(default_factory=list)
+    puts: List[PutRequest] = field(default_factory=list)
+
+    def add_get(self, arr: SharedArray, indices: np.ndarray) -> GetHandle:
+        indices = _as_index_array(arr, indices)
+        handle = GetHandle(arr, indices)
+        self.gets.append(GetRequest(arr, indices, handle))
+        return handle
+
+    def add_put(self, arr: SharedArray, indices: np.ndarray, values) -> None:
+        indices = _as_index_array(arr, indices)
+        values = np.asarray(values, dtype=arr.dtype)
+        if values.ndim == 0:
+            values = np.broadcast_to(values, indices.shape).copy()
+        if values.shape != indices.shape:
+            raise ValueError(
+                f"put shape mismatch: {len(indices)} indices vs {values.shape} values"
+            )
+        self.puts.append(PutRequest(arr, indices, values.copy()))
+
+    def clear(self) -> None:
+        self.gets.clear()
+        self.puts.clear()
+
+    @property
+    def empty(self) -> bool:
+        return not self.gets and not self.puts
+
+
+def _as_index_array(arr: SharedArray, indices) -> np.ndarray:
+    idx = np.asarray(indices, dtype=np.int64).ravel()
+    if idx.size:
+        lo, hi = int(idx.min()), int(idx.max())
+        if lo < 0 or hi >= arr.n:
+            raise IndexError(
+                f"indices [{lo}, {hi}] out of bounds for {arr.name!r} of length {arr.n}"
+            )
+    return idx

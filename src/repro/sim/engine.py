@@ -1,0 +1,149 @@
+"""The event loop at the heart of the discrete-event kernel.
+
+The :class:`Simulator` owns a priority queue of ``(time, seq, event)``
+triples.  ``seq`` is a monotonically increasing tie-breaker so that two
+events scheduled for the same instant always fire in scheduling order —
+this is what makes every simulation in this project bit-for-bit
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level misuse (negative delays, re-triggered events...)."""
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Time is a nonnegative number of *cycles*.  The simulator never
+    advances past the next scheduled event, and processing an event may
+    schedule further events at the current instant (they run before time
+    advances again).
+
+    Example
+    -------
+    >>> sim = Simulator()
+    >>> log = []
+    >>> def proc(sim):
+    ...     yield sim.timeout(5)
+    ...     log.append(sim.now)
+    >>> _ = sim.process(proc(sim))
+    >>> sim.run()
+    >>> log
+    [5]
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0
+        self._queue: list = []
+        self._seq = itertools.count()
+        self._running = False
+        self._event_count = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in cycles."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Total number of events processed so far (diagnostic)."""
+        return self._event_count
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, event: "Event", delay: float = 0) -> "Event":
+        """Schedule *event* to fire ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
+        return event
+
+    # Convenience constructors -----------------------------------------
+    def event(self) -> "Event":
+        """Create a fresh, untriggered :class:`Event` bound to this simulator."""
+        from repro.sim.events import Event
+
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> "Event":
+        """An event that fires ``delay`` cycles from now."""
+        from repro.sim.events import Timeout
+
+        return Timeout(self, delay, value)
+
+    def process(self, generator) -> "Process":
+        """Spawn *generator* as a simulation process (starts at the current time)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    def all_of(self, events) -> "Event":
+        from repro.sim.events import AllOf
+
+        return AllOf(self, list(events))
+
+    def any_of(self, events) -> "Event":
+        from repro.sim.events import AnyOf
+
+        return AnyOf(self, list(events))
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _seq, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = when
+        self._event_count += 1
+        event._fire()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue drains or simulation time reaches *until*.
+
+        ``until`` is exclusive: an event scheduled exactly at ``until``
+        is *not* processed, and ``now`` is clamped to ``until``.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                if until is not None and self._queue[0][0] >= until:
+                    self._now = until
+                    return
+                self.step()
+            if until is not None and until > self._now:
+                self._now = until
+        finally:
+            self._running = False
+
+    def run_process(self, generator) -> Any:
+        """Spawn *generator*, run to completion, and return its value.
+
+        Raises :class:`SimulationError` if the queue drains while the
+        process is still waiting (deadlock).
+        """
+        proc = self.process(generator)
+        self.run()
+        if not proc.triggered:
+            raise SimulationError("deadlock: event queue drained with process pending")
+        return proc.value

@@ -1,0 +1,174 @@
+"""Event primitives for the discrete-event kernel.
+
+An :class:`Event` is a one-shot occurrence that processes can wait on by
+``yield``-ing it.  Events carry a value (delivered as the result of the
+``yield``) or an exception (re-raised inside the waiting process).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.sim.engine import SimulationError, Simulator
+
+# Sentinel distinguishing "no value yet" from a legitimate None value.
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Lifecycle: *created* → *triggered* (``succeed``/``fail`` called, the
+    event is on the queue) → *processed* (callbacks have run).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_exc", "_ok", "_processed")
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = _PENDING
+        self._exc: Optional[BaseException] = None
+        self._ok = True
+        self._processed = False
+
+    # -- state ----------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING or self._exc is not None
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if not self.triggered:
+            raise SimulationError("value read from an untriggered event")
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0) -> "Event":
+        """Trigger the event successfully with *value*."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self.sim.schedule(self, delay)
+        return self
+
+    def fail(self, exc: BaseException, delay: float = 0) -> "Event":
+        """Trigger the event with an exception (re-raised in waiters)."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exc, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exc!r}")
+        self._exc = exc
+        self._ok = False
+        self.sim.schedule(self, delay)
+        return self
+
+    # -- callbacks --------------------------------------------------------
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Run *fn(event)* when the event is processed.
+
+        If the event was already processed, *fn* runs immediately — this
+        keeps "wait on an event that already happened" race-free.
+        """
+        if self._processed:
+            fn(self)
+        else:
+            assert self.callbacks is not None
+            self.callbacks.append(fn)
+
+    def _fire(self) -> None:
+        """Called by the simulator when the event comes off the queue."""
+        callbacks, self.callbacks = self.callbacks, None
+        self._processed = True
+        if callbacks:
+            for fn in callbacks:
+                fn(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "processed" if self._processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at t={self.sim.now}>"
+
+
+class Timeout(Event):
+    """An event that fires a fixed delay after its creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: Simulator, delay: float, value: Any = None) -> None:
+        super().__init__(sim)
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay!r}")
+        self.delay = delay
+        self._value = value
+        sim.schedule(self, delay)
+
+
+class Interrupt(Exception):
+    """Raised inside a process that another process interrupted."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class _Condition(Event):
+    """Base for AllOf / AnyOf composite events."""
+
+    __slots__ = ("events", "_count")
+
+    def __init__(self, sim: Simulator, events: List[Event]) -> None:
+        super().__init__(sim)
+        self.events = events
+        self._count = 0
+        if not events:
+            self.succeed([])
+            return
+        for ev in events:
+            ev.add_callback(self._check)
+
+    def _check(self, ev: Event) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every constituent event has fired.
+
+    The value is the list of constituent values, in constructor order.
+    A failed constituent fails the whole condition.
+    """
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._exc)  # type: ignore[arg-type]
+            return
+        self._count += 1
+        if self._count == len(self.events):
+            self.succeed([e.value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any constituent event fires; value is that event's value."""
+
+    __slots__ = ()
+
+    def _check(self, ev: Event) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev._exc)  # type: ignore[arg-type]
+            return
+        self.succeed(ev.value)

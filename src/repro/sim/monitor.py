@@ -1,0 +1,84 @@
+"""Statistics collectors for simulation entities.
+
+Two flavours:
+
+* :class:`TallyStat` — plain observations (e.g. per-access latencies);
+  tracks count/mean/min/max/variance via Welford's algorithm.
+* :class:`TimeWeightedStat` — piecewise-constant signals (queue length,
+  busy servers); integrates value × time so means are time-averaged.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+
+class TallyStat:
+    """Streaming mean/variance/min/max over discrete observations."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum: Optional[float] = None
+        self.maximum: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        if self.minimum is None or value < self.minimum:
+            self.minimum = value
+        if self.maximum is None or value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self._mean if self.count else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (n-1 denominator)."""
+        return self._m2 / (self.count - 1) if self.count > 1 else 0.0
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<TallyStat n={self.count} mean={self.mean:.3g}>"
+
+
+class TimeWeightedStat:
+    """Time-integrated statistic for piecewise-constant signals.
+
+    Call :meth:`record` whenever the monitored value changes; the stat
+    integrates the *previous* value over the elapsed interval.
+    """
+
+    def __init__(self, sim) -> None:
+        self._sim = sim
+        self._last_time = sim.now
+        self._last_value = 0.0
+        self._area = 0.0
+        self._start = sim.now
+        self.maximum = 0.0
+
+    def record(self, value: float) -> None:
+        now = self._sim.now
+        self._area += self._last_value * (now - self._last_time)
+        self._last_time = now
+        self._last_value = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def time_average(self, until: Optional[float] = None) -> float:
+        """Time-averaged value from creation until *until* (default: now)."""
+        end = self._sim.now if until is None else until
+        span = end - self._start
+        if span <= 0:
+            return self._last_value
+        area = self._area + self._last_value * (end - self._last_time)
+        return area / span

@@ -1,0 +1,95 @@
+"""Generator-based simulation processes.
+
+A :class:`Process` wraps a Python generator.  The generator ``yield``\\ s
+:class:`~repro.sim.events.Event` objects; the process sleeps until the
+yielded event fires, at which point the event's value is sent back into
+the generator.  A process is itself an event that fires (with the
+generator's return value) when the generator finishes, so processes can
+wait on each other.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Event, Interrupt
+
+
+class Process(Event):
+    """A running simulation process (also awaitable as an event)."""
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = "") -> None:
+        if not hasattr(gen, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(gen).__name__}; "
+                "did you forget to call the process function?"
+            )
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Event | None = None
+        self.name = name or getattr(gen, "__name__", "process")
+        # Bootstrap: start the generator at the current instant.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed(None)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        The event the process was waiting on is abandoned (its value is
+        discarded when it eventually fires).
+        """
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        target = self._waiting_on
+        self._waiting_on = None
+        if target is not None and not target.processed:
+            # Detach: when the abandoned event fires we must not resume.
+            try:
+                target.callbacks.remove(self._resume)  # type: ignore[union-attr]
+            except (ValueError, AttributeError):
+                pass
+        kick = Event(self.sim)
+        kick.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
+        kick.succeed(None)
+
+    # ------------------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        if self._waiting_on is not event and self._waiting_on is not None:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        self._step(event=event)
+
+    def _step(self, event: Event | None = None, throw: BaseException | None = None) -> None:
+        try:
+            if throw is not None:
+                target = self._gen.throw(throw)
+            elif event is not None and not event.ok:
+                target = self._gen.throw(event._exc)  # type: ignore[arg-type]
+            else:
+                target = self._gen.send(event.value if event is not None else None)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._gen.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; processes must yield Event objects"
+                )
+            )
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)

@@ -1,0 +1,29 @@
+"""Shared utilities: seeded RNG streams, unit conversions, ASCII tables."""
+
+from repro.util.rng import RngStreams, spawn_rngs
+from repro.util.units import (
+    CYCLES_PER_SECOND_DEFAULT,
+    bytes_per_word,
+    cycles_per_byte_from_mb_per_s,
+    cycles_to_us,
+    mb_per_s_from_cycles_per_byte,
+    us_to_cycles,
+)
+from repro.util.tables import format_series, format_table
+from repro.util.validation import check_positive, check_power_of_two, require
+
+__all__ = [
+    "RngStreams",
+    "spawn_rngs",
+    "CYCLES_PER_SECOND_DEFAULT",
+    "bytes_per_word",
+    "cycles_per_byte_from_mb_per_s",
+    "mb_per_s_from_cycles_per_byte",
+    "cycles_to_us",
+    "us_to_cycles",
+    "format_table",
+    "format_series",
+    "check_positive",
+    "check_power_of_two",
+    "require",
+]

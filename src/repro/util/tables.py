@@ -1,0 +1,64 @@
+"""Plain-text rendering of result tables and data series.
+
+The experiment harness prints the same rows/series the paper reports;
+these helpers keep the formatting consistent (fixed-width ASCII so the
+output diffs cleanly between runs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Sequence
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-3:
+            return f"{value:.4g}"
+        return f"{value:,.2f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str = "") -> str:
+    """Render rows as a boxed fixed-width table."""
+    srows: List[List[str]] = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "+".join("-" * (w + 2) for w in widths)
+    sep = f"+{sep}+"
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(sep)
+    out.append("| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |")
+    out.append(sep)
+    for row in srows:
+        out.append("| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |")
+    out.append(sep)
+    return "\n".join(out)
+
+
+def format_series(
+    x_name: str,
+    x_values: Sequence[Any],
+    series: Dict[str, Sequence[Any]],
+    title: str = "",
+) -> str:
+    """Render multiple aligned series as one table keyed by *x_name*.
+
+    This is the textual analogue of one paper figure: the x column plus
+    one column per plotted line.
+    """
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points, expected {len(x_values)}"
+            )
+    rows = [[x] + [series[name][i] for name in names] for i, x in enumerate(x_values)]
+    return format_table([x_name] + names, rows, title=title)

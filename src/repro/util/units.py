@@ -1,0 +1,48 @@
+"""Unit conversions between cycles, seconds, and bandwidths.
+
+The paper reports network parameters both in clock cycles (at 400 MHz,
+Table 3) and physical units; Table 4 converts several published machine
+specs into cycles.  These helpers centralise that arithmetic.
+"""
+
+from __future__ import annotations
+
+#: Default node clock: 400 MHz (Table 2).
+CYCLES_PER_SECOND_DEFAULT = 400e6
+
+#: The shared-memory word size used throughout the reproduction (bytes).
+WORD_BYTES = 4
+
+
+def bytes_per_word() -> int:
+    """Word size of the simulated shared-memory machines (4 bytes)."""
+    return WORD_BYTES
+
+
+def cycles_per_byte_from_mb_per_s(mb_per_s: float, clock_hz: float = CYCLES_PER_SECOND_DEFAULT) -> float:
+    """Convert a bandwidth in MB/s into a gap in cycles/byte.
+
+    >>> round(cycles_per_byte_from_mb_per_s(133.0), 1)   # Table 3
+    3.0
+    """
+    if mb_per_s <= 0:
+        raise ValueError(f"bandwidth must be positive, got {mb_per_s}")
+    bytes_per_s = mb_per_s * 1e6
+    return clock_hz / bytes_per_s
+
+
+def mb_per_s_from_cycles_per_byte(cpb: float, clock_hz: float = CYCLES_PER_SECOND_DEFAULT) -> float:
+    """Inverse of :func:`cycles_per_byte_from_mb_per_s`."""
+    if cpb <= 0:
+        raise ValueError(f"gap must be positive, got {cpb}")
+    return clock_hz / cpb / 1e6
+
+
+def us_to_cycles(us: float, clock_hz: float = CYCLES_PER_SECOND_DEFAULT) -> float:
+    """Microseconds → cycles.  1 us at 400 MHz is 400 cycles (Table 3's o)."""
+    return us * 1e-6 * clock_hz
+
+
+def cycles_to_us(cycles: float, clock_hz: float = CYCLES_PER_SECOND_DEFAULT) -> float:
+    """Cycles → microseconds."""
+    return cycles / clock_hz * 1e6

@@ -1,0 +1,23 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValueError` with *message* unless *condition* holds."""
+    if not condition:
+        raise ValueError(message)
+
+
+def check_positive(name: str, value: Any) -> None:
+    """Require a strictly positive number."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Require a positive power of two (tree barriers, bank interleave)."""
+    if value < 1 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a power of two, got {value!r}")

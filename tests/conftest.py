@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.qsmlib import RunConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_config() -> RunConfig:
+    """A 4-processor machine with semantics checking on (fast tests)."""
+    return RunConfig(machine=MachineConfig(p=4), seed=7, check_semantics=True)
+
+
+@pytest.fixture
+def p16_config() -> RunConfig:
+    """The paper's default 16-processor machine."""
+    return RunConfig(machine=MachineConfig(p=16), seed=7, check_semantics=False)

@@ -1,0 +1,61 @@
+"""Tests for the broadcast design study."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.broadcast import run_broadcast
+from repro.machine.config import MachineConfig
+from repro.qsmlib import RunConfig
+
+
+def cfg(p=16, **kw):
+    kw.setdefault("check_semantics", True)
+    return RunConfig(machine=MachineConfig(p=p), seed=1, **kw)
+
+
+@pytest.mark.parametrize("strategy", ["flat", "tree"])
+@pytest.mark.parametrize("p", [1, 2, 3, 8, 16])
+def test_every_processor_receives(strategy, p):
+    out = run_broadcast(42, cfg(p), strategy=strategy)
+    assert out.values == [42] * p
+
+
+def test_flat_is_one_phase_tree_is_log_p():
+    flat = run_broadcast(7, cfg(16), strategy="flat")
+    tree = run_broadcast(7, cfg(16), strategy="tree")
+    assert flat.run.n_phases == 1
+    assert tree.run.n_phases == 4
+
+
+def test_flat_wins_at_paper_scale():
+    """At p=16 with the paper's L, one phase of p−1 puts beats four
+    phases of one put: the appendix algorithms' design choice."""
+    flat = run_broadcast(7, cfg(16, check_semantics=False), strategy="flat")
+    tree = run_broadcast(7, cfg(16, check_semantics=False), strategy="tree")
+    assert flat.run.total_cycles < 0.5 * tree.run.total_cycles
+
+
+def test_flat_root_sends_p_minus_1_words():
+    out = run_broadcast(7, cfg(8), strategy="flat")
+    ph = out.run.phases[0]
+    assert ph.put_words[0] == 7
+    assert ph.put_words[1:].sum() == 0
+
+
+def test_tree_one_put_per_holder_per_phase():
+    out = run_broadcast(7, cfg(8), strategy="tree")
+    for k, ph in enumerate(out.run.phases):
+        senders = np.flatnonzero(ph.put_words)
+        assert (ph.put_words[senders] == 1).all()
+        assert len(senders) == min(1 << k, 8 - (1 << k))
+
+
+def test_unknown_strategy_rejected():
+    with pytest.raises(ValueError, match="unknown broadcast strategy"):
+        run_broadcast(1, cfg(4), strategy="ring")
+
+
+def test_kappa_is_one_for_both():
+    for strategy in ("flat", "tree"):
+        out = run_broadcast(3, cfg(8, track_kappa=True), strategy=strategy)
+        assert max((ph.kappa or 0) for ph in out.run.phases) <= 1

@@ -1,0 +1,116 @@
+"""Tests for the QSM randomized list-ranking algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.listrank import ListRankParams, make_random_list, run_list_ranking
+from repro.algorithms.sequential import sequential_list_rank
+from repro.machine.config import MachineConfig
+from repro.qsmlib import RunConfig
+
+
+def cfg(p=4, **kw):
+    kw.setdefault("check_semantics", True)
+    return RunConfig(machine=MachineConfig(p=p), seed=17, **kw)
+
+
+@pytest.mark.parametrize(
+    "n,p,seed",
+    [(64, 4, 0), (1000, 4, 1), (1000, 8, 2), (5000, 16, 3), (333, 2, 4), (50, 16, 5)],
+)
+def test_matches_sequential(n, p, seed):
+    succ = make_random_list(n, seed=seed)
+    out = run_list_ranking(succ, cfg(p))
+    assert np.array_equal(out.ranks, sequential_list_rank(succ))
+
+
+def test_sequential_chain_layout():
+    """A chain laid out in index order (worst locality for removal pairs)."""
+    n = 500
+    succ = np.arange(1, n + 1, dtype=np.int64)
+    succ[-1] = -1
+    out = run_list_ranking(succ, cfg(4))
+    assert np.array_equal(out.ranks, np.arange(1, n + 1))
+
+
+def test_reversed_chain_layout():
+    n = 500
+    succ = np.arange(-1, n - 1, dtype=np.int64)  # succ[i] = i-1
+    out = run_list_ranking(succ, cfg(4))
+    assert np.array_equal(out.ranks, np.arange(n, 0, -1))
+
+
+def test_single_element():
+    out = run_list_ranking(np.array([-1]), cfg(1))
+    assert list(out.ranks) == [1]
+
+
+def test_phase_count_matches_formula():
+    params = ListRankParams()
+    for p in [2, 4, 16]:
+        out = run_list_ranking(make_random_list(200, seed=1), cfg(p), params=params)
+        expected = 4 * params.iterations(p) + 5
+        assert out.run.n_phases == expected
+
+
+def test_p1_has_no_compression_iterations():
+    params = ListRankParams()
+    assert params.iterations(1) == 0
+    out = run_list_ranking(make_random_list(100, seed=2), cfg(1))
+    assert np.array_equal(out.ranks, sequential_list_rank(make_random_list(100, seed=2)))
+
+
+def test_x_observations_decay(rng):
+    out = run_list_ranking(make_random_list(20000, seed=3), cfg(8))
+    x_by_phase = out.run.observe_max_by_phase("x")
+    xs = [x_by_phase[k] for k in sorted(x_by_phase)]
+    assert xs[0] == pytest.approx(2500, rel=0.01)
+    assert xs[-1] < xs[0] * 0.5  # substantial compression over iterations
+    assert all(b <= a for a, b in zip(xs, xs[1:]))  # monotone nonincreasing
+
+
+def test_removed_fraction_near_quarter():
+    out = run_list_ranking(make_random_list(40000, seed=4), cfg(4))
+    xs = out.run.observe_values("x")
+    removed = out.run.observe_values("removed")
+    # Aggregate over all iterations/processors: ~1/4 of active removed.
+    frac = sum(removed) / sum(xs)
+    assert 0.18 < frac < 0.30
+
+
+def test_survivors_match_z_observation():
+    out = run_list_ranking(make_random_list(5000, seed=5), cfg(4))
+    z_total = sum(out.run.observe_values("z_local"))
+    assert z_total == sum(out.run.returns)
+    assert 0 < z_total < 5000
+
+
+def test_iter_factor_controls_compression():
+    light = run_list_ranking(
+        make_random_list(20000, seed=6), cfg(4), params=ListRankParams(iter_factor=2)
+    )
+    heavy = run_list_ranking(
+        make_random_list(20000, seed=6), cfg(4), params=ListRankParams(iter_factor=6)
+    )
+    assert sum(heavy.run.returns) < sum(light.run.returns)
+    assert np.array_equal(light.ranks, heavy.ranks)
+
+
+def test_n_smaller_than_p_rejected():
+    with pytest.raises(ValueError, match="n >= p"):
+        run_list_ranking(np.array([1, -1]), cfg(4))
+
+
+def test_irregular_traffic_present():
+    """List ranking is the irregular-communication workload: the flip-get
+    phases must generate substantial get traffic."""
+    out = run_list_ranking(make_random_list(20000, seed=7), cfg(4))
+    total_gets = sum(ph.get_words.sum() for ph in out.run.phases)
+    assert total_gets > 10000
+
+
+def test_determinism():
+    a = run_list_ranking(make_random_list(3000, seed=8), cfg(4))
+    b = run_list_ranking(make_random_list(3000, seed=8), cfg(4))
+    assert np.array_equal(a.ranks, b.ranks)
+    assert a.run.total_cycles == b.run.total_cycles

@@ -1,0 +1,73 @@
+"""Tests for the QSM prefix-sums algorithm."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.prefix import run_prefix_sums
+from repro.algorithms.sequential import sequential_prefix_sums
+from repro.machine.config import MachineConfig
+from repro.qsmlib import RunConfig
+
+
+def cfg(p=4, **kw):
+    kw.setdefault("check_semantics", True)
+    return RunConfig(machine=MachineConfig(p=p), seed=3, **kw)
+
+
+@pytest.mark.parametrize("n,p", [(16, 4), (100, 4), (4096, 16), (37, 8), (1000, 1)])
+def test_matches_sequential(n, p, rng):
+    values = rng.integers(-50, 50, size=n)
+    out = run_prefix_sums(values, cfg(p))
+    assert np.array_equal(out.result, sequential_prefix_sums(values))
+
+
+def test_single_synchronization(rng):
+    out = run_prefix_sums(rng.integers(0, 9, 256), cfg(4))
+    assert out.run.n_phases == 1
+
+
+def test_puts_exactly_p_minus_1_words_per_proc(rng):
+    out = run_prefix_sums(rng.integers(0, 9, 256), cfg(4))
+    assert (out.run.phases[0].put_words == 3).all()
+
+
+def test_kappa_is_one(rng):
+    out = run_prefix_sums(rng.integers(0, 9, 256), cfg(4, track_kappa=True))
+    assert out.run.phases[0].kappa == 1
+
+
+def test_comm_independent_of_n(rng):
+    small = run_prefix_sums(rng.integers(0, 9, 256), cfg(4))
+    big = run_prefix_sums(rng.integers(0, 9, 65536), cfg(4))
+    assert small.run.comm_cycles == pytest.approx(big.run.comm_cycles, rel=0.01)
+
+
+def test_compute_grows_with_n(rng):
+    small = run_prefix_sums(rng.integers(0, 9, 1024), cfg(4))
+    big = run_prefix_sums(rng.integers(0, 9, 65536), cfg(4))
+    assert big.run.compute_cycles > 10 * small.run.compute_cycles
+
+
+def test_n_smaller_than_p_rejected(rng):
+    with pytest.raises(ValueError, match="n >= p"):
+        run_prefix_sums(rng.integers(0, 9, 3), cfg(4))
+
+
+def test_zero_length_blocks_handled(rng):
+    # n slightly above p: last processor's block is nearly empty.
+    values = rng.integers(0, 9, size=9)
+    out = run_prefix_sums(values, cfg(8))
+    assert np.array_equal(out.result, sequential_prefix_sums(values))
+
+
+def test_returns_are_offsets(rng):
+    values = rng.integers(1, 10, size=64)
+    out = run_prefix_sums(values, cfg(4))
+    expected_offsets = [int(values[: 16 * pid].sum()) for pid in range(4)]
+    assert out.run.returns == expected_offsets
+
+
+def test_large_values_no_overflow():
+    values = np.full(64, 2**40, dtype=np.int64)
+    out = run_prefix_sums(values, cfg(4))
+    assert out.result[-1] == 64 * 2**40

@@ -1,0 +1,113 @@
+"""Tests for the QSM sample sort."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.samplesort import SampleSortParams, run_sample_sort
+from repro.algorithms.sequential import sequential_sort
+from repro.machine.config import MachineConfig
+from repro.qsmlib import RunConfig
+
+
+def cfg(p=4, **kw):
+    kw.setdefault("check_semantics", True)
+    return RunConfig(machine=MachineConfig(p=p), seed=11, **kw)
+
+
+@pytest.mark.parametrize("n,p", [(2000, 4), (5000, 8), (20000, 16)])
+def test_matches_sequential(n, p, rng):
+    values = rng.integers(0, 2**62, size=n)
+    out = run_sample_sort(values, cfg(p))
+    assert np.array_equal(out.result, sequential_sort(values))
+
+
+def test_handles_duplicate_keys(rng):
+    values = rng.integers(0, 5, size=4000)  # heavy duplication
+    out = run_sample_sort(values, cfg(4))
+    assert np.array_equal(out.result, sequential_sort(values))
+
+
+def test_handles_all_equal_keys():
+    values = np.full(4000, 7, dtype=np.int64)
+    out = run_sample_sort(values, cfg(4))
+    assert (out.result == 7).all()
+
+
+def test_handles_presorted_input():
+    values = np.arange(4000)
+    out = run_sample_sort(values, cfg(4))
+    assert np.array_equal(out.result, values)
+
+
+def test_handles_reverse_sorted_input():
+    values = np.arange(4000)[::-1].copy()
+    out = run_sample_sort(values, cfg(4))
+    assert np.array_equal(out.result, np.arange(4000))
+
+
+def test_handles_negative_values(rng):
+    values = rng.integers(-(2**40), 2**40, size=4000)
+    out = run_sample_sort(values, cfg(4))
+    assert np.array_equal(out.result, sequential_sort(values))
+
+
+def test_five_phases(rng):
+    out = run_sample_sort(rng.integers(0, 2**62, size=4000), cfg(4))
+    assert out.run.n_phases == 5
+
+
+def test_temporaries_freed(rng):
+    out = run_sample_sort(rng.integers(0, 2**62, size=4000), cfg(4))
+    # B observed once per processor
+    assert len(out.run.observe_values("B")) == 4
+
+
+def test_observed_B_at_least_n_over_p(rng):
+    out = run_sample_sort(rng.integers(0, 2**62, size=8000), cfg(4))
+    assert max(out.run.observe_values("B")) >= 2000
+
+
+def test_observed_r_in_unit_interval(rng):
+    out = run_sample_sort(rng.integers(0, 2**62, size=8000), cfg(4))
+    for r in out.run.observe_values("r"):
+        assert 0.0 <= r <= 1.0
+
+
+def test_bucket_sizes_sum_to_n(rng):
+    out = run_sample_sort(rng.integers(0, 2**62, size=8000), cfg(4))
+    assert sum(out.run.returns) == 8000
+
+
+def test_too_small_n_rejected(rng):
+    with pytest.raises(ValueError, match="sample sort needs"):
+        run_sample_sort(rng.integers(0, 9, size=50), cfg(16))
+
+
+def test_oversampling_factor_scales_samples(rng):
+    values = rng.integers(0, 2**62, size=8000)
+    light = run_sample_sort(values, cfg(4), params=SampleSortParams(oversampling=2))
+    heavy = run_sample_sort(values, cfg(4), params=SampleSortParams(oversampling=8))
+    assert np.array_equal(light.result, heavy.result)
+    # sample broadcast phase carries proportionally more words
+    assert heavy.run.phases[1].max_put_words > 2 * light.run.phases[1].max_put_words
+
+
+def test_heavier_oversampling_better_balance(rng):
+    """More samples → tighter buckets on average (statistical, fixed seed)."""
+    values = rng.integers(0, 2**62, size=32000)
+    light = run_sample_sort(values, cfg(8), params=SampleSortParams(oversampling=1))
+    heavy = run_sample_sort(values, cfg(8), params=SampleSortParams(oversampling=16))
+    assert max(heavy.run.observe_values("B")) <= max(light.run.observe_values("B"))
+
+
+def test_input_not_modified(rng):
+    values = rng.integers(0, 2**62, size=4000)
+    original = values.copy()
+    run_sample_sort(values, cfg(4))
+    assert np.array_equal(values, original)
+
+
+def test_p1_degenerates_to_local_sort(rng):
+    values = rng.integers(0, 2**62, size=1000)
+    out = run_sample_sort(values, cfg(1))
+    assert np.array_equal(out.result, sequential_sort(values))

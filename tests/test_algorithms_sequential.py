@@ -1,0 +1,81 @@
+"""Tests for the uniprocessor reference implementations."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.sequential import (
+    random_list_successors,
+    sequential_list_rank,
+    sequential_prefix_sums,
+    sequential_sort,
+)
+
+
+def test_prefix_sums_inclusive():
+    assert list(sequential_prefix_sums([1, 2, 3])) == [1, 3, 6]
+
+
+def test_prefix_sums_negative_values():
+    assert list(sequential_prefix_sums([5, -3, 1])) == [5, 2, 3]
+
+
+def test_sort_matches_sorted():
+    values = np.array([5, 1, 4, 1, 3])
+    assert list(sequential_sort(values)) == sorted(values)
+
+
+def test_list_rank_simple_chain():
+    # 0 -> 1 -> 2 (tail)
+    succ = np.array([1, 2, -1])
+    assert list(sequential_list_rank(succ)) == [1, 2, 3]
+
+
+def test_list_rank_scrambled_chain():
+    # list order: 2 -> 0 -> 1
+    succ = np.array([1, -1, 0])
+    assert list(sequential_list_rank(succ)) == [2, 3, 1]
+
+
+def test_list_rank_single_element():
+    assert list(sequential_list_rank(np.array([-1]))) == [1]
+
+
+def test_list_rank_empty():
+    assert sequential_list_rank(np.array([], dtype=np.int64)).size == 0
+
+
+def test_list_rank_rejects_two_tails():
+    with pytest.raises(ValueError, match="tail"):
+        sequential_list_rank(np.array([-1, -1]))
+
+
+def test_list_rank_rejects_shared_successor():
+    with pytest.raises(ValueError, match="share"):
+        sequential_list_rank(np.array([2, 2, -1]))
+
+
+def test_list_rank_rejects_cycle():
+    with pytest.raises(ValueError):
+        sequential_list_rank(np.array([1, 0, -1]))
+
+
+def test_list_rank_rejects_out_of_range():
+    with pytest.raises(ValueError, match="out of range"):
+        sequential_list_rank(np.array([5, -1]))
+
+
+def test_random_list_is_valid_permutation_list(rng):
+    succ = random_list_successors(50, rng)
+    ranks = sequential_list_rank(succ)
+    assert sorted(ranks) == list(range(1, 51))
+
+
+def test_random_list_deterministic_per_rng():
+    a = random_list_successors(20, np.random.default_rng(3))
+    b = random_list_successors(20, np.random.default_rng(3))
+    assert np.array_equal(a, b)
+
+
+def test_random_list_requires_positive_n(rng):
+    with pytest.raises(ValueError):
+        random_list_successors(0, rng)

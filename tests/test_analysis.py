@@ -1,0 +1,151 @@
+"""Tests for error metrics, crossover detection, and Table 4 extrapolation."""
+
+import pytest
+
+from repro.analysis.crossover import band_crossover, interpolate_crossover
+from repro.analysis.errors import first_n_within, relative_error, within_fraction
+from repro.analysis.extrapolate import (
+    NMinModel,
+    PAPER_NMIN_PER_PROC,
+    fit_nmin_model,
+    n_min_per_proc,
+    table4_rows,
+)
+from repro.machine.config import TABLE4_PRESETS
+
+
+# ---------------------------------------------------------------------------
+# errors
+# ---------------------------------------------------------------------------
+def test_relative_error_basic():
+    assert relative_error(90, 100) == pytest.approx(0.1)
+    assert relative_error(110, 100) == pytest.approx(0.1)
+
+
+def test_relative_error_requires_positive_measurement():
+    with pytest.raises(ValueError):
+        relative_error(1, 0)
+
+
+def test_within_fraction():
+    assert within_fraction(95, 100, 0.10)
+    assert not within_fraction(85, 100, 0.10)
+    with pytest.raises(ValueError):
+        within_fraction(1, 1, -0.1)
+
+
+def test_first_n_within_finds_threshold():
+    ns = [10, 20, 30, 40]
+    measured = [100, 100, 100, 100]
+    predicted = [50, 80, 95, 99]
+    assert first_n_within(ns, predicted, measured, 0.10) == 30
+
+
+def test_first_n_within_requires_held_accuracy():
+    ns = [10, 20, 30]
+    measured = [100, 100, 100]
+    predicted = [95, 50, 95]  # dips out in the middle
+    assert first_n_within(ns, predicted, measured, 0.10) == 30
+
+
+def test_first_n_within_none_when_never():
+    assert first_n_within([1, 2], [1, 1], [100, 100], 0.10) is None
+
+
+def test_first_n_within_validation():
+    with pytest.raises(ValueError, match="sorted"):
+        first_n_within([2, 1], [1, 1], [1, 1])
+    with pytest.raises(ValueError, match="length"):
+        first_n_within([1], [1, 2], [1, 2])
+
+
+# ---------------------------------------------------------------------------
+# crossover
+# ---------------------------------------------------------------------------
+def test_interpolate_crossover_midpoint():
+    # diff goes -10 -> +10 between n=100 and n=200: crossover at 150.
+    assert interpolate_crossover([100, 200], [-10, 10]) == pytest.approx(150.0)
+
+
+def test_interpolate_crossover_starts_inside():
+    assert interpolate_crossover([100, 200], [5, 10]) == 100.0
+
+
+def test_interpolate_crossover_never():
+    assert interpolate_crossover([100, 200], [-5, -1]) is None
+    assert interpolate_crossover([], []) is None
+
+
+def test_band_crossover_typical_shape():
+    ns = [10, 20, 30, 40]
+    measured = [50, 45, 42, 41]  # approaches from above
+    whp = [40, 44, 46, 48]
+    best = [20, 25, 30, 35]
+    n_star = band_crossover(ns, measured, whp, best)
+    assert 10 < n_star < 30
+
+
+def test_band_crossover_inconsistent_model_rejected():
+    ns = [10, 20]
+    measured = [5, 5]  # below half the best case
+    whp = [40, 44]
+    best = [20, 25]
+    with pytest.raises(ValueError, match="inconsistent"):
+        band_crossover(ns, measured, whp, best)
+
+
+# ---------------------------------------------------------------------------
+# extrapolation
+# ---------------------------------------------------------------------------
+def make_model():
+    # synthetic sweeps: nmin/p = 2*l + 5*o + 100 at g0=3
+    ls = [400.0, 1600.0, 6400.0]
+    os_ = [100.0, 400.0, 1600.0]
+    nl = [2 * l + 5 * 400 + 100 for l in ls]
+    no = [2 * 1600 + 5 * o + 100 for o in os_]
+    return fit_nmin_model(ls, nl, os_, no, default_l=1600, default_o=400, default_g=3.0)
+
+
+def test_fit_recovers_slopes():
+    model = make_model()
+    assert model.slope_l == pytest.approx(2.0)
+    assert model.slope_o == pytest.approx(5.0)
+    assert model.intercept == pytest.approx(100.0)
+
+
+def test_model_g_scaling():
+    model = make_model()
+    at_g3 = model.n_min_per_proc(1600, 400, 3.0)
+    at_g6 = model.n_min_per_proc(1600, 400, 6.0)
+    assert at_g3 == pytest.approx(2 * at_g6)
+
+
+def test_model_clamps_nonnegative():
+    model = NMinModel(slope_l=1.0, slope_o=1.0, intercept=-10**9, g0=3.0)
+    assert model.n_min_per_proc(1, 1, 3.0) == 0.0
+    with pytest.raises(ValueError):
+        model.n_min_per_proc(1, 1, 0.0)
+
+
+def test_fit_requires_two_points():
+    with pytest.raises(ValueError):
+        fit_nmin_model([1.0], [1.0], [1.0, 2.0], [1.0, 2.0], 1, 1, 1)
+
+
+def test_table4_rows_cover_all_presets():
+    rows = table4_rows(make_model())
+    assert len(rows) == len(TABLE4_PRESETS) == len(PAPER_NMIN_PER_PROC)
+    names = {row[0] for row in rows}
+    assert names == set(TABLE4_PRESETS)
+
+
+def test_table4_pentium_is_worst():
+    """The TCP/Ethernet row dominates every extrapolation, as in the paper."""
+    model = make_model()
+    rows = {row[0]: row[5] for row in table4_rows(model)}
+    assert rows["pentium2-tcp-ethernet"] == max(rows.values())
+
+
+def test_paper_reference_values_recorded():
+    assert PAPER_NMIN_PER_PROC["default-simulation"] == 8000.0
+    assert PAPER_NMIN_PER_PROC["pentium2-tcp-ethernet"] == 325000.0

@@ -1,0 +1,77 @@
+"""Tests for the speedup/efficiency analysis utilities."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import run_sample_sort
+from repro.algorithms.common import profile_sort
+from repro.analysis.speedup import ScalingPoint, break_even_p, scaling_point, scaling_table
+from repro.machine.config import MachineConfig, NodeConfig
+from repro.machine.cpu import CPUModel
+from repro.qsmlib import RunConfig
+
+
+def pt(p, total, seq, comm=0.0):
+    return ScalingPoint(
+        p=p, total_cycles=total, comm_cycles=comm, compute_cycles=total - comm,
+        sequential_cycles=seq,
+    )
+
+
+def test_speedup_and_efficiency():
+    point = pt(4, total=250.0, seq=1000.0)
+    assert point.speedup == 4.0
+    assert point.efficiency == 1.0
+
+
+def test_comm_fraction():
+    point = pt(2, total=100.0, seq=100.0, comm=25.0)
+    assert point.comm_fraction == 0.25
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        pt(2, total=0.0, seq=10.0).speedup
+    with pytest.raises(ValueError):
+        scaling_point(0, None, 10.0)  # type: ignore[arg-type]
+    with pytest.raises(ValueError):
+        break_even_p([])
+
+
+def test_scaling_table_sorted_rows():
+    rows = scaling_table([pt(8, 100, 400), pt(2, 300, 400)])
+    assert [r[0] for r in rows] == [2, 8]
+    assert rows[1][2] == 4.0  # speedup at p=8
+
+
+def test_break_even_detection():
+    points = [pt(2, 1200, 1000), pt(4, 900, 1000), pt(8, 500, 1000)]
+    info = break_even_p(points)
+    assert info["break_even"] == 4
+    assert info["best_p"] == 8
+    assert info["best_speedup"] == pytest.approx(2.0)
+
+
+def test_break_even_none_when_never():
+    info = break_even_p([pt(2, 2000, 1000)])
+    assert info["break_even"] is None
+
+
+def test_end_to_end_scaling_of_sample_sort():
+    """Measured scaling curve: efficiency decreases with p, and the
+    16-node machine beats one node at this size."""
+    n = 250_000
+    rng = np.random.default_rng(2)
+    values = rng.integers(0, 2**62, size=n)
+    seq = CPUModel(NodeConfig()).cycles(profile_sort(n))
+    points = []
+    for p in (4, 16):
+        cfg = RunConfig(machine=MachineConfig(p=p), seed=2, check_semantics=False)
+        out = run_sample_sort(values, cfg)
+        points.append(scaling_point(p, out.run, seq))
+    info = break_even_p(points)
+    assert info["best_speedup"] > 1.0
+    effs = [q.efficiency for q in points]
+    assert effs[1] < effs[0]  # communication erodes efficiency with p
+    fracs = [q.comm_fraction for q in points]
+    assert fracs[1] > fracs[0]

@@ -1,0 +1,40 @@
+"""Tests for the qsm-repro CLI."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+def test_list_prints_all(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out.split()
+    assert "fig1" in out and "table4" in out
+    assert len(out) == 11
+
+
+def test_run_single_experiment(capsys):
+    assert main(["run", "table2"]) == 0
+    out = capsys.readouterr().out
+    assert "table2" in out
+    assert "400 MHz" in out
+    assert "completed in" in out
+
+
+def test_run_fast_flag(capsys):
+    assert main(["run", "table3", "--fast"]) == 0
+    assert "observed" in capsys.readouterr().out
+
+
+def test_run_with_seed(capsys):
+    assert main(["run", "fig1", "--fast", "--seed", "3"]) == 0
+    assert "Prefix sums" in capsys.readouterr().out
+
+
+def test_unknown_experiment_rejected_by_parser():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "nonsense"])
+
+
+def test_command_required():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

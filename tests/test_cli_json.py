@@ -1,0 +1,53 @@
+"""Tests for the CLI JSON export."""
+
+import json
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cli import main
+
+
+def test_json_dump_single(tmp_path, capsys):
+    out = tmp_path / "fig1.json"
+    assert main(["run", "fig1", "--fast", "--json", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["id"] == "fig1"
+    assert "comm_measured" in payload["data"]
+    assert len(payload["data"]["x"]) == len(payload["data"]["comm_measured"])
+    assert f"wrote JSON to {out}" in capsys.readouterr().out
+
+
+def test_json_dump_table(tmp_path, capsys):
+    out = tmp_path / "t2.json"
+    assert main(["run", "table2", "--json", str(out)]) == 0
+    payload = json.loads(out.read_text())
+    assert payload["id"] == "table2"
+    assert any("400 MHz" in str(row) for row in payload["data"]["rows"])
+
+
+def test_to_json_dict_drops_unserialisable():
+    class Opaque:
+        pass
+
+    result = ExperimentResult(
+        exp_id="x",
+        title="t",
+        text="",
+        data={"good": [1, 2.5, "s"], "bad": Opaque(), "nested_bad": {"k": Opaque()}},
+    )
+    clean = result.to_json_dict()
+    assert clean["data"] == {"good": [1, 2.5, "s"]}
+    json.dumps(clean)  # round-trips
+
+
+def test_to_json_dict_handles_numpy():
+    import numpy as np
+
+    result = ExperimentResult(
+        exp_id="x",
+        title="t",
+        text="",
+        data={"arr": np.array([1, 2]), "i": np.int64(3), "f": np.float64(1.5)},
+    )
+    clean = result.to_json_dict()["data"]
+    assert clean == {"arr": [1, 2], "i": 3, "f": 1.5}
+    json.dumps(clean)

@@ -1,0 +1,144 @@
+"""Tests for the reusable QSM communication patterns."""
+
+import numpy as np
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.qsmlib import QSMMachine, RunConfig
+from repro.qsmlib.collective_patterns import AllShareBoard, scatter_from_root, ship_block_to
+
+
+def cfg(p=4):
+    return RunConfig(machine=MachineConfig(p=p), seed=5)
+
+
+def test_allshare_round_trip():
+    qm = QSMMachine(cfg())
+
+    def program(ctx):
+        board = AllShareBoard.alloc(ctx, "t")
+        yield ctx.sync()
+        board.post(ctx, 10 * (ctx.pid + 1))
+        yield ctx.sync()
+        return list(board.read(ctx))
+
+    res = qm.run(program)
+    assert all(r == [10, 20, 30, 40] for r in res.returns)
+
+
+def test_allshare_aggregates():
+    qm = QSMMachine(cfg())
+
+    def program(ctx):
+        board = AllShareBoard.alloc(ctx, "t")
+        yield ctx.sync()
+        board.post(ctx, ctx.pid + 1)
+        yield ctx.sync()
+        return (
+            board.total(ctx),
+            board.exclusive_prefix(ctx),
+            board.maximum(ctx),
+        )
+
+    res = qm.run(program)
+    totals, prefixes, maxima = zip(*res.returns)
+    assert set(totals) == {10}
+    assert list(prefixes) == [0, 1, 3, 6]
+    assert set(maxima) == {4}
+
+
+def test_allshare_posts_p_minus_1_remote_words():
+    qm = QSMMachine(cfg())
+
+    def program(ctx):
+        board = AllShareBoard.alloc(ctx, "t")
+        yield ctx.sync()
+        board.post(ctx, 1)
+        yield ctx.sync()
+
+    run = qm.run(program)
+    assert (run.phases[1].put_words == 3).all()
+
+
+def test_allshare_free():
+    qm = QSMMachine(cfg())
+
+    def program(ctx):
+        board = AllShareBoard.alloc(ctx, "t")
+        yield ctx.sync()
+        board.free(ctx)
+        yield ctx.sync()
+
+    qm.run(program)
+    assert len(qm.space) == 0
+
+
+def test_ship_block_to_with_offsets():
+    """The canonical placement idiom: share sizes, ship to offsets."""
+    qm = QSMMachine(cfg())
+    out = qm.allocate("out", 40)
+
+    def program(ctx, out):
+        board = AllShareBoard.alloc(ctx, "sizes")
+        yield ctx.sync()
+        mine = np.full(ctx.pid + 1, ctx.pid + 1, dtype=np.int64)  # pid+1 copies
+        board.post(ctx, len(mine))
+        yield ctx.sync()
+        offset = board.exclusive_prefix(ctx)
+        ship_block_to(ctx, out, offset, mine)
+        yield ctx.sync()
+
+    qm.run(program, out=out)
+    expected = np.concatenate([np.full(i + 1, i + 1) for i in range(4)])
+    assert np.array_equal(out.data[:10], expected)
+
+
+def test_ship_empty_block_is_noop():
+    qm = QSMMachine(cfg())
+    out = qm.allocate("out", 8)
+
+    def program(ctx, out):
+        ship_block_to(ctx, out, 0, np.array([], dtype=np.int64))
+        yield ctx.sync()
+
+    run = qm.run(program, out=out)
+    assert run.phases[0].put_words.sum() == 0
+
+
+def test_scatter_from_root():
+    qm = QSMMachine(cfg())
+    arr = qm.allocate("a", 16)  # block = 4
+
+    def program(ctx, arr):
+        data = np.arange(16).reshape(4, 4) if ctx.pid == 0 else None
+        scatter_from_root(ctx, arr, data)
+        yield ctx.sync()
+        return list(ctx.local(arr))
+
+    res = qm.run(program, arr=arr)
+    assert res.returns == [[0, 1, 2, 3], [4, 5, 6, 7], [8, 9, 10, 11], [12, 13, 14, 15]]
+
+
+def test_scatter_rejects_nonroot_data():
+    qm = QSMMachine(cfg())
+    arr = qm.allocate("a", 16)
+
+    def program(ctx, arr):
+        scatter_from_root(ctx, arr, np.zeros((4, 4)))  # everyone supplies!
+        yield ctx.sync()
+
+    with pytest.raises(ValueError, match="only processor 0"):
+        qm.run(program, arr=arr)
+
+
+def test_scatter_validates_shape():
+    qm = QSMMachine(cfg())
+    arr = qm.allocate("a", 16)
+
+    def program(ctx, arr):
+        data = np.zeros((3, 4)) if ctx.pid == 0 else None  # wrong proc count
+        scatter_from_root(ctx, arr, data)
+        yield ctx.sync()
+
+    with pytest.raises(ValueError, match="one block per processor"):
+        qm.run(program, arr=arr)

@@ -1,0 +1,123 @@
+"""Algorithm behaviour across machine configurations.
+
+Two invariant families:
+
+* **results are timing-independent** — changing g/o/l (or the software
+  schedule) must never change what an algorithm computes, only how long
+  the simulator says it took;
+* **timing responds in the modelled direction** — slower networks cost
+  more, more processors shift work from compute to communication.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    make_random_list,
+    run_list_ranking,
+    run_prefix_sums,
+    run_sample_sort,
+)
+from repro.machine.config import MachineConfig
+from repro.qsmlib import RunConfig, SoftwareConfig
+
+
+NETWORK_VARIANTS = {
+    "default": {},
+    "slow-wire": {"gap_cycles_per_byte": 30.0},
+    "chatty": {"overhead_cycles": 8000.0},
+    "far": {"latency_cycles": 64000.0},
+}
+
+
+def variant_config(name, p=8, **kw):
+    machine = MachineConfig(p=p).with_network(**NETWORK_VARIANTS[name])
+    return RunConfig(machine=machine, seed=2, check_semantics=False, **kw)
+
+
+@pytest.mark.parametrize("name", list(NETWORK_VARIANTS))
+def test_prefix_result_independent_of_network(name):
+    values = np.arange(4096)
+    out = run_prefix_sums(values, variant_config(name))
+    assert out.result[-1] == values.sum()
+
+
+@pytest.mark.parametrize("name", list(NETWORK_VARIANTS))
+def test_samplesort_result_independent_of_network(name):
+    rng = np.random.default_rng(1)
+    values = rng.integers(0, 2**62, size=6000)
+    out = run_sample_sort(values, variant_config(name))
+    assert np.array_equal(out.result, np.sort(values))
+
+
+@pytest.mark.parametrize("name", list(NETWORK_VARIANTS))
+def test_listrank_result_independent_of_network(name):
+    succ = make_random_list(2000, seed=3)
+    baseline = run_list_ranking(succ, variant_config("default"))
+    out = run_list_ranking(succ, variant_config(name))
+    assert np.array_equal(out.ranks, baseline.ranks)
+
+
+def test_schedule_does_not_change_results():
+    rng = np.random.default_rng(4)
+    values = rng.integers(0, 2**62, size=6000)
+    results = {}
+    for sched in ("staggered", "fixed"):
+        sw = dataclasses.replace(SoftwareConfig(), exchange_schedule=sched)
+        cfg = RunConfig(
+            machine=MachineConfig(p=8), software=sw, seed=2, check_semantics=False
+        )
+        results[sched] = run_sample_sort(values, cfg).result
+    assert np.array_equal(results["staggered"], results["fixed"])
+
+
+def test_every_network_variant_costs_at_least_default():
+    rng = np.random.default_rng(5)
+    values = rng.integers(0, 2**62, size=12000)
+    base = run_sample_sort(values, variant_config("default")).run.comm_cycles
+    for name in ("slow-wire", "chatty", "far"):
+        comm = run_sample_sort(values, variant_config(name)).run.comm_cycles
+        assert comm > base, name
+
+
+def test_slow_wire_hurts_bulk_most():
+    """Raising g scales the data terms; raising l only the per-phase
+    floor — at a communication-heavy size g must dominate."""
+    rng = np.random.default_rng(6)
+    values = rng.integers(0, 2**62, size=24000)
+    base = run_sample_sort(values, variant_config("default")).run.comm_cycles
+    slow_g = run_sample_sort(values, variant_config("slow-wire")).run.comm_cycles
+    far_l = run_sample_sort(values, variant_config("far")).run.comm_cycles
+    assert (slow_g - base) > (far_l - base)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8, 16])
+def test_prefix_correct_across_processor_counts(p):
+    values = np.arange(2048)
+    cfg = RunConfig(machine=MachineConfig(p=p), seed=1, check_semantics=True)
+    out = run_prefix_sums(values, cfg)
+    assert np.array_equal(out.result, np.cumsum(values))
+
+
+@pytest.mark.parametrize("p", [2, 4, 8, 16])
+def test_prefix_comm_grows_with_p(p):
+    values = np.arange(4096)
+    cfg = RunConfig(machine=MachineConfig(p=p), seed=1, check_semantics=False)
+    out = run_prefix_sums(values, cfg)
+    if not hasattr(test_prefix_comm_grows_with_p, "_prev"):
+        test_prefix_comm_grows_with_p._prev = {}
+    prev = test_prefix_comm_grows_with_p._prev.get("comm")
+    if prev is not None:
+        assert out.run.comm_cycles > prev  # broadcast + barrier grow in p
+    test_prefix_comm_grows_with_p._prev["comm"] = out.run.comm_cycles
+
+
+def test_compute_shrinks_with_p_for_fixed_n():
+    values = np.arange(1 << 16)
+    compute = []
+    for p in (2, 8):
+        cfg = RunConfig(machine=MachineConfig(p=p), seed=1, check_semantics=False)
+        compute.append(run_prefix_sums(values, cfg).run.compute_cycles)
+    assert compute[1] < compute[0] / 2

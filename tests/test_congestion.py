@@ -1,0 +1,158 @@
+"""Tests for the receiver-overrun congestion extension (§2's c factor).
+
+QSM delegates network congestion to the runtime: bulk-synchronous
+scheduling plus send-rate limiting (Brewer & Kuszmaul).  The network
+model's finite receive buffers make that contract testable.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.machine.config import MachineConfig, NetworkConfig
+from repro.machine.network import Message, Network
+from repro.qsmlib import Layout, QSMMachine, RunConfig, SoftwareConfig
+from repro.sim import Simulator
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        NetworkConfig(recv_buffer_slots=-1)
+    with pytest.raises(ValueError):
+        NetworkConfig(retry_backoff_cycles=-1)
+    with pytest.raises(ValueError):
+        NetworkConfig(nack_cycles=-1)
+    with pytest.raises(ValueError):
+        SoftwareConfig(send_pacing_cycles=-1)
+
+
+def test_default_network_never_retries():
+    """slots=0 (the paper's contention-free Armadillo network) is the
+    default: no overrun machinery engages."""
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(), 4)
+    for src in (1, 2, 3):
+        net.transfer(Message(src=src, dst=0, tag=src, nbytes=4096))
+    sim.run()
+    assert net.retries == 0
+
+
+def test_overrun_detected_and_recovered():
+    sim = Simulator()
+    cfg = NetworkConfig(recv_buffer_slots=1, overhead_cycles=0.0, latency_cycles=0.0)
+    net = Network(sim, cfg, 8)
+    delivered = []
+    for src in range(1, 8):
+        proc = net.transfer(Message(src=src, dst=0, tag=src, nbytes=8192))
+        proc.add_callback(lambda ev: delivered.append(ev.value.src))
+    sim.run()
+    assert sorted(delivered) == list(range(1, 8))  # everything arrives
+    assert net.retries > 0  # but not without bouncing
+
+
+def test_retries_inflate_completion_time():
+    def flood(slots):
+        sim = Simulator()
+        cfg = NetworkConfig(recv_buffer_slots=slots)
+        net = Network(sim, cfg, 8)
+        for src in range(1, 8):
+            for k in range(6):
+                net.transfer(Message(src=src, dst=0, tag=(src, k), nbytes=8192))
+        sim.run()
+        return sim.now, net.retries
+
+    free_time, free_retries = flood(0)
+    jam_time, jam_retries = flood(2)
+    assert free_retries == 0
+    assert jam_retries > 0
+    assert jam_time > free_time  # NACK debt steals receiver throughput
+
+
+def test_exponential_backoff_bounds_retry_count():
+    """Retries per message stay logarithmic-ish, not proportional to the
+    congestion duration (the anti-storm property)."""
+    sim = Simulator()
+    cfg = NetworkConfig(recv_buffer_slots=1, retry_backoff_cycles=100.0)
+    net = Network(sim, cfg, 16)
+    n_msgs = 30
+    for k in range(n_msgs):
+        net.transfer(Message(src=1 + (k % 15), dst=0, tag=k, nbytes=16384))
+    sim.run()
+    assert net.retries < 30 * n_msgs
+
+
+def test_staggered_schedule_avoids_overrun_entirely():
+    """§2: the bulk-synchronous exchange schedule is congestion control."""
+    def run(schedule, slots):
+        net = NetworkConfig(recv_buffer_slots=slots)
+        sw = dataclasses.replace(
+            SoftwareConfig(), exchange_schedule=schedule, max_message_bytes=4096
+        )
+        cfg = RunConfig(
+            machine=MachineConfig(p=8, network=net), software=sw, check_semantics=False
+        )
+        qm = QSMMachine(cfg)
+        words = 512
+        A = qm.allocate("a", 8 * 8 * words)
+
+        def program(ctx, A):
+            payload = np.arange(words, dtype=np.int64)
+            for d in range(ctx.p):
+                if d != ctx.pid:
+                    ctx.put_range(A, A.local_offset(d) + ctx.pid * words, payload)
+            yield ctx.sync()
+
+        comm = qm.run(program, A=A).comm_cycles
+        return comm, qm.machine.network.retries
+
+    _, staggered_retries = run("staggered", slots=3)
+    _, fixed_retries = run("fixed", slots=3)
+    assert staggered_retries == 0
+    assert fixed_retries > 0
+
+
+def test_pacing_reduces_overrun_on_hot_receiver():
+    def run(pacing):
+        net = NetworkConfig(recv_buffer_slots=4)
+        sw = dataclasses.replace(
+            SoftwareConfig(), send_pacing_cycles=pacing, max_message_bytes=4096
+        )
+        cfg = RunConfig(
+            machine=MachineConfig(p=16, network=net), software=sw, check_semantics=False
+        )
+        qm = QSMMachine(cfg)
+        words = 2048
+        B = qm.allocate("b", 16 * words, layout=Layout.ROOT)
+
+        def program(ctx, B):
+            if ctx.pid != 0:
+                ctx.put_range(B, ctx.pid * words, np.arange(words, dtype=np.int64))
+            yield ctx.sync()
+
+        comm = qm.run(program, B=B).comm_cycles
+        return comm, qm.machine.network.retries
+
+    unpaced_comm, unpaced_retries = run(0.0)
+    paced_comm, paced_retries = run(20000.0)
+    assert paced_retries < unpaced_retries
+    assert paced_comm < unpaced_comm
+
+
+def test_results_identical_with_and_without_buffers_when_never_full():
+    """Light traffic: finite buffers must not perturb timing at all."""
+    def run(slots):
+        cfg = RunConfig(
+            machine=MachineConfig(p=4, network=NetworkConfig(recv_buffer_slots=slots)),
+            seed=3,
+        )
+        qm = QSMMachine(cfg)
+        A = qm.allocate("a", 64)
+
+        def program(ctx, A):
+            ctx.put(A, [(ctx.pid * 16 + 17) % 64], [ctx.pid])
+            yield ctx.sync()
+
+        return qm.run(program, A=A).comm_cycles
+
+    assert run(0) == run(64)

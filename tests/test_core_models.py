@@ -1,0 +1,85 @@
+"""Tests for the four cost-model evaluators (hand-computed examples)."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import BSPModel, LogPModel, PhaseWork, QSMModel, SQSMModel, compare_models
+from repro.core.params import BSPParams, LogPParams, QSMParams, SQSMParams
+
+
+def test_qsm_phase_cost_is_max():
+    model = QSMModel(QSMParams(p=4, g=2.0))
+    assert model.phase_cost(PhaseWork(m_op=100, m_rw=10, kappa=5)) == 100
+    assert model.phase_cost(PhaseWork(m_op=10, m_rw=100, kappa=5)) == 200
+    assert model.phase_cost(PhaseWork(m_op=10, m_rw=10, kappa=500)) == 500
+
+
+def test_sqsm_charges_gap_at_memory():
+    qsm = QSMModel(QSMParams(p=4, g=2.0))
+    sqsm = SQSMModel(SQSMParams(p=4, g=2.0))
+    hot = PhaseWork(m_op=10, m_rw=10, kappa=100)
+    assert qsm.phase_cost(hot) == 100
+    assert sqsm.phase_cost(hot) == 200
+
+
+def test_bsp_superstep_is_sum():
+    model = BSPModel(BSPParams(p=4, g=2.0, L=50.0))
+    assert model.superstep_cost(PhaseWork(m_op=100, m_rw=10)) == 100 + 20 + 50
+
+
+def test_bsp_empty_superstep_still_pays_L():
+    model = BSPModel(BSPParams(p=4, g=2.0, L=50.0))
+    assert model.superstep_cost(PhaseWork()) == 50.0
+
+
+def test_logp_message_costs():
+    model = LogPModel(LogPParams(p=4, l=1000, o=10, g=4))
+    # 5 messages: o + 4*max(g,o)=4*10 + l + o = 10+40+1000+10, plus m_op.
+    assert model.phase_cost(PhaseWork(m_op=7, messages=5)) == 7 + 50 + 1000 + 10
+
+
+def test_logp_no_messages_is_pure_compute():
+    model = LogPModel(LogPParams(p=4, l=1000, o=10, g=4))
+    assert model.phase_cost(PhaseWork(m_op=123)) == 123
+
+
+def test_program_cost_sums_phases():
+    model = QSMModel(QSMParams(p=4, g=1.0))
+    phases = [PhaseWork(m_op=10), PhaseWork(m_rw=20), PhaseWork(kappa=5)]
+    assert model.program_cost(phases) == 10 + 20 + 5
+
+
+def test_model_ordering_on_a_communication_phase():
+    """For a comm-heavy phase: QSM <= s-QSM <= BSP (BSP adds L)."""
+    work = [PhaseWork(m_op=100, m_rw=50, kappa=40, messages=50)]
+    costs = compare_models(
+        work,
+        QSMParams(p=4, g=2.0),
+        SQSMParams(p=4, g=2.0),
+        BSPParams(p=4, g=2.0, L=100.0),
+        LogPParams(p=4, l=100, o=5, g=2),
+    )
+    assert costs["qsm"] <= costs["s-qsm"] <= costs["bsp"]
+
+
+def test_phase_work_validation():
+    with pytest.raises(ValueError):
+        PhaseWork(m_op=-1)
+
+
+def test_phase_work_from_phase_record():
+    from repro.qsmlib.stats import PhaseRecord
+
+    record = PhaseRecord(
+        index=0,
+        compute_cycles=np.array([5.0, 7.0]),
+        op_counts=np.array([50.0, 70.0]),
+        put_words=np.array([3, 9]),
+        get_words=np.array([1, 0]),
+        local_words=np.array([0, 0]),
+        kappa=4,
+    )
+    work = PhaseWork.from_phase_record(record)
+    assert work.m_op == 70.0
+    assert work.m_rw == 9.0  # max per-processor (put+get): max(3+1, 9+0)
+    assert work.kappa == 4.0

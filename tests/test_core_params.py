@@ -1,0 +1,53 @@
+"""Tests for model parameter sets."""
+
+import pytest
+
+from repro.core.params import BSPParams, LogPParams, QSMParams, SQSMParams
+
+
+def test_qsm_has_exactly_two_architectural_parameters():
+    """The paper's headline: QSM exposes only p and g."""
+    import dataclasses
+
+    fields = [f.name for f in dataclasses.fields(QSMParams)]
+    assert fields == ["p", "g"]
+
+
+def test_bsp_adds_L():
+    import dataclasses
+
+    assert [f.name for f in dataclasses.fields(BSPParams)] == ["p", "g", "L"]
+
+
+def test_logp_has_four():
+    import dataclasses
+
+    assert [f.name for f in dataclasses.fields(LogPParams)] == ["p", "l", "o", "g"]
+
+
+@pytest.mark.parametrize("cls", [QSMParams, SQSMParams])
+def test_qsm_validation(cls):
+    cls(p=4, g=2.0)
+    with pytest.raises(ValueError):
+        cls(p=0, g=2.0)
+    with pytest.raises(ValueError):
+        cls(p=4, g=0)
+
+
+def test_bsp_validation():
+    BSPParams(p=4, g=2.0, L=0.0)
+    with pytest.raises(ValueError):
+        BSPParams(p=4, g=2.0, L=-1.0)
+
+
+def test_logp_validation_and_capacity():
+    prm = LogPParams(p=4, l=1600, o=400, g=4)
+    assert prm.capacity == 400
+    with pytest.raises(ValueError):
+        LogPParams(p=4, l=-1, o=0, g=1)
+
+
+def test_params_frozen():
+    prm = QSMParams(p=4, g=2.0)
+    with pytest.raises(Exception):
+        prm.g = 3.0  # type: ignore[misc]

@@ -1,0 +1,134 @@
+"""Tests for the experiment harness (fast mode) and its shape claims.
+
+Each test runs one experiment in fast mode and asserts the qualitative
+property the corresponding paper figure/table establishes.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.base import ExperimentResult, mean_std, repeat_seeds
+from repro.experiments import (
+    fig1_prefix,
+    fig2_samplesort,
+    fig3_listrank,
+    fig7_membank,
+    table3_observed,
+)
+
+
+def test_registry_covers_every_table_and_figure():
+    assert set(EXPERIMENTS) == {
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "fig1",
+        "fig2",
+        "fig3",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+    }
+
+
+def test_unknown_experiment_rejected():
+    from repro.experiments.registry import get_experiment
+
+    with pytest.raises(KeyError, match="unknown experiment"):
+        get_experiment("fig99")
+
+
+def test_mean_std_helpers():
+    m, s = mean_std([2.0, 4.0])
+    assert m == 3.0 and s > 0
+    m, s = mean_std([5.0])
+    assert (m, s) == (5.0, 0.0)
+    with pytest.raises(ValueError):
+        mean_std([])
+    with pytest.raises(ValueError):
+        repeat_seeds(lambda s: 0.0, reps=0)
+
+
+def test_repeat_seeds_distinct():
+    seeds = []
+    repeat_seeds(lambda s: seeds.append(s) or 0.0, reps=3, seed0=5)
+    assert len(set(seeds)) == 3
+
+
+def test_table1_and_table2_static():
+    t1 = run_experiment("table1")
+    assert "kappa" in t1.text
+    assert "randomizing data layout" in t1.text
+    t2 = run_experiment("table2")
+    assert "400 MHz" in t2.text
+    assert "256KB 8-way" in t2.text
+
+
+def test_table3_matches_paper_observed_row():
+    res = run_experiment("table3", fast=False)
+    assert res.data["put_cpb"] == pytest.approx(35.0, rel=0.05)
+    assert res.data["get_cpb"] == pytest.approx(287.0, rel=0.05)
+    assert res.data["barrier"] == pytest.approx(25500.0, rel=0.02)
+
+
+def test_fig1_shape_constant_predictions_below_measured():
+    res = fig1_prefix.run(fast=True, ns=[4096, 65536])
+    qsm = res.data["comm_qsm_pred"]
+    bsp = res.data["comm_bsp_pred"]
+    meas = res.data["comm_measured"]
+    assert qsm[0] == qsm[1]  # n-independent
+    assert bsp[0] == bsp[1]
+    for q, b, m in zip(qsm, bsp, meas):
+        assert q < b < m
+
+
+def test_fig2_shape_brackets_and_convergence():
+    res = fig2_samplesort.run(fast=True, ns=[8192, 125000])
+    meas = res.data["comm_measured"]
+    best = res.data["best_case"]
+    whp = res.data["whp_bound"]
+    est = res.data["qsm_estimate"]
+    for i in range(2):
+        assert best[i] <= meas[i] <= whp[i]
+        assert est[i] < meas[i]  # QSM underestimates
+    # relative error shrinks with n (paper: within 10% at 125k)
+    err_small = abs(est[0] - meas[0]) / meas[0]
+    err_large = abs(est[1] - meas[1]) / meas[1]
+    assert err_large < err_small
+    assert err_large <= 0.10
+
+
+def test_fig3_shape_bsp_closer_and_within_15pct():
+    res = fig3_listrank.run(fast=True, ns=[8192, 60000])
+    meas = res.data["comm_measured"]
+    qsm = res.data["qsm_estimate"]
+    bsp = res.data["bsp_estimate"]
+    for i in range(2):
+        assert abs(bsp[i] - meas[i]) <= abs(qsm[i] - meas[i])
+    assert abs(qsm[1] - meas[1]) / meas[1] <= 0.15
+
+
+def test_fig4_larger_latency_raises_measured_curves():
+    from repro.experiments import fig4_latency_sweep
+
+    res = fig4_latency_sweep.run(fast=True, ls=[400.0, 102400.0])
+    low = res.data["measured_l=400"]
+    high = res.data["measured_l=102400"]
+    assert all(h > l for h, l in zip(high, low))
+    # the gap is ~constant per phase, so it shrinks in relative terms
+    assert (high[-1] - low[-1]) / low[-1] < (high[0] - low[0]) / low[0]
+
+
+def test_fig7_pattern_ordering_per_machine():
+    res = fig7_membank.run(fast=True)
+    for row in res.data["rows"]:
+        machine, p, nc, rd, cf, rd_nc, cf_nc = row
+        assert nc <= rd * 1.02
+        assert cf >= rd * 0.98
+
+
+def test_experiment_result_render():
+    res = ExperimentResult(exp_id="x", title="T", text="body")
+    assert res.render().startswith("== x: T ==")

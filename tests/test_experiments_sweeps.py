@@ -1,0 +1,89 @@
+"""Tests for the Figure 4-6 sweep machinery and the exchange ablation knob."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.experiments.sweeps import SampleSortSweep, SweepPoint, run_samplesort_sweep
+from repro.machine.config import MachineConfig
+from repro.qsmlib import QSMMachine, RunConfig, SoftwareConfig
+
+
+def test_sweep_measures_every_n():
+    ns = [4096, 16384]
+    sweep = run_samplesort_sweep(MachineConfig(), ns, reps=2, seed=0)
+    assert sweep.ns == ns
+    assert len(sweep.measured) == 2
+    assert all(m > 0 for m in sweep.measured)
+    assert sweep.measured[1] > sweep.measured[0]
+
+
+def test_sweep_prediction_lines_independent_of_reps():
+    ns = [4096]
+    a = run_samplesort_sweep(MachineConfig(), ns, reps=1, seed=0)
+    b = run_samplesort_sweep(MachineConfig(), ns, reps=3, seed=0)
+    assert a.best_case == b.best_case
+    assert a.whp_bound == b.whp_bound
+
+
+def test_sweep_crossover_on_synthetic_data():
+    sweep = SampleSortSweep(
+        machine=MachineConfig(),
+        points=[SweepPoint(n, m, 0.0) for n, m in [(10, 50.0), (20, 45.0), (30, 40.0)]],
+        best_case=[20.0, 25.0, 30.0],
+        whp_bound=[40.0, 44.0, 46.0],
+    )
+    n_star = sweep.crossover_n()
+    assert 20 < n_star <= 30
+
+
+def test_latency_raises_measured_but_not_bounds():
+    ns = [8192]
+    lo = run_samplesort_sweep(MachineConfig().with_network(latency_cycles=400.0), ns, reps=1)
+    hi = run_samplesort_sweep(MachineConfig().with_network(latency_cycles=102400.0), ns, reps=1)
+    assert hi.measured[0] > lo.measured[0]
+    assert hi.whp_bound == lo.whp_bound  # QSM predictions have no l
+
+
+# ---------------------------------------------------------------------------
+# exchange_schedule ablation knob
+# ---------------------------------------------------------------------------
+def test_exchange_schedule_validation():
+    with pytest.raises(ValueError, match="exchange_schedule"):
+        SoftwareConfig(exchange_schedule="random")
+
+
+def _all_to_all_comm(schedule: str) -> float:
+    sw = dataclasses.replace(SoftwareConfig(), exchange_schedule=schedule)
+    cfg = RunConfig(machine=MachineConfig(p=8), software=sw, seed=2, check_semantics=False)
+    qm = QSMMachine(cfg)
+    words = 256
+    A = qm.allocate("a", 8 * 8 * words)
+
+    def program(ctx, A):
+        payload = np.arange(words, dtype=np.int64)
+        for d in range(ctx.p):
+            if d != ctx.pid:
+                ctx.put_range(A, A.local_offset(d) + ctx.pid * words, payload)
+        yield ctx.sync()
+
+    return qm.run(program, A=A).comm_cycles
+
+
+def test_staggered_schedule_beats_fixed():
+    assert _all_to_all_comm("staggered") < _all_to_all_comm("fixed")
+
+
+def test_fixed_schedule_still_correct():
+    sw = dataclasses.replace(SoftwareConfig(), exchange_schedule="fixed")
+    cfg = RunConfig(machine=MachineConfig(p=4), software=sw, seed=2)
+    qm = QSMMachine(cfg)
+    A = qm.allocate("a", 16)
+
+    def program(ctx, A):
+        ctx.put(A, [(ctx.pid * 4 + 5) % 16], [ctx.pid + 1])
+        yield ctx.sync()
+
+    qm.run(program, A=A)
+    assert A.data[5] == 1

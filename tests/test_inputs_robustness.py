@@ -1,0 +1,134 @@
+"""Workload generators + algorithm robustness across input distributions."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    run_list_ranking,
+    run_sample_sort,
+    sequential_list_rank,
+    sequential_sort,
+)
+from repro.experiments.inputs import (
+    duplicate_heavy_keys,
+    random_list,
+    sequential_list,
+    sorted_runs_keys,
+    strided_list,
+    uniform_keys,
+    zipf_keys,
+)
+from repro.machine.config import MachineConfig
+from repro.qsmlib import RunConfig
+
+
+def cfg(p=8):
+    return RunConfig(machine=MachineConfig(p=p), seed=3, check_semantics=True)
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+def test_uniform_keys_reproducible_and_ranged():
+    a = uniform_keys(1000, seed=5)
+    b = uniform_keys(1000, seed=5)
+    assert np.array_equal(a, b)
+    assert a.min() >= 0 and a.max() < 1 << 62
+    assert not np.array_equal(a, uniform_keys(1000, seed=6))
+
+
+def test_duplicate_heavy_alphabet():
+    keys = duplicate_heavy_keys(5000, distinct=4, seed=1)
+    assert set(np.unique(keys)) <= {0, 1, 2, 3}
+
+
+def test_zipf_keys_are_skewed():
+    keys = zipf_keys(20000, a=1.5, seed=2)
+    # the most frequent value should dominate heavily
+    _, counts = np.unique(keys, return_counts=True)
+    assert counts.max() > 0.25 * keys.size
+
+
+def test_sorted_runs_structure():
+    keys = sorted_runs_keys(1000, runs=4, seed=3)
+    assert keys.size == 1000
+    quarter = keys[:250]
+    assert np.array_equal(quarter, np.sort(quarter))
+    assert not np.array_equal(keys, np.sort(keys))  # but not globally sorted
+
+
+def test_sequential_and_strided_lists_valid():
+    assert list(sequential_list_rank(sequential_list(10))) == list(range(1, 11))
+    ranks = sequential_list_rank(strided_list(9, stride=7))
+    assert sorted(ranks) == list(range(1, 10))
+
+
+def test_strided_list_requires_coprime():
+    with pytest.raises(ValueError, match="coprime"):
+        strided_list(10, stride=5)
+
+
+def test_generator_validation():
+    with pytest.raises(ValueError):
+        uniform_keys(0)
+    with pytest.raises(ValueError):
+        zipf_keys(10, a=1.0)
+    with pytest.raises(ValueError):
+        uniform_keys(10, bits=70)
+
+
+# ---------------------------------------------------------------------------
+# Sample sort robustness
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "maker",
+    [
+        lambda: uniform_keys(8000, seed=4),
+        lambda: duplicate_heavy_keys(8000, distinct=3, seed=4),
+        lambda: zipf_keys(8000, a=1.3, seed=4),
+        lambda: sorted_runs_keys(8000, runs=8, seed=4),
+    ],
+    ids=["uniform", "duplicates", "zipf", "sorted-runs"],
+)
+def test_sample_sort_correct_on_all_distributions(maker):
+    keys = maker()
+    out = run_sample_sort(keys, cfg())
+    assert np.array_equal(out.result, sequential_sort(keys))
+
+
+def test_zipf_skew_inflates_max_bucket():
+    """Skewed keys break bucket balance — observable in the B skew the
+    predictors consume (the mechanism behind Figure 2's spread)."""
+    uniform = run_sample_sort(uniform_keys(32000, seed=7), cfg())
+    skewed = run_sample_sort(zipf_keys(32000, a=1.2, seed=7), cfg())
+    b_uniform = max(uniform.run.observe_values("B"))
+    b_skewed = max(skewed.run.observe_values("B"))
+    assert b_skewed > 1.25 * b_uniform
+
+
+# ---------------------------------------------------------------------------
+# List ranking robustness
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "maker",
+    [
+        lambda: random_list(3000, seed=5),
+        lambda: sequential_list(3000),
+        lambda: strided_list(3001, stride=7),
+    ],
+    ids=["random", "sequential", "strided"],
+)
+def test_list_ranking_correct_on_all_layouts(maker):
+    succ = maker()
+    out = run_list_ranking(succ, cfg())
+    assert np.array_equal(out.ranks, sequential_list_rank(succ))
+
+
+def test_sequential_list_has_less_remote_traffic_than_strided():
+    """Locality shows up in m_rw: the in-order chain's neighbours are
+    mostly on-node, the strided chain's almost never are."""
+    seq = run_list_ranking(sequential_list(8000), cfg())
+    stri = run_list_ranking(strided_list(8001, stride=257), cfg())
+    seq_remote = sum(ph.m_rw.max() for ph in seq.run.phases)
+    stri_remote = sum(ph.m_rw.max() for ph in stri.run.phases)
+    assert stri_remote > 1.5 * seq_remote

@@ -1,0 +1,146 @@
+"""Cross-module integration tests: the paper's end-to-end claims.
+
+These tie together machine + qsmlib + algorithms + core on the default
+16-processor configuration and assert the quantitative statements of
+§3.2 that the figures visualise.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    make_random_list,
+    run_list_ranking,
+    run_prefix_sums,
+    run_sample_sort,
+    sequential_list_rank,
+    sequential_prefix_sums,
+    sequential_sort,
+)
+from repro.core import ListRankPredictor, PrefixPredictor, SampleSortPredictor
+from repro.machine.config import MachineConfig
+from repro.qsmlib import QSMMachine, RunConfig
+
+
+@pytest.fixture(scope="module")
+def default_env():
+    qm = QSMMachine(RunConfig())
+    return qm.cost_model(), qm.machine.cpus[0]
+
+
+def run_cfg(seed=1):
+    return RunConfig(seed=seed, check_semantics=False)
+
+
+def test_all_three_algorithms_correct_on_p16():
+    rng = np.random.default_rng(0)
+    values = rng.integers(0, 1000, size=50000)
+    assert np.array_equal(
+        run_prefix_sums(values, run_cfg()).result, sequential_prefix_sums(values)
+    )
+    keys = rng.integers(0, 2**62, size=50000)
+    assert np.array_equal(run_sample_sort(keys, run_cfg()).result, sequential_sort(keys))
+    succ = make_random_list(20000, seed=0)
+    assert np.array_equal(run_list_ranking(succ, run_cfg()).ranks, sequential_list_rank(succ))
+
+
+def test_samplesort_within_10pct_at_125k(default_env):
+    """§3.2: 'Accuracies within 10% ... for all problem sizes larger than
+    about 125,000 elements total.'"""
+    costs, cpu = default_env
+    pred = SampleSortPredictor(16, costs, cpu)
+    rng = np.random.default_rng(4)
+    out = run_sample_sort(rng.integers(0, 2**62, size=125000), run_cfg(4))
+    est = pred.qsm_estimate_from_run(out.run)
+    assert abs(est - out.run.comm_cycles) / out.run.comm_cycles <= 0.10
+
+
+def test_listrank_within_15pct_at_60k_and_bsp_at_40k(default_env):
+    """§3.2: BSP within 15% for n >= 40000; QSM within 15% for n >= 60000."""
+    costs, cpu = default_env
+    pred = ListRankPredictor(16, costs, cpu)
+    out40 = run_list_ranking(make_random_list(40000, seed=2), run_cfg(2))
+    bsp40 = pred.bsp_estimate_from_run(out40.run)
+    assert abs(bsp40 - out40.run.comm_cycles) / out40.run.comm_cycles <= 0.15
+    out60 = run_list_ranking(make_random_list(60000, seed=2), run_cfg(2))
+    qsm60 = pred.qsm_estimate_from_run(out60.run)
+    assert abs(qsm60 - out60.run.comm_cycles) / out60.run.comm_cycles <= 0.15
+
+
+def test_prediction_error_decreases_with_n(default_env):
+    costs, cpu = default_env
+    pred = SampleSortPredictor(16, costs, cpu)
+    errs = []
+    rng = np.random.default_rng(9)
+    for n in [4096, 32768, 250000]:
+        out = run_sample_sort(rng.integers(0, 2**62, size=n), run_cfg(9))
+        est = pred.qsm_estimate_from_run(out.run)
+        errs.append(abs(est - out.run.comm_cycles) / out.run.comm_cycles)
+    assert errs[2] < errs[0]
+
+
+def test_comm_dominated_by_overheads_only_for_prefix(default_env):
+    """Prefix comm is all overhead (QSM pred ~7% of measured); sample
+    sort comm is mostly modelled traffic (QSM pred > 80% of measured)."""
+    costs, cpu = default_env
+    n = 65536
+    rng = np.random.default_rng(3)
+    prefix = run_prefix_sums(rng.integers(0, 9, n), run_cfg(3))
+    pp = PrefixPredictor(16, costs, cpu)
+    assert pp.qsm_comm(n) / prefix.run.comm_cycles < 0.25
+
+    sort = run_sample_sort(rng.integers(0, 2**62, n), run_cfg(3))
+    sp = SampleSortPredictor(16, costs, cpu)
+    assert sp.qsm_estimate_from_run(sort.run) / sort.run.comm_cycles > 0.8
+
+
+def test_repetition_variance_matches_paper_bounds():
+    """§3.1.1: std dev < 11% of mean for sample sort; < 2% for list rank
+    at non-tiny sizes."""
+    sort_comms, rank_comms = [], []
+    for r in range(5):
+        rng = np.random.default_rng(100 + r)
+        sort_comms.append(
+            run_sample_sort(rng.integers(0, 2**62, size=65536), run_cfg(100 + r)).run.comm_cycles
+        )
+        rank_comms.append(
+            run_list_ranking(make_random_list(40000, seed=100 + r), run_cfg(100 + r)).run.comm_cycles
+        )
+    sort_rel = np.std(sort_comms, ddof=1) / np.mean(sort_comms)
+    rank_rel = np.std(rank_comms, ddof=1) / np.mean(rank_comms)
+    assert sort_rel < 0.11
+    assert rank_rel < 0.04
+
+
+def test_parallel_speedup_over_sequential_cost_model(default_env):
+    """Sanity: at large n the 16-processor sort beats one node's n·log n
+    (the parallelism is real in the cost model, not just overhead)."""
+    costs, cpu = default_env
+    from repro.algorithms.common import profile_sort
+
+    n = 500000
+    rng = np.random.default_rng(8)
+    out = run_sample_sort(rng.integers(0, 2**62, size=n), run_cfg(8))
+    seq_cycles = cpu.cycles(profile_sort(n))
+    assert out.run.total_cycles < seq_cycles
+
+
+def test_larger_p_reduces_compute_increases_comm():
+    rng = np.random.default_rng(5)
+    values = rng.integers(0, 2**62, size=120000)
+    out4 = run_sample_sort(values, RunConfig(machine=MachineConfig(p=4), seed=5, check_semantics=False))
+    out16 = run_sample_sort(values, RunConfig(machine=MachineConfig(p=16), seed=5, check_semantics=False))
+    assert out16.run.compute_cycles < out4.run.compute_cycles
+    assert np.array_equal(out4.result, out16.result)
+
+
+def test_kappa_small_for_all_three_algorithms():
+    """The workloads are designed with low hot-spot contention: kappa
+    stays far below m_rw (no QSM-term surprises)."""
+    cfg = RunConfig(machine=MachineConfig(p=4), seed=6, check_semantics=True, track_kappa=True)
+    rng = np.random.default_rng(6)
+    out = run_prefix_sums(rng.integers(0, 9, 4096), cfg)
+    assert max(ph.kappa for ph in out.run.phases) == 1
+    cfg2 = RunConfig(machine=MachineConfig(p=4), seed=6, check_semantics=True, track_kappa=True)
+    sort = run_sample_sort(rng.integers(0, 2**62, 8192), cfg2)
+    assert max(ph.kappa for ph in sort.run.phases) <= 2

@@ -1,0 +1,152 @@
+"""Tests for the cache timing models, including the analytic-vs-
+behavioural cross-validation promised in the module docstring."""
+
+import numpy as np
+import pytest
+
+from repro.machine.cache import (
+    AnalyticCache,
+    CacheSim,
+    RandomAccess,
+    SequentialAccess,
+    trace_for_pattern,
+)
+from repro.machine.config import CacheConfig, NodeConfig
+
+
+@pytest.fixture
+def node():
+    return NodeConfig()
+
+
+@pytest.fixture
+def analytic(node):
+    return AnalyticCache(node)
+
+
+def test_zero_count_costs_nothing(analytic):
+    assert analytic.reference_cycles(SequentialAccess(count=0)) == 0.0
+    assert analytic.stall_cycles(RandomAccess(count=0, region_words=10)) == 0.0
+
+
+def test_sequential_cost_per_ref_between_l1_and_memory(analytic, node):
+    per_ref = analytic.reference_cycles(SequentialAccess(count=1000)) / 1000
+    assert node.l1.hit_cycles < per_ref < node.l1.hit_cycles + node.l2.hit_cycles + node.l2_miss_extra_cycles
+
+
+def test_sequential_exact_expectation(analytic, node):
+    """7 of 8 words hit L1, 1 of 8 goes to memory (8-byte words, 64B lines)."""
+    per_ref = analytic.reference_cycles(SequentialAccess(count=8000, word_bytes=8)) / 8000
+    expected = (7 * 1 + 1 * (1 + 3 + 7)) / 8
+    assert per_ref == pytest.approx(expected, rel=0.01)
+
+
+def test_random_resident_is_cheap(analytic):
+    small = analytic.reference_cycles(RandomAccess(count=1000, region_words=64))
+    assert small / 1000 < 2.0
+
+
+def test_random_large_region_is_expensive(analytic):
+    big = analytic.reference_cycles(RandomAccess(count=1000, region_words=10_000_000))
+    assert big / 1000 > 9.0  # essentially every access goes to memory
+
+
+def test_cost_monotone_in_region(analytic):
+    costs = [
+        analytic.reference_cycles(RandomAccess(count=1000, region_words=r))
+        for r in [2**10, 2**14, 2**18, 2**22]
+    ]
+    assert costs == sorted(costs)
+
+
+def test_stall_excludes_l1_hits(analytic):
+    pat = SequentialAccess(count=800)
+    total = analytic.reference_cycles(pat)
+    stall = analytic.stall_cycles(pat)
+    assert stall == pytest.approx(total - 800 * 1.0)
+
+
+def test_copy_cycles_per_byte_positive(analytic):
+    assert 0 < analytic.copy_cycles_per_byte() < 5.0
+    assert analytic.copy_cycles_per_byte(resident=True) <= analytic.copy_cycles_per_byte()
+
+
+def test_unknown_pattern_rejected(analytic):
+    class Weird(SequentialAccess):
+        pass
+
+    # subclass is fine, but a foreign type is not
+    with pytest.raises(TypeError):
+        analytic.reference_cycles(object())  # type: ignore[arg-type]
+
+
+def test_negative_count_rejected():
+    with pytest.raises(ValueError):
+        SequentialAccess(count=-1)
+    with pytest.raises(ValueError):
+        RandomAccess(count=1, region_words=0)
+
+
+# ---------------------------------------------------------------------------
+# Behavioural simulator
+# ---------------------------------------------------------------------------
+def test_cachesim_hit_after_miss():
+    cache = CacheSim(CacheConfig(size_bytes=1024, associativity=2, line_bytes=64, hit_cycles=1))
+    assert cache.access(0) is False
+    assert cache.access(8) is True  # same line
+    assert cache.access(64) is False  # next line
+
+
+def test_cachesim_lru_eviction():
+    # 2 sets, 1-way: lines 0 and 2 map to set 0 and evict each other.
+    cache = CacheSim(CacheConfig(size_bytes=128, associativity=1, line_bytes=64, hit_cycles=1))
+    cache.access(0)
+    cache.access(128)  # evicts line 0 (same set, 1-way)
+    assert cache.access(0) is False
+
+
+def test_cachesim_associativity_prevents_conflict():
+    cache = CacheSim(CacheConfig(size_bytes=256, associativity=2, line_bytes=64, hit_cycles=1))
+    cache.access(0)
+    cache.access(128)  # same set, second way
+    assert cache.access(0) is True
+
+
+def test_cachesim_reset():
+    cache = CacheSim(CacheConfig(size_bytes=1024, associativity=2, line_bytes=64, hit_cycles=1))
+    cache.access(0)
+    cache.reset()
+    assert cache.hits == 0 and cache.misses == 0
+    assert cache.access(0) is False
+
+
+def test_analytic_sequential_hit_rate_matches_behavioural(rng):
+    """Cross-validation: streaming trace through the real L1 geometry."""
+    cfg = NodeConfig().l1
+    pattern = SequentialAccess(count=4096, word_bytes=8)
+    sim = CacheSim(cfg)
+    hit_rate = sim.access_trace(trace_for_pattern(pattern, rng))
+    analytic = AnalyticCache(NodeConfig())
+    predicted = analytic._hit_fraction(cfg, pattern)
+    assert hit_rate == pytest.approx(predicted, abs=0.02)
+
+
+def test_analytic_random_large_region_matches_behavioural(rng):
+    cfg = NodeConfig().l1
+    region = 16 * cfg.size_bytes // 8  # 16x the cache, in words
+    pattern = RandomAccess(count=20000, word_bytes=8, region_words=region)
+    sim = CacheSim(cfg)
+    hit_rate = sim.access_trace(trace_for_pattern(pattern, rng))
+    analytic = AnalyticCache(NodeConfig())
+    predicted = analytic._hit_fraction(cfg, pattern)
+    assert hit_rate == pytest.approx(predicted, abs=0.06)
+
+
+def test_analytic_random_resident_matches_behavioural(rng):
+    cfg = NodeConfig().l2
+    pattern = RandomAccess(count=30000, word_bytes=8, region_words=1024)
+    sim = CacheSim(cfg)
+    hit_rate = sim.access_trace(trace_for_pattern(pattern, rng))
+    analytic = AnalyticCache(NodeConfig())
+    predicted = analytic._hit_fraction(cfg, pattern)
+    assert hit_rate == pytest.approx(predicted, abs=0.02)

@@ -1,0 +1,120 @@
+"""Tests for machine configuration records."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.config import (
+    ArchPreset,
+    CacheConfig,
+    MachineConfig,
+    NetworkConfig,
+    NodeConfig,
+    TABLE4_PRESETS,
+    default_machine,
+)
+
+
+def test_default_node_matches_table2():
+    node = NodeConfig()
+    assert node.int_units == 4
+    assert node.fp_units == 4
+    assert node.ls_units == 2
+    assert node.issue_width == 4
+    assert node.l1.size_bytes == 8 * 1024
+    assert node.l1.associativity == 2
+    assert node.l2.size_bytes == 256 * 1024
+    assert node.l2.associativity == 8
+    assert node.l2.hit_cycles == 3.0
+    assert node.l2_miss_extra_cycles == 7.0
+    assert node.clock_hz == 400e6
+
+
+def test_default_network_matches_table3():
+    net = NetworkConfig()
+    assert net.gap_cycles_per_byte == 3.0
+    assert net.overhead_cycles == 400.0
+    assert net.latency_cycles == 1600.0
+
+
+def test_message_cost_formula():
+    net = NetworkConfig()
+    assert net.message_send_cycles(100) == pytest.approx(400 + 300)
+    assert net.message_recv_cycles(0) == pytest.approx(400)
+
+
+def test_cache_geometry():
+    c = CacheConfig(size_bytes=8 * 1024, associativity=2, line_bytes=64, hit_cycles=1)
+    assert c.n_lines == 128
+    assert c.n_sets == 64
+
+
+def test_cache_bad_geometry_rejected():
+    with pytest.raises(ValueError):
+        CacheConfig(size_bytes=1000, associativity=3, line_bytes=64, hit_cycles=1)
+    with pytest.raises(ValueError, match="power of two"):
+        CacheConfig(size_bytes=8192, associativity=2, line_bytes=60, hit_cycles=1)
+
+
+def test_default_machine_p16():
+    assert default_machine().p == 16
+
+
+def test_with_network_override():
+    cfg = MachineConfig().with_network(latency_cycles=9999.0)
+    assert cfg.network.latency_cycles == 9999.0
+    assert cfg.network.overhead_cycles == 400.0  # others untouched
+    assert MachineConfig().network.latency_cycles == 1600.0  # original intact
+
+
+def test_with_p_override():
+    assert MachineConfig().with_p(64).p == 64
+
+
+def test_table4_presets_complete():
+    assert set(TABLE4_PRESETS) == {
+        "default-simulation",
+        "berkeley-now",
+        "pentium2-tcp-ethernet",
+        "cray-t3e",
+        "intel-paragon",
+        "meico-cs2",
+    }
+
+
+def test_table4_default_row_values():
+    d = TABLE4_PRESETS["default-simulation"]
+    assert (d.p, d.latency_cycles, d.overhead_cycles, d.gap_cycles_per_byte) == (
+        16,
+        1600.0,
+        400.0,
+        3.0,
+    )
+
+
+def test_table4_paper_values_sampled():
+    t3e = TABLE4_PRESETS["cray-t3e"]
+    assert (t3e.p, t3e.latency_cycles, t3e.gap_cycles_per_byte) == (64, 126.0, 1.6)
+    assert "o" in t3e.estimated
+    paragon = TABLE4_PRESETS["intel-paragon"]
+    assert paragon.gap_cycles_per_byte == 0.35
+
+
+def test_preset_builds_machine_config():
+    cfg = TABLE4_PRESETS["berkeley-now"].machine_config()
+    assert cfg.p == 32
+    assert cfg.network.gap_cycles_per_byte == 4.3
+
+
+def test_invalid_network_rejected():
+    with pytest.raises(ValueError):
+        NetworkConfig(gap_cycles_per_byte=0)
+    with pytest.raises(ValueError):
+        NetworkConfig(latency_cycles=-1)
+
+
+def test_invalid_node_rejected():
+    with pytest.raises(ValueError):
+        NodeConfig(issue_width=0)
+    with pytest.raises(ValueError):
+        NodeConfig(branch_mispredict_rate=1.5)

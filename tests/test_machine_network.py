@@ -1,0 +1,124 @@
+"""Tests for the NIC/network model — especially the pipelining and
+batching behaviours that make QSM's l/o omissions tenable."""
+
+import pytest
+
+from repro.machine.config import MachineConfig, NetworkConfig
+from repro.machine.cluster import Machine
+from repro.machine.network import Message, Network
+from repro.sim import Simulator
+
+
+def make_net(p=4, **overrides):
+    sim = Simulator()
+    return sim, Network(sim, NetworkConfig(**overrides), p)
+
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, tag=None, nbytes=-1)
+
+
+def test_endpoints_validated():
+    sim, net = make_net(p=2)
+    with pytest.raises(ValueError, match="out of range"):
+        net.transfer(Message(src=0, dst=5, tag=0, nbytes=8))
+    with pytest.raises(ValueError, match="self-messages"):
+        net.transfer(Message(src=1, dst=1, tag=0, nbytes=8))
+
+
+def test_single_message_end_to_end_time():
+    """delivery = send(o + b*g) + l + recv(o + b*g)."""
+    sim, net = make_net(p=2, gap_cycles_per_byte=2.0, overhead_cycles=100.0, latency_cycles=500.0)
+    msg = Message(src=0, dst=1, tag="t", nbytes=50)
+    proc = net.transfer(msg)
+    sim.run()
+    assert proc.value is msg
+    assert msg.delivered_at == pytest.approx((100 + 100) + 500 + (100 + 100))
+
+
+def test_pipelining_hides_latency():
+    """k back-to-back messages: wall time ~ k*(o+bg) + l + (o+bg), not k*l."""
+    k, nbytes = 10, 100
+    sim, net = make_net(p=2, gap_cycles_per_byte=1.0, overhead_cycles=50.0, latency_cycles=2000.0)
+
+    def sender():
+        for i in range(k):
+            yield from net.send_from(Message(src=0, dst=1, tag=i, nbytes=nbytes))
+
+    def receiver():
+        for _ in range(k):
+            yield net.inbox[1].get()
+
+    sim.process(sender())
+    recv = sim.process(receiver())
+    sim.run()
+    per_msg = 50 + 100  # o + b*g
+    pipelined = k * per_msg + 2000 + per_msg
+    unpipelined = k * (per_msg + 2000 + per_msg)
+    assert recv.triggered
+    assert sim.now == pytest.approx(pipelined)
+    assert sim.now < unpipelined / 3
+
+
+def test_batching_amortizes_overhead():
+    """One 1000-byte message beats ten 100-byte messages by ~9*o."""
+    results = {}
+    for label, sizes in [("batched", [1000]), ("split", [100] * 10)]:
+        sim, net = make_net(p=2, gap_cycles_per_byte=1.0, overhead_cycles=400.0, latency_cycles=0.0)
+
+        def sender(sizes=sizes):
+            for i, s in enumerate(sizes):
+                yield from net.send_from(Message(src=0, dst=1, tag=i, nbytes=s))
+
+        def receiver(k=len(sizes)):
+            for _ in range(k):
+                yield net.inbox[1].get()
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        results[label] = sim.now
+    # The bottleneck NIC pays o once per message: ~9 extra overheads,
+    # partially overlapped with the other side's pipeline.
+    assert results["split"] - results["batched"] >= 6 * 400
+    assert results["batched"] < results["split"]
+
+
+def test_distinct_destinations_receive_in_parallel():
+    sim, net = make_net(p=3, gap_cycles_per_byte=1.0, overhead_cycles=10.0, latency_cycles=0.0)
+
+    def sender():
+        yield from net.send_from(Message(src=0, dst=1, tag=0, nbytes=100))
+        yield from net.send_from(Message(src=0, dst=2, tag=0, nbytes=100))
+
+    sim.process(sender())
+    sim.run()
+    # Receives at nodes 1 and 2 overlap: total < 2 full serial passes.
+    assert sim.now < 2 * (110 + 110)
+
+
+def test_recv_engine_serializes_inbound():
+    """Two senders to one destination: receive engine is the bottleneck."""
+    sim, net = make_net(p=3, gap_cycles_per_byte=1.0, overhead_cycles=0.0, latency_cycles=0.0)
+    for src in (1, 2):
+        net.transfer(Message(src=src, dst=0, tag=src, nbytes=500))
+    sim.run()
+    assert sim.now == pytest.approx(500 + 1000)  # second recv waits for the first
+
+
+def test_network_statistics():
+    sim, net = make_net(p=2)
+    net.transfer(Message(src=0, dst=1, tag=0, nbytes=64))
+    sim.run()
+    assert net.messages_sent == 1
+    assert net.bytes_sent == 64
+    assert net.latency_stat.count == 1
+
+
+def test_machine_assembly():
+    m = Machine(MachineConfig(p=4))
+    assert m.p == 4
+    assert len(m.cpus) == 4
+    assert m.network.p == 4
+    assert m.cycles_to_us(400) == pytest.approx(1.0)

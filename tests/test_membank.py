@@ -1,0 +1,212 @@
+"""Tests for the §4 memory-bank contention simulator."""
+
+import numpy as np
+import pytest
+
+from repro.membank import (
+    BankArray,
+    CONFLICT,
+    MEMBANK_MACHINES,
+    NOCONFLICT,
+    RANDOM,
+    cray_t3e,
+    now_bsplib,
+    run_microbenchmark,
+    smp_bsplib_l1,
+    smp_bsplib_l2,
+    smp_native,
+)
+from repro.membank.interconnect import BusInterconnect, EthernetInterconnect, TorusInterconnect
+from repro.membank.microbench import pattern_sweep
+from repro.sim import Simulator
+
+
+# ---------------------------------------------------------------------------
+# Banks
+# ---------------------------------------------------------------------------
+def test_bank_array_validation(sim):
+    with pytest.raises(ValueError):
+        BankArray(sim, 0, 10.0)
+    with pytest.raises(ValueError):
+        BankArray(sim, 4, 0.0)
+    banks = BankArray(sim, 4, 10.0)
+    with pytest.raises(ValueError):
+        next(banks.access(7))
+
+
+def test_bank_serializes_accesses(sim):
+    banks = BankArray(sim, 2, service_cycles=10.0)
+
+    def proc():
+        yield from banks.access(0)
+
+    for _ in range(4):
+        sim.process(proc())
+    sim.run()
+    assert sim.now == 40.0  # fully serialised at bank 0
+
+
+def test_distinct_banks_parallel(sim):
+    banks = BankArray(sim, 4, service_cycles=10.0)
+
+    def proc(b):
+        yield from banks.access(b)
+
+    for b in range(4):
+        sim.process(proc(b))
+    sim.run()
+    assert sim.now == 10.0
+
+
+def test_bank_utilization(sim):
+    banks = BankArray(sim, 2, service_cycles=10.0)
+
+    def proc():
+        yield from banks.access(0)
+        yield sim.timeout(10)
+
+    sim.process(proc())
+    sim.run()
+    assert banks.utilization(0) == pytest.approx(0.5)
+    assert banks.utilization(1) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# Patterns
+# ---------------------------------------------------------------------------
+def test_conflict_always_bank_zero(rng):
+    assert (CONFLICT.choose(rng, 3, 8, 100) == 0).all()
+
+
+def test_noconflict_distinct_banks(rng):
+    targets = {int(NOCONFLICT.choose(rng, pid, 8, 1)[0]) for pid in range(8)}
+    assert len(targets) == 8
+
+
+def test_random_spreads(rng):
+    picks = RANDOM.choose(rng, 0, 8, 8000)
+    counts = np.bincount(picks, minlength=8)
+    assert counts.min() > 800
+
+
+# ---------------------------------------------------------------------------
+# Interconnects
+# ---------------------------------------------------------------------------
+def test_bus_contention(sim):
+    bus = BusInterconnect(sim, occupancy_cycles=10.0, width=1)
+
+    def proc():
+        yield from bus.request_path(0, 0)
+
+    for _ in range(3):
+        sim.process(proc())
+    sim.run()
+    assert sim.now == 30.0
+
+
+def test_ethernet_ingress_is_the_hot_spot():
+    sim = Simulator()
+    eth = EthernetInterconnect(sim, n_nodes=4, frame_cycles=100.0, stack_cycles=0.0)
+
+    def proc(src):
+        yield from eth.request_path(src, 0)
+
+    for src in range(1, 4):
+        sim.process(proc(src))
+    sim.run()
+    # egress links run in parallel (100), then three frames serialise on
+    # node 0's ingress link (300)
+    assert sim.now == pytest.approx(400.0, rel=0.01)
+
+
+def test_torus_hops_scale_with_size():
+    sim = Simulator()
+    small = TorusInterconnect(sim, n_nodes=8, hop_cycles=10.0, inject_cycles=0.0)
+    large = TorusInterconnect(sim, n_nodes=512, hop_cycles=10.0, inject_cycles=0.0)
+    assert large.avg_hops > small.avg_hops
+
+
+def test_interconnect_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        BusInterconnect(sim, occupancy_cycles=0.0)
+    with pytest.raises(ValueError):
+        EthernetInterconnect(sim, n_nodes=0, frame_cycles=1.0, stack_cycles=0.0)
+    with pytest.raises(ValueError):
+        TorusInterconnect(sim, n_nodes=4, hop_cycles=-1.0, inject_cycles=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Machines & microbenchmark
+# ---------------------------------------------------------------------------
+def test_machine_presets_constructible():
+    for factory in MEMBANK_MACHINES.values():
+        cfg = factory()
+        assert cfg.p >= 1 and cfg.n_banks >= 1
+
+
+def test_microbench_basic_result():
+    res = run_microbenchmark(smp_native(), RANDOM, accesses_per_proc=300, seed=1)
+    assert res.mean_access_cycles > 0
+    assert res.mean_access_us == pytest.approx(
+        res.mean_access_cycles / 166e6 * 1e6
+    )
+    assert res.per_proc_mean_cycles.shape == (8,)
+
+
+def test_microbench_validation():
+    with pytest.raises(ValueError):
+        run_microbenchmark(smp_native(), RANDOM, accesses_per_proc=0)
+    with pytest.raises(ValueError):
+        run_microbenchmark(smp_native(), RANDOM, accesses_per_proc=10, warmup=10)
+
+
+def test_microbench_deterministic():
+    a = run_microbenchmark(smp_native(), RANDOM, accesses_per_proc=200, seed=9)
+    b = run_microbenchmark(smp_native(), RANDOM, accesses_per_proc=200, seed=9)
+    assert a.mean_access_cycles == b.mean_access_cycles
+
+
+@pytest.mark.parametrize("factory", [smp_native, cray_t3e, now_bsplib])
+def test_pattern_ordering_noconflict_random_conflict(factory):
+    """Figure 7's core shape on the hardware-shared-memory platforms."""
+    res = pattern_sweep(factory(), [NOCONFLICT, RANDOM, CONFLICT], accesses_per_proc=600)
+    nc = res["NoConflict"].mean_access_cycles
+    rd = res["Random"].mean_access_cycles
+    cf = res["Conflict"].mean_access_cycles
+    assert nc <= rd * 1.01  # random never beats the hand layout (noise margin)
+    assert cf > rd
+
+
+@pytest.mark.parametrize("factory", [smp_native, cray_t3e])
+def test_conflict_factor_two_to_four(factory):
+    """§4: Conflict runs a factor of 2-4 worse than NoConflict."""
+    res = pattern_sweep(factory(), [NOCONFLICT, CONFLICT], accesses_per_proc=600)
+    ratio = res["Conflict"].mean_access_cycles / res["NoConflict"].mean_access_cycles
+    assert 2.0 <= ratio <= 4.6
+
+
+def test_random_within_68pct_of_noconflict():
+    """§4: NoConflict beats Random by 0-68%."""
+    for factory in [smp_native, cray_t3e, now_bsplib]:
+        res = pattern_sweep(factory(), [NOCONFLICT, RANDOM], accesses_per_proc=600)
+        speedup = res["Random"].mean_access_cycles / res["NoConflict"].mean_access_cycles - 1
+        assert -0.01 <= speedup <= 0.68, factory.__name__
+
+
+def test_bsplib_layers_add_overhead():
+    nat = run_microbenchmark(smp_native(), RANDOM, accesses_per_proc=400)
+    l2 = run_microbenchmark(smp_bsplib_l2(), RANDOM, accesses_per_proc=400)
+    l1 = run_microbenchmark(smp_bsplib_l1(), RANDOM, accesses_per_proc=400)
+    assert nat.mean_access_cycles < l2.mean_access_cycles < l1.mean_access_cycles
+
+
+def test_conflict_bank_utilization_saturates():
+    res = run_microbenchmark(smp_native(), CONFLICT, accesses_per_proc=400)
+    assert res.max_bank_utilization > 0.9
+
+
+def test_now_cluster_is_orders_of_magnitude_slower():
+    smp = run_microbenchmark(smp_native(), RANDOM, accesses_per_proc=300)
+    now = run_microbenchmark(now_bsplib(), RANDOM, accesses_per_proc=300)
+    assert now.mean_access_us > 100 * smp.mean_access_us

@@ -1,0 +1,129 @@
+"""Tests for tree collectives."""
+
+import pytest
+
+from repro.machine.config import NetworkConfig
+from repro.machine.network import Network
+from repro.msg.collectives import (
+    barrier_proc,
+    broadcast_proc,
+    gather_proc,
+    tree_barrier_cost_estimate,
+    tree_depth,
+)
+from repro.msg.mp import make_endpoints
+from repro.sim import Simulator
+
+
+def build(p):
+    sim = Simulator()
+    net = Network(sim, NetworkConfig(), p)
+    return sim, make_endpoints(net)
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 7, 16])
+def test_barrier_completes_for_any_p(p):
+    sim, eps = build(p)
+    done = []
+
+    def node(pid):
+        yield from barrier_proc(eps[pid], p, seq=0)
+        done.append(pid)
+
+    for pid in range(p):
+        sim.process(node(pid))
+    sim.run()
+    assert sorted(done) == list(range(p))
+
+
+def test_barrier_actually_synchronizes():
+    """No node may pass the barrier before every node has entered it."""
+    p = 8
+    sim, eps = build(p)
+    enter, exit_ = {}, {}
+
+    def node(pid):
+        yield sim.timeout(pid * 1000)  # staggered arrival
+        enter[pid] = sim.now
+        yield from barrier_proc(eps[pid], p, seq=0)
+        exit_[pid] = sim.now
+
+    for pid in range(p):
+        sim.process(node(pid))
+    sim.run()
+    assert min(exit_.values()) >= max(enter.values())
+
+
+def test_consecutive_barriers_with_distinct_seq():
+    p = 4
+    sim, eps = build(p)
+    laps = {pid: 0 for pid in range(p)}
+
+    def node(pid):
+        for seq in range(3):
+            yield from barrier_proc(eps[pid], p, seq=seq)
+            laps[pid] += 1
+
+    for pid in range(p):
+        sim.process(node(pid))
+    sim.run()
+    assert all(v == 3 for v in laps.values())
+
+
+@pytest.mark.parametrize("p", [1, 2, 5, 16])
+def test_broadcast_delivers_value(p):
+    sim, eps = build(p)
+    results = {}
+
+    def node(pid):
+        value = yield from broadcast_proc(eps[pid], p, seq=0, value="payload" if pid == 0 else None)
+        results[pid] = value
+
+    for pid in range(p):
+        sim.process(node(pid))
+    sim.run()
+    assert all(v == "payload" for v in results.values())
+
+
+@pytest.mark.parametrize("p", [1, 2, 6, 16])
+def test_gather_collects_by_pid(p):
+    sim, eps = build(p)
+    results = {}
+
+    def node(pid):
+        out = yield from gather_proc(eps[pid], p, seq=0, value=pid * 11)
+        results[pid] = out
+
+    for pid in range(p):
+        sim.process(node(pid))
+    sim.run()
+    assert results[0] == [11 * i for i in range(p)]
+    assert all(results[pid] is None for pid in range(1, p))
+
+
+def test_tree_depth():
+    assert tree_depth(1) == 0
+    assert tree_depth(2) == 1
+    assert tree_depth(16) == 4
+    assert tree_depth(17) == 4
+    with pytest.raises(ValueError):
+        tree_depth(0)
+
+
+def test_barrier_cost_estimate_matches_des_for_p16():
+    """The hardware-only closed form equals the DES time without sw hops."""
+    p = 16
+    sim, eps = build(p)
+
+    def node(pid):
+        yield from barrier_proc(eps[pid], p, seq=0)
+
+    for pid in range(p):
+        sim.process(node(pid))
+    sim.run()
+    assert sim.now == pytest.approx(tree_barrier_cost_estimate(NetworkConfig(), p), rel=0.05)
+
+
+def test_barrier_cost_grows_with_p():
+    costs = [tree_barrier_cost_estimate(NetworkConfig(), p) for p in [2, 4, 16, 64]]
+    assert costs == sorted(costs)

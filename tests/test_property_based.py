@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.sequential import (
+    random_list_successors,
+    sequential_list_rank,
+    sequential_prefix_sums,
+)
+from repro.core.chernoff import (
+    binomial_tail_inverse_exact,
+    chernoff_binomial_lower,
+    chernoff_binomial_upper,
+)
+from repro.core.models import PhaseWork, QSMModel, SQSMModel
+from repro.core.params import QSMParams, SQSMParams
+from repro.machine.cache import AnalyticCache, RandomAccess, SequentialAccess
+from repro.machine.config import NodeConfig
+from repro.qsmlib.layout import Layout, LayoutMap
+from repro.sim import Simulator
+
+SLOWISH = settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+# ---------------------------------------------------------------------------
+# Layouts
+# ---------------------------------------------------------------------------
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    p=st.integers(min_value=1, max_value=64),
+    layout=st.sampled_from(list(Layout)),
+)
+@SLOWISH
+def test_layout_partition_invariant(n, p, layout):
+    """Every word has exactly one owner in [0, p); counts sum to n."""
+    m = LayoutMap(layout, n=n, p=p)
+    owners = m.owner_of(np.arange(n))
+    assert ((owners >= 0) & (owners < p)).all()
+    assert sum(m.local_count(pid) for pid in range(p)) == n
+
+
+@given(
+    n=st.integers(min_value=1, max_value=5000),
+    p=st.integers(min_value=1, max_value=32),
+)
+@SLOWISH
+def test_blocked_slices_tile_the_array(n, p):
+    m = LayoutMap(Layout.BLOCKED, n=n, p=p)
+    covered = 0
+    prev_stop = 0
+    for pid in range(p):
+        sl = m.local_slice(pid)
+        assert sl.start == prev_stop
+        prev_stop = sl.stop
+        covered += sl.stop - sl.start
+    assert covered == n
+
+
+# ---------------------------------------------------------------------------
+# Sequential baselines
+# ---------------------------------------------------------------------------
+@given(st.lists(st.integers(min_value=-(2**31), max_value=2**31), min_size=1, max_size=300))
+@SLOWISH
+def test_prefix_sums_last_equals_total(values):
+    out = sequential_prefix_sums(np.array(values, dtype=np.int64))
+    assert out[-1] == sum(values)
+    diffs = np.diff(out)
+    assert np.array_equal(diffs, np.array(values[1:], dtype=np.int64))
+
+
+@given(st.integers(min_value=1, max_value=400), st.integers(min_value=0, max_value=2**32))
+@SLOWISH
+def test_list_rank_is_a_permutation(n, seed):
+    succ = random_list_successors(n, np.random.default_rng(seed))
+    ranks = sequential_list_rank(succ)
+    assert sorted(ranks) == list(range(1, n + 1))
+
+
+@given(st.integers(min_value=2, max_value=400), st.integers(min_value=0, max_value=2**32))
+@SLOWISH
+def test_list_rank_successor_has_next_rank(n, seed):
+    succ = random_list_successors(n, np.random.default_rng(seed))
+    ranks = sequential_list_rank(succ)
+    for i in range(n):
+        if succ[i] != -1:
+            assert ranks[succ[i]] == ranks[i] + 1
+
+
+# ---------------------------------------------------------------------------
+# Cost models
+# ---------------------------------------------------------------------------
+work_strategy = st.builds(
+    PhaseWork,
+    m_op=st.floats(min_value=0, max_value=1e9),
+    m_rw=st.floats(min_value=0, max_value=1e9),
+    kappa=st.floats(min_value=0, max_value=1e9),
+)
+
+
+@given(work=work_strategy, g=st.floats(min_value=1.0, max_value=100.0))
+@SLOWISH
+def test_sqsm_dominates_qsm(work, g):
+    """s-QSM charges at least what QSM charges (g·kappa >= kappa for g>=1)."""
+    qsm = QSMModel(QSMParams(p=8, g=g)).phase_cost(work)
+    sqsm = SQSMModel(SQSMParams(p=8, g=g)).phase_cost(work)
+    assert sqsm >= qsm
+    assert qsm >= max(work.m_op, work.kappa)  # cost at least each component
+
+
+@given(
+    works=st.lists(work_strategy, min_size=1, max_size=10),
+    g=st.floats(min_value=0.1, max_value=100.0),
+)
+@SLOWISH
+def test_program_cost_additive(works, g):
+    model = QSMModel(QSMParams(p=4, g=g))
+    assert model.program_cost(works) == pytest.approx(
+        sum(model.phase_cost(w) for w in works)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Chernoff bounds
+# ---------------------------------------------------------------------------
+@given(
+    n=st.integers(min_value=1, max_value=10**6),
+    prob=st.floats(min_value=0.001, max_value=0.999),
+    alpha=st.floats(min_value=0.001, max_value=0.5),
+)
+@SLOWISH
+def test_chernoff_bounds_straddle_mean(n, prob, alpha):
+    upper = chernoff_binomial_upper(n, prob, alpha=alpha)
+    lower = chernoff_binomial_lower(n, prob, alpha=alpha)
+    mu = n * prob
+    assert lower <= mu
+    assert upper >= mu - 1
+    assert 0 <= lower <= upper <= n
+
+
+@given(
+    n=st.integers(min_value=10, max_value=10**5),
+    prob=st.floats(min_value=0.01, max_value=0.9),
+    alpha=st.floats(min_value=0.01, max_value=0.3),
+)
+@SLOWISH
+def test_chernoff_upper_dominates_exact(n, prob, alpha):
+    assert chernoff_binomial_upper(n, prob, alpha=alpha) >= binomial_tail_inverse_exact(
+        n, prob, alpha=alpha
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cache model
+# ---------------------------------------------------------------------------
+@given(
+    count=st.integers(min_value=0, max_value=10**6),
+    region=st.integers(min_value=1, max_value=10**8),
+)
+@SLOWISH
+def test_cache_cost_bounded_by_extremes(count, region):
+    """Per-reference cost always lies between the L1 hit and a full miss."""
+    cache = AnalyticCache(NodeConfig())
+    cost = cache.reference_cycles(RandomAccess(count=count, region_words=region))
+    node = NodeConfig()
+    full_miss = node.l1.hit_cycles + node.l2.hit_cycles + node.l2_miss_extra_cycles
+    assert node.l1.hit_cycles * count * 0.999 <= cost + 1e-9
+    assert cost <= full_miss * count + 1e-9
+
+
+@given(counts=st.lists(st.integers(min_value=1, max_value=10**5), min_size=2, max_size=2))
+@SLOWISH
+def test_cache_cost_linear_in_count(counts):
+    cache = AnalyticCache(NodeConfig())
+    a, b = counts
+    ca = cache.reference_cycles(SequentialAccess(count=a))
+    cb = cache.reference_cycles(SequentialAccess(count=b))
+    assert ca / a == pytest.approx(cb / b)
+
+
+# ---------------------------------------------------------------------------
+# Simulator determinism
+# ---------------------------------------------------------------------------
+@given(
+    delays=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=30),
+)
+@SLOWISH
+def test_simulator_end_time_is_max_delay(delays):
+    sim = Simulator()
+    for d in delays:
+        sim.timeout(d)
+    sim.run()
+    assert sim.now == max(delays)
+
+
+@given(
+    service=st.integers(min_value=1, max_value=100),
+    clients=st.integers(min_value=1, max_value=20),
+)
+@SLOWISH
+def test_single_server_throughput_law(service, clients):
+    """A unit resource serving k clients finishes at exactly k*service."""
+    from repro.sim import Resource
+
+    sim = Simulator()
+    res = Resource(sim)
+
+    def client():
+        yield from res.serve(service)
+
+    for _ in range(clients):
+        sim.process(client())
+    sim.run()
+    assert sim.now == clients * service

@@ -1,0 +1,88 @@
+"""Tests for shared-array registration and local views."""
+
+import numpy as np
+import pytest
+
+from repro.qsmlib.address_space import AddressSpace, SharedArray
+from repro.qsmlib.layout import Layout
+
+
+def test_allocate_zero_initialised():
+    space = AddressSpace(p=4)
+    arr = space.allocate("a", 100)
+    assert len(arr) == 100
+    assert (arr.data == 0).all()
+    assert arr.dtype == np.int64
+
+
+def test_local_view_is_a_view():
+    space = AddressSpace(p=4)
+    arr = space.allocate("a", 100)
+    view = arr.local_view(1)
+    view[:] = 7
+    assert (arr.data[25:50] == 7).all()
+    assert (arr.data[:25] == 0).all()
+
+
+def test_local_offset():
+    space = AddressSpace(p=4)
+    arr = space.allocate("a", 100)
+    assert arr.local_offset(2) == 50
+
+
+def test_custom_dtype():
+    space = AddressSpace(p=2)
+    arr = space.allocate("f", 10, dtype=np.float64)
+    assert arr.dtype == np.float64
+
+
+def test_unregister_blocks_access():
+    space = AddressSpace(p=2)
+    arr = space.allocate("a", 10)
+    space.unregister(arr)
+    with pytest.raises(RuntimeError, match="unregistered"):
+        arr.local_view(0)
+    with pytest.raises(KeyError):
+        space.unregister(arr)
+
+
+def test_space_iteration_and_lookup():
+    space = AddressSpace(p=2)
+    a = space.allocate("a", 10)
+    b = space.allocate("b", 20)
+    assert len(space) == 2
+    assert {arr.name for arr in space} == {"a", "b"}
+    assert space.get(a.aid) is a
+    space.unregister(a)
+    assert len(space) == 1
+    assert space.get(b.aid) is b
+
+
+def test_ids_unique_even_after_unregister():
+    space = AddressSpace(p=2)
+    a = space.allocate("a", 10)
+    space.unregister(a)
+    b = space.allocate("b", 10)
+    assert b.aid != a.aid
+
+
+def test_owner_lookup_respects_layout():
+    space = AddressSpace(p=4)
+    arr = space.allocate("c", 16, layout=Layout.CYCLIC)
+    assert list(arr.owner_of(np.arange(4))) == [0, 1, 2, 3]
+
+
+def test_invalid_sizes_rejected():
+    space = AddressSpace(p=2)
+    with pytest.raises(ValueError):
+        space.allocate("bad", 0)
+    with pytest.raises(ValueError):
+        AddressSpace(p=0)
+
+
+def test_default_salt_applied_to_hashed():
+    s1 = AddressSpace(p=4, default_salt=1)
+    s2 = AddressSpace(p=4, default_salt=2)
+    a1 = s1.allocate("h", 1024, layout=Layout.HASHED)
+    a2 = s2.allocate("h", 1024, layout=Layout.HASHED)
+    assert not np.array_equal(a1.owner_of(np.arange(1024)), a2.owner_of(np.arange(1024)))

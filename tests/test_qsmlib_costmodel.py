@@ -1,0 +1,94 @@
+"""Tests for the analytic communication cost model."""
+
+import dataclasses
+
+import pytest
+
+from repro.machine.config import NetworkConfig
+from repro.machine.cpu import CPUModel
+from repro.machine.config import NodeConfig
+from repro.qsmlib.config import SoftwareConfig
+from repro.qsmlib.costmodel import CommCostModel
+
+
+@pytest.fixture
+def model():
+    return CommCostModel.for_machine(NetworkConfig(), SoftwareConfig(), CPUModel(NodeConfig()))
+
+
+def test_paper_observed_gaps(model):
+    assert model.put_cycles_per_byte == pytest.approx(35.0, rel=0.05)
+    assert model.get_cycles_per_byte == pytest.approx(287.0, rel=0.05)
+
+
+def test_get_costs_more_than_put(model):
+    assert model.get_word_cycles > 2 * model.put_word_cycles
+
+
+def test_side_split_sums_to_total(model):
+    assert model.put_word_src_cycles + model.put_word_dst_cycles == pytest.approx(
+        model.put_word_cycles
+    )
+    assert model.get_word_requester_cycles + model.get_word_server_cycles == pytest.approx(
+        model.get_word_cycles
+    )
+
+
+def test_local_words_cheaper_than_remote(model):
+    assert model.local_word_cycles < model.put_word_cycles / 2
+
+
+def test_gap_scales_put_cost():
+    sw = SoftwareConfig()
+    cpu = CPUModel(NodeConfig())
+    slow = CommCostModel.for_machine(NetworkConfig(gap_cycles_per_byte=30.0), sw, cpu)
+    fast = CommCostModel.for_machine(NetworkConfig(gap_cycles_per_byte=3.0), sw, cpu)
+    wire_bytes = sw.record_header_bytes + sw.word_bytes
+    assert slow.put_word_cycles - fast.put_word_cycles == pytest.approx(27.0 * wire_bytes)
+
+
+def test_latency_does_not_enter_word_costs():
+    sw = SoftwareConfig()
+    cpu = CPUModel(NodeConfig())
+    a = CommCostModel.for_machine(NetworkConfig(latency_cycles=0), sw, cpu)
+    b = CommCostModel.for_machine(NetworkConfig(latency_cycles=10**6), sw, cpu)
+    assert a.put_word_cycles == b.put_word_cycles
+    assert a.get_word_cycles == b.get_word_cycles
+
+
+def test_overhead_does_not_enter_word_costs():
+    sw = SoftwareConfig()
+    cpu = CPUModel(NodeConfig())
+    a = CommCostModel.for_machine(NetworkConfig(overhead_cycles=0), sw, cpu)
+    b = CommCostModel.for_machine(NetworkConfig(overhead_cycles=10**6), sw, cpu)
+    assert a.put_word_cycles == b.put_word_cycles
+
+
+def test_latency_and_overhead_enter_the_sync_floor(model):
+    sw = SoftwareConfig()
+    cpu = CPUModel(NodeConfig())
+    slow = CommCostModel.for_machine(
+        NetworkConfig(latency_cycles=16000, overhead_cycles=4000), sw, cpu
+    )
+    assert slow.sync_floor_cycles(16) > model.sync_floor_cycles(16)
+
+
+def test_barrier_cycles_monotone_in_p(model):
+    values = [model.barrier_cycles(p) for p in [1, 2, 4, 8, 16, 64]]
+    assert values == sorted(values)
+    assert model.barrier_cycles(1) == 0.0
+
+
+def test_plan_exchange_grows_with_p(model):
+    assert model.plan_exchange_cycles(1) == 0.0
+    assert model.plan_exchange_cycles(32) > model.plan_exchange_cycles(4)
+
+
+def test_sync_floor_components(model):
+    p = 16
+    floor = model.sync_floor_cycles(p)
+    assert floor == pytest.approx(
+        SoftwareConfig().sync_fixed_cycles
+        + model.plan_exchange_cycles(p)
+        + model.barrier_cycles(p)
+    )

@@ -1,0 +1,97 @@
+"""Tests for data layouts."""
+
+import numpy as np
+import pytest
+
+from repro.qsmlib.layout import HASH_BLOCK_WORDS, Layout, LayoutMap
+
+
+def test_blocked_owner_and_slice():
+    m = LayoutMap(Layout.BLOCKED, n=100, p=4)
+    assert m.block == 25
+    assert m.owner_of_scalar(0) == 0
+    assert m.owner_of_scalar(24) == 0
+    assert m.owner_of_scalar(25) == 1
+    assert m.owner_of_scalar(99) == 3
+    assert m.local_slice(2) == slice(50, 75)
+
+
+def test_blocked_uneven_tail():
+    m = LayoutMap(Layout.BLOCKED, n=10, p=4)
+    assert m.block == 3
+    assert m.local_count(3) == 1
+    assert sum(m.local_count(i) for i in range(4)) == 10
+
+
+def test_cyclic_owner():
+    m = LayoutMap(Layout.CYCLIC, n=10, p=3)
+    assert list(m.owner_of(np.arange(6))) == [0, 1, 2, 0, 1, 2]
+    assert m.local_count(0) == 4
+    assert m.local_count(2) == 3
+
+
+def test_root_owner():
+    m = LayoutMap(Layout.ROOT, n=50, p=8)
+    assert (m.owner_of(np.arange(50)) == 0).all()
+    assert m.local_count(0) == 50
+    assert m.local_count(3) == 0
+    assert m.local_slice(0) == slice(0, 50)
+    assert m.local_slice(5) == slice(0, 0)
+
+
+def test_hashed_covers_all_processors():
+    m = LayoutMap(Layout.HASHED, n=64 * HASH_BLOCK_WORDS, p=8)
+    owners = m.owner_of(np.arange(m.n))
+    assert set(np.unique(owners)) == set(range(8))
+
+
+def test_hashed_block_granularity():
+    m = LayoutMap(Layout.HASHED, n=16 * HASH_BLOCK_WORDS, p=4)
+    owners = m.owner_of(np.arange(m.n)).reshape(-1, HASH_BLOCK_WORDS)
+    # every word in one hash block has the same owner
+    assert (owners == owners[:, :1]).all()
+
+
+def test_hashed_balance_is_reasonable():
+    p = 8
+    m = LayoutMap(Layout.HASHED, n=4096 * HASH_BLOCK_WORDS, p=p)
+    counts = np.bincount(m.owner_of(np.arange(m.n)), minlength=p)
+    assert counts.max() < 1.3 * m.n / p
+    assert counts.min() > 0.7 * m.n / p
+
+
+def test_hashed_salt_changes_layout():
+    a = LayoutMap(Layout.HASHED, n=1024, p=4, salt=0)
+    b = LayoutMap(Layout.HASHED, n=1024, p=4, salt=99)
+    assert not np.array_equal(a.owner_of(np.arange(1024)), b.owner_of(np.arange(1024)))
+
+
+def test_out_of_bounds_rejected():
+    m = LayoutMap(Layout.BLOCKED, n=10, p=2)
+    with pytest.raises(IndexError):
+        m.owner_of(np.array([10]))
+    with pytest.raises(IndexError):
+        m.owner_of(np.array([-1]))
+
+
+def test_local_slice_requires_contiguous_layout():
+    with pytest.raises(ValueError):
+        LayoutMap(Layout.CYCLIC, n=10, p=2).local_slice(0)
+    with pytest.raises(ValueError):
+        LayoutMap(Layout.HASHED, n=10, p=2).local_slice(0)
+
+
+def test_invalid_dimensions_rejected():
+    with pytest.raises(ValueError):
+        LayoutMap(Layout.BLOCKED, n=0, p=2)
+    with pytest.raises(ValueError):
+        LayoutMap(Layout.BLOCKED, n=10, p=0)
+
+
+@pytest.mark.parametrize("layout", list(Layout))
+def test_every_word_has_exactly_one_owner(layout):
+    m = LayoutMap(layout, n=500, p=7)
+    owners = m.owner_of(np.arange(500))
+    assert ((owners >= 0) & (owners < 7)).all()
+    total = sum(m.local_count(pid) for pid in range(7))
+    assert total == 500

@@ -1,0 +1,145 @@
+"""Tests for communication-plan construction and phase semantics."""
+
+import numpy as np
+import pytest
+
+from repro.qsmlib.address_space import AddressSpace
+from repro.qsmlib.layout import Layout
+from repro.qsmlib.plan import (
+    QSMSemanticsError,
+    apply_phase_semantics,
+    build_traffic,
+    check_phase_semantics,
+    compute_kappa,
+)
+from repro.qsmlib.requests import RequestQueue
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(p=4)
+
+
+def queues(p=4):
+    return [RequestQueue(pid=i) for i in range(p)]
+
+
+def test_traffic_matrices_basic(space):
+    arr = space.allocate("a", 100)  # blocks of 25
+    qs = queues()
+    qs[0].add_put(arr, [30, 31], [1, 2])  # to owner 1
+    qs[0].add_get(arr, [77])  # from owner 3
+    qs[2].add_put(arr, [55], [9])  # local (owner 2)
+    t = build_traffic(qs, 4)
+    assert t.put_words[0, 1] == 2
+    assert t.get_words[0, 3] == 1
+    assert t.local_words[2] == 1
+    assert t.put_words.diagonal().sum() == 0
+    assert t.put_words.sum() == 2
+    assert t.get_words.sum() == 1
+
+
+def test_traffic_expected_sources(space):
+    arr = space.allocate("a", 100)
+    qs = queues()
+    qs[0].add_put(arr, [30], [1])
+    qs[2].add_get(arr, [30])
+    t = build_traffic(qs, 4)
+    assert t.expected_data_sources(1) == [0, 2]
+    assert t.expected_reply_sources(2) == [1]
+    assert t.expected_reply_sources(0) == []
+
+
+def test_kappa_counts_hot_word(space):
+    arr = space.allocate("a", 100)
+    qs = queues()
+    for q in qs:
+        q.add_get(arr, [50])
+    qs[0].add_get(arr, [50])
+    assert compute_kappa(qs) == 5
+
+
+def test_kappa_across_arrays_is_max(space):
+    a = space.allocate("a", 10)
+    b = space.allocate("b", 10)
+    qs = queues()
+    qs[0].add_put(a, [1, 1, 1], [1, 1, 1])
+    qs[1].add_put(b, [2], [2])
+    assert compute_kappa(qs) == 3
+
+
+def test_kappa_empty_is_zero():
+    assert compute_kappa(queues()) == 0
+
+
+def test_read_write_same_word_rejected(space):
+    arr = space.allocate("a", 100)
+    qs = queues()
+    qs[0].add_put(arr, [10], [1])
+    qs[1].add_get(arr, [10])
+    with pytest.raises(QSMSemanticsError, match="both read and written"):
+        check_phase_semantics(qs)
+
+
+def test_read_write_disjoint_accepted(space):
+    arr = space.allocate("a", 100)
+    qs = queues()
+    qs[0].add_put(arr, [10], [1])
+    qs[1].add_get(arr, [11])
+    check_phase_semantics(qs)  # no error
+
+
+def test_same_word_rw_in_different_arrays_ok(space):
+    a = space.allocate("a", 10)
+    b = space.allocate("b", 10)
+    qs = queues()
+    qs[0].add_put(a, [3], [1])
+    qs[1].add_get(b, [3])
+    check_phase_semantics(qs)
+
+
+def test_gets_see_phase_start_snapshot(space):
+    arr = space.allocate("a", 100)
+    arr.data[:] = 5
+    qs = queues()
+    h = qs[0].add_get(arr, [60])
+    qs[1].add_put(arr, [61], [99])  # different word, same phase
+    apply_phase_semantics(qs)
+    assert h.data[0] == 5
+    assert arr.data[61] == 99
+
+
+def test_concurrent_puts_resolve_in_pid_order(space):
+    arr = space.allocate("a", 100)
+    qs = queues()
+    qs[0].add_put(arr, [7], [100])
+    qs[3].add_put(arr, [7], [300])
+    apply_phase_semantics(qs)
+    assert arr.data[7] == 300  # deterministic: highest pid applied last
+
+
+def test_duplicate_indices_in_one_put_last_wins(space):
+    arr = space.allocate("a", 10)
+    qs = queues()
+    qs[0].add_put(arr, [2, 2], [10, 20])
+    apply_phase_semantics(qs)
+    assert arr.data[2] == 20
+
+
+def test_get_data_in_request_order(space):
+    arr = space.allocate("a", 100)
+    arr.data[:] = np.arange(100)
+    qs = queues()
+    h = qs[0].add_get(arr, [42, 3, 99])
+    apply_phase_semantics(qs)
+    assert list(h.data) == [42, 3, 99]
+
+
+def test_traffic_with_root_layout(space):
+    arr = space.allocate("r", 40, layout=Layout.ROOT)
+    qs = queues()
+    qs[2].add_put(arr, [5], [1])
+    qs[0].add_put(arr, [6], [1])  # local to 0
+    t = build_traffic(qs, 4)
+    assert t.put_words[2, 0] == 1
+    assert t.local_words[0] == 1

@@ -1,0 +1,86 @@
+"""Tests for get/put request queues and handles."""
+
+import numpy as np
+import pytest
+
+from repro.qsmlib.address_space import AddressSpace
+from repro.qsmlib.requests import GetHandle, RequestQueue
+
+
+@pytest.fixture
+def arr():
+    return AddressSpace(p=4).allocate("a", 100)
+
+
+def test_get_handle_not_ready_before_sync(arr):
+    q = RequestQueue(pid=0)
+    h = q.add_get(arr, [1, 2, 3])
+    assert not h.ready
+    with pytest.raises(RuntimeError, match="before sync"):
+        h.data
+
+
+def test_get_handle_fulfill(arr):
+    q = RequestQueue(pid=0)
+    h = q.add_get(arr, [5])
+    h._fulfill(np.array([42]))
+    assert h.ready
+    assert h.data[0] == 42
+
+
+def test_put_scalar_broadcasts(arr):
+    q = RequestQueue(pid=0)
+    q.add_put(arr, [1, 2, 3], 9)
+    assert (q.puts[0].values == 9).all()
+    assert len(q.puts[0].values) == 3
+
+
+def test_put_shape_mismatch_rejected(arr):
+    q = RequestQueue(pid=0)
+    with pytest.raises(ValueError, match="mismatch"):
+        q.add_put(arr, [1, 2], [1, 2, 3])
+
+
+def test_put_values_copied(arr):
+    q = RequestQueue(pid=0)
+    values = np.array([1, 2, 3])
+    q.add_put(arr, [0, 1, 2], values)
+    values[:] = 99
+    assert (q.puts[0].values == [1, 2, 3]).all()
+
+
+def test_out_of_bounds_indices_rejected(arr):
+    q = RequestQueue(pid=0)
+    with pytest.raises(IndexError):
+        q.add_get(arr, [100])
+    with pytest.raises(IndexError):
+        q.add_put(arr, [-1], [0])
+
+
+def test_indices_flattened(arr):
+    q = RequestQueue(pid=0)
+    h = q.add_get(arr, np.array([[1, 2], [3, 4]]))
+    assert h.indices.shape == (4,)
+
+
+def test_clear_and_empty(arr):
+    q = RequestQueue(pid=0)
+    assert q.empty
+    q.add_get(arr, [1])
+    q.add_put(arr, [2], [5])
+    assert not q.empty
+    q.clear()
+    assert q.empty
+
+
+def test_dtype_coercion_to_array_dtype():
+    arr = AddressSpace(p=2).allocate("f", 10, dtype=np.float64)
+    q = RequestQueue(pid=0)
+    q.add_put(arr, [0], [3])
+    assert q.puts[0].values.dtype == np.float64
+
+
+def test_empty_index_request_allowed(arr):
+    q = RequestQueue(pid=0)
+    h = q.add_get(arr, np.array([], dtype=np.int64))
+    assert h.indices.size == 0

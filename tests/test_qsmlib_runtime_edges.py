@@ -1,0 +1,159 @@
+"""Edge-case coverage for the sync engine and driver.
+
+Mixed layouts in one phase, ROOT-layout hot nodes, many arrays at once,
+wider machines, and stress on the sync protocol's bookkeeping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.qsmlib import Layout, QSMMachine, RunConfig
+
+
+def cfg(p=4, **kw):
+    kw.setdefault("check_semantics", True)
+    return RunConfig(machine=MachineConfig(p=p), seed=13, **kw)
+
+
+def test_mixed_layouts_in_one_phase():
+    qm = QSMMachine(cfg())
+    blocked = qm.allocate("b", 32, layout=Layout.BLOCKED)
+    cyclic = qm.allocate("c", 32, layout=Layout.CYCLIC)
+    rooted = qm.allocate("r", 32, layout=Layout.ROOT)
+    hashed = qm.allocate("h", 32, layout=Layout.HASHED)
+
+    def program(ctx, blocked, cyclic, rooted, hashed):
+        i = ctx.pid
+        ctx.put(blocked, [i], [i])
+        ctx.put(cyclic, [i + 4], [i * 10])
+        ctx.put(rooted, [i + 8], [i * 100])
+        ctx.put(hashed, [i + 12], [i * 1000])
+        yield ctx.sync()
+
+    qm.run(program, blocked=blocked, cyclic=cyclic, rooted=rooted, hashed=hashed)
+    assert list(blocked.data[:4]) == [0, 1, 2, 3]
+    assert list(cyclic.data[4:8]) == [0, 10, 20, 30]
+    assert list(rooted.data[8:12]) == [0, 100, 200, 300]
+    assert list(hashed.data[12:16]) == [0, 1000, 2000, 3000]
+
+
+def test_root_layout_concentrates_serving_load():
+    qm = QSMMachine(cfg(check_semantics=False))
+    hot = qm.allocate("hot", 256, layout=Layout.ROOT)
+
+    def program(ctx, hot):
+        ctx.get_range(hot, ctx.pid * 8, 8)
+        yield ctx.sync()
+
+    run = qm.run(program, hot=hot)
+    ph = run.phases[0]
+    assert ph.get_served_words is not None
+    assert ph.get_served_words[0] == 24  # node 0 serves all three peers
+    assert ph.get_served_words[1:].sum() == 0
+    assert ph.local_words[0] == 8  # its own request short-circuits
+
+
+def test_many_arrays_in_one_phase():
+    qm = QSMMachine(cfg())
+    arrays = [qm.allocate(f"a{i}", 16) for i in range(12)]
+
+    def program(ctx, arrays):
+        for i, arr in enumerate(arrays):
+            ctx.put(arr, [(ctx.pid * 4 + i) % 16], [i])
+        yield ctx.sync()
+
+    run = qm.run(program, arrays=arrays)
+    assert run.n_phases == 1
+    total_put = run.phases[0].put_words.sum() + run.phases[0].local_words.sum()
+    assert total_put == 4 * 12
+
+
+def test_wide_machine_smoke():
+    qm = QSMMachine(cfg(p=64, check_semantics=False))
+    A = qm.allocate("a", 64 * 64)
+
+    def program(ctx, A):
+        peers = np.array([d for d in range(ctx.p) if d != ctx.pid], dtype=np.int64)
+        ctx.put(A, peers * 64 + ctx.pid, np.full(peers.size, ctx.pid, dtype=np.int64))
+        yield ctx.sync()
+        return int(ctx.local(A).sum())
+
+    run = qm.run(program, A=A)
+    expected = sum(range(64))
+    assert all(r + pid == expected for pid, r in enumerate(run.returns))
+
+
+def test_empty_phase_sequence():
+    qm = QSMMachine(cfg())
+
+    def program(ctx):
+        for _ in range(5):
+            yield ctx.sync()
+
+    run = qm.run(program)
+    assert run.n_phases == 5
+    floors = [ph.comm_cycles for ph in run.phases]
+    assert max(floors) - min(floors) < 1e-6  # identical empty syncs
+
+
+def test_interleaved_get_put_different_arrays():
+    qm = QSMMachine(cfg())
+    src = qm.allocate("src", 16)
+    dst = qm.allocate("dst", 16)
+    src.data[:] = np.arange(16) * 7
+
+    def program(ctx, src, dst):
+        h = ctx.get(src, [(ctx.pid + 1) % 4])
+        ctx.put(dst, [(ctx.pid + 2) % 4 + 4], [ctx.pid])
+        yield ctx.sync()
+        ctx.put(dst, [ctx.pid + 8], [int(h.data[0])])
+        yield ctx.sync()
+
+    qm.run(program, src=src, dst=dst)
+    assert list(dst.data[8:12]) == [7, 14, 21, 0]
+
+
+def test_get_of_entire_remote_array():
+    qm = QSMMachine(cfg(check_semantics=False))
+    A = qm.allocate("a", 128)
+    A.data[:] = np.arange(128)
+
+    def program(ctx, A):
+        h = ctx.get_range(A, 0, 128)  # everything, from everyone
+        yield ctx.sync()
+        return int(h.data.sum())
+
+    run = qm.run(program, A=A)
+    assert set(run.returns) == {int(np.arange(128).sum())}
+
+
+def test_repeated_gets_of_same_word_allowed():
+    """Concurrent reads are the 'queuing' in QSM — legal, costed via kappa."""
+    qm = QSMMachine(cfg(track_kappa=True))
+    A = qm.allocate("a", 16)
+    A.data[5] = 99
+
+    def program(ctx, A):
+        h = ctx.get(A, [5, 5, 5])
+        yield ctx.sync()
+        return list(h.data)
+
+    run = qm.run(program, A=A)
+    assert all(r == [99, 99, 99] for r in run.returns)
+    assert run.phases[0].kappa == 12  # 3 reads x 4 processors
+
+
+def test_charge_between_syncs_accumulates():
+    qm = QSMMachine(cfg())
+
+    def program(ctx):
+        ctx.charge_cycles(100)
+        ctx.charge_cycles(200)
+        yield ctx.sync()
+        ctx.charge_cycles(50)
+        yield ctx.sync()
+
+    run = qm.run(program)
+    assert float(run.phases[0].compute_cycles[0]) == 300
+    assert float(run.phases[1].compute_cycles[0]) == 50

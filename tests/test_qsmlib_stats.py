@@ -1,0 +1,73 @@
+"""Tests for the measurement records (PhaseRecord / RunResult)."""
+
+import numpy as np
+import pytest
+
+from repro.qsmlib.stats import PhaseRecord, RunResult
+
+
+def make_phase(index=0, start=0.0, ready=100.0, end=250.0, puts=(3, 9), gets=(1, 0)):
+    return PhaseRecord(
+        index=index,
+        compute_cycles=np.array([80.0, 100.0]),
+        op_counts=np.array([800.0, 1000.0]),
+        put_words=np.array(puts),
+        get_words=np.array(gets),
+        local_words=np.array([0, 2]),
+        kappa=2,
+        put_in_words=np.array(puts)[::-1].copy(),
+        get_served_words=np.array(gets)[::-1].copy(),
+        start=start,
+        ready=ready,
+        end=end,
+    )
+
+
+def test_phase_derived_quantities():
+    ph = make_phase()
+    assert ph.comm_cycles == 150.0
+    assert ph.total_cycles == 250.0
+    assert list(ph.m_rw) == [4, 9]
+    assert ph.max_put_words == 9
+    assert ph.max_get_words == 1
+    assert ph.max_m_rw == 9
+
+
+def test_run_totals_compose_phases():
+    phases = [
+        make_phase(0, start=0, ready=100, end=250),
+        make_phase(1, start=250, ready=400, end=700),
+    ]
+    run = RunResult(p=2, seed=0, phases=phases, trailing_compute_cycles=50.0)
+    assert run.n_phases == 2
+    assert run.comm_cycles == 150.0 + 300.0
+    assert run.total_cycles == 700.0 + 50.0
+    assert run.compute_cycles == 100.0 + 100.0 + 50.0
+
+
+def test_run_aggregates_for_estimators():
+    phases = [make_phase(0), make_phase(1, puts=(7, 2), gets=(5, 6))]
+    run = RunResult(p=2, seed=0, phases=phases)
+    assert run.sum_max_put_words() == 9 + 7
+    assert run.sum_max_get_words() == 1 + 6
+
+
+def test_empty_run():
+    run = RunResult(p=4, seed=0)
+    assert run.total_cycles == 0.0
+    assert run.comm_cycles == 0.0
+    assert run.compute_cycles == 0.0
+
+
+def test_observations_api():
+    run = RunResult(p=2, seed=0)
+    run.observations["x"] = [(0, 0, 5.0), (0, 1, 9.0), (1, 0, 3.0)]
+    assert run.observe_values("x") == [5.0, 9.0, 3.0]
+    assert run.observe_max_by_phase("x") == {0: 9.0, 1: 3.0}
+    assert run.observe_values("missing") == []
+
+
+def test_summary_string():
+    run = RunResult(p=2, seed=0, phases=[make_phase()])
+    s = run.summary()
+    assert "p=2" in s and "phases=1" in s

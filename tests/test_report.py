@@ -1,0 +1,87 @@
+"""Tests for the markdown report generator."""
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.cli import main
+from repro.experiments.report import build_report, generate_report, result_to_markdown
+
+
+def series_result():
+    return ExperimentResult(
+        exp_id="figX",
+        title="A series",
+        text="ignored",
+        data={"x_name": "n", "x": [1, 2], "measured": [10, 20], "pred": [9, 18]},
+    )
+
+
+def table_result():
+    return ExperimentResult(
+        exp_id="tabX",
+        title="A table",
+        text="ignored",
+        data={"headers": ["k", "v"], "rows": [["a", 1], ["b", 2.5]]},
+    )
+
+
+def test_series_rendered_as_markdown_table():
+    md = result_to_markdown(series_result())
+    assert "## figX — A series" in md
+    assert "| n | measured | pred |" in md
+    assert "| 1 | 10 | 9 |" in md
+
+
+def test_table_rendered_as_markdown_table():
+    md = result_to_markdown(table_result())
+    assert "| k | v |" in md
+    assert "| b | 2.5 |" in md
+
+
+def test_fallback_to_preformatted_text():
+    res = ExperimentResult(exp_id="x", title="t", text="RAW BODY", data={})
+    md = result_to_markdown(res)
+    assert "```\nRAW BODY\n```" in md
+
+
+def test_scalar_extras_included():
+    res = ExperimentResult(
+        exp_id="fig5",
+        title="t",
+        text="",
+        data={"x_name": "l", "x": [1], "crossover_n": [5], "slope": 0.5, "r2": 0.99},
+    )
+    md = result_to_markdown(res)
+    assert "- slope: 0.5" in md
+    assert "- r2: 0.99" in md
+
+
+def test_build_report_structure():
+    report = build_report([series_result(), table_result()], preamble="hello")
+    assert report.startswith("# QSM reproduction")
+    assert "hello" in report
+    assert "Contents: figX, tabX" in report
+    assert report.count("## ") == 2
+
+
+def test_generate_report_with_injected_runner(tmp_path):
+    def fake_runner(exp_id, fast, seed):
+        return series_result()
+
+    out = tmp_path / "r.md"
+    text = generate_report(str(out), experiment_ids=["fig1"], runner=fake_runner)
+    assert out.read_text() == text
+    assert "figX" in text
+
+
+def test_cli_report_subcommand(tmp_path, capsys):
+    out = tmp_path / "report.md"
+    assert main(["report", str(out), "--fast", "--only", "table2", "table1"]) == 0
+    text = out.read_text()
+    assert "## table2" in text and "## table1" in text
+    assert "wrote markdown report" in capsys.readouterr().out
+
+
+def test_cli_report_rejects_unknown_ids():
+    with pytest.raises(SystemExit):
+        main(["report", "x.md", "--only", "fig99"])

@@ -1,0 +1,124 @@
+"""Tests for Event / Timeout / AllOf / AnyOf semantics."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Event, SimulationError, Timeout
+
+
+def test_event_starts_untriggered(sim):
+    ev = Event(sim)
+    assert not ev.triggered
+    assert not ev.processed
+
+
+def test_succeed_carries_value(sim):
+    ev = Event(sim).succeed("payload")
+    sim.run()
+    assert ev.value == "payload"
+    assert ev.ok
+
+
+def test_succeed_with_none_value_counts_as_triggered(sim):
+    ev = Event(sim).succeed(None)
+    assert ev.triggered
+
+
+def test_double_trigger_rejected(sim):
+    ev = Event(sim).succeed(1)
+    with pytest.raises(SimulationError, match="already triggered"):
+        ev.succeed(2)
+    with pytest.raises(SimulationError, match="already triggered"):
+        ev.fail(RuntimeError("x"))
+
+
+def test_value_before_trigger_raises(sim):
+    with pytest.raises(SimulationError, match="untriggered"):
+        Event(sim).value
+
+
+def test_fail_requires_exception(sim):
+    with pytest.raises(TypeError):
+        Event(sim).fail("not an exception")
+
+
+def test_fail_reraises_in_value(sim):
+    ev = Event(sim).fail(ValueError("boom"))
+    sim.run()
+    assert not ev.ok
+    with pytest.raises(ValueError, match="boom"):
+        ev.value
+
+
+def test_callback_after_processed_runs_immediately(sim):
+    ev = Event(sim).succeed(5)
+    sim.run()
+    got = []
+    ev.add_callback(lambda e: got.append(e.value))
+    assert got == [5]
+
+
+def test_delayed_succeed(sim):
+    ev = Event(sim)
+    ev.succeed("late", delay=15)
+    sim.run()
+    assert sim.now == 15
+    assert ev.processed
+
+
+def test_timeout_value(sim):
+    t = Timeout(sim, 3, value="tick")
+    sim.run()
+    assert t.value == "tick"
+
+
+def test_all_of_collects_values_in_order(sim):
+    evs = [sim.timeout(30, "a"), sim.timeout(10, "b"), sim.timeout(20, "c")]
+    combo = AllOf(sim, evs)
+    sim.run()
+    assert combo.value == ["a", "b", "c"]
+    assert sim.now == 30
+
+
+def test_all_of_empty_fires_immediately(sim):
+    combo = AllOf(sim, [])
+    sim.run()
+    assert combo.value == []
+
+
+def test_all_of_propagates_failure(sim):
+    ok = sim.timeout(1)
+    bad = Event(sim).fail(RuntimeError("nope"))
+    combo = AllOf(sim, [ok, bad])
+    sim.run()
+    assert not combo.ok
+
+
+def test_any_of_takes_first(sim):
+    combo = AnyOf(sim, [sim.timeout(30, "slow"), sim.timeout(5, "fast")])
+    sim.run()
+    assert combo.value == "fast"
+
+
+def test_any_of_ignores_later_events(sim):
+    first = sim.timeout(1, "one")
+    second = sim.timeout(2, "two")
+    combo = AnyOf(sim, [first, second])
+    sim.run()
+    assert combo.value == "one"
+    assert second.processed  # the late event still fires harmlessly
+
+
+def test_process_waits_on_all_of(sim):
+    def proc():
+        values = yield sim.all_of([sim.timeout(4, "x"), sim.timeout(2, "y")])
+        return values
+
+    assert sim.run_process(proc()) == ["x", "y"]
+
+
+def test_process_waits_on_any_of(sim):
+    def proc():
+        value = yield sim.any_of([sim.timeout(4, "x"), sim.timeout(2, "y")])
+        return value
+
+    assert sim.run_process(proc()) == "y"

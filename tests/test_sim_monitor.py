@@ -1,0 +1,72 @@
+"""Tests for statistics collectors."""
+
+import math
+
+import pytest
+
+from repro.sim import Simulator, TallyStat, TimeWeightedStat
+
+
+def test_tally_empty():
+    t = TallyStat()
+    assert t.count == 0
+    assert t.mean == 0.0
+    assert t.variance == 0.0
+
+
+def test_tally_mean_min_max():
+    t = TallyStat()
+    for v in [2.0, 4.0, 6.0]:
+        t.record(v)
+    assert t.mean == pytest.approx(4.0)
+    assert t.minimum == 2.0
+    assert t.maximum == 6.0
+
+
+def test_tally_variance_matches_numpy():
+    import numpy as np
+
+    values = [1.0, 5.0, 2.0, 8.0, 3.0]
+    t = TallyStat()
+    for v in values:
+        t.record(v)
+    assert t.variance == pytest.approx(np.var(values, ddof=1))
+    assert t.stdev == pytest.approx(math.sqrt(np.var(values, ddof=1)))
+
+
+def test_tally_single_value_has_zero_variance():
+    t = TallyStat()
+    t.record(3.0)
+    assert t.variance == 0.0
+
+
+def test_time_weighted_average():
+    sim = Simulator()
+    stat = TimeWeightedStat(sim)
+
+    def proc():
+        stat.record(10)  # value 10 from t=0
+        yield sim.timeout(4)
+        stat.record(0)  # value 0 from t=4
+        yield sim.timeout(4)
+
+    sim.process(proc())
+    sim.run()
+    # 10 for half the window, 0 for the other half.
+    assert stat.time_average() == pytest.approx(5.0)
+
+
+def test_time_weighted_maximum():
+    sim = Simulator()
+    stat = TimeWeightedStat(sim)
+    stat.record(3)
+    stat.record(9)
+    stat.record(1)
+    assert stat.maximum == 9
+
+
+def test_time_weighted_zero_span_returns_last():
+    sim = Simulator()
+    stat = TimeWeightedStat(sim)
+    stat.record(7)
+    assert stat.time_average() == 7

@@ -1,0 +1,154 @@
+"""Tests for generator processes."""
+
+import pytest
+
+from repro.sim import Event, Interrupt, SimulationError, Simulator
+
+
+def test_process_requires_generator(sim):
+    with pytest.raises(TypeError, match="generator"):
+        sim.process(lambda: None)
+
+
+def test_process_return_value_is_event_value(sim):
+    def proc():
+        yield sim.timeout(1)
+        return "done"
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "done"
+
+
+def test_yield_non_event_fails_process(sim):
+    def proc():
+        yield 42
+
+    p = sim.process(proc())
+    sim.run()
+    assert not p.ok
+    with pytest.raises(SimulationError, match="must yield Event"):
+        p.value
+
+
+def test_exception_inside_process_captured(sim):
+    def proc():
+        yield sim.timeout(1)
+        raise KeyError("inner")
+
+    p = sim.process(proc())
+    sim.run()
+    assert not p.ok
+    with pytest.raises(KeyError):
+        p.value
+
+
+def test_failed_event_reraises_inside_waiter(sim):
+    bad = Event(sim)
+
+    def proc():
+        try:
+            yield bad
+        except RuntimeError as exc:
+            return f"caught {exc}"
+
+    p = sim.process(proc())
+    bad.fail(RuntimeError("bang"))
+    sim.run()
+    assert p.value == "caught bang"
+
+
+def test_process_waits_on_process(sim):
+    def child():
+        yield sim.timeout(10)
+        return 5
+
+    def parent():
+        result = yield sim.process(child())
+        return result * 2
+
+    assert sim.run_process(parent()) == 10
+    assert sim.now == 10
+
+
+def test_is_alive(sim):
+    def proc():
+        yield sim.timeout(5)
+
+    p = sim.process(proc())
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_interrupt_delivers_cause(sim):
+    def victim():
+        try:
+            yield sim.timeout(100)
+        except Interrupt as intr:
+            return ("interrupted", intr.cause, sim.now)
+
+    def attacker(target):
+        yield sim.timeout(3)
+        target.interrupt(cause="why")
+
+    v = sim.process(victim())
+    sim.process(attacker(v))
+    sim.run()
+    assert v.value == ("interrupted", "why", 3)
+
+
+def test_interrupt_finished_process_raises(sim):
+    def proc():
+        yield sim.timeout(1)
+
+    p = sim.process(proc())
+    sim.run()
+    with pytest.raises(SimulationError, match="finished"):
+        p.interrupt()
+
+
+def test_abandoned_event_does_not_resume_twice(sim):
+    log = []
+
+    def victim():
+        try:
+            yield sim.timeout(10)
+            log.append("timeout fired in victim")
+        except Interrupt:
+            yield sim.timeout(50)
+            log.append("post-interrupt sleep done")
+
+    def attacker(target):
+        yield sim.timeout(2)
+        target.interrupt()
+
+    v = sim.process(victim())
+    sim.process(attacker(v))
+    sim.run()
+    assert log == ["post-interrupt sleep done"]
+    assert sim.now == 52
+
+
+def test_immediate_return_process(sim):
+    def proc():
+        return "instant"
+        yield  # pragma: no cover
+
+    p = sim.process(proc())
+    sim.run()
+    assert p.value == "instant"
+
+
+def test_many_sequential_processes_share_clock():
+    sim = Simulator()
+    finish = []
+
+    def proc(i):
+        yield sim.timeout(i)
+        finish.append((i, sim.now))
+
+    for i in range(5):
+        sim.process(proc(i))
+    sim.run()
+    assert finish == [(i, i) for i in range(5)]

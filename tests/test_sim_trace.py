@@ -1,0 +1,127 @@
+"""Tests for the DES trace recorder."""
+
+import pytest
+
+from repro.sim import Resource, Simulator
+from repro.sim.trace import TraceRecorder, describe_event
+
+
+def test_records_processed_events():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+
+    def proc():
+        yield sim.timeout(5)
+        yield sim.timeout(7)
+
+    sim.process(proc())
+    sim.run()
+    assert len(trace) >= 3  # process start + two timeouts
+    kinds = {e.kind for e in trace.entries}
+    assert "timeout" in kinds
+
+
+def test_times_are_monotone():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+    for d in [9, 3, 6]:
+        sim.timeout(d)
+    sim.run()
+    times = [e.time for e in trace.entries]
+    assert times == sorted(times)
+
+
+def test_ring_buffer_limit_and_dropped_count():
+    sim = Simulator()
+    trace = TraceRecorder(sim, limit=5)
+    for d in range(10):
+        sim.timeout(d)
+    sim.run()
+    assert len(trace) == 5
+    assert trace.dropped == 5
+    assert trace.entries[0].time == 5.0  # oldest kept
+
+
+def test_limit_validation():
+    with pytest.raises(ValueError):
+        TraceRecorder(Simulator(), limit=0)
+
+
+def test_filter_and_kind_helpers():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+    res = Resource(sim, name="mybus")
+
+    def proc():
+        yield from res.serve(4)
+
+    sim.process(proc())
+    sim.run()
+    grants = trace.of_kind("grant")
+    assert grants and grants[0].detail == "mybus"
+    assert trace.filter(lambda e: "mybus" in e.detail) == grants
+
+
+def test_between_window():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+    for d in [1, 5, 9]:
+        sim.timeout(d)
+    sim.run()
+    window = trace.between(2, 9)
+    assert [e.time for e in window] == [5.0]
+
+
+def test_render_and_tail():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+    for d in range(4):
+        sim.timeout(d)
+    sim.run()
+    full = trace.render()
+    assert full.startswith("trace: ")
+    tail = trace.render(last=2)
+    assert tail.count("\n") == 2
+
+
+def test_close_detaches():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+    sim.timeout(1)
+    sim.run()
+    n = len(trace)
+    trace.close()
+    sim.timeout(2)
+    sim.run()
+    assert len(trace) == n
+    trace.close()  # idempotent
+
+
+def test_describe_named_process():
+    sim = Simulator()
+
+    def my_worker():
+        yield sim.timeout(1)
+
+    proc = sim.process(my_worker())
+    kind, detail = describe_event(proc)
+    assert kind == "process"
+    assert "my_worker" in detail
+
+
+def test_tracing_a_full_qsm_sync():
+    """Smoke: the trace captures a sync's structure without breaking it."""
+    from repro.qsmlib import QSMMachine, RunConfig
+    from repro.machine.config import MachineConfig
+
+    qm = QSMMachine(RunConfig(machine=MachineConfig(p=4)))
+    trace = TraceRecorder(qm.machine.sim)
+    A = qm.allocate("a", 16)
+
+    def program(ctx, A):
+        ctx.put(A, [(ctx.pid * 4 + 5) % 16], [1])
+        yield ctx.sync()
+
+    qm.run(program, A=A)
+    assert len(trace) > 50
+    assert trace.of_kind("grant")  # NIC grants visible

@@ -1,0 +1,51 @@
+"""Tests for deterministic RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import RngStreams, spawn_rngs
+
+
+def test_spawn_count():
+    assert len(spawn_rngs(0, 5)) == 5
+
+
+def test_spawn_requires_positive():
+    with pytest.raises(ValueError):
+        spawn_rngs(0, 0)
+
+
+def test_same_seed_same_streams():
+    a = spawn_rngs(42, 3)
+    b = spawn_rngs(42, 3)
+    for ga, gb in zip(a, b):
+        assert np.array_equal(ga.integers(0, 100, 10), gb.integers(0, 100, 10))
+
+
+def test_different_seeds_differ():
+    a = spawn_rngs(1, 1)[0].integers(0, 2**62, 20)
+    b = spawn_rngs(2, 1)[0].integers(0, 2**62, 20)
+    assert not np.array_equal(a, b)
+
+
+def test_streams_mutually_independent_prefixes():
+    streams = spawn_rngs(7, 4)
+    draws = [g.integers(0, 2**62, 10) for g in streams]
+    for i in range(4):
+        for j in range(i + 1, 4):
+            assert not np.array_equal(draws[i], draws[j])
+
+
+def test_rngstreams_indexing():
+    rs = RngStreams(seed=3, nprocs=4)
+    assert len(rs) == 4
+    assert rs[0] is rs.streams[0]
+    assert rs.control is not rs[0]
+
+
+def test_rngstreams_control_independent_of_processors():
+    rs1 = RngStreams(seed=9, nprocs=2)
+    rs2 = RngStreams(seed=9, nprocs=2)
+    # drawing from control does not perturb processor streams
+    rs1.control.integers(0, 100, 50)
+    assert np.array_equal(rs1[0].integers(0, 100, 10), rs2[0].integers(0, 100, 10))

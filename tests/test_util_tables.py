@@ -1,0 +1,48 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.util.tables import format_series, format_table
+
+
+def test_basic_table_contains_cells():
+    out = format_table(["a", "b"], [[1, 2], [3, 4]])
+    assert "| a" in out
+    assert "| 1 |" in out.replace("  ", " ")
+    assert out.count("\n") >= 5
+
+
+def test_title_prepended():
+    out = format_table(["x"], [[1]], title="My Title")
+    assert out.startswith("My Title")
+
+
+def test_row_width_mismatch_rejected():
+    with pytest.raises(ValueError, match="cells"):
+        format_table(["a", "b"], [[1]])
+
+
+def test_float_formatting_compact():
+    out = format_table(["v"], [[3.14159], [1e12], [0.00001], [0.0]])
+    assert "3.14" in out
+    assert "1e+12" in out
+    assert "1e-05" in out
+
+
+def test_series_alignment():
+    out = format_series("n", [1, 2], {"y": [10, 20], "z": [30, 40]})
+    lines = out.splitlines()
+    assert all(len(line) == len(lines[0]) for line in lines)
+    assert "y" in out and "z" in out
+
+
+def test_series_length_mismatch_rejected():
+    with pytest.raises(ValueError, match="points"):
+        format_series("n", [1, 2], {"y": [10]})
+
+
+def test_columns_padded_to_widest():
+    out = format_table(["header_is_wide"], [[1]])
+    header_line = [l for l in out.splitlines() if "header_is_wide" in l][0]
+    value_line = [l for l in out.splitlines() if "| " in l and "1" in l][-1]
+    assert len(header_line) == len(value_line)

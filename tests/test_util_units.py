@@ -1,0 +1,56 @@
+"""Tests for unit conversions (anchored to the paper's Table 3)."""
+
+import pytest
+
+from repro.util.units import (
+    cycles_per_byte_from_mb_per_s,
+    cycles_to_us,
+    mb_per_s_from_cycles_per_byte,
+    us_to_cycles,
+)
+
+
+def test_table3_gap_conversion():
+    """133 MB/s at 400 MHz is 3 cycles/byte (Table 3)."""
+    assert cycles_per_byte_from_mb_per_s(133.0) == pytest.approx(3.0, rel=0.01)
+
+
+def test_table3_overhead_conversion():
+    """1 us at 400 MHz is 400 cycles (Table 3)."""
+    assert us_to_cycles(1.0) == pytest.approx(400.0)
+
+
+def test_table3_latency_conversion():
+    """4 us at 400 MHz is 1600 cycles (Table 3)."""
+    assert us_to_cycles(4.0) == pytest.approx(1600.0)
+
+
+def test_table3_barrier_conversion():
+    """25500 cycles at 400 MHz is ~64 us (Table 3)."""
+    assert cycles_to_us(25500.0) == pytest.approx(63.75)
+
+
+def test_gap_round_trip():
+    assert mb_per_s_from_cycles_per_byte(cycles_per_byte_from_mb_per_s(50.0)) == pytest.approx(
+        50.0
+    )
+
+
+def test_time_round_trip():
+    assert cycles_to_us(us_to_cycles(2.5)) == pytest.approx(2.5)
+
+
+def test_custom_clock():
+    assert us_to_cycles(1.0, clock_hz=166e6) == pytest.approx(166.0)
+
+
+@pytest.mark.parametrize("bad", [0.0, -1.0])
+def test_nonpositive_bandwidth_rejected(bad):
+    with pytest.raises(ValueError):
+        cycles_per_byte_from_mb_per_s(bad)
+
+
+@pytest.mark.parametrize("bad", [0.0, -3.0])
+def test_nonpositive_gap_rejected(bad):
+    with pytest.raises(ValueError):
+        mb_per_s_from_cycles_per_byte(bad)

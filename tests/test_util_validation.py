@@ -1,0 +1,36 @@
+"""Tests for argument validators."""
+
+import pytest
+
+from repro.util.validation import check_positive, check_power_of_two, require
+
+
+def test_require_passes_silently():
+    require(True, "never shown")
+
+
+def test_require_raises_with_message():
+    with pytest.raises(ValueError, match="custom message"):
+        require(False, "custom message")
+
+
+@pytest.mark.parametrize("value", [1, 0.5, 1e-9])
+def test_check_positive_accepts(value):
+    check_positive("x", value)
+
+
+@pytest.mark.parametrize("value", [0, -1, -0.5])
+def test_check_positive_rejects(value):
+    with pytest.raises(ValueError, match="x must be positive"):
+        check_positive("x", value)
+
+
+@pytest.mark.parametrize("value", [1, 2, 4, 64, 1024])
+def test_power_of_two_accepts(value):
+    check_power_of_two("n", value)
+
+
+@pytest.mark.parametrize("value", [0, 3, 6, -4, 1023])
+def test_power_of_two_rejects(value):
+    with pytest.raises(ValueError, match="power of two"):
+        check_power_of_two("n", value)
