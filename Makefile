@@ -1,0 +1,17 @@
+# Convenience targets; everything assumes the in-repo layout
+# (PYTHONPATH=src, no installation required).
+
+PYTHON ?= python
+
+.PHONY: test bench report
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -q
+
+# Re-run the simulator performance benchmark and fail if the fast-path
+# events/sec regressed >20% vs the committed benchmarks/BENCH_perf.json.
+bench:
+	benchmarks/run_perf.sh
+
+report:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli report REPORT.md --fast

@@ -28,21 +28,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    jobs_help = "worker processes for sweep points (1 = sequential, 0 = one per CPU)"
+
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
     run_p.add_argument("--fast", action="store_true", help="smaller sweeps/fewer reps")
     run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--jobs", type=int, default=1, help=jobs_help)
     run_p.add_argument("--json", metavar="PATH", help="also dump the series/rows as JSON")
 
     all_p = sub.add_parser("all", help="run every experiment in order")
     all_p.add_argument("--fast", action="store_true")
     all_p.add_argument("--seed", type=int, default=0)
+    all_p.add_argument("--jobs", type=int, default=1, help=jobs_help)
     all_p.add_argument("--json", metavar="PATH", help="also dump all results as one JSON file")
 
     rep_p = sub.add_parser("report", help="run experiments and write a markdown report")
     rep_p.add_argument("output", help="path of the markdown file to write")
     rep_p.add_argument("--fast", action="store_true")
     rep_p.add_argument("--seed", type=int, default=0)
+    rep_p.add_argument("--jobs", type=int, default=1, help=jobs_help)
     rep_p.add_argument(
         "--only", nargs="+", choices=sorted(EXPERIMENTS), help="subset of experiments"
     )
@@ -60,16 +65,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "report":
         from repro.experiments.report import generate_report
 
-        generate_report(args.output, experiment_ids=args.only, fast=args.fast, seed=args.seed)
+        generate_report(
+            args.output,
+            experiment_ids=args.only,
+            fast=args.fast,
+            seed=args.seed,
+            jobs=args.jobs,
+        )
         print(f"[wrote markdown report to {args.output}]")
         return 0
 
     ids = sorted(EXPERIMENTS) if args.command == "all" else [args.experiment]
     results = []
+    elapsed_by_id = {}
     for exp_id in ids:
         t0 = time.time()
-        result = run_experiment(exp_id, fast=args.fast, seed=args.seed)
+        result = run_experiment(exp_id, fast=args.fast, seed=args.seed, jobs=args.jobs)
         elapsed = time.time() - t0
+        elapsed_by_id[exp_id] = elapsed
         results.append(result)
         print(result.render())
         print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
@@ -77,7 +90,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     if getattr(args, "json", None):
         import json
 
-        payload = [r.to_json_dict() for r in results]
+        payload = []
+        for r in results:
+            d = r.to_json_dict()
+            d["elapsed_seconds"] = round(elapsed_by_id[r.exp_id], 3)
+            payload.append(d)
         with open(args.json, "w") as fh:
             json.dump(payload[0] if len(payload) == 1 else payload, fh, indent=2)
         print(f"[wrote JSON to {args.json}]")

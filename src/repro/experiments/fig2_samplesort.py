@@ -21,34 +21,55 @@ import numpy as np
 from repro.algorithms.samplesort import run_sample_sort
 from repro.core.predict_samplesort import SampleSortPredictor
 from repro.experiments.base import ExperimentResult, mean_std, render_series, reps_for
+from repro.experiments.executor import parallel_map
 from repro.qsmlib import QSMMachine, RunConfig
 
 FULL_NS = [4096, 8192, 16384, 32768, 65536, 125000, 250000, 500000]
 FAST_NS = [8192, 65536, 250000]
 
 
-def run(fast: bool = False, seed: int = 0, ns: Optional[List[int]] = None) -> ExperimentResult:
-    ns = ns or (FAST_NS if fast else FULL_NS)
-    reps = reps_for(fast)
+def _make_predictor(seed: int) -> SampleSortPredictor:
     config = RunConfig(seed=seed, check_semantics=False)
     qm = QSMMachine(config)
-    predictor = SampleSortPredictor(config.machine.p, qm.cost_model(), qm.machine.cpus[0])
+    return SampleSortPredictor(config.machine.p, qm.cost_model(), qm.machine.cpus[0])
+
+
+def _fig2_point_task(task) -> tuple:
+    """One (n, run_seed, seed) point: measured comm/total + both estimates.
+
+    Module-level (picklable) for the --jobs process pool; the predictor
+    is rebuilt per point from the deterministic config, so results do
+    not depend on which process runs the point.
+    """
+    n, run_seed, seed = task
+    predictor = _make_predictor(seed)
+    rng = np.random.default_rng(run_seed)
+    out = run_sample_sort(
+        rng.integers(0, 2**62, size=n),
+        RunConfig(seed=run_seed, check_semantics=False),
+    )
+    return (
+        out.run.comm_cycles,
+        out.run.total_cycles,
+        predictor.qsm_estimate_from_run(out.run),
+        predictor.bsp_estimate_from_run(out.run),
+    )
+
+
+def run(
+    fast: bool = False, seed: int = 0, ns: Optional[List[int]] = None, jobs: int = 1
+) -> ExperimentResult:
+    ns = ns or (FAST_NS if fast else FULL_NS)
+    reps = reps_for(fast)
+    predictor = _make_predictor(seed)
+
+    tasks = [(n, seed + 1000 * r + 1, seed) for n in ns for r in range(reps)]
+    measured = parallel_map(_fig2_point_task, tasks, jobs=jobs)
 
     comm_mean, comm_rel_std, qsm_est, bsp_est = [], [], [], []
     best_case, whp_bound, total_mean = [], [], []
-    for n in ns:
-        comms, totals, ests, bsps = [], [], [], []
-        for r in range(reps):
-            run_seed = seed + 1000 * r + 1
-            rng = np.random.default_rng(run_seed)
-            out = run_sample_sort(
-                rng.integers(0, 2**62, size=n),
-                RunConfig(seed=run_seed, check_semantics=False),
-            )
-            comms.append(out.run.comm_cycles)
-            totals.append(out.run.total_cycles)
-            ests.append(predictor.qsm_estimate_from_run(out.run))
-            bsps.append(predictor.bsp_estimate_from_run(out.run))
+    for i, n in enumerate(ns):
+        comms, totals, ests, bsps = map(list, zip(*measured[i * reps : (i + 1) * reps]))
         cm, cs = mean_std(comms)
         comm_mean.append(round(cm))
         comm_rel_std.append(round(cs / cm, 4))

@@ -24,11 +24,13 @@ from repro.experiments.sweeps import (
 )
 
 
-def run(fast: bool = False, seed: int = 0, ls: Optional[List[float]] = None) -> ExperimentResult:
+def run(
+    fast: bool = False, seed: int = 0, ls: Optional[List[float]] = None, jobs: int = 1
+) -> ExperimentResult:
     ls = ls or (FAST_LS if fast else FULL_LS)
     ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
     reps = reps_for(fast)
-    sweeps = latency_sweeps(ls, ns, reps, seed=seed)
+    sweeps = latency_sweeps(ls, ns, reps, seed=seed, jobs=jobs)
 
     any_sweep = sweeps[ls[0]]
     series = {

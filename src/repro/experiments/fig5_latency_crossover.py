@@ -52,10 +52,12 @@ def linear_fit(xs: List[float], ys: List[float]) -> tuple:
     return float(slope), float(intercept), r2
 
 
-def run(fast: bool = False, seed: int = 0, ls: Optional[List[float]] = None) -> ExperimentResult:
+def run(
+    fast: bool = False, seed: int = 0, ls: Optional[List[float]] = None, jobs: int = 1
+) -> ExperimentResult:
     ls = ls or (FAST_LS if fast else FULL_LS)
     ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
-    sweeps = latency_sweeps(ls, ns, reps_for(fast), seed=seed)
+    sweeps = latency_sweeps(ls, ns, reps_for(fast), seed=seed, jobs=jobs)
     crossovers = crossovers_from_sweeps(sweeps)
     xs = sorted(crossovers)
     ys = [crossovers[x] for x in xs]

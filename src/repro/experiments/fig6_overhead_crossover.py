@@ -22,10 +22,12 @@ from repro.experiments.sweeps import (
 )
 
 
-def run(fast: bool = False, seed: int = 0, os_: Optional[List[float]] = None) -> ExperimentResult:
+def run(
+    fast: bool = False, seed: int = 0, os_: Optional[List[float]] = None, jobs: int = 1
+) -> ExperimentResult:
     os_ = os_ or (FAST_OS if fast else FULL_OS)
     ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
-    sweeps = overhead_sweeps(os_, ns, reps_for(fast), seed=seed)
+    sweeps = overhead_sweeps(os_, ns, reps_for(fast), seed=seed, jobs=jobs)
     crossovers = crossovers_from_sweeps(sweeps)
     xs = sorted(crossovers)
     ys = [crossovers[x] for x in xs]

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import inspect
 from typing import Callable, Dict
 
 from repro.experiments import (
@@ -43,5 +44,19 @@ def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
         ) from None
 
 
-def run_experiment(exp_id: str, fast: bool = False, seed: int = 0) -> ExperimentResult:
-    return get_experiment(exp_id)(fast=fast, seed=seed)
+def accepts_jobs(runner: Callable[..., ExperimentResult]) -> bool:
+    """Whether *runner* takes a ``jobs=`` keyword (only sweep-heavy
+    experiments are parallelised; the cheap tables are not)."""
+    try:
+        return "jobs" in inspect.signature(runner).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
+def run_experiment(
+    exp_id: str, fast: bool = False, seed: int = 0, jobs: int = 1
+) -> ExperimentResult:
+    runner = get_experiment(exp_id)
+    if jobs != 1 and accepts_jobs(runner):
+        return runner(fast=fast, seed=seed, jobs=jobs)
+    return runner(fast=fast, seed=seed)

@@ -18,6 +18,7 @@ from repro.algorithms.samplesort import run_sample_sort
 from repro.analysis.crossover import band_crossover
 from repro.core.predict_samplesort import SampleSortPredictor
 from repro.experiments.base import mean_std
+from repro.experiments.executor import parallel_map
 from repro.machine.config import MachineConfig
 from repro.qsmlib import QSMMachine, RunConfig
 
@@ -65,29 +66,43 @@ class SampleSortSweep:
         return band_crossover(self.ns, self.measured, self.whp_bound, self.best_case)
 
 
-def run_samplesort_sweep(
+def _sweep_point_task(task) -> float:
+    """Worker for one (machine, n, run_seed) grid point.
+
+    Module-level so it pickles for the process pool; the task tuple
+    carries the derived seed, making output independent of which worker
+    (or which process) runs the point.
+    """
+    machine, n, run_seed = task
+    rng = np.random.default_rng(run_seed)
+    out = run_sample_sort(
+        rng.integers(0, 2**62, size=n),
+        RunConfig(machine=machine, seed=run_seed, check_semantics=False),
+    )
+    return out.run.comm_cycles
+
+
+def _point_tasks(machine: MachineConfig, ns: Sequence[int], reps: int, seed: int) -> List[tuple]:
+    """All (machine, n, run_seed) tasks of one sweep, in canonical order."""
+    return [(machine, n, seed + 1000 * r + 1) for n in ns for r in range(reps)]
+
+
+def _assemble_sweep(
     machine: MachineConfig,
     ns: Sequence[int],
     reps: int,
-    seed: int = 0,
+    comms_flat: Sequence[float],
+    seed: int,
 ) -> SampleSortSweep:
-    """Measure sample-sort communication over the n grid on *machine*."""
+    """Fold flat per-point measurements back into a SampleSortSweep."""
     probe = QSMMachine(RunConfig(machine=machine, seed=seed))
     predictor = SampleSortPredictor(machine.p, probe.cost_model(), probe.machine.cpus[0])
 
     points: List[SweepPoint] = []
     best_case: List[float] = []
     whp_bound: List[float] = []
-    for n in ns:
-        comms = []
-        for r in range(reps):
-            run_seed = seed + 1000 * r + 1
-            rng = np.random.default_rng(run_seed)
-            out = run_sample_sort(
-                rng.integers(0, 2**62, size=n),
-                RunConfig(machine=machine, seed=run_seed, check_semantics=False),
-            )
-            comms.append(out.run.comm_cycles)
+    for i, n in enumerate(ns):
+        comms = list(comms_flat[i * reps : (i + 1) * reps])
         cm, cs = mean_std(comms)
         points.append(SweepPoint(n=n, comm_mean=cm, comm_std=cs))
         best_case.append(predictor.qsm_best_case(n))
@@ -95,23 +110,51 @@ def run_samplesort_sweep(
     return SampleSortSweep(machine=machine, points=points, best_case=best_case, whp_bound=whp_bound)
 
 
+def run_samplesort_sweep(
+    machine: MachineConfig,
+    ns: Sequence[int],
+    reps: int,
+    seed: int = 0,
+    jobs: int = 1,
+) -> SampleSortSweep:
+    """Measure sample-sort communication over the n grid on *machine*."""
+    ns = list(ns)
+    comms = parallel_map(_sweep_point_task, _point_tasks(machine, ns, reps, seed), jobs=jobs)
+    return _assemble_sweep(machine, ns, reps, comms, seed)
+
+
+def _machine_sweeps(
+    machines: List[MachineConfig],
+    keys: Sequence[float],
+    ns: Sequence[int],
+    reps: int,
+    seed: int,
+    jobs: int,
+) -> Dict[float, SampleSortSweep]:
+    """Run one sweep per machine, flattening all points into one pool."""
+    ns = list(ns)
+    tasks = [t for m in machines for t in _point_tasks(m, ns, reps, seed)]
+    comms = parallel_map(_sweep_point_task, tasks, jobs=jobs)
+    per = len(ns) * reps
+    return {
+        key: _assemble_sweep(m, ns, reps, comms[i * per : (i + 1) * per], seed)
+        for i, (key, m) in enumerate(zip(keys, machines))
+    }
+
+
 def latency_sweeps(
-    ls: Sequence[float], ns: Sequence[int], reps: int, seed: int = 0
+    ls: Sequence[float], ns: Sequence[int], reps: int, seed: int = 0, jobs: int = 1
 ) -> Dict[float, SampleSortSweep]:
     """One sweep per hardware latency value (Figures 4 and 5)."""
     base = MachineConfig()
-    return {
-        l: run_samplesort_sweep(base.with_network(latency_cycles=l), ns, reps, seed=seed)
-        for l in ls
-    }
+    machines = [base.with_network(latency_cycles=l) for l in ls]
+    return _machine_sweeps(machines, list(ls), ns, reps, seed, jobs)
 
 
 def overhead_sweeps(
-    os_: Sequence[float], ns: Sequence[int], reps: int, seed: int = 0
+    os_: Sequence[float], ns: Sequence[int], reps: int, seed: int = 0, jobs: int = 1
 ) -> Dict[float, SampleSortSweep]:
     """One sweep per per-message overhead value (Figure 6)."""
     base = MachineConfig()
-    return {
-        o: run_samplesort_sweep(base.with_network(overhead_cycles=o), ns, reps, seed=seed)
-        for o in os_
-    }
+    machines = [base.with_network(overhead_cycles=o) for o in os_]
+    return _machine_sweeps(machines, list(os_), ns, reps, seed, jobs)

@@ -27,14 +27,14 @@ from repro.experiments.sweeps import (
 from repro.machine.config import MachineConfig
 
 
-def run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+def run(fast: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
     ls = FAST_LS if fast else FULL_LS
     os_ = FAST_OS if fast else FULL_OS
     ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
     reps = reps_for(fast)
 
-    l_cross = crossovers_from_sweeps(latency_sweeps(ls, ns, reps, seed=seed))
-    o_cross = crossovers_from_sweeps(overhead_sweeps(os_, ns, reps, seed=seed))
+    l_cross = crossovers_from_sweeps(latency_sweeps(ls, ns, reps, seed=seed, jobs=jobs))
+    o_cross = crossovers_from_sweeps(overhead_sweeps(os_, ns, reps, seed=seed, jobs=jobs))
 
     default = MachineConfig()
     p = default.p

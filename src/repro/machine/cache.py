@@ -86,6 +86,10 @@ class AnalyticCache:
         self.node = node
         self.l1 = node.l1
         self.l2 = node.l2
+        # copy_cycles_per_byte is a pure function of the (immutable)
+        # node config; memoised because the sync engine calls it for
+        # every marshalled message.
+        self._copy_cpb: dict = {}
 
     # -- hit-rate models ------------------------------------------------
     def _hit_fraction(self, cache: CacheConfig, pattern: MemoryAccess) -> float:
@@ -152,6 +156,9 @@ class AnalyticCache:
         cost marshalling copies.  ``resident=True`` models copies whose
         source/target fit in L2 (small control structures).
         """
+        cached = self._copy_cpb.get(resident)
+        if cached is not None:
+            return cached
         word = 8
         if resident:
             pat: MemoryAccess = RandomAccess(count=1, word_bytes=word, region_words=1)
@@ -159,7 +166,8 @@ class AnalyticCache:
             # Streaming through a region far larger than L2.
             pat = SequentialAccess(count=1, word_bytes=word)
         per_word = 2.0 * self.reference_cycles(pat)  # one load + one store
-        return per_word / word
+        self._copy_cpb[resident] = per_word / word
+        return self._copy_cpb[resident]
 
 
 def _conflict_miss_rate(associativity: int) -> float:

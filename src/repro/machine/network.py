@@ -18,14 +18,17 @@ central phenomenon the paper measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from functools import partial
+from heapq import heappush
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.machine.config import NetworkConfig
 from repro.sim import Event, Process, Resource, Simulator, Store
+from repro.sim.engine import _Deferred
 from repro.sim.monitor import TallyStat
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One message in flight between two nodes."""
 
@@ -36,6 +39,8 @@ class Message:
     payload: Any = None
     sent_at: float = 0.0
     delivered_at: float = 0.0
+    # Set by transfer() when a caller wants to await delivery.
+    _done_event: Optional[Event] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.nbytes < 0:
@@ -58,6 +63,11 @@ class Network:
             Resource(sim, capacity=1, name=f"nic{pid}.recv") for pid in range(p)
         ]
         self.inbox: List[Store] = [Store(sim, name=f"inbox{pid}") for pid in range(p)]
+        #: Per-node direct-delivery hooks (``fn(msg) -> consumed``).  An
+        #: endpoint registers here so fast-path deliveries skip the
+        #: inbox/pump round-trip; messages from the per-message path (or
+        #: for nodes without an endpoint) still land in the inbox.
+        self.deliver_hook: List[Optional[Any]] = [None] * p
         self.latency_stat = TallyStat()
         self.bytes_sent = 0
         self.messages_sent = 0
@@ -68,6 +78,116 @@ class Network:
         self._bounce_debt = [0.0] * p
 
     # ------------------------------------------------------------------
+    @property
+    def supports_fast_path(self) -> bool:
+        """True when batched sends are timing-equivalent to per-message
+        sends: the receiver-overrun model must be off, since bounces
+        depend on instantaneous queue depth that the analytic send
+        schedule does not track."""
+        return self.config.recv_buffer_slots == 0
+
+    def send_burst_from(self, src: int, tag: Any, entries: Iterable[Tuple]):
+        """Generator: inject a back-to-back burst of messages from *src*.
+
+        ``entries`` is a sequence of ``(dst, nbytes)`` or
+        ``(dst, nbytes, gap_before)`` — the optional gap models CPU time
+        (e.g. per-destination marshalling) spent before that message's
+        injection begins.  Semantically identical to yielding
+        ``timeout(gap_before)`` then :meth:`send_from` once per entry,
+        but when the send engine is free and the fast path is supported,
+        the per-chunk event storm (grant, hold, wire bootstrap, latency
+        timeout per message) collapses into one analytically-computed
+        occupancy: injection completion times accumulate with exactly
+        the same float operations the step-by-step path performs
+        (``t = t + gap``, ``t = t + message_send_cycles(nbytes)``),
+        arrivals are deferred to ``t + latency``, and the receive side
+        still issues a real FCFS request per message so receiver
+        contention is modelled bit-for-bit identically.  Returns once
+        the local NIC is free again, like :meth:`send_from`.
+        """
+        entries = list(entries)
+        req = self.send_engine[src].try_claim() if self.supports_fast_path else None
+        if req is None:
+            # Contended engine (or overrun model active): fall back to
+            # the per-message oracle path.
+            for dst, nbytes, *rest in entries:
+                if rest and rest[0]:
+                    yield self.sim.timeout(rest[0])
+                msg = Message(src=src, dst=dst, tag=tag, nbytes=nbytes)
+                yield from self.send_from(msg)
+            return
+
+        sim = self.sim
+        cfg = self.config
+        latency = cfg.latency_cycles
+        send_cycles = cfg.message_send_cycles
+        arrive = self._fast_arrive
+        queue = sim._queue
+        seq = sim._seq
+        burst_bytes = burst_msgs = 0
+        t = sim.now
+        for dst, nbytes, *rest in entries:
+            msg = Message(src=src, dst=dst, tag=tag, nbytes=nbytes)
+            self._check_ids(msg)
+            # Same float accumulation as the chained timeouts.
+            if rest and rest[0]:
+                t = t + rest[0]
+            t = t + send_cycles(nbytes)
+            msg.sent_at = t
+            burst_bytes += nbytes
+            burst_msgs += 1
+            # Inlined sim.defer_at (t + latency can never precede now).
+            heappush(queue, (t + latency, next(seq), _Deferred(partial(arrive, msg))))
+        self.bytes_sent += burst_bytes
+        self.messages_sent += burst_msgs
+        # Resume the sender when the engine drains (a pre-triggered
+        # event at the analytic completion time, like a Timeout).
+        done = Event(sim)
+        done._value = None
+        sim.schedule_at(done, t)
+        yield done
+        self.send_engine[src].unclaim(req)
+
+    def _fast_arrive(self, msg: Message) -> None:
+        """Message hits the receiving NIC: claim the FCFS engine."""
+        engine = self.recv_engine[msg.dst]
+        hold = self.config.message_recv_cycles(msg.nbytes) + self._bounce_debt[msg.dst]
+        self._bounce_debt[msg.dst] = 0.0
+        req = engine.try_claim()
+        if req is not None:
+            # Free engine: the grant would fire at this same instant, so
+            # occupy it directly without the grant event round-trip.
+            sim = self.sim
+            heappush(
+                sim._queue,
+                (sim._now + hold, next(sim._seq), _Deferred(partial(self._fast_deliver, msg, req))),
+            )
+            return
+        # Engine busy: join the FCFS queue; the hook runs synchronously
+        # when the releaser frees the slot (same instant a grant event
+        # would have fired), skipping the grant round-trip.
+        engine.wait_claim(partial(self._fast_hold, msg, hold))
+
+    def _fast_hold(self, msg: Message, hold: float, req) -> None:
+        """Receive engine granted: occupy it for the service time."""
+        sim = self.sim
+        heappush(
+            sim._queue,
+            (sim._now + hold, next(sim._seq), _Deferred(partial(self._fast_deliver, msg, req))),
+        )
+
+    def _fast_deliver(self, msg: Message, req) -> None:
+        """Service complete: free the engine and deposit the message."""
+        self.recv_engine[msg.dst].unclaim(req)
+        msg.delivered_at = self.sim.now
+        self.latency_stat.record(msg.delivered_at - msg.sent_at)
+        hook = self.deliver_hook[msg.dst]
+        if hook is None or not hook(msg):
+            self.inbox[msg.dst].put(msg)
+        done = msg._done_event
+        if done is not None:
+            done.succeed(msg)
+
     def transfer(self, msg: Message) -> Process:
         """Launch the full life of *msg*; returns the (awaitable) process.
 

@@ -25,8 +25,15 @@ class Endpoint:
         self.pid = pid
         self.sim = network.sim
         self._pending: Deque[Message] = deque()
-        self._waiters: List[Tuple[Callable[[Message], bool], Event]] = []
+        # (predicate, event, batch) triples; ``batch`` is None for plain
+        # recv, or a [collected, needed] pair for recv_batch — the event
+        # fires with the message list once ``needed`` have matched.
+        self._waiters: List[Tuple[Callable[[Message], bool], Event, Optional[list]]] = []
         self._pump_running = False
+        # Fast-path deliveries bypass the inbox/pump and land here; the
+        # matching logic is the same as the pump's, at the same instant,
+        # just without the Store round-trip.
+        network.deliver_hook[pid] = self._deliver_direct
 
     # -- sending ----------------------------------------------------------
     def send(self, dst: int, tag: Any, nbytes: int, payload: Any = None):
@@ -34,6 +41,16 @@ class Endpoint:
         msg = Message(src=self.pid, dst=dst, tag=tag, nbytes=nbytes, payload=payload)
         yield from self.network.send_from(msg)
         return msg
+
+    def send_batch(self, entries, tag: Any):
+        """Generator: inject ``(dst, nbytes)`` messages back-to-back.
+
+        Equivalent to calling :meth:`send` once per entry, but eligible
+        for the network's analytic fast path (see
+        :meth:`~repro.machine.network.Network.send_burst_from`).
+        Returns when the local NIC has injected the whole burst.
+        """
+        yield from self.network.send_burst_from(self.pid, tag, entries)
 
     def post(self, dst: int, tag: Any, nbytes: int, payload: Any = None) -> None:
         """Fire-and-forget send as a detached process (still pays NIC time)."""
@@ -61,10 +78,62 @@ class Endpoint:
                 return m
 
         ev = Event(self.sim)
-        self._waiters.append((matches, ev))
+        self._waiters.append((matches, ev, None))
         self._ensure_pump()
         msg = yield ev
         return msg
+
+    def recv_batch(self, count: int, src: Optional[int] = None, tag: Any = None):
+        """Generator: receive *count* messages matching ``(src, tag)``.
+
+        Equivalent to *count* consecutive :meth:`recv` calls (the caller
+        must not need to act between messages): the process wakes once,
+        at the instant the last message is delivered, instead of once
+        per message.  Returns the matched messages in delivery order.
+        """
+
+        def matches(m: Message) -> bool:
+            return (src is None or m.src == src) and (tag is None or m.tag == tag)
+
+        got: List[Message] = []
+        i = 0
+        while i < len(self._pending) and len(got) < count:
+            if matches(self._pending[i]):
+                got.append(self._pending[i])
+                del self._pending[i]
+            else:
+                i += 1
+        if len(got) >= count:
+            return got
+
+        ev = Event(self.sim)
+        self._waiters.append((matches, ev, [got, count]))
+        self._ensure_pump()
+        msgs = yield ev
+        return msgs
+
+    def _deliver_direct(self, msg: Message) -> bool:
+        """Match a fast-path delivery against waiters (pump logic inline)."""
+        if self._match(msg):
+            return True
+        self._pending.append(msg)
+        return True
+
+    def _match(self, msg: Message) -> bool:
+        """Hand *msg* to the first matching waiter; False if none match."""
+        for i, (pred, ev, batch) in enumerate(self._waiters):
+            if pred(msg):
+                if batch is None:
+                    del self._waiters[i]
+                    ev.succeed(msg)
+                    return True
+                collected, needed = batch
+                collected.append(msg)
+                if len(collected) >= needed:
+                    del self._waiters[i]
+                    ev.succeed(collected)
+                return True
+        return False
 
     def _ensure_pump(self) -> None:
         if self._pump_running:
@@ -77,12 +146,7 @@ class Endpoint:
         inbox = self.network.inbox[self.pid]
         while self._waiters:
             msg = yield inbox.get()
-            for i, (pred, ev) in enumerate(self._waiters):
-                if pred(msg):
-                    del self._waiters[i]
-                    ev.succeed(msg)
-                    break
-            else:
+            if not self._match(msg):
                 self._pending.append(msg)
         self._pump_running = False
 

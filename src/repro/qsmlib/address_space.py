@@ -61,9 +61,9 @@ class SharedArray:
         """Global index of the first word owned by *pid* (BLOCKED only)."""
         return self.map.local_slice(pid).start
 
-    def owner_of(self, indices) -> np.ndarray:
+    def owner_of(self, indices, validate: bool = True) -> np.ndarray:
         self._check_registered()
-        return self.map.owner_of(np.asarray(indices, dtype=np.int64))
+        return self.map.owner_of(np.asarray(indices, dtype=np.int64), validate=validate)
 
     def _check_registered(self) -> None:
         if not self.registered:

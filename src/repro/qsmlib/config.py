@@ -18,9 +18,21 @@ calibration is two scalars (``get_service_cycles``,
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 
 from repro.util.validation import check_positive
+
+
+def _fast_sync_default() -> bool:
+    """Default for :attr:`SoftwareConfig.fast_sync`.
+
+    Read from the ``QSM_FAST_SYNC`` environment variable (per
+    instantiation) so whole experiment pipelines can be flipped onto the
+    slow oracle path without threading a config through every layer —
+    the equivalence tests and benchmarks rely on this.
+    """
+    return os.environ.get("QSM_FAST_SYNC", "1").strip().lower() not in ("0", "false", "off")
 
 
 @dataclass(frozen=True)
@@ -82,6 +94,13 @@ class SoftwareConfig:
     #: every node shares, kept as an ablation — it funnels the early
     #: rounds into the low-numbered receive engines.
     exchange_schedule: str = "staggered"
+
+    #: Use the analytically-batched send fast path inside ``sync()``
+    #: when it is provably timing-equivalent (no pacing, no finite
+    #: receive buffers).  ``False`` forces the per-message event path,
+    #: which remains the oracle — see ``docs/PERFORMANCE.md``.  The
+    #: default honours the ``QSM_FAST_SYNC`` environment variable.
+    fast_sync: bool = field(default_factory=_fast_sync_default)
 
     def __post_init__(self) -> None:
         if self.exchange_schedule not in ("staggered", "fixed"):

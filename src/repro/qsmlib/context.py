@@ -88,15 +88,14 @@ class QSMContext:
         return self.queue.add_get(arr, indices)
 
     def get_range(self, arr: SharedArray, start: int, count: int) -> GetHandle:
-        return self.queue.add_get(arr, np.arange(start, start + count))
+        return self.queue.add_get_range(arr, start, count)
 
     def put(self, arr: SharedArray, indices, values) -> None:
         """Enqueue a write of ``values`` to ``arr[indices]``; visible after sync."""
         self.queue.add_put(arr, indices, values)
 
     def put_range(self, arr: SharedArray, start: int, values) -> None:
-        values = np.asarray(values)
-        self.queue.add_put(arr, np.arange(start, start + values.size), values)
+        self.queue.add_put_range(arr, start, values)
 
     # ------------------------------------------------------------------
     # Collective allocation (appendix: "allocate and register")

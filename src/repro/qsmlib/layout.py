@@ -62,10 +62,15 @@ class LayoutMap:
         return -(-self.n // self.p)
 
     # ------------------------------------------------------------------
-    def owner_of(self, indices: np.ndarray) -> np.ndarray:
-        """Vectorised owner lookup; *indices* is any integer ndarray."""
+    def owner_of(self, indices: np.ndarray, validate: bool = True) -> np.ndarray:
+        """Vectorised owner lookup; *indices* is any integer ndarray.
+
+        ``validate=False`` skips the bounds check for callers that have
+        already validated the indices (e.g. the phase planner, whose
+        request queues bounds-check at enqueue time).
+        """
         idx = np.asarray(indices)
-        if idx.size and (idx.min() < 0 or idx.max() >= self.n):
+        if validate and idx.size and (idx.min() < 0 or idx.max() >= self.n):
             bad = idx[(idx < 0) | (idx >= self.n)][0]
             raise IndexError(f"index {bad} out of bounds for array of length {self.n}")
         if self.layout is Layout.BLOCKED:

@@ -156,6 +156,7 @@ class QSMMachine:
             phase_idx += 1
 
         result.trailing_compute_cycles = float(trailing.max()) if p else 0.0
+        result.sim_events = self.machine.sim.event_count
         return result
 
     # ------------------------------------------------------------------

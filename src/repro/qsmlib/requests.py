@@ -83,11 +83,32 @@ class RequestQueue:
         self.gets.append(GetRequest(arr, indices, handle))
         return handle
 
+    def add_get_range(self, arr: SharedArray, start: int, count: int) -> GetHandle:
+        """`add_get` of the contiguous range ``[start, start+count)``.
+
+        Bounds are checked from the endpoints, skipping the min/max
+        reductions `_as_index_array` needs for arbitrary index sets.
+        """
+        indices = _range_index_array(arr, start, count)
+        handle = GetHandle(arr, indices)
+        self.gets.append(GetRequest(arr, indices, handle))
+        return handle
+
     def add_put(self, arr: SharedArray, indices: np.ndarray, values) -> None:
         indices = _as_index_array(arr, indices)
         values = np.asarray(values, dtype=arr.dtype)
         if values.ndim == 0:
             values = np.broadcast_to(values, indices.shape).copy()
+        if values.shape != indices.shape:
+            raise ValueError(
+                f"put shape mismatch: {len(indices)} indices vs {values.shape} values"
+            )
+        self.puts.append(PutRequest(arr, indices, values.copy()))
+
+    def add_put_range(self, arr: SharedArray, start: int, values) -> None:
+        """`add_put` to the contiguous range starting at *start*."""
+        values = np.asarray(values, dtype=arr.dtype)
+        indices = _range_index_array(arr, start, values.size)
         if values.shape != indices.shape:
             raise ValueError(
                 f"put shape mismatch: {len(indices)} indices vs {values.shape} values"
@@ -112,3 +133,12 @@ def _as_index_array(arr: SharedArray, indices) -> np.ndarray:
                 f"indices [{lo}, {hi}] out of bounds for {arr.name!r} of length {arr.n}"
             )
     return idx
+
+
+def _range_index_array(arr: SharedArray, start: int, count: int) -> np.ndarray:
+    if count and (start < 0 or start + count > arr.n):
+        raise IndexError(
+            f"indices [{start}, {start + count - 1}] out of bounds for "
+            f"{arr.name!r} of length {arr.n}"
+        )
+    return np.arange(start, start + count, dtype=np.int64)

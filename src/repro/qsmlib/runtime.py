@@ -137,29 +137,61 @@ class SyncEngine:
             done_times[pid] = sim.now
             return
 
+        # Batched sends are timing-equivalent only when pacing is off
+        # (pacing interleaves timeouts between chunks) and the network's
+        # overrun model is disabled; fast_sync=False keeps the
+        # per-message path as the oracle.
+        fast = sw.fast_sync and not sw.send_pacing_cycles and ep.network.supports_fast_path
+
         # -- 1. plan exchange ---------------------------------------------
         peers = self._peer_order(pid, p)
         plan_bytes = sw.message_header_bytes + sw.plan_entry_bytes
-        for dst in peers:
-            yield from ep.send(dst, ("plan", seq), plan_bytes)
-        for _ in range(1, p):
-            yield from ep.recv(tag=("plan", seq))
+        if fast:
+            yield from ep.send_batch([(dst, plan_bytes) for dst in peers], ("plan", seq))
+            yield from ep.recv_batch(p - 1, tag=("plan", seq))
+        else:
+            for dst in peers:
+                yield from ep.send(dst, ("plan", seq), plan_bytes)
+            for _ in range(1, p):
+                yield from ep.recv(tag=("plan", seq))
 
         # -- 2. data messages: puts + get requests --------------------------
-        for dst in peers:
-            w_put = int(traffic.put_words[pid, dst])
-            w_req = int(traffic.get_words[pid, dst])
-            if w_put == 0 and w_req == 0:
-                continue
-            marshal = (w_put + w_req) * sw.marshal_record_cycles + cpu.copy_cycles(
-                w_put * sw.word_bytes
-            )
-            yield sim.timeout(marshal)
-            wire = sw.put_wire_bytes(w_put) + sw.get_request_wire_bytes(w_req)
-            for chunk in sw.chunk_sizes(wire):
-                if sw.send_pacing_cycles:
-                    yield sim.timeout(sw.send_pacing_cycles)
-                yield from ep.send(dst, ("data", seq), sw.message_header_bytes + chunk)
+        if fast:
+            # One analytic burst for the whole stage: per-destination
+            # marshal time rides along as a gap before that
+            # destination's first chunk (the NIC is idle during
+            # marshalling either way, and the node generator has nothing
+            # to do between, so the timeline is identical).
+            entries = []
+            for dst in peers:
+                w_put = int(traffic.put_words[pid, dst])
+                w_req = int(traffic.get_words[pid, dst])
+                if w_put == 0 and w_req == 0:
+                    continue
+                gap = (w_put + w_req) * sw.marshal_record_cycles + cpu.copy_cycles(
+                    w_put * sw.word_bytes
+                )
+                wire = sw.put_wire_bytes(w_put) + sw.get_request_wire_bytes(w_req)
+                for chunk in sw.chunk_sizes(wire):
+                    entries.append((dst, sw.message_header_bytes + chunk, gap))
+                    gap = 0.0
+            if entries:
+                yield from ep.send_batch(entries, ("data", seq))
+        else:
+            for dst in peers:
+                w_put = int(traffic.put_words[pid, dst])
+                w_req = int(traffic.get_words[pid, dst])
+                if w_put == 0 and w_req == 0:
+                    continue
+                marshal = (w_put + w_req) * sw.marshal_record_cycles + cpu.copy_cycles(
+                    w_put * sw.word_bytes
+                )
+                yield sim.timeout(marshal)
+                wire = sw.put_wire_bytes(w_put) + sw.get_request_wire_bytes(w_req)
+                for chunk in sw.chunk_sizes(wire):
+                    if sw.send_pacing_cycles:
+                        yield sim.timeout(sw.send_pacing_cycles)
+                    yield from ep.send(dst, ("data", seq), sw.message_header_bytes + chunk)
 
         expected_chunks = 0
         unmarshal_total = 0.0
@@ -173,22 +205,39 @@ class SyncEngine:
                 + cpu.copy_cycles(w_put * sw.word_bytes)
                 + w_req * sw.get_service_cycles
             )
-        for _ in range(expected_chunks):
-            yield from ep.recv(tag=("data", seq))
+        if fast:
+            if expected_chunks:
+                yield from ep.recv_batch(expected_chunks, tag=("data", seq))
+        else:
+            for _ in range(expected_chunks):
+                yield from ep.recv(tag=("data", seq))
         if unmarshal_total:
             yield sim.timeout(unmarshal_total)
 
         # -- 3. get replies -------------------------------------------------
-        for dst in peers:
-            w = int(traffic.get_words[dst, pid])
-            if w == 0:
-                continue
-            marshal = w * sw.marshal_record_cycles + cpu.copy_cycles(w * sw.word_bytes)
-            yield sim.timeout(marshal)
-            for chunk in sw.chunk_sizes(sw.get_reply_wire_bytes(w)):
-                if sw.send_pacing_cycles:
-                    yield sim.timeout(sw.send_pacing_cycles)
-                yield from ep.send(dst, ("reply", seq), sw.message_header_bytes + chunk)
+        if fast:
+            entries = []
+            for dst in peers:
+                w = int(traffic.get_words[dst, pid])
+                if w == 0:
+                    continue
+                gap = w * sw.marshal_record_cycles + cpu.copy_cycles(w * sw.word_bytes)
+                for chunk in sw.chunk_sizes(sw.get_reply_wire_bytes(w)):
+                    entries.append((dst, sw.message_header_bytes + chunk, gap))
+                    gap = 0.0
+            if entries:
+                yield from ep.send_batch(entries, ("reply", seq))
+        else:
+            for dst in peers:
+                w = int(traffic.get_words[dst, pid])
+                if w == 0:
+                    continue
+                marshal = w * sw.marshal_record_cycles + cpu.copy_cycles(w * sw.word_bytes)
+                yield sim.timeout(marshal)
+                for chunk in sw.chunk_sizes(sw.get_reply_wire_bytes(w)):
+                    if sw.send_pacing_cycles:
+                        yield sim.timeout(sw.send_pacing_cycles)
+                    yield from ep.send(dst, ("reply", seq), sw.message_header_bytes + chunk)
 
         expected_chunks = 0
         unmarshal_total = 0.0
@@ -198,13 +247,17 @@ class SyncEngine:
             unmarshal_total += w * sw.unmarshal_record_cycles + cpu.copy_cycles(
                 w * sw.word_bytes
             )
-        for _ in range(expected_chunks):
-            yield from ep.recv(tag=("reply", seq))
+        if fast:
+            if expected_chunks:
+                yield from ep.recv_batch(expected_chunks, tag=("reply", seq))
+        else:
+            for _ in range(expected_chunks):
+                yield from ep.recv(tag=("reply", seq))
         if unmarshal_total:
             yield sim.timeout(unmarshal_total)
 
         # -- 4. closing barrier ----------------------------------------------
-        yield from self._barrier(ep, p, ("bar", seq))
+        yield from self._barrier(ep, p, ("bar", seq), fast)
         done_times[pid] = sim.now
 
     def _peer_order(self, pid: int, p: int):
@@ -214,7 +267,7 @@ class SyncEngine:
             return [(pid + r) % p for r in range(1, p)]
         return [d for d in range(p) if d != pid]
 
-    def _barrier(self, ep: Endpoint, p: int, seq) -> object:
+    def _barrier(self, ep: Endpoint, p: int, seq, fast: bool = False) -> object:
         """Tree barrier with software per-hop cycles (the measured L)."""
         sim = self.machine.sim
         hop = self.sw.barrier_hop_cycles
@@ -228,11 +281,17 @@ class SyncEngine:
         if pid != 0:
             if hop:
                 yield sim.timeout(hop)
-            yield from ep.send(_parent(pid), up, CONTROL_BYTES)
+            if fast:
+                yield from ep.send_batch([(_parent(pid), CONTROL_BYTES)], up)
+            else:
+                yield from ep.send(_parent(pid), up, CONTROL_BYTES)
             yield from ep.recv(src=_parent(pid), tag=down)
             if hop:
                 yield sim.timeout(hop)
         for child in _children(pid, p):
             if hop:
                 yield sim.timeout(hop)
-            yield from ep.send(child, down, CONTROL_BYTES)
+            if fast:
+                yield from ep.send_batch([(child, CONTROL_BYTES)], down)
+            else:
+                yield from ep.send(child, down, CONTROL_BYTES)

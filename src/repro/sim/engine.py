@@ -5,6 +5,23 @@ triples.  ``seq`` is a monotonically increasing tie-breaker so that two
 events scheduled for the same instant always fire in scheduling order —
 this is what makes every simulation in this project bit-for-bit
 reproducible.
+
+Hot-path notes
+--------------
+This loop processes hundreds of thousands of events per simulated
+second of a sample-sort run, so the kernel trades a little generality
+for speed:
+
+* :class:`Simulator` uses ``__slots__`` and :meth:`Simulator.run`
+  inlines the per-event pop (``step`` remains for single-stepping and
+  tests);
+* :meth:`Simulator.defer` / :meth:`Simulator.defer_at` schedule a bare
+  callable wrapped in a :class:`_Deferred` — two machine words instead
+  of a full :class:`~repro.sim.events.Event` with a callback list.
+  Deferred callbacks still count toward :attr:`Simulator.event_count`;
+* tracing hooks in via :attr:`Simulator._step_hook` (see
+  :class:`~repro.sim.trace.TraceRecorder`) instead of monkey-patching
+  ``step``, which ``__slots__`` forbids.
 """
 
 from __future__ import annotations
@@ -16,6 +33,42 @@ from typing import Any, Callable, Optional
 
 class SimulationError(RuntimeError):
     """Raised for kernel-level misuse (negative delays, re-triggered events...)."""
+
+
+class _Deferred:
+    """A bare callable on the event queue (no value, no waiters).
+
+    The kernel only ever calls ``event._fire()``, so storing the
+    callable *as* ``_fire`` makes firing a plain function call with no
+    dispatch overhead.  Used for process bootstraps and the network
+    fast path, where nothing ever waits on the queue entry itself.
+    """
+
+    __slots__ = ("_fire",)
+
+    def __init__(self, fn: Callable[[], None]) -> None:
+        self._fire = fn
+
+
+# Event/process classes, cached lazily to break the import cycle
+# (events.py imports this module) without paying a per-call import.
+_event_cls = None
+_timeout_cls = None
+_process_cls = None
+_allof_cls = None
+_anyof_cls = None
+
+
+def _bind_event_classes() -> None:
+    global _event_cls, _timeout_cls, _process_cls, _allof_cls, _anyof_cls
+    from repro.sim.events import AllOf, AnyOf, Event, Timeout
+    from repro.sim.process import Process
+
+    _event_cls = Event
+    _timeout_cls = Timeout
+    _process_cls = Process
+    _allof_cls = AllOf
+    _anyof_cls = AnyOf
 
 
 class Simulator:
@@ -39,12 +92,17 @@ class Simulator:
     [5]
     """
 
+    __slots__ = ("_now", "_queue", "_seq", "_running", "_event_count", "_step_hook")
+
     def __init__(self) -> None:
         self._now: float = 0
         self._queue: list = []
         self._seq = itertools.count()
         self._running = False
         self._event_count = 0
+        #: Optional ``fn(when, event)`` observer called for every
+        #: processed event (used by the trace recorder).
+        self._step_hook: Optional[Callable[[float, Any], None]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -73,34 +131,62 @@ class Simulator:
         heapq.heappush(self._queue, (self._now + delay, next(self._seq), event))
         return event
 
+    def schedule_at(self, event: "Event", when: float) -> "Event":
+        """Schedule *event* to fire at absolute time *when* (>= now).
+
+        The fast paths use this to place events at analytically-computed
+        instants so that their times are bit-identical to the values the
+        step-by-step path would have accumulated.
+        """
+        if when < self._now:
+            raise SimulationError(f"schedule_at into the past: {when!r} < {self._now!r}")
+        heapq.heappush(self._queue, (when, next(self._seq), event))
+        return event
+
+    def defer(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run the bare callable *fn* ``delay`` cycles from now.
+
+        Cheaper than an :class:`Event` when nothing will ever wait on
+        the occurrence (no value, no callbacks list).
+        """
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, next(self._seq), _Deferred(fn)))
+
+    def defer_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run the bare callable *fn* at absolute time *when* (>= now)."""
+        if when < self._now:
+            raise SimulationError(f"defer_at into the past: {when!r} < {self._now!r}")
+        heapq.heappush(self._queue, (when, next(self._seq), _Deferred(fn)))
+
     # Convenience constructors -----------------------------------------
     def event(self) -> "Event":
         """Create a fresh, untriggered :class:`Event` bound to this simulator."""
-        from repro.sim.events import Event
-
-        return Event(self)
+        if _event_cls is None:
+            _bind_event_classes()
+        return _event_cls(self)
 
     def timeout(self, delay: float, value: Any = None) -> "Event":
         """An event that fires ``delay`` cycles from now."""
-        from repro.sim.events import Timeout
-
-        return Timeout(self, delay, value)
+        if _timeout_cls is None:
+            _bind_event_classes()
+        return _timeout_cls(self, delay, value)
 
     def process(self, generator) -> "Process":
         """Spawn *generator* as a simulation process (starts at the current time)."""
-        from repro.sim.process import Process
-
-        return Process(self, generator)
+        if _process_cls is None:
+            _bind_event_classes()
+        return _process_cls(self, generator)
 
     def all_of(self, events) -> "Event":
-        from repro.sim.events import AllOf
-
-        return AllOf(self, list(events))
+        if _allof_cls is None:
+            _bind_event_classes()
+        return _allof_cls(self, list(events))
 
     def any_of(self, events) -> "Event":
-        from repro.sim.events import AnyOf
-
-        return AnyOf(self, list(events))
+        if _anyof_cls is None:
+            _bind_event_classes()
+        return _anyof_cls(self, list(events))
 
     # ------------------------------------------------------------------
     # Execution
@@ -114,6 +200,8 @@ class Simulator:
             raise SimulationError("event queue corrupted: time went backwards")
         self._now = when
         self._event_count += 1
+        if self._step_hook is not None:
+            self._step_hook(when, event)
         event._fire()
 
     def run(self, until: Optional[float] = None) -> None:
@@ -125,15 +213,35 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        queue = self._queue
+        pop = heapq.heappop
+        processed = 0
         try:
-            while self._queue:
-                if until is not None and self._queue[0][0] >= until:
+            # The queue never contains past events (schedule/schedule_at
+            # validate), so the backwards-time check lives only in step().
+            if until is None:
+                while queue:
+                    when, _seq, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    if self._step_hook is not None:
+                        self._step_hook(when, event)
+                    event._fire()
+            else:
+                while queue:
+                    if queue[0][0] >= until:
+                        self._now = until
+                        return
+                    when, _seq, event = pop(queue)
+                    self._now = when
+                    processed += 1
+                    if self._step_hook is not None:
+                        self._step_hook(when, event)
+                    event._fire()
+                if until > self._now:
                     self._now = until
-                    return
-                self.step()
-            if until is not None and until > self._now:
-                self._now = until
         finally:
+            self._event_count += processed
             self._running = False
 
     def run_process(self, generator) -> Any:

@@ -7,6 +7,7 @@ An :class:`Event` is a one-shot occurrence that processes can wait on by
 
 from __future__ import annotations
 
+import heapq
 from typing import Any, Callable, List, Optional
 
 from repro.sim.engine import SimulationError, Simulator
@@ -56,21 +57,30 @@ class Event:
     # -- triggering -------------------------------------------------------
     def succeed(self, value: Any = None, delay: float = 0) -> "Event":
         """Trigger the event successfully with *value*."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise SimulationError("event already triggered")
         self._value = value
-        self.sim.schedule(self, delay)
+        sim = self.sim
+        if delay:
+            sim.schedule(self, delay)
+        else:
+            # Hot path: an immediate trigger is just a heap push at `now`.
+            heapq.heappush(sim._queue, (sim._now, next(sim._seq), self))
         return self
 
     def fail(self, exc: BaseException, delay: float = 0) -> "Event":
         """Trigger the event with an exception (re-raised in waiters)."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exc is not None:
             raise SimulationError("event already triggered")
         if not isinstance(exc, BaseException):
             raise TypeError(f"fail() needs an exception, got {exc!r}")
         self._exc = exc
         self._ok = False
-        self.sim.schedule(self, delay)
+        sim = self.sim
+        if delay:
+            sim.schedule(self, delay)
+        else:
+            heapq.heappush(sim._queue, (sim._now, next(sim._seq), self))
         return self
 
     # -- callbacks --------------------------------------------------------
@@ -110,7 +120,7 @@ class Timeout(Event):
             raise SimulationError(f"negative timeout: {delay!r}")
         self.delay = delay
         self._value = value
-        sim.schedule(self, delay)
+        heapq.heappush(sim._queue, (sim._now + delay, next(sim._seq), self))
 
 
 class Interrupt(Exception):

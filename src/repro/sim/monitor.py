@@ -17,6 +17,8 @@ from typing import Optional
 class TallyStat:
     """Streaming mean/variance/min/max over discrete observations."""
 
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
     def __init__(self) -> None:
         self.count = 0
         self._mean = 0.0
@@ -57,6 +59,8 @@ class TimeWeightedStat:
     Call :meth:`record` whenever the monitored value changes; the stat
     integrates the *previous* value over the elapsed interval.
     """
+
+    __slots__ = ("_sim", "_last_time", "_last_value", "_area", "_start", "maximum")
 
     def __init__(self, sim) -> None:
         self._sim = sim

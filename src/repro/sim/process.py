@@ -31,10 +31,13 @@ class Process(Event):
         self._gen = gen
         self._waiting_on: Event | None = None
         self.name = name or getattr(gen, "__name__", "process")
-        # Bootstrap: start the generator at the current instant.
-        start = Event(sim)
-        start.add_callback(self._resume)
-        start.succeed(None)
+        # Bootstrap: start the generator at the current instant.  A bare
+        # deferred callback costs one queue entry, same as the old
+        # throwaway start Event, but no Event allocation.
+        sim.defer(0, self._start)
+
+    def _start(self) -> None:
+        self._step(event=None)
 
     @property
     def is_alive(self) -> bool:
@@ -56,9 +59,7 @@ class Process(Event):
                 target.callbacks.remove(self._resume)  # type: ignore[union-attr]
             except (ValueError, AttributeError):
                 pass
-        kick = Event(self.sim)
-        kick.add_callback(lambda ev: self._step(throw=Interrupt(cause)))
-        kick.succeed(None)
+        self.sim.defer(0, lambda: self._step(throw=Interrupt(cause)))
 
     # ------------------------------------------------------------------
     def _resume(self, event: Event) -> None:
@@ -92,4 +93,10 @@ class Process(Event):
             )
             return
         self._waiting_on = target
-        target.add_callback(self._resume)
+        # Inlined target.add_callback(self._resume): `callbacks is None`
+        # means the event was already processed, so resume immediately.
+        cbs = target.callbacks
+        if cbs is None:
+            self._resume(target)
+        else:
+            cbs.append(self._resume)

@@ -21,7 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, _Deferred
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
 from repro.sim.resource import Request
@@ -47,14 +47,21 @@ def describe_event(event: Event) -> tuple:
         return "timeout", f"delay={event.delay:g}"
     if isinstance(event, Request):
         return "grant", event.resource.name or f"resource@{id(event.resource):x}"
+    if isinstance(event, _Deferred):
+        fn = event._fire
+        name = getattr(fn, "__qualname__", None)
+        if name is None:  # functools.partial and friends
+            name = getattr(getattr(fn, "func", None), "__qualname__", repr(fn))
+        return "callback", name
     return "event", type(event).__name__
 
 
 class TraceRecorder:
     """Bounded recorder of processed events on one simulator.
 
-    Works by wrapping :meth:`Simulator.step`; detach with
-    :meth:`close` (or rely on garbage collection of the simulator).
+    Works through the kernel's :attr:`Simulator._step_hook` observer
+    (chaining any previously installed hook); detach with :meth:`close`
+    (or rely on garbage collection of the simulator).
     """
 
     def __init__(self, sim: Simulator, limit: int = 100_000) -> None:
@@ -64,24 +71,25 @@ class TraceRecorder:
         self.limit = limit
         self.entries: Deque[TraceEntry] = deque(maxlen=limit)
         self.dropped = 0
-        self._original_step = sim.step
+        self._prev_hook = sim._step_hook
         self._active = True
-        sim.step = self._traced_step  # type: ignore[method-assign]
+        self._hook = self._record  # keep one bound-method object for identity checks
+        sim._step_hook = self._hook
 
-    def _traced_step(self) -> None:
-        queue = self.sim._queue  # peek before the kernel pops
-        when, _seq, event = queue[0]
+    def _record(self, when: float, event) -> None:
+        if self._prev_hook is not None:
+            self._prev_hook(when, event)
         kind, detail = describe_event(event)
         if len(self.entries) == self.limit:
             self.dropped += 1
         self.entries.append(TraceEntry(time=when, kind=kind, detail=detail))
-        self._original_step()
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop recording (restores the simulator's plain step)."""
+        """Stop recording (restores the previous step hook)."""
         if self._active:
-            self.sim.step = self._original_step  # type: ignore[method-assign]
+            if self.sim._step_hook is self._hook:
+                self.sim._step_hook = self._prev_hook
             self._active = False
 
     def __len__(self) -> int:

@@ -13,6 +13,8 @@ def test_json_dump_single(tmp_path, capsys):
     assert payload["id"] == "fig1"
     assert "comm_measured" in payload["data"]
     assert len(payload["data"]["x"]) == len(payload["data"]["comm_measured"])
+    assert isinstance(payload["elapsed_seconds"], float)
+    assert payload["elapsed_seconds"] > 0
     assert f"wrote JSON to {out}" in capsys.readouterr().out
 
 

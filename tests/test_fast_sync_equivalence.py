@@ -1,0 +1,116 @@
+"""The fast sync path must be timing-equivalent to the oracle path.
+
+``SoftwareConfig.fast_sync`` collapses the per-chunk event storm of a
+sync into batched analytic sends.  That is a pure simulator
+optimisation: every *observable* quantity — per-phase start/end times,
+communication cycles, algorithm outputs, sweep rows — must come out
+bit-for-bit identical with the per-message oracle path.  These tests
+pin that contract across processor counts and all three paper
+algorithms, and at the CLI/env layer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.algorithms.listrank import make_random_list, run_list_ranking
+from repro.algorithms.prefix import run_prefix_sums
+from repro.algorithms.samplesort import run_sample_sort
+from repro.machine.config import MachineConfig
+from repro.qsmlib.config import SoftwareConfig
+from repro.qsmlib.program import RunConfig
+
+
+def _config(p: int, fast_sync: bool) -> RunConfig:
+    return RunConfig(
+        machine=MachineConfig(p=p),
+        software=SoftwareConfig(fast_sync=fast_sync),
+        seed=5,
+    )
+
+
+def _phase_fingerprint(run) -> tuple:
+    """Every externally-observable timing of a run, exactly."""
+    return tuple(
+        (ph.start, ph.end, ph.comm_cycles, tuple(ph.compute_cycles)) for ph in run.phases
+    ) + (run.total_cycles, run.trailing_compute_cycles)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_samplesort_bit_identical(p):
+    rng = np.random.default_rng(42)
+    data = rng.integers(0, 1 << 30, size=2000)
+    fast = run_sample_sort(data.copy(), config=_config(p, True))
+    slow = run_sample_sort(data.copy(), config=_config(p, False))
+    assert _phase_fingerprint(fast.run) == _phase_fingerprint(slow.run)
+    np.testing.assert_array_equal(fast.result, slow.result)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_prefix_bit_identical(p):
+    rng = np.random.default_rng(7)
+    data = rng.integers(0, 1000, size=3000)
+    fast = run_prefix_sums(data.copy(), config=_config(p, True))
+    slow = run_prefix_sums(data.copy(), config=_config(p, False))
+    assert _phase_fingerprint(fast.run) == _phase_fingerprint(slow.run)
+    np.testing.assert_array_equal(fast.result, slow.result)
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_listrank_bit_identical(p):
+    succ = make_random_list(1500, seed=3)
+    fast = run_list_ranking(succ.copy(), config=_config(p, True))
+    slow = run_list_ranking(succ.copy(), config=_config(p, False))
+    assert _phase_fingerprint(fast.run) == _phase_fingerprint(slow.run)
+    np.testing.assert_array_equal(fast.ranks, slow.ranks)
+
+
+def test_fast_path_does_strictly_less_kernel_work():
+    """Same timings, fewer events: the whole point of the fast path."""
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 1 << 30, size=4000)
+    fast = run_sample_sort(data.copy(), config=_config(8, True))
+    slow = run_sample_sort(data.copy(), config=_config(8, False))
+    assert fast.run.sim_events < slow.run.sim_events
+
+
+def test_sweep_rows_identical(monkeypatch):
+    """The fig2-style sweep produces identical aggregated points."""
+    import dataclasses
+
+    from repro.experiments.sweeps import run_samplesort_sweep
+
+    def rows(fast_sync: str):
+        monkeypatch.setenv("QSM_FAST_SYNC", fast_sync)
+        sweep = run_samplesort_sweep(MachineConfig(p=8), [4096, 8192], reps=2, seed=0)
+        return [dataclasses.asdict(pt) for pt in sweep.points]
+
+    assert rows("1") == rows("0")
+
+
+def test_env_toggle_round_trip(monkeypatch):
+    """QSM_FAST_SYNC gates the default; explicit field always wins."""
+    monkeypatch.setenv("QSM_FAST_SYNC", "0")
+    assert SoftwareConfig().fast_sync is False
+    assert SoftwareConfig(fast_sync=True).fast_sync is True
+    monkeypatch.setenv("QSM_FAST_SYNC", "1")
+    assert SoftwareConfig().fast_sync is True
+    monkeypatch.delenv("QSM_FAST_SYNC")
+    assert SoftwareConfig().fast_sync is True
+
+
+def test_cli_data_identical_across_env_toggle(tmp_path, monkeypatch):
+    """`qsm-repro run` emits identical experiment data either way."""
+    import json
+
+    from repro.experiments.cli import main
+
+    def payload(fast_sync: str):
+        monkeypatch.setenv("QSM_FAST_SYNC", fast_sync)
+        out = tmp_path / f"fig1_{fast_sync}.json"
+        assert main(["run", "fig1", "--fast", "--json", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        return doc["data"]
+
+    assert payload("1") == payload("0")

@@ -1,0 +1,112 @@
+"""Tests for the multiprocessing sweep executor and the --jobs flag.
+
+The contract: the job count changes wall-clock time only.  Results,
+their order, and every derived aggregate must be byte-identical between
+``jobs=1`` (pure in-process fallback) and any ``jobs>1`` pool.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import operator
+
+import pytest
+
+from repro.experiments.executor import effective_jobs, parallel_map
+from repro.machine.config import MachineConfig
+
+
+def test_effective_jobs_normalisation():
+    assert effective_jobs(None) == 1
+    assert effective_jobs(1) == 1
+    assert effective_jobs(3) == 3
+    assert effective_jobs(0) >= 1  # one per CPU
+    assert effective_jobs(-1) == effective_jobs(0)
+
+
+def test_parallel_map_sequential_fallback():
+    # jobs=1 must not touch multiprocessing at all: an unpicklable
+    # closure works fine.
+    acc = []
+
+    def fn(x):
+        acc.append(x)
+        return x * 2
+
+    assert parallel_map(fn, [1, 2, 3], jobs=1) == [2, 4, 6]
+    assert acc == [1, 2, 3]  # in order, in-process
+
+
+def test_parallel_map_single_task_stays_inline():
+    assert parallel_map(lambda x: x + 1, [41], jobs=8) == [42]
+
+
+def test_parallel_map_preserves_order():
+    tasks = list(range(20))
+    assert parallel_map(operator.neg, tasks, jobs=2) == [-t for t in tasks]
+
+
+def test_parallel_map_empty():
+    assert parallel_map(operator.neg, [], jobs=4) == []
+
+
+def test_sweep_identical_across_job_counts():
+    from repro.experiments.sweeps import run_samplesort_sweep
+
+    def rows(jobs):
+        sweep = run_samplesort_sweep(MachineConfig(p=8), [4096, 8192], reps=2, seed=0, jobs=jobs)
+        return [dataclasses.asdict(pt) for pt in sweep.points]
+
+    assert rows(1) == rows(2)
+
+
+def test_multi_machine_sweeps_identical_across_job_counts():
+    from repro.experiments.sweeps import latency_sweeps
+
+    def all_points(jobs):
+        sweeps = latency_sweeps([400.0, 6400.0], [4096, 8192], reps=1, seed=0, jobs=jobs)
+        return {
+            l: [dataclasses.asdict(pt) for pt in sw.points] for l, sw in sorted(sweeps.items())
+        }
+
+    assert all_points(1) == all_points(2)
+
+
+def test_registry_passes_jobs_only_when_accepted():
+    from repro.experiments.registry import accepts_jobs, get_experiment, run_experiment
+
+    assert accepts_jobs(get_experiment("fig2"))
+    assert not accepts_jobs(get_experiment("table1"))
+    # Both kinds run fine under a multi-job request.
+    result = run_experiment("table1", jobs=2)
+    assert result.exp_id == "table1"
+
+
+def test_cli_jobs_flag(tmp_path):
+    from repro.experiments.cli import main
+
+    out1 = tmp_path / "j1.json"
+    out2 = tmp_path / "j2.json"
+    assert main(["run", "fig1", "--fast", "--jobs", "1", "--json", str(out1)]) == 0
+    assert main(["run", "fig1", "--fast", "--jobs", "2", "--json", str(out2)]) == 0
+    d1 = json.loads(out1.read_text())
+    d2 = json.loads(out2.read_text())
+    assert d1["data"] == d2["data"]
+
+
+def test_report_runner_without_jobs_keyword(tmp_path):
+    """generate_report must not force `jobs` onto injected runners."""
+    from repro.experiments.base import ExperimentResult
+    from repro.experiments.report import generate_report
+
+    seen = []
+
+    def fake_runner(exp_id, fast, seed):
+        seen.append(exp_id)
+        return ExperimentResult(exp_id=exp_id, title="t", text="body", data={})
+
+    out = tmp_path / "r.md"
+    generate_report(str(out), experiment_ids=["fig1"], runner=fake_runner, jobs=4)
+    assert seen == ["fig1"]
+    assert "fig1" in out.read_text()
