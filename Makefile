@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test bench report
+.PHONY: test bench bench-obs report trace-demo
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -13,5 +13,17 @@ test:
 bench:
 	benchmarks/run_perf.sh
 
+# Observability overhead gate: a run with collection disabled (the
+# default) must stay within 3% of the pre-instrumentation baseline.
+bench-obs:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs.py \
+		--check benchmarks/BENCH_perf.json --tolerance 0.03
+
 report:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli report REPORT.md --fast
+
+# Produce a Perfetto-loadable trace + metrics dump from the fig1 sweep
+# (open trace_demo.json at https://ui.perfetto.dev).
+trace-demo:
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli run fig1 --fast \
+		--trace trace_demo.json --metrics metrics_demo.jsonl

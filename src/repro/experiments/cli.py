@@ -4,9 +4,15 @@ Usage::
 
     qsm-repro list
     qsm-repro run fig2 [--fast] [--seed 7]
+    qsm-repro run fig2 --trace out.json --metrics out.jsonl
     qsm-repro all [--fast]
 
 (or ``python -m repro.experiments.cli ...``).
+
+``--trace`` exports a Chrome ``trace_event`` JSON (load it in
+``chrome://tracing`` or https://ui.perfetto.dev; one track per simulated
+processor) and ``--metrics`` a JSONL dump of the aggregated metrics
+registry — see ``docs/OBSERVABILITY.md``.  Both work with ``--jobs N``.
 """
 
 from __future__ import annotations
@@ -29,6 +35,8 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
 
     jobs_help = "worker processes for sweep points (1 = sequential, 0 = one per CPU)"
+    trace_help = "export a Chrome trace_event JSON (chrome://tracing / Perfetto)"
+    metrics_help = "export the aggregated metrics registry as JSONL"
 
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -36,12 +44,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--jobs", type=int, default=1, help=jobs_help)
     run_p.add_argument("--json", metavar="PATH", help="also dump the series/rows as JSON")
+    run_p.add_argument("--trace", metavar="PATH", help=trace_help)
+    run_p.add_argument("--metrics", metavar="PATH", help=metrics_help)
 
     all_p = sub.add_parser("all", help="run every experiment in order")
     all_p.add_argument("--fast", action="store_true")
     all_p.add_argument("--seed", type=int, default=0)
     all_p.add_argument("--jobs", type=int, default=1, help=jobs_help)
     all_p.add_argument("--json", metavar="PATH", help="also dump all results as one JSON file")
+    all_p.add_argument("--trace", metavar="PATH", help=trace_help)
+    all_p.add_argument("--metrics", metavar="PATH", help=metrics_help)
 
     rep_p = sub.add_parser("report", help="run experiments and write a markdown report")
     rep_p.add_argument("output", help="path of the markdown file to write")
@@ -51,7 +63,35 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument(
         "--only", nargs="+", choices=sorted(EXPERIMENTS), help="subset of experiments"
     )
+    rep_p.add_argument("--trace", metavar="PATH", help=trace_help)
+    rep_p.add_argument("--metrics", metavar="PATH", help=metrics_help)
     return parser
+
+
+def _obs_setup(args) -> bool:
+    """Enable observability collection if the flags ask for it."""
+    want_trace = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", None)
+    if not want_trace and not want_metrics:
+        return False
+    from repro import obs
+
+    # Span capture is only needed for the trace export; a metrics-only
+    # run skips it (cheaper, no per-event records).
+    obs.enable(spans=bool(want_trace))
+    return True
+
+
+def _obs_export(args) -> None:
+    from repro import obs
+
+    if getattr(args, "trace", None):
+        n = obs.write_trace(args.trace)
+        print(f"[wrote Chrome trace ({n} events) to {args.trace}]")
+    if getattr(args, "metrics", None):
+        n = obs.write_metrics(args.metrics)
+        print(f"[wrote {n} metrics to {args.metrics}]")
+    obs.disable()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -61,6 +101,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         for exp_id in sorted(EXPERIMENTS):
             print(exp_id)
         return 0
+
+    observing = _obs_setup(args)
 
     if args.command == "report":
         from repro.experiments.report import generate_report
@@ -73,6 +115,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
         )
         print(f"[wrote markdown report to {args.output}]")
+        if observing:
+            _obs_export(args)
         return 0
 
     ids = sorted(EXPERIMENTS) if args.command == "all" else [args.experiment]
@@ -98,6 +142,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.json, "w") as fh:
             json.dump(payload[0] if len(payload) == 1 else payload, fh, indent=2)
         print(f"[wrote JSON to {args.json}]")
+    if observing:
+        _obs_export(args)
     return 0
 
 

@@ -23,7 +23,10 @@ to the pre-parallel code and keeps tests debuggable.
 from __future__ import annotations
 
 import os
+from functools import partial
 from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro import obs
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -48,6 +51,11 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], jobs: Optional[int] =
     Results come back in task order regardless of completion order, so
     output is independent of the job count.  With ``jobs`` resolving to
     1 — or fewer than two tasks — this is a plain in-process loop.
+
+    When observability is on (:func:`repro.obs.enabled`), each worker
+    drains its span/metric captures after every task and the parent
+    merges them **in task order**, so exported traces and aggregated
+    metrics are also independent of the job count.
     """
     tasks = list(tasks)
     n_jobs = min(effective_jobs(jobs), len(tasks))
@@ -59,5 +67,35 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], jobs: Optional[int] =
     # chunksize > 1 amortises IPC for fine-grained sweeps while keeping
     # Pool.map's ordered-results guarantee.
     chunksize = max(1, len(tasks) // (4 * n_jobs))
-    with multiprocessing.Pool(processes=n_jobs) as pool:
-        return pool.map(fn, tasks, chunksize=chunksize)
+    if not obs.enabled():
+        with multiprocessing.Pool(processes=n_jobs) as pool:
+            return pool.map(fn, tasks, chunksize=chunksize)
+
+    # Workers start from a clean slate (forked children would otherwise
+    # re-report captures inherited from the parent), run each task, and
+    # ship back (result, obs payload) pairs.
+    with multiprocessing.Pool(
+        processes=n_jobs, initializer=_obs_worker_init
+    ) as pool:
+        outs = pool.map(partial(_obs_task, fn), tasks, chunksize=chunksize)
+    results: List[R] = []
+    for result, payload in outs:
+        obs.merge_payload(payload)
+        results.append(result)
+    return results
+
+
+def _obs_worker_init() -> None:
+    """Pool initializer: drop observability state inherited via fork."""
+    obs.reset()
+
+
+def _obs_task(fn: Callable[[T], R], task: T):
+    """Run one task in a worker; returns ``(result, obs payload)``.
+
+    Module-level (picklable).  Under the ``spawn`` start method the
+    worker re-imports :mod:`repro.obs`, which re-enables collection from
+    the inherited ``QSM_OBS`` environment variable.
+    """
+    result = fn(task)
+    return result, obs.drain_payload()

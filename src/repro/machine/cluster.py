@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro import obs
 from repro.machine.config import MachineConfig
 from repro.machine.cpu import CPUModel
 from repro.machine.network import Network
@@ -20,6 +21,9 @@ class Machine:
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
         self.sim = Simulator()
+        # When observability is on, the observer must exist before the
+        # network is built so the network can register its harvester.
+        obs.attach(self.sim, label=f"machine p={config.p}")
         self.network = Network(self.sim, config.network, config.p)
         self.cpus: List[CPUModel] = [CPUModel(config.node) for _ in range(config.p)]
 

@@ -76,6 +76,18 @@ class Network:
         # Receiver cycles owed for NACK handling, collected by the next
         # successful delivery at that node.
         self._bounce_debt = [0.0] * p
+        if sim.obs is not None:
+            sim.obs.add_finalizer(self._harvest_obs)
+
+    def _harvest_obs(self, observer) -> None:
+        """Fold this network's lifetime statistics into the metrics
+        registry (called once by :meth:`Observer.finalize`)."""
+        m = observer.metrics
+        m.counter("net.bytes_injected").inc(self.bytes_sent)
+        m.counter("net.messages_sent").inc(self.messages_sent)
+        if self.retries:
+            m.counter("net.retries").inc(self.retries)
+        m.histogram("net.delivery_latency").fold_tally(self.latency_stat)
 
     # ------------------------------------------------------------------
     @property
@@ -125,7 +137,7 @@ class Network:
         queue = sim._queue
         seq = sim._seq
         burst_bytes = burst_msgs = 0
-        t = sim.now
+        t = t_begin = sim.now
         for dst, nbytes, *rest in entries:
             msg = Message(src=src, dst=dst, tag=tag, nbytes=nbytes)
             self._check_ids(msg)
@@ -140,6 +152,13 @@ class Network:
             heappush(queue, (t + latency, next(seq), _Deferred(partial(arrive, msg))))
         self.bytes_sent += burst_bytes
         self.messages_sent += burst_msgs
+        obs = sim.obs
+        if obs is not None:
+            # The burst's NIC occupancy is known analytically here, so
+            # record it as one already-complete span on the sender track.
+            obs.complete(
+                "net.burst", src, t_begin, t, msgs=burst_msgs, bytes=burst_bytes
+            )
         # Resume the sender when the engine drains (a pre-triggered
         # event at the analytic completion time, like a Timeout).
         done = Event(sim)
@@ -181,6 +200,9 @@ class Network:
         self.recv_engine[msg.dst].unclaim(req)
         msg.delivered_at = self.sim.now
         self.latency_stat.record(msg.delivered_at - msg.sent_at)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant("net.deliver", msg.dst, src=msg.src, bytes=msg.nbytes)
         hook = self.deliver_hook[msg.dst]
         if hook is None or not hook(msg):
             self.inbox[msg.dst].put(msg)
@@ -208,6 +230,9 @@ class Network:
         msg.sent_at = self.sim.now
         self.bytes_sent += msg.nbytes
         self.messages_sent += 1
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant("net.inject", msg.src, dst=msg.dst, bytes=msg.nbytes)
         self.sim.process(self._wire_and_recv(msg))
 
     def _transfer_proc(self, msg: Message):
@@ -248,6 +273,9 @@ class Network:
         yield from self.recv_engine[msg.dst].serve(hold)
         msg.delivered_at = self.sim.now
         self.latency_stat.record(msg.delivered_at - msg.sent_at)
+        obs = self.sim.obs
+        if obs is not None:
+            obs.instant("net.deliver", msg.dst, src=msg.src, bytes=msg.nbytes)
         self.inbox[msg.dst].put(msg)
         done = getattr(msg, "_done_event", None)
         if done is not None:

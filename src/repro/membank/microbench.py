@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.membank.banks import BankArray
 from repro.membank.machines import MemoryMachineConfig
 from repro.membank.patterns import AccessPattern
@@ -58,20 +59,27 @@ def run_microbenchmark(
         raise ValueError(f"warmup ({warmup}) must be < accesses ({accesses_per_proc})")
 
     sim = Simulator()
+    _obs.attach(sim, label=f"membank {config.name}/{pattern.name} p={config.p}")
     banks = BankArray(sim, config.n_banks, config.bank_service_cycles)
     interconnect = config.make_interconnect(sim)
     rngs = spawn_rngs(seed, config.p)
     stats: List[TallyStat] = [TallyStat() for _ in range(config.p)]
 
     def proc(pid: int):
+        obs = sim.obs
         targets = pattern.choose(rngs[pid], pid, config.n_banks, accesses_per_proc)
         for k in range(accesses_per_proc):
             t0 = sim.now
+            bank = int(targets[k])
+            if obs is not None:
+                span = obs.begin("membank.access", pid, bank=bank, warm=k >= warmup)
             if config.software_cycles:
                 yield sim.timeout(config.software_cycles)
-            yield from interconnect.request_path(pid, int(targets[k]))
-            yield from banks.access(int(targets[k]))
-            yield from interconnect.response_path(pid, int(targets[k]))
+            yield from interconnect.request_path(pid, bank)
+            yield from banks.access(bank)
+            yield from interconnect.response_path(pid, bank)
+            if obs is not None:
+                obs.end(span)
             if k >= warmup:
                 stats[pid].record(sim.now - t0)
 
@@ -79,6 +87,17 @@ def run_microbenchmark(
     sim.run()
     for pr in procs:
         pr.value  # surface any process failure
+
+    if sim.obs is not None:
+        m = sim.obs.metrics
+        m.counter("membank.accesses").inc(config.p * accesses_per_proc)
+        hist = m.histogram("membank.access_cycles")
+        for s in stats:
+            hist.fold_tally(s)
+        util = m.gauge("membank.bank_utilization")
+        for b in range(config.n_banks):
+            util.set(banks.utilization(b))
+        sim.obs.finalize()
 
     per_proc = np.array([s.mean for s in stats])
     total = float(

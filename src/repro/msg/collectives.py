@@ -39,28 +39,40 @@ def barrier_proc(ep: Endpoint, p: int, seq: Any):
     pid = ep.pid
     if p == 1:
         return
-    up = ("bar", seq, "up")
-    down = ("bar", seq, "down")
-    for child in _children(pid, p):
-        yield from ep.recv(src=child, tag=up)
-    if pid != 0:
-        yield from ep.send(_parent(pid), up, CONTROL_BYTES)
-        yield from ep.recv(src=_parent(pid), tag=down)
-    for child in _children(pid, p):
-        yield from ep.send(child, down, CONTROL_BYTES)
+    obs = ep.sim.obs
+    span = obs.begin("coll.barrier", pid, seq=str(seq)) if obs is not None else None
+    try:
+        up = ("bar", seq, "up")
+        down = ("bar", seq, "down")
+        for child in _children(pid, p):
+            yield from ep.recv(src=child, tag=up)
+        if pid != 0:
+            yield from ep.send(_parent(pid), up, CONTROL_BYTES)
+            yield from ep.recv(src=_parent(pid), tag=down)
+        for child in _children(pid, p):
+            yield from ep.send(child, down, CONTROL_BYTES)
+    finally:
+        if obs is not None:
+            obs.end(span)
 
 
 def broadcast_proc(ep: Endpoint, p: int, seq: Any, value: Any = None, nbytes: int = CONTROL_BYTES):
     """Binary-tree broadcast from node 0; returns the broadcast value."""
     pid = ep.pid
-    tag = ("bcast", seq)
-    if pid != 0:
-        msg = yield from ep.recv(src=_parent(pid), tag=tag)
-        value = msg.payload
-        nbytes = msg.nbytes
-    for child in _children(pid, p):
-        yield from ep.send(child, tag, nbytes, payload=value)
-    return value
+    obs = ep.sim.obs
+    span = obs.begin("coll.broadcast", pid, seq=str(seq)) if obs is not None else None
+    try:
+        tag = ("bcast", seq)
+        if pid != 0:
+            msg = yield from ep.recv(src=_parent(pid), tag=tag)
+            value = msg.payload
+            nbytes = msg.nbytes
+        for child in _children(pid, p):
+            yield from ep.send(child, tag, nbytes, payload=value)
+        return value
+    finally:
+        if obs is not None:
+            obs.end(span)
 
 
 def gather_proc(ep: Endpoint, p: int, seq: Any, value: Any, nbytes: int = CONTROL_BYTES):
@@ -70,17 +82,23 @@ def gather_proc(ep: Endpoint, p: int, seq: Any, value: Any, nbytes: int = CONTRO
     sizes grow toward the root as real gathers do.
     """
     pid = ep.pid
-    tag = ("gather", seq)
-    collected = {pid: value}
-    total_bytes = nbytes
-    for child in _children(pid, p):
-        msg = yield from ep.recv(src=child, tag=tag)
-        collected.update(msg.payload)
-        total_bytes += msg.nbytes
-    if pid != 0:
-        yield from ep.send(_parent(pid), tag, total_bytes, payload=collected)
-        return None
-    return [collected[i] for i in range(p)]
+    obs = ep.sim.obs
+    span = obs.begin("coll.gather", pid, seq=str(seq)) if obs is not None else None
+    try:
+        tag = ("gather", seq)
+        collected = {pid: value}
+        total_bytes = nbytes
+        for child in _children(pid, p):
+            msg = yield from ep.recv(src=child, tag=tag)
+            collected.update(msg.payload)
+            total_bytes += msg.nbytes
+        if pid != 0:
+            yield from ep.send(_parent(pid), tag, total_bytes, payload=collected)
+            return None
+        return [collected[i] for i in range(p)]
+    finally:
+        if obs is not None:
+            obs.end(span)
 
 
 def tree_depth(p: int) -> int:

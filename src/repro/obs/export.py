@@ -1,0 +1,160 @@
+"""Exporters: Chrome ``trace_event`` JSON and metrics/event JSONL.
+
+Two formats, both documented in ``docs/OBSERVABILITY.md``:
+
+* :func:`write_chrome_trace` — the Trace Event Format understood by
+  ``chrome://tracing`` and https://ui.perfetto.dev.  Each simulated run
+  becomes one "process" (pid); each simulated processor becomes one
+  named "thread" (tid) so the viewer shows a track per processor.
+  Simulated *cycles* are written into the ``ts``/``dur`` microsecond
+  fields one-to-one (1 cycle renders as 1 µs — the viewer's absolute
+  unit label is therefore cosmetic, relative magnitudes are exact).
+
+* :func:`write_metrics_jsonl` / :func:`write_events_jsonl` — one JSON
+  object per line; trivially ``pandas.read_json(lines=True)``-able.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Any, Dict, Iterable, List
+
+from repro.obs.spans import RunCapture, Span
+
+
+def _category(name: str) -> str:
+    """Span category = the name's first dotted component."""
+    return name.split(".", 1)[0]
+
+
+def chrome_trace_events(runs: Iterable[RunCapture]) -> List[Dict[str, Any]]:
+    """The ``traceEvents`` array for *runs* (empty runs are skipped)."""
+    events: List[Dict[str, Any]] = []
+    for run in runs:
+        if run.empty:
+            continue
+        pid = run.index
+        events.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": run.label or f"run {pid}"},
+            }
+        )
+        tracks = sorted({s.track for s in run.spans} | {s.track for s in run.instants})
+        for track in tracks:
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": track,
+                    "args": {"name": f"proc {track}"},
+                }
+            )
+        for span in run.spans:
+            ev: Dict[str, Any] = {
+                "ph": "X",
+                "name": span.name,
+                "cat": _category(span.name),
+                "pid": pid,
+                "tid": span.track,
+                "ts": span.t0,
+                "dur": span.duration,
+            }
+            if span.attrs:
+                ev["args"] = span.attrs
+            events.append(ev)
+        for span in run.instants:
+            ev = {
+                "ph": "i",
+                "s": "t",  # thread-scoped instant
+                "name": span.name,
+                "cat": _category(span.name),
+                "pid": pid,
+                "tid": span.track,
+                "ts": span.t0,
+            }
+            if span.attrs:
+                ev["args"] = span.attrs
+            events.append(ev)
+    return events
+
+
+def write_chrome_trace(runs: Iterable[RunCapture], fh: IO[str]) -> int:
+    """Write the JSON-object flavour of the trace format; returns the
+    number of trace events written."""
+    events = chrome_trace_events(runs)
+    json.dump(
+        {
+            "traceEvents": events,
+            "displayTimeUnit": "ms",
+            "otherData": {
+                "generator": "repro.obs",
+                "time_unit": "simulated cycles (rendered as microseconds)",
+            },
+        },
+        fh,
+    )
+    fh.write("\n")
+    return len(events)
+
+
+def validate_chrome_trace(text: str) -> int:
+    """Parse *text* as a Chrome trace; returns the event count.
+
+    Raises ``ValueError`` if the shape is not loadable by
+    ``chrome://tracing``/Perfetto (used by the CI smoke check).
+    """
+    data = json.loads(text)
+    if not isinstance(data, dict) or not isinstance(data.get("traceEvents"), list):
+        raise ValueError("not a Chrome trace: missing traceEvents array")
+    for ev in data["traceEvents"]:
+        if not isinstance(ev, dict) or "ph" not in ev or "pid" not in ev:
+            raise ValueError(f"malformed trace event: {ev!r}")
+        if ev["ph"] == "X" and ("ts" not in ev or "dur" not in ev):
+            raise ValueError(f"complete event without ts/dur: {ev!r}")
+    return len(data["traceEvents"])
+
+
+def write_events_jsonl(runs: Iterable[RunCapture], fh: IO[str]) -> int:
+    """One line per span/instant: run, track, clocks, attrs."""
+    count = 0
+    for run in runs:
+        if run.empty:
+            continue
+        for kind, spans in (("span", run.spans), ("instant", run.instants)):
+            for span in spans:  # type: Span
+                rec: Dict[str, Any] = {
+                    "kind": kind,
+                    "run": run.index,
+                    "label": run.label,
+                    "name": span.name,
+                    "track": span.track,
+                    "t0": span.t0,
+                    "t1": span.t1,
+                    "depth": span.depth,
+                    "wall_seconds": span.wall_seconds,
+                }
+                if span.attrs:
+                    rec["attrs"] = span.attrs
+                fh.write(json.dumps(rec) + "\n")
+                count += 1
+    return count
+
+
+def write_metrics_jsonl(registry, fh: IO[str], runs: int = 0) -> int:
+    """One line per metric (plus a leading ``meta`` line); returns the
+    number of metric lines written."""
+    fh.write(
+        json.dumps({"kind": "meta", "generator": "repro.obs", "runs": runs}) + "\n"
+    )
+    count = 0
+    for name, metric in registry.items():
+        rec = {"kind": metric.snapshot()["kind"], "name": name}
+        rec.update(metric.export_fields())
+        fh.write(json.dumps(rec) + "\n")
+        count += 1
+    return count

@@ -1,0 +1,204 @@
+"""Named counters/gauges/histograms with exact cross-process merging.
+
+A :class:`MetricsRegistry` maps stable metric names (see
+``docs/OBSERVABILITY.md`` for the taxonomy: ``sim.events_processed``,
+``net.bytes_injected``, ``qsm.phase.put.m_rw``, ...) to instruments:
+
+* :class:`Counter` — a monotone sum;
+* :class:`Histogram` — distribution of observations, backed by the
+  kernel's :class:`~repro.sim.monitor.TallyStat` (streaming
+  mean/variance via Welford);
+* :class:`Gauge` — a time-weighted signal folded from
+  :class:`~repro.sim.monitor.TimeWeightedStat` integrals (area over
+  observed span), plus max and last value.
+
+Registries snapshot to plain dicts (:meth:`MetricsRegistry.snapshot`)
+carrying *raw moments*, so merging results from ``--jobs N`` worker
+processes (:meth:`MetricsRegistry.merge_snapshot`) is exact — the same
+totals as a sequential run, independent of how points were scheduled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, Tuple, Union
+
+from repro.sim.monitor import TallyStat
+
+
+class Counter:
+    """A monotone accumulating sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease (inc {amount!r})")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"kind": "counter", "value": self.value}
+
+    def merge(self, snap: dict) -> None:
+        self.value += snap["value"]
+
+    def export_fields(self) -> dict:
+        value = self.value
+        return {"value": int(value) if value == int(value) else value}
+
+
+class Histogram:
+    """Distribution of observations (reuses :class:`TallyStat`)."""
+
+    __slots__ = ("name", "stat")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.stat = TallyStat()
+
+    def record(self, value: float) -> None:
+        self.stat.record(value)
+
+    def fold_tally(self, tally: TallyStat) -> None:
+        """Merge an existing :class:`TallyStat` (e.g. a model's internal
+        collector) into this histogram without re-observing values."""
+        self.stat.merge_moments(*tally.moments())
+
+    def snapshot(self) -> dict:
+        count, mean, m2, minimum, maximum = self.stat.moments()
+        return {
+            "kind": "histogram",
+            "count": count,
+            "mean": mean,
+            "m2": m2,
+            "min": minimum,
+            "max": maximum,
+        }
+
+    def merge(self, snap: dict) -> None:
+        self.stat.merge_moments(
+            snap["count"], snap["mean"], snap["m2"], snap["min"], snap["max"]
+        )
+
+    def export_fields(self) -> dict:
+        s = self.stat
+        return {
+            "count": s.count,
+            "mean": s.mean,
+            "stdev": s.stdev,
+            "min": s.minimum,
+            "max": s.maximum,
+        }
+
+
+class Gauge:
+    """Aggregated time-weighted signal.
+
+    Instrumentation sites keep a live
+    :class:`~repro.sim.monitor.TimeWeightedStat` per simulator and fold
+    its integral in at finalize time (:meth:`fold`); the gauge then
+    reports the overall time average across every folded window.
+    """
+
+    __slots__ = ("name", "area", "span", "maximum", "last")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.area = 0.0
+        self.span = 0.0
+        self.maximum = -math.inf
+        self.last = 0.0
+
+    def fold(self, area: float, span: float, maximum: float, last: float) -> None:
+        if span < 0:
+            raise ValueError(f"gauge {self.name!r}: negative span {span!r}")
+        self.area += area
+        self.span += span
+        if maximum > self.maximum:
+            self.maximum = maximum
+        self.last = last
+
+    def set(self, value: float) -> None:
+        """Point sample without a time base (max/last only)."""
+        self.fold(0.0, 0.0, value, value)
+
+    @property
+    def time_average(self) -> float:
+        return self.area / self.span if self.span > 0 else self.last
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": "gauge",
+            "area": self.area,
+            "span": self.span,
+            "max": self.maximum,
+            "last": self.last,
+        }
+
+    def merge(self, snap: dict) -> None:
+        self.fold(snap["area"], snap["span"], snap["max"], snap["last"])
+
+    def export_fields(self) -> dict:
+        return {
+            "time_average": self.time_average,
+            "max": self.maximum if self.maximum != -math.inf else None,
+            "last": self.last,
+        }
+
+
+Metric = Union[Counter, Histogram, Gauge]
+_KINDS = {"counter": Counter, "histogram": Histogram, "gauge": Gauge}
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get(self, name: str, cls) -> Metric:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def items(self) -> Iterator[Tuple[str, Metric]]:
+        """Metrics in stable (sorted-name) order."""
+        return iter(sorted(self._metrics.items()))
+
+    def snapshot(self) -> Dict[str, dict]:
+        """Picklable raw-moment view, suitable for exact merging."""
+        return {name: m.snapshot() for name, m in self._metrics.items()}
+
+    def merge_snapshot(self, snap: Dict[str, dict]) -> None:
+        """Fold a :meth:`snapshot` (typically from a worker process) in."""
+        for name, rec in snap.items():
+            kind = rec.get("kind")
+            if kind not in _KINDS:
+                raise ValueError(f"unknown metric kind {kind!r} for {name!r}")
+            self._get(name, _KINDS[kind]).merge(rec)

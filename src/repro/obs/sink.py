@@ -1,0 +1,106 @@
+"""The single kernel-event hook: one ``_step_hook`` consumer, many readers.
+
+The simulator exposes exactly one observer slot
+(:attr:`~repro.sim.engine.Simulator._step_hook`).  Historically every
+consumer (the trace recorder, ad-hoc debug hooks) installed itself
+there and chained whatever hook it found — which made *detaching*
+fragile: a recorder could only unlink itself if it was still the head
+of the chain, so closing out of LIFO order silently left hooks
+installed.
+
+:class:`KernelEventSink` fixes that structurally: it is the one object
+that installs into ``_step_hook`` (get-or-create per simulator via
+:meth:`KernelEventSink.of`), and every consumer *subscribes* to it.
+Subscription order is delivery order; unsubscribing any consumer in any
+order is safe; when the last subscriber leaves, the sink splices itself
+out of the hook chain — correctly, even if a foreign hook was installed
+on top of it afterwards (see :func:`unlink_hook`).
+
+This module is deliberately dependency-free so the kernel-side modules
+can import it without pulling the rest of :mod:`repro.obs` in.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+Hook = Callable[[float, Any], None]
+
+
+def unlink_hook(sim, hook: Hook, prev: Optional[Hook]) -> bool:
+    """Splice *hook* out of ``sim``'s step-hook chain; True if found.
+
+    The chain convention: a chaining observer keeps its predecessor in a
+    ``_prev_hook`` attribute on the hook's owner (the bound method's
+    ``__self__``, or the function object itself).  If *hook* is the
+    current head it is simply replaced by *prev*; otherwise the chain is
+    walked and the predecessor pointer of whichever observer chains onto
+    *hook* is redirected to *prev*.
+    """
+    if sim._step_hook is hook:
+        sim._step_hook = prev
+        return True
+    cur = sim._step_hook
+    seen = 0
+    while cur is not None and seen < 1000:  # cycle guard
+        owner = getattr(cur, "__self__", cur)
+        nxt = getattr(owner, "_prev_hook", None)
+        if nxt is hook:
+            owner._prev_hook = prev
+            return True
+        cur = nxt
+        seen += 1
+    return False
+
+
+class KernelEventSink:
+    """Multiplexes ``Simulator._step_hook`` to any number of subscribers."""
+
+    def __init__(self, sim) -> None:
+        self.sim = sim
+        self._subscribers: List[Hook] = []
+        self._prev_hook: Optional[Hook] = sim._step_hook
+        self._hook = self._dispatch  # one bound-method object for identity
+        sim._step_hook = self._hook
+        sim._event_sink = self
+        self._installed = True
+
+    @classmethod
+    def of(cls, sim) -> "KernelEventSink":
+        """The simulator's installed sink, creating one if needed."""
+        sink = getattr(sim, "_event_sink", None)
+        if sink is not None and sink._installed:
+            return sink
+        return cls(sim)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, when: float, event) -> None:
+        if self._prev_hook is not None:
+            self._prev_hook(when, event)
+        for fn in self._subscribers:
+            fn(when, event)
+
+    # ------------------------------------------------------------------
+    def subscribe(self, fn: Hook) -> None:
+        self._subscribers.append(fn)
+
+    def unsubscribe(self, fn: Hook) -> None:
+        """Remove *fn*; uninstalls the sink when nobody is left."""
+        try:
+            self._subscribers.remove(fn)
+        except ValueError:
+            return
+        if not self._subscribers:
+            self._uninstall()
+
+    @property
+    def subscriber_count(self) -> int:
+        return len(self._subscribers)
+
+    def _uninstall(self) -> None:
+        if not self._installed:
+            return
+        unlink_hook(self.sim, self._hook, self._prev_hook)
+        self._installed = False
+        if getattr(self.sim, "_event_sink", None) is self:
+            self.sim._event_sink = None

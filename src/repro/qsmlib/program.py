@@ -69,6 +69,11 @@ class QSMMachine:
         self._endpoints = make_endpoints(self.machine.network)
         self._engine = SyncEngine(self.machine, self._endpoints, self.config.software)
         self._ran = False
+        if self.machine.sim.obs is not None:
+            fast = "fast" if self.config.software.fast_sync else "oracle"
+            self.machine.sim.obs.set_label(
+                f"qsm p={self.p} seed={self.config.seed} sync={fast}"
+            )
 
     # ------------------------------------------------------------------
     def allocate(
@@ -157,6 +162,8 @@ class QSMMachine:
 
         result.trailing_compute_cycles = float(trailing.max()) if p else 0.0
         result.sim_events = self.machine.sim.event_count
+        if self.machine.sim.obs is not None:
+            self.machine.sim.obs.finalize()
         return result
 
     # ------------------------------------------------------------------

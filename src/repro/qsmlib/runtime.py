@@ -102,7 +102,17 @@ class SyncEngine:
             if not proc.triggered:
                 raise RuntimeError("sync deadlocked: a node never completed the phase")
             proc.value  # re-raise any node failure
-        return PhaseTiming(start=start, ready=float(ready_times.max()), end=sim.now)
+        timing = PhaseTiming(start=start, ready=float(ready_times.max()), end=sim.now)
+        obs = sim.obs
+        if obs is not None:
+            m = obs.metrics
+            m.counter("qsm.syncs").inc()
+            m.counter("qsm.phase.put.m_rw").inc(int(traffic.put_words.sum()))
+            m.counter("qsm.phase.get.m_rw").inc(int(traffic.get_words.sum()))
+            m.counter("qsm.phase.local.words").inc(int(traffic.local_words.sum()))
+            m.histogram("qsm.phase.comm_cycles").record(timing.end - timing.ready)
+            m.histogram("qsm.phase.total_cycles").record(timing.end - timing.start)
+        return timing
 
     # ------------------------------------------------------------------
     def _node_proc(
@@ -120,6 +130,14 @@ class SyncEngine:
         ep = self.endpoints[pid]
         cpu = self.machine.cpus[pid]
         p = self.machine.p
+        # One load + branch per segment when observability is off; the
+        # segments partition [phase start, node done] exactly, which is
+        # what lets the exported trace reconcile against PhaseRecord
+        # timings (see docs/OBSERVABILITY.md).
+        obs = sim.obs
+        if obs is not None:
+            phase_span = obs.begin("qsm.phase", pid, phase=seq)
+            seg = obs.begin("qsm.compute", pid)
 
         # -- local computation of the phase body -------------------------
         if compute > 0:
@@ -127,6 +145,9 @@ class SyncEngine:
         ready_times[pid] = sim.now
 
         # -- sync entry: bookkeeping + locally-served requests ------------
+        if obs is not None:
+            obs.end(seg)
+            seg = obs.begin("qsm.entry", pid, local_words=local_words)
         overhead = sw.sync_fixed_cycles + local_words * (
             sw.marshal_record_cycles + cpu.copy_cycles(sw.word_bytes, resident=True)
         )
@@ -134,6 +155,9 @@ class SyncEngine:
             yield sim.timeout(overhead)
 
         if p == 1:
+            if obs is not None:
+                obs.end(seg)
+                obs.end(phase_span)
             done_times[pid] = sim.now
             return
 
@@ -144,6 +168,9 @@ class SyncEngine:
         fast = sw.fast_sync and not sw.send_pacing_cycles and ep.network.supports_fast_path
 
         # -- 1. plan exchange ---------------------------------------------
+        if obs is not None:
+            obs.end(seg)
+            seg = obs.begin("qsm.plan", pid)
         peers = self._peer_order(pid, p)
         plan_bytes = sw.message_header_bytes + sw.plan_entry_bytes
         if fast:
@@ -156,6 +183,14 @@ class SyncEngine:
                 yield from ep.recv(tag=("plan", seq))
 
         # -- 2. data messages: puts + get requests --------------------------
+        if obs is not None:
+            obs.end(seg)
+            seg = obs.begin(
+                "qsm.data",
+                pid,
+                put_words=int(traffic.put_words[pid].sum()),
+                get_req_words=int(traffic.get_words[pid].sum()),
+            )
         if fast:
             # One analytic burst for the whole stage: per-destination
             # marshal time rides along as a gap before that
@@ -215,6 +250,11 @@ class SyncEngine:
             yield sim.timeout(unmarshal_total)
 
         # -- 3. get replies -------------------------------------------------
+        if obs is not None:
+            obs.end(seg)
+            seg = obs.begin(
+                "qsm.reply", pid, reply_words=int(traffic.get_words[:, pid].sum())
+            )
         if fast:
             entries = []
             for dst in peers:
@@ -257,7 +297,13 @@ class SyncEngine:
             yield sim.timeout(unmarshal_total)
 
         # -- 4. closing barrier ----------------------------------------------
+        if obs is not None:
+            obs.end(seg)
+            seg = obs.begin("qsm.barrier", pid)
         yield from self._barrier(ep, p, ("bar", seq), fast)
+        if obs is not None:
+            obs.end(seg)
+            obs.end(phase_span)
         done_times[pid] = sim.now
 
     def _peer_order(self, pid: int, p: int):

@@ -19,9 +19,12 @@ for speed:
   callable wrapped in a :class:`_Deferred` — two machine words instead
   of a full :class:`~repro.sim.events.Event` with a callback list.
   Deferred callbacks still count toward :attr:`Simulator.event_count`;
-* tracing hooks in via :attr:`Simulator._step_hook` (see
-  :class:`~repro.sim.trace.TraceRecorder`) instead of monkey-patching
-  ``step``, which ``__slots__`` forbids.
+* tracing hooks in via :attr:`Simulator._step_hook` (multiplexed by
+  :class:`~repro.obs.sink.KernelEventSink`, which the
+  :class:`~repro.sim.trace.TraceRecorder` subscribes to) instead of
+  monkey-patching ``step``, which ``__slots__`` forbids;
+* richer observability (spans, metrics) attaches as
+  :attr:`Simulator.obs` — see :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -92,7 +95,16 @@ class Simulator:
     [5]
     """
 
-    __slots__ = ("_now", "_queue", "_seq", "_running", "_event_count", "_step_hook")
+    __slots__ = (
+        "_now",
+        "_queue",
+        "_seq",
+        "_running",
+        "_event_count",
+        "_step_hook",
+        "obs",
+        "_event_sink",
+    )
 
     def __init__(self) -> None:
         self._now: float = 0
@@ -101,8 +113,18 @@ class Simulator:
         self._running = False
         self._event_count = 0
         #: Optional ``fn(when, event)`` observer called for every
-        #: processed event (used by the trace recorder).
+        #: processed event.  Consumers should not install themselves
+        #: here directly — subscribe to the multiplexing
+        #: :class:`~repro.obs.sink.KernelEventSink` instead, so several
+        #: observers can attach and detach independently.
         self._step_hook: Optional[Callable[[float, Any], None]] = None
+        #: The installed :class:`~repro.obs.sink.KernelEventSink`, if any.
+        self._event_sink: Optional[Any] = None
+        #: The attached :class:`~repro.obs.spans.Observer`, or ``None``
+        #: when observability is off (the default).  Model code guards
+        #: every instrumentation site with ``sim.obs is not None`` so
+        #: the disabled path costs one load and one branch per site.
+        self.obs: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # Introspection

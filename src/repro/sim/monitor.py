@@ -49,6 +49,41 @@ class TallyStat:
     def stdev(self) -> float:
         return math.sqrt(self.variance)
 
+    def moments(self) -> tuple:
+        """Raw state ``(count, mean, m2, min, max)`` — everything needed
+        to combine two tallies exactly (see :meth:`merge_moments`)."""
+        return (self.count, self._mean, self._m2, self.minimum, self.maximum)
+
+    def merge_moments(
+        self,
+        count: int,
+        mean: float,
+        m2: float,
+        minimum: Optional[float],
+        maximum: Optional[float],
+    ) -> None:
+        """Fold another tally's :meth:`moments` into this one.
+
+        Uses the parallel Welford combination (Chan et al.), so merging
+        per-worker tallies yields byte-for-byte the same count/mean and
+        numerically exact variance regardless of how observations were
+        partitioned — this is what lets ``repro.obs`` histograms
+        aggregate across ``--jobs N`` processes.
+        """
+        if count == 0:
+            return
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        total = self.count + count
+        delta = mean - self._mean
+        self._m2 += m2 + delta * delta * self.count * count / total
+        self._mean += delta * count / total
+        self.count = total
+        if minimum is not None and (self.minimum is None or minimum < self.minimum):
+            self.minimum = minimum
+        if maximum is not None and (self.maximum is None or maximum > self.maximum):
+            self.maximum = maximum
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<TallyStat n={self.count} mean={self.mean:.3g}>"
 
@@ -79,8 +114,20 @@ class TimeWeightedStat:
             self.maximum = value
 
     def time_average(self, until: Optional[float] = None) -> float:
-        """Time-averaged value from creation until *until* (default: now)."""
+        """Time-averaged value from creation until *until* (default: now).
+
+        *until* must not precede the last recorded change: the stat only
+        keeps the integral up to that point plus the current value, so
+        an earlier cut-off would extrapolate the *new* value backwards
+        over an interval during which it did not hold.
+        """
         end = self._sim.now if until is None else until
+        if end < self._last_time:
+            raise ValueError(
+                f"time_average until={end!r} precedes the last recorded "
+                f"change at t={self._last_time!r}; the integral before that "
+                "point is no longer decomposable"
+            )
         span = end - self._start
         if span <= 0:
             return self._last_value

@@ -21,6 +21,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional
 
+from repro.obs.sink import KernelEventSink
 from repro.sim.engine import Simulator, _Deferred
 from repro.sim.events import Event, Timeout
 from repro.sim.process import Process
@@ -59,9 +60,12 @@ def describe_event(event: Event) -> tuple:
 class TraceRecorder:
     """Bounded recorder of processed events on one simulator.
 
-    Works through the kernel's :attr:`Simulator._step_hook` observer
-    (chaining any previously installed hook); detach with :meth:`close`
-    (or rely on garbage collection of the simulator).
+    Subscribes to the simulator's
+    :class:`~repro.obs.sink.KernelEventSink` — the single consumer of
+    the kernel's :attr:`Simulator._step_hook` — so any number of
+    recorders and other kernel-event observers coexist and can detach
+    in any order.  Detach with :meth:`close` (or rely on garbage
+    collection of the simulator).
     """
 
     def __init__(self, sim: Simulator, limit: int = 100_000) -> None:
@@ -71,14 +75,12 @@ class TraceRecorder:
         self.limit = limit
         self.entries: Deque[TraceEntry] = deque(maxlen=limit)
         self.dropped = 0
-        self._prev_hook = sim._step_hook
         self._active = True
         self._hook = self._record  # keep one bound-method object for identity checks
-        sim._step_hook = self._hook
+        self._sink = KernelEventSink.of(sim)
+        self._sink.subscribe(self._hook)
 
     def _record(self, when: float, event) -> None:
-        if self._prev_hook is not None:
-            self._prev_hook(when, event)
         kind, detail = describe_event(event)
         if len(self.entries) == self.limit:
             self.dropped += 1
@@ -86,10 +88,10 @@ class TraceRecorder:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Stop recording (restores the previous step hook)."""
+        """Stop recording (the sink uninstalls itself when the last
+        subscriber leaves, splicing correctly out of any hook chain)."""
         if self._active:
-            if self.sim._step_hook is self._hook:
-                self.sim._step_hook = self._prev_hook
+            self._sink.unsubscribe(self._hook)
             self._active = False
 
     def __len__(self) -> int:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro import obs
 from repro.machine.config import MachineConfig
 from repro.qsmlib import RunConfig
 from repro.sim import Simulator
@@ -13,6 +14,25 @@ from repro.sim import Simulator
 @pytest.fixture
 def sim() -> Simulator:
     return Simulator()
+
+
+@pytest.fixture
+def obs_state():
+    """Observability switched on for one test, off afterwards."""
+    state = obs.enable()
+    try:
+        yield state
+    finally:
+        obs.disable()
+
+
+@pytest.fixture(autouse=True)
+def _obs_stays_off():
+    """Guard: no test may leak globally-enabled observability."""
+    yield
+    if obs.enabled():
+        obs.disable()
+        pytest.fail("a test left repro.obs enabled; use the obs_state fixture")
 
 
 @pytest.fixture

@@ -1,0 +1,126 @@
+"""Tests for the exporters: Chrome trace JSON and JSONL formats."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.export import (
+    chrome_trace_events,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_events_jsonl,
+    write_metrics_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import RunCapture, Span
+
+
+def make_run(index=0, label="test run"):
+    run = RunCapture(index, label)
+    span = Span("qsm.phase", track=1, t0=10.0, w0=0.0, depth=0, attrs={"phase": 0})
+    span.t1 = 50.0
+    run.spans.append(span)
+    inst = Span("net.inject", track=0, t0=12.0, w0=0.0, depth=0, attrs=None)
+    run.instants.append(inst)
+    return run
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+def test_chrome_trace_event_structure():
+    events = chrome_trace_events([make_run()])
+    by_ph = {}
+    for ev in events:
+        by_ph.setdefault(ev["ph"], []).append(ev)
+
+    meta = {ev["name"]: ev for ev in by_ph["M"]}
+    assert meta["process_name"]["args"]["name"] == "test run"
+    thread_names = [ev for ev in by_ph["M"] if ev["name"] == "thread_name"]
+    assert {ev["tid"] for ev in thread_names} == {0, 1}  # one per track
+    assert all(ev["args"]["name"] == f"proc {ev['tid']}" for ev in thread_names)
+
+    (x,) = by_ph["X"]
+    assert x["name"] == "qsm.phase"
+    assert x["cat"] == "qsm"  # first dotted component
+    assert x["ts"] == 10.0 and x["dur"] == 40.0
+    assert x["tid"] == 1
+    assert x["args"] == {"phase": 0}
+
+    (i,) = by_ph["i"]
+    assert i["name"] == "net.inject"
+    assert i["s"] == "t"
+    assert i["ts"] == 12.0
+    assert "dur" not in i
+
+
+def test_chrome_trace_skips_empty_runs():
+    empty = RunCapture(0, "empty")
+    events = chrome_trace_events([empty, make_run(index=1)])
+    assert all(ev["pid"] == 1 for ev in events)
+
+
+def test_write_and_validate_roundtrip():
+    fh = io.StringIO()
+    n = write_chrome_trace([make_run()], fh)
+    text = fh.getvalue()
+    data = json.loads(text)
+    assert len(data["traceEvents"]) == n
+    assert data["otherData"]["generator"] == "repro.obs"
+    assert validate_chrome_trace(text) == n
+
+
+def test_validate_rejects_malformed():
+    with pytest.raises(ValueError, match="missing traceEvents"):
+        validate_chrome_trace(json.dumps({"events": []}))
+    with pytest.raises(ValueError, match="missing traceEvents"):
+        validate_chrome_trace(json.dumps([1, 2]))
+    with pytest.raises(ValueError, match="malformed trace event"):
+        validate_chrome_trace(json.dumps({"traceEvents": [{"name": "no ph"}]}))
+    with pytest.raises(ValueError, match="without ts/dur"):
+        validate_chrome_trace(
+            json.dumps({"traceEvents": [{"ph": "X", "pid": 0, "name": "x"}]})
+        )
+
+
+def test_validate_rejects_non_json():
+    with pytest.raises(json.JSONDecodeError):
+        validate_chrome_trace("not json {")
+
+
+# ----------------------------------------------------------------------
+# JSONL
+# ----------------------------------------------------------------------
+def test_events_jsonl():
+    fh = io.StringIO()
+    n = write_events_jsonl([make_run()], fh)
+    lines = [json.loads(line) for line in fh.getvalue().splitlines()]
+    assert n == len(lines) == 2
+    span_rec = next(r for r in lines if r["kind"] == "span")
+    assert span_rec["name"] == "qsm.phase"
+    assert span_rec["t0"] == 10.0 and span_rec["t1"] == 50.0
+    assert span_rec["attrs"] == {"phase": 0}
+    inst_rec = next(r for r in lines if r["kind"] == "instant")
+    assert inst_rec["name"] == "net.inject"
+    assert "attrs" not in inst_rec
+
+
+def test_metrics_jsonl():
+    reg = MetricsRegistry()
+    reg.counter("sim.events").inc(100)
+    reg.histogram("lat").record(4.0)
+    reg.gauge("util").fold(8.0, 16.0, 0.9, 0.5)
+
+    fh = io.StringIO()
+    n = write_metrics_jsonl(reg, fh, runs=3)
+    lines = [json.loads(line) for line in fh.getvalue().splitlines()]
+    assert lines[0] == {"kind": "meta", "generator": "repro.obs", "runs": 3}
+    assert n == len(lines) - 1 == 3
+    by_name = {r["name"]: r for r in lines[1:]}
+    assert by_name["sim.events"]["kind"] == "counter"
+    assert by_name["sim.events"]["value"] == 100
+    assert by_name["lat"]["count"] == 1
+    assert by_name["util"]["time_average"] == pytest.approx(0.5)
+    # stable sorted order
+    assert [r["name"] for r in lines[1:]] == sorted(by_name)

@@ -1,0 +1,214 @@
+"""Tests for the metrics registry: instruments, exact merging."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim.monitor import TallyStat
+
+
+# ----------------------------------------------------------------------
+# Counter
+# ----------------------------------------------------------------------
+def test_counter_accumulates():
+    c = Counter("c")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+
+
+def test_counter_rejects_negative():
+    c = Counter("c")
+    with pytest.raises(ValueError, match="cannot decrease"):
+        c.inc(-1)
+
+
+def test_counter_export_prefers_int():
+    c = Counter("c")
+    c.inc(3)
+    assert c.export_fields() == {"value": 3}
+    c.inc(0.5)
+    assert c.export_fields() == {"value": 3.5}
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+def test_histogram_records_and_exports():
+    h = Histogram("h")
+    for v in [1.0, 5.0, 2.0, 8.0, 3.0]:
+        h.record(v)
+    fields = h.export_fields()
+    assert fields["count"] == 5
+    assert fields["mean"] == pytest.approx(3.8)
+    assert fields["min"] == 1.0 and fields["max"] == 8.0
+
+
+def test_histogram_fold_tally():
+    t = TallyStat()
+    for v in [10.0, 20.0]:
+        t.record(v)
+    h = Histogram("h")
+    h.record(30.0)
+    h.fold_tally(t)
+    assert h.stat.count == 3
+    assert h.stat.mean == pytest.approx(20.0)
+
+
+# ----------------------------------------------------------------------
+# merge_moments exactness (the cross-process aggregation primitive)
+# ----------------------------------------------------------------------
+def test_merge_moments_matches_sequential():
+    rng = np.random.default_rng(42)
+    values = rng.normal(100.0, 15.0, size=200)
+
+    whole = TallyStat()
+    for v in values:
+        whole.record(float(v))
+
+    parts = [TallyStat() for _ in range(4)]
+    for chunk, part in zip(np.array_split(values, 4), parts):
+        for v in chunk:
+            part.record(float(v))
+    merged = TallyStat()
+    for part in parts:
+        merged.merge_moments(*part.moments())
+
+    assert merged.count == whole.count
+    assert merged.mean == pytest.approx(whole.mean, rel=1e-12)
+    assert merged.variance == pytest.approx(whole.variance, rel=1e-9)
+    assert merged.variance == pytest.approx(np.var(values, ddof=1), rel=1e-9)
+    assert merged.minimum == whole.minimum
+    assert merged.maximum == whole.maximum
+
+
+def test_merge_moments_empty_is_noop():
+    t = TallyStat()
+    t.record(5.0)
+    t.merge_moments(*TallyStat().moments())
+    assert t.count == 1 and t.mean == 5.0
+
+
+def test_merge_moments_into_empty():
+    src = TallyStat()
+    for v in [1.0, 2.0, 3.0]:
+        src.record(v)
+    dst = TallyStat()
+    dst.merge_moments(*src.moments())
+    assert dst.moments() == src.moments()
+
+
+def test_merge_moments_rejects_negative_count():
+    with pytest.raises(ValueError):
+        TallyStat().merge_moments(-1, 0.0, 0.0, None, None)
+
+
+# ----------------------------------------------------------------------
+# Gauge
+# ----------------------------------------------------------------------
+def test_gauge_fold_and_time_average():
+    g = Gauge("g")
+    g.fold(area=40.0, span=8.0, maximum=10.0, last=0.0)
+    g.fold(area=20.0, span=2.0, maximum=12.0, last=10.0)
+    assert g.time_average == pytest.approx(6.0)
+    assert g.maximum == 12.0
+    assert g.last == 10.0
+
+
+def test_gauge_set_point_sample():
+    g = Gauge("g")
+    g.set(0.75)
+    assert g.span == 0.0
+    assert g.time_average == 0.75  # falls back to last with no time base
+    assert g.maximum == 0.75
+
+
+def test_gauge_rejects_negative_span():
+    with pytest.raises(ValueError, match="negative span"):
+        Gauge("g").fold(1.0, -1.0, 0.0, 0.0)
+
+
+def test_gauge_export_hides_unset_max():
+    g = Gauge("g")
+    assert g.export_fields()["max"] is None
+    g.set(2.0)
+    assert g.export_fields()["max"] == 2.0
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+def test_registry_get_or_create():
+    reg = MetricsRegistry()
+    c = reg.counter("a")
+    assert reg.counter("a") is c
+    assert len(reg) == 1
+    assert "a" in reg and "b" not in reg
+
+
+def test_registry_kind_conflict():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(TypeError, match="already registered"):
+        reg.histogram("x")
+
+
+def test_registry_items_sorted():
+    reg = MetricsRegistry()
+    reg.counter("z")
+    reg.counter("a")
+    reg.gauge("m")
+    assert [name for name, _ in reg.items()] == ["a", "m", "z"]
+
+
+def test_registry_snapshot_merge_roundtrip():
+    worker = MetricsRegistry()
+    worker.counter("n").inc(7)
+    for v in [1.0, 3.0]:
+        worker.histogram("lat").record(v)
+    worker.gauge("util").fold(5.0, 10.0, 0.9, 0.5)
+
+    parent = MetricsRegistry()
+    parent.counter("n").inc(3)
+    parent.merge_snapshot(worker.snapshot())
+
+    assert parent.counter("n").value == 10
+    assert parent.histogram("lat").stat.count == 2
+    assert parent.gauge("util").time_average == pytest.approx(0.5)
+
+
+def test_registry_merge_is_order_independent():
+    def make(values):
+        reg = MetricsRegistry()
+        for v in values:
+            reg.histogram("h").record(v)
+        reg.counter("c").inc(len(values))
+        return reg.snapshot()
+
+    snaps = [make([1.0, 2.0]), make([30.0]), make([4.0, 5.0, 6.0])]
+    a, b = MetricsRegistry(), MetricsRegistry()
+    for s in snaps:
+        a.merge_snapshot(s)
+    for s in reversed(snaps):
+        b.merge_snapshot(s)
+    assert a.counter("c").value == b.counter("c").value == 6
+    assert a.histogram("h").stat.mean == pytest.approx(b.histogram("h").stat.mean)
+    assert a.histogram("h").stat.variance == pytest.approx(
+        b.histogram("h").stat.variance
+    )
+
+
+def test_registry_merge_unknown_kind():
+    with pytest.raises(ValueError, match="unknown metric kind"):
+        MetricsRegistry().merge_snapshot({"bad": {"kind": "sparkline"}})
+
+
+def test_gauge_snapshot_merge_preserves_unset_max():
+    snap = Gauge("g").snapshot()
+    assert snap["max"] == -math.inf
+    g2 = Gauge("g")
+    g2.merge(snap)
+    assert g2.maximum == -math.inf
+    assert g2.export_fields()["max"] is None

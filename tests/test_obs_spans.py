@@ -1,0 +1,255 @@
+"""Tests for repro.obs span recording: nesting, clocks, limits, state."""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.sim import Simulator
+
+
+def attach(sim, label=None):
+    observer = obs.attach(sim, label=label)
+    assert observer is not None
+    return observer
+
+
+# ----------------------------------------------------------------------
+# Global state machinery
+# ----------------------------------------------------------------------
+def test_disabled_by_default():
+    assert not obs.enabled()
+    assert obs.attach(Simulator()) is None
+    assert obs.runs() == []
+
+
+def test_enable_disable_roundtrip():
+    state = obs.enable()
+    try:
+        assert obs.enabled()
+        assert state.record_spans
+        assert os.environ[obs.ENV_VAR] == "1"
+    finally:
+        obs.disable()
+    assert not obs.enabled()
+    assert os.environ[obs.ENV_VAR] == "0"
+
+
+def test_enable_metrics_only_sets_env_and_skips_spans(sim):
+    obs.enable(spans=False)
+    try:
+        assert os.environ[obs.ENV_VAR] == "metrics"
+        observer = attach(sim)
+        assert observer.begin("x") is None
+        observer.end(None)  # no-op, symmetric with begin
+        observer.instant("marker")
+        assert observer.complete("y", 0, 0.0, 5.0) is None
+        assert obs.runs()[0].empty
+        # metrics still collect
+        obs.metrics().counter("c").inc(3)
+        assert obs.metrics().counter("c").value == 3
+    finally:
+        obs.disable()
+
+
+def test_reset_keeps_flags_drops_state(sim, obs_state):
+    attach(sim, label="will vanish")
+    obs.metrics().counter("c").inc()
+    obs.reset()
+    assert obs.enabled()
+    assert obs.runs() == []
+    assert "c" not in obs.metrics()
+
+
+def test_metrics_raises_when_disabled():
+    with pytest.raises(RuntimeError, match="disabled"):
+        obs.metrics()
+    with pytest.raises(RuntimeError, match="disabled"):
+        obs.write_trace("/dev/null")
+
+
+def test_attach_sets_sim_obs_and_registers_run(sim, obs_state):
+    observer = attach(sim, label="hello")
+    assert sim.obs is observer
+    assert obs.runs()[0] is observer.run
+    assert observer.run.label == "hello"
+    observer.set_label("renamed")
+    assert obs.runs()[0].label == "renamed"
+
+
+# ----------------------------------------------------------------------
+# Span recording
+# ----------------------------------------------------------------------
+def test_span_dual_clocks(sim, obs_state):
+    observer = attach(sim)
+
+    def proc():
+        span = observer.begin("work", 2, tag="t")
+        yield sim.timeout(25)
+        observer.end(span)
+
+    sim.process(proc())
+    sim.run()
+    (span,) = obs.runs()[0].spans
+    assert span.name == "work"
+    assert span.track == 2
+    assert span.t0 == 0.0 and span.t1 == 25.0
+    assert span.duration == 25.0
+    assert span.attrs == {"tag": "t"}
+    assert span.wall_seconds >= 0.0  # wall clock advanced (monotonic)
+
+
+def test_span_nesting_depth_and_order(sim, obs_state):
+    observer = attach(sim)
+
+    def proc():
+        outer = observer.begin("outer")
+        yield sim.timeout(5)
+        inner = observer.begin("inner")
+        yield sim.timeout(5)
+        observer.end(inner)
+        observer.end(outer)
+
+    sim.process(proc())
+    sim.run()
+    spans = {s.name: s for s in obs.runs()[0].spans}
+    assert spans["outer"].depth == 0
+    assert spans["inner"].depth == 1
+    # inner closes first, so it is recorded first
+    assert [s.name for s in obs.runs()[0].spans] == ["inner", "outer"]
+    # inner is contained in outer
+    assert spans["outer"].t0 <= spans["inner"].t0
+    assert spans["inner"].t1 <= spans["outer"].t1
+
+
+def test_tracks_nest_independently(sim, obs_state):
+    observer = attach(sim)
+    a = observer.begin("a", track=0)
+    b = observer.begin("b", track=1)
+    # closing a before b is fine: different tracks, separate stacks
+    observer.end(a)
+    observer.end(b)
+    assert len(obs.runs()[0].spans) == 2
+
+
+def test_lifo_violation_raises(sim, obs_state):
+    observer = attach(sim)
+    outer = observer.begin("outer")
+    observer.begin("inner")
+    with pytest.raises(ValueError, match="unbalanced span nesting"):
+        observer.end(outer)
+
+
+def test_end_on_empty_stack_raises(sim, obs_state):
+    observer = attach(sim)
+    span = observer.begin("x")
+    observer.end(span)
+    with pytest.raises(ValueError, match="unbalanced span nesting"):
+        observer.end(span)
+
+
+def test_span_context_manager(sim, obs_state):
+    observer = attach(sim)
+    with observer.span("block", track=3, k=1) as span:
+        assert span.name == "block"
+    (recorded,) = obs.runs()[0].spans
+    assert recorded is span
+    assert recorded.attrs == {"k": 1}
+
+
+def test_complete_bypasses_stack(sim, obs_state):
+    observer = attach(sim)
+    open_span = observer.begin("open")
+    # a complete() span may end in the simulated future and must not
+    # disturb the nesting stack
+    analytic = observer.complete("nic.busy", 0, 10.0, 90.0, msgs=4)
+    assert analytic.t0 == 10.0 and analytic.t1 == 90.0
+    observer.end(open_span)  # stack still balanced
+
+
+def test_instant_records_marker(sim, obs_state):
+    observer = attach(sim)
+
+    def proc():
+        yield sim.timeout(7)
+        observer.instant("tick", 1, n=2)
+
+    sim.process(proc())
+    sim.run()
+    (inst,) = obs.runs()[0].instants
+    assert inst.t0 == 7.0 and inst.t1 == 7.0
+    assert inst.attrs == {"n": 2}
+    assert obs.runs()[0].spans == []
+
+
+def test_span_limit_drops_newest(sim):
+    obs.enable(span_limit=3)
+    try:
+        observer = attach(sim)
+        for i in range(5):
+            observer.end(observer.begin(f"s{i}"))
+        run = obs.runs()[0]
+        assert len(run.spans) == 3
+        assert run.dropped == 2
+        assert [s.name for s in run.spans] == ["s0", "s1", "s2"]  # oldest kept
+        observer.finalize()
+        assert obs.metrics().counter("obs.spans_dropped").value == 2
+    finally:
+        obs.disable()
+
+
+def test_finalize_closes_open_spans_and_is_idempotent(sim, obs_state):
+    observer = attach(sim)
+
+    def proc():
+        observer.begin("never_closed")
+        yield sim.timeout(13)
+
+    sim.process(proc())
+    sim.run()
+    observer.finalize()
+    observer.finalize()  # idempotent
+    (span,) = obs.runs()[0].spans
+    assert span.name == "never_closed"
+    assert span.t1 == 13.0
+    assert obs.metrics().counter("obs.spans_recorded").value == 1
+    assert obs.metrics().counter("sim.events_processed").value == sim.event_count
+
+
+def test_finalizers_run_once(sim, obs_state):
+    observer = attach(sim)
+    calls = []
+    observer.add_finalizer(lambda o: calls.append(o))
+    observer.finalize()
+    observer.finalize()
+    assert calls == [observer]
+
+
+def test_observer_gauge_folds_time_average(sim, obs_state):
+    observer = attach(sim)
+
+    def proc():
+        g = observer.gauge("queue.depth")
+        g.record(10)
+        yield sim.timeout(4)
+        g.record(0)
+        yield sim.timeout(4)
+
+    sim.process(proc())
+    sim.run()
+    observer.finalize()
+    gauge = obs.metrics().gauge("queue.depth")
+    assert gauge.time_average == pytest.approx(5.0)
+    assert gauge.maximum == 10
+
+
+def test_serialize_roundtrip(sim, obs_state):
+    observer = attach(sim, label="round")
+    observer.end(observer.begin("a", 1, k=3))
+    observer.instant("b", 2)
+    rec = obs.runs()[0].serialize()
+    clone = obs.RunCapture.deserialize(9, rec)
+    assert clone.index == 9
+    assert clone.label == "round"
+    assert clone.spans[0].serialize() == obs.runs()[0].spans[0].serialize()
+    assert clone.instants[0].name == "b"

@@ -70,3 +70,49 @@ def test_time_weighted_zero_span_returns_last():
     stat = TimeWeightedStat(sim)
     stat.record(7)
     assert stat.time_average() == 7
+
+
+def test_time_weighted_until_before_last_change_raises():
+    sim = Simulator()
+    stat = TimeWeightedStat(sim)
+
+    def proc():
+        stat.record(5)
+        yield sim.timeout(10)
+        stat.record(2)  # last change at t=10
+        yield sim.timeout(10)
+
+    sim.process(proc())
+    sim.run()
+    with pytest.raises(ValueError, match="precedes the last recorded change"):
+        stat.time_average(until=7)
+
+
+def test_time_weighted_until_after_last_change():
+    sim = Simulator()
+    stat = TimeWeightedStat(sim)
+
+    def proc():
+        stat.record(10)
+        yield sim.timeout(4)
+        stat.record(0)  # t=4
+        yield sim.timeout(6)  # sim ends at t=10
+
+    sim.process(proc())
+    sim.run()
+    # cut at t=8: 10 for 4 cycles, 0 for 4 cycles
+    assert stat.time_average(until=8) == pytest.approx(5.0)
+    # cut exactly at the last change is allowed
+    assert stat.time_average(until=4) == pytest.approx(10.0)
+
+
+def test_tally_moments_roundtrip():
+    t = TallyStat()
+    for v in [1.0, 2.0, 7.0]:
+        t.record(v)
+    count, mean, m2, mn, mx = t.moments()
+    assert count == 3 and mn == 1.0 and mx == 7.0
+    clone = TallyStat()
+    clone.merge_moments(count, mean, m2, mn, mx)
+    assert clone.mean == pytest.approx(t.mean)
+    assert clone.variance == pytest.approx(t.variance)

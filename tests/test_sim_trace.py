@@ -133,3 +133,79 @@ def test_tracing_a_full_qsm_sync():
     qm.run(program, A=A)
     assert len(trace) > 50
     assert trace.of_kind("grant")  # NIC grants visible
+
+
+def test_two_recorders_coexist():
+    sim = Simulator()
+    a = TraceRecorder(sim)
+    b = TraceRecorder(sim)
+    sim.timeout(1)
+    sim.run()
+    assert len(a) == len(b) == 1
+
+
+def test_close_out_of_order_keeps_other_recording():
+    """The historical bug: closing the *older* recorder first silently
+    left hooks chained wrong.  With the event sink, any close order
+    works and the last close uninstalls the hook entirely."""
+    sim = Simulator()
+    first = TraceRecorder(sim)
+    second = TraceRecorder(sim)
+    first.close()  # not the most recent subscriber
+    sim.timeout(1)
+    sim.run()
+    assert len(first) == 0
+    assert len(second) == 1
+    second.close()
+    assert sim._step_hook is None  # fully detached
+
+
+def test_close_under_foreign_chained_hook():
+    """A hook chained on top of the sink must survive recorder close."""
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+
+    seen = []
+    prev = sim._step_hook  # the sink's dispatch
+
+    def foreign(when, event):
+        seen.append(when)
+        if prev is not None:
+            prev(when, event)
+
+    foreign._prev_hook = prev  # chain convention (see repro.obs.sink)
+    sim._step_hook = foreign
+
+    sim.timeout(1)
+    sim.run()
+    assert len(trace) == 1 and len(seen) == 1
+
+    trace.close()  # sink must splice itself out from *under* foreign
+    sim.timeout(2)
+    sim.run()
+    assert len(trace) == 1  # detached
+    assert len(seen) == 2  # foreign hook still live
+    assert foreign._prev_hook is None  # spliced, not orphaned
+
+
+def test_dropped_count_exact_at_ring_limit():
+    sim = Simulator()
+    trace = TraceRecorder(sim, limit=3)
+    for d in range(8):
+        sim.timeout(d)
+    sim.run()
+    assert len(trace) == 3
+    assert trace.dropped == 5
+    assert [e.time for e in trace.entries] == [5.0, 6.0, 7.0]
+    assert "5 dropped" in trace.render()
+
+
+def test_between_boundaries_inclusive_exclusive():
+    sim = Simulator()
+    trace = TraceRecorder(sim)
+    for d in [2, 4, 6]:
+        sim.timeout(d)
+    sim.run()
+    assert [e.time for e in trace.between(2, 6)] == [2.0, 4.0]  # [t0, t1)
+    assert trace.between(6, 6) == []
+    assert [e.time for e in trace.between(0, 100)] == [2.0, 4.0, 6.0]
