@@ -3,10 +3,16 @@
 
 PYTHON ?= python
 
-.PHONY: test bench bench-obs report trace-demo
+.PHONY: test check bench bench-obs bench-check report trace-demo
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
+
+# Static determinism lint (repo must be clean) + a sanitizer-armed smoke
+# experiment; see docs/CHECKING.md.
+check:
+	PYTHONPATH=src $(PYTHON) -m repro.check.lint src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli run fig1 --fast --sanitize=error
 
 # Re-run the simulator performance benchmark and fail if the fast-path
 # events/sec regressed >20% vs the committed benchmarks/BENCH_perf.json.
@@ -17,6 +23,12 @@ bench:
 # default) must stay within 3% of the pre-instrumentation baseline.
 bench-obs:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_obs.py \
+		--check benchmarks/BENCH_perf.json --tolerance 0.03
+
+# Sanitizer overhead gate: a run with the sanitizer disarmed (the
+# default) must stay within 3% of the pre-instrumentation baseline.
+bench-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py \
 		--check benchmarks/BENCH_perf.json --tolerance 0.03
 
 report:

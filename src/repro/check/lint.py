@@ -1,0 +1,467 @@
+"""Static determinism / model-hygiene lint for the reproduction.
+
+Usage::
+
+    python -m repro.check.lint src/repro            # text output, exit 1 on findings
+    python -m repro.check.lint src/repro --json     # machine-readable findings
+    python -m repro.check.lint --list-rules
+
+The simulation must be a pure function of its configuration and seed —
+that is what makes the measured-vs-predicted comparisons (Figs 1–3,
+Table 3) reproducible and the ``--jobs N`` executor results
+job-count-invariant.  This linter enforces the coding rules that keep
+it that way, over plain ``ast`` (no third-party dependencies):
+
+=======  ==============================================================
+code     rule
+=======  ==============================================================
+QL101    wall-clock call (``time.time``/``perf_counter``/...,
+         ``datetime.now``/...) in model code — simulated time must come
+         from the DES clock  *(model scope)*
+QL102    global-RNG use (``random.*``, module-level ``np.random.<fn>``)
+         in model code — randomness must flow from seeded
+         ``np.random.Generator`` streams  *(model scope)*
+QL103    iteration over a ``set``/``frozenset``/``dict.keys()`` without
+         an explicit ``sorted(...)`` — unordered iteration feeding
+         event or message ordering is a heisenbug factory
+QL104    a ``ctx.get(...)``/``ctx.get_range(...)`` handle's ``.data``
+         read before the next ``yield`` — QSM forbids consuming values
+         fetched in the same phase
+QL105    bare ``except:`` — swallows everything incl. KeyboardInterrupt
+QL106    mutable default argument (list/dict/set literal or call)
+QL107    environment read (``os.environ``/``os.getenv``) in model code —
+         ambient configuration breaks run reproducibility  *(model
+         scope)*
+QL108    ``ctx.sync()`` result discarded — the token must be yielded,
+         otherwise the phase never ends
+=======  ==============================================================
+
+*Model scope* rules apply only to files under
+``repro/{sim,qsmlib,machine,algorithms}/`` (the deterministic core);
+the remaining rules apply to every scanned file.
+
+Suppress a finding with a trailing comment on the offending line::
+
+    t0 = time.time()  # qsmlint: disable=QL101
+    x = thing()       # qsmlint: disable          (all rules, this line)
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Union
+
+RULES: Dict[str, str] = {
+    "QL101": "wall-clock call in model code (simulated time must come from the DES clock)",
+    "QL102": "global RNG in model code (use seeded np.random.Generator streams)",
+    "QL103": "iteration over an unordered set/dict view without an explicit sort",
+    "QL104": "get-handle .data read before the next yield (QSM same-phase read)",
+    "QL105": "bare except: swallows everything, including KeyboardInterrupt",
+    "QL106": "mutable default argument",
+    "QL107": "environment read in model code (ambient config breaks reproducibility)",
+    "QL108": "ctx.sync() result discarded — the token must be yielded",
+}
+
+#: Subpackages forming the deterministic model core (QL101/102/107 scope).
+MODEL_PACKAGES = ("sim", "qsmlib", "machine", "algorithms")
+
+_WALLCLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+#: np.random attributes that are fine at module level: seeded-generator
+#: construction, not hidden global state.
+_RNG_SAFE_ATTRS = {
+    "Generator",
+    "BitGenerator",
+    "SeedSequence",
+    "PCG64",
+    "PCG64DXSM",
+    "MT19937",
+    "Philox",
+    "SFC64",
+    "default_rng",
+}
+
+_SUPPRESS_RE = re.compile(r"#\s*qsmlint:\s*disable(?:=([A-Za-z0-9_,\s]+))?")
+_ALL = "ALL"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def is_model_path(path: Union[str, Path]) -> bool:
+    """Whether *path* is inside the deterministic model core."""
+    posix = Path(path).as_posix()
+    return any(f"repro/{pkg}/" in posix for pkg in MODEL_PACKAGES)
+
+
+def _suppressions(source: str) -> Dict[int, Union[str, Set[str]]]:
+    """Map line number -> suppressed codes (or _ALL) from lint comments."""
+    out: Dict[int, Union[str, Set[str]]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(text)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[lineno] = _ALL
+        else:
+            out[lineno] = {c.strip().upper() for c in m.group(1).split(",") if c.strip()}
+    return out
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a pure Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _contains_yield(node: ast.AST) -> bool:
+    return any(isinstance(n, (ast.Yield, ast.YieldFrom)) for n in ast.walk(node))
+
+
+class _FileLinter(ast.NodeVisitor):
+    """One pass over one module's AST, collecting findings."""
+
+    def __init__(self, path: str, model_scope: bool) -> None:
+        self.path = path
+        self.model_scope = model_scope
+        self.findings: List[Finding] = []
+        self._seen: Set[tuple] = set()
+
+    def add(self, node: ast.AST, code: str, message: str) -> None:
+        key = (node.lineno, node.col_offset, code)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(
+            Finding(self.path, node.lineno, node.col_offset, code, message)
+        )
+
+    # -- QL101 / QL102 / QL107 (call forms) -----------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = _dotted(node.func)
+        if dotted and self.model_scope:
+            if dotted in _WALLCLOCK_CALLS:
+                self.add(node, "QL101", f"wall-clock call {dotted}() in model code")
+            elif dotted.startswith(("np.random.", "numpy.random.")):
+                attr = dotted.rsplit(".", 1)[1]
+                if attr not in _RNG_SAFE_ATTRS:
+                    self.add(
+                        node,
+                        "QL102",
+                        f"module-level {dotted}() uses numpy's hidden global RNG; "
+                        "use a seeded np.random.Generator stream",
+                    )
+                elif attr == "default_rng" and not node.args and not node.keywords:
+                    self.add(
+                        node,
+                        "QL102",
+                        "np.random.default_rng() without a seed is entropy-seeded; "
+                        "pass an explicit seed",
+                    )
+            elif dotted.startswith("random.") and dotted.count(".") == 1:
+                self.add(
+                    node,
+                    "QL102",
+                    f"{dotted}() uses the process-global random module; "
+                    "use a seeded np.random.Generator stream",
+                )
+            elif dotted == "os.getenv":
+                self.add(node, "QL107", "os.getenv() read in model code")
+        self.generic_visit(node)
+
+    # -- QL107 (attribute form) -----------------------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.model_scope and _dotted(node) == "os.environ":
+            self.add(node, "QL107", "os.environ read in model code")
+        self.generic_visit(node)
+
+    # -- QL103 ----------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_unordered_iter(self, iter_node: ast.expr) -> None:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            self.add(
+                iter_node,
+                "QL103",
+                "iterating a set literal/comprehension; wrap in sorted(...) for a "
+                "deterministic order",
+            )
+            return
+        if isinstance(iter_node, ast.Call):
+            dotted = _dotted(iter_node.func)
+            if dotted in ("set", "frozenset"):
+                self.add(
+                    iter_node,
+                    "QL103",
+                    f"iterating {dotted}(...); wrap in sorted(...) for a "
+                    "deterministic order",
+                )
+            elif isinstance(iter_node.func, ast.Attribute) and iter_node.func.attr == "keys":
+                self.add(
+                    iter_node,
+                    "QL103",
+                    "iterating .keys(); iterate the dict directly (insertion order) "
+                    "or wrap in sorted(...)",
+                )
+
+    # -- QL105 ----------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.add(node, "QL105", "bare except:; catch a specific exception type")
+        self.generic_visit(node)
+
+    # -- QL106 + QL104 entry --------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_mutable_defaults(node)
+        self._scan_handle_reads(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_mutable_defaults(node)
+        self._scan_handle_reads(node)
+        self.generic_visit(node)
+
+    def _check_mutable_defaults(self, node) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                    ast.DictComp, ast.SetComp)):
+                self.add(
+                    default,
+                    "QL106",
+                    f"mutable default argument in {node.name}(); use None and "
+                    "construct inside the body",
+                )
+
+    # -- QL104: linear scan for handle reads before the next yield ------
+    def _scan_handle_reads(self, func) -> None:
+        tracked: Set[str] = set()
+
+        def scan_expr(node: ast.AST) -> bool:
+            """Check uses in *node*; returns True if it contains a yield."""
+            if _contains_yield(node):
+                tracked.clear()
+                return True
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Attribute)
+                    and sub.attr in ("data", "values")
+                    and isinstance(sub.value, ast.Name)
+                    and sub.value.id in tracked
+                ):
+                    self.add(
+                        sub,
+                        "QL104",
+                        f"{sub.value.id}.{sub.attr} read before the next "
+                        "yield ctx.sync(); QSM get results are only available "
+                        "after the owning sync",
+                    )
+            return False
+
+        def is_ctx_get(value: ast.AST) -> bool:
+            return (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in ("get", "get_range")
+                and isinstance(value.func.value, ast.Name)
+                and value.func.value.id == "ctx"
+            )
+
+        def scan_stmts(stmts: Sequence[ast.stmt]) -> None:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue  # nested scopes get their own scan
+                if isinstance(stmt, (ast.If, ast.While)):
+                    scan_expr(stmt.test)
+                    scan_stmts(stmt.body)
+                    scan_stmts(stmt.orelse)
+                elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                    scan_expr(stmt.iter)
+                    scan_stmts(stmt.body)
+                    scan_stmts(stmt.orelse)
+                elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                    for item in stmt.items:
+                        scan_expr(item.context_expr)
+                    scan_stmts(stmt.body)
+                elif isinstance(stmt, ast.Try):
+                    scan_stmts(stmt.body)
+                    for handler in stmt.handlers:
+                        scan_stmts(handler.body)
+                    scan_stmts(stmt.orelse)
+                    scan_stmts(stmt.finalbody)
+                else:
+                    yielded = scan_expr(stmt)
+                    if not yielded and isinstance(stmt, ast.Assign):
+                        for target in stmt.targets:
+                            if isinstance(target, ast.Name):
+                                if is_ctx_get(stmt.value):
+                                    tracked.add(target.id)
+                                else:
+                                    tracked.discard(target.id)
+
+        scan_stmts(func.body)
+
+    # -- QL108 ----------------------------------------------------------
+    def visit_Expr(self, node: ast.Expr) -> None:
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "sync"
+            and isinstance(value.func.value, ast.Name)
+            and value.func.value.id == "ctx"
+        ):
+            self.add(
+                node,
+                "QL108",
+                "ctx.sync() token discarded; write `yield ctx.sync()` or the "
+                "phase never ends",
+            )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str = "<string>", model_scope: Optional[bool] = None
+) -> List[Finding]:
+    """Lint one module's source; *model_scope* None infers from *path*."""
+    if model_scope is None:
+        model_scope = is_model_path(path)
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(path, exc.lineno or 1, exc.offset or 0, "QL000",
+                    f"syntax error: {exc.msg}")
+        ]
+    linter = _FileLinter(path, model_scope)
+    linter.visit(tree)
+    suppressed = _suppressions(source)
+    out = []
+    for finding in linter.findings:
+        codes = suppressed.get(finding.line)
+        if codes is not None and (codes == _ALL or finding.code in codes):
+            continue
+        out.append(finding)
+    out.sort(key=lambda f: (f.line, f.col, f.code))
+    return out
+
+
+def lint_file(path: Union[str, Path], model_scope: Optional[bool] = None) -> List[Finding]:
+    path = Path(path)
+    return lint_source(path.read_text(), str(path), model_scope=model_scope)
+
+
+def lint_paths(
+    paths: Sequence[Union[str, Path]], model_scope: Optional[bool] = None
+) -> List[Finding]:
+    """Lint files and/or directory trees (``**/*.py``), in sorted order."""
+    files: List[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    findings: List[Finding] = []
+    for f in files:
+        findings.extend(lint_file(f, model_scope=model_scope))
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.lint",
+        description="Determinism / model-hygiene linter for the QSM reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument("--json", action="store_true", help="emit findings as JSON")
+    parser.add_argument(
+        "--select", metavar="CODES", help="comma-separated rule codes to report"
+    )
+    parser.add_argument(
+        "--model",
+        action="store_true",
+        help="treat every file as model-scope (applies QL101/QL102/QL107 everywhere)",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalog")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.check.lint src/repro)")
+
+    findings = lint_paths(args.paths, model_scope=True if args.model else None)
+    if args.select:
+        wanted = {c.strip().upper() for c in args.select.split(",") if c.strip()}
+        findings = [f for f in findings if f.code in wanted]
+
+    if args.json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"{len(findings)} finding(s)", file=sys.stderr)
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

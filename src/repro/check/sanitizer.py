@@ -1,0 +1,341 @@
+"""Runtime QSM phase-conflict sanitizer.
+
+Armed through :func:`repro.check.arm` (or ``QSM_SANITIZE=error|warn``),
+the sanitizer shadows every processor's
+:class:`~repro.qsmlib.requests.RequestQueue` and, at each ``sync()``,
+rebuilds per-:class:`~repro.qsmlib.address_space.SharedArray` index
+sets **vectorised** (numpy ``bincount``/``isin`` over the request index
+arrays) to detect:
+
+``QS001``  a cell both read and written within one phase — the QSM
+           model violation of §2 (error);
+``QS002``  a cell written by several processors — QSM-legal queue
+           writes, reported with the resolution order the runtime
+           actually applies (warning);
+``QS003``  a put whose values need an unsafe dtype cast into the target
+           array (error);
+``QS004``  an out-of-bounds get/put, re-raised with pid and enqueue
+           provenance (error);
+``QS005``  collective-call incongruence — ``alloc``/``free`` requests
+           diverging across pids within a phase, the deadlock shape
+           (error);
+``QS006``  a :class:`~repro.qsmlib.requests.GetHandle` read before the
+           owning sync completes (error — enforced by the handle, the
+           sanitizer adds the enqueue ``file:line``);
+``QS007``  processors leaving SPMD lock-step — unequal sync counts
+           (error, recorded alongside the driver's ``SPMDError``).
+
+Every diagnostic carries per-pid provenance: the program ``file:line``
+captured at enqueue time (a few stack frames walked per request —
+only when armed; a disarmed run pays one ``is not None`` branch per
+enqueue site and nothing per simulated event).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Library frames skipped when attributing an enqueue to program code.
+_INTERNAL_SUFFIXES = (
+    os.sep + os.path.join("qsmlib", "requests.py"),
+    os.sep + os.path.join("qsmlib", "context.py"),
+    os.sep + os.path.join("check", "sanitizer.py"),
+)
+
+#: Cap on individually listed cells in one diagnostic message.
+_MAX_CELLS_LISTED = 8
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One sanitizer finding, with enough context to locate the bug."""
+
+    code: str
+    severity: str  # "error" | "warning"
+    message: str
+    phase: Optional[int] = None
+    array: Optional[str] = None
+    cells: Optional[str] = None
+    pids: Tuple[int, ...] = ()
+    #: ``"pid N @ file:line"`` provenance strings, one per involved request.
+    origins: Tuple[str, ...] = ()
+
+    def format(self) -> str:
+        parts = [f"[sanitize] {self.code} ({self.severity})"]
+        if self.phase is not None:
+            parts.append(f"phase {self.phase}")
+        parts.append(self.message)
+        out = " ".join(parts)
+        if self.origins:
+            out += "\n" + "\n".join(f"    enqueued by {o}" for o in self.origins)
+        return out
+
+
+class SanitizerError(RuntimeError):
+    """An error-severity sanitizer diagnostic in ``error`` mode."""
+
+    def __init__(self, diagnostic: Diagnostic) -> None:
+        super().__init__(diagnostic.format())
+        self.diagnostic = diagnostic
+
+
+def _caller_origin() -> str:
+    """``file:line`` of the nearest non-library frame (the program)."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not filename.endswith(_INTERNAL_SUFFIXES):
+            return f"{filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+def _describe_cells(cells: np.ndarray) -> str:
+    """Compact human description of a sorted cell index array."""
+    cells = np.asarray(cells)
+    if cells.size == 0:
+        return "no cells"
+    lo, hi = int(cells[0]), int(cells[-1])
+    if cells.size == 1:
+        return f"cell {lo}"
+    if cells.size == hi - lo + 1:
+        return f"cells {lo}..{hi} ({cells.size} cells)"
+    listed = ", ".join(str(int(c)) for c in cells[:_MAX_CELLS_LISTED])
+    extra = f", +{cells.size - _MAX_CELLS_LISTED} more" if cells.size > _MAX_CELLS_LISTED else ""
+    return f"cells [{listed}{extra}]"
+
+
+@dataclass
+class PhaseSanitizer:
+    """Process-global sanitizer state; see the module docstring."""
+
+    mode: str = "error"
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Enqueue-side hooks (called by RequestQueue only when armed)
+    # ------------------------------------------------------------------
+    def enqueue_origin(self) -> str:
+        """Provenance of the current get/put enqueue (program file:line)."""
+        return _caller_origin()
+
+    def check_put_values(self, pid: int, arr, values, origin: Optional[str]) -> None:
+        """Flag puts whose values need an unsafe cast into *arr*'s dtype."""
+        vals = np.asarray(values)
+        if vals.dtype == arr.dtype:
+            return
+        if np.can_cast(vals.dtype, arr.dtype, casting="same_kind"):
+            return
+        self._report(
+            Diagnostic(
+                code="QS003",
+                severity="error",
+                message=(
+                    f"pid {pid} put {vals.dtype} values into array {arr.name!r} "
+                    f"of dtype {arr.dtype}; the cast is unsafe (value-changing) — "
+                    "convert explicitly if truncation is intended"
+                ),
+                array=arr.name,
+                pids=(pid,),
+                origins=_origin_tuple(pid, origin),
+            )
+        )
+
+    def record_oob(self, pid: int, arr, op: str, exc: Exception, origin: Optional[str]) -> None:
+        """Attach pid + provenance to an out-of-bounds get/put."""
+        self._report(
+            Diagnostic(
+                code="QS004",
+                severity="error",
+                message=f"pid {pid} enqueued an out-of-bounds {op} on {arr.name!r}: {exc}",
+                array=arr.name,
+                pids=(pid,),
+                origins=_origin_tuple(pid, origin),
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Sync-side checks (called by the program driver once per phase)
+    # ------------------------------------------------------------------
+    def check_phase(self, queues: Sequence, phase_idx: int) -> None:
+        """Vectorised shadow pass over all queued requests of one phase."""
+        per_array: Dict[int, list] = {}  # aid -> [arr, reads, writes]
+        for q in queues:
+            for req in q.gets:
+                entry = per_array.setdefault(req.arr.aid, [req.arr, [], []])
+                entry[1].append((q.pid, req.indices, req.origin))
+            for req in q.puts:
+                entry = per_array.setdefault(req.arr.aid, [req.arr, [], []])
+                entry[2].append((q.pid, req.indices, req.origin))
+
+        for arr, reads, writes in per_array.values():
+            if writes and reads:
+                self._check_rw_conflict(arr, reads, writes, phase_idx)
+            if writes:
+                self._check_multi_writer(arr, writes, phase_idx)
+
+    def _check_rw_conflict(self, arr, reads, writes, phase_idx: int) -> None:
+        mask = np.zeros(arr.n, dtype=bool)
+        mask[np.concatenate([idx for _, idx, _ in writes])] = True
+        read_idx = np.concatenate([idx for _, idx, _ in reads])
+        overlap = mask[read_idx]
+        if not overlap.any():
+            return
+        cells = np.unique(read_idx[overlap])
+        involved = [
+            (kind, pid, origin)
+            for kind, group in (("get", reads), ("put", writes))
+            for pid, idx, origin in group
+            if idx.size and np.isin(idx, cells, assume_unique=False).any()
+        ]
+        pids = tuple(sorted({pid for _, pid, _ in involved}))
+        origins = tuple(
+            f"pid {pid} ({kind}) @ {origin or '<unarmed enqueue>'}"
+            for kind, pid, origin in involved
+        )
+        self._report(
+            Diagnostic(
+                code="QS001",
+                severity="error",
+                message=(
+                    f"array {arr.name!r}: {_describe_cells(cells)} both read and "
+                    f"written in one phase by pids {list(pids)} — QSM forbids "
+                    "read/write of the same cell within a phase (§2)"
+                ),
+                phase=phase_idx,
+                array=arr.name,
+                cells=_describe_cells(cells),
+                pids=pids,
+                origins=origins,
+            )
+        )
+
+    def _check_multi_writer(self, arr, writes, phase_idx: int) -> None:
+        all_idx = np.concatenate([idx for _, idx, _ in writes])
+        counts = np.bincount(all_idx, minlength=arr.n)
+        if counts.max() <= 1:
+            return
+        cells = np.flatnonzero(counts > 1)
+        # Apply order is queue (processor) order, then enqueue order within
+        # a queue — the last applied put wins (see apply_phase_semantics).
+        writers = [
+            (pid, origin)
+            for pid, idx, origin in writes
+            if idx.size and np.isin(idx, cells).any()
+        ]
+        pids_in_order = [pid for pid, _ in writers]
+        origins = tuple(
+            f"pid {pid} (put) @ {origin or '<unarmed enqueue>'}" for pid, origin in writers
+        )
+        self._report(
+            Diagnostic(
+                code="QS002",
+                severity="warning",
+                message=(
+                    f"array {arr.name!r}: {_describe_cells(cells)} written more than "
+                    f"once in one phase (writers in apply order: {pids_in_order}; "
+                    "resolution: puts apply in processor then enqueue order, so the "
+                    "last listed writer wins — QSM's queue-write 'arbitrary winner' "
+                    "made deterministic)"
+                ),
+                phase=phase_idx,
+                array=arr.name,
+                cells=_describe_cells(cells),
+                pids=tuple(sorted(set(pids_in_order))),
+                origins=origins,
+            )
+        )
+
+    def check_collectives(self, ctxs: Sequence, phase_idx: int) -> None:
+        """Alloc/free congruence across pids — the deadlock shape."""
+        alloc_names = sorted({name for ctx in ctxs for name in ctx._alloc_requests})
+        for name in alloc_names:
+            participants = [ctx.pid for ctx in ctxs if name in ctx._alloc_requests]
+            missing = [ctx.pid for ctx in ctxs if name not in ctx._alloc_requests]
+            if missing:
+                self._report(
+                    Diagnostic(
+                        code="QS005",
+                        severity="error",
+                        message=(
+                            f"collective alloc of {name!r} is incongruent: pids "
+                            f"{participants} called it this phase but pids {missing} "
+                            "did not — every processor must alloc identically"
+                        ),
+                        phase=phase_idx,
+                        array=name,
+                        pids=tuple(missing),
+                    )
+                )
+                continue
+            specs = {ctx.pid: ctx._alloc_requests[name][0] for ctx in ctxs}
+            if len(set(specs.values())) > 1:
+                detail = ", ".join(f"pid {pid}: {spec}" for pid, spec in specs.items())
+                self._report(
+                    Diagnostic(
+                        code="QS005",
+                        severity="error",
+                        message=f"collective alloc of {name!r} disagrees on spec ({detail})",
+                        phase=phase_idx,
+                        array=name,
+                        pids=tuple(specs),
+                    )
+                )
+        free_counts = {ctx.pid: len(ctx._free_requests) for ctx in ctxs}
+        if len(set(free_counts.values())) > 1:
+            self._report(
+                Diagnostic(
+                    code="QS005",
+                    severity="error",
+                    message=(
+                        "collective free is incongruent: per-pid free counts "
+                        f"{free_counts} diverge this phase"
+                    ),
+                    phase=phase_idx,
+                    pids=tuple(sorted(free_counts)),
+                )
+            )
+
+    def note_desync(self, finished: Sequence[int], syncing: Sequence[int], phase_idx: int) -> None:
+        """Record (never raise — the driver raises SPMDError) a lock-step split."""
+        diag = Diagnostic(
+            code="QS007",
+            severity="error",
+            message=(
+                f"processors left SPMD lock-step: pids {list(finished)} finished "
+                f"after {phase_idx} sync(s) while pids {list(syncing)} are still "
+                "synchronizing — collective sync counts diverged"
+            ),
+            phase=phase_idx,
+            pids=tuple(finished) + tuple(syncing),
+        )
+        self._record(diag)
+        print(diag.format(), file=sys.stderr)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        errors = sum(d.severity == "error" for d in self.diagnostics)
+        warnings = len(self.diagnostics) - errors
+        return f"[sanitize] {errors} error(s), {warnings} warning(s) recorded"
+
+    def _record(self, diag: Diagnostic) -> None:
+        self.diagnostics.append(diag)
+        from repro import obs
+
+        if obs.enabled():
+            obs.metrics().counter(f"check.{diag.code}").inc()
+
+    def _report(self, diag: Diagnostic) -> None:
+        self._record(diag)
+        if diag.severity == "error" and self.mode == "error":
+            raise SanitizerError(diag)
+        print(diag.format(), file=sys.stderr)
+
+
+def _origin_tuple(pid: int, origin: Optional[str]) -> Tuple[str, ...]:
+    return (f"pid {pid} @ {origin}",) if origin else ()

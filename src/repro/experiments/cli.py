@@ -37,6 +37,11 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_help = "worker processes for sweep points (1 = sequential, 0 = one per CPU)"
     trace_help = "export a Chrome trace_event JSON (chrome://tracing / Perfetto)"
     metrics_help = "export the aggregated metrics registry as JSONL"
+    sanitize_help = (
+        "arm the QSM phase-conflict sanitizer (see docs/CHECKING.md): "
+        "'error' fails on the first model violation, 'warn' reports them "
+        "on stderr; bare --sanitize means --sanitize=error"
+    )
 
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -46,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--json", metavar="PATH", help="also dump the series/rows as JSON")
     run_p.add_argument("--trace", metavar="PATH", help=trace_help)
     run_p.add_argument("--metrics", metavar="PATH", help=metrics_help)
+    run_p.add_argument(
+        "--sanitize", nargs="?", const="error", choices=["error", "warn"],
+        metavar="MODE", help=sanitize_help,
+    )
 
     all_p = sub.add_parser("all", help="run every experiment in order")
     all_p.add_argument("--fast", action="store_true")
@@ -54,6 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--json", metavar="PATH", help="also dump all results as one JSON file")
     all_p.add_argument("--trace", metavar="PATH", help=trace_help)
     all_p.add_argument("--metrics", metavar="PATH", help=metrics_help)
+    all_p.add_argument(
+        "--sanitize", nargs="?", const="error", choices=["error", "warn"],
+        metavar="MODE", help=sanitize_help,
+    )
 
     rep_p = sub.add_parser("report", help="run experiments and write a markdown report")
     rep_p.add_argument("output", help="path of the markdown file to write")
@@ -94,6 +107,30 @@ def _obs_export(args) -> None:
     obs.disable()
 
 
+def _sanitize_setup(args) -> bool:
+    """Arm the phase-conflict sanitizer if ``--sanitize`` asked for it.
+
+    Arming sets ``QSM_SANITIZE`` in the environment, so ``--jobs N``
+    worker processes come up armed too (the ``QSM_OBS`` idiom).
+    """
+    mode = getattr(args, "sanitize", None)
+    if not mode:
+        return False
+    from repro import check
+
+    check.arm(mode)
+    return True
+
+
+def _sanitize_teardown() -> None:
+    from repro import check
+
+    san = check.active()
+    if san is not None and san.diagnostics:
+        print(san.summary(), file=sys.stderr)
+    check.disarm()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -103,6 +140,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     observing = _obs_setup(args)
+    sanitizing = _sanitize_setup(args)
 
     if args.command == "report":
         from repro.experiments.report import generate_report
@@ -144,6 +182,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[wrote JSON to {args.json}]")
     if observing:
         _obs_export(args)
+    if sanitizing:
+        _sanitize_teardown()
     return 0
 
 

@@ -32,7 +32,10 @@ def _fast_sync_default() -> bool:
     slow oracle path without threading a config through every layer —
     the equivalence tests and benchmarks rely on this.
     """
-    return os.environ.get("QSM_FAST_SYNC", "1").strip().lower() not in ("0", "false", "off")
+    # The env read is this toggle's whole point; see docs/CHECKING.md.
+    return os.environ.get(  # qsmlint: disable=QL107
+        "QSM_FAST_SYNC", "1"
+    ).strip().lower() not in ("0", "false", "off")
 
 
 @dataclass(frozen=True)

@@ -15,6 +15,7 @@ the driver enforces both.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, Optional
 
 import numpy as np
@@ -61,13 +62,28 @@ class QSMContext:
     # ------------------------------------------------------------------
     def charge(self, profile: OpProfile) -> float:
         """Charge a chunk of local work described by *profile*; returns cycles."""
+        total = profile.total_instructions
+        if not math.isfinite(total):
+            raise ValueError(
+                f"OpProfile totals must be finite, got {total!r} instructions"
+            )
         cycles = self.cpu.cycles(profile)
+        if not math.isfinite(cycles):
+            raise ValueError(f"OpProfile costs a non-finite cycle count ({cycles!r})")
         self._compute_cycles += cycles
-        self._op_count += profile.total_instructions
+        self._op_count += total
         return cycles
 
     def charge_cycles(self, cycles: float, ops: float = 0.0) -> None:
-        """Charge raw cycles (and optionally abstract ops) directly."""
+        """Charge raw cycles (and optionally abstract ops) directly.
+
+        Charges must be finite and nonnegative — NaN/inf would silently
+        poison every downstream phase timing.
+        """
+        if not (math.isfinite(cycles) and math.isfinite(ops)):
+            raise ValueError(
+                f"charges must be finite, got cycles={cycles!r}, ops={ops!r}"
+            )
         if cycles < 0 or ops < 0:
             raise ValueError("charges must be nonnegative")
         self._compute_cycles += cycles

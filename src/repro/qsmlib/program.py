@@ -21,6 +21,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import check
 from repro.machine.cluster import Machine
 from repro.machine.config import MachineConfig
 from repro.msg.mp import make_endpoints
@@ -68,6 +69,9 @@ class QSMMachine:
         self.rngs = RngStreams(self.config.seed, self.p)
         self._endpoints = make_endpoints(self.machine.network)
         self._engine = SyncEngine(self.machine, self._endpoints, self.config.software)
+        # Fetched once per machine; None when disarmed (the usual case),
+        # so sanitizer support costs one attribute test per phase.
+        self._sanitizer = check.active()
         self._ran = False
         if self.machine.sim.obs is not None:
             fast = "fast" if self.config.software.fast_sync else "oracle"
@@ -108,6 +112,9 @@ class QSMMachine:
             QSMContext(self.space, pid, self.rngs[pid], self.machine.cpus[pid])
             for pid in range(p)
         ]
+        if self._sanitizer is not None:
+            for ctx in ctxs:
+                ctx.queue.sanitizer = self._sanitizer
         gens = [program(ctxs[pid], **program_kwargs) for pid in range(p)]
         for pid, gen in enumerate(gens):
             if not hasattr(gen, "send"):
@@ -149,11 +156,15 @@ class QSMMachine:
                 break
             if len(syncing) != p:
                 stragglers = [pid for pid in range(p) if finished[pid]]
+                if self._sanitizer is not None:
+                    self._sanitizer.note_desync(stragglers, syncing, phase_idx)
                 raise SPMDError(
                     f"program is not SPMD: processors {stragglers} finished "
                     f"while {syncing} are still synchronizing (phase {phase_idx})"
                 )
 
+            if self._sanitizer is not None:
+                self._sanitizer.check_collectives(ctxs, phase_idx)
             self._resolve_allocs(ctxs)
             record = self._execute_phase(ctxs, phase_idx, result)
             result.phases.append(record)
@@ -173,6 +184,10 @@ class QSMMachine:
         p = self.p
         queues = [ctx.queue for ctx in ctxs]
 
+        if self._sanitizer is not None:
+            # Richer diagnostics (pids, cells, enqueue file:line) than the
+            # plain check below; in error mode it raises first.
+            self._sanitizer.check_phase(queues, phase_idx)
         if self.config.check_semantics:
             check_phase_semantics(queues)
         kappa = compute_kappa(queues) if self.config.track_kappa else None

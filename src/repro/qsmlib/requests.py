@@ -29,14 +29,19 @@ class GetHandle:
     """Future for a get; ``data`` is available after the next ``sync()``.
 
     ``data[k]`` corresponds to ``indices[k]`` of the original request.
+    ``origin`` is the enqueue ``file:line``, captured only when the
+    phase sanitizer (:mod:`repro.check`) is armed.
     """
 
-    __slots__ = ("arr", "indices", "_data")
+    __slots__ = ("arr", "indices", "_data", "origin")
 
-    def __init__(self, arr: SharedArray, indices: np.ndarray) -> None:
+    def __init__(
+        self, arr: SharedArray, indices: np.ndarray, origin: Optional[str] = None
+    ) -> None:
         self.arr = arr
         self.indices = indices
         self._data: Optional[np.ndarray] = None
+        self.origin = origin
 
     @property
     def ready(self) -> bool:
@@ -45,9 +50,10 @@ class GetHandle:
     @property
     def data(self) -> np.ndarray:
         if self._data is None:
+            where = f" (get enqueued at {self.origin})" if self.origin else ""
             raise RuntimeError(
                 "get() result read before sync(); QSM forbids using values "
-                "fetched in the same phase"
+                f"fetched in the same phase{where}"
             )
         return self._data
 
@@ -60,6 +66,8 @@ class GetRequest:
     arr: SharedArray
     indices: np.ndarray
     handle: GetHandle
+    #: Enqueue ``file:line``; captured only when the sanitizer is armed.
+    origin: Optional[str] = None
 
 
 @dataclass
@@ -67,6 +75,7 @@ class PutRequest:
     arr: SharedArray
     indices: np.ndarray
     values: np.ndarray
+    origin: Optional[str] = None
 
 
 @dataclass
@@ -76,11 +85,21 @@ class RequestQueue:
     pid: int
     gets: List[GetRequest] = field(default_factory=list)
     puts: List[PutRequest] = field(default_factory=list)
+    #: The armed :class:`repro.check.PhaseSanitizer`, or ``None`` — the
+    #: disarmed path pays one load + branch per enqueue call, nothing more.
+    sanitizer: Optional[object] = field(default=None, repr=False, compare=False)
 
     def add_get(self, arr: SharedArray, indices: np.ndarray) -> GetHandle:
-        indices = _as_index_array(arr, indices)
-        handle = GetHandle(arr, indices)
-        self.gets.append(GetRequest(arr, indices, handle))
+        san = self.sanitizer
+        origin = san.enqueue_origin() if san is not None else None
+        try:
+            indices = _as_index_array(arr, indices)
+        except IndexError as exc:
+            if san is not None:
+                san.record_oob(self.pid, arr, "get", exc, origin)
+            raise
+        handle = GetHandle(arr, indices, origin=origin)
+        self.gets.append(GetRequest(arr, indices, handle, origin=origin))
         return handle
 
     def add_get_range(self, arr: SharedArray, start: int, count: int) -> GetHandle:
@@ -89,31 +108,69 @@ class RequestQueue:
         Bounds are checked from the endpoints, skipping the min/max
         reductions `_as_index_array` needs for arbitrary index sets.
         """
-        indices = _range_index_array(arr, start, count)
-        handle = GetHandle(arr, indices)
-        self.gets.append(GetRequest(arr, indices, handle))
+        san = self.sanitizer
+        origin = san.enqueue_origin() if san is not None else None
+        try:
+            indices = _range_index_array(arr, start, count)
+        except IndexError as exc:
+            if san is not None:
+                san.record_oob(self.pid, arr, "get", exc, origin)
+            raise
+        handle = GetHandle(arr, indices, origin=origin)
+        self.gets.append(GetRequest(arr, indices, handle, origin=origin))
         return handle
 
     def add_put(self, arr: SharedArray, indices: np.ndarray, values) -> None:
-        indices = _as_index_array(arr, indices)
-        values = np.asarray(values, dtype=arr.dtype)
-        if values.ndim == 0:
-            values = np.broadcast_to(values, indices.shape).copy()
-        if values.shape != indices.shape:
-            raise ValueError(
-                f"put shape mismatch: {len(indices)} indices vs {values.shape} values"
-            )
-        self.puts.append(PutRequest(arr, indices, values.copy()))
+        san = self.sanitizer
+        origin = san.enqueue_origin() if san is not None else None
+        if san is not None:
+            san.check_put_values(self.pid, arr, values, origin)
+        try:
+            indices = _as_index_array(arr, indices)
+        except IndexError as exc:
+            if san is not None:
+                san.record_oob(self.pid, arr, "put", exc, origin)
+            raise
+        values = self._coerce_put_values(arr, indices, values)
+        self.puts.append(PutRequest(arr, indices, values, origin=origin))
 
     def add_put_range(self, arr: SharedArray, start: int, values) -> None:
         """`add_put` to the contiguous range starting at *start*."""
+        san = self.sanitizer
+        origin = san.enqueue_origin() if san is not None else None
+        if san is not None:
+            san.check_put_values(self.pid, arr, values, origin)
         values = np.asarray(values, dtype=arr.dtype)
-        indices = _range_index_array(arr, start, values.size)
-        if values.shape != indices.shape:
+        try:
+            indices = _range_index_array(arr, start, values.size)
+        except IndexError as exc:
+            if san is not None:
+                san.record_oob(self.pid, arr, "put", exc, origin)
+            raise
+        values = self._coerce_put_values(arr, indices, values)
+        self.puts.append(PutRequest(arr, indices, values, origin=origin))
+
+    def _coerce_put_values(
+        self, arr: SharedArray, indices: np.ndarray, values
+    ) -> np.ndarray:
+        """Validate values against *indices* at enqueue time.
+
+        Scalars broadcast; otherwise the value count must equal the index
+        count (any shape — values are flattened to match the flattened
+        index array).  A mismatch raises here, per-pid, instead of
+        surfacing as an opaque numpy broadcast error inside the sync
+        engine.
+        """
+        values = np.asarray(values, dtype=arr.dtype)
+        if values.ndim == 0:
+            return np.broadcast_to(values, indices.shape).copy()
+        if values.size != indices.size:
             raise ValueError(
-                f"put shape mismatch: {len(indices)} indices vs {values.shape} values"
+                f"put shape mismatch on array {arr.name!r} (pid {self.pid}): "
+                f"{indices.size} indices vs {values.size} values "
+                f"(value shape {values.shape})"
             )
-        self.puts.append(PutRequest(arr, indices, values.copy()))
+        return values.reshape(indices.shape).copy()
 
     def clear(self) -> None:
         self.gets.clear()

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro import obs
+from repro import check, obs
 from repro.machine.config import MachineConfig
 from repro.qsmlib import RunConfig
 from repro.sim import Simulator
@@ -33,6 +33,35 @@ def _obs_stays_off():
     if obs.enabled():
         obs.disable()
         pytest.fail("a test left repro.obs enabled; use the obs_state fixture")
+
+
+@pytest.fixture
+def sanitizer():
+    """The phase-conflict sanitizer armed (error mode) for one test."""
+    san = check.arm("error")
+    try:
+        yield san
+    finally:
+        check.disarm()
+
+
+@pytest.fixture
+def sanitizer_warn():
+    """The phase-conflict sanitizer armed in warn (report-only) mode."""
+    san = check.arm("warn")
+    try:
+        yield san
+    finally:
+        check.disarm()
+
+
+@pytest.fixture(autouse=True)
+def _sanitizer_stays_off():
+    """Guard: no test may leak a globally-armed sanitizer."""
+    yield
+    if check.armed():
+        check.disarm()
+        pytest.fail("a test left repro.check armed; use the sanitizer fixture")
 
 
 @pytest.fixture

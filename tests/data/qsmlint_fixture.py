@@ -1,0 +1,60 @@
+"""Fixture for the qsmlint test-suite: every rule fires exactly where
+the tests expect it.  Never imported — parsed by ``repro.check.lint``
+with ``model_scope=True``.  Line numbers matter: keep edits appended.
+"""
+import os
+import random
+import time
+
+import numpy as np
+
+
+def wallclock_and_rng():
+    t0 = time.time()  # QL101
+    x = random.random()  # QL102
+    y = np.random.rand(4)  # QL102
+    g = np.random.default_rng()  # QL102 (unseeded)
+    ok = np.random.default_rng(42)  # allowed: explicit seed
+    return t0, x, y, g, ok
+
+
+def env_read():
+    flag = os.environ.get("SOME_FLAG")  # QL107
+    other = os.getenv("OTHER_FLAG")  # QL107
+    return flag, other
+
+
+def unordered_iteration(d):
+    for item in {3, 1, 2}:  # QL103
+        print(item)
+    for key in d.keys():  # QL103
+        print(key)
+    vals = [v for v in set(d)]  # QL103
+    for key in sorted(d.keys()):  # allowed: explicit sort
+        print(key)
+    return vals
+
+
+def early_handle_read(ctx, arr):
+    h = ctx.get(arr, [0, 1])
+    total = h.data.sum()  # QL104
+    yield ctx.sync()
+    ok = h.data.sum()  # allowed: after the sync
+    return total + ok
+
+
+def discarded_sync(ctx):
+    ctx.sync()  # QL108
+    yield ctx.sync()
+
+
+def bad_hygiene(items=[]):  # QL106
+    try:
+        items.append(1)
+    except:  # QL105
+        pass
+    return items
+
+
+def suppressed():
+    return time.time()  # qsmlint: disable=QL101

@@ -1,0 +1,215 @@
+"""Determinism lint (`repro.check.lint`): rule coverage on the fixture,
+suppressions, scoping, CLI behavior — and the repo itself must be clean."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import lint
+from repro.check.lint import (
+    Finding,
+    RULES,
+    is_model_path,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
+
+FIXTURE = Path(__file__).parent / "data" / "qsmlint_fixture.py"
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+# ----------------------------------------------------------------------
+# Fixture coverage: every rule fires at the expected place
+# ----------------------------------------------------------------------
+def test_fixture_exercises_every_rule():
+    findings = lint_file(FIXTURE, model_scope=True)
+    fired = {f.code for f in findings}
+    assert fired == set(RULES), f"missing rules: {sorted(set(RULES) - fired)}"
+
+
+def test_fixture_findings_at_expected_lines():
+    findings = lint_file(FIXTURE, model_scope=True)
+    got = {(f.line, f.code) for f in findings}
+    expected = {
+        (13, "QL101"),  # time.time()
+        (14, "QL102"),  # random.random()
+        (15, "QL102"),  # np.random.rand()
+        (16, "QL102"),  # unseeded default_rng()
+        (22, "QL107"),  # os.environ.get
+        (23, "QL107"),  # os.getenv
+        (28, "QL103"),  # set literal
+        (30, "QL103"),  # .keys()
+        (32, "QL103"),  # set(d) comprehension iter
+        (40, "QL104"),  # h.data before yield
+        (47, "QL108"),  # discarded ctx.sync()
+        (51, "QL106"),  # mutable default
+        (54, "QL105"),  # bare except
+    }
+    assert got == expected
+
+
+def test_fixture_allowed_patterns_stay_clean():
+    findings = lint_file(FIXTURE, model_scope=True)
+    flagged_lines = {f.line for f in findings}
+    # seeded default_rng, sorted(.keys()), post-yield .data, suppression
+    for allowed in (17, 33, 42, 60):
+        assert allowed not in flagged_lines
+
+
+# ----------------------------------------------------------------------
+# The PR tree itself is lint-clean (mirrors the CI gate)
+# ----------------------------------------------------------------------
+def test_repo_model_code_is_clean():
+    findings = lint_paths([REPO_SRC])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+def test_line_suppression_by_code():
+    src = "import time\n\n\ndef f():\n    return time.time()  # qsmlint: disable=QL101\n"
+    assert lint_source(src, "repro/sim/x.py") == []
+
+
+def test_line_suppression_all_codes():
+    src = "import time\n\n\ndef f():\n    return time.time()  # qsmlint: disable\n"
+    assert lint_source(src, "repro/sim/x.py") == []
+
+
+def test_suppression_of_other_code_does_not_hide():
+    src = "import time\n\n\ndef f():\n    return time.time()  # qsmlint: disable=QL105\n"
+    findings = lint_source(src, "repro/sim/x.py")
+    assert [f.code for f in findings] == ["QL101"]
+
+
+# ----------------------------------------------------------------------
+# Model-scope inference and override
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "path,expected",
+    [
+        ("src/repro/sim/engine.py", True),
+        ("src/repro/qsmlib/context.py", True),
+        ("src/repro/machine/cpu.py", True),
+        ("src/repro/algorithms/prefix.py", True),
+        ("src/repro/experiments/cli.py", False),
+        ("src/repro/obs/metrics.py", False),
+        ("tests/test_foo.py", False),
+    ],
+)
+def test_is_model_path(path, expected):
+    assert is_model_path(path) is expected
+
+
+def test_model_rules_skip_non_model_files():
+    src = "import time\n\n\ndef f():\n    return time.time()\n"
+    assert lint_source(src, "repro/experiments/cli.py") == []
+    assert [f.code for f in lint_source(src, "repro/sim/engine.py")] == ["QL101"]
+    # explicit override beats path inference
+    assert [f.code for f in lint_source(src, "anywhere.py", model_scope=True)] == ["QL101"]
+
+
+def test_universal_rules_apply_everywhere():
+    src = "def f(x=[]):\n    return x\n"
+    assert [f.code for f in lint_source(src, "tools/whatever.py")] == ["QL106"]
+
+
+# ----------------------------------------------------------------------
+# Specific rule behaviors
+# ----------------------------------------------------------------------
+def test_ql104_clears_tracking_on_yield():
+    src = (
+        "def prog(ctx, A):\n"
+        "    h = ctx.get(A, [0])\n"
+        "    yield ctx.sync()\n"
+        "    return h.data\n"
+    )
+    assert lint_source(src, "x.py") == []
+
+
+def test_ql104_reassignment_untracks():
+    src = (
+        "def prog(ctx, A):\n"
+        "    h = ctx.get(A, [0])\n"
+        "    h = other()\n"
+        "    return h.data\n"
+    )
+    assert lint_source(src, "x.py") == []
+
+
+def test_ql104_non_ctx_get_not_tracked():
+    src = (
+        "def prog(space, aid):\n"
+        "    arr = space.get(aid)\n"
+        "    return arr.data\n"
+    )
+    assert lint_source(src, "x.py") == []
+
+
+def test_ql103_dict_keys_in_comprehension():
+    src = "def f(d):\n    return [k for k in d.keys()]\n"
+    assert [f.code for f in lint_source(src, "x.py")] == ["QL103"]
+
+
+def test_ql108_yielded_sync_is_fine():
+    src = "def prog(ctx):\n    yield ctx.sync()\n"
+    assert lint_source(src, "x.py") == []
+
+
+def test_syntax_error_becomes_ql000():
+    findings = lint_source("def broken(:\n", "x.py")
+    assert len(findings) == 1 and findings[0].code == "QL000"
+
+
+def test_finding_format_is_clickable():
+    f = Finding("src/a.py", 3, 7, "QL105", "msg")
+    assert f.format() == "src/a.py:3:7: QL105 msg"
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+def test_main_exit_codes(tmp_path):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    assert lint.main([str(clean)]) == 0
+    assert lint.main([str(dirty)]) == 1
+
+
+def test_main_json_output(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    assert lint.main([str(dirty), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["code"] == "QL106"
+    assert payload[0]["line"] == 1
+
+
+def test_main_select_filters(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(x=[]):\n    try:\n        pass\n    except:\n        pass\n")
+    assert lint.main([str(dirty), "--select", "QL105"]) == 1
+    out = capsys.readouterr().out
+    assert "QL105" in out and "QL106" not in out
+
+
+def test_main_model_flag_forces_scope(tmp_path, capsys):
+    f = tmp_path / "anywhere.py"
+    f.write_text("import time\n\n\ndef g():\n    return time.time()\n")
+    assert lint.main([str(f)]) == 0  # not a model path
+    assert lint.main([str(f), "--model"]) == 1
+    assert "QL101" in capsys.readouterr().out
+
+
+def test_main_list_rules(capsys):
+    assert lint.main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for code in RULES:
+        assert code in out
