@@ -13,7 +13,7 @@ def test_fig1_prefix_sums(benchmark, fast_mode):
     result = run_once(benchmark, run_fig1, fast=fast_mode)
     print()
     print(result.render())
-    qsm, bsp = result.data["comm_qsm_pred"], result.data["comm_bsp_pred"]
+    qsm, bsp = result.data["qsm-best"], result.data["bsp-best"]
     meas, total = result.data["comm_measured"], result.data["total_measured"]
     assert len(set(qsm)) == 1 and len(set(bsp)) == 1  # n-independent predictions
     assert all(q < b < m for q, b, m in zip(qsm, bsp, meas))

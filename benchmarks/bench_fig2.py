@@ -14,8 +14,8 @@ def test_fig2_sample_sort(benchmark, fast_mode):
     print()
     print(result.render())
     meas = result.data["comm_measured"]
-    best, whp = result.data["best_case"], result.data["whp_bound"]
-    qsm, bsp = result.data["qsm_estimate"], result.data["bsp_estimate"]
+    best, whp = result.data["qsm-best"], result.data["qsm-whp"]
+    qsm, bsp = result.data["qsm-observed"], result.data["bsp-observed"]
     for i, n in enumerate(result.data["x"]):
         assert best[i] <= meas[i] <= whp[i], f"band violated at n={n}"
         assert qsm[i] < meas[i], f"QSM should under-predict at n={n}"

@@ -14,8 +14,8 @@ def test_fig3_list_ranking(benchmark, fast_mode):
     print(result.render())
     ns = result.data["x"]
     meas = result.data["comm_measured"]
-    qsm, bsp = result.data["qsm_estimate"], result.data["bsp_estimate"]
-    best, whp = result.data["best_case"], result.data["whp_bound"]
+    qsm, bsp = result.data["qsm-observed"], result.data["bsp-observed"]
+    best, whp = result.data["qsm-best"], result.data["qsm-whp"]
     for i, n in enumerate(ns):
         assert best[i] <= meas[i] * 1.02
         assert meas[i] <= whp[i] * 1.05

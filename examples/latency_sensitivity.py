@@ -12,8 +12,8 @@ Run:  python examples/latency_sensitivity.py
 import numpy as np
 
 from repro.algorithms import run_sample_sort
-from repro.core import SampleSortPredictor
 from repro.machine.config import MachineConfig
+from repro.predict import make_source, predict_value
 from repro.qsmlib import QSMMachine, RunConfig
 from repro.util.tables import format_series
 
@@ -22,10 +22,10 @@ def coverage(machine: MachineConfig, n: int, seed: int = 3) -> float:
     """Fraction of measured communication the QSM estimate explains."""
     config = RunConfig(machine=machine, seed=seed, check_semantics=False)
     qm = QSMMachine(config)
-    predictor = SampleSortPredictor(machine.p, qm.cost_model(), qm.machine.cpus[0])
+    source = make_source("samplesort", p=machine.p, cpu=qm.machine.cpus[0])
     rng = np.random.default_rng(seed)
     out = run_sample_sort(rng.integers(0, 2**62, size=n), config)
-    return predictor.qsm_estimate_from_run(out.run) / out.run.comm_cycles
+    return predict_value(source, "qsm-observed", qm.cost_model(), run=out.run) / out.run.comm_cycles
 
 
 def main() -> None:

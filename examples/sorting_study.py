@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.algorithms import run_sample_sort, sequential_sort
 from repro.algorithms.common import profile_sort
-from repro.core import SampleSortPredictor
+from repro.predict import make_source, predict_value
 from repro.qsmlib import QSMMachine, RunConfig
 from repro.util.tables import format_series
 
@@ -21,7 +21,8 @@ from repro.util.tables import format_series
 def main() -> None:
     config = RunConfig(seed=7, check_semantics=False)
     qm = QSMMachine(config)
-    predictor = SampleSortPredictor(qm.p, qm.cost_model(), qm.machine.cpus[0])
+    costs = qm.cost_model()
+    source = make_source("samplesort", p=qm.p, cpu=qm.machine.cpus[0])
     rng = np.random.default_rng(7)
 
     ns = [8192, 65536, 500000]
@@ -34,8 +35,8 @@ def main() -> None:
         assert np.array_equal(out.result, sequential_sort(values)), "sort is wrong!"
 
         meas = out.run.comm_cycles
-        qsm = predictor.qsm_estimate_from_run(out.run)
-        bsp = predictor.bsp_estimate_from_run(out.run)
+        qsm = predict_value(source, "qsm-observed", costs, run=out.run)
+        bsp = predict_value(source, "bsp-observed", costs, run=out.run)
         seq_cycles = qm.machine.cpus[0].cycles(profile_sort(n))
         rows["measured_comm"].append(round(meas))
         rows["qsm_estimate"].append(round(qsm))

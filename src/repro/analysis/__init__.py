@@ -1,7 +1,13 @@
 """Analysis utilities: prediction error, band crossovers, extrapolation."""
 
 from repro.analysis.errors import first_n_within, relative_error, within_fraction
-from repro.analysis.crossover import band_crossover, interpolate_crossover
+from repro.analysis.crossover import (
+    DEFAULT_BAND,
+    band_crossover,
+    band_crossover_from_predictions,
+    crossovers_from_sweeps,
+    interpolate_crossover,
+)
 from repro.analysis.extrapolate import n_min_per_proc, table4_rows
 from repro.analysis.speedup import ScalingPoint, break_even_p, scaling_point, scaling_table
 
@@ -9,7 +15,10 @@ __all__ = [
     "relative_error",
     "within_fraction",
     "first_n_within",
+    "DEFAULT_BAND",
     "band_crossover",
+    "band_crossover_from_predictions",
+    "crossovers_from_sweeps",
     "interpolate_crossover",
     "n_min_per_proc",
     "table4_rows",

@@ -10,7 +10,12 @@ interpolation between sample points.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+#: The prediction band of Figures 4-6: (lower, upper) registered model
+#: names.  Any analytic pair from :mod:`repro.predict` works — the
+#: paper's band is the QSM best-case / WHP-bound pair.
+DEFAULT_BAND: Tuple[str, str] = ("qsm-best", "qsm-whp")
 
 
 def interpolate_crossover(
@@ -66,3 +71,49 @@ def band_crossover(
                 "the cost model is inconsistent"
             )
     return n_star
+
+
+def band_crossover_from_predictions(
+    ns: Sequence[float],
+    measured: Sequence[float],
+    predictions: Mapping[str, Sequence[float]],
+    band: Tuple[str, str] = DEFAULT_BAND,
+) -> Optional[float]:
+    """:func:`band_crossover` against registry-named prediction lines.
+
+    *predictions* maps registered model names to per-n lines (the shape
+    :class:`~repro.experiments.sweeps.SampleSortSweep` carries); *band*
+    selects the (lower, upper) pair.  Both names are validated against
+    the :mod:`repro.predict` registry so a typo fails loudly instead of
+    silently comparing against the wrong line.
+    """
+    from repro.predict import get_model
+
+    lower, upper = band
+    get_model(lower), get_model(upper)
+    for name in band:
+        if name not in predictions:
+            raise KeyError(
+                f"band model {name!r} missing from predictions; have "
+                f"{', '.join(sorted(predictions))}"
+            )
+    return band_crossover(ns, measured, predictions[upper], predictions[lower])
+
+
+def crossovers_from_sweeps(sweeps: Mapping[float, "object"]) -> Dict[float, float]:
+    """Band-entry problem size per swept parameter value.
+
+    *sweeps* maps the swept parameter (latency or overhead) to objects
+    exposing ``crossover_n()`` (Figures 5, 6 and Table 4 feed
+    :class:`~repro.experiments.sweeps.SampleSortSweep` instances).
+    """
+    out = {}
+    for key, sweep in sweeps.items():
+        n_star = sweep.crossover_n()
+        if n_star is None:
+            raise RuntimeError(
+                f"measured communication never entered the prediction band "
+                f"for parameter value {key}; extend the n grid"
+            )
+        out[key] = n_star
+    return out

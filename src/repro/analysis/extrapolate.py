@@ -22,10 +22,11 @@ absorb software differences into a multiplicative ``k``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.crossover import DEFAULT_BAND
 from repro.machine.config import ArchPreset, TABLE4_PRESETS
 
 
@@ -43,12 +44,18 @@ PAPER_NMIN_PER_PROC: Dict[str, float] = {
 
 @dataclass(frozen=True)
 class NMinModel:
-    """Fitted affine threshold model (per-processor problem size)."""
+    """Fitted affine threshold model (per-processor problem size).
+
+    ``band`` records which registered prediction models defined the
+    accuracy threshold the sweeps measured (provenance: a fit against
+    a different band is a different model).
+    """
 
     slope_l: float
     slope_o: float
     intercept: float
     g0: float
+    band: Tuple[str, str] = DEFAULT_BAND
 
     def n_min_per_proc(self, l: float, o: float, g: float) -> float:
         if g <= 0:

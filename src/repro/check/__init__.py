@@ -64,6 +64,8 @@ __all__ = [
     "active",
     "mode",
     "diagnostics",
+    "drain_diagnostics",
+    "merge_diagnostics",
 ]
 
 #: Env var that arms the sanitizer for a whole process tree.
@@ -115,6 +117,32 @@ def diagnostics() -> List[Diagnostic]:
     if _SANITIZER is None:
         return []
     return list(_SANITIZER.diagnostics)
+
+
+def drain_diagnostics() -> List[Diagnostic]:
+    """Return and clear the recorded diagnostics (the worker side of
+    the ``--jobs`` protocol, mirroring :func:`repro.obs.drain_payload`).
+
+    :class:`Diagnostic` is a frozen dataclass of plain values, so the
+    returned list pickles across the executor result channel.
+    """
+    if _SANITIZER is None:
+        return []
+    out = list(_SANITIZER.diagnostics)
+    _SANITIZER.diagnostics.clear()
+    return out
+
+
+def merge_diagnostics(diags: List[Diagnostic]) -> None:
+    """Fold drained worker diagnostics into this process's sanitizer
+    (the parent side of the ``--jobs`` protocol).
+
+    A no-op when disarmed — matching :func:`repro.obs.merge_payload`,
+    which drops payloads once collection is off.
+    """
+    if _SANITIZER is None or not diags:
+        return
+    _SANITIZER.diagnostics.extend(diags)
 
 
 # Honour QSM_SANITIZE at import so spawned worker processes (which

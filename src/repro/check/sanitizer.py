@@ -163,15 +163,19 @@ class PhaseSanitizer:
     # Sync-side checks (called by the program driver once per phase)
     # ------------------------------------------------------------------
     def check_phase(self, queues: Sequence, phase_idx: int) -> None:
-        """Vectorised shadow pass over all queued requests of one phase."""
+        """Vectorised shadow pass over all queued requests of one phase.
+
+        Entries are uniform ``(pid, indices, values, origin)`` tuples;
+        gets carry ``values=None``.
+        """
         per_array: Dict[int, list] = {}  # aid -> [arr, reads, writes]
         for q in queues:
             for req in q.gets:
                 entry = per_array.setdefault(req.arr.aid, [req.arr, [], []])
-                entry[1].append((q.pid, req.indices, req.origin))
+                entry[1].append((q.pid, req.indices, None, req.origin))
             for req in q.puts:
                 entry = per_array.setdefault(req.arr.aid, [req.arr, [], []])
-                entry[2].append((q.pid, req.indices, req.origin))
+                entry[2].append((q.pid, req.indices, req.values, req.origin))
 
         for arr, reads, writes in per_array.values():
             if writes and reads:
@@ -181,8 +185,8 @@ class PhaseSanitizer:
 
     def _check_rw_conflict(self, arr, reads, writes, phase_idx: int) -> None:
         mask = np.zeros(arr.n, dtype=bool)
-        mask[np.concatenate([idx for _, idx, _ in writes])] = True
-        read_idx = np.concatenate([idx for _, idx, _ in reads])
+        mask[np.concatenate([idx for _, idx, _, _ in writes])] = True
+        read_idx = np.concatenate([idx for _, idx, _, _ in reads])
         overlap = mask[read_idx]
         if not overlap.any():
             return
@@ -190,7 +194,7 @@ class PhaseSanitizer:
         involved = [
             (kind, pid, origin)
             for kind, group in (("get", reads), ("put", writes))
-            for pid, idx, origin in group
+            for pid, idx, _vals, origin in group
             if idx.size and np.isin(idx, cells, assume_unique=False).any()
         ]
         pids = tuple(sorted({pid for _, pid, _ in involved}))
@@ -216,7 +220,7 @@ class PhaseSanitizer:
         )
 
     def _check_multi_writer(self, arr, writes, phase_idx: int) -> None:
-        all_idx = np.concatenate([idx for _, idx, _ in writes])
+        all_idx = np.concatenate([idx for _, idx, _, _ in writes])
         counts = np.bincount(all_idx, minlength=arr.n)
         if counts.max() <= 1:
             return
@@ -225,24 +229,28 @@ class PhaseSanitizer:
         # a queue — the last applied put wins (see apply_phase_semantics).
         writers = [
             (pid, origin)
-            for pid, idx, origin in writes
+            for pid, idx, _vals, origin in writes
             if idx.size and np.isin(idx, cells).any()
         ]
         pids_in_order = [pid for pid, _ in writers]
         origins = tuple(
             f"pid {pid} (put) @ {origin or '<unarmed enqueue>'}" for pid, origin in writers
         )
+        message = (
+            f"array {arr.name!r}: {_describe_cells(cells)} written more than "
+            f"once in one phase (writers in apply order: {pids_in_order}; "
+            "resolution: puts apply in processor then enqueue order, so the "
+            "last listed writer wins — QSM's queue-write 'arbitrary winner' "
+            "made deterministic)"
+        )
+        detail = self._conflict_values(cells, writes)
+        if detail:
+            message += f"; values per cell: {detail}"
         self._report(
             Diagnostic(
                 code="QS002",
                 severity="warning",
-                message=(
-                    f"array {arr.name!r}: {_describe_cells(cells)} written more than "
-                    f"once in one phase (writers in apply order: {pids_in_order}; "
-                    "resolution: puts apply in processor then enqueue order, so the "
-                    "last listed writer wins — QSM's queue-write 'arbitrary winner' "
-                    "made deterministic)"
-                ),
+                message=message,
                 phase=phase_idx,
                 array=arr.name,
                 cells=_describe_cells(cells),
@@ -251,12 +259,45 @@ class PhaseSanitizer:
             )
         )
 
+    @staticmethod
+    def _conflict_values(cells: np.ndarray, writes) -> str:
+        """Winner/loser values per conflicting cell, in apply order.
+
+        Only rendered for small conflicts (``_MAX_CELLS_LISTED`` cells)
+        — a large conflict's value dump would drown the diagnostic.
+        """
+        if cells.size > _MAX_CELLS_LISTED:
+            return ""
+        lines = []
+        for c in cells:
+            contribs = []
+            for pid, idx, vals, _origin in writes:
+                # Within one put request numpy fancy assignment also
+                # applies duplicates last-wins, hence the last position.
+                pos = np.flatnonzero(idx == c)
+                if pos.size:
+                    contribs.append(f"pid {pid} put {vals.reshape(-1)[pos[-1]]}")
+            if contribs:
+                contribs[-1] += " <- winner"
+            lines.append(f"cell {int(c)}: " + ", ".join(contribs))
+        return "; ".join(lines)
+
     def check_collectives(self, ctxs: Sequence, phase_idx: int) -> None:
-        """Alloc/free congruence across pids — the deadlock shape."""
+        """Alloc/free congruence across pids — the deadlock shape.
+
+        Diagnostics carry the ``file:line`` each participating pid's
+        ``ctx.alloc``/``ctx.free`` call was made from, so an incongruent
+        collective points straight at the diverging program branches.
+        """
         alloc_names = sorted({name for ctx in ctxs for name in ctx._alloc_requests})
         for name in alloc_names:
             participants = [ctx.pid for ctx in ctxs if name in ctx._alloc_requests]
             missing = [ctx.pid for ctx in ctxs if name not in ctx._alloc_requests]
+            origins = tuple(
+                f"pid {ctx.pid} (alloc) @ {ctx._alloc_requests[name][2] or '<unarmed enqueue>'}"
+                for ctx in ctxs
+                if name in ctx._alloc_requests
+            )
             if missing:
                 self._report(
                     Diagnostic(
@@ -270,6 +311,7 @@ class PhaseSanitizer:
                         phase=phase_idx,
                         array=name,
                         pids=tuple(missing),
+                        origins=origins,
                     )
                 )
                 continue
@@ -284,10 +326,16 @@ class PhaseSanitizer:
                         phase=phase_idx,
                         array=name,
                         pids=tuple(specs),
+                        origins=origins,
                     )
                 )
         free_counts = {ctx.pid: len(ctx._free_requests) for ctx in ctxs}
         if len(set(free_counts.values())) > 1:
+            origins = tuple(
+                f"pid {ctx.pid} (free) @ {origin or '<unarmed enqueue>'}"
+                for ctx in ctxs
+                for _item, origin in ctx._free_requests
+            )
             self._report(
                 Diagnostic(
                     code="QS005",
@@ -298,6 +346,7 @@ class PhaseSanitizer:
                     ),
                     phase=phase_idx,
                     pids=tuple(sorted(free_counts)),
+                    origins=origins,
                 )
             )
 

@@ -8,10 +8,11 @@
 * :mod:`repro.core.chernoff` — binomial tail machinery behind every
   *WHP bound* line (90% confidence, union bound over processors);
 * :mod:`repro.core.estimators` — generic QSM/BSP communication
-  estimates computed from a run's observed per-phase word counts;
-* :mod:`repro.core.predict_prefix` / :mod:`~repro.core.predict_samplesort`
-  / :mod:`~repro.core.predict_listrank` — the closed-form Best-case,
-  WHP-bound, QSM-estimate and BSP-estimate lines of Figures 1–3.
+  estimates computed from a run's observed per-phase word counts.
+
+The closed-form Best-case, WHP-bound, QSM-estimate and BSP-estimate
+lines of Figures 1–3 live in :mod:`repro.predict` (the pluggable model
+engine built on these primitives).
 """
 
 from repro.core.params import BSPParams, LogPParams, QSMParams, SQSMParams
@@ -38,9 +39,6 @@ from repro.core.emulation import (
     work_preserving_threshold,
 )
 from repro.core.pram import AccessRule, PRAMAccessError, PRAMModel, PRAMParams, pram_vs_qsm_phase_gap
-from repro.core.predict_prefix import PrefixPredictor
-from repro.core.predict_samplesort import SampleSortPredictor
-from repro.core.predict_listrank import ListRankPredictor
 
 __all__ = [
     "QSMParams",
@@ -69,7 +67,4 @@ __all__ = [
     "PRAMModel",
     "PRAMParams",
     "pram_vs_qsm_phase_gap",
-    "PrefixPredictor",
-    "SampleSortPredictor",
-    "ListRankPredictor",
 ]

@@ -3,7 +3,9 @@
 Usage::
 
     qsm-repro list
+    qsm-repro models
     qsm-repro run fig2 [--fast] [--seed 7]
+    qsm-repro run fig2 --models qsm-best,bsp-whp --ns 4096 --json out.json
     qsm-repro run fig2 --trace out.json --metrics out.jsonl
     qsm-repro all [--fast]
 
@@ -33,10 +35,15 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available experiments")
+    sub.add_parser("models", help="list registered prediction models")
 
     jobs_help = "worker processes for sweep points (1 = sequential, 0 = one per CPU)"
     trace_help = "export a Chrome trace_event JSON (chrome://tracing / Perfetto)"
     metrics_help = "export the aggregated metrics registry as JSONL"
+    models_help = (
+        "comma-separated prediction models to evaluate (see `qsm-repro models`); "
+        "experiments without prediction lines ignore this"
+    )
     sanitize_help = (
         "arm the QSM phase-conflict sanitizer (see docs/CHECKING.md): "
         "'error' fails on the first model violation, 'warn' reports them "
@@ -48,6 +55,11 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--fast", action="store_true", help="smaller sweeps/fewer reps")
     run_p.add_argument("--seed", type=int, default=0)
     run_p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    run_p.add_argument("--models", metavar="NAMES", help=models_help)
+    run_p.add_argument(
+        "--ns", type=int, nargs="+", metavar="N",
+        help="override the problem-size grid (experiments with an n grid only)",
+    )
     run_p.add_argument("--json", metavar="PATH", help="also dump the series/rows as JSON")
     run_p.add_argument("--trace", metavar="PATH", help=trace_help)
     run_p.add_argument("--metrics", metavar="PATH", help=metrics_help)
@@ -60,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     all_p.add_argument("--fast", action="store_true")
     all_p.add_argument("--seed", type=int, default=0)
     all_p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    all_p.add_argument("--models", metavar="NAMES", help=models_help)
     all_p.add_argument("--json", metavar="PATH", help="also dump all results as one JSON file")
     all_p.add_argument("--trace", metavar="PATH", help=trace_help)
     all_p.add_argument("--metrics", metavar="PATH", help=metrics_help)
@@ -73,6 +86,7 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--fast", action="store_true")
     rep_p.add_argument("--seed", type=int, default=0)
     rep_p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    rep_p.add_argument("--models", metavar="NAMES", help=models_help)
     rep_p.add_argument(
         "--only", nargs="+", choices=sorted(EXPERIMENTS), help="subset of experiments"
     )
@@ -131,6 +145,20 @@ def _sanitize_teardown() -> None:
     check.disarm()
 
 
+def _resolve_models_arg(args) -> Optional[List[str]]:
+    """Validate ``--models`` against the registry before any work runs."""
+    spec = getattr(args, "models", None)
+    if not spec:
+        return None
+    from repro.predict import resolve_models
+
+    try:
+        return resolve_models(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -139,6 +167,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(exp_id)
         return 0
 
+    if args.command == "models":
+        from repro.predict import available_models, get_model
+
+        for name in available_models():
+            model = get_model(name)
+            doc = getattr(model, "doc", "")
+            print(f"{name:14s} {doc}" if doc else name)
+        return 0
+
+    models = _resolve_models_arg(args)
     observing = _obs_setup(args)
     sanitizing = _sanitize_setup(args)
 
@@ -151,6 +189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             fast=args.fast,
             seed=args.seed,
             jobs=args.jobs,
+            models=models,
         )
         print(f"[wrote markdown report to {args.output}]")
         if observing:
@@ -162,7 +201,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     elapsed_by_id = {}
     for exp_id in ids:
         t0 = time.time()
-        result = run_experiment(exp_id, fast=args.fast, seed=args.seed, jobs=args.jobs)
+        result = run_experiment(
+            exp_id,
+            fast=args.fast,
+            seed=args.seed,
+            jobs=args.jobs,
+            models=models,
+            ns=getattr(args, "ns", None),
+        )
         elapsed = time.time() - t0
         elapsed_by_id[exp_id] = elapsed
         results.append(result)

@@ -26,7 +26,7 @@ import os
 from functools import partial
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-from repro import obs
+from repro import check, obs
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -52,10 +52,12 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], jobs: Optional[int] =
     output is independent of the job count.  With ``jobs`` resolving to
     1 — or fewer than two tasks — this is a plain in-process loop.
 
-    When observability is on (:func:`repro.obs.enabled`), each worker
-    drains its span/metric captures after every task and the parent
-    merges them **in task order**, so exported traces and aggregated
-    metrics are also independent of the job count.
+    When observability is on (:func:`repro.obs.enabled`) or the phase
+    sanitizer is armed (:func:`repro.check.armed`), each worker drains
+    its span/metric captures and sanitizer diagnostics after every task
+    and the parent merges them **in task order**, so exported traces,
+    aggregated metrics and diagnostic summaries are also independent of
+    the job count.
     """
     tasks = list(tasks)
     n_jobs = min(effective_jobs(jobs), len(tasks))
@@ -67,35 +69,45 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], jobs: Optional[int] =
     # chunksize > 1 amortises IPC for fine-grained sweeps while keeping
     # Pool.map's ordered-results guarantee.
     chunksize = max(1, len(tasks) // (4 * n_jobs))
-    if not obs.enabled():
+    if not obs.enabled() and not check.armed():
         with multiprocessing.Pool(processes=n_jobs) as pool:
             return pool.map(fn, tasks, chunksize=chunksize)
 
     # Workers start from a clean slate (forked children would otherwise
-    # re-report captures inherited from the parent), run each task, and
-    # ship back (result, obs payload) pairs.
+    # re-report state inherited from the parent), run each task, and
+    # ship back (result, obs payload, diagnostics) triples.
     with multiprocessing.Pool(
-        processes=n_jobs, initializer=_obs_worker_init
+        processes=n_jobs, initializer=_worker_init
     ) as pool:
-        outs = pool.map(partial(_obs_task, fn), tasks, chunksize=chunksize)
+        outs = pool.map(partial(_instrumented_task, fn), tasks, chunksize=chunksize)
     results: List[R] = []
-    for result, payload in outs:
+    for result, payload, diags in outs:
         obs.merge_payload(payload)
+        check.merge_diagnostics(diags)
         results.append(result)
     return results
 
 
-def _obs_worker_init() -> None:
-    """Pool initializer: drop observability state inherited via fork."""
+def _worker_init() -> None:
+    """Pool initializer: drop obs/sanitizer state inherited via fork.
+
+    Re-arming keeps the worker's mode (``QSM_SANITIZE`` is inherited)
+    while clearing any diagnostics the parent had already recorded, so
+    they are not shipped back — and double-counted — per worker.
+    """
     obs.reset()
+    if check.armed():
+        check.arm(check.mode())
 
 
-def _obs_task(fn: Callable[[T], R], task: T):
-    """Run one task in a worker; returns ``(result, obs payload)``.
+def _instrumented_task(fn: Callable[[T], R], task: T):
+    """Run one task in a worker; returns ``(result, obs payload,
+    sanitizer diagnostics)``.
 
     Module-level (picklable).  Under the ``spawn`` start method the
-    worker re-imports :mod:`repro.obs`, which re-enables collection from
-    the inherited ``QSM_OBS`` environment variable.
+    worker re-imports :mod:`repro.obs` and :mod:`repro.check`, which
+    re-enable collection from the inherited ``QSM_OBS`` /
+    ``QSM_SANITIZE`` environment variables.
     """
     result = fn(task)
-    return result, obs.drain_payload()
+    return result, obs.drain_payload(), check.drain_diagnostics()

@@ -1,7 +1,8 @@
 """Figure 1: measured vs. predicted performance for prefix sums.
 
 Plots (as a table): total running time, measured communication time,
-and the QSM / BSP communication predictions, against n at p = 16.
+and one prediction line per registered model requested via ``models``
+(default :data:`repro.predict.PREFIX_MODELS`), against n at p = 16.
 
 Expected shape (§3.2 "Prefix"): both predictions are *constant* in n
 and far below the measured communication time — the messages are tiny,
@@ -13,61 +14,67 @@ running time, and shrinks in relative-to-total terms as n grows.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.algorithms.prefix import run_prefix_sums
-from repro.core.predict_prefix import PrefixPredictor
-from repro.experiments.base import ExperimentResult, mean_std, render_series, repeat_seeds, reps_for
+from repro.experiments.base import ExperimentResult, mean_std, render_series, reps_for
+from repro.predict import PREFIX_MODELS, make_source, predict_point, resolve_models
 from repro.qsmlib import QSMMachine, RunConfig
 
 FULL_NS = [4096, 16384, 65536, 262144, 1048576]
 FAST_NS = [4096, 32768, 262144]
 
 
-def run(fast: bool = False, seed: int = 0, ns: Optional[List[int]] = None) -> ExperimentResult:
+def run(
+    fast: bool = False,
+    seed: int = 0,
+    ns: Optional[List[int]] = None,
+    models: Union[str, Sequence[str], None] = None,
+) -> ExperimentResult:
     ns = ns or (FAST_NS if fast else FULL_NS)
     reps = reps_for(fast)
     config = RunConfig(seed=seed, check_semantics=False)
     qm = QSMMachine(config)
-    predictor = PrefixPredictor(config.machine.p, qm.cost_model(), qm.machine.cpus[0])
+    costs, cpu = qm.cost_model(), qm.machine.cpus[0]
+    source = make_source("prefix", p=config.machine.p, cpu=cpu)
+    model_names = resolve_models(models, default=PREFIX_MODELS)
 
     total_mean, comm_mean, comm_rel_std = [], [], []
-    qsm_pred, bsp_pred = [], []
+    pred_series = {name: [] for name in model_names}
+    records = []
     for n in ns:
-        def one(run_seed: int, n=n) -> float:
+        runs = []
+        for r in range(reps):
+            run_seed = seed + 1000 * r + 1
             rng = np.random.default_rng(run_seed)
             out = run_prefix_sums(
                 rng.integers(0, 1000, size=n),
                 RunConfig(seed=run_seed, check_semantics=False),
             )
-            one.last_total = out.run.total_cycles  # type: ignore[attr-defined]
-            return out.run.comm_cycles
-
-        totals = []
-        comms = []
-        for r in range(reps):
-            comms.append(one(seed + 1000 * r + 1))
-            totals.append(one.last_total)  # type: ignore[attr-defined]
-        cm, cs = mean_std(comms)
-        tm, _ = mean_std(totals)
+            runs.append(out.run)
+        cm, cs = mean_std([rr.comm_cycles for rr in runs])
+        tm, _ = mean_std([rr.total_cycles for rr in runs])
         total_mean.append(round(tm))
         comm_mean.append(round(cm))
         comm_rel_std.append(round(cs / cm, 4) if cm else 0.0)
-        qsm_pred.append(round(predictor.qsm_comm(n)))
-        bsp_pred.append(round(predictor.bsp_comm(n)))
+        for rec in predict_point(source, model_names, costs, n=n, runs=runs):
+            pred_series[rec.model].append(round(rec.comm_cycles))
+            records.append(rec)
 
-    return render_series(
+    result = render_series(
         "fig1",
-        "Prefix sums: measured vs QSM/BSP predicted communication (cycles, p=16)",
+        "Prefix sums: measured vs predicted communication (cycles, p=16)",
         "n",
         ns,
         {
             "total_measured": total_mean,
             "comm_measured": comm_mean,
             "comm_rel_std": comm_rel_std,
-            "comm_qsm_pred": qsm_pred,
-            "comm_bsp_pred": bsp_pred,
+            **pred_series,
         },
     )
+    result.data["models"] = list(model_names)
+    result.data["predictions"] = [rec.to_dict() for rec in records]
+    return result

@@ -1,9 +1,10 @@
 """Figure 2: measured vs. predicted performance for sample sort.
 
-Five lines against n at p = 16: measured communication time (mean of
-10 runs), the *Best case* and *WHP bound* closed forms, the *QSM
-estimate* computed from each run's observed load-balance skews, and
-the *BSP estimate* (QSM estimate + 5L).
+Measured communication time (mean of 10 runs) against n at p = 16,
+next to one line per requested prediction model (default
+:data:`repro.predict.PAPER_MODELS`: the paper's *Best case* /
+*WHP bound* closed forms plus the observed-skew *QSM estimate* and
+*BSP estimate*).
 
 Expected shape (§3.2 "Sample Sort"): QSM underestimates by a roughly
 constant amount (the o/l/plan/barrier costs it ignores), so accuracy
@@ -14,72 +15,68 @@ measurement over nearly the whole range.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.algorithms.samplesort import run_sample_sort
-from repro.core.predict_samplesort import SampleSortPredictor
 from repro.experiments.base import ExperimentResult, mean_std, render_series, reps_for
 from repro.experiments.executor import parallel_map
+from repro.predict import PAPER_MODELS, make_source, predict_point, resolve_models
 from repro.qsmlib import QSMMachine, RunConfig
 
 FULL_NS = [4096, 8192, 16384, 32768, 65536, 125000, 250000, 500000]
 FAST_NS = [8192, 65536, 250000]
 
 
-def _make_predictor(seed: int) -> SampleSortPredictor:
-    config = RunConfig(seed=seed, check_semantics=False)
-    qm = QSMMachine(config)
-    return SampleSortPredictor(config.machine.p, qm.cost_model(), qm.machine.cpus[0])
-
-
 def _fig2_point_task(task) -> tuple:
-    """One (n, run_seed, seed) point: measured comm/total + both estimates.
+    """One (n, run_seed) point: the measured run.
 
-    Module-level (picklable) for the --jobs process pool; the predictor
-    is rebuilt per point from the deterministic config, so results do
-    not depend on which process runs the point.
+    Module-level (picklable) for the --jobs process pool; the run
+    record travels back to the parent, where every requested model —
+    including the observed-skew ones — is priced uniformly.
     """
-    n, run_seed, seed = task
-    predictor = _make_predictor(seed)
+    n, run_seed = task
     rng = np.random.default_rng(run_seed)
     out = run_sample_sort(
         rng.integers(0, 2**62, size=n),
         RunConfig(seed=run_seed, check_semantics=False),
     )
-    return (
-        out.run.comm_cycles,
-        out.run.total_cycles,
-        predictor.qsm_estimate_from_run(out.run),
-        predictor.bsp_estimate_from_run(out.run),
-    )
+    return out.run.comm_cycles, out.run.total_cycles, out.run
 
 
 def run(
-    fast: bool = False, seed: int = 0, ns: Optional[List[int]] = None, jobs: int = 1
+    fast: bool = False,
+    seed: int = 0,
+    ns: Optional[List[int]] = None,
+    jobs: int = 1,
+    models: Union[str, Sequence[str], None] = None,
 ) -> ExperimentResult:
     ns = ns or (FAST_NS if fast else FULL_NS)
     reps = reps_for(fast)
-    predictor = _make_predictor(seed)
+    config = RunConfig(seed=seed, check_semantics=False)
+    qm = QSMMachine(config)
+    costs, cpu = qm.cost_model(), qm.machine.cpus[0]
+    source = make_source("samplesort", p=config.machine.p, cpu=cpu)
+    model_names = resolve_models(models, default=PAPER_MODELS)
 
-    tasks = [(n, seed + 1000 * r + 1, seed) for n in ns for r in range(reps)]
+    tasks = [(n, seed + 1000 * r + 1) for n in ns for r in range(reps)]
     measured = parallel_map(_fig2_point_task, tasks, jobs=jobs)
 
-    comm_mean, comm_rel_std, qsm_est, bsp_est = [], [], [], []
-    best_case, whp_bound, total_mean = [], [], []
+    comm_mean, comm_rel_std, total_mean = [], [], []
+    pred_series = {name: [] for name in model_names}
+    records = []
     for i, n in enumerate(ns):
-        comms, totals, ests, bsps = map(list, zip(*measured[i * reps : (i + 1) * reps]))
+        comms, totals, runs = map(list, zip(*measured[i * reps : (i + 1) * reps]))
         cm, cs = mean_std(comms)
         comm_mean.append(round(cm))
         comm_rel_std.append(round(cs / cm, 4))
         total_mean.append(round(mean_std(totals)[0]))
-        qsm_est.append(round(mean_std(ests)[0]))
-        bsp_est.append(round(mean_std(bsps)[0]))
-        best_case.append(round(predictor.qsm_best_case(n)))
-        whp_bound.append(round(predictor.qsm_whp_bound(n)))
+        for rec in predict_point(source, model_names, costs, n=n, runs=runs):
+            pred_series[rec.model].append(round(rec.comm_cycles))
+            records.append(rec)
 
-    return render_series(
+    result = render_series(
         "fig2",
         "Sample sort: measured vs predicted communication (cycles, p=16)",
         "n",
@@ -88,9 +85,9 @@ def run(
             "total_measured": total_mean,
             "comm_measured": comm_mean,
             "comm_rel_std": comm_rel_std,
-            "best_case": best_case,
-            "whp_bound": whp_bound,
-            "qsm_estimate": qsm_est,
-            "bsp_estimate": bsp_est,
+            **pred_series,
         },
     )
+    result.data["models"] = list(model_names)
+    result.data["predictions"] = [rec.to_dict() for rec in records]
+    return result

@@ -1,6 +1,6 @@
 """Figure 3: measured vs. predicted performance for list ranking.
 
-Same five lines as Figure 2, for the irregular-communication workload.
+Same lines as Figure 2, for the irregular-communication workload.
 
 Expected shape (§3.2 "List Ranking"): prediction accuracy improves
 with n; the BSP estimate comes within ~15% of measured communication
@@ -10,48 +10,50 @@ bound bracket the measurement.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.algorithms.listrank import make_random_list, run_list_ranking
-from repro.core.predict_listrank import ListRankPredictor
 from repro.experiments.base import ExperimentResult, mean_std, render_series, reps_for
+from repro.predict import PAPER_MODELS, make_source, predict_point, resolve_models
 from repro.qsmlib import QSMMachine, RunConfig
 
 FULL_NS = [8192, 20000, 40000, 60000, 120000, 256000]
 FAST_NS = [8192, 40000, 120000]
 
 
-def run(fast: bool = False, seed: int = 0, ns: Optional[List[int]] = None) -> ExperimentResult:
+def run(
+    fast: bool = False,
+    seed: int = 0,
+    ns: Optional[List[int]] = None,
+    models: Union[str, Sequence[str], None] = None,
+) -> ExperimentResult:
     ns = ns or (FAST_NS if fast else FULL_NS)
     reps = reps_for(fast)
     config = RunConfig(seed=seed, check_semantics=False)
     qm = QSMMachine(config)
-    predictor = ListRankPredictor(config.machine.p, qm.cost_model(), qm.machine.cpus[0])
+    costs, cpu = qm.cost_model(), qm.machine.cpus[0]
+    source = make_source("listrank", p=config.machine.p, cpu=cpu)
+    model_names = resolve_models(models, default=PAPER_MODELS)
 
-    comm_mean, comm_rel_std, qsm_est, bsp_est = [], [], [], []
-    best_case, whp_bound, total_mean = [], [], []
+    comm_mean, comm_rel_std, total_mean = [], [], []
+    pred_series = {name: [] for name in model_names}
+    records = []
     for n in ns:
-        comms, totals, ests, bsps = [], [], [], []
+        runs = []
         for r in range(reps):
             run_seed = seed + 1000 * r + 1
             succ = make_random_list(n, seed=run_seed)
-            out = run_list_ranking(
-                succ, RunConfig(seed=run_seed, check_semantics=False)
-            )
-            comms.append(out.run.comm_cycles)
-            totals.append(out.run.total_cycles)
-            ests.append(predictor.qsm_estimate_from_run(out.run))
-            bsps.append(predictor.bsp_estimate_from_run(out.run))
-        cm, cs = mean_std(comms)
+            out = run_list_ranking(succ, RunConfig(seed=run_seed, check_semantics=False))
+            runs.append(out.run)
+        cm, cs = mean_std([rr.comm_cycles for rr in runs])
         comm_mean.append(round(cm))
         comm_rel_std.append(round(cs / cm, 4))
-        total_mean.append(round(mean_std(totals)[0]))
-        qsm_est.append(round(mean_std(ests)[0]))
-        bsp_est.append(round(mean_std(bsps)[0]))
-        best_case.append(round(predictor.qsm_best_case(n)))
-        whp_bound.append(round(predictor.qsm_whp_bound(n)))
+        total_mean.append(round(mean_std([rr.total_cycles for rr in runs])[0]))
+        for rec in predict_point(source, model_names, costs, n=n, runs=runs):
+            pred_series[rec.model].append(round(rec.comm_cycles))
+            records.append(rec)
 
-    return render_series(
+    result = render_series(
         "fig3",
         "List ranking: measured vs predicted communication (cycles, p=16)",
         "n",
@@ -60,9 +62,9 @@ def run(fast: bool = False, seed: int = 0, ns: Optional[List[int]] = None) -> Ex
             "total_measured": total_mean,
             "comm_measured": comm_mean,
             "comm_rel_std": comm_rel_std,
-            "best_case": best_case,
-            "whp_bound": whp_bound,
-            "qsm_estimate": qsm_est,
-            "bsp_estimate": bsp_est,
+            **pred_series,
         },
     )
+    result.data["models"] = list(model_names)
+    result.data["predictions"] = [rec.to_dict() for rec in records]
+    return result

@@ -1,9 +1,9 @@
 """Figure 4: sample-sort communication vs. QSM predictions as l varies.
 
-One measured comm-vs-n column per hardware latency, next to the QSM
-Best-case and WHP-bound lines, which do not depend on l (QSM has no
-latency parameter — "QSM's predictions ... are thus constant as l is
-varied").
+One measured comm-vs-n column per hardware latency, next to one
+prediction line per requested analytic model (default the ``qsm-best``
+/ ``qsm-whp`` band), which do not depend on l (QSM has no latency
+parameter — "QSM's predictions ... are thus constant as l is varied").
 
 Expected shape: larger l lifts the measured curves by a constant
 per-phase amount, pushing the point where they fall inside the
@@ -12,7 +12,7 @@ prediction band to larger n (quantified in Figure 5).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
 from repro.experiments.base import ExperimentResult, render_series, reps_for
 from repro.experiments.sweeps import (
@@ -25,17 +25,20 @@ from repro.experiments.sweeps import (
 
 
 def run(
-    fast: bool = False, seed: int = 0, ls: Optional[List[float]] = None, jobs: int = 1
+    fast: bool = False,
+    seed: int = 0,
+    ls: Optional[List[float]] = None,
+    jobs: int = 1,
+    models: Union[str, Sequence[str], None] = None,
 ) -> ExperimentResult:
     ls = ls or (FAST_LS if fast else FULL_LS)
     ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
     reps = reps_for(fast)
-    sweeps = latency_sweeps(ls, ns, reps, seed=seed, jobs=jobs)
+    sweeps = latency_sweeps(ls, ns, reps, seed=seed, jobs=jobs, models=models)
 
     any_sweep = sweeps[ls[0]]
     series = {
-        "best_case": [round(v) for v in any_sweep.best_case],
-        "whp_bound": [round(v) for v in any_sweep.whp_bound],
+        name: [round(v) for v in line] for name, line in any_sweep.predictions.items()
     }
     for l in ls:
         series[f"measured_l={int(l)}"] = [round(v) for v in sweeps[l].measured]
@@ -47,5 +50,6 @@ def run(
         ns,
         series,
     )
+    result.data["models"] = list(any_sweep.predictions)
     result.data["sweeps"] = sweeps
     return result

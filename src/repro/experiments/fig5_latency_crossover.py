@@ -11,33 +11,19 @@ table includes the least-squares slope and the linear-fit R².
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.analysis.crossover import crossovers_from_sweeps
 from repro.experiments.base import ExperimentResult, render_series, reps_for
 from repro.experiments.sweeps import (
     FAST_LS,
     FAST_SWEEP_NS,
     FULL_LS,
     FULL_SWEEP_NS,
-    SampleSortSweep,
     latency_sweeps,
 )
-
-
-def crossovers_from_sweeps(sweeps: Dict[float, SampleSortSweep]) -> Dict[float, float]:
-    """Band-entry problem size per swept parameter value."""
-    out = {}
-    for key, sweep in sweeps.items():
-        n_star = sweep.crossover_n()
-        if n_star is None:
-            raise RuntimeError(
-                f"measured communication never entered the prediction band "
-                f"for parameter value {key}; extend the n grid"
-            )
-        out[key] = n_star
-    return out
 
 
 def linear_fit(xs: List[float], ys: List[float]) -> tuple:
@@ -53,11 +39,15 @@ def linear_fit(xs: List[float], ys: List[float]) -> tuple:
 
 
 def run(
-    fast: bool = False, seed: int = 0, ls: Optional[List[float]] = None, jobs: int = 1
+    fast: bool = False,
+    seed: int = 0,
+    ls: Optional[List[float]] = None,
+    jobs: int = 1,
+    models: Union[str, Sequence[str], None] = None,
 ) -> ExperimentResult:
     ls = ls or (FAST_LS if fast else FULL_LS)
     ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
-    sweeps = latency_sweeps(ls, ns, reps_for(fast), seed=seed, jobs=jobs)
+    sweeps = latency_sweeps(ls, ns, reps_for(fast), seed=seed, jobs=jobs, models=models)
     crossovers = crossovers_from_sweeps(sweeps)
     xs = sorted(crossovers)
     ys = [crossovers[x] for x in xs]

@@ -9,10 +9,11 @@ problem size.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Sequence, Union
 
+from repro.analysis.crossover import crossovers_from_sweeps
 from repro.experiments.base import ExperimentResult, render_series, reps_for
-from repro.experiments.fig5_latency_crossover import crossovers_from_sweeps, linear_fit
+from repro.experiments.fig5_latency_crossover import linear_fit
 from repro.experiments.sweeps import (
     FAST_OS,
     FAST_SWEEP_NS,
@@ -23,11 +24,15 @@ from repro.experiments.sweeps import (
 
 
 def run(
-    fast: bool = False, seed: int = 0, os_: Optional[List[float]] = None, jobs: int = 1
+    fast: bool = False,
+    seed: int = 0,
+    os_: Optional[List[float]] = None,
+    jobs: int = 1,
+    models: Union[str, Sequence[str], None] = None,
 ) -> ExperimentResult:
     os_ = os_ or (FAST_OS if fast else FULL_OS)
     ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
-    sweeps = overhead_sweeps(os_, ns, reps_for(fast), seed=seed, jobs=jobs)
+    sweeps = overhead_sweeps(os_, ns, reps_for(fast), seed=seed, jobs=jobs, models=models)
     crossovers = crossovers_from_sweeps(sweeps)
     xs = sorted(crossovers)
     ys = [crossovers[x] for x in xs]

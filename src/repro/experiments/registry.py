@@ -44,19 +44,41 @@ def get_experiment(exp_id: str) -> Callable[..., ExperimentResult]:
         ) from None
 
 
-def accepts_jobs(runner: Callable[..., ExperimentResult]) -> bool:
-    """Whether *runner* takes a ``jobs=`` keyword (only sweep-heavy
-    experiments are parallelised; the cheap tables are not)."""
+def accepts_keyword(runner: Callable[..., ExperimentResult], keyword: str) -> bool:
+    """Whether *runner* takes *keyword* (experiments declare only the
+    knobs that apply: tables take no ``jobs``, sweeps no ``ns``, ...)."""
     try:
-        return "jobs" in inspect.signature(runner).parameters
+        return keyword in inspect.signature(runner).parameters
     except (TypeError, ValueError):  # pragma: no cover - exotic callables
         return False
 
 
+def accepts_jobs(runner: Callable[..., ExperimentResult]) -> bool:
+    """Whether *runner* takes a ``jobs=`` keyword (only sweep-heavy
+    experiments are parallelised; the cheap tables are not)."""
+    return accepts_keyword(runner, "jobs")
+
+
 def run_experiment(
-    exp_id: str, fast: bool = False, seed: int = 0, jobs: int = 1
+    exp_id: str,
+    fast: bool = False,
+    seed: int = 0,
+    jobs: int = 1,
+    models=None,
+    ns=None,
 ) -> ExperimentResult:
+    """Run one experiment, forwarding only the knobs its runner declares.
+
+    ``models`` (registered prediction-model names) and ``ns`` (problem
+    sizes) are optional overrides; experiments without prediction lines
+    or an n grid silently ignore them, so ``all --models ...`` works.
+    """
     runner = get_experiment(exp_id)
+    kwargs = {"fast": fast, "seed": seed}
     if jobs != 1 and accepts_jobs(runner):
-        return runner(fast=fast, seed=seed, jobs=jobs)
-    return runner(fast=fast, seed=seed)
+        kwargs["jobs"] = jobs
+    if models is not None and accepts_keyword(runner, "models"):
+        kwargs["models"] = models
+    if ns is not None and accepts_keyword(runner, "ns"):
+        kwargs["ns"] = list(ns)
+    return runner(**kwargs)

@@ -9,17 +9,17 @@ and compare the measured performance against QSM's predictions").
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.algorithms.samplesort import run_sample_sort
-from repro.analysis.crossover import band_crossover
-from repro.core.predict_samplesort import SampleSortPredictor
+from repro.analysis.crossover import DEFAULT_BAND, band_crossover_from_predictions
 from repro.experiments.base import mean_std
 from repro.experiments.executor import parallel_map
 from repro.machine.config import MachineConfig
+from repro.predict import get_model, make_source, predict_point, resolve_models
 from repro.qsmlib import QSMMachine, RunConfig
 
 FULL_SWEEP_NS = [4096, 8192, 16384, 32768, 65536, 125000, 250000, 500000]
@@ -45,13 +45,13 @@ class SweepPoint:
 
 @dataclass
 class SampleSortSweep:
-    """Measured comm-vs-n curve for one machine configuration, plus the
-    n-independent-of-measurement prediction lines."""
+    """Measured comm-vs-n curve for one machine configuration, plus one
+    n-independent-of-measurement prediction line per registry model."""
 
     machine: MachineConfig
     points: List[SweepPoint]
-    best_case: List[float]
-    whp_bound: List[float]
+    predictions: Dict[str, List[float]] = field(default_factory=dict)
+    band: Tuple[str, str] = DEFAULT_BAND
 
     @property
     def ns(self) -> List[int]:
@@ -61,9 +61,21 @@ class SampleSortSweep:
     def measured(self) -> List[float]:
         return [pt.comm_mean for pt in self.points]
 
+    @property
+    def best_case(self) -> List[float]:
+        """The band's lower prediction line (default ``qsm-best``)."""
+        return self.predictions[self.band[0]]
+
+    @property
+    def whp_bound(self) -> List[float]:
+        """The band's upper prediction line (default ``qsm-whp``)."""
+        return self.predictions[self.band[1]]
+
     def crossover_n(self) -> Optional[float]:
-        """Problem size where measured falls inside [best case, WHP]."""
-        return band_crossover(self.ns, self.measured, self.whp_bound, self.best_case)
+        """Problem size where measured falls inside the prediction band."""
+        return band_crossover_from_predictions(
+            self.ns, self.measured, self.predictions, band=self.band
+        )
 
 
 def _sweep_point_task(task) -> float:
@@ -87,27 +99,48 @@ def _point_tasks(machine: MachineConfig, ns: Sequence[int], reps: int, seed: int
     return [(machine, n, seed + 1000 * r + 1) for n in ns for r in range(reps)]
 
 
+def _sweep_models(models) -> List[str]:
+    """Validated model list for a sweep: the band plus extra analytic names.
+
+    Sweeps keep only aggregated means, so observed-scenario models (which
+    need per-run skews) cannot be priced here and are rejected loudly.
+    """
+    names = resolve_models(models, default=DEFAULT_BAND)
+    for name in list(DEFAULT_BAND):
+        if name not in names:
+            names.append(name)
+    observed = [n for n in names if get_model(n).scenario == "observed"]
+    if observed:
+        raise ValueError(
+            f"sweep experiments cannot price observed-scenario models "
+            f"{observed}; they need per-run skews (use fig2/fig3 for those)"
+        )
+    return names
+
+
 def _assemble_sweep(
     machine: MachineConfig,
     ns: Sequence[int],
     reps: int,
     comms_flat: Sequence[float],
     seed: int,
+    models: Optional[Sequence[str]] = None,
 ) -> SampleSortSweep:
     """Fold flat per-point measurements back into a SampleSortSweep."""
     probe = QSMMachine(RunConfig(machine=machine, seed=seed))
-    predictor = SampleSortPredictor(machine.p, probe.cost_model(), probe.machine.cpus[0])
+    costs = probe.cost_model()
+    source = make_source("samplesort", p=machine.p, cpu=probe.machine.cpus[0])
+    model_names = _sweep_models(models)
 
     points: List[SweepPoint] = []
-    best_case: List[float] = []
-    whp_bound: List[float] = []
+    predictions: Dict[str, List[float]] = {name: [] for name in model_names}
     for i, n in enumerate(ns):
         comms = list(comms_flat[i * reps : (i + 1) * reps])
         cm, cs = mean_std(comms)
         points.append(SweepPoint(n=n, comm_mean=cm, comm_std=cs))
-        best_case.append(predictor.qsm_best_case(n))
-        whp_bound.append(predictor.qsm_whp_bound(n))
-    return SampleSortSweep(machine=machine, points=points, best_case=best_case, whp_bound=whp_bound)
+        for rec in predict_point(source, model_names, costs, n=n):
+            predictions[rec.model].append(rec.comm_cycles)
+    return SampleSortSweep(machine=machine, points=points, predictions=predictions)
 
 
 def run_samplesort_sweep(
@@ -116,11 +149,12 @@ def run_samplesort_sweep(
     reps: int,
     seed: int = 0,
     jobs: int = 1,
+    models: Optional[Sequence[str]] = None,
 ) -> SampleSortSweep:
     """Measure sample-sort communication over the n grid on *machine*."""
     ns = list(ns)
     comms = parallel_map(_sweep_point_task, _point_tasks(machine, ns, reps, seed), jobs=jobs)
-    return _assemble_sweep(machine, ns, reps, comms, seed)
+    return _assemble_sweep(machine, ns, reps, comms, seed, models=models)
 
 
 def _machine_sweeps(
@@ -130,6 +164,7 @@ def _machine_sweeps(
     reps: int,
     seed: int,
     jobs: int,
+    models: Optional[Sequence[str]] = None,
 ) -> Dict[float, SampleSortSweep]:
     """Run one sweep per machine, flattening all points into one pool."""
     ns = list(ns)
@@ -137,24 +172,34 @@ def _machine_sweeps(
     comms = parallel_map(_sweep_point_task, tasks, jobs=jobs)
     per = len(ns) * reps
     return {
-        key: _assemble_sweep(m, ns, reps, comms[i * per : (i + 1) * per], seed)
+        key: _assemble_sweep(m, ns, reps, comms[i * per : (i + 1) * per], seed, models=models)
         for i, (key, m) in enumerate(zip(keys, machines))
     }
 
 
 def latency_sweeps(
-    ls: Sequence[float], ns: Sequence[int], reps: int, seed: int = 0, jobs: int = 1
+    ls: Sequence[float],
+    ns: Sequence[int],
+    reps: int,
+    seed: int = 0,
+    jobs: int = 1,
+    models: Optional[Sequence[str]] = None,
 ) -> Dict[float, SampleSortSweep]:
     """One sweep per hardware latency value (Figures 4 and 5)."""
     base = MachineConfig()
     machines = [base.with_network(latency_cycles=l) for l in ls]
-    return _machine_sweeps(machines, list(ls), ns, reps, seed, jobs)
+    return _machine_sweeps(machines, list(ls), ns, reps, seed, jobs, models=models)
 
 
 def overhead_sweeps(
-    os_: Sequence[float], ns: Sequence[int], reps: int, seed: int = 0, jobs: int = 1
+    os_: Sequence[float],
+    ns: Sequence[int],
+    reps: int,
+    seed: int = 0,
+    jobs: int = 1,
+    models: Optional[Sequence[str]] = None,
 ) -> Dict[float, SampleSortSweep]:
     """One sweep per per-message overhead value (Figure 6)."""
     base = MachineConfig()
     machines = [base.with_network(overhead_cycles=o) for o in os_]
-    return _machine_sweeps(machines, list(os_), ns, reps, seed, jobs)
+    return _machine_sweeps(machines, list(os_), ns, reps, seed, jobs, models=models)

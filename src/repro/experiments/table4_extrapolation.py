@@ -11,9 +11,9 @@ success criterion.
 
 from __future__ import annotations
 
+from repro.analysis.crossover import crossovers_from_sweeps
 from repro.analysis.extrapolate import fit_nmin_model, table4_rows
 from repro.experiments.base import ExperimentResult, render_table, reps_for
-from repro.experiments.fig5_latency_crossover import crossovers_from_sweeps
 from repro.experiments.sweeps import (
     FAST_LS,
     FAST_OS,

@@ -1,0 +1,280 @@
+"""The model engine: a registry of named variants plus evaluation.
+
+One pipeline replaces the three bespoke ``core/predict_*`` classes:
+
+1. an algorithm contributes a **phase-profile source**
+   (:mod:`repro.predict.sources`) — a function from problem size and
+   scenario to a :class:`~repro.predict.profile.PhaseProfile`;
+2. a **model variant** (anything satisfying :class:`Predictor`) prices
+   any profile in cycles;
+3. :func:`predict_point` crosses the two: it evaluates every requested
+   variant against the source's profile for that variant's scenario
+   (analytic scenarios from the closed-form skews, ``observed`` from
+   measured runs) and returns uniform :class:`PredictionRecord` s.
+
+Adding a model (SQSM, LogGP, ...) is one :func:`register_model` call;
+every figure then accepts it through ``--models`` with no per-figure
+wiring.  Each evaluation emits ``predict.*`` obs counters and (when
+span recording is on) wall-clock spans, so traces show prediction cost
+alongside the measured phases.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Protocol, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.predict.profile import PhaseProfile
+from repro.qsmlib.costmodel import CommCostModel
+
+#: Scenario names analytic sources must understand.
+ANALYTIC_SCENARIOS = ("best", "whp")
+#: The scenario computed from measured runs instead of closed forms.
+OBSERVED_SCENARIO = "observed"
+
+
+class Predictor(Protocol):
+    """What the registry holds: a named, scenario-tagged cost evaluator.
+
+    ``scenario`` decides which profile the engine feeds it: ``best`` /
+    ``whp`` profiles come from the source's closed-form skews,
+    ``observed`` profiles from measured runs.
+    """
+
+    name: str
+    family: str
+    scenario: str
+
+    def comm_cycles(self, profile: PhaseProfile, costs: CommCostModel) -> float:
+        """Predicted communication time of *profile*, in cycles."""
+        ...
+
+
+@dataclass(frozen=True)
+class ModelVariant:
+    """A :class:`Predictor` built from a plain evaluator function."""
+
+    name: str
+    family: str
+    scenario: str
+    evaluator: Any  # Callable[[PhaseProfile, CommCostModel], float]
+    doc: str = ""
+
+    def comm_cycles(self, profile: PhaseProfile, costs: CommCostModel) -> float:
+        return self.evaluator(profile, costs)
+
+
+@dataclass(frozen=True)
+class PredictionRecord:
+    """One (model, data point) prediction, uniform across figures."""
+
+    model: str
+    algo: str
+    scenario: str
+    comm_cycles: float
+    n: Optional[float] = None
+    meta: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out = {
+            "model": self.model,
+            "algo": self.algo,
+            "scenario": self.scenario,
+            "comm_cycles": self.comm_cycles,
+        }
+        if self.n is not None:
+            out["n"] = self.n
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_MODELS: Dict[str, Predictor] = {}
+
+
+def register_model(model: Predictor, replace: bool = False) -> Predictor:
+    """Add *model* to the registry under ``model.name``.
+
+    Duplicate names are rejected unless ``replace=True`` — silent
+    shadowing of a builtin variant would corrupt every figure using it.
+    """
+    name = model.name
+    if not replace and name in _MODELS:
+        raise ValueError(
+            f"model {name!r} is already registered; pass replace=True to override"
+        )
+    if model.scenario not in ANALYTIC_SCENARIOS + (OBSERVED_SCENARIO,):
+        raise ValueError(
+            f"model {name!r} has unknown scenario {model.scenario!r}; expected one "
+            f"of {ANALYTIC_SCENARIOS + (OBSERVED_SCENARIO,)}"
+        )
+    _MODELS[name] = model
+    return model
+
+
+def unregister_model(name: str) -> None:
+    """Remove a registered model (primarily for tests)."""
+    _MODELS.pop(name, None)
+
+
+def get_model(name: str) -> Predictor:
+    try:
+        return _MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown prediction model {name!r}; available: "
+            f"{', '.join(available_models())}"
+        ) from None
+
+
+def available_models() -> Tuple[str, ...]:
+    """Registered model names, sorted."""
+    return tuple(sorted(_MODELS))
+
+
+def resolve_models(
+    spec: Union[str, Sequence[str], None], default: Optional[Sequence[str]] = None
+) -> List[str]:
+    """Normalise a ``--models`` value to validated registry names.
+
+    *spec* may be a comma-separated string, a sequence of names, or
+    ``None`` (falls back to *default*, or every registered model).
+    Order is preserved, duplicates dropped, unknown names rejected.
+    """
+    if spec is None:
+        names: List[str] = list(default) if default is not None else list(available_models())
+    elif isinstance(spec, str):
+        names = [part.strip() for part in spec.split(",") if part.strip()]
+    else:
+        names = list(spec)
+    seen: List[str] = []
+    for name in names:
+        get_model(name)  # raises with the available list on unknown names
+        if name not in seen:
+            seen.append(name)
+    if not seen:
+        raise ValueError("no prediction models selected")
+    return seen
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+def evaluate(model_name: str, profile: PhaseProfile, costs: CommCostModel) -> PredictionRecord:
+    """Price one profile under one registered model."""
+    model = get_model(model_name)
+    w0 = time.perf_counter()
+    value = float(model.comm_cycles(profile, costs))
+    _emit_obs(model_name, profile, time.perf_counter() - w0)
+    return PredictionRecord(
+        model=model_name,
+        algo=profile.algo,
+        scenario=profile.scenario,
+        comm_cycles=value,
+        n=profile.n,
+    )
+
+
+def predict_point(
+    source,
+    models: Sequence[str],
+    costs: CommCostModel,
+    n: Optional[int] = None,
+    runs: Iterable = (),
+) -> List[PredictionRecord]:
+    """Evaluate *models* for one data point of *source*.
+
+    Analytic variants are priced on the source's closed-form profile
+    for their scenario at problem size *n*; ``observed`` variants are
+    priced on each run in *runs* and averaged (the §3.1.1 discipline:
+    mean over repetitions).  Raises when an observed variant is
+    requested without runs.
+    """
+    runs = list(runs)
+    records: List[PredictionRecord] = []
+    for name in models:
+        model = get_model(name)
+        if model.scenario == OBSERVED_SCENARIO:
+            if not runs:
+                raise ValueError(
+                    f"model {name!r} needs measured runs (observed scenario), "
+                    "but none were provided"
+                )
+            per_run = [
+                evaluate(name, source.observed_profile(run), costs).comm_cycles
+                for run in runs
+            ]
+            records.append(
+                PredictionRecord(
+                    model=name,
+                    algo=source.algo,
+                    scenario=OBSERVED_SCENARIO,
+                    comm_cycles=float(np.mean(per_run)),
+                    n=float(n) if n is not None else None,
+                    meta={"per_run": per_run},
+                )
+            )
+        else:
+            profile = source.profile(model.scenario, n)
+            records.append(evaluate(name, profile, costs))
+    return records
+
+
+def predict_value(
+    source,
+    model_name: str,
+    costs: CommCostModel,
+    n: Optional[int] = None,
+    run=None,
+) -> float:
+    """Convenience: one model, one point, the predicted cycles."""
+    runs = [run] if run is not None else []
+    return predict_point(source, [model_name], costs, n=n, runs=runs)[0].comm_cycles
+
+
+# ----------------------------------------------------------------------
+# Observability
+# ----------------------------------------------------------------------
+_PREDICT_CAPTURE = None
+
+
+def _emit_obs(model_name: str, profile: PhaseProfile, wall_seconds: float) -> None:
+    """``predict.*`` counters + a wall-clock span per evaluation.
+
+    Predictions run outside any simulator, so spans use the wall clock
+    on both axes (microseconds as the t-axis) in a dedicated
+    ``predict`` capture — they land in exported traces next to the
+    simulated runs.
+    """
+    if not obs.enabled():
+        return
+    m = obs.metrics()
+    m.counter("predict.evaluations").inc()
+    m.counter(f"predict.model.{model_name}").inc()
+    m.histogram("predict.wall_us").record(wall_seconds * 1e6)
+
+    state = obs.state()
+    if state is None or not state.record_spans:
+        return
+    global _PREDICT_CAPTURE
+    if _PREDICT_CAPTURE is None or _PREDICT_CAPTURE not in state.runs:
+        _PREDICT_CAPTURE = state.new_run("predict")
+    w0 = time.perf_counter()
+    span = obs.Span(
+        f"predict.{model_name}",
+        0,
+        (w0 - wall_seconds) * 1e6,
+        w0 - wall_seconds,
+        0,
+        {"algo": profile.algo, "scenario": profile.scenario, "n": profile.n},
+    )
+    span.t1 = w0 * 1e6
+    span.w1 = w0
+    _PREDICT_CAPTURE._add(_PREDICT_CAPTURE.spans, span)

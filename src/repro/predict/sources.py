@@ -1,0 +1,348 @@
+"""Phase-profile sources: one per algorithm, the closed-form skew math.
+
+Each source is what remains of the retired per-algorithm predictor
+classes (``core/predict_prefix``/``_samplesort``/``_listrank``): the
+§3.2 analysis mapping a problem size and a load-balance scenario to
+per-phase word counts.  Sources know nothing about pricing — any
+registered model variant (:mod:`repro.predict.models`) evaluates their
+profiles — so "add SQSM or LogGP and rerun Figures 1-6" touches no file
+here.
+
+Phase lists mirror each algorithm's closed form **term by term** (same
+products, same summation order) so the engine's evaluation reproduces
+the pre-refactor prediction lines bit-for-bit; the golden-value tests
+pin this.  ``messages`` is one bulk message per peer for phases with
+traffic — the LogP view of the same pattern.
+
+Register a new algorithm with :func:`register_source`; figures resolve
+sources by algorithm name via :func:`make_source`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+from repro.algorithms.common import (
+    profile_copy,
+    profile_gather_scatter,
+    profile_partition,
+    profile_scan_add,
+    profile_sort,
+)
+from repro.algorithms.listrank import ListRankParams
+from repro.algorithms.samplesort import SampleSortParams
+from repro.core.chernoff import (
+    chernoff_binomial_lower,
+    chernoff_binomial_upper,
+    oversampling_bucket_bound,
+)
+from repro.machine.cpu import CPUModel
+from repro.predict.profile import PhaseComm, PhaseProfile
+from repro.qsmlib.stats import RunResult
+
+
+class ProfileSourceBase:
+    """Scenario dispatch + the generic observed-skew profile."""
+
+    algo: str = "?"
+
+    def profile(self, scenario: str, n: int) -> PhaseProfile:
+        """Closed-form profile for an analytic scenario at size *n*."""
+        if scenario == "best":
+            phases = self._phases(n, *self.best_case_skews(n))
+        elif scenario == "whp":
+            phases = self._phases(n, *self.whp_skews(n))
+        else:
+            raise ValueError(
+                f"{self.algo} source has no closed form for scenario {scenario!r}; "
+                "observed profiles come from measured runs (observed_profile)"
+            )
+        return PhaseProfile(
+            algo=self.algo,
+            scenario=scenario,
+            p=self.p,
+            n_syncs=self.n_syncs(n),
+            phases=tuple(phases),
+            n=float(n),
+        )
+
+    def observed_profile(self, run: RunResult) -> PhaseProfile:
+        """Measured-skew profile of one run of this algorithm."""
+        prof = PhaseProfile.from_run(run, algo=self.algo)
+        return prof
+
+    # Subclass API ------------------------------------------------------
+    def n_syncs(self, n: int) -> int:
+        raise NotImplementedError
+
+    def best_case_skews(self, n: int):
+        raise NotImplementedError
+
+    def whp_skews(self, n: int):
+        raise NotImplementedError
+
+    def _phases(self, n: int, *skews) -> List[PhaseComm]:
+        raise NotImplementedError
+
+
+@dataclass
+class PrefixSource(ProfileSourceBase):
+    """Prefix sums (Figure 1): one phase broadcasting p−1 words.
+
+    The QSM analysis predicts ``g·(p−1)`` independent of ``n`` — the
+    paper's example of a large *relative* / small *absolute* error,
+    since per-message overhead and latency dominate tiny messages.
+    """
+
+    p: int
+    cpu: CPUModel = None
+
+    algo = "prefix"
+    #: The algorithm uses exactly one synchronization.
+    N_SYNCS = 1
+
+    def n_syncs(self, n: int) -> int:
+        return self.N_SYNCS
+
+    # The prefix pattern is deterministic: best == whp.
+    def best_case_skews(self, n: int) -> tuple:
+        return ()
+
+    def whp_skews(self, n: int) -> tuple:
+        return ()
+
+    def _phases(self, n: int, *skews) -> List[PhaseComm]:
+        return [PhaseComm(put_words=self.p - 1, messages=float(self.p - 1))]
+
+    # -- computation ----------------------------------------------------
+    def compute(self, n: int) -> float:
+        """Local-work estimate matching the program's charges."""
+        per_proc = -(-n // self.p)
+        phase1 = self.cpu.cycles(profile_scan_add(per_proc))
+        phase2 = self.cpu.cycles(profile_scan_add(self.p)) + self.cpu.cycles(
+            profile_scan_add(per_proc)
+        )
+        return phase1 + phase2
+
+    # -- sanity hook ----------------------------------------------------
+    def check_run(self, run: RunResult) -> None:
+        """Assert the measured run has the predicted communication shape."""
+        if run.n_phases != self.N_SYNCS:
+            raise AssertionError(
+                f"prefix sums should synchronize once, measured {run.n_phases}"
+            )
+        if run.sum_max_put_words() != self.p - 1:
+            raise AssertionError(
+                f"prefix sums should put p-1 remote words, measured "
+                f"{run.sum_max_put_words()}"
+            )
+
+
+@dataclass
+class SampleSortSource(ProfileSourceBase):
+    """Sample sort (Figure 2): the paper's four-term closed form.
+
+    Per-phase words for skews ``(B, r, out_remote)`` — largest bucket,
+    its remote fraction, and the remote words of the final write::
+
+        samples   s·(p−1) put      (the paper's 4(p−1)·log n term)
+        control   3·(p−1) put      (counts + bucket totals)
+        gather    B·r     get
+        output    out_remote put   (zero when buckets align, ≤ g·B)
+
+    plus the trailing output sync (no traffic).  Scenarios: perfect
+    balance (``best``) and Chernoff bounds holding for ≥ ``confidence``
+    of runs (``whp``, union bound over the p buckets).
+    """
+
+    p: int
+    cpu: CPUModel = None
+    params: SampleSortParams = field(default_factory=SampleSortParams)
+    confidence: float = 0.9
+
+    algo = "samplesort"
+    N_SYNCS = 5
+
+    def n_syncs(self, n: int) -> int:
+        return self.N_SYNCS
+
+    def best_case_skews(self, n: int) -> tuple:
+        """Perfect balance: B = n/p, r = (p−1)/p, aligned output."""
+        B = n / self.p
+        return B, (self.p - 1) / self.p, 0.0
+
+    def whp_skews(self, n: int) -> tuple:
+        """Chernoff bounds holding for ≥ `confidence` of runs.
+
+        The largest bucket is bounded by the over-sampling window
+        argument (:func:`~repro.core.chernoff.oversampling_bucket_bound`)
+        — a constant factor above n/p determined by the per-processor
+        sample count, matching the paper's observation that the WHP
+        line's *slope* differs from the best case's.
+        """
+        alpha = 1.0 - self.confidence
+        s = self.params.samples_per_proc(n)
+        B = oversampling_bucket_bound(n, self.p, s, alpha=alpha)
+        r = 1.0  # safe upper bound on the remote fraction
+        out_remote = min(B, self.p * max(0.0, B - n / self.p))
+        return float(B), r, out_remote
+
+    def _phases(self, n: int, B: float, r: float, out_remote: float) -> List[PhaseComm]:
+        p = self.p
+        s = self.params.samples_per_proc(n)
+        peers = float(p - 1)
+        return [
+            PhaseComm(put_words=s * (p - 1), messages=peers),  # sample broadcast
+            PhaseComm(put_words=2 * (p - 1) + (p - 1), messages=peers),  # control
+            PhaseComm(get_words=B * r, messages=peers),  # bucket gather
+            PhaseComm(put_words=out_remote, messages=peers if out_remote else 0.0),
+            PhaseComm(),  # output sync: no traffic
+        ]
+
+    # -- computation ----------------------------------------------------
+    def compute(self, n: int, B: float = None) -> float:
+        """Local-work estimate matching the program's charges."""
+        p = self.p
+        s = self.params.samples_per_proc(n)
+        m = -(-n // p)
+        if B is None:
+            B = n / p
+        cycles = 0.0
+        cycles += self.cpu.cycles(profile_gather_scatter(s, region=m))  # sampling
+        cycles += self.cpu.cycles(profile_sort(p * s))  # sample sort
+        cycles += self.cpu.cycles(profile_partition(m, p))  # bucket assignment
+        cycles += self.cpu.cycles(profile_gather_scatter(m, region=m))  # staging
+        cycles += 2 * self.cpu.cycles(profile_scan_add(p))  # offsets
+        cycles += self.cpu.cycles(profile_sort(int(B)))  # bucket sort
+        cycles += self.cpu.cycles(profile_copy(int(B)))  # output copy
+        return cycles
+
+
+@dataclass
+class ListRankSource(ProfileSourceBase):
+    """List ranking (Figure 3): per-iteration randomized-contraction skews.
+
+    Per compression iteration with ``f`` flips, ``rm`` removals and
+    remote fraction ``π``: ``π·f`` get (successor flips), ``3·π·rm``
+    put (splice + distance), ``π·rm`` get (expansion); then the
+    endgame: count broadcast ``p−1``, ``3·z_local`` words shipped to
+    node 0, and node 0's rank write-back of ``z_total·π`` words.
+    ``4T+5`` synchronizations in total.
+    """
+
+    p: int
+    cpu: CPUModel = None
+    params: ListRankParams = field(default_factory=ListRankParams)
+    confidence: float = 0.9
+
+    algo = "listrank"
+
+    @property
+    def iterations(self) -> int:
+        return self.params.iterations(self.p)
+
+    def n_syncs(self, n: int) -> int:
+        """1 registration + 3·T compression + 3 endgame + T expansion + 1 free."""
+        return 4 * self.iterations + 5
+
+    def best_case_skews(self, n: int) -> Tuple[List[float], List[float], float, float, float]:
+        """No randomization skew: geometric decay at rate 3/4."""
+        T = self.iterations
+        x = n / self.p
+        flips, removals = [], []
+        for _ in range(T):
+            flips.append(x / 2.0)
+            removals.append(x / 4.0)
+            x *= 0.75
+        z_local = x
+        z_total = min(float(n), self.p * x)
+        pi = (self.p - 1) / self.p
+        return flips, removals, z_local, z_total, pi
+
+    def whp_skews(self, n: int) -> Tuple[List[float], List[float], float, float, float]:
+        """Chernoff-bounded evolution holding for ≥ `confidence` of runs.
+
+        Upper-bounds the flip count (Bin(x, 1/2) upper tail) and
+        lower-bounds the removal count (Bin(x, 1/4) lower tail) in each
+        iteration, with the failure budget split over processors and
+        2·T events.
+        """
+        T = self.iterations
+        if T == 0:
+            return [], [], n / self.p, float(n), (self.p - 1) / self.p
+        alpha = 1.0 - self.confidence
+        union = self.p * 2 * T
+        x = float(-(-n // self.p))
+        flips, removals = [], []
+        for _ in range(T):
+            xi = max(1, int(x))
+            flips.append(float(chernoff_binomial_upper(xi, 0.5, alpha=alpha, union=union)))
+            removed = float(chernoff_binomial_lower(xi, 0.25, alpha=alpha, union=union))
+            removals.append(removed)
+            x = max(0.0, x - removed)
+        z_local = x
+        z_total = min(float(n), self.p * x)
+        pi = (self.p - 1) / self.p
+        return flips, removals, z_local, z_total, pi
+
+    def _phases(
+        self,
+        n: int,
+        flips: List[float],
+        removals: List[float],
+        z_local: float,
+        z_total: float,
+        pi: float,
+    ) -> List[PhaseComm]:
+        peers = float(self.p - 1)
+        phases: List[PhaseComm] = []
+        for f, rm in zip(flips, removals):
+            phases.append(PhaseComm(get_words=pi * f, messages=peers))  # successor flips
+            phases.append(PhaseComm(put_words=pi * 3.0 * rm, messages=peers))  # splice
+            phases.append(PhaseComm(get_words=pi * rm, messages=peers))  # expansion
+        phases.append(PhaseComm(put_words=self.p - 1, messages=peers))  # count broadcast
+        phases.append(PhaseComm(put_words=3.0 * z_local, messages=1.0))  # ship to node 0
+        phases.append(PhaseComm(put_words=z_total * pi, messages=peers))  # rank write-back
+        return phases
+
+    # ------------------------------------------------------------------
+    def expected_sum_x(self, n: int) -> float:
+        """Σ x_i in the best case (the paper's leading term)."""
+        T = self.iterations
+        x = n / self.p
+        return x * (1.0 - 0.75**T) / 0.25 if T else 0.0
+
+
+# ----------------------------------------------------------------------
+# Source registry: algorithm name -> source factory
+# ----------------------------------------------------------------------
+_SOURCES: Dict[str, Callable[..., ProfileSourceBase]] = {}
+
+
+def register_source(algo: str, factory: Callable[..., ProfileSourceBase]) -> None:
+    """Register a profile-source factory under an algorithm name."""
+    if algo in _SOURCES:
+        raise ValueError(f"profile source for {algo!r} is already registered")
+    _SOURCES[algo] = factory
+
+
+def available_sources() -> Tuple[str, ...]:
+    return tuple(sorted(_SOURCES))
+
+
+def make_source(algo: str, p: int, cpu: CPUModel = None, **kwargs) -> ProfileSourceBase:
+    """Build the registered profile source for *algo*."""
+    try:
+        factory = _SOURCES[algo]
+    except KeyError:
+        raise KeyError(
+            f"no profile source for algorithm {algo!r}; available: "
+            f"{', '.join(available_sources())}"
+        ) from None
+    return factory(p=p, cpu=cpu, **kwargs)
+
+
+register_source("prefix", PrefixSource)
+register_source("samplesort", SampleSortSource)
+register_source("listrank", ListRankSource)

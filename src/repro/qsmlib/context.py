@@ -132,17 +132,21 @@ class QSMContext:
         """
         spec = (n, layout, np.dtype(dtype))
         if name in self._alloc_requests:
-            prev_spec, ref = self._alloc_requests[name]
+            prev_spec, ref, _origin = self._alloc_requests[name]
             if prev_spec != spec:
                 raise ValueError(f"conflicting alloc specs for {name!r} in one phase")
             return ref
+        san = self.queue.sanitizer
+        origin = san.enqueue_origin() if san is not None else None
         ref = SharedArrayRef(name)
-        self._alloc_requests[name] = (spec, ref)
+        self._alloc_requests[name] = (spec, ref, origin)
         return ref
 
     def free(self, arr_or_ref) -> None:
         """Collectively unregister a shared array at the next sync."""
-        self._free_requests.append(arr_or_ref)
+        san = self.queue.sanitizer
+        origin = san.enqueue_origin() if san is not None else None
+        self._free_requests.append((arr_or_ref, origin))
 
     # ------------------------------------------------------------------
     def observe(self, key: str, value: float) -> None:

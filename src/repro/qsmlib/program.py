@@ -248,7 +248,7 @@ class QSMMachine:
         per_pid: Dict[int, set] = {}
         for ctx in ctxs:
             targets = set()
-            for item in ctx._free_requests:
+            for item, _origin in ctx._free_requests:
                 arr = item.array if isinstance(item, SharedArrayRef) else item
                 targets.add(arr.aid)
             per_pid[ctx.pid] = targets

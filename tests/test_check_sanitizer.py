@@ -117,8 +117,25 @@ def test_multi_writer_reported_with_resolution_order(sanitizer):
     assert diag.severity == "warning"
     assert diag.pids == (0, 1, 2, 3)
     assert "apply order" in diag.message and "last listed writer wins" in diag.message
+    # small conflicts spell out every contribution and mark the winner
+    assert "values per cell" in diag.message
+    assert "cell 5: pid 0 put 100, pid 1 put 101, pid 2 put 102, pid 3 put 103 <- winner" in (
+        diag.message
+    )
     # and the resolution order reported is the one actually applied:
     assert A.data[5] == 103  # pid 3's put applied last
+
+
+def test_multi_writer_large_conflict_omits_value_dump(sanitizer):
+    def racy(ctx, A):
+        ctx.put(A, np.arange(16), np.full(16, ctx.pid))
+        yield ctx.sync()
+
+    qm = QSMMachine(_config(p=2, check_semantics=False))
+    A = qm.allocate("race.B", 16)
+    qm.run(racy, A=A)
+    diag = next(d for d in sanitizer.diagnostics if d.code == "QS002")
+    assert "values per cell" not in diag.message  # > _MAX_CELLS_LISTED cells
 
 
 def test_unsafe_dtype_put_rejected(sanitizer):
@@ -181,6 +198,26 @@ def test_incongruent_alloc_names_missing_pids(sanitizer):
     msg = str(exc.value)
     assert "QS005" in msg and "'tmp'" in msg
     assert "pids [0]" in msg and "pids [1, 2, 3]" in msg
+    # the alloc call site is named for every participating pid
+    diag = exc.value.diagnostic
+    assert diag.origins and all("(alloc)" in o for o in diag.origins)
+    assert all("test_check_sanitizer.py" in o for o in diag.origins)
+
+
+def test_incongruent_free_names_call_sites(sanitizer):
+    def lopsided(ctx, A):
+        if ctx.pid == 0:
+            ctx.free(A)
+        yield ctx.sync()
+
+    qm = QSMMachine(_config(p=4, check_semantics=False))
+    A = qm.allocate("freeme", 16)
+    with pytest.raises(SanitizerError) as exc:
+        qm.run(lopsided, A=A)
+    diag = exc.value.diagnostic
+    assert diag.code == "QS005" and "incongruent" in diag.message
+    assert diag.origins and all("(free)" in o for o in diag.origins)
+    assert all("test_check_sanitizer.py" in o for o in diag.origins)
 
 
 def test_desync_recorded_alongside_spmderror(sanitizer_warn):

@@ -75,8 +75,8 @@ def test_table3_matches_paper_observed_row():
 
 def test_fig1_shape_constant_predictions_below_measured():
     res = fig1_prefix.run(fast=True, ns=[4096, 65536])
-    qsm = res.data["comm_qsm_pred"]
-    bsp = res.data["comm_bsp_pred"]
+    qsm = res.data["qsm-best"]
+    bsp = res.data["bsp-best"]
     meas = res.data["comm_measured"]
     assert qsm[0] == qsm[1]  # n-independent
     assert bsp[0] == bsp[1]
@@ -87,9 +87,9 @@ def test_fig1_shape_constant_predictions_below_measured():
 def test_fig2_shape_brackets_and_convergence():
     res = fig2_samplesort.run(fast=True, ns=[8192, 125000])
     meas = res.data["comm_measured"]
-    best = res.data["best_case"]
-    whp = res.data["whp_bound"]
-    est = res.data["qsm_estimate"]
+    best = res.data["qsm-best"]
+    whp = res.data["qsm-whp"]
+    est = res.data["qsm-observed"]
     for i in range(2):
         assert best[i] <= meas[i] <= whp[i]
         assert est[i] < meas[i]  # QSM underestimates
@@ -103,8 +103,8 @@ def test_fig2_shape_brackets_and_convergence():
 def test_fig3_shape_bsp_closer_and_within_15pct():
     res = fig3_listrank.run(fast=True, ns=[8192, 60000])
     meas = res.data["comm_measured"]
-    qsm = res.data["qsm_estimate"]
-    bsp = res.data["bsp_estimate"]
+    qsm = res.data["qsm-observed"]
+    bsp = res.data["bsp-observed"]
     for i in range(2):
         assert abs(bsp[i] - meas[i]) <= abs(qsm[i] - meas[i])
     assert abs(qsm[1] - meas[1]) / meas[1] <= 0.15

@@ -31,8 +31,10 @@ def test_sweep_crossover_on_synthetic_data():
     sweep = SampleSortSweep(
         machine=MachineConfig(),
         points=[SweepPoint(n, m, 0.0) for n, m in [(10, 50.0), (20, 45.0), (30, 40.0)]],
-        best_case=[20.0, 25.0, 30.0],
-        whp_bound=[40.0, 44.0, 46.0],
+        predictions={
+            "qsm-best": [20.0, 25.0, 30.0],
+            "qsm-whp": [40.0, 44.0, 46.0],
+        },
     )
     n_star = sweep.crossover_n()
     assert 20 < n_star <= 30

@@ -17,8 +17,8 @@ from repro.algorithms import (
     sequential_prefix_sums,
     sequential_sort,
 )
-from repro.core import ListRankPredictor, PrefixPredictor, SampleSortPredictor
 from repro.machine.config import MachineConfig
+from repro.predict import make_source, predict_value
 from repro.qsmlib import QSMMachine, RunConfig
 
 
@@ -48,33 +48,33 @@ def test_samplesort_within_10pct_at_125k(default_env):
     """§3.2: 'Accuracies within 10% ... for all problem sizes larger than
     about 125,000 elements total.'"""
     costs, cpu = default_env
-    pred = SampleSortPredictor(16, costs, cpu)
+    source = make_source("samplesort", p=16, cpu=cpu)
     rng = np.random.default_rng(4)
     out = run_sample_sort(rng.integers(0, 2**62, size=125000), run_cfg(4))
-    est = pred.qsm_estimate_from_run(out.run)
+    est = predict_value(source, "qsm-observed", costs, run=out.run)
     assert abs(est - out.run.comm_cycles) / out.run.comm_cycles <= 0.10
 
 
 def test_listrank_within_15pct_at_60k_and_bsp_at_40k(default_env):
     """§3.2: BSP within 15% for n >= 40000; QSM within 15% for n >= 60000."""
     costs, cpu = default_env
-    pred = ListRankPredictor(16, costs, cpu)
+    source = make_source("listrank", p=16, cpu=cpu)
     out40 = run_list_ranking(make_random_list(40000, seed=2), run_cfg(2))
-    bsp40 = pred.bsp_estimate_from_run(out40.run)
+    bsp40 = predict_value(source, "bsp-observed", costs, run=out40.run)
     assert abs(bsp40 - out40.run.comm_cycles) / out40.run.comm_cycles <= 0.15
     out60 = run_list_ranking(make_random_list(60000, seed=2), run_cfg(2))
-    qsm60 = pred.qsm_estimate_from_run(out60.run)
+    qsm60 = predict_value(source, "qsm-observed", costs, run=out60.run)
     assert abs(qsm60 - out60.run.comm_cycles) / out60.run.comm_cycles <= 0.15
 
 
 def test_prediction_error_decreases_with_n(default_env):
     costs, cpu = default_env
-    pred = SampleSortPredictor(16, costs, cpu)
+    source = make_source("samplesort", p=16, cpu=cpu)
     errs = []
     rng = np.random.default_rng(9)
     for n in [4096, 32768, 250000]:
         out = run_sample_sort(rng.integers(0, 2**62, size=n), run_cfg(9))
-        est = pred.qsm_estimate_from_run(out.run)
+        est = predict_value(source, "qsm-observed", costs, run=out.run)
         errs.append(abs(est - out.run.comm_cycles) / out.run.comm_cycles)
     assert errs[2] < errs[0]
 
@@ -86,12 +86,15 @@ def test_comm_dominated_by_overheads_only_for_prefix(default_env):
     n = 65536
     rng = np.random.default_rng(3)
     prefix = run_prefix_sums(rng.integers(0, 9, n), run_cfg(3))
-    pp = PrefixPredictor(16, costs, cpu)
-    assert pp.qsm_comm(n) / prefix.run.comm_cycles < 0.25
+    prefix_source = make_source("prefix", p=16, cpu=cpu)
+    assert predict_value(prefix_source, "qsm-best", costs, n=n) / prefix.run.comm_cycles < 0.25
 
     sort = run_sample_sort(rng.integers(0, 2**62, n), run_cfg(3))
-    sp = SampleSortPredictor(16, costs, cpu)
-    assert sp.qsm_estimate_from_run(sort.run) / sort.run.comm_cycles > 0.8
+    sort_source = make_source("samplesort", p=16, cpu=cpu)
+    assert (
+        predict_value(sort_source, "qsm-observed", costs, run=sort.run) / sort.run.comm_cycles
+        > 0.8
+    )
 
 
 def test_repetition_variance_matches_paper_bounds():

@@ -73,6 +73,45 @@ def test_multi_machine_sweeps_identical_across_job_counts():
     assert all_points(1) == all_points(2)
 
 
+def _racy_point(seed):
+    """Module-level (picklable) task that trips one QS002 warning."""
+    from repro.qsmlib import QSMMachine, RunConfig
+
+    qm = QSMMachine(
+        RunConfig(machine=MachineConfig(p=2), seed=seed, check_semantics=False)
+    )
+    A = qm.allocate("merge.A", 4)
+
+    def racy(ctx, A):
+        ctx.put(A, [seed % 4], [ctx.pid + 10 * seed])
+        yield ctx.sync()
+
+    qm.run(racy, A=A)
+    return seed
+
+
+def test_worker_diagnostics_merge_in_task_order(sanitizer_warn, capsys):
+    """Sanitizer diagnostics from --jobs N workers land in the parent,
+    merged in task order — identical to a sequential run."""
+    from repro import check
+
+    tasks = [3, 4, 5, 6]
+
+    def messages(jobs):
+        assert parallel_map(_racy_point, tasks, jobs=jobs) == tasks
+        diags = check.drain_diagnostics()
+        assert [d.code for d in diags] == ["QS002"] * len(tasks)
+        return [d.message for d in diags]
+
+    seq = messages(1)
+    par = messages(2)
+    assert seq == par
+    # each task's conflict names its own cell, so order is observable
+    for seed, msg in zip(tasks, seq):
+        assert f"cell {seed % 4}" in msg
+    capsys.readouterr()  # swallow the warn-mode stderr reports
+
+
 def test_registry_passes_jobs_only_when_accepted():
     from repro.experiments.registry import accepts_jobs, get_experiment, run_experiment
 

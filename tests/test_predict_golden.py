@@ -1,0 +1,176 @@
+"""Golden-value regression: the repro.predict engine reproduces the
+pre-refactor prediction lines of Figures 1-6 **bit-for-bit**.
+
+The pinned constants were captured by running the retired
+``core/predict_*`` predictor classes (PrefixPredictor,
+SampleSortPredictor, ListRankPredictor) on the default p=16 machine
+before the refactor.  Exact ``==`` on floats is deliberate: the engine
+mirrors the closed forms term by term, so any drift is a real change
+to the figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.predict import make_source, predict_point, predict_value
+from repro.qsmlib import QSMMachine, RunConfig
+
+
+def _costs(machine: MachineConfig = None, seed: int = 0):
+    config = RunConfig(machine=machine or MachineConfig(), seed=seed, check_semantics=False)
+    qm = QSMMachine(config)
+    return qm.cost_model(), qm.machine.cpus[0]
+
+
+# ----------------------------------------------------------------------
+# Figure 1: prefix sums (predictions constant in n)
+# ----------------------------------------------------------------------
+FIG1_QSM = 4215.0
+FIG1_BSP = 29227.0
+
+
+@pytest.mark.parametrize("n", [4096, 32768, 262144])
+def test_fig1_lines_bit_identical(n):
+    costs, cpu = _costs()
+    source = make_source("prefix", p=16, cpu=cpu)
+    assert predict_value(source, "qsm-best", costs, n=n) == FIG1_QSM
+    assert predict_value(source, "bsp-best", costs, n=n) == FIG1_BSP
+    # The prefix pattern is deterministic: the whp variants coincide.
+    assert predict_value(source, "qsm-whp", costs, n=n) == FIG1_QSM
+    assert predict_value(source, "bsp-whp", costs, n=n) == FIG1_BSP
+
+
+# ----------------------------------------------------------------------
+# Figure 2: sample sort analytic lines at the fast-mode grid
+# ----------------------------------------------------------------------
+FIG2_GOLDEN = {
+    8192: {
+        "qsm-best": 1335345.0,
+        "qsm-whp": 2338536.908594774,
+        "bsp-best": 1460405.0,
+        "bsp-whp": 2463596.908594774,
+    },
+    65536: {
+        "qsm-best": 9110565.0,
+        "qsm-whp": 16389257.477465352,
+        "bsp-best": 9235625.0,
+        "bsp-whp": 16514317.477465352,
+    },
+    250000: {
+        "qsm-best": 33992882.8125,
+        "qsm-whp": 60314952.58864306,
+        "bsp-best": 34117942.8125,
+        "bsp-whp": 60440012.58864306,
+    },
+}
+
+
+@pytest.mark.parametrize("n", sorted(FIG2_GOLDEN))
+def test_fig2_analytic_lines_bit_identical(n):
+    costs, cpu = _costs()
+    source = make_source("samplesort", p=16, cpu=cpu)
+    for model, expected in FIG2_GOLDEN[n].items():
+        assert predict_value(source, model, costs, n=n) == expected, model
+
+
+def test_fig2_observed_estimates_bit_identical():
+    import numpy as np
+
+    from repro.algorithms.samplesort import run_sample_sort
+
+    rng = np.random.default_rng(1)
+    out = run_sample_sort(
+        rng.integers(0, 2**62, size=8192), RunConfig(seed=1, check_semantics=False)
+    )
+    costs, cpu = _costs()
+    source = make_source("samplesort", p=16, cpu=cpu)
+    assert predict_value(source, "qsm-observed", costs, run=out.run) == 1381562.5
+    assert predict_value(source, "bsp-observed", costs, run=out.run) == 1506622.5
+
+
+# ----------------------------------------------------------------------
+# Figure 3: list ranking analytic lines at the fast-mode grid
+# ----------------------------------------------------------------------
+FIG3_GOLDEN = {
+    8192: {
+        "qsm-best": 3708134.5283844173,
+        "qsm-whp": 7236901.875,
+        "bsp-best": 5433962.528384417,
+        "bsp-whp": 8962729.875,
+    },
+    40000: {
+        "qsm-best": 18089759.572189547,
+        "qsm-whp": 24329968.125,
+        "bsp-best": 19815587.572189547,
+        "bsp-whp": 26055796.125,
+    },
+    120000: {
+        "qsm-best": 54260848.71656862,
+        "qsm-whp": 64115429.625,
+        "bsp-best": 55986676.71656862,
+        "bsp-whp": 65841257.625,
+    },
+}
+
+
+@pytest.mark.parametrize("n", sorted(FIG3_GOLDEN))
+def test_fig3_analytic_lines_bit_identical(n):
+    costs, cpu = _costs()
+    source = make_source("listrank", p=16, cpu=cpu)
+    for model, expected in FIG3_GOLDEN[n].items():
+        assert predict_value(source, model, costs, n=n) == expected, model
+
+
+def test_fig3_observed_estimates_bit_identical():
+    from repro.algorithms.listrank import make_random_list, run_list_ranking
+
+    succ = make_random_list(8192, seed=1)
+    out = run_list_ranking(succ, RunConfig(seed=1, check_semantics=False))
+    costs, cpu = _costs()
+    source = make_source("listrank", p=16, cpu=cpu)
+    assert predict_value(source, "qsm-observed", costs, run=out.run) == 4462927.0
+    assert predict_value(source, "bsp-observed", costs, run=out.run) == 6188755.0
+
+
+# ----------------------------------------------------------------------
+# Figures 4-6: the sweep band is l- and o-independent (QSM has neither
+# parameter), with these exact values on every swept machine.
+# ----------------------------------------------------------------------
+FIG456_BAND = {
+    4096: {"qsm-best": 766725.0, "qsm-whp": 1288204.701486437},
+    16384: {"qsm-best": 2455725.0, "qsm-whp": 4392356.966201689},
+}
+
+
+@pytest.mark.parametrize(
+    "machine",
+    [
+        MachineConfig().with_network(latency_cycles=400.0),
+        MachineConfig().with_network(latency_cycles=102400.0),
+        MachineConfig().with_network(overhead_cycles=100.0),
+        MachineConfig().with_network(overhead_cycles=25600.0),
+    ],
+    ids=["l=400", "l=102400", "o=100", "o=25600"],
+)
+def test_fig456_band_bit_identical(machine):
+    costs, cpu = _costs(machine)
+    source = make_source("samplesort", p=16, cpu=cpu)
+    for n, expected in FIG456_BAND.items():
+        for model, value in expected.items():
+            assert predict_value(source, model, costs, n=n) == value, (model, n)
+
+
+# ----------------------------------------------------------------------
+# Record batching matches the per-line values
+# ----------------------------------------------------------------------
+def test_predict_point_matches_singletons():
+    costs, cpu = _costs()
+    source = make_source("samplesort", p=16, cpu=cpu)
+    records = predict_point(source, ["qsm-best", "qsm-whp", "bsp-whp"], costs, n=8192)
+    by_model = {rec.model: rec for rec in records}
+    assert by_model["qsm-best"].comm_cycles == FIG2_GOLDEN[8192]["qsm-best"]
+    assert by_model["qsm-whp"].comm_cycles == FIG2_GOLDEN[8192]["qsm-whp"]
+    assert by_model["bsp-whp"].comm_cycles == FIG2_GOLDEN[8192]["bsp-whp"]
+    assert all(rec.algo == "samplesort" and rec.n == 8192.0 for rec in records)
