@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test check bench bench-obs bench-check report trace-demo
+.PHONY: test check bench bench-obs bench-check bench-faults report trace-demo
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -29,6 +29,13 @@ bench-obs:
 # default) must stay within 3% of the pre-instrumentation baseline.
 bench-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_check.py \
+		--check benchmarks/BENCH_perf.json --tolerance 0.03
+
+# Fault-injection overhead gate: a run with faults disarmed (the
+# default) must stay within 3% of the pre-fault-injection baseline;
+# also asserts the armed path perturbs timings deterministically.
+bench-faults:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py \
 		--check benchmarks/BENCH_perf.json --tolerance 0.03
 
 report:

@@ -23,7 +23,13 @@ arrays) to detect:
            owning sync completes (error — enforced by the handle, the
            sanitizer adds the enqueue ``file:line``);
 ``QS007``  processors leaving SPMD lock-step — unequal sync counts
-           (error, recorded alongside the driver's ``SPMDError``).
+           (error, recorded alongside the driver's ``SPMDError``);
+``QS008``  hot-cell contention — one cell's write multiplicity κ is
+           both large (≥ ``_HOT_CELL_MIN``) and bigger than any
+           processor's total queued words, so the phase's QSM cost
+           ``max(m_op, g·m_rw, κ)`` is dominated by the contention
+           term rather than by useful traffic (warning, with
+           hottest-cell provenance).
 
 Every diagnostic carries per-pid provenance: the program ``file:line``
 captured at enqueue time (a few stack frames walked per request —
@@ -49,6 +55,10 @@ _INTERNAL_SUFFIXES = (
 
 #: Cap on individually listed cells in one diagnostic message.
 _MAX_CELLS_LISTED = 8
+
+#: Minimum single-cell write multiplicity before QS008 considers the
+#: cell "hot" — below this, κ-dominance is noise, not a pattern.
+_HOT_CELL_MIN = 8
 
 
 @dataclass(frozen=True)
@@ -182,6 +192,7 @@ class PhaseSanitizer:
                 self._check_rw_conflict(arr, reads, writes, phase_idx)
             if writes:
                 self._check_multi_writer(arr, writes, phase_idx)
+        self._check_hot_cell(per_array, queues, phase_idx)
 
     def _check_rw_conflict(self, arr, reads, writes, phase_idx: int) -> None:
         mask = np.zeros(arr.n, dtype=bool)
@@ -255,6 +266,76 @@ class PhaseSanitizer:
                 array=arr.name,
                 cells=_describe_cells(cells),
                 pids=tuple(sorted(set(pids_in_order))),
+                origins=origins,
+            )
+        )
+
+    def _check_hot_cell(self, per_array: Dict, queues: Sequence, phase_idx: int) -> None:
+        """QS008: flag a phase whose cost is dominated by one hot cell.
+
+        QSM charges a phase ``max(m_op, g·m_rw, κ)`` where κ is the
+        maximum contention on one cell.  When a single cell's write
+        multiplicity is both large and bigger than any processor's
+        total queued words, the ``g·κ`` term wins: the phase pays for
+        serialised access to one location, not for useful traffic.
+        That is almost always an accidental all-to-one reduction that
+        should be a tree or a per-pid slot array.
+        """
+        hot_arr = None
+        hot_cell = -1
+        kappa = 0
+        hot_writes = None
+        for arr, _reads, writes in per_array.values():
+            if not writes:
+                continue
+            all_idx = np.concatenate([idx for _, idx, _, _ in writes])
+            if all_idx.size == 0:
+                continue
+            counts = np.bincount(all_idx, minlength=arr.n)
+            top = int(counts.max())
+            if top > kappa:
+                kappa = top
+                hot_arr = arr
+                hot_cell = int(counts.argmax())
+                hot_writes = writes
+        if kappa < _HOT_CELL_MIN:
+            return
+        # m_rw: the largest per-processor total queued words this phase.
+        m_rw = max(
+            (
+                sum(req.indices.size for req in q.gets)
+                + sum(req.indices.size for req in q.puts)
+            )
+            for q in queues
+        )
+        if kappa <= m_rw:
+            return  # traffic still dominates; contention is incidental
+        writers = [
+            (pid, origin)
+            for pid, idx, _vals, origin in hot_writes
+            if idx.size and (idx == hot_cell).any()
+        ]
+        pids = tuple(sorted({pid for pid, _ in writers}))
+        origins = tuple(
+            f"pid {pid} (put) @ {origin or '<unarmed enqueue>'}" for pid, origin in writers
+        )
+        self._report(
+            Diagnostic(
+                code="QS008",
+                severity="warning",
+                message=(
+                    f"array {hot_arr.name!r}: cell {hot_cell} is written "
+                    f"{kappa} times in one phase while no processor queues more "
+                    f"than {m_rw} total words — the phase's QSM cost "
+                    f"max(m_op, g·m_rw, κ) is dominated by contention on this "
+                    "one cell (g·κ > g·m_rw); spread the writes (per-pid slots "
+                    "or a tree reduction) to make traffic, not contention, the "
+                    "bottleneck"
+                ),
+                phase=phase_idx,
+                array=hot_arr.name,
+                cells=f"cell {hot_cell}",
+                pids=pids,
                 origins=origins,
             )
         )

@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.experiments.executor import is_failed
 from repro.util.tables import format_series, format_table
 
 #: Repetitions per data point, matching §3.1.1.
@@ -55,12 +56,16 @@ def _json_coerce(value: Any) -> Any:
     """Best-effort conversion to JSON-friendly types; _SKIP if impossible."""
     import numpy as _np
 
-    if isinstance(value, (str, int, float, bool)) or value is None:
+    if isinstance(value, float):
+        # JSON has no NaN/Inf; failed points aggregate to NaN, which
+        # serialises as null so downstream plotters see a gap, not junk.
+        return value if np.isfinite(value) else None
+    if isinstance(value, (str, int, bool)) or value is None:
         return value
     if isinstance(value, (_np.integer,)):
         return int(value)
     if isinstance(value, (_np.floating,)):
-        return float(value)
+        return _json_coerce(float(value))
     if isinstance(value, _np.ndarray):
         return value.tolist()
     if isinstance(value, (list, tuple)):
@@ -92,6 +97,21 @@ def mean_std(values: Sequence[float]) -> Tuple[float, float]:
     mean = float(arr.mean())
     std = float(arr.std(ddof=1)) if arr.size > 1 else 0.0
     return mean, std
+
+
+def drop_failed(values: Sequence[Any]) -> List[Any]:
+    """Strip :data:`~repro.experiments.executor.FAILED` markers from one
+    rep group (the resilient executor's stand-ins for poisoned points)."""
+    return [v for v in values if not is_failed(v)]
+
+
+def mean_std_robust(values: Sequence[Any]) -> Tuple[float, float]:
+    """:func:`mean_std` over the non-failed values; ``(nan, nan)`` when
+    every rep of the point failed (the point renders as a gap)."""
+    ok = drop_failed(values)
+    if not ok:
+        return float("nan"), float("nan")
+    return mean_std(ok)
 
 
 def reps_for(fast: bool) -> int:

@@ -49,6 +49,28 @@ def build_parser() -> argparse.ArgumentParser:
         "'error' fails on the first model violation, 'warn' reports them "
         "on stderr; bare --sanitize means --sanitize=error"
     )
+    faults_help = (
+        "arm a seeded fault-injection plan, e.g. 'drop=0.05,jitter=200,seed=3' "
+        "(see docs/ROBUSTNESS.md); the simulated machine is perturbed, the "
+        "prediction models are not"
+    )
+    checkpoint_help = (
+        "journal completed sweep points to DIR (JSONL); re-running the same "
+        "command resumes, replaying journalled points byte-identically"
+    )
+    retries_help = "retries per sweep point before it is recorded as failed (default 2)"
+    timeout_help = "kill a sweep point's worker after this many seconds"
+    strict_help = "exit non-zero if any sweep point failed (default: report and continue)"
+
+    def add_resilience_args(p) -> None:
+        p.add_argument("--faults", metavar="SPEC", help=faults_help)
+        p.add_argument("--checkpoint", metavar="DIR", help=checkpoint_help)
+        p.add_argument("--retries", type=int, metavar="N", help=retries_help)
+        p.add_argument(
+            "--task-timeout", type=float, metavar="SECONDS",
+            dest="task_timeout", help=timeout_help,
+        )
+        p.add_argument("--strict", action="store_true", help=strict_help)
 
     run_p = sub.add_parser("run", help="run one experiment")
     run_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -67,6 +89,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize", nargs="?", const="error", choices=["error", "warn"],
         metavar="MODE", help=sanitize_help,
     )
+    add_resilience_args(run_p)
 
     all_p = sub.add_parser("all", help="run every experiment in order")
     all_p.add_argument("--fast", action="store_true")
@@ -80,6 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize", nargs="?", const="error", choices=["error", "warn"],
         metavar="MODE", help=sanitize_help,
     )
+    add_resilience_args(all_p)
 
     rep_p = sub.add_parser("report", help="run experiments and write a markdown report")
     rep_p.add_argument("output", help="path of the markdown file to write")
@@ -92,6 +116,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     rep_p.add_argument("--trace", metavar="PATH", help=trace_help)
     rep_p.add_argument("--metrics", metavar="PATH", help=metrics_help)
+    add_resilience_args(rep_p)
     return parser
 
 
@@ -145,6 +170,80 @@ def _sanitize_teardown() -> None:
     check.disarm()
 
 
+def _faults_setup(args) -> bool:
+    """Arm the fault-injection plan if ``--faults`` asked for it.
+
+    Arming sets ``QSM_FAULTS`` in the environment, so ``--jobs N``
+    worker processes come up armed too (the ``QSM_OBS`` idiom).
+    """
+    spec = getattr(args, "faults", None)
+    if not spec:
+        return False
+    from repro import faults
+
+    try:
+        faults.arm(spec)
+    except (KeyError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return True
+
+
+def _faults_teardown() -> None:
+    from repro import faults
+
+    tally = faults.drain_tally()
+    if tally:
+        rendered = ", ".join(f"{k}={v:g}" for k, v in sorted(tally.items()))
+        print(f"[fault injection totals: {rendered}]", file=sys.stderr)
+    faults.disarm()
+
+
+def _resilience_setup(args) -> bool:
+    """Install the resilient execution policy if any flag asked for it."""
+    ckpt = getattr(args, "checkpoint", None)
+    retries = getattr(args, "retries", None)
+    timeout = getattr(args, "task_timeout", None)
+    if ckpt is None and retries is None and timeout is None:
+        return False
+    from repro.experiments import executor
+
+    try:
+        executor.set_policy(
+            executor.ExecutionPolicy(
+                task_timeout_seconds=timeout,
+                max_retries=2 if retries is None else retries,
+                checkpoint_dir=ckpt,
+            )
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    return True
+
+
+def _resilience_teardown(strict: bool) -> int:
+    """Report failed sweep points; the exit code honours ``--strict``."""
+    from repro.experiments import executor
+    from repro.util.tables import format_table
+
+    fails = executor.drain_failures()
+    executor.clear_policy()
+    if not fails:
+        return 0
+    print(
+        f"[{len(fails)} sweep point(s) failed after retries; "
+        "results contain gaps]",
+        file=sys.stderr,
+    )
+    rows = [f.to_row() for f in fails]
+    print(
+        format_table(["worker", "index", "task", "attempts", "error"], rows),
+        file=sys.stderr,
+    )
+    return 1 if strict else 0
+
+
 def _resolve_models_arg(args) -> Optional[List[str]]:
     """Validate ``--models`` against the registry before any work runs."""
     spec = getattr(args, "models", None)
@@ -179,6 +278,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     models = _resolve_models_arg(args)
     observing = _obs_setup(args)
     sanitizing = _sanitize_setup(args)
+    faulting = _faults_setup(args)
+    resilient = _resilience_setup(args)
+    strict = bool(getattr(args, "strict", False))
 
     if args.command == "report":
         from repro.experiments.report import generate_report
@@ -194,7 +296,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"[wrote markdown report to {args.output}]")
         if observing:
             _obs_export(args)
-        return 0
+        if faulting:
+            _faults_teardown()
+        rc = _resilience_teardown(strict) if resilient else 0
+        return rc
 
     ids = sorted(EXPERIMENTS) if args.command == "all" else [args.experiment]
     results = []
@@ -230,7 +335,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         _obs_export(args)
     if sanitizing:
         _sanitize_teardown()
-    return 0
+    if faulting:
+        _faults_teardown()
+    return _resilience_teardown(strict) if resilient else 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests

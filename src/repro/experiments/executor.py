@@ -18,18 +18,69 @@ Ground rules for callers:
 ``jobs=1`` (the default everywhere) bypasses multiprocessing entirely
 and runs in-process, which keeps single-job behaviour byte-identical
 to the pre-parallel code and keeps tests debuggable.
+
+Resilient execution
+-------------------
+When an :class:`ExecutionPolicy` is installed (:func:`set_policy`,
+driven by the CLI's ``--retries``/``--task-timeout``/``--checkpoint``
+flags), :func:`parallel_map` switches to a process-per-task engine
+with
+
+* **crash isolation** — a worker that dies (segfault, ``os._exit``,
+  unhandled exception) poisons only its own point;
+* **per-task timeout** — a hung point is terminated after
+  ``task_timeout_seconds``;
+* **bounded retries with exponential backoff** — each failed attempt
+  waits ``backoff_seconds * backoff_factor**(attempt-1)``, then a
+  fresh worker process is spawned;
+* **failure records** — a point that exhausts its retries yields a
+  :data:`FAILED` sentinel in the result list and a
+  :class:`FailureRecord` (exception + full retry history) retrievable
+  via :func:`drain_failures`, so one poisoned point no longer kills a
+  sweep;
+* **checkpoint journal** — with ``checkpoint_dir`` set, every
+  completed point is appended to a JSONL journal (pickled payload, so
+  results restore bit-identically); re-running the same command
+  resumes by replaying journalled points and only executing the rest.
+
+Results, traces and diagnostics remain byte-identical to a
+non-resilient run because every task carries its own seed and captured
+obs/sanitizer/fault state is merged in task order (see
+docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
 
+import base64
+import hashlib
+import json
 import os
+import pickle
+import re
+import time
+from dataclasses import dataclass, field
 from functools import partial
-from typing import Callable, List, Optional, Sequence, TypeVar
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
-from repro import check, obs
+from repro import check, faults, obs
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+__all__ = [
+    "ExecutionPolicy",
+    "FailureRecord",
+    "FailedPoint",
+    "FAILED",
+    "effective_jobs",
+    "parallel_map",
+    "set_policy",
+    "clear_policy",
+    "policy",
+    "failures",
+    "drain_failures",
+    "is_failed",
+]
 
 
 def effective_jobs(jobs: Optional[int]) -> int:
@@ -45,6 +96,121 @@ def effective_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
+# ----------------------------------------------------------------------
+# Resilience policy and failure records
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How :func:`parallel_map` should behave under adversity."""
+
+    #: Kill a task's worker after this many wall seconds (None = never).
+    task_timeout_seconds: Optional[float] = None
+    #: Retries after the first failed attempt before the point is
+    #: recorded as failed.
+    max_retries: int = 2
+    #: Base wait before the first retry.
+    backoff_seconds: float = 0.25
+    #: Multiplier applied to the wait after each failed attempt.
+    backoff_factor: float = 2.0
+    #: Directory for the per-point JSONL checkpoint journal (None
+    #: disables checkpointing).
+    checkpoint_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.task_timeout_seconds is not None and not self.task_timeout_seconds > 0:
+            raise ValueError(
+                f"task_timeout_seconds must be > 0, got {self.task_timeout_seconds!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries!r}")
+        if self.backoff_seconds < 0:
+            raise ValueError(f"backoff_seconds must be >= 0, got {self.backoff_seconds!r}")
+        if self.backoff_factor < 1.0:
+            raise ValueError(f"backoff_factor must be >= 1, got {self.backoff_factor!r}")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Wait before retrying after failed attempt *attempt* (1-based)."""
+        return self.backoff_seconds * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass
+class FailureRecord:
+    """One sweep point that exhausted its retry budget."""
+
+    fn: str
+    index: int
+    task_repr: str
+    error: str
+    #: Per-attempt history: ``{"attempt": k, "error": ..., "backoff_seconds": ...}``.
+    attempts: List[Dict[str, Any]] = field(default_factory=list)
+
+    def to_row(self) -> List[Any]:
+        return [self.fn, self.index, self.task_repr, len(self.attempts), self.error]
+
+
+class FailedPoint:
+    """Sentinel standing in for a failed task's result."""
+
+    __slots__ = ("failure",)
+
+    def __init__(self, failure: FailureRecord) -> None:
+        self.failure = failure
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FailedPoint {self.failure.fn}[{self.failure.index}]: {self.failure.error}>"
+
+
+#: Generic failed-result marker for sites that only need a placeholder.
+FAILED = object()
+
+
+def is_failed(value: Any) -> bool:
+    """Whether a :func:`parallel_map` result slot is a failure marker."""
+    return value is FAILED or isinstance(value, FailedPoint)
+
+
+_POLICY: Optional[ExecutionPolicy] = None
+_FAILURES: List[FailureRecord] = []
+#: Per-(worker fn) journal sequence numbers, so repeated sweeps over
+#: the same function (fig4 then fig5) get distinct journal files while
+#: a re-run of the same command maps back onto the same files.
+_JOURNAL_SEQ: Dict[str, int] = {}
+
+
+def set_policy(policy: Optional[ExecutionPolicy]) -> None:
+    """Install the process-global execution policy (None = plain mode).
+
+    Resets the journal sequence so a re-run of the same command maps
+    its ``parallel_map`` calls onto the same checkpoint files.
+    """
+    global _POLICY
+    _POLICY = policy
+    _JOURNAL_SEQ.clear()
+
+
+def clear_policy() -> None:
+    set_policy(None)
+
+
+def policy() -> Optional[ExecutionPolicy]:
+    return _POLICY
+
+
+def failures() -> List[FailureRecord]:
+    """Failure records accumulated since the last :func:`drain_failures`."""
+    return list(_FAILURES)
+
+
+def drain_failures() -> List[FailureRecord]:
+    """Return and clear the accumulated failure records."""
+    out = list(_FAILURES)
+    _FAILURES.clear()
+    return out
+
+
+# ----------------------------------------------------------------------
+# The map
+# ----------------------------------------------------------------------
 def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], jobs: Optional[int] = 1) -> List[R]:
     """Map *fn* over *tasks*, optionally across processes.
 
@@ -52,14 +218,24 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], jobs: Optional[int] =
     output is independent of the job count.  With ``jobs`` resolving to
     1 — or fewer than two tasks — this is a plain in-process loop.
 
-    When observability is on (:func:`repro.obs.enabled`) or the phase
-    sanitizer is armed (:func:`repro.check.armed`), each worker drains
-    its span/metric captures and sanitizer diagnostics after every task
-    and the parent merges them **in task order**, so exported traces,
-    aggregated metrics and diagnostic summaries are also independent of
-    the job count.
+    When observability is on (:func:`repro.obs.enabled`), the phase
+    sanitizer is armed (:func:`repro.check.armed`) or a fault plan is
+    armed (:func:`repro.faults.armed`), each worker drains its
+    span/metric captures, sanitizer diagnostics and fault tallies after
+    every task and the parent merges them **in task order**, so
+    exported traces, aggregated metrics and diagnostic summaries are
+    also independent of the job count.
+
+    With an :class:`ExecutionPolicy` installed (see :func:`set_policy`)
+    the map runs on the resilient process-per-task engine instead:
+    per-task timeouts, retries with backoff, crash isolation and an
+    optional checkpoint journal.  A point that exhausts its retries
+    comes back as a :class:`FailedPoint` (test with :func:`is_failed`);
+    everything else is unchanged.
     """
     tasks = list(tasks)
+    if _POLICY is not None and tasks:
+        return _resilient_map(fn, tasks, effective_jobs(jobs), _POLICY)
     n_jobs = min(effective_jobs(jobs), len(tasks))
     if n_jobs <= 1:
         return [fn(t) for t in tasks]
@@ -69,27 +245,30 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], jobs: Optional[int] =
     # chunksize > 1 amortises IPC for fine-grained sweeps while keeping
     # Pool.map's ordered-results guarantee.
     chunksize = max(1, len(tasks) // (4 * n_jobs))
-    if not obs.enabled() and not check.armed():
-        with multiprocessing.Pool(processes=n_jobs) as pool:
+    instrumented = obs.enabled() or check.armed() or faults.armed()
+    # terminate+join in a finally so Ctrl-C mid-map never leaves
+    # orphaned workers behind (Pool.__exit__ only terminates).
+    pool = multiprocessing.Pool(
+        processes=n_jobs, initializer=_worker_init if instrumented else None
+    )
+    try:
+        if not instrumented:
             return pool.map(fn, tasks, chunksize=chunksize)
-
-    # Workers start from a clean slate (forked children would otherwise
-    # re-report state inherited from the parent), run each task, and
-    # ship back (result, obs payload, diagnostics) triples.
-    with multiprocessing.Pool(
-        processes=n_jobs, initializer=_worker_init
-    ) as pool:
         outs = pool.map(partial(_instrumented_task, fn), tasks, chunksize=chunksize)
+    finally:
+        pool.terminate()
+        pool.join()
     results: List[R] = []
-    for result, payload, diags in outs:
+    for result, payload, diags, tally in outs:
         obs.merge_payload(payload)
         check.merge_diagnostics(diags)
+        faults.merge_tally(tally)
         results.append(result)
     return results
 
 
 def _worker_init() -> None:
-    """Pool initializer: drop obs/sanitizer state inherited via fork.
+    """Pool initializer: drop obs/sanitizer/fault state inherited via fork.
 
     Re-arming keeps the worker's mode (``QSM_SANITIZE`` is inherited)
     while clearing any diagnostics the parent had already recorded, so
@@ -98,16 +277,306 @@ def _worker_init() -> None:
     obs.reset()
     if check.armed():
         check.arm(check.mode())
+    faults.reset_tally()
 
 
 def _instrumented_task(fn: Callable[[T], R], task: T):
     """Run one task in a worker; returns ``(result, obs payload,
-    sanitizer diagnostics)``.
+    sanitizer diagnostics, fault tally)``.
 
     Module-level (picklable).  Under the ``spawn`` start method the
-    worker re-imports :mod:`repro.obs` and :mod:`repro.check`, which
-    re-enable collection from the inherited ``QSM_OBS`` /
-    ``QSM_SANITIZE`` environment variables.
+    worker re-imports :mod:`repro.obs`, :mod:`repro.check` and
+    :mod:`repro.faults`, which re-enable collection from the inherited
+    ``QSM_OBS`` / ``QSM_SANITIZE`` / ``QSM_FAULTS`` environment
+    variables.
     """
     result = fn(task)
-    return result, obs.drain_payload(), check.drain_diagnostics()
+    return result, obs.drain_payload(), check.drain_diagnostics(), faults.drain_tally()
+
+
+# ----------------------------------------------------------------------
+# Resilient engine: process-per-task, timeout, retry, checkpoint
+# ----------------------------------------------------------------------
+def _fn_name(fn: Callable) -> str:
+    return f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+
+
+def _task_key(task: Any) -> str:
+    """Stable identity of one task for checkpoint matching."""
+    return hashlib.sha256(repr(task).encode()).hexdigest()[:16]
+
+
+def _journal_path(directory: str, fn: Callable) -> str:
+    """The journal file for this ``parallel_map`` call.
+
+    One file per (worker function, call ordinal): deterministic across
+    re-runs of the same command, distinct when one command sweeps the
+    same function repeatedly (fig4 then fig5 both map
+    ``_sweep_point_task``).
+    """
+    name = re.sub(r"[^A-Za-z0-9_.-]", "_", _fn_name(fn))
+    seq = _JOURNAL_SEQ.get(name, 0)
+    _JOURNAL_SEQ[name] = seq + 1
+    return os.path.join(directory, f"{name}-{seq:02d}.jsonl")
+
+
+def _load_journal(path: str) -> Dict[Tuple[int, str], dict]:
+    """Parse a checkpoint journal, tolerating a truncated final line."""
+    records: Dict[Tuple[int, str], dict] = {}
+    if not os.path.exists(path):
+        return records
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue  # interrupted mid-write; the point just re-runs
+            if rec.get("v") == 1 and rec.get("status") in ("ok", "failed"):
+                records[(rec["index"], rec["key"])] = rec
+    return records
+
+
+def _encode_capture(capture: tuple) -> str:
+    """Pickle a worker capture for the journal (results restore
+    bit-identically, including non-JSON values like RunResult)."""
+    return base64.b64encode(
+        pickle.dumps(capture, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _decode_capture(blob: str) -> tuple:
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+def _capture_task(fn: Callable[[T], R], task: T) -> tuple:
+    """Run one task and bundle its result with captured side state."""
+    result = fn(task)
+    return result, obs.drain_payload(), check.drain_diagnostics(), faults.drain_tally()
+
+
+def _resilient_worker(fn: Callable, task: Any, send_conn) -> None:
+    """Process-per-task worker body (forked; fresh for every attempt)."""
+    try:
+        _worker_init()
+        blob = pickle.dumps(
+            ("ok", _capture_task(fn, task)), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except BaseException as exc:  # noqa: BLE001 - the whole point is isolation
+        blob = pickle.dumps(("error", f"{type(exc).__name__}: {exc}"))
+    try:
+        send_conn.send_bytes(blob)
+    finally:
+        send_conn.close()
+
+
+class _Journal:
+    """Append-only JSONL checkpoint writer (line-buffered + flushed, so
+    an interrupt can truncate at most the line being written)."""
+
+    def __init__(self, path: Optional[str]) -> None:
+        self.path = path
+        self._fh = None
+        if path is not None:
+            os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+            self._fh = open(path, "a")
+
+    def append(self, rec: dict) -> None:
+        if self._fh is not None:
+            self._fh.write(json.dumps(rec, sort_keys=True) + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def _resilient_map(
+    fn: Callable[[T], R], tasks: List[T], n_jobs: int, pol: ExecutionPolicy
+) -> List[R]:
+    """The process-per-task engine behind :func:`parallel_map` when an
+    :class:`ExecutionPolicy` is installed.  See the module docstring
+    for the behaviour contract."""
+    import multiprocessing
+
+    ctx = multiprocessing.get_context()
+    fn_name = _fn_name(fn)
+    keys = [_task_key(t) for t in tasks]
+
+    journal_path = None
+    completed: Dict[Tuple[int, str], dict] = {}
+    if pol.checkpoint_dir is not None:
+        journal_path = _journal_path(pol.checkpoint_dir, fn)
+        completed = _load_journal(journal_path)
+
+    # capture per index: ("ok", capture-tuple) or ("failed", FailureRecord)
+    done: Dict[int, Tuple[str, Any]] = {}
+    pending: List[int] = []
+    for i, key in enumerate(keys):
+        rec = completed.get((i, key))
+        if rec is None:
+            pending.append(i)
+        elif rec["status"] == "ok":
+            done[i] = ("ok", _decode_capture(rec["payload"]))
+        else:
+            done[i] = (
+                "failed",
+                FailureRecord(
+                    fn=fn_name,
+                    index=i,
+                    task_repr=repr(tasks[i])[:200],
+                    error=rec["error"],
+                    attempts=rec.get("attempts", []),
+                ),
+            )
+
+    journal = _Journal(journal_path)
+    # index -> (process, parent_conn, start_monotonic, attempt)
+    running: Dict[int, Tuple[Any, Any, float, int]] = {}
+    # (ready_monotonic, index, next_attempt)
+    delayed: List[Tuple[float, int, int]] = []
+    attempts_log: Dict[int, List[Dict[str, Any]]] = {}
+
+    def spawn(index: int, attempt: int) -> None:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_resilient_worker, args=(fn, tasks[index], send_conn), daemon=True
+        )
+        proc.start()
+        send_conn.close()  # parent's copy; child holds the write end
+        running[index] = (proc, recv_conn, time.monotonic(), attempt)
+
+    def settle(index: int, status: str, value: Any) -> None:
+        proc, conn, _, _ = running.pop(index)
+        conn.close()
+        proc.join()
+        if status == "ok":
+            done[index] = ("ok", value)
+            journal.append(
+                {
+                    "v": 1,
+                    "index": index,
+                    "key": keys[index],
+                    "status": "ok",
+                    "payload": _encode_capture(value),
+                }
+            )
+        else:
+            handle_failure(index, str(value))
+
+    def handle_failure(index: int, error: str) -> None:
+        attempt = attempts_log.setdefault(index, [])
+        attempt_no = len(attempt) + 1
+        retrying = attempt_no <= pol.max_retries
+        backoff = pol.backoff_for(attempt_no) if retrying else 0.0
+        attempt.append(
+            {"attempt": attempt_no, "error": error, "backoff_seconds": backoff}
+        )
+        if retrying:
+            delayed.append((time.monotonic() + backoff, index, attempt_no + 1))
+            return
+        failure = FailureRecord(
+            fn=fn_name,
+            index=index,
+            task_repr=repr(tasks[index])[:200],
+            error=error,
+            attempts=attempt,
+        )
+        done[index] = ("failed", failure)
+        journal.append(
+            {
+                "v": 1,
+                "index": index,
+                "key": keys[index],
+                "status": "failed",
+                "error": error,
+                "attempts": attempt,
+            }
+        )
+
+    try:
+        from multiprocessing.connection import wait as _conn_wait
+
+        while pending or running or delayed:
+            now = time.monotonic()
+            # Promote retry waits whose backoff has elapsed (front of
+            # the queue: retries should not starve behind fresh points).
+            ready = [d for d in delayed if d[0] <= now]
+            if ready:
+                delayed[:] = [d for d in delayed if d[0] > now]
+                pending[:0] = [idx for _, idx, _ in ready]
+            while pending and len(running) < n_jobs:
+                idx = pending.pop(0)
+                attempt = len(attempts_log.get(idx, ())) + 1
+                spawn(idx, attempt)
+            if not running:
+                if delayed:
+                    time.sleep(max(0.0, min(d[0] for d in delayed) - time.monotonic()))
+                continue
+
+            # Wait for results, bounded by the nearest deadline/backoff.
+            wait_s = 0.25
+            if pol.task_timeout_seconds is not None:
+                nearest = min(
+                    start + pol.task_timeout_seconds for _, _, start, _ in running.values()
+                )
+                wait_s = min(wait_s, max(0.0, nearest - time.monotonic()))
+            if delayed:
+                wait_s = min(
+                    wait_s, max(0.0, min(d[0] for d in delayed) - time.monotonic())
+                )
+            conn_map = {conn: idx for idx, (_, conn, _, _) in running.items()}
+            for conn in _conn_wait(list(conn_map), timeout=wait_s):
+                idx = conn_map[conn]
+                try:
+                    status, value = pickle.loads(conn.recv_bytes())
+                except (EOFError, OSError):
+                    proc = running[idx][0]
+                    proc.join()
+                    settle(idx, "error", f"worker crashed (exit code {proc.exitcode})")
+                    continue
+                settle(idx, status, value)
+
+            # Enforce per-task deadlines on whatever is still running.
+            if pol.task_timeout_seconds is not None:
+                now = time.monotonic()
+                for idx in [
+                    i
+                    for i, (_, _, start, _) in running.items()
+                    if now - start > pol.task_timeout_seconds
+                ]:
+                    proc = running[idx][0]
+                    proc.terminate()
+                    proc.join()
+                    settle(
+                        idx,
+                        "error",
+                        f"task timed out after {pol.task_timeout_seconds:g}s",
+                    )
+    finally:
+        # Ctrl-C / crash teardown: no orphaned workers, journal flushed.
+        for proc, conn, _, _ in running.values():
+            proc.terminate()
+        for proc, conn, _, _ in running.values():
+            proc.join()
+            conn.close()
+        running.clear()
+        journal.close()
+
+    # Merge captured side state and assemble results in task order.
+    results: List[R] = []
+    for i in range(len(tasks)):
+        status, value = done[i]
+        if status == "ok":
+            result, payload, diags, tally = value
+            obs.merge_payload(payload)
+            check.merge_diagnostics(diags)
+            faults.merge_tally(tally)
+            results.append(result)
+        else:
+            _FAILURES.append(value)
+            results.append(FailedPoint(value))
+    return results

@@ -20,7 +20,13 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.algorithms.samplesort import run_sample_sort
-from repro.experiments.base import ExperimentResult, mean_std, render_series, reps_for
+from repro.experiments.base import (
+    ExperimentResult,
+    drop_failed,
+    mean_std,
+    render_series,
+    reps_for,
+)
 from repro.experiments.executor import parallel_map
 from repro.predict import PAPER_MODELS, make_source, predict_point, resolve_models
 from repro.qsmlib import QSMMachine, RunConfig
@@ -67,7 +73,18 @@ def run(
     pred_series = {name: [] for name in model_names}
     records = []
     for i, n in enumerate(ns):
-        comms, totals, runs = map(list, zip(*measured[i * reps : (i + 1) * reps]))
+        group = drop_failed(measured[i * reps : (i + 1) * reps])
+        if not group:
+            # Every rep of this point failed (resilient executor): the
+            # point renders as a gap but the rest of the figure stands.
+            nan = float("nan")
+            comm_mean.append(nan)
+            comm_rel_std.append(nan)
+            total_mean.append(nan)
+            for name in model_names:
+                pred_series[name].append(nan)
+            continue
+        comms, totals, runs = map(list, zip(*group))
         cm, cs = mean_std(comms)
         comm_mean.append(round(cm))
         comm_rel_std.append(round(cs / cm, 4))

@@ -14,12 +14,14 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Union
 
+from repro import faults as _faults
 from repro.experiments.base import ExperimentResult, render_series, reps_for
 from repro.experiments.sweeps import (
     FAST_LS,
     FAST_SWEEP_NS,
     FULL_LS,
     FULL_SWEEP_NS,
+    band_exceedances,
     latency_sweeps,
 )
 
@@ -52,4 +54,11 @@ def run(
     )
     result.data["models"] = list(any_sweep.predictions)
     result.data["sweeps"] = sweeps
+    exceed, note = band_exceedances(sweeps, "l")
+    result.data["band_exceedance"] = exceed
+    if _faults.armed():
+        # Headline for fault-injected runs: the perturbations act on the
+        # simulated machine but not on the model, so the gap quantifies
+        # how far injected drops/jitter push reality out of the band.
+        result.text += "\n" + note
     return result

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import faults as _faults
 from repro.analysis.crossover import crossovers_from_sweeps
 from repro.experiments.base import ExperimentResult, render_series, reps_for
 from repro.experiments.sweeps import (
@@ -22,6 +23,7 @@ from repro.experiments.sweeps import (
     FAST_SWEEP_NS,
     FULL_LS,
     FULL_SWEEP_NS,
+    band_exceedances,
     latency_sweeps,
 )
 
@@ -48,10 +50,23 @@ def run(
     ls = ls or (FAST_LS if fast else FULL_LS)
     ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
     sweeps = latency_sweeps(ls, ns, reps_for(fast), seed=seed, jobs=jobs, models=models)
-    crossovers = crossovers_from_sweeps(sweeps)
+    if _faults.armed():
+        # Injected perturbations can keep a curve above the band over
+        # the whole n grid; report the latencies that never entered
+        # instead of aborting the figure.
+        crossovers = {
+            l: sw.crossover_n()
+            for l, sw in sweeps.items()
+            if sw.crossover_n() is not None
+        }
+    else:
+        crossovers = crossovers_from_sweeps(sweeps)
     xs = sorted(crossovers)
     ys = [crossovers[x] for x in xs]
-    slope, intercept, r2 = linear_fit(xs, ys)
+    if len(xs) >= 2:
+        slope, intercept, r2 = linear_fit(xs, ys)
+    else:
+        slope = intercept = r2 = float("nan")
 
     result = render_series(
         "fig5",
@@ -62,4 +77,11 @@ def run(
         {"crossover_n": [round(y) for y in ys]},
     )
     result.data.update({"slope": slope, "intercept": intercept, "r2": r2, "sweeps": sweeps})
+    if _faults.armed():
+        exceed, note = band_exceedances(sweeps, "l")
+        result.data["band_exceedance"] = exceed
+        never = [f"l={l:g}" for l in sorted(sweeps) if l not in crossovers]
+        if never:
+            note += "; never entered the band: " + ", ".join(never)
+        result.text += "\n" + note
     return result

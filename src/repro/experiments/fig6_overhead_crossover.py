@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Union
 
+from repro import faults as _faults
 from repro.analysis.crossover import crossovers_from_sweeps
 from repro.experiments.base import ExperimentResult, render_series, reps_for
 from repro.experiments.fig5_latency_crossover import linear_fit
@@ -19,6 +20,7 @@ from repro.experiments.sweeps import (
     FAST_SWEEP_NS,
     FULL_OS,
     FULL_SWEEP_NS,
+    band_exceedances,
     overhead_sweeps,
 )
 
@@ -33,10 +35,20 @@ def run(
     os_ = os_ or (FAST_OS if fast else FULL_OS)
     ns = FAST_SWEEP_NS if fast else FULL_SWEEP_NS
     sweeps = overhead_sweeps(os_, ns, reps_for(fast), seed=seed, jobs=jobs, models=models)
-    crossovers = crossovers_from_sweeps(sweeps)
+    if _faults.armed():
+        crossovers = {
+            o: sw.crossover_n()
+            for o, sw in sweeps.items()
+            if sw.crossover_n() is not None
+        }
+    else:
+        crossovers = crossovers_from_sweeps(sweeps)
     xs = sorted(crossovers)
     ys = [crossovers[x] for x in xs]
-    slope, intercept, r2 = linear_fit(xs, ys)
+    if len(xs) >= 2:
+        slope, intercept, r2 = linear_fit(xs, ys)
+    else:
+        slope = intercept = r2 = float("nan")
 
     result = render_series(
         "fig6",
@@ -47,4 +59,8 @@ def run(
         {"crossover_n": [round(y) for y in ys]},
     )
     result.data.update({"slope": slope, "intercept": intercept, "r2": r2, "sweeps": sweeps})
+    if _faults.armed():
+        exceed, note = band_exceedances(sweeps, "o")
+        result.data["band_exceedance"] = exceed
+        result.text += "\n" + note
     return result

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.algorithms.samplesort import run_sample_sort
 from repro.analysis.crossover import DEFAULT_BAND, band_crossover_from_predictions
-from repro.experiments.base import mean_std
+from repro.experiments.base import mean_std_robust
 from repro.experiments.executor import parallel_map
 from repro.machine.config import MachineConfig
 from repro.predict import get_model, make_source, predict_point, resolve_models
@@ -77,6 +77,39 @@ class SampleSortSweep:
             self.ns, self.measured, self.predictions, band=self.band
         )
 
+    def band_exceedance(self) -> Optional[float]:
+        """Worst measured/upper-band ratio across the sweep.
+
+        1.0 means every point sits at or inside the QSM whp bound;
+        above 1.0 quantifies how far the measurements were pushed out
+        of the prediction band — the headline number for fault-injected
+        fig4/fig5 runs, where injected ``l``/``o`` perturbations (drops,
+        jitter, retransmit traffic) act on the machine but not on the
+        model.  ``None`` when every point of the sweep failed.
+        """
+        upper = self.whp_bound
+        ratios = [
+            m / u
+            for m, u in zip(self.measured, upper)
+            if np.isfinite(m) and u > 0
+        ]
+        return max(ratios) if ratios else None
+
+
+def band_exceedances(
+    sweeps: Dict[float, "SampleSortSweep"], param: str
+) -> Tuple[Dict[str, Optional[float]], str]:
+    """Per-sweep :meth:`SampleSortSweep.band_exceedance`, plus a one-line
+    rendering for fault-injected runs (how far the injected ``l``/``o``
+    perturbations pushed measurements out of the QSM prediction band)."""
+    exceed = {
+        f"{param}={key:g}": sweeps[key].band_exceedance() for key in sorted(sweeps)
+    }
+    rendered = ", ".join(
+        f"{k}: {v:.2f}x" if v is not None else f"{k}: n/a" for k, v in exceed.items()
+    )
+    return exceed, f"fault-injected band exceedance (max measured/whp): {rendered}"
+
 
 def _sweep_point_task(task) -> float:
     """Worker for one (machine, n, run_seed) grid point.
@@ -136,7 +169,7 @@ def _assemble_sweep(
     predictions: Dict[str, List[float]] = {name: [] for name in model_names}
     for i, n in enumerate(ns):
         comms = list(comms_flat[i * reps : (i + 1) * reps])
-        cm, cs = mean_std(comms)
+        cm, cs = mean_std_robust(comms)
         points.append(SweepPoint(n=n, comm_mean=cm, comm_std=cs))
         for rec in predict_point(source, model_names, costs, n=n):
             predictions[rec.model].append(rec.comm_cycles)

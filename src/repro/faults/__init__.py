@@ -1,0 +1,163 @@
+"""``repro.faults`` — deterministic fault injection for the simulated machine.
+
+QSM's contract (PAPER.md §2, §4) is that the model may *omit* latency
+``l``, overhead ``o`` and contention because the runtime absorbs them
+via pipelining, batching and randomised layout.  This package stresses
+that contract: a seeded :class:`~repro.faults.plan.FaultPlan` perturbs
+the simulated machine with
+
+* **message drops with retransmission** — each wire crossing may be
+  dropped; the sender times out and retransmits with exponential
+  backoff, and the retransmitted copy re-occupies the send NIC and
+  re-pays the full ``o + g·bytes`` injection charge, so extra traffic
+  is costed by the same model as first sends;
+* **delay jitter** — seeded exponential extra latency per delivery,
+  perturbing ``l`` directly;
+* **straggler processors** — per-pid compute-slowdown factors;
+* **membank stall bursts** — random extra service time in the §4
+  microbenchmarks.
+
+Everything is deterministic: streams derive from ``(plan.seed,
+run seed)`` and all draws happen inside the simulated run, so results
+are bit-identical across ``--jobs`` counts and from run to run.
+
+Overhead contract
+-----------------
+Like :mod:`repro.obs` and :mod:`repro.check`, fault injection is **off
+by default** and near free when off: the machine carries ``faults =
+None`` and every injection site guards with ``is not None`` — one load
++ branch, never a draw.  ``benchmarks/bench_faults.py`` enforces < 3%
+against the committed baseline, and the no-fault path is bit-identical
+(locked by the existing goldens).
+
+Usage
+-----
+::
+
+    from repro import faults
+
+    faults.arm("drop=0.05,jitter=400")     # or QSM_FAULTS in the env
+    run_sample_sort(...)                   # perturbed, deterministically
+    print(faults.tally())                  # {'fault.drops': ..., ...}
+    faults.disarm()
+
+A plan can also be pinned to one machine via
+``MachineConfig(faults=plan)``, which takes priority over the global
+plan.  State is process-global (the ``QSM_SANITIZE`` idiom) so
+``--jobs N`` workers inherit the armed plan through ``QSM_FAULTS``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Union
+
+from repro.faults.plan import FaultPlan, parse_fault_spec
+from repro.faults.state import FaultError, FaultState
+
+__all__ = [
+    "FaultError",
+    "FaultPlan",
+    "FaultState",
+    "ENV_VAR",
+    "arm",
+    "disarm",
+    "armed",
+    "active_plan",
+    "parse_fault_spec",
+    "state_for",
+    "absorb",
+    "tally",
+    "drain_tally",
+    "merge_tally",
+    "reset_tally",
+]
+
+#: Env var carrying the armed plan spec into worker processes.
+ENV_VAR = "QSM_FAULTS"
+
+_PLAN: Optional[FaultPlan] = None
+_TALLY: Dict[str, float] = {}
+
+
+def arm(plan: Union[FaultPlan, str]) -> FaultPlan:
+    """Arm a process-global fault plan (a :class:`FaultPlan` or a
+    ``--faults`` spec string like ``"drop=0.05,jitter=400"``)."""
+    global _PLAN
+    if isinstance(plan, str):
+        plan = parse_fault_spec(plan)
+    _PLAN = plan
+    os.environ[ENV_VAR] = plan.to_spec() or "noop"
+    _TALLY.clear()
+    return plan
+
+
+def disarm() -> None:
+    """Disarm the global plan and drop the accumulated tally."""
+    global _PLAN
+    _PLAN = None
+    os.environ[ENV_VAR] = "0"
+    _TALLY.clear()
+
+
+def armed() -> bool:
+    return _PLAN is not None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The armed global plan, or ``None`` — machine assembly guards on
+    this (a config-level ``MachineConfig.faults`` takes priority)."""
+    return _PLAN
+
+
+def state_for(config_plan: Optional[FaultPlan], p: int, salt: int) -> Optional[FaultState]:
+    """Build the per-machine fault state, or ``None`` when no plan is
+    in force (the zero-overhead disabled path)."""
+    plan = config_plan if config_plan is not None else _PLAN
+    if plan is None or plan.is_noop:
+        return None
+    return FaultState(plan, p, salt=salt)
+
+
+# -- process-global tally (the --jobs merge channel) --------------------
+def absorb(state: Optional[FaultState]) -> None:
+    """Fold one finished machine's fault counters into the global tally
+    (and zero them, so double absorption cannot double-count)."""
+    if state is None:
+        return
+    merge_tally(state.tally())
+    state.drops = state.retransmits = state.retransmit_bytes = 0
+    state.lost_messages = state.bank_stalls = 0
+    state.jitter_cycles = state.straggler_extra_cycles = 0.0
+    state.bank_stall_cycles = 0.0
+
+
+def tally() -> Dict[str, float]:
+    """Accumulated ``fault.*`` counters since :func:`arm` (or the last
+    drain), summed across all runs in this process."""
+    return dict(_TALLY)
+
+
+def drain_tally() -> Dict[str, float]:
+    """Return and clear the tally (worker side of the ``--jobs``
+    protocol, mirroring :func:`repro.check.drain_diagnostics`)."""
+    out = dict(_TALLY)
+    _TALLY.clear()
+    return out
+
+
+def merge_tally(counts: Dict[str, float]) -> None:
+    """Fold a drained worker tally into this process (parent side)."""
+    for key, value in counts.items():
+        _TALLY[key] = _TALLY.get(key, 0) + value
+
+
+def reset_tally() -> None:
+    _TALLY.clear()
+
+
+# Honour QSM_FAULTS at import so spawned worker processes come up with
+# the same plan armed, mirroring repro.check / repro.obs.
+_env = os.environ.get(ENV_VAR, "").strip()
+if _env and _env not in ("0", "false", "off"):
+    arm(FaultPlan() if _env == "noop" else parse_fault_spec(_env))

@@ -1,0 +1,151 @@
+"""Runtime fault injector: one :class:`FaultState` per simulated machine.
+
+The state object owns the seeded RNG streams and the lifetime counters
+for every fault the plan injects into one run.  Streams are derived
+from ``(plan.seed, salt)`` where *salt* is the run's own seed, so a
+sweep point's faults are reproducible and independent of how many
+worker processes executed the sweep (``--jobs`` invariance): all draws
+happen *inside* the simulated run, in deterministic event order.
+
+Counters are folded into ``fault.*`` obs metrics at observer
+finalization (same harvest protocol as the network) and into the
+process-global tally of :mod:`repro.faults` when the run completes, so
+the CLI can summarise injected adversity even with observability off.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.faults.plan import FaultPlan
+
+__all__ = ["FaultError", "FaultState"]
+
+_MIX_CONST = 0x9E3779B97F4A7C15  # golden-ratio increment (splitmix64)
+
+
+def _mix(*parts: int) -> int:
+    """Deterministically mix integers into one 64-bit RNG seed."""
+    h = 0x243F6A8885A308D3
+    for part in parts:
+        h = (h ^ (part & 0xFFFFFFFFFFFFFFFF)) * _MIX_CONST % (1 << 64)
+        h ^= h >> 31
+    return h
+
+
+class FaultError(RuntimeError):
+    """An injected fault escalated beyond the plan's tolerance
+    (e.g. a message exceeded ``max_retransmits``)."""
+
+
+class FaultState:
+    """Per-machine fault runtime: seeded draws + lifetime counters."""
+
+    __slots__ = (
+        "plan",
+        "p",
+        "slowdowns",
+        "fatal",
+        "drops",
+        "retransmits",
+        "retransmit_bytes",
+        "lost_messages",
+        "jitter_cycles",
+        "straggler_extra_cycles",
+        "bank_stalls",
+        "bank_stall_cycles",
+        "_net_rng",
+        "_bank_seed",
+    )
+
+    def __init__(self, plan: FaultPlan, p: int, salt: int = 0) -> None:
+        self.plan = plan
+        self.p = p
+        #: First fatal fault (delivery abandoned); surfaced by the sync
+        #: engine when the phase consequently deadlocks.
+        self.fatal: Optional[FaultError] = None
+        # One stream for wire events (drops + jitter, drawn in event
+        # order), a dedicated derivation for per-pid bank stalls so the
+        # schedule is independent of process interleaving.
+        self._net_rng = np.random.default_rng(_mix(plan.seed, salt, 0x6E6574))
+        self._bank_seed = _mix(plan.seed, salt, 0x62616E6B)
+        #: ``slowdowns[pid]`` multiplier for compute time (None when the
+        #: plan has no stragglers).
+        self.slowdowns: Optional[np.ndarray] = self._resolve_slowdowns(plan, p, salt)
+        self.drops = 0
+        self.retransmits = 0
+        self.retransmit_bytes = 0
+        self.lost_messages = 0
+        self.jitter_cycles = 0.0
+        self.straggler_extra_cycles = 0.0
+        self.bank_stalls = 0
+        self.bank_stall_cycles = 0.0
+
+    @staticmethod
+    def _resolve_slowdowns(plan: FaultPlan, p: int, salt: int) -> Optional[np.ndarray]:
+        if not plan.perturbs_compute:
+            return None
+        factors = np.ones(p)
+        if plan.straggler_pids is not None:
+            pids = [pid for pid in plan.straggler_pids if pid < p]
+        else:
+            rng = np.random.default_rng(_mix(plan.seed, salt, 0x736C6F77))
+            count = min(plan.straggler_count, p)
+            pids = rng.choice(p, size=count, replace=False).tolist()
+        factors[pids] = plan.straggler_slowdown
+        return factors if pids else None
+
+    # -- network draws (deterministic event order) ----------------------
+    def message_dropped(self) -> bool:
+        return self._net_rng.random() < self.plan.drop_prob
+
+    def jitter_draw(self) -> float:
+        j = float(self._net_rng.exponential(self.plan.delay_jitter_cycles))
+        self.jitter_cycles += j
+        return j
+
+    # -- straggler draws ------------------------------------------------
+    def compute_penalty(self, pid: int, compute: float) -> float:
+        """Extra cycles of injected slowdown for *pid*'s phase compute."""
+        if self.slowdowns is None or compute <= 0:
+            return 0.0
+        extra = compute * (float(self.slowdowns[pid]) - 1.0)
+        self.straggler_extra_cycles += extra
+        return extra
+
+    # -- membank draws --------------------------------------------------
+    def bank_stall_mask(self, pid: int, n_accesses: int) -> Optional[np.ndarray]:
+        """Boolean stall schedule for one processor's access stream
+        (derived per-pid, so it is independent of DES interleaving)."""
+        if not self.plan.perturbs_membank:
+            return None
+        rng = np.random.default_rng(_mix(self._bank_seed, pid))
+        return rng.random(n_accesses) < self.plan.bank_stall_prob
+
+    def record_bank_stall(self, cycles: float) -> None:
+        self.bank_stalls += 1
+        self.bank_stall_cycles += cycles
+
+    # -- reporting ------------------------------------------------------
+    def tally(self) -> dict:
+        """Non-zero lifetime counters, for the process-global tally."""
+        raw = {
+            "fault.drops": self.drops,
+            "fault.retransmits": self.retransmits,
+            "fault.retransmit_bytes": self.retransmit_bytes,
+            "fault.lost_messages": self.lost_messages,
+            "fault.jitter_cycles": self.jitter_cycles,
+            "fault.straggler_extra_cycles": self.straggler_extra_cycles,
+            "fault.bank_stalls": self.bank_stalls,
+            "fault.bank_stall_cycles": self.bank_stall_cycles,
+        }
+        return {k: v for k, v in raw.items() if v}
+
+    def harvest_obs(self, observer) -> None:
+        """Fold lifetime fault counters into ``fault.*`` metrics
+        (registered as an observer finalizer by the machine)."""
+        m = observer.metrics
+        for name, value in self.tally().items():
+            m.counter(name).inc(value)

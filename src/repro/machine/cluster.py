@@ -8,6 +8,7 @@ from __future__ import annotations
 
 from typing import List
 
+from repro import faults as _faults
 from repro import obs
 from repro.machine.config import MachineConfig
 from repro.machine.cpu import CPUModel
@@ -16,15 +17,25 @@ from repro.sim import Simulator
 
 
 class Machine:
-    """A ready-to-run simulated multiprocessor."""
+    """A ready-to-run simulated multiprocessor.
 
-    def __init__(self, config: MachineConfig) -> None:
+    ``fault_salt`` (typically the run seed) is mixed into the fault
+    RNG streams when a :class:`~repro.faults.plan.FaultPlan` is in
+    force — either pinned on the config or armed process-globally —
+    so each simulated run draws its own reproducible fault schedule.
+    ``machine.faults`` is ``None`` on the (default) unperturbed path.
+    """
+
+    def __init__(self, config: MachineConfig, fault_salt: int = 0) -> None:
         self.config = config
         self.sim = Simulator()
         # When observability is on, the observer must exist before the
         # network is built so the network can register its harvester.
         obs.attach(self.sim, label=f"machine p={config.p}")
-        self.network = Network(self.sim, config.network, config.p)
+        self.faults = _faults.state_for(config.faults, config.p, salt=fault_salt)
+        if self.faults is not None and self.sim.obs is not None:
+            self.sim.obs.add_finalizer(self.faults.harvest_obs)
+        self.network = Network(self.sim, config.network, config.p, faults=self.faults)
         self.cpus: List[CPUModel] = [CPUModel(config.node) for _ in range(config.p)]
 
     @property

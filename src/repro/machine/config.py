@@ -19,7 +19,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.util.validation import check_positive, check_power_of_two
+from repro.faults.plan import FaultPlan
+from repro.util.validation import check_nonnegative, check_positive, check_power_of_two
 
 
 @dataclass(frozen=True)
@@ -82,6 +83,9 @@ class NodeConfig:
         for name in ("int_units", "fp_units", "ls_units", "issue_width"):
             check_positive(name, getattr(self, name))
         check_positive("clock_hz", self.clock_hz)
+        check_positive("fu_latency", self.fu_latency)
+        check_nonnegative("l2_miss_extra_cycles", self.l2_miss_extra_cycles)
+        check_nonnegative("branch_mispredict_penalty", self.branch_mispredict_penalty)
         if not 0 <= self.branch_mispredict_rate <= 1:
             raise ValueError("branch_mispredict_rate must be in [0,1]")
 
@@ -118,14 +122,17 @@ class NetworkConfig:
 
     def __post_init__(self) -> None:
         check_positive("gap_cycles_per_byte", self.gap_cycles_per_byte)
-        if self.overhead_cycles < 0 or self.latency_cycles < 0:
-            raise ValueError("overhead and latency must be nonnegative")
+        # check_nonnegative also rejects NaN/inf, which would silently
+        # pass a bare `< 0` comparison and poison every derived charge.
+        for name in (
+            "overhead_cycles",
+            "latency_cycles",
+            "retry_backoff_cycles",
+            "nack_cycles",
+        ):
+            check_nonnegative(name, getattr(self, name))
         if self.recv_buffer_slots < 0:
             raise ValueError("recv_buffer_slots must be >= 0 (0 = unlimited)")
-        if self.retry_backoff_cycles < 0:
-            raise ValueError("retry_backoff_cycles must be >= 0")
-        if self.nack_cycles < 0:
-            raise ValueError("nack_cycles must be >= 0")
 
     def message_send_cycles(self, nbytes: int) -> float:
         """NIC occupancy to inject one message of *nbytes*."""
@@ -143,9 +150,16 @@ class MachineConfig:
     p: int = 16
     node: NodeConfig = field(default_factory=NodeConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
+    #: Optional machine-pinned fault plan (overrides the process-global
+    #: plan armed via :func:`repro.faults.arm` / ``QSM_FAULTS``).
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         check_positive("p", self.p)
+
+    def with_faults(self, faults: Optional[FaultPlan]) -> "MachineConfig":
+        """A copy with the fault plan replaced (``None`` clears it)."""
+        return dataclasses.replace(self, faults=faults)
 
     def with_network(self, **changes) -> "MachineConfig":
         """A copy with some network parameters replaced (used by the

@@ -50,12 +50,18 @@ class Message:
 class Network:
     """``p`` NIC pairs plus wires, all inside one simulator."""
 
-    def __init__(self, sim: Simulator, config: NetworkConfig, p: int) -> None:
+    def __init__(
+        self, sim: Simulator, config: NetworkConfig, p: int, faults=None
+    ) -> None:
         if p < 1:
             raise ValueError(f"need at least one node, got p={p}")
         self.sim = sim
         self.config = config
         self.p = p
+        #: Optional :class:`~repro.faults.state.FaultState` — ``None``
+        #: (the default) is the zero-overhead path: one load + branch
+        #: per wire crossing, never a draw.
+        self.faults = faults
         self.send_engine: List[Resource] = [
             Resource(sim, capacity=1, name=f"nic{pid}.send") for pid in range(p)
         ]
@@ -95,7 +101,11 @@ class Network:
         """True when batched sends are timing-equivalent to per-message
         sends: the receiver-overrun model must be off, since bounces
         depend on instantaneous queue depth that the analytic send
-        schedule does not track."""
+        schedule does not track — and network fault injection must be
+        off, since the analytic schedule cannot model per-message
+        random drops or jitter."""
+        if self.faults is not None and self.faults.plan.perturbs_network:
+            return False
         return self.config.recv_buffer_slots == 0
 
     def send_burst_from(self, src: int, tag: Any, entries: Iterable[Tuple]):
@@ -250,7 +260,12 @@ class Network:
         return msg
 
     def _wire_and_recv(self, msg: Message):
-        if self.config.latency_cycles:
+        faults = self.faults
+        if faults is not None and faults.plan.perturbs_network:
+            delivered = yield from self._faulty_wire(msg, faults)
+            if not delivered:
+                return  # message declared lost; faults.fatal is set
+        elif self.config.latency_cycles:
             yield self.sim.timeout(self.config.latency_cycles)
         slots = self.config.recv_buffer_slots
         if slots:
@@ -280,6 +295,74 @@ class Network:
         done = getattr(msg, "_done_event", None)
         if done is not None:
             done.succeed(msg)
+
+    def _faulty_wire(self, msg: Message, faults) -> object:
+        """Generator: cross the wire under an armed fault plan.
+
+        Each crossing may be dropped (seeded draw).  On a drop the
+        sender's transport layer times out and retransmits with
+        exponential backoff; the retransmitted copy re-occupies the
+        send NIC and re-pays the full ``o + g·bytes`` injection charge,
+        so retransmit traffic is costed exactly like first sends.
+        Surviving crossings may carry extra exponential delay jitter.
+        Returns True when the message made it across, False when it
+        exceeded ``max_retransmits`` and was declared lost (the run's
+        :class:`~repro.faults.state.FaultError` is parked on
+        ``faults.fatal`` for the sync engine to surface).
+        """
+        from repro.faults.state import FaultError
+        from repro.obs import FAULT_TRACK
+
+        sim = self.sim
+        plan = faults.plan
+        send = self.send_engine[msg.src]
+        send_cycles = self.config.message_send_cycles(msg.nbytes)
+        attempt = 0
+        while plan.drop_prob and faults.message_dropped():
+            attempt += 1
+            faults.drops += 1
+            obs = sim.obs
+            if obs is not None:
+                obs.instant(
+                    "fault.drop", FAULT_TRACK, src=msg.src, dst=msg.dst, attempt=attempt
+                )
+            if attempt > plan.max_retransmits:
+                faults.lost_messages += 1
+                if faults.fatal is None:
+                    faults.fatal = FaultError(
+                        f"message {msg.src}->{msg.dst} ({msg.nbytes} B, tag "
+                        f"{msg.tag!r}) lost after {plan.max_retransmits} "
+                        f"retransmits (drop_prob={plan.drop_prob})"
+                    )
+                return False
+            # Sender-side timeout, growing exponentially per attempt.
+            wait = plan.retransmit_timeout_cycles * (
+                plan.retransmit_backoff_factor ** (attempt - 1)
+            )
+            yield sim.timeout(wait)
+            # The retransmitted copy queues behind current traffic at
+            # the send NIC and re-pays the o + g·bytes injection charge.
+            yield from send.serve(send_cycles)
+            self.bytes_sent += msg.nbytes
+            self.messages_sent += 1
+            faults.retransmits += 1
+            faults.retransmit_bytes += msg.nbytes
+            obs = sim.obs
+            if obs is not None:
+                obs.instant(
+                    "fault.retransmit",
+                    FAULT_TRACK,
+                    src=msg.src,
+                    dst=msg.dst,
+                    bytes=msg.nbytes,
+                    attempt=attempt,
+                )
+        delay = self.config.latency_cycles
+        if plan.delay_jitter_cycles:
+            delay += faults.jitter_draw()
+        if delay:
+            yield sim.timeout(delay)
+        return True
 
     # ------------------------------------------------------------------
     def _check_ids(self, msg: Message) -> None:

@@ -15,6 +15,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import faults as _faults
 from repro import obs as _obs
 from repro.membank.banks import BankArray
 from repro.membank.machines import MemoryMachineConfig
@@ -50,8 +51,16 @@ def run_microbenchmark(
     accesses_per_proc: int = 2000,
     warmup: Optional[int] = None,
     seed: int = 0,
+    fault_plan=None,
 ) -> MicrobenchResult:
-    """Run the stress microbenchmark; returns steady-state access times."""
+    """Run the stress microbenchmark; returns steady-state access times.
+
+    *fault_plan* pins a :class:`~repro.faults.plan.FaultPlan` for this
+    run; when ``None`` the process-global plan (if armed) applies.  Only
+    the plan's membank axis acts here: stalled accesses pay
+    ``bank_stall_cycles`` extra service time, on a per-pid seeded
+    schedule independent of DES interleaving.
+    """
     if accesses_per_proc < 1:
         raise ValueError("need at least one access per processor")
     warmup = accesses_per_proc // 10 if warmup is None else warmup
@@ -60,6 +69,9 @@ def run_microbenchmark(
 
     sim = Simulator()
     _obs.attach(sim, label=f"membank {config.name}/{pattern.name} p={config.p}")
+    fstate = _faults.state_for(fault_plan, config.p, salt=seed)
+    if fstate is not None and sim.obs is not None:
+        sim.obs.add_finalizer(fstate.harvest_obs)
     banks = BankArray(sim, config.n_banks, config.bank_service_cycles)
     interconnect = config.make_interconnect(sim)
     rngs = spawn_rngs(seed, config.p)
@@ -68,6 +80,8 @@ def run_microbenchmark(
     def proc(pid: int):
         obs = sim.obs
         targets = pattern.choose(rngs[pid], pid, config.n_banks, accesses_per_proc)
+        stalls = None if fstate is None else fstate.bank_stall_mask(pid, accesses_per_proc)
+        stall_cycles = 0.0 if fstate is None else fstate.plan.bank_stall_cycles
         for k in range(accesses_per_proc):
             t0 = sim.now
             bank = int(targets[k])
@@ -77,6 +91,13 @@ def run_microbenchmark(
                 yield sim.timeout(config.software_cycles)
             yield from interconnect.request_path(pid, bank)
             yield from banks.access(bank)
+            if stalls is not None and stalls[k]:
+                # Injected stall burst: the bank holds this access for
+                # extra service time (a refresh/contention hiccup).
+                fstate.record_bank_stall(stall_cycles)
+                if obs is not None:
+                    obs.instant("fault.bank_stall", pid, bank=bank, cycles=stall_cycles)
+                yield sim.timeout(stall_cycles)
             yield from interconnect.response_path(pid, bank)
             if obs is not None:
                 obs.end(span)
@@ -98,6 +119,9 @@ def run_microbenchmark(
         for b in range(config.n_banks):
             util.set(banks.utilization(b))
         sim.obs.finalize()
+    if fstate is not None:
+        # After finalize: the obs harvester must see live counters.
+        _faults.absorb(fstate)
 
     per_proc = np.array([s.mean for s in stats])
     total = float(

@@ -72,6 +72,7 @@ __all__ = [
     "Histogram",
     "KernelEventSink",
     "unlink_hook",
+    "FAULT_TRACK",
     "enabled",
     "enable",
     "disable",
@@ -91,6 +92,10 @@ __all__ = [
 
 #: Env var that switches collection on for a whole process tree.
 ENV_VAR = "QSM_OBS"
+#: Reserved track id for fault-injection events (`repro.faults`): the
+#: trace export names it "faults" so injected drops/retransmits get
+#: their own lane instead of landing on a processor's track.
+FAULT_TRACK = -1
 #: Default cap on recorded spans+instants per run (drop-newest beyond).
 DEFAULT_SPAN_LIMIT = 1_000_000
 

@@ -45,13 +45,16 @@ def chrome_trace_events(runs: Iterable[RunCapture]) -> List[Dict[str, Any]]:
         )
         tracks = sorted({s.track for s in run.spans} | {s.track for s in run.instants})
         for track in tracks:
+            # Negative tracks are reserved lanes (FAULT_TRACK = -1 is
+            # the fault-injection track), not processor ids.
+            name = "faults" if track == -1 else f"proc {track}"
             events.append(
                 {
                     "ph": "M",
                     "name": "thread_name",
                     "pid": pid,
                     "tid": track,
-                    "args": {"name": f"proc {track}"},
+                    "args": {"name": name},
                 }
             )
         for span in run.spans:

@@ -21,7 +21,7 @@ from __future__ import annotations
 import os
 from dataclasses import dataclass, field
 
-from repro.util.validation import check_positive
+from repro.util.validation import check_nonnegative, check_positive
 
 
 def _fast_sync_default() -> bool:
@@ -112,14 +112,13 @@ class SoftwareConfig:
                 f"got {self.exchange_schedule!r}"
             )
         check_positive("word_bytes", self.word_bytes)
+        check_positive("max_message_bytes", self.max_message_bytes)
+        # check_nonnegative names the field and rejects NaN/inf, which a
+        # bare `< 0` comparison would let through into every charge.
         for name in (
             "record_header_bytes",
             "message_header_bytes",
             "plan_entry_bytes",
-        ):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be >= 0")
-        for name in (
             "marshal_record_cycles",
             "unmarshal_record_cycles",
             "get_service_cycles",
@@ -127,8 +126,7 @@ class SoftwareConfig:
             "sync_fixed_cycles",
             "send_pacing_cycles",
         ):
-            if getattr(self, name) < 0:
-                raise ValueError(f"{name} must be >= 0")
+            check_nonnegative(name, getattr(self, name))
 
     # -- wire sizing ----------------------------------------------------
     def put_wire_bytes(self, words: int) -> int:

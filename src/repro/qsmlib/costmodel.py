@@ -177,3 +177,35 @@ class CommCostModel:
             + self.plan_exchange_cycles(p)
             + self.barrier_cycles(p)
         )
+
+    # -- fault-plan hooks (repro.faults) --------------------------------
+    def fault_traffic_factor(self, plan) -> float:
+        """Expected wire-traffic (and NIC-occupancy) multiplier under a
+        :class:`~repro.faults.plan.FaultPlan`'s drop-with-retransmit:
+        each crossing survives with probability ``1 - drop``, so every
+        message is injected ``1/(1 - drop)`` times in expectation — and
+        each retransmission re-pays the full ``o + g·bytes`` charge."""
+        if plan is None or plan.drop_prob <= 0.0:
+            return 1.0
+        return 1.0 / (1.0 - plan.drop_prob)
+
+    def fault_extra_latency_cycles(self, plan) -> float:
+        """Expected extra per-delivery latency a fault plan injects:
+        the mean jitter plus the expected retransmission wait (a
+        geometric series over the exponential-backoff schedule)."""
+        if plan is None:
+            return 0.0
+        extra = plan.delay_jitter_cycles
+        d = plan.drop_prob
+        if d > 0.0:
+            t = plan.retransmit_timeout_cycles
+            b = plan.retransmit_backoff_factor
+            if d * b < 1.0:
+                extra += d * t / (1.0 - d * b)
+            else:
+                # Diverging backoff: sum the (max_retransmits-)truncated
+                # series explicitly.
+                extra += sum(
+                    d**k * t * b ** (k - 1) for k in range(1, plan.max_retransmits + 1)
+                )
+        return extra

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional
 import numpy as np
 
 from repro import check
+from repro import faults as _faults
 from repro.machine.cluster import Machine
 from repro.machine.config import MachineConfig
 from repro.msg.mp import make_endpoints
@@ -64,7 +65,9 @@ class QSMMachine:
     def __init__(self, config: Optional[RunConfig] = None) -> None:
         self.config = config or RunConfig()
         self.p = self.config.machine.p
-        self.machine = Machine(self.config.machine)
+        # The run seed salts the fault RNG streams so every sweep point
+        # draws its own reproducible fault schedule.
+        self.machine = Machine(self.config.machine, fault_salt=self.config.seed)
         self.space = AddressSpace(self.p, default_salt=self.config.seed)
         self.rngs = RngStreams(self.config.seed, self.p)
         self._endpoints = make_endpoints(self.machine.network)
@@ -175,6 +178,8 @@ class QSMMachine:
         result.sim_events = self.machine.sim.event_count
         if self.machine.sim.obs is not None:
             self.machine.sim.obs.finalize()
+        if self.machine.faults is not None:
+            _faults.absorb(self.machine.faults)
         return result
 
     # ------------------------------------------------------------------

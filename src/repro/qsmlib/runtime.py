@@ -100,6 +100,12 @@ class SyncEngine:
         sim.run()
         for proc in procs:
             if not proc.triggered:
+                faults = self.machine.faults
+                if faults is not None and faults.fatal is not None:
+                    # A message exceeded its retransmit budget; the
+                    # phase can never complete — surface the injected
+                    # fault instead of a generic deadlock.
+                    raise faults.fatal
                 raise RuntimeError("sync deadlocked: a node never completed the phase")
             proc.value  # re-raise any node failure
         timing = PhaseTiming(start=start, ready=float(ready_times.max()), end=sim.now)
@@ -140,6 +146,9 @@ class SyncEngine:
             seg = obs.begin("qsm.compute", pid)
 
         # -- local computation of the phase body -------------------------
+        faults = self.machine.faults
+        if faults is not None:
+            compute += faults.compute_penalty(pid, compute)
         if compute > 0:
             yield sim.timeout(compute)
         ready_times[pid] = sim.now

@@ -1,7 +1,15 @@
-"""Argument-validation helpers with consistent error messages."""
+"""Argument-validation helpers with consistent error messages.
+
+Every helper names the offending field in its error and rejects
+non-finite values (``NaN``/``inf``) outright: a bare ``value < 0``
+comparison is False for NaN, so unchecked NaN parameters would
+otherwise flow silently into every derived charge and corrupt whole
+sweeps (see docs/ROBUSTNESS.md).
+"""
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 
@@ -11,10 +19,35 @@ def require(condition: bool, message: str) -> None:
         raise ValueError(message)
 
 
+def check_finite(name: str, value: Any) -> None:
+    """Require a finite number (rejects NaN and ±inf)."""
+    try:
+        finite = math.isfinite(value)
+    except TypeError:
+        raise ValueError(f"{name} must be a finite number, got {value!r}") from None
+    if not finite:
+        raise ValueError(f"{name} must be finite, got {value!r}")
+
+
 def check_positive(name: str, value: Any) -> None:
-    """Require a strictly positive number."""
+    """Require a strictly positive finite number."""
+    check_finite(name, value)
     if not value > 0:
         raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_nonnegative(name: str, value: Any) -> None:
+    """Require a finite number >= 0."""
+    check_finite(name, value)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+
+
+def check_probability(name: str, value: Any) -> None:
+    """Require a finite probability in [0, 1]."""
+    check_finite(name, value)
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {value!r}")
 
 
 def check_power_of_two(name: str, value: int) -> None:

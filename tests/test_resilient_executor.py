@@ -1,0 +1,252 @@
+"""Tests for the resilient parallel_map engine (policy-driven path).
+
+Contracts (see docs/ROBUSTNESS.md): crash isolation, bounded retries
+with backoff, per-task timeouts, checkpoint resume that is
+byte-identical, jobs-count invariance, and graceful degradation of
+aggregation when points fail permanently.
+"""
+
+import json
+import math
+import os
+
+import pytest
+
+from repro import faults
+from repro.experiments import executor
+from repro.experiments.base import drop_failed, mean_std_robust
+from repro.experiments.executor import (
+    ExecutionPolicy,
+    FailedPoint,
+    FailureRecord,
+    is_failed,
+    parallel_map,
+)
+from repro.experiments.sweeps import _sweep_point_task
+from repro.machine.config import MachineConfig
+
+
+@pytest.fixture(autouse=True)
+def _clean_policy():
+    executor.clear_policy()
+    executor.drain_failures()
+    yield
+    executor.clear_policy()
+    executor.drain_failures()
+
+
+def _square(x):
+    return x * x
+
+
+def _crash_once(task):
+    """Dies hard on the first attempt for marked tasks (marker file on
+    disk survives the worker's death; the retry then succeeds)."""
+    value, marker = task
+    if marker is not None and not os.path.exists(marker):
+        open(marker, "w").close()
+        os._exit(23)
+    return value + 100
+
+
+def _always_raise(x):
+    if x == 2:
+        raise ValueError(f"poisoned point {x}")
+    return x
+
+
+def _hang_forever(x):
+    if x == 1:
+        import time
+
+        time.sleep(600)
+    return x
+
+
+class TestPolicyValidation:
+    def test_rejects_bad_fields(self):
+        with pytest.raises(ValueError, match="task_timeout_seconds"):
+            ExecutionPolicy(task_timeout_seconds=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            ExecutionPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_factor"):
+            ExecutionPolicy(backoff_factor=0.5)
+
+    def test_backoff_schedule(self):
+        pol = ExecutionPolicy(backoff_seconds=0.1, backoff_factor=2.0)
+        assert pol.backoff_for(1) == pytest.approx(0.1)
+        assert pol.backoff_for(3) == pytest.approx(0.4)
+
+
+class TestCrashIsolation:
+    def test_crash_once_recovers_via_retry(self, tmp_path):
+        marker = str(tmp_path / "crash.marker")
+        executor.set_policy(ExecutionPolicy(max_retries=2, backoff_seconds=0.01))
+        tasks = [(i, marker if i == 3 else None) for i in range(6)]
+        out = parallel_map(_crash_once, tasks, jobs=3)
+        assert out == [i + 100 for i in range(6)]
+        assert executor.drain_failures() == []
+
+    def test_permanent_failure_isolated_and_recorded(self):
+        executor.set_policy(ExecutionPolicy(max_retries=2, backoff_seconds=0.01))
+        out = parallel_map(_always_raise, list(range(5)), jobs=2)
+        assert is_failed(out[2])
+        assert isinstance(out[2], FailedPoint)
+        assert [v for i, v in enumerate(out) if i != 2] == [0, 1, 3, 4]
+
+        fails = executor.drain_failures()
+        assert len(fails) == 1
+        record = fails[0]
+        assert isinstance(record, FailureRecord)
+        assert record.index == 2
+        assert "ValueError" in record.error and "poisoned" in record.error
+        # initial attempt + 2 retries, each with its backoff
+        assert len(record.attempts) == 3
+        assert record.attempts[0]["backoff_seconds"] == pytest.approx(0.01)
+        assert record.attempts[1]["backoff_seconds"] == pytest.approx(0.02)
+        assert executor.drain_failures() == []  # drained
+
+    def test_timeout_kills_hung_worker(self):
+        executor.set_policy(
+            ExecutionPolicy(task_timeout_seconds=1.0, max_retries=0)
+        )
+        out = parallel_map(_hang_forever, [0, 1, 2], jobs=3)
+        assert out[0] == 0 and out[2] == 2
+        assert is_failed(out[1])
+        fails = executor.drain_failures()
+        assert "timed out" in fails[0].error
+
+
+class TestCheckpointResume:
+    def test_resume_is_byte_identical_and_skips_done(self, tmp_path):
+        ckpt = str(tmp_path / "ck")
+        executor.set_policy(ExecutionPolicy(max_retries=0, checkpoint_dir=ckpt))
+        first = parallel_map(_square, list(range(8)), jobs=2)
+        (journal,) = os.listdir(ckpt)
+        path = os.path.join(ckpt, journal)
+        lines = open(path).read().splitlines()
+        assert len(lines) == 8
+
+        # interrupt simulation: keep a prefix, corrupt the final line
+        with open(path, "w") as fh:
+            fh.write("\n".join(lines[:4]) + "\n" + lines[5][: len(lines[5]) // 2])
+
+        executor.set_policy(ExecutionPolicy(max_retries=0, checkpoint_dir=ckpt))
+        resumed = parallel_map(_square, list(range(8)), jobs=2)
+        assert resumed == first == [i * i for i in range(8)]
+        assert len(open(path).read().splitlines()) >= 8
+
+    def test_journal_seq_distinguishes_repeated_sweeps(self, tmp_path):
+        ckpt = str(tmp_path / "ck")
+        executor.set_policy(ExecutionPolicy(max_retries=0, checkpoint_dir=ckpt))
+        parallel_map(_square, [1, 2], jobs=1)
+        parallel_map(_square, [3, 4], jobs=1)  # fig4-then-fig5 shape
+        names = sorted(os.listdir(ckpt))
+        assert len(names) == 2 and names[0] != names[1]
+
+    def test_failed_points_replay_as_failed(self, tmp_path):
+        ckpt = str(tmp_path / "ck")
+        executor.set_policy(
+            ExecutionPolicy(max_retries=0, backoff_seconds=0.01, checkpoint_dir=ckpt)
+        )
+        first = parallel_map(_always_raise, list(range(4)), jobs=2)
+        assert is_failed(first[2])
+        executor.drain_failures()
+
+        executor.set_policy(
+            ExecutionPolicy(max_retries=0, backoff_seconds=0.01, checkpoint_dir=ckpt)
+        )
+        resumed = parallel_map(_always_raise, list(range(4)), jobs=2)
+        assert is_failed(resumed[2])
+        fails = executor.drain_failures()
+        assert len(fails) == 1 and "poisoned" in fails[0].error
+        # the journal was not extended: failures replay, they don't re-run
+        (journal,) = os.listdir(ckpt)
+        records = [
+            json.loads(line)
+            for line in open(os.path.join(ckpt, journal))
+            if line.strip()
+        ]
+        assert len(records) == 4
+
+    def test_changed_tasks_invalidate_matching(self, tmp_path):
+        ckpt = str(tmp_path / "ck")
+        executor.set_policy(ExecutionPolicy(max_retries=0, checkpoint_dir=ckpt))
+        parallel_map(_square, [1, 2, 3], jobs=1)
+        executor.set_policy(ExecutionPolicy(max_retries=0, checkpoint_dir=ckpt))
+        # different task at index 1: key mismatch -> re-runs, correct value
+        assert parallel_map(_square, [1, 9, 3], jobs=1) == [1, 81, 9]
+
+
+class TestSimulationInvariance:
+    def test_resilient_matches_plain_and_sequential(self):
+        mc = MachineConfig(p=4)
+        tasks = [(mc, 4000 * (i + 1), 11 + i) for i in range(4)]
+        seq = parallel_map(_sweep_point_task, tasks, jobs=1)
+        executor.set_policy(ExecutionPolicy(max_retries=1))
+        res = parallel_map(_sweep_point_task, tasks, jobs=3)
+        executor.clear_policy()
+        par = parallel_map(_sweep_point_task, tasks, jobs=3)
+        assert seq == res == par
+
+    def test_fault_tallies_jobs_invariant_under_policy(self):
+        faults.arm("drop=0.05,seed=9")
+        try:
+            mc = MachineConfig(p=4)
+            tasks = [(mc, 4000, 1), (mc, 4000, 2)]
+            executor.set_policy(ExecutionPolicy(max_retries=1))
+            r1 = parallel_map(_sweep_point_task, tasks, jobs=2)
+            t1 = faults.drain_tally()
+            r2 = parallel_map(_sweep_point_task, tasks, jobs=1)
+            t2 = faults.drain_tally()
+            assert r1 == r2
+            assert t1 == t2 and t1["fault.drops"] > 0
+        finally:
+            faults.disarm()
+
+
+class TestCliIntegration:
+    def test_strict_flag_controls_exit_code(self, capsys):
+        from repro.experiments import cli
+
+        executor._FAILURES.append(
+            FailureRecord(fn="f", index=3, task_repr="t", error="boom")
+        )
+        assert cli._resilience_teardown(strict=True) == 1
+        err = capsys.readouterr().err
+        assert "boom" in err and "failed" in err
+
+        executor._FAILURES.append(
+            FailureRecord(fn="f", index=3, task_repr="t", error="boom")
+        )
+        assert cli._resilience_teardown(strict=False) == 0
+        # drained by the previous call: a clean teardown exits 0 either way
+        assert cli._resilience_teardown(strict=True) == 0
+
+    def test_parser_accepts_resilience_flags(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(
+            [
+                "run", "fig2", "--fast", "--faults", "drop=0.05",
+                "--checkpoint", "/tmp/x", "--retries", "1",
+                "--task-timeout", "5", "--strict",
+            ]
+        )
+        assert args.faults == "drop=0.05"
+        assert args.checkpoint == "/tmp/x"
+        assert args.retries == 1
+        assert args.task_timeout == 5.0
+        assert args.strict
+
+
+class TestDegradationHelpers:
+    def test_drop_failed_and_robust_mean(self):
+        bad = FailedPoint(
+            FailureRecord(fn="f", index=0, task_repr="t", error="boom")
+        )
+        assert drop_failed([1.0, bad, 3.0]) == [1.0, 3.0]
+        mean, std = mean_std_robust([2.0, bad, 4.0])
+        assert mean == pytest.approx(3.0)
+        all_failed = mean_std_robust([bad])
+        assert math.isnan(all_failed[0]) and math.isnan(all_failed[1])

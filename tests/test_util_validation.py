@@ -1,8 +1,17 @@
 """Tests for argument validators."""
 
+import math
+
 import pytest
 
-from repro.util.validation import check_positive, check_power_of_two, require
+from repro.util.validation import (
+    check_finite,
+    check_nonnegative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+    require,
+)
 
 
 def test_require_passes_silently():
@@ -23,6 +32,43 @@ def test_check_positive_accepts(value):
 def test_check_positive_rejects(value):
     with pytest.raises(ValueError, match="x must be positive"):
         check_positive("x", value)
+
+
+@pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf")])
+def test_check_positive_rejects_nonfinite(value):
+    # A bare `value < 0` check lets NaN through silently; the named
+    # helpers must not.
+    with pytest.raises(ValueError, match="x"):
+        check_positive("x", value)
+
+
+@pytest.mark.parametrize("value", [0, 0.0, 1, 2.5])
+def test_check_nonnegative_accepts(value):
+    check_nonnegative("x", value)
+
+
+@pytest.mark.parametrize("value", [-1, -0.001, float("nan"), float("inf")])
+def test_check_nonnegative_rejects(value):
+    with pytest.raises(ValueError, match="x"):
+        check_nonnegative("x", value)
+
+
+@pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+def test_check_probability_accepts(value):
+    check_probability("p", value)
+
+
+@pytest.mark.parametrize("value", [-0.1, 1.1, float("nan")])
+def test_check_probability_rejects(value):
+    with pytest.raises(ValueError, match="p"):
+        check_probability("p", value)
+
+
+def test_check_finite_names_the_field():
+    with pytest.raises(ValueError, match="gap_cycles"):
+        check_finite("gap_cycles", math.nan)
+    with pytest.raises(ValueError, match="gap_cycles"):
+        check_finite("gap_cycles", "not a number")
 
 
 @pytest.mark.parametrize("value", [1, 2, 4, 64, 1024])
