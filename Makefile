@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test check bench bench-obs bench-check bench-faults report trace-demo
+.PHONY: test check bench bench-smoke bench-obs bench-check bench-faults report trace-demo
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -14,10 +14,16 @@ check:
 	PYTHONPATH=src $(PYTHON) -m repro.check.lint src/repro
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli run fig1 --fast --sanitize=error
 
-# Re-run the simulator performance benchmark and fail if the fast-path
-# events/sec regressed >20% vs the committed benchmarks/BENCH_perf.json.
+# Re-run the simulator performance benchmark (all three sync paths)
+# and fail if the fastest path's events/sec regressed >20% vs the
+# committed benchmarks/BENCH_perf.json.
 bench:
 	benchmarks/run_perf.sh
+
+# Reduced-grid benchmark for CI: one pass over a single sweep point per
+# sync path, failing on any cross-path timing mismatch.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf.py --smoke
 
 # Observability overhead gate: a run with collection disabled (the
 # default) must stay within 3% of the pre-instrumentation baseline.

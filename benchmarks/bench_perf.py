@@ -1,21 +1,26 @@
 """Simulator performance benchmark: the Figure 2 sample-sort sweep.
 
-Runs the fig2 grid (p=16, fast-mode n values, 3 reps) twice — once with
-the batched-send fast path (``fast_sync=True``, the default) and once
-on the slow per-chunk oracle path — and records wall-clock seconds,
-total kernel events, events/second, and peak RSS for each, plus the
-fast/slow speedup.
+Runs the fig2 grid (p=16, fast-mode n values, 3 reps) once per sync
+path — the per-chunk ``slow`` oracle, the batched-send ``fast`` DES
+path, and the vectorized ``epoch`` kernel — and records wall-clock
+seconds, total kernel events, events/second, and peak RSS for each,
+plus the pairwise speedups and a per-pair bit-identity verdict on the
+simulated timings (``comm_cycles`` equality across every sweep point).
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_perf.py                # print + write
     PYTHONPATH=src python benchmarks/bench_perf.py --jobs 0       # all CPUs
+    PYTHONPATH=src python benchmarks/bench_perf.py --smoke        # reduced CI grid
     PYTHONPATH=src python benchmarks/bench_perf.py \
         --check benchmarks/BENCH_perf.json                       # regression gate
 
-``--check BASELINE`` compares the fresh fast-path events/sec against the
-committed baseline and exits non-zero if it has regressed by more than
-``--tolerance`` (default 20%) — this is what ``make bench`` runs.
+``--check BASELINE`` compares the fresh fastest-path (epoch)
+events/sec against the committed baseline and exits non-zero if it has
+regressed by more than ``--tolerance`` (default 20%) — this is what
+``make bench`` runs.  ``--smoke`` shrinks the grid to one pass so CI
+can cheaply assert that all three paths still report bit-identical
+timings; it always fails the run on a timing mismatch.
 """
 
 from __future__ import annotations
@@ -38,6 +43,14 @@ SWEEP_NS = [8192, 65536, 250000]
 SWEEP_REPS = 3
 SWEEP_SEED = 0
 
+#: Reduced grid for ``--smoke`` (CI): one mid-size point, one rep.
+SMOKE_NS = [65536]
+SMOKE_REPS = 1
+
+#: Measurement order: slowest first so the committed record reads
+#: oracle -> optimised.
+SYNC_PATHS = ("slow", "fast", "epoch")
+
 
 def _bench_point(task) -> tuple:
     """One sweep point; returns (comm_cycles, sim_events).
@@ -49,13 +62,13 @@ def _bench_point(task) -> tuple:
     from repro.algorithms.samplesort import run_sample_sort
     from repro.qsmlib.program import RunConfig
 
-    machine, n, run_seed, fast_sync = task
+    machine, n, run_seed, sync_path = task
     rng = np.random.default_rng(run_seed)
     out = run_sample_sort(
         rng.integers(0, 2**62, size=n),
         RunConfig(
             machine=machine,
-            software=SoftwareConfig(fast_sync=fast_sync),
+            software=SoftwareConfig(sync_path=sync_path),
             seed=run_seed,
             check_semantics=False,
         ),
@@ -73,18 +86,29 @@ def _peak_rss_mb() -> float:
     return kb / 1024.0
 
 
-def run_sweep_variant(fast_sync: bool, jobs: int, repeat: int) -> dict:
+def run_sweep_variant(
+    fast_sync=None, jobs: int = 1, repeat: int = 3, sync_path=None, ns=None, reps=None
+) -> dict:
     """Run the whole grid one way; returns the measurement record.
+
+    The path is named by ``sync_path`` ("slow" / "fast" / "epoch");
+    ``fast_sync`` is the older boolean spelling kept for the sibling
+    benchmarks (bench_obs/bench_check/bench_faults), mapped to
+    "fast"/"slow" here rather than through the deprecated config field.
 
     The grid is repeated ``repeat`` times and the *minimum* wall time is
     reported — the standard estimator for "how fast is the code", since
     scheduler and frequency noise only ever add time.
     """
+    if sync_path is None:
+        if fast_sync is None:
+            raise ValueError("pass sync_path ('slow'/'fast'/'epoch') or fast_sync")
+        sync_path = "fast" if fast_sync else "slow"
     machine = MachineConfig()  # p=16, Table 2/3 defaults
     tasks = [
-        (machine, n, SWEEP_SEED + 1000 * r + 1, fast_sync)
-        for n in SWEEP_NS
-        for r in range(SWEEP_REPS)
+        (machine, n, SWEEP_SEED + 1000 * r + 1, sync_path)
+        for n in (SWEEP_NS if ns is None else ns)
+        for r in range(SWEEP_REPS if reps is None else reps)
     ]
     wall = float("inf")
     results = None
@@ -105,45 +129,77 @@ def run_sweep_variant(fast_sync: bool, jobs: int, repeat: int) -> dict:
     }
 
 
-def run_benchmark(jobs: int, repeat: int = 3) -> dict:
-    fast = run_sweep_variant(fast_sync=True, jobs=jobs, repeat=repeat)
-    slow = run_sweep_variant(fast_sync=False, jobs=jobs, repeat=repeat)
-    identical = fast["comm_cycles"] == slow["comm_cycles"]
-    for rec in (fast, slow):
+def run_benchmark(jobs: int, repeat: int = 3, smoke: bool = False) -> dict:
+    ns = SMOKE_NS if smoke else None
+    reps = SMOKE_REPS if smoke else None
+    variants = {
+        path: run_sweep_variant(sync_path=path, jobs=jobs, repeat=repeat, ns=ns, reps=reps)
+        for path in SYNC_PATHS
+    }
+    pairs = {
+        "fast_vs_slow": variants["fast"]["comm_cycles"] == variants["slow"]["comm_cycles"],
+        "epoch_vs_fast": variants["epoch"]["comm_cycles"] == variants["fast"]["comm_cycles"],
+    }
+    for rec in variants.values():
         del rec["comm_cycles"]  # raw per-point data, not a benchmark metric
-    return {
-        "benchmark": "fig2_samplesort_sweep",
+    record = {
+        "benchmark": "fig2_samplesort_sweep" + ("_smoke" if smoke else ""),
         "machine_p": MachineConfig().p,
-        "ns": SWEEP_NS,
-        "reps": SWEEP_REPS,
+        "ns": SMOKE_NS if smoke else SWEEP_NS,
+        "reps": SMOKE_REPS if smoke else SWEEP_REPS,
         "seed": SWEEP_SEED,
         "jobs": effective_jobs(jobs),
         "repeat": repeat,
         "host_cpus": os.cpu_count(),
-        "fast": fast,
-        "slow": slow,
-        "speedup": round(slow["wall_seconds"] / fast["wall_seconds"], 3),
-        "event_ratio": round(slow["sim_events"] / fast["sim_events"], 3),
-        "timings_identical": identical,
+        "sync_paths": list(SYNC_PATHS),
     }
+    record.update(variants)
+    record.update(
+        {
+            "speedup": round(
+                variants["slow"]["wall_seconds"] / variants["fast"]["wall_seconds"], 3
+            ),
+            "speedup_epoch_vs_fast": round(
+                variants["fast"]["wall_seconds"] / variants["epoch"]["wall_seconds"], 3
+            ),
+            "event_ratio": round(
+                variants["slow"]["sim_events"] / variants["fast"]["sim_events"], 3
+            ),
+            "event_ratio_epoch": round(
+                variants["fast"]["sim_events"] / variants["epoch"]["sim_events"], 3
+            ),
+            "timings_identical_pairs": pairs,
+            "timings_identical": all(pairs.values()),
+        }
+    )
+    return record
 
 
 def check_regression(record: dict, baseline_path: str, tolerance: float) -> int:
-    """Exit status 1 if fast-path events/sec regressed beyond tolerance."""
+    """Exit status 1 if fastest-path events/sec regressed beyond tolerance.
+
+    The gate runs on the epoch path (the fastest); older baselines
+    without an ``epoch`` record fall back to the fast path.
+    """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
-    base_eps = baseline["fast"]["events_per_sec"]
-    new_eps = record["fast"]["events_per_sec"]
+    gate_path = "epoch" if "epoch" in baseline else "fast"
+    base_eps = baseline[gate_path]["events_per_sec"]
+    new_eps = record[gate_path]["events_per_sec"]
     floor = base_eps * (1.0 - tolerance)
     print(
-        f"[check] fast-path events/sec: baseline={base_eps:,.0f}, "
+        f"[check] {gate_path}-path events/sec: baseline={base_eps:,.0f}, "
         f"current={new_eps:,.0f}, floor={floor:,.0f} (tolerance {tolerance:.0%})"
     )
     if new_eps < floor:
         print("[check] FAIL: events/sec regressed beyond tolerance", file=sys.stderr)
         return 1
     if not record["timings_identical"]:
-        print("[check] FAIL: fast/slow paths disagreed on simulated timings", file=sys.stderr)
+        print(
+            "[check] FAIL: sync paths disagreed on simulated timings: "
+            f"{record['timings_identical_pairs']}",
+            file=sys.stderr,
+        )
         return 1
     print("[check] OK")
     return 0
@@ -156,15 +212,26 @@ def main(argv=None) -> int:
     parser.add_argument("--output", default=None, help="write the JSON record here")
     parser.add_argument("--check", metavar="BASELINE", help="compare against a baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.2, help="allowed events/sec drop")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced grid for CI; fails on any cross-path timing mismatch",
+    )
     args = parser.parse_args(argv)
 
-    record = run_benchmark(args.jobs, repeat=args.repeat)
+    record = run_benchmark(args.jobs, repeat=1 if args.smoke else args.repeat, smoke=args.smoke)
     print(json.dumps(record, indent=2))
     if args.output:
         with open(args.output, "w") as fh:
             json.dump(record, fh, indent=2)
             fh.write("\n")
         print(f"[wrote {args.output}]")
+    if args.smoke and not record["timings_identical"]:
+        print(
+            f"[smoke] FAIL: sync paths disagreed: {record['timings_identical_pairs']}",
+            file=sys.stderr,
+        )
+        return 1
     if args.check:
         return check_regression(record, args.check, args.tolerance)
     return 0

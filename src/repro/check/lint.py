@@ -26,7 +26,10 @@ QL103    iteration over a ``set``/``frozenset``/``dict.keys()`` without
          event or message ordering is a heisenbug factory
 QL104    a ``ctx.get(...)``/``ctx.get_range(...)`` handle's ``.data``
          read before the next ``yield`` — QSM forbids consuming values
-         fetched in the same phase
+         fetched in the same phase.  Handles are tracked through plain
+         names, containers (``handles.append(ctx.get(...))``, list
+         literals/comprehensions of gets), and attributes
+         (``self.h = ctx.get(...)``)
 QL105    bare ``except:`` — swallows everything incl. KeyboardInterrupt
 QL106    mutable default argument (list/dict/set literal or call)
 QL107    environment read (``os.environ``/``os.getenv``) in model code —
@@ -288,29 +291,67 @@ class _FileLinter(ast.NodeVisitor):
                     "construct inside the body",
                 )
 
-    # -- QL104: linear scan for handle reads before the next yield ------
+    # -- QL104: dataflow scan for handle reads before the next yield ----
     def _scan_handle_reads(self, func) -> None:
+        """Flag ``.data``/``.values`` reads of same-phase get handles.
+
+        Handles are tracked through three binding shapes: plain names
+        (``h = ctx.get(...)``), containers (``handles.append(ctx.get(...))``,
+        list/tuple literals or comprehensions of gets — read back via
+        subscripts, ``for``-loops, or comprehensions over the container),
+        and attributes (``self.h = ctx.get(...)``).  Every tracked
+        binding is released at the next ``yield``.
+        """
         tracked: Set[str] = set()
+        containers: Set[str] = set()
+        attrs: Set[str] = set()
+
+        def flag(sub: ast.Attribute, what: str) -> None:
+            self.add(
+                sub,
+                "QL104",
+                f"{what}.{sub.attr} read before the next "
+                "yield ctx.sync(); QSM get results are only available "
+                "after the owning sync",
+            )
 
         def scan_expr(node: ast.AST) -> bool:
             """Check uses in *node*; returns True if it contains a yield."""
             if _contains_yield(node):
                 tracked.clear()
+                containers.clear()
+                attrs.clear()
                 return True
+            # Comprehensions whose iterable is a handle container bind
+            # their target name to a handle for the comprehension body.
+            comp_bound: Set[str] = set()
             for sub in ast.walk(node):
-                if (
-                    isinstance(sub, ast.Attribute)
-                    and sub.attr in ("data", "values")
-                    and isinstance(sub.value, ast.Name)
-                    and sub.value.id in tracked
+                if isinstance(sub, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                    for gen in sub.generators:
+                        if (
+                            isinstance(gen.iter, ast.Name)
+                            and gen.iter.id in containers
+                            and isinstance(gen.target, ast.Name)
+                        ):
+                            comp_bound.add(gen.target.id)
+            for sub in ast.walk(node):
+                if not (isinstance(sub, ast.Attribute) and sub.attr in ("data", "values")):
+                    continue
+                base = sub.value
+                if isinstance(base, ast.Name) and (
+                    base.id in tracked or base.id in comp_bound
                 ):
-                    self.add(
-                        sub,
-                        "QL104",
-                        f"{sub.value.id}.{sub.attr} read before the next "
-                        "yield ctx.sync(); QSM get results are only available "
-                        "after the owning sync",
-                    )
+                    flag(sub, base.id)
+                elif (
+                    isinstance(base, ast.Subscript)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id in containers
+                ):
+                    flag(sub, f"{base.value.id}[...]")
+                elif isinstance(base, ast.Attribute):
+                    dotted = _dotted(base)
+                    if dotted is not None and dotted in attrs:
+                        flag(sub, dotted)
             return False
 
         def is_ctx_get(value: ast.AST) -> bool:
@@ -322,6 +363,60 @@ class _FileLinter(ast.NodeVisitor):
                 and value.func.value.id == "ctx"
             )
 
+        def holds_handle(value: ast.AST) -> bool:
+            """Is *value* a handle-valued expression (get call or alias)?"""
+            if is_ctx_get(value):
+                return True
+            return isinstance(value, ast.Name) and value.id in tracked
+
+        def is_handle_collection(value: ast.AST) -> bool:
+            if isinstance(value, (ast.List, ast.Tuple, ast.Set)):
+                return any(holds_handle(elt) for elt in value.elts)
+            if isinstance(value, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+                return is_ctx_get(value.elt)
+            return False
+
+        def update_assign(stmt: ast.Assign) -> None:
+            value = stmt.value
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    name = target.id
+                    if holds_handle(value) or (
+                        isinstance(value, ast.Subscript)
+                        and isinstance(value.value, ast.Name)
+                        and value.value.id in containers
+                    ):
+                        tracked.add(name)
+                        containers.discard(name)
+                    elif is_handle_collection(value):
+                        containers.add(name)
+                        tracked.discard(name)
+                    else:
+                        tracked.discard(name)
+                        containers.discard(name)
+                elif isinstance(target, ast.Attribute):
+                    dotted = _dotted(target)
+                    if dotted is not None:
+                        if holds_handle(value):
+                            attrs.add(dotted)
+                        else:
+                            attrs.discard(dotted)
+
+        def update_expr_stmt(value: ast.AST) -> None:
+            # handles.append(ctx.get(...)) and friends mark the target
+            # name as a handle container.
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Attribute)
+                and value.func.attr in ("append", "add", "insert", "extend")
+                and isinstance(value.func.value, ast.Name)
+                and any(
+                    holds_handle(arg) or is_handle_collection(arg)
+                    for arg in value.args
+                )
+            ):
+                containers.add(value.func.value.id)
+
         def scan_stmts(stmts: Sequence[ast.stmt]) -> None:
             for stmt in stmts:
                 if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
@@ -331,7 +426,15 @@ class _FileLinter(ast.NodeVisitor):
                     scan_stmts(stmt.body)
                     scan_stmts(stmt.orelse)
                 elif isinstance(stmt, (ast.For, ast.AsyncFor)):
-                    scan_expr(stmt.iter)
+                    if not scan_expr(stmt.iter):
+                        # Iterating a handle container binds the loop
+                        # variable to a handle inside the body.
+                        if (
+                            isinstance(stmt.iter, ast.Name)
+                            and stmt.iter.id in containers
+                            and isinstance(stmt.target, ast.Name)
+                        ):
+                            tracked.add(stmt.target.id)
                     scan_stmts(stmt.body)
                     scan_stmts(stmt.orelse)
                 elif isinstance(stmt, (ast.With, ast.AsyncWith)):
@@ -346,13 +449,11 @@ class _FileLinter(ast.NodeVisitor):
                     scan_stmts(stmt.finalbody)
                 else:
                     yielded = scan_expr(stmt)
-                    if not yielded and isinstance(stmt, ast.Assign):
-                        for target in stmt.targets:
-                            if isinstance(target, ast.Name):
-                                if is_ctx_get(stmt.value):
-                                    tracked.add(target.id)
-                                else:
-                                    tracked.discard(target.id)
+                    if not yielded:
+                        if isinstance(stmt, ast.Assign):
+                            update_assign(stmt)
+                        elif isinstance(stmt, ast.Expr):
+                            update_expr_stmt(stmt.value)
 
         scan_stmts(func.body)
 

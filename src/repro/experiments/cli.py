@@ -20,6 +20,7 @@ registry — see ``docs/OBSERVABILITY.md``.  Both work with ``--jobs N``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import List, Optional
@@ -61,8 +62,19 @@ def build_parser() -> argparse.ArgumentParser:
     retries_help = "retries per sweep point before it is recorded as failed (default 2)"
     timeout_help = "kill a sweep point's worker after this many seconds"
     strict_help = "exit non-zero if any sweep point failed (default: report and continue)"
+    sync_path_help = (
+        "force the sync-engine path for every sweep point: 'slow' (per-chunk "
+        "DES oracle), 'fast' (batched DES, the default), or 'epoch' (the "
+        "vectorized phase kernel; automatically degrades to 'fast' when a "
+        "feature needs per-message fidelity — see docs/PERFORMANCE.md); "
+        "sets QSM_SYNC_PATH so --jobs N workers inherit it"
+    )
 
     def add_resilience_args(p) -> None:
+        p.add_argument(
+            "--sync-path", choices=["slow", "fast", "epoch"],
+            dest="sync_path", metavar="PATH", help=sync_path_help,
+        )
         p.add_argument("--faults", metavar="SPEC", help=faults_help)
         p.add_argument("--checkpoint", metavar="DIR", help=checkpoint_help)
         p.add_argument("--retries", type=int, metavar="N", help=retries_help)
@@ -168,6 +180,25 @@ def _sanitize_teardown() -> None:
     if san is not None and san.diagnostics:
         print(san.summary(), file=sys.stderr)
     check.disarm()
+
+
+def _sync_path_setup(args) -> bool:
+    """Export ``--sync-path`` if the flag asked for one.
+
+    Setting ``QSM_SYNC_PATH`` in the environment makes every
+    ``SoftwareConfig()`` built afterwards — in this process or in a
+    ``--jobs N`` worker — resolve to the requested path (the ``QSM_OBS``
+    idiom).
+    """
+    path = getattr(args, "sync_path", None)
+    if not path:
+        return False
+    os.environ["QSM_SYNC_PATH"] = path
+    return True
+
+
+def _sync_path_teardown() -> None:
+    os.environ.pop("QSM_SYNC_PATH", None)
 
 
 def _faults_setup(args) -> bool:
@@ -279,6 +310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     observing = _obs_setup(args)
     sanitizing = _sanitize_setup(args)
     faulting = _faults_setup(args)
+    syncing = _sync_path_setup(args)
     resilient = _resilience_setup(args)
     strict = bool(getattr(args, "strict", False))
 
@@ -298,6 +330,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _obs_export(args)
         if faulting:
             _faults_teardown()
+        if syncing:
+            _sync_path_teardown()
         rc = _resilience_teardown(strict) if resilient else 0
         return rc
 
@@ -337,6 +371,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _sanitize_teardown()
     if faulting:
         _faults_teardown()
+    if syncing:
+        _sync_path_teardown()
     return _resilience_teardown(strict) if resilient else 0
 
 

@@ -47,12 +47,31 @@ Results, traces and diagnostics remain byte-identical to a
 non-resilient run because every task carries its own seed and captured
 obs/sanitizer/fault state is merged in task order (see
 docs/ROBUSTNESS.md).
+
+Shared-memory result payloads
+-----------------------------
+Sweep points return numpy-heavy payloads (per-point arrays, traces),
+and ``Pool.map`` ships every result through a pipe: pickle bytes are
+copied into the pipe, out of it, and reassembled.  For large arrays
+that triples the memory traffic.  On the pool path workers therefore
+divert every large contiguous ndarray in a result into one
+``multiprocessing.shared_memory`` segment per task and send only a
+small pickle of (segment name, offsets, dtypes, shapes); the parent
+reconstructs the arrays straight out of the segment, then closes and
+unlinks it.  The transport is invisible to callers — reconstructed
+arrays are byte-identical (the tests pin ``--jobs 1`` vs ``--jobs 4``
+equality) — and ``QSM_SHM=0`` disables it wholesale.  Small results
+(< ~64 KiB of array payload) skip the segment and travel the plain
+pipe as before.  If the parent dies between a worker finishing and the
+decode, that task's segment can outlive the run — the price of
+crash-window cleanup is not worth a broker process here.
 """
 
 from __future__ import annotations
 
 import base64
 import hashlib
+import io
 import json
 import os
 import pickle
@@ -80,6 +99,8 @@ __all__ = [
     "failures",
     "drain_failures",
     "is_failed",
+    "shm_enabled",
+    "shm_payloads_decoded",
 ]
 
 
@@ -209,6 +230,131 @@ def drain_failures() -> List[FailureRecord]:
 
 
 # ----------------------------------------------------------------------
+# Shared-memory result transport (pool path)
+# ----------------------------------------------------------------------
+#: Arrays below this size stay inline in the pickle — a shared-memory
+#: round trip costs more than piping a few KiB.
+_SHM_MIN_ARRAY_BYTES = 4096
+#: A task whose diverted arrays total less than this re-pickles plainly
+#: and skips the segment altogether.
+_SHM_MIN_TOTAL_BYTES = 64 * 1024
+#: Tag inside persistent-id markers (versioned with the blob format).
+_SHM_TAG = "qsm-shm-ndarray"
+
+#: Parent-side count of results reconstructed from a segment (tests
+#: assert the transport actually engaged).
+_SHM_DECODED = 0
+
+
+def shm_enabled() -> bool:
+    """Whether pool results may travel via shared memory (``QSM_SHM``)."""
+    return os.environ.get("QSM_SHM", "").strip().lower() not in ("0", "false", "off")
+
+
+def shm_payloads_decoded() -> int:
+    """How many pool results this process reconstructed from segments."""
+    return _SHM_DECODED
+
+
+def _shm_divertible(obj: Any) -> bool:
+    """Arrays worth moving out of the pickle stream: plain, contiguous,
+    fixed-dtype ndarrays of at least ``_SHM_MIN_ARRAY_BYTES``."""
+    import numpy as np
+
+    return (
+        type(obj) is np.ndarray
+        and not obj.dtype.hasobject
+        and obj.flags.c_contiguous
+        and obj.nbytes >= _SHM_MIN_ARRAY_BYTES
+    )
+
+
+def _shm_encode(obj: Any) -> tuple:
+    """Pickle *obj* for the result pipe, diverting large arrays into one
+    shared-memory segment.
+
+    Returns ``("plain", bytes)`` when the payload is too small to be
+    worth a segment, else ``("shm", bytes, segment_name, offsets)``.
+    The segment is created here (in the worker), unregistered from this
+    process's resource tracker, and owned by the parent from then on —
+    :func:`_shm_decode` closes and unlinks it.
+    """
+    import numpy as np
+
+    arrays: List[Any] = []
+
+    class _Pickler(pickle.Pickler):
+        def persistent_id(self, o):
+            if _shm_divertible(o):
+                arrays.append(o)
+                return (_SHM_TAG, len(arrays) - 1, o.dtype.str, o.shape)
+            return None
+
+    buf = io.BytesIO()
+    _Pickler(buf, protocol=pickle.HIGHEST_PROTOCOL).dump(obj)
+    total = sum(a.nbytes for a in arrays)
+    if total < _SHM_MIN_TOTAL_BYTES:
+        return ("plain", pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL))
+
+    from multiprocessing import resource_tracker, shared_memory
+
+    shm = shared_memory.SharedMemory(create=True, size=total)
+    try:
+        offsets = []
+        pos = 0
+        for a in arrays:
+            offsets.append(pos)
+            np.ndarray(a.shape, dtype=a.dtype, buffer=shm.buf, offset=pos)[...] = a
+            pos += a.nbytes
+        # The parent unlinks the segment after decoding; without this,
+        # the worker's resource tracker would tear it down (and warn)
+        # when the pool shuts down.
+        resource_tracker.unregister(shm._name, "shared_memory")
+        return ("shm", buf.getvalue(), shm.name, tuple(offsets))
+    finally:
+        shm.close()
+
+
+def _shm_decode(blob: tuple) -> Any:
+    """Parent-side inverse of :func:`_shm_encode`; always unlinks the
+    segment, so arrays are copied out before it disappears."""
+    if blob[0] == "plain":
+        return pickle.loads(blob[1])
+
+    import numpy as np
+    from multiprocessing import shared_memory
+
+    _kind, payload, name, offsets = blob
+    shm = shared_memory.SharedMemory(name=name)
+    try:
+
+        class _Unpickler(pickle.Unpickler):
+            def persistent_load(self, pid):
+                tag, index, dtype, shape = pid
+                if tag != _SHM_TAG:
+                    raise pickle.UnpicklingError(f"unknown persistent id {pid!r}")
+                view = np.ndarray(
+                    shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offsets[index]
+                )
+                return view.copy()
+
+        result = _Unpickler(io.BytesIO(payload)).load()
+    finally:
+        shm.close()
+        shm.unlink()
+    global _SHM_DECODED
+    _SHM_DECODED += 1
+    return result
+
+
+def _shm_task(fn: Callable[[T], R], instrumented: bool, task: T) -> tuple:
+    """Pool worker body when the shm transport is on: run the task
+    (capturing side state when instrumented) and encode the outcome."""
+    out = _instrumented_task(fn, task) if instrumented else fn(task)
+    return _shm_encode(out)
+
+
+# ----------------------------------------------------------------------
 # The map
 # ----------------------------------------------------------------------
 def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], jobs: Optional[int] = 1) -> List[R]:
@@ -246,18 +392,29 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], jobs: Optional[int] =
     # Pool.map's ordered-results guarantee.
     chunksize = max(1, len(tasks) // (4 * n_jobs))
     instrumented = obs.enabled() or check.armed() or faults.armed()
+    use_shm = shm_enabled()
     # terminate+join in a finally so Ctrl-C mid-map never leaves
     # orphaned workers behind (Pool.__exit__ only terminates).
     pool = multiprocessing.Pool(
         processes=n_jobs, initializer=_worker_init if instrumented else None
     )
     try:
-        if not instrumented:
+        if not instrumented and not use_shm:
             return pool.map(fn, tasks, chunksize=chunksize)
-        outs = pool.map(partial(_instrumented_task, fn), tasks, chunksize=chunksize)
+        if use_shm:
+            blobs = pool.map(partial(_shm_task, fn, instrumented), tasks, chunksize=chunksize)
+            # Decode before the pool is torn down: segments are owned by
+            # the parent the moment a worker returns, and unlinking them
+            # here keeps the failure window (leaked segments) as small
+            # as the map call itself.
+            outs = [_shm_decode(b) for b in blobs]
+        else:
+            outs = pool.map(partial(_instrumented_task, fn), tasks, chunksize=chunksize)
     finally:
         pool.terminate()
         pool.join()
+    if not instrumented:
+        return outs
     results: List[R] = []
     for result, payload, diags, tally in outs:
         obs.merge_payload(payload)

@@ -81,12 +81,25 @@ class OpProfile:
 class CPUModel:
     """Convert :class:`OpProfile` chunks to cycle counts for one node."""
 
+    #: cycles() memos, one dict per distinct (frozen) node config —
+    #: shared across CPUModel instances so the p per-node models of a
+    #: machine, and fresh machines built for every sweep point, all hit
+    #: the same cache.
+    _shared_memos: dict = {}
+
     def __init__(self, node: NodeConfig) -> None:
         self.node = node
         self.cache = AnalyticCache(node)
+        # cycles() is a pure function of the (frozen) profile and the
+        # immutable node config; memoised because SPMD programs charge
+        # the same profile once per processor every phase.
+        self._cycles_memo = CPUModel._shared_memos.setdefault(node, {})
 
     def cycles(self, profile: OpProfile) -> float:
         """Expected execution cycles for *profile* on this node."""
+        cached = self._cycles_memo.get(profile)
+        if cached is not None:
+            return cached
         node = self.node
         issue_bound = profile.total_instructions / node.issue_width
         int_bound = profile.int_ops * node.fu_latency / node.int_units
@@ -98,7 +111,9 @@ class CPUModel:
         branch_stall = (
             profile.branches * node.branch_mispredict_rate * node.branch_mispredict_penalty
         )
-        return throughput + mem_stall + branch_stall
+        result = throughput + mem_stall + branch_stall
+        self._cycles_memo[profile] = result
+        return result
 
     def copy_cycles(self, nbytes: float, resident: bool = False) -> float:
         """Cycles to memcpy *nbytes* (used by the qsmlib software model)."""

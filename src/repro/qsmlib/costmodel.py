@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.machine.config import NetworkConfig
 from repro.machine.cpu import CPUModel
 from repro.msg.collectives import tree_barrier_cost_estimate
@@ -209,3 +211,212 @@ class CommCostModel:
                     d**k * t * b ** (k - 1) for k in range(1, plan.max_retransmits + 1)
                 )
         return extra
+
+
+# ----------------------------------------------------------------------
+# Vectorized phase pricing (the epoch kernel's cost tables)
+# ----------------------------------------------------------------------
+#
+# The epoch sync path (see repro.qsmlib.epoch) prices a whole phase at
+# once: every per-pair, per-message and per-chunk charge the DES node
+# processes would accumulate step by step is computed here as numpy
+# array math over the realized traffic matrices.  Bit-identity with the
+# DES demands care with float evaluation order: every expression below
+# mirrors the exact left-to-right arithmetic of
+# ``SyncEngine._node_proc`` (an ``int * float`` in Python and an
+# ``int64 * float64`` broadcast perform the same IEEE-754 operation,
+# and ``np.cumsum`` is a strictly sequential accumulate, unlike the
+# pairwise ``np.sum``).
+
+
+@dataclass
+class BurstSchedule:
+    """One sender's precomputed chunk stream for one exchange stage.
+
+    Parallel lists, one element per wire chunk in injection order:
+    destination pid, CPU gap charged before the chunk (marshalling; only
+    the first chunk of each message carries it), send-NIC occupancy, and
+    receive-NIC hold.  All plain Python lists of floats/ints: the kernel
+    folds them with sequential scalar adds into heap tuples, and a
+    ``.tolist()`` here is cheaper than per-element ``np.float64`` boxing
+    there.
+    """
+
+    dsts: list
+    gaps: list
+    occupancy: list
+    holds: list
+    total_bytes: int
+    count: int
+
+
+@dataclass
+class EpochTables:
+    """Everything the epoch kernel needs to replay one phase.
+
+    Indexed by pid throughout.  ``None`` entries in the send lists mean
+    that sender injects nothing in that stage.
+    """
+
+    p: int
+    #: Entry bookkeeping charged after compute (sync_fixed + local words).
+    entry_overhead: np.ndarray
+    #: Plan stage: every node sends p-1 equal-size messages.
+    plan_occupancy: float
+    plan_hold: float
+    plan_dsts: list
+    plan_bytes: int
+    #: Data stage (puts + get requests), then reply stage (get replies).
+    data_sends: list
+    reply_sends: list
+    #: Chunks each receiver waits for per stage (column sums).
+    expected_data: list
+    expected_reply: list
+    #: Post-receive unmarshal/service totals per receiver (sequential
+    #: accumulation over ascending source, exactly as the DES adds them).
+    unmarshal_data: list
+    unmarshal_reply: list
+    #: Barrier control messages.
+    control_occupancy: float
+    control_hold: float
+
+
+def _peer_matrix(p: int, schedule: str) -> np.ndarray:
+    """Row *pid* is that sender's destination order (runtime._peer_order)."""
+    if p == 1:
+        return np.zeros((1, 0), dtype=np.int64)
+    if schedule == "staggered":
+        return (np.arange(p)[:, None] + np.arange(1, p)[None, :]) % p
+    base = np.tile(np.arange(p), (p, 1))
+    return base[base != np.arange(p)[:, None]].reshape(p, p - 1)
+
+
+def _burst_schedules(words, gap_m, wire_m, perm, sw, network):
+    """Flatten per-pair (words, gap, wire) matrices into per-sender
+    chunk streams plus the per-receiver expected chunk counts.
+
+    All senders' streams are built in one batch of whole-matrix passes
+    (row-major order == each sender's injection order) and then sliced
+    per pid, rather than re-running the small-array pipeline p times.
+    """
+    p = words.shape[0]
+    hdr = sw.message_header_bytes
+    maxb = sw.max_message_bytes
+    o = network.overhead_cycles
+    g = network.gap_cycles_per_byte
+    full, rest_m = np.divmod(wire_m, maxb)
+    cnt_m = full + (rest_m > 0)
+    expected = cnt_m.sum(axis=0).tolist()
+    rows = np.arange(p)[:, None]
+    cnt_o = cnt_m[rows, perm]  # (p, p-1), row = sender's injection order
+    pid_chunks = cnt_o.sum(axis=1)
+    total = int(pid_chunks.sum())
+    if total == 0:
+        return [None] * p, expected
+    # Messages without a wire chunk contribute nothing on the fast path
+    # (their marshal gap never attaches to an entry), so select on chunk
+    # count rather than word count.  Boolean row-major selection keeps
+    # every sender's message order.
+    mask = cnt_o > 0
+    msg_cnt = cnt_o[mask]
+    msg_dst = np.broadcast_to(perm, cnt_o.shape)[mask]
+    msg_rest = rest_m[rows, perm][mask]
+    msg_gap = gap_m[rows, perm][mask]
+    nbytes = np.full(total, hdr + maxb, dtype=np.int64)
+    ends = np.cumsum(msg_cnt)
+    tail = msg_rest > 0
+    nbytes[ends[tail] - 1] = hdr + msg_rest[tail]
+    gaps = np.zeros(total)
+    gaps[ends - msg_cnt] = msg_gap
+    # message_send_cycles / message_recv_cycles, elementwise.
+    occ = o + nbytes * g
+    dst_list = np.repeat(msg_dst, msg_cnt).tolist()
+    gap_list = gaps.tolist()
+    occ_list = occ.tolist()
+    # Per-sender totals: header bytes per chunk plus the row's wire
+    # bytes (zero-chunk messages have zero wire bytes, so row sums over
+    # the full matrix are exact).
+    row_bytes = wire_m.sum(axis=1) + hdr * pid_chunks
+    offsets = np.concatenate(([0], np.cumsum(pid_chunks))).tolist()
+    sends = []
+    for pid in range(p):
+        lo, hi = offsets[pid], offsets[pid + 1]
+        if lo == hi:
+            sends.append(None)
+            continue
+        occ_slice = occ_list[lo:hi]
+        sends.append(
+            BurstSchedule(
+                dsts=dst_list[lo:hi],
+                gaps=gap_list[lo:hi],
+                occupancy=occ_slice,
+                holds=occ_slice,
+                total_bytes=int(row_bytes[pid]),
+                count=hi - lo,
+            )
+        )
+    return sends, expected
+
+
+def build_epoch_tables(traffic, local_words, sw, network, cpu) -> EpochTables:
+    """Price one phase's exchange for every node with array math.
+
+    *traffic* is the realized :class:`~repro.qsmlib.plan.PhaseTraffic`;
+    the result mirrors every charge of ``SyncEngine._node_proc``'s fast
+    path bit-for-bit (the golden equivalence tests pin this).
+    """
+    p = traffic.p
+    put_w = traffic.put_words
+    get_w = traffic.get_words
+    wb = sw.word_bytes
+    rh = sw.record_header_bytes
+    marshal = sw.marshal_record_cycles
+    unmarshal = sw.unmarshal_record_cycles
+    rate = cpu.cache.copy_cycles_per_byte()
+    rate_res = cpu.cache.copy_cycles_per_byte(resident=True)
+
+    entry_overhead = sw.sync_fixed_cycles + local_words * (
+        marshal + wb * rate_res
+    )
+
+    perm = _peer_matrix(p, sw.exchange_schedule)
+
+    # -- data stage: puts + get requests, sender pid -> dst ------------
+    words_d = put_w + get_w
+    gap_d = words_d * marshal + (put_w * wb) * rate
+    wire_d = put_w * (rh + wb) + get_w * rh
+    data_sends, expected_data = _burst_schedules(
+        words_d, gap_d, wire_d, perm, sw, network
+    )
+    unm_d = words_d * unmarshal + (put_w * wb) * rate + get_w * sw.get_service_cycles
+    unmarshal_data = np.cumsum(unm_d, axis=0)[-1].tolist()
+
+    # -- reply stage: get replies flow owner -> requester --------------
+    words_r = get_w.T
+    gap_r = words_r * marshal + (words_r * wb) * rate
+    wire_r = words_r * (rh + wb)
+    reply_sends, expected_reply = _burst_schedules(
+        words_r, gap_r, wire_r, perm, sw, network
+    )
+    unm_r = words_r * unmarshal + (words_r * wb) * rate
+    unmarshal_reply = np.cumsum(unm_r, axis=0)[-1].tolist()
+
+    plan_bytes = sw.message_header_bytes + sw.plan_entry_bytes
+    from repro.msg.collectives import CONTROL_BYTES
+
+    return EpochTables(
+        p=p,
+        entry_overhead=entry_overhead,
+        plan_occupancy=network.message_send_cycles(plan_bytes),
+        plan_hold=network.message_recv_cycles(plan_bytes),
+        plan_dsts=[row.tolist() for row in perm],
+        plan_bytes=plan_bytes,
+        data_sends=data_sends,
+        reply_sends=reply_sends,
+        expected_data=expected_data,
+        expected_reply=expected_reply,
+        unmarshal_data=unmarshal_data,
+        unmarshal_reply=unmarshal_reply,
+        control_occupancy=network.message_send_cycles(CONTROL_BYTES),
+        control_hold=network.message_recv_cycles(CONTROL_BYTES),
+    )

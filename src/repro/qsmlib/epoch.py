@@ -1,0 +1,365 @@
+"""The epoch sync path: one phase, priced as arrays plus a flat merge.
+
+The DES paths (``slow`` and ``fast``) advance ``p`` generator processes
+through the full simulation kernel — events, processes, resources,
+endpoints — even though, once the request queues are realized, a
+bulk-synchronous phase's cost is fully determined.  This module prices
+the whole phase at once:
+
+* every per-message charge (marshal gaps, wire chunking, NIC send
+  occupancy, receive holds, unmarshal/service totals) is computed
+  vectorized over the traffic matrices by
+  :func:`repro.qsmlib.costmodel.build_epoch_tables`;
+* injection timelines are ``np.cumsum`` folds of the precomputed gap
+  and occupancy arrays (a strictly sequential accumulate, so the float
+  results match the DES's chained ``t = t + step`` adds bit-for-bit);
+* what *cannot* be precomputed — the FCFS contention at each receive
+  NIC, where chunk streams from different senders interleave — runs in
+  one flat ``(time, seq, kind, ...)`` tuple heap with three handler
+  kinds, instead of the full event/process machinery.
+
+The discrete-event simulator is touched only at the phase boundary: the
+kernel's pop count folds into ``sim.event_count`` and the clock advances
+via ``sim.run(until=end)``.
+
+Bit-identity discipline
+-----------------------
+The kernel mirrors the fast DES path's *push order* exactly: every heap
+entry the DES would create (arrival, delivery, node resume) has a
+counterpart pushed at the same simulated time and in the same relative
+order, so same-instant ties break identically — this matters whenever
+two senders' chunks reach one receive engine at the same instant.  The
+only DES events without counterparts are ones that never reorder
+anything else (process bootstraps and completions, endpoint pump
+starts), which is why the epoch path also processes strictly fewer
+events.  Eligibility is gated in
+:meth:`~repro.qsmlib.runtime.SyncEngine.execute_phase`: any feature
+needing per-message fidelity (pacing, finite receive buffers, network
+faults, observability, tracing, the sanitizer) falls back to the DES.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from itertools import count
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.msg.collectives import CONTROL_BYTES, _children, _parent
+from repro.qsmlib.costmodel import build_epoch_tables
+
+# Heap-entry kinds, ordered by pop frequency.  Entries are plain tuples:
+#   (time, seq, _DELIVER, dst, stream)
+#   (time, seq, _ARRIVE, dst, hold, stream)
+#   (time, seq, _NODE, pid)
+_DELIVER, _ARRIVE, _NODE = 0, 1, 2
+
+# Stream keys: one per logically distinct message flow within a phase
+# (the counting replacement for the DES endpoint's (src, tag) matching).
+# Plan/data/reply receives are tag-only wildcards; barrier receives are
+# source-specific, so up/down hops key on the sending pid — encoded as
+# small ints (up(src) = 3 + src, down(src) = 3 + p + src) so stream
+# lookups hash an int rather than building a tuple per message.
+_PLAN, _DATA, _REPLY = 0, 1, 2
+_BARRIER = 3
+
+
+class EpochPhase:
+    """One phase's flat replay: precomputed tables + a tuple heap."""
+
+    def __init__(self, machine, sw, traffic, compute_cycles, local_words) -> None:
+        p = machine.p
+        self.p = p
+        self.sw = sw
+        self.start = machine.sim.now
+        self.latency = machine.config.network.latency_cycles
+        self.tables = build_epoch_tables(
+            traffic, local_words, sw, machine.config.network, machine.cpus[0]
+        )
+        # Straggler penalties accumulate in ascending pid order, exactly
+        # as the DES charges them during its pid-ordered bootstraps.
+        comp = [float(compute_cycles[pid]) for pid in range(p)]
+        faults = machine.faults
+        if faults is not None:
+            for pid in range(p):
+                comp[pid] = comp[pid] + faults.compute_penalty(pid, comp[pid])
+        self.compute = comp
+        self.ready_times = np.zeros(p)
+        self.now = self.start
+        self.pops = 0
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self._heap: list = []
+        self._seq = count()
+        # Receive-engine state (mirrors the NIC FCFS Resource).
+        self._busy = [False] * p
+        self._fifo: List[deque] = [deque() for _ in range(p)]
+        # Per-node message accounting (the counting endpoint).  Stream
+        # keys are small ints, so the counters are flat lists indexed by
+        # stream — the hot loop never hashes anything.  The wait state
+        # is two parallel lists (stream or -1, target count) instead of
+        # an allocated tuple per wait.
+        nstreams = _BARRIER + 2 * p
+        self._delivered: List[List[int]] = [[0] * nstreams for _ in range(p)]
+        self._consumed: List[List[int]] = [[0] * nstreams for _ in range(p)]
+        self._wait_stream = [-1] * p
+        self._wait_target = [0] * p
+        self._finished = [False] * p
+        self._gens = [self._node(pid) for pid in range(p)]
+
+    # ------------------------------------------------------------------
+    def run(self) -> Tuple[float, float, float]:
+        """Replay the phase; returns (start, ready, end) timestamps."""
+        # Bootstrap every node generator in pid order at t = start, like
+        # the DES's pid-ordered process bootstraps (nothing a bootstrap
+        # pushes can tie with a later bootstrap: all pushes land at
+        # strictly later times).
+        for pid in range(self.p):
+            try:
+                next(self._gens[pid])
+            except StopIteration:
+                self._finished[pid] = True
+
+        heap = self._heap
+        seq = self._seq
+        busy = self._busy
+        fifo = self._fifo
+        delivered = self._delivered
+        consumed = self._consumed
+        wait_stream = self._wait_stream
+        wait_target = self._wait_target
+        gens = self._gens
+        finished = self._finished
+        now = self.start
+        while heap:
+            entry = heappop(heap)
+            now = entry[0]
+            kind = entry[2]
+            if kind == _DELIVER:
+                dst = entry[3]
+                stream = entry[4]
+                # Free the engine first: the next queued chunk starts
+                # service before this delivery wakes any waiter (the
+                # order _fast_deliver's unclaim-then-hook enforces).
+                q = fifo[dst]
+                if q:
+                    hold2, stream2 = q.popleft()
+                    heappush(heap, (now + hold2, next(seq), _DELIVER, dst, stream2))
+                else:
+                    busy[dst] = False
+                d = delivered[dst]
+                got = d[stream] + 1
+                d[stream] = got
+                if wait_stream[dst] == stream and got >= wait_target[dst]:
+                    wait_stream[dst] = -1
+                    consumed[dst][stream] = wait_target[dst]
+                    heappush(heap, (now, next(seq), _NODE, dst))
+            elif kind == _ARRIVE:
+                dst = entry[3]
+                if busy[dst]:
+                    fifo[dst].append((entry[4], entry[5]))
+                else:
+                    busy[dst] = True
+                    heappush(heap, (now + entry[4], next(seq), _DELIVER, dst, entry[5]))
+            else:  # _NODE: resume the node generator at `now`
+                pid = entry[3]
+                try:
+                    gens[pid].send(now)
+                except StopIteration:
+                    finished[pid] = True
+        self.now = now
+        # The heap drained, so pops == pushes == the seq counter's value.
+        self.pops = next(seq)
+        if not all(finished):
+            raise RuntimeError("sync deadlocked: a node never completed the phase")
+        return self.start, float(self.ready_times.max()), now
+
+    # ------------------------------------------------------------------
+    # Node timeline (mirrors SyncEngine._node_proc's fast path, with
+    # every `yield sim.timeout(...)` / event wait as one heap entry).
+    # ------------------------------------------------------------------
+    def _node(self, pid: int):
+        heap = self._heap
+        seq = self._seq
+        p = self.p
+        tb = self.tables
+
+        t = self.start
+        compute = self.compute[pid]
+        if compute > 0:
+            t = t + compute
+            heappush(heap, (t, next(seq), _NODE, pid))
+            t = yield
+        self.ready_times[pid] = t
+        overhead = float(tb.entry_overhead[pid])
+        if overhead > 0:
+            t = t + overhead
+            heappush(heap, (t, next(seq), _NODE, pid))
+            t = yield
+
+        if p == 1:
+            return
+
+        # -- 1. plan exchange ------------------------------------------
+        t = self._send_uniform(
+            pid, t, tb.plan_dsts[pid], tb.plan_occupancy, tb.plan_hold,
+            tb.plan_bytes, _PLAN,
+        )
+        t = yield
+        if not self._try_recv(pid, _PLAN, p - 1):
+            t = yield
+
+        # -- 2. data messages: puts + get requests ----------------------
+        sched = tb.data_sends[pid]
+        if sched is not None:
+            t = self._send_burst(pid, t, sched, _DATA)
+            t = yield
+        expected = tb.expected_data[pid]
+        if expected and not self._try_recv(pid, _DATA, expected):
+            t = yield
+        unmarshal = tb.unmarshal_data[pid]
+        if unmarshal:
+            t = t + unmarshal
+            heappush(heap, (t, next(seq), _NODE, pid))
+            t = yield
+
+        # -- 3. get replies ---------------------------------------------
+        sched = tb.reply_sends[pid]
+        if sched is not None:
+            t = self._send_burst(pid, t, sched, _REPLY)
+            t = yield
+        expected = tb.expected_reply[pid]
+        if expected and not self._try_recv(pid, _REPLY, expected):
+            t = yield
+        unmarshal = tb.unmarshal_reply[pid]
+        if unmarshal:
+            t = t + unmarshal
+            heappush(heap, (t, next(seq), _NODE, pid))
+            t = yield
+
+        # -- 4. closing barrier -----------------------------------------
+        hop = self.sw.barrier_hop_cycles
+        up = _BARRIER
+        down = _BARRIER + p
+        for child in _children(pid, p):
+            if not self._try_recv(pid, up + child, 1):
+                t = yield
+            if hop:
+                t = t + hop
+                heappush(heap, (t, next(seq), _NODE, pid))
+                t = yield
+        if pid != 0:
+            if hop:
+                t = t + hop
+                heappush(heap, (t, next(seq), _NODE, pid))
+                t = yield
+            t = self._send_control(pid, t, _parent(pid), up + pid)
+            t = yield
+            if not self._try_recv(pid, down + _parent(pid), 1):
+                t = yield
+            if hop:
+                t = t + hop
+                heappush(heap, (t, next(seq), _NODE, pid))
+                t = yield
+        for child in _children(pid, p):
+            if hop:
+                t = t + hop
+                heappush(heap, (t, next(seq), _NODE, pid))
+                t = yield
+            t = self._send_control(pid, t, child, down + pid)
+            t = yield
+
+    # ------------------------------------------------------------------
+    # Send/receive building blocks
+    # ------------------------------------------------------------------
+    def _send_burst(self, pid: int, t0: float, sched, stream) -> float:
+        """Inject one precomputed chunk stream starting at *t0*.
+
+        The injection timeline is a sequential float64 fold —
+        ``t += gap; t += occupancy`` per chunk — matching the DES's
+        chained adds in ``send_burst_from`` exactly (adding a 0.0 gap is
+        a bitwise no-op).  Arrivals push in entry order, then the
+        sender's drain resume — the same order the DES pushes them.
+        The per-chunk heappush dominates this loop either way, so the
+        fold stays in plain Python rather than paying a numpy
+        allocate/cumsum/tolist round trip per call.
+        """
+        heap = self._heap
+        seq = self._seq
+        latency = self.latency
+        dsts = sched.dsts
+        gaps = sched.gaps
+        occs = sched.occupancy
+        holds = sched.holds
+        t = t0
+        for k in range(sched.count):
+            t = t + gaps[k]
+            t = t + occs[k]
+            heappush(heap, (t + latency, next(seq), _ARRIVE, dsts[k], holds[k], stream))
+        heappush(heap, (t, next(seq), _NODE, pid))
+        self.bytes_sent += sched.total_bytes
+        self.messages_sent += sched.count
+        return t
+
+    def _send_uniform(
+        self, pid: int, t0: float, dsts, occ: float, hold: float, nbytes: int, stream
+    ) -> float:
+        """Burst of equal-size, gapless messages (the plan stage)."""
+        heap = self._heap
+        seq = self._seq
+        latency = self.latency
+        t = t0
+        for dst in dsts:
+            t = t + occ
+            heappush(heap, (t + latency, next(seq), _ARRIVE, dst, hold, stream))
+        heappush(heap, (t, next(seq), _NODE, pid))
+        self.bytes_sent += len(dsts) * nbytes
+        self.messages_sent += len(dsts)
+        return t
+
+    def _send_control(self, pid: int, t0: float, dst: int, stream) -> float:
+        """Single barrier control message."""
+        tb = self.tables
+        t = t0 + tb.control_occupancy
+        heap = self._heap
+        seq = self._seq
+        heappush(heap, (t + self.latency, next(seq), _ARRIVE, dst, tb.control_hold, stream))
+        heappush(heap, (t, next(seq), _NODE, pid))
+        self.bytes_sent += CONTROL_BYTES
+        self.messages_sent += 1
+        return t
+
+    def _try_recv(self, pid: int, stream: int, needed: int) -> bool:
+        """Counting receive: True if already satisfied (continue inline,
+        like the DES's pending-scan early return), else register the
+        wait — the satisfying delivery will push the node resume."""
+        consumed = self._consumed[pid]
+        target = consumed[stream] + needed
+        if self._delivered[pid][stream] >= target:
+            consumed[stream] = target
+            return True
+        self._wait_stream[pid] = stream
+        self._wait_target[pid] = target
+        return False
+
+
+def execute_epoch_phase(
+    machine, sw, traffic, compute_cycles, local_words
+) -> Tuple[float, float, float]:
+    """Run one phase on the epoch path; returns (start, ready, end).
+
+    Folds the kernel's work back into the simulator: the pop count joins
+    ``sim.event_count``, the clock advances to *end*, and the network's
+    lifetime byte/message counters include this phase's injections.
+    """
+    phase = EpochPhase(machine, sw, traffic, compute_cycles, local_words)
+    start, ready, end = phase.run()
+    sim = machine.sim
+    sim._event_count += phase.pops
+    sim.run(until=end)
+    network = machine.network
+    network.bytes_sent += phase.bytes_sent
+    network.messages_sent += phase.messages_sent
+    return start, ready, end

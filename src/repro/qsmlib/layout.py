@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -87,6 +88,59 @@ class LayoutMap:
 
     def owner_of_scalar(self, index: int) -> int:
         return int(self.owner_of(np.asarray([index]))[0])
+
+    def range_owner_counts(
+        self, start: int, count: int, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Owner histogram (length ``p``) of ``[start, start+count)``.
+
+        Equivalent to ``np.bincount(owner_of(arange(start, start+count)),
+        minlength=p)`` without materialising the range: BLOCKED/CYCLIC/
+        ROOT are closed-form, HASHED hashes one value per touched
+        cache-line block instead of one per word.  Counts are integers,
+        so the shortcut is exact.  With *out*, counts are accumulated
+        into the given int64 buffer (and returned) instead of a fresh
+        zero array — the traffic builder folds many spans into one
+        histogram this way.
+        """
+        counts = np.zeros(self.p, dtype=np.int64) if out is None else out
+        if count <= 0:
+            return counts
+        end = start + count
+        if self.layout is Layout.BLOCKED:
+            block = self.block
+            lo, hi = start // block, (end - 1) // block
+            if lo == hi:
+                counts[lo] += count
+            else:
+                counts[lo] += (lo + 1) * block - start
+                counts[lo + 1 : hi] += block
+                counts[hi] += end - hi * block
+            return counts
+        if self.layout is Layout.CYCLIC:
+            base, rem = divmod(count, self.p)
+            if base:
+                counts += base
+            if rem:
+                counts[(start + np.arange(rem)) % self.p] += 1
+            return counts
+        if self.layout is Layout.ROOT:
+            counts[0] += count
+            return counts
+        # HASHED: one owner per cache-line block, weighted by how many
+        # of the block's words fall inside the range.
+        b0, b1 = start // HASH_BLOCK_WORDS, (end - 1) // HASH_BLOCK_WORDS
+        blocks = np.arange(b0, b1 + 1, dtype=np.uint64)
+        salted = (blocks + np.uint64(self.salt)) * _HASH_MULT
+        owners = ((salted >> np.uint64(33)) % np.uint64(self.p)).astype(np.int64)
+        weights = np.full(owners.size, HASH_BLOCK_WORDS, dtype=np.int64)
+        weights[0] = min(end, (b0 + 1) * HASH_BLOCK_WORDS) - start
+        if b1 > b0:
+            weights[-1] = end - b1 * HASH_BLOCK_WORDS
+        # Weighted bincount sums in float64; per-block weights are <= 8
+        # and totals fit far inside 2**53, so the cast back is exact.
+        counts += np.bincount(owners, weights=weights, minlength=self.p).astype(np.int64)
+        return counts
 
     # ------------------------------------------------------------------
     def local_slice(self, pid: int):

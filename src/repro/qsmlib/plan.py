@@ -57,22 +57,52 @@ class PhaseTraffic:
         return [d for d in range(self.p) if d != pid and self.get_words[pid, d] > 0]
 
 
+def _owner_counts(requests, p: int) -> np.ndarray:
+    """Owner histogram for one queue's puts or gets.
+
+    Contiguous range requests use the closed-form
+    :meth:`~repro.qsmlib.layout.LayoutMap.range_owner_counts` (no index
+    array is ever materialised); the rest are grouped by target array so
+    each array pays one ``owner_of`` + ``np.bincount`` over the
+    concatenated index arrays, however many individual get/put calls the
+    program issued.  Counts are integers, so both shortcuts are exact —
+    ``build_traffic`` output is identical to the per-request
+    formulation.
+    """
+    counts = np.zeros(p, dtype=np.int64)
+    groups: Dict[int, Tuple[SharedArray, List[np.ndarray]]] = {}
+    for req in requests:
+        span = req.span
+        if span is not None:
+            req.arr.map.range_owner_counts(span[0], span[1], out=counts)
+            continue
+        entry = groups.get(req.arr.aid)
+        if entry is None:
+            groups[req.arr.aid] = (req.arr, [req.indices])
+        else:
+            entry[1].append(req.indices)
+    for arr, idx_lists in groups.values():
+        idx = idx_lists[0] if len(idx_lists) == 1 else np.concatenate(idx_lists)
+        # Indices were bounds-checked when the requests were queued, so
+        # the owner lookup here skips re-validation.
+        counts += np.bincount(arr.owner_of(idx, validate=False), minlength=p)
+    return counts
+
+
 def build_traffic(queues: Sequence[RequestQueue], p: int) -> PhaseTraffic:
     """Aggregate all queued requests into per-pair word-count matrices."""
     put_words = np.zeros((p, p), dtype=np.int64)
     get_words = np.zeros((p, p), dtype=np.int64)
     local_words = np.zeros(p, dtype=np.int64)
 
-    # Indices were bounds-checked when the requests were queued, so the
-    # owner lookups here skip re-validation.
     for q in queues:
-        for req in q.puts:
-            counts = np.bincount(req.arr.owner_of(req.indices, validate=False), minlength=p)
+        if q.puts:
+            counts = _owner_counts(q.puts, p)
             local_words[q.pid] += counts[q.pid]
             counts[q.pid] = 0
             put_words[q.pid] += counts
-        for req in q.gets:
-            counts = np.bincount(req.arr.owner_of(req.indices, validate=False), minlength=p)
+        if q.gets:
+            counts = _owner_counts(q.gets, p)
             local_words[q.pid] += counts[q.pid]
             counts[q.pid] = 0
             get_words[q.pid] += counts
@@ -130,9 +160,21 @@ def apply_phase_semantics(queues: Sequence[RequestQueue]) -> None:
     semantics; puts apply in processor order (a deterministic
     realisation of the queue-write model's "arbitrary winner").
     """
+    # Contiguous spans gather/scatter through slices (a memcpy) instead
+    # of fancy indexing; the result is element-for-element the same.
     for q in queues:
         for req in q.gets:
-            req.handle._fulfill(req.arr.data[req.indices].copy())
+            span = req.span
+            if span is not None:
+                start, count = span
+                req.handle._fulfill(req.arr.data[start : start + count].copy())
+            else:
+                req.handle._fulfill(req.arr.data[req.indices].copy())
     for q in queues:
         for req in q.puts:
-            req.arr.data[req.indices] = req.values
+            span = req.span
+            if span is not None:
+                start, count = span
+                req.arr.data[start : start + count] = req.values
+            else:
+                req.arr.data[req.indices] = req.values

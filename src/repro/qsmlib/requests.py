@@ -31,17 +31,34 @@ class GetHandle:
     ``data[k]`` corresponds to ``indices[k]`` of the original request.
     ``origin`` is the enqueue ``file:line``, captured only when the
     phase sanitizer (:mod:`repro.check`) is armed.
+
+    Range requests (``add_get_range``) record only a ``(start, count)``
+    span; the explicit index array is materialised lazily the first time
+    ``indices`` is read, so the bulk contiguous path never allocates it.
     """
 
-    __slots__ = ("arr", "indices", "_data", "origin")
+    __slots__ = ("arr", "span", "_indices", "_data", "origin")
 
     def __init__(
-        self, arr: SharedArray, indices: np.ndarray, origin: Optional[str] = None
+        self,
+        arr: SharedArray,
+        indices: Optional[np.ndarray] = None,
+        origin: Optional[str] = None,
+        span: Optional[tuple] = None,
     ) -> None:
         self.arr = arr
-        self.indices = indices
+        self.span = span
+        self._indices = indices
         self._data: Optional[np.ndarray] = None
         self.origin = origin
+
+    @property
+    def indices(self) -> np.ndarray:
+        idx = self._indices
+        if idx is None:
+            start, count = self.span
+            idx = self._indices = np.arange(start, start + count, dtype=np.int64)
+        return idx
 
     @property
     def ready(self) -> bool:
@@ -61,21 +78,75 @@ class GetHandle:
         self._data = values
 
 
-@dataclass
-class GetRequest:
-    arr: SharedArray
-    indices: np.ndarray
-    handle: GetHandle
-    #: Enqueue ``file:line``; captured only when the sanitizer is armed.
-    origin: Optional[str] = None
+class _Request:
+    """Base of one queued access: explicit indices or a contiguous span.
+
+    Exactly one of ``_indices``/``span`` is set at construction; the
+    ``indices`` property materialises (and caches) the explicit array on
+    demand, so span-only consumers — traffic counting, slice-based
+    apply — never pay for it.  ``origin`` is the enqueue ``file:line``,
+    captured only when the sanitizer is armed.
+    """
+
+    __slots__ = ("arr", "span", "_indices", "origin")
+
+    def __init__(
+        self,
+        arr: SharedArray,
+        indices: Optional[np.ndarray] = None,
+        origin: Optional[str] = None,
+        span: Optional[tuple] = None,
+    ) -> None:
+        self.arr = arr
+        self.span = span
+        self._indices = indices
+        self.origin = origin
+
+    @property
+    def indices(self) -> np.ndarray:
+        idx = self._indices
+        if idx is None:
+            start, count = self.span
+            idx = self._indices = np.arange(start, start + count, dtype=np.int64)
+        return idx
 
 
-@dataclass
-class PutRequest:
-    arr: SharedArray
-    indices: np.ndarray
-    values: np.ndarray
-    origin: Optional[str] = None
+class GetRequest(_Request):
+    __slots__ = ("handle",)
+
+    def __init__(
+        self,
+        arr: SharedArray,
+        indices: Optional[np.ndarray] = None,
+        handle: Optional[GetHandle] = None,
+        origin: Optional[str] = None,
+        span: Optional[tuple] = None,
+    ) -> None:
+        # Attributes set inline (not via super().__init__): these run
+        # once per enqueued request, the library's hottest call sites.
+        self.arr = arr
+        self.span = span
+        self._indices = indices
+        self.origin = origin
+        self.handle = handle
+
+
+class PutRequest(_Request):
+    __slots__ = ("values",)
+
+    def __init__(
+        self,
+        arr: SharedArray,
+        indices: Optional[np.ndarray] = None,
+        values: Optional[np.ndarray] = None,
+        origin: Optional[str] = None,
+        span: Optional[tuple] = None,
+    ) -> None:
+        self.arr = arr
+        self.span = span
+        self._indices = indices
+        self.origin = origin
+        self.values = values
 
 
 @dataclass
@@ -105,19 +176,21 @@ class RequestQueue:
     def add_get_range(self, arr: SharedArray, start: int, count: int) -> GetHandle:
         """`add_get` of the contiguous range ``[start, start+count)``.
 
-        Bounds are checked from the endpoints, skipping the min/max
-        reductions `_as_index_array` needs for arbitrary index sets.
+        Bounds are checked from the endpoints, and the request carries
+        only the ``(start, count)`` span — no index array is built
+        unless some consumer (sanitizer, kappa tracking) asks for one.
         """
         san = self.sanitizer
         origin = san.enqueue_origin() if san is not None else None
         try:
-            indices = _range_index_array(arr, start, count)
+            _check_range(arr, start, count)
         except IndexError as exc:
             if san is not None:
                 san.record_oob(self.pid, arr, "get", exc, origin)
             raise
-        handle = GetHandle(arr, indices, origin=origin)
-        self.gets.append(GetRequest(arr, indices, handle, origin=origin))
+        span = (start, count)
+        handle = GetHandle(arr, origin=origin, span=span)
+        self.gets.append(GetRequest(arr, handle=handle, origin=origin, span=span))
         return handle
 
     def add_put(self, arr: SharedArray, indices: np.ndarray, values) -> None:
@@ -140,15 +213,19 @@ class RequestQueue:
         origin = san.enqueue_origin() if san is not None else None
         if san is not None:
             san.check_put_values(self.pid, arr, values, origin)
-        values = np.asarray(values, dtype=arr.dtype)
+        # np.array always copies, giving the snapshot the old
+        # asarray-then-copy pair produced in exactly one pass; a scalar
+        # reshapes to the same single-element row the broadcast made.
+        values = np.array(values, dtype=arr.dtype).reshape(-1)
         try:
-            indices = _range_index_array(arr, start, values.size)
+            _check_range(arr, start, values.size)
         except IndexError as exc:
             if san is not None:
                 san.record_oob(self.pid, arr, "put", exc, origin)
             raise
-        values = self._coerce_put_values(arr, indices, values)
-        self.puts.append(PutRequest(arr, indices, values, origin=origin))
+        self.puts.append(
+            PutRequest(arr, values=values, origin=origin, span=(start, values.size))
+        )
 
     def _coerce_put_values(
         self, arr: SharedArray, indices: np.ndarray, values
@@ -192,10 +269,9 @@ def _as_index_array(arr: SharedArray, indices) -> np.ndarray:
     return idx
 
 
-def _range_index_array(arr: SharedArray, start: int, count: int) -> np.ndarray:
+def _check_range(arr: SharedArray, start: int, count: int) -> None:
     if count and (start < 0 or start + count > arr.n):
         raise IndexError(
             f"indices [{start}, {start + count - 1}] out of bounds for "
             f"{arr.name!r} of length {arr.n}"
         )
-    return np.arange(start, start + count, dtype=np.int64)

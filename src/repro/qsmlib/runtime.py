@@ -33,7 +33,8 @@ import numpy as np
 from repro.machine.cluster import Machine
 from repro.msg.collectives import CONTROL_BYTES, _children, _parent
 from repro.msg.mp import Endpoint
-from repro.qsmlib.config import SoftwareConfig
+from repro.qsmlib.config import SoftwareConfig, SyncPath
+from repro.qsmlib.epoch import execute_epoch_phase
 from repro.qsmlib.plan import PhaseTraffic
 
 
@@ -61,6 +62,12 @@ class SyncEngine:
         self.endpoints = endpoints
         self.sw = software
         self._seq = 0
+        #: Set by the program driver when an armed sanitizer (or any
+        #: future consumer of per-message events) needs the DES paths.
+        self.require_message_fidelity = False
+        #: Phases executed per sync path this engine's lifetime — how
+        #: tests (and curious users) observe fallback decisions.
+        self.path_counts = {path.value: 0 for path in SyncPath}
 
     # ------------------------------------------------------------------
     def execute_phase(
@@ -79,6 +86,24 @@ class SyncEngine:
         p = self.machine.p
         seq = self._seq
         self._seq += 1
+
+        if self._epoch_eligible():
+            start, ready, end = execute_epoch_phase(
+                self.machine, self.sw, traffic, compute_cycles, local_words
+            )
+            self.path_counts["epoch"] += 1
+            # obs is None whenever the epoch path runs, so the metrics
+            # block below is unreachable here — return directly.
+            return PhaseTiming(start=start, ready=ready, end=end)
+
+        if (
+            self.sw.fast_sync
+            and not self.sw.send_pacing_cycles
+            and self.machine.network.supports_fast_path
+        ):
+            self.path_counts["fast"] += 1
+        else:
+            self.path_counts["slow"] += 1
         start = sim.now
         ready_times = np.zeros(p)
         done_times = np.zeros(p)
@@ -119,6 +144,28 @@ class SyncEngine:
             m.histogram("qsm.phase.comm_cycles").record(timing.end - timing.ready)
             m.histogram("qsm.phase.total_cycles").record(timing.end - timing.start)
         return timing
+
+    # ------------------------------------------------------------------
+    def _epoch_eligible(self) -> bool:
+        """Whether this phase may run on the vectorized epoch kernel.
+
+        Every condition is a feature that needs per-message events: send
+        pacing interleaves timeouts between chunks; finite receive
+        buffers and network fault plans (``supports_fast_path``) depend
+        on instantaneous per-message state; observability, tracing and
+        the sanitizer consume per-event callbacks.  Any of them degrades
+        epoch to the DES fast path (or, transitively, to the oracle) —
+        see the path-selection matrix in docs/PERFORMANCE.md.
+        """
+        sim = self.machine.sim
+        return (
+            self.sw.sync_path is SyncPath.EPOCH
+            and not self.sw.send_pacing_cycles
+            and self.machine.network.supports_fast_path
+            and sim.obs is None
+            and sim._step_hook is None
+            and not self.require_message_fidelity
+        )
 
     # ------------------------------------------------------------------
     def _node_proc(

@@ -58,3 +58,23 @@ def bad_hygiene(items=[]):  # QL106
 
 def suppressed():
     return time.time()  # qsmlint: disable=QL101
+
+
+def handle_containers(ctx, arr):
+    handles = []
+    for j in range(2):
+        handles.append(ctx.get_range(arr, j, 1))
+    first = handles[0].data  # QL104 (container-held handle)
+    parts = [h.data for h in handles]  # QL104 (comprehension over container)
+    yield ctx.sync()
+    ok = [h.data for h in handles]  # allowed: after the sync
+    return first, parts, ok
+
+
+class _Holder:
+    def phase(self, ctx, arr):
+        self.h = ctx.get(arr, [0])
+        bad = self.h.data  # QL104 (attribute-held handle)
+        yield ctx.sync()
+        good = self.h.data  # allowed: after the sync
+        return bad, good

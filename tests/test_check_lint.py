@@ -48,6 +48,9 @@ def test_fixture_findings_at_expected_lines():
         (47, "QL108"),  # discarded ctx.sync()
         (51, "QL106"),  # mutable default
         (54, "QL105"),  # bare except
+        (67, "QL104"),  # container-held handle, subscript read
+        (68, "QL104"),  # comprehension over handle container
+        (77, "QL104"),  # attribute-held handle
     }
     assert got == expected
 
@@ -55,8 +58,9 @@ def test_fixture_findings_at_expected_lines():
 def test_fixture_allowed_patterns_stay_clean():
     findings = lint_file(FIXTURE, model_scope=True)
     flagged_lines = {f.line for f in findings}
-    # seeded default_rng, sorted(.keys()), post-yield .data, suppression
-    for allowed in (17, 33, 42, 60):
+    # seeded default_rng, sorted(.keys()), post-yield .data (plain name,
+    # container, attribute), suppression
+    for allowed in (17, 33, 42, 60, 70, 79):
         assert allowed not in flagged_lines
 
 

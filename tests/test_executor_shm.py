@@ -1,0 +1,154 @@
+"""Shared-memory result transport of :mod:`repro.experiments.executor`.
+
+Large array payloads returned by pool workers travel through one
+``multiprocessing.shared_memory`` segment per task instead of the
+result pipe.  The transport must be invisible: ``--jobs 4`` results
+byte-identical to ``--jobs 1``, segments always unlinked, and
+``QSM_SHM=0`` restores the plain pipe.
+"""
+
+from __future__ import annotations
+
+import glob
+
+import numpy as np
+import pytest
+
+from repro.experiments import executor
+from repro.experiments.executor import parallel_map, shm_enabled, shm_payloads_decoded
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+def _array_task(task):
+    """Worker returning a payload big enough to engage the transport."""
+    seed, n = task
+    rng = np.random.default_rng(seed)
+    values = rng.integers(0, 2**62, size=n)
+    return {"seed": seed, "values": values, "histogram": np.sort(values % 97)}
+
+
+def _small_task(seed):
+    """Worker whose arrays stay under the segment threshold."""
+    return np.arange(16, dtype=np.int64) + seed
+
+
+TASKS = [(s, 40_000) for s in range(6)]
+
+
+def _leaked_segments() -> set:
+    return set(glob.glob("/dev/shm/psm_*"))
+
+
+def test_pool_results_byte_identical_to_sequential():
+    before = _leaked_segments()
+    sequential = parallel_map(_array_task, TASKS, jobs=1)
+    parallel = parallel_map(_array_task, TASKS, jobs=4)
+    assert len(parallel) == len(sequential)
+    for seq, par in zip(sequential, parallel):
+        assert par["seed"] == seq["seed"]
+        for key in ("values", "histogram"):
+            assert par[key].dtype == seq[key].dtype
+            assert par[key].tobytes() == seq[key].tobytes()
+    assert _leaked_segments() <= before, "shared-memory segments leaked"
+
+
+def test_transport_engages_for_large_payloads():
+    base = shm_payloads_decoded()
+    parallel_map(_array_task, TASKS, jobs=4)
+    assert shm_payloads_decoded() - base == len(TASKS)
+
+
+def test_small_payloads_stay_on_the_pipe():
+    base = shm_payloads_decoded()
+    out = parallel_map(_small_task, list(range(5)), jobs=2)
+    assert shm_payloads_decoded() == base
+    np.testing.assert_array_equal(out[3], np.arange(16, dtype=np.int64) + 3)
+
+
+def test_qsm_shm_0_disables_transport(monkeypatch):
+    monkeypatch.setenv("QSM_SHM", "0")
+    assert shm_enabled() is False
+    base = shm_payloads_decoded()
+    parallel = parallel_map(_array_task, TASKS[:3], jobs=3)
+    assert shm_payloads_decoded() == base
+    sequential = parallel_map(_array_task, TASKS[:3], jobs=1)
+    for seq, par in zip(sequential, parallel):
+        assert par["values"].tobytes() == seq["values"].tobytes()
+
+
+@pytest.mark.parametrize("value,expected", [("", True), ("1", True), ("0", False), ("false", False), ("OFF", False)])
+def test_shm_enabled_parsing(monkeypatch, value, expected):
+    if value:
+        monkeypatch.setenv("QSM_SHM", value)
+    else:
+        monkeypatch.delenv("QSM_SHM", raising=False)
+    assert shm_enabled() is expected
+
+
+def test_encode_decode_round_trip_preserves_structure():
+    """Direct unit round trip: nested payload, mixed dtypes, exact bytes."""
+    rng = np.random.default_rng(11)
+    payload = {
+        "big_int": rng.integers(-(2**40), 2**40, size=30_000),
+        "big_float": rng.standard_normal(20_000),
+        "nested": [np.full(2000, 7, dtype=np.int32), "label", 3.5],
+        "tiny": np.arange(4),
+    }
+    blob = executor._shm_encode(payload)
+    assert blob[0] == "shm"
+    out = executor._shm_decode(blob)
+    assert out["nested"][1] == "label" and out["nested"][2] == 3.5
+    for key in ("big_int", "big_float"):
+        assert out[key].dtype == payload[key].dtype
+        assert out[key].tobytes() == payload[key].tobytes()
+    assert out["nested"][0].tobytes() == payload["nested"][0].tobytes()
+    np.testing.assert_array_equal(out["tiny"], payload["tiny"])
+
+
+def test_small_total_encodes_plain():
+    blob = executor._shm_encode({"x": np.arange(8)})
+    assert blob[0] == "plain"
+    out = executor._shm_decode(blob)
+    np.testing.assert_array_equal(out["x"], np.arange(8))
+
+
+def test_non_contiguous_and_object_arrays_stay_inline():
+    rng = np.random.default_rng(3)
+    strided = rng.integers(0, 100, size=40_000)[::2]
+    assert not strided.flags.c_contiguous
+    assert executor._shm_divertible(strided) is False
+    obj_arr = np.empty(10_000, dtype=object)
+    assert executor._shm_divertible(obj_arr) is False
+
+
+def _samplesort_point(task):
+    """Module-level (picklable) sweep point returning arrays + cycles."""
+    from repro.algorithms.samplesort import run_sample_sort
+    from repro.qsmlib.program import RunConfig
+
+    machine, n, seed = task
+    rng = np.random.default_rng(seed)
+    out = run_sample_sort(
+        rng.integers(0, 2**62, size=n),
+        RunConfig(machine=machine, seed=seed, check_semantics=False),
+    )
+    return out.run.comm_cycles, out.result
+
+
+def test_sweep_results_independent_of_jobs_and_shm(monkeypatch):
+    """End to end: a real sample-sort sweep point grid returns identical
+    RunResult-bearing payloads under jobs 1/4 and shm on/off."""
+    from repro.machine.config import MachineConfig
+
+    machine = MachineConfig(p=8)
+    tasks = [(machine, 6000, s) for s in (1, 2, 3, 4)]
+
+    def run(jobs):
+        results = parallel_map(_samplesort_point, tasks, jobs=jobs)
+        return [(comm, res.tobytes()) for comm, res in results]
+
+    base = run(1)
+    assert run(4) == base
+    monkeypatch.setenv("QSM_SHM", "0")
+    assert run(4) == base
