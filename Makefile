@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test check bench bench-smoke bench-obs bench-check bench-faults report trace-demo
+.PHONY: test check bench bench-smoke bench-obs bench-check bench-faults report trace-demo serve-demo
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -46,6 +46,12 @@ bench-faults:
 
 report:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli report REPORT.md --fast
+
+# Sweep-as-a-service round trip: start the server, submit the same
+# fig1 sweep twice, assert the second run is all cache hits and
+# byte-identical; see docs/SERVICE.md.
+serve-demo:
+	bash examples/serve_demo.sh
 
 # Produce a Perfetto-loadable trace + metrics dump from the fig1 sweep
 # (open trace_demo.json at https://ui.perfetto.dev).

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Sweep-as-a-service demo: start the batch front-end, submit the same
+# fig1 sweep twice, and prove the second submission executed zero
+# simulator points and returned a byte-identical payload.
+#
+# Usage: examples/serve_demo.sh [PORT]   (run from the repo root)
+set -euo pipefail
+
+PORT="${1:-18642}"
+WORK="$(mktemp -d)"
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+export PYTHONPATH=src
+
+python -m repro.experiments.cli serve \
+    --cache "$WORK/cache" --port "$PORT" --jobs 2 &
+SERVER_PID=$!
+
+python - "$PORT" <<'PYEOF'
+import sys
+from repro.service import client
+
+assert client.wait_ready(port=int(sys.argv[1]), timeout=30.0), "server never came up"
+PYEOF
+
+echo "== first submission (cold cache) =="
+python -m repro.experiments.cli submit fig1 --fast \
+    --port "$PORT" --json "$WORK/first.json"
+
+echo "== second submission (must be free) =="
+python -m repro.experiments.cli submit fig1 --fast \
+    --port "$PORT" --json "$WORK/second.json" | tee "$WORK/second.log"
+
+cmp "$WORK/first.json" "$WORK/second.json"
+grep -q "0 miss(es)" "$WORK/second.log"
+echo "== OK: second run was all cache hits and byte-identical =="
+
+python - "$PORT" <<'PYEOF'
+import sys
+from repro.service import client
+
+print(client.stats(port=int(sys.argv[1])))
+client.shutdown(port=int(sys.argv[1]))
+PYEOF
+wait "$SERVER_PID" 2>/dev/null || true

@@ -1,0 +1,241 @@
+"""Minimal source patches for the mechanically-fixable lint rules.
+
+``python -m repro.check.lint --fix`` drives :func:`fix_paths`; the
+fixable subset is
+
+* **QL103** — an unordered ``set``/``frozenset()``/``.keys()``
+  iterable is wrapped in ``sorted(...)`` in place;
+* **QL106** — a mutable default argument is replaced with ``None`` and
+  a ``if <arg> is None: <arg> = <original>`` guard is inserted at the
+  top of the body (after the docstring).
+
+The patches are deliberately *minimal*: edits are byte-exact splices
+computed from AST offsets (``col_offset`` is a UTF-8 byte offset, so
+all splicing happens on the encoded source), nothing is reformatted,
+comments and suppressions are untouched, and only findings the linter
+itself reports — i.e. after ``# qsmlint: disable`` filtering — are
+patched.  Every rewritten module is re-parsed before it is accepted;
+a patch that fails to parse is dropped wholesale and the file is left
+as it was.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.check.lint import Finding, lint_source
+
+__all__ = ["FIXABLE", "fix_source", "fix_file", "fix_paths"]
+
+#: Rules ``--fix`` knows how to patch.
+FIXABLE: Set[str] = {"QL103", "QL106"}
+
+#: One splice: replace ``source_bytes[start:end]`` with ``text``.
+#: ``seq`` breaks ties between same-offset insertions (guards for
+#: earlier arguments must land first).
+_Edit = Tuple[int, int, bytes, int]
+
+
+def _line_starts(blob: bytes) -> List[int]:
+    """Byte offset of every line start (1-based line -> ``starts[line-1]``)."""
+    starts = [0]
+    for i, ch in enumerate(blob):
+        if ch == 0x0A:
+            starts.append(i + 1)
+    return starts
+
+
+def _abs_offset(starts: List[int], lineno: int, col: int) -> int:
+    return starts[lineno - 1] + col
+
+
+def _node_span(starts: List[int], node: ast.AST) -> Tuple[int, int]:
+    return (
+        _abs_offset(starts, node.lineno, node.col_offset),
+        _abs_offset(starts, node.end_lineno, node.end_col_offset),
+    )
+
+
+class _FixCollector(ast.NodeVisitor):
+    """Walk one module and collect candidate fix sites.
+
+    Mirrors the linter's QL103/QL106 detection exactly, but keeps the
+    AST nodes so edits can be computed; :func:`fix_source` intersects
+    these with the linter's (suppression-filtered) findings.
+    """
+
+    def __init__(self) -> None:
+        #: (line, col, code) -> data needed to build the edit
+        self.ql103: Dict[Tuple[int, int], ast.expr] = {}
+        #: (line, col) of the default node -> (function node, arg name, default)
+        self.ql106: Dict[Tuple[int, int], Tuple[ast.AST, str, ast.expr]] = {}
+
+    # -- QL103 ----------------------------------------------------------
+    def visit_For(self, node: ast.For) -> None:
+        self._collect_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._collect_unordered_iter(node.iter)
+        self.generic_visit(node)
+
+    def _collect_unordered_iter(self, iter_node: ast.expr) -> None:
+        flagged = isinstance(iter_node, (ast.Set, ast.SetComp))
+        if not flagged and isinstance(iter_node, ast.Call):
+            func = iter_node.func
+            if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+                flagged = True
+            elif isinstance(func, ast.Attribute) and func.attr == "keys":
+                flagged = True
+        if flagged:
+            self.ql103[(iter_node.lineno, iter_node.col_offset)] = iter_node
+
+    # -- QL106 ----------------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._collect_mutable_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._collect_mutable_defaults(node)
+        self.generic_visit(node)
+
+    def _collect_mutable_defaults(self, node) -> None:
+        args = node.args
+        # Positional defaults right-align against posonlyargs + args.
+        positional = list(args.posonlyargs) + list(args.args)
+        for arg, default in zip(positional[len(positional) - len(args.defaults):],
+                                args.defaults):
+            self._maybe_add(node, arg.arg, default)
+        for arg, default in zip(args.kwonlyargs, args.kw_defaults):
+            if default is not None:
+                self._maybe_add(node, arg.arg, default)
+
+    def _maybe_add(self, func, name: str, default: ast.expr) -> None:
+        if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                                ast.DictComp, ast.SetComp)):
+            self.ql106[(default.lineno, default.col_offset)] = (func, name, default)
+
+
+def _guard_anchor(source: str, starts: List[int], func) -> Tuple[int, str, bool]:
+    """Where a ``None`` guard goes: (byte offset, indent, append_newline).
+
+    The guard lands at the line start of the first non-docstring body
+    statement.  When the body is *only* a docstring (or ``...``), it is
+    appended on the line after the last body statement instead.
+    """
+    body = func.body
+    first = body[0]
+    has_docstring = (
+        isinstance(first, ast.Expr)
+        and isinstance(first.value, ast.Constant)
+        and isinstance(first.value.value, str)
+    )
+    anchor_stmt = None
+    for stmt in body[1:] if has_docstring else body:
+        anchor_stmt = stmt
+        break
+    if anchor_stmt is not None:
+        offset = _abs_offset(starts, anchor_stmt.lineno, 0)
+        line = source.splitlines(keepends=False)[anchor_stmt.lineno - 1]
+        indent = line[: anchor_stmt.col_offset]
+        return offset, indent, False
+    # Docstring-only body: append after it, reusing its indentation.
+    line = source.splitlines(keepends=False)[first.lineno - 1]
+    indent = line[: first.col_offset]
+    end_line = first.end_lineno
+    if end_line >= len(starts):  # docstring closes the file
+        blob = source.encode("utf-8")
+        return len(blob), indent, not blob.endswith(b"\n")
+    return starts[end_line], indent, False
+
+
+def fix_source(
+    source: str, path: str = "<string>", model_scope: Optional[bool] = None
+) -> Tuple[str, List[Finding]]:
+    """Patch the fixable findings in *source*.
+
+    Returns ``(new_source, applied)`` — *applied* lists the findings
+    whose sites were rewritten.  The input comes back unchanged when
+    nothing is fixable or the patched module fails to re-parse.
+    """
+    findings = [f for f in lint_source(source, path, model_scope) if f.code in FIXABLE]
+    if not findings:
+        return source, []
+    tree = ast.parse(source, filename=path)
+    collector = _FixCollector()
+    collector.visit(tree)
+
+    blob = source.encode("utf-8")
+    starts = _line_starts(blob)
+    edits: List[_Edit] = []
+    applied: List[Finding] = []
+    seq = 0
+    for finding in findings:
+        site = (finding.line, finding.col)
+        if finding.code == "QL103" and site in collector.ql103:
+            node = collector.ql103[site]
+            start, end = _node_span(starts, node)
+            edits.append((start, end, b"sorted(" + blob[start:end] + b")", seq))
+            applied.append(finding)
+            seq += 1
+        elif finding.code == "QL106" and site in collector.ql106:
+            func, name, default = collector.ql106[site]
+            start, end = _node_span(starts, default)
+            default_src = blob[start:end].decode("utf-8")
+            edits.append((start, end, b"None", seq))
+            seq += 1
+            anchor, indent, lead_nl = _guard_anchor(source, starts, func)
+            guard = (
+                f"{indent}if {name} is None:\n"
+                f"{indent}    {name} = {default_src}\n"
+            )
+            prefix = b"\n" if lead_nl else b""
+            edits.append((anchor, anchor, prefix + guard.encode("utf-8"), seq))
+            applied.append(finding)
+            seq += 1
+    if not edits:
+        return source, []
+
+    # Splice back-to-front so earlier offsets stay valid; same-offset
+    # insertions apply highest-seq first, leaving lower seq (earlier
+    # argument) physically first in the file.
+    out = blob
+    for start, end, text, _ in sorted(edits, key=lambda e: (e[0], e[3]), reverse=True):
+        out = out[:start] + text + out[end:]
+    new_source = out.decode("utf-8")
+    try:
+        ast.parse(new_source, filename=path)
+    except SyntaxError:  # a patch went wrong: refuse rather than corrupt
+        return source, []
+    return new_source, applied
+
+
+def fix_file(
+    path: Union[str, Path], model_scope: Optional[bool] = None
+) -> List[Finding]:
+    """Patch one file in place; returns the findings fixed."""
+    path = Path(path)
+    source = path.read_text()
+    new_source, applied = fix_source(source, str(path), model_scope=model_scope)
+    if applied:
+        path.write_text(new_source)
+    return applied
+
+
+def fix_paths(
+    paths: Sequence[Union[str, Path]], model_scope: Optional[bool] = None
+) -> List[Finding]:
+    """Patch files and/or directory trees (``**/*.py``), sorted order."""
+    files: List[Path] = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    applied: List[Finding] = []
+    for f in files:
+        applied.extend(fix_file(f, model_scope=model_scope))
+    return applied

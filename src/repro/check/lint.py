@@ -4,6 +4,7 @@ Usage::
 
     python -m repro.check.lint src/repro            # text output, exit 1 on findings
     python -m repro.check.lint src/repro --json     # machine-readable findings
+    python -m repro.check.lint src/repro --fix      # patch QL103/QL106 in place
     python -m repro.check.lint --list-rules
 
 The simulation must be a pure function of its configuration and seed —
@@ -540,6 +541,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="treat every file as model-scope (applies QL101/QL102/QL107 everywhere)",
     )
     parser.add_argument("--list-rules", action="store_true", help="print the rule catalog")
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="patch the fixable findings (QL103: wrap in sorted(...); QL106: "
+        "None default + guard) in place, then report what remains",
+    )
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -548,6 +555,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if not args.paths:
         parser.error("no paths given (try: python -m repro.check.lint src/repro)")
+
+    if args.fix:
+        from repro.check.fixes import fix_paths
+
+        applied = fix_paths(args.paths, model_scope=True if args.model else None)
+        touched = sorted({f.path for f in applied})
+        print(
+            f"[fixed {len(applied)} finding(s) in {len(touched)} file(s)]",
+            file=sys.stderr,
+        )
+        for finding in applied:
+            print(f"fixed {finding.format()}", file=sys.stderr)
 
     findings = lint_paths(args.paths, model_scope=True if args.model else None)
     if args.select:

@@ -7,7 +7,11 @@ Usage::
     qsm-repro run fig2 [--fast] [--seed 7]
     qsm-repro run fig2 --models qsm-best,bsp-whp --ns 4096 --json out.json
     qsm-repro run fig2 --trace out.json --metrics out.jsonl
+    qsm-repro run fig2 --cache .qsm-cache --jobs 4
     qsm-repro all [--fast]
+    qsm-repro serve --cache .qsm-cache
+    qsm-repro submit fig1 --fast --json out.json
+    qsm-repro cache stats .qsm-cache
 
 (or ``python -m repro.experiments.cli ...``).
 
@@ -69,8 +73,14 @@ def build_parser() -> argparse.ArgumentParser:
         "feature needs per-message fidelity — see docs/PERFORMANCE.md); "
         "sets QSM_SYNC_PATH so --jobs N workers inherit it"
     )
+    cache_help = (
+        "memoize sweep points in a content-addressed store at DIR (see "
+        "docs/SERVICE.md); a re-run of an identical sweep replays from the "
+        "store and executes zero simulator points"
+    )
 
     def add_resilience_args(p) -> None:
+        p.add_argument("--cache", metavar="DIR", help=cache_help)
         p.add_argument(
             "--sync-path", choices=["slow", "fast", "epoch"],
             dest="sync_path", metavar="PATH", help=sync_path_help,
@@ -129,6 +139,54 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("--trace", metavar="PATH", help=trace_help)
     rep_p.add_argument("--metrics", metavar="PATH", help=metrics_help)
     add_resilience_args(rep_p)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the sweep service (batch front-end over the result store)"
+    )
+    serve_p.add_argument("--cache", metavar="DIR", required=True, help=cache_help)
+    serve_p.add_argument("--host", default=None, help="bind address (default 127.0.0.1)")
+    serve_p.add_argument(
+        "--port", type=int, default=None,
+        help="listen port (default 8642; 0 = pick a free port)",
+    )
+    serve_p.add_argument(
+        "--jobs", type=int, default=1,
+        help="default worker processes for requests that do not pin their own",
+    )
+
+    sub_p = sub.add_parser("submit", help="submit one sweep to a running service")
+    sub_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    sub_p.add_argument("--fast", action="store_true", help="smaller sweeps/fewer reps")
+    sub_p.add_argument("--seed", type=int, default=0)
+    sub_p.add_argument("--jobs", type=int, default=1, help=jobs_help)
+    sub_p.add_argument("--models", metavar="NAMES", help=models_help)
+    sub_p.add_argument(
+        "--ns", type=int, nargs="+", metavar="N",
+        help="override the problem-size grid (experiments with an n grid only)",
+    )
+    sub_p.add_argument("--host", default=None, help="service address (default 127.0.0.1)")
+    sub_p.add_argument("--port", type=int, default=None, help="service port (default 8642)")
+    sub_p.add_argument(
+        "--json", metavar="PATH",
+        help="write the experiment result payload as JSON (byte-stable: "
+        "identical submissions write identical files)",
+    )
+    sub_p.add_argument(
+        "--timeout", type=float, default=30.0,
+        help="connect timeout in seconds (the sweep itself is unbounded)",
+    )
+
+    cache_p = sub.add_parser("cache", help="inspect or maintain a result store")
+    cache_p.add_argument("action", choices=["stats", "verify", "gc"])
+    cache_p.add_argument("dir", metavar="DIR", help="store directory")
+    cache_p.add_argument(
+        "--max-age-days", type=float, default=None, dest="max_age_days",
+        help="gc: remove objects older than this many days",
+    )
+    cache_p.add_argument(
+        "--max-bytes", type=int, default=None, dest="max_bytes",
+        help="gc: evict oldest objects until the store fits this budget",
+    )
     return parser
 
 
@@ -275,6 +333,124 @@ def _resilience_teardown(strict: bool) -> int:
     return 1 if strict else 0
 
 
+def _cache_setup(args) -> bool:
+    """Install the content-addressed result store if ``--cache`` asked.
+
+    Also exports ``QSM_CACHE`` so ``--jobs N`` workers under the spawn
+    start method come up knowing the store (fork workers never consult
+    it — partitioning happens in the parent — but the env var keeps the
+    idiom uniform with QSM_OBS/QSM_FAULTS).
+    """
+    cache_dir = getattr(args, "cache", None)
+    if not cache_dir:
+        return False
+    from repro import store
+
+    store.set_store(cache_dir)
+    os.environ[store.ENV_VAR] = cache_dir
+    return True
+
+
+def _cache_teardown() -> None:
+    from repro import store
+
+    counts = store.counters()
+    print(
+        f"[cache: {counts['hits']} hit(s), {counts['misses']} miss(es), "
+        f"{counts['coalesced']} coalesced]",
+        file=sys.stderr,
+    )
+    store.clear_store()
+    os.environ.pop(store.ENV_VAR, None)
+
+
+def _cmd_serve(args) -> int:
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, SweepService
+
+    service = SweepService(
+        cache_dir=args.cache,
+        host=args.host or DEFAULT_HOST,
+        port=DEFAULT_PORT if args.port is None else args.port,
+        jobs=args.jobs,
+    )
+    try:
+        service.run()
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        pass
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, ServiceError, SweepRequest
+    from repro.service import client as service_client
+
+    models = _resolve_models_arg(args)
+    req = SweepRequest(
+        experiment=args.experiment,
+        fast=args.fast,
+        seed=args.seed,
+        jobs=args.jobs,
+        ns=args.ns,
+        models=models,
+    )
+    host = args.host or DEFAULT_HOST
+    port = DEFAULT_PORT if args.port is None else args.port
+    points = {"hit": 0, "computed": 0, "coalesced": 0, "failed": 0}
+    result_event = None
+    try:
+        for event in service_client.submit(req, host, port, timeout=args.timeout):
+            kind = event.get("event")
+            if kind == "accepted":
+                print(f"[accepted {event['request_key'][:16]} @ {host}:{port}]")
+            elif kind == "point":
+                points[event.get("status", "computed")] = (
+                    points.get(event.get("status", "computed"), 0) + 1
+                )
+            elif kind == "result":
+                result_event = event
+    except (OSError, ServiceError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result_event is None:
+        print("error: server closed the stream without a result", file=sys.stderr)
+        return 2
+    cache = result_event.get("cache", {})
+    rendered = ", ".join(f"{k}={v}" for k, v in sorted(points.items()) if v)
+    print(f"[points: {rendered or 'none streamed'}]")
+    print(
+        f"[cache: {cache.get('hits', 0)} hit(s), {cache.get('misses', 0)} "
+        f"miss(es), {cache.get('coalesced', 0)} coalesced]"
+    )
+    if args.json:
+        import json
+
+        with open(args.json, "w") as fh:
+            json.dump(result_event["payload"], fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"[wrote JSON to {args.json}]")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    import json
+
+    from repro.store import ResultStore
+
+    store = ResultStore(args.dir)
+    if args.action == "stats":
+        print(json.dumps(store.stats().to_dict(), indent=2, sort_keys=True))
+        return 0
+    if args.action == "verify":
+        ok, bad = store.verify()
+        print(f"[verified {ok} object(s); quarantined {bad}]")
+        return 1 if bad else 0
+    max_age = None if args.max_age_days is None else args.max_age_days * 86400.0
+    removed = store.gc(max_age_seconds=max_age, max_bytes=args.max_bytes)
+    print(f"[gc removed {removed} file(s)]")
+    print(json.dumps(store.stats().to_dict(), indent=2, sort_keys=True))
+    return 0
+
+
 def _resolve_models_arg(args) -> Optional[List[str]]:
     """Validate ``--models`` against the registry before any work runs."""
     spec = getattr(args, "models", None)
@@ -306,11 +482,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:14s} {doc}" if doc else name)
         return 0
 
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
+
     models = _resolve_models_arg(args)
     observing = _obs_setup(args)
     sanitizing = _sanitize_setup(args)
     faulting = _faults_setup(args)
     syncing = _sync_path_setup(args)
+    caching = _cache_setup(args)
     resilient = _resilience_setup(args)
     strict = bool(getattr(args, "strict", False))
 
@@ -332,6 +516,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _faults_teardown()
         if syncing:
             _sync_path_teardown()
+        if caching:
+            _cache_teardown()
         rc = _resilience_teardown(strict) if resilient else 0
         return rc
 
@@ -373,6 +559,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         _faults_teardown()
     if syncing:
         _sync_path_teardown()
+    if caching:
+        _cache_teardown()
     return _resilience_teardown(strict) if resilient else 0
 
 

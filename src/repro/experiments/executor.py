@@ -48,6 +48,22 @@ non-resilient run because every task carries its own seed and captured
 obs/sanitizer/fault state is merged in task order (see
 docs/ROBUSTNESS.md).
 
+Content-addressed result cache
+------------------------------
+With a result store installed (:func:`repro.store.set_store`, driven by
+the CLI's ``--cache DIR`` flag, the ``serve`` subcommand, or
+``QSM_CACHE=DIR``), :func:`parallel_map` derives a canonical,
+version-salted key for every task (:func:`repro.store.point_key` over
+the task tuple plus the armed fault plan) and partitions the list into
+cached and novel points.  Cached points replay their stored capture —
+result plus obs/sanitizer/fault side state — exactly like a checkpoint
+journal resume; novel points run through the normal engines (pool or
+resilient), are stored on success, and identical in-flight points are
+deduped through :mod:`repro.store.flight` so concurrent sweeps compute
+each point once.  A second identical sweep therefore executes zero
+simulator points and returns byte-identical results, independent of the
+job count (see docs/SERVICE.md).  Failed points are never cached.
+
 Shared-memory result payloads
 -----------------------------
 Sweep points return numpy-heavy payloads (per-point arrays, traces),
@@ -82,6 +98,7 @@ from functools import partial
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, TypeVar
 
 from repro import check, faults, obs
+from repro import store as result_store
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -378,10 +395,19 @@ def parallel_map(fn: Callable[[T], R], tasks: Sequence[T], jobs: Optional[int] =
     optional checkpoint journal.  A point that exhausts its retries
     comes back as a :class:`FailedPoint` (test with :func:`is_failed`);
     everything else is unchanged.
+
+    With a result store installed (:func:`repro.store.set_store`) every
+    task is first looked up by its content key; cached points replay
+    their stored capture and only novel points execute (see the module
+    docstring).
     """
     tasks = list(tasks)
+    if tasks and result_store.active_store() is not None:
+        return _merge_captures(_cached_map(fn, tasks, jobs))
     if _POLICY is not None and tasks:
-        return _resilient_map(fn, tasks, effective_jobs(jobs), _POLICY)
+        return _merge_captures(
+            _resilient_captures(fn, tasks, effective_jobs(jobs), _POLICY)
+        )
     n_jobs = min(effective_jobs(jobs), len(tasks))
     if n_jobs <= 1:
         return [fn(t) for t in tasks]
@@ -452,6 +478,225 @@ def _instrumented_task(fn: Callable[[T], R], task: T):
 
 
 # ----------------------------------------------------------------------
+# Capture-based engines (shared by the cache and the resilient path)
+# ----------------------------------------------------------------------
+#: One per-point outcome: ("ok", (result, obs payload, diagnostics,
+#: fault tally)) or ("failed", FailureRecord).
+_Entry = Tuple[str, Any]
+
+
+def _merge_captures(entries: Sequence[_Entry]) -> List[Any]:
+    """Fold per-point captures into the process state, in task order,
+    and assemble the result list (the single merge point for the
+    resilient and cached engines)."""
+    results: List[Any] = []
+    for status, value in entries:
+        if status == "ok":
+            result, payload, diags, tally = value
+            obs.merge_payload(payload)
+            check.merge_diagnostics(diags)
+            faults.merge_tally(tally)
+            results.append(result)
+        else:
+            _FAILURES.append(value)
+            results.append(FailedPoint(value))
+    return results
+
+
+def _hold_side_state() -> tuple:
+    """Drain whatever obs/diagnostic/tally state this process already
+    holds, to be re-merged *before* task captures.
+
+    The in-process capture loop drains global state after every task;
+    without this, state recorded before the map (a previous figure's
+    metrics, say) would be swept into the first task's cache entry and
+    replayed forever after.
+    """
+    return obs.drain_payload(), check.drain_diagnostics(), faults.drain_tally()
+
+
+def _merge_side_state(side: tuple) -> None:
+    payload, diags, tally = side
+    obs.merge_payload(payload)
+    check.merge_diagnostics(diags)
+    faults.merge_tally(tally)
+
+
+def _captured_map(
+    fn: Callable[[T], R],
+    tasks: List[T],
+    jobs: Optional[int],
+    progress: Optional[Callable[[int, _Entry], None]] = None,
+) -> List[_Entry]:
+    """Run *tasks* and return per-point capture entries (no merging).
+
+    Chooses the same engine :func:`parallel_map` would — resilient when
+    a policy is installed, pool otherwise — but keeps each point's
+    captured side state separate so the caller can interleave them with
+    cached captures in task order.  *progress* is called per completed
+    point (cache streaming).
+    """
+    if not tasks:
+        return []
+    if _POLICY is not None:
+        return _resilient_captures(
+            fn, tasks, effective_jobs(jobs), _POLICY, progress=progress
+        )
+    n_jobs = min(effective_jobs(jobs), len(tasks))
+    entries: List[_Entry] = []
+    if n_jobs <= 1:
+        for i, task in enumerate(tasks):
+            entry: _Entry = ("ok", _capture_task(fn, task))
+            entries.append(entry)
+            if progress is not None:
+                progress(i, entry)
+        return entries
+
+    import multiprocessing
+
+    chunksize = max(1, len(tasks) // (4 * n_jobs))
+    use_shm = shm_enabled()
+    pool = multiprocessing.Pool(processes=n_jobs, initializer=_worker_init)
+    try:
+        if use_shm:
+            it = pool.imap(partial(_shm_task, fn, True), tasks, chunksize=chunksize)
+            for i, blob in enumerate(it):
+                entry = ("ok", _shm_decode(blob))
+                entries.append(entry)
+                if progress is not None:
+                    progress(i, entry)
+        else:
+            it = pool.imap(partial(_instrumented_task, fn), tasks, chunksize=chunksize)
+            for i, capture in enumerate(it):
+                entry = ("ok", capture)
+                entries.append(entry)
+                if progress is not None:
+                    progress(i, entry)
+    finally:
+        pool.terminate()
+        pool.join()
+    return entries
+
+
+# ----------------------------------------------------------------------
+# Content-addressed cache engine (repro.store)
+# ----------------------------------------------------------------------
+def _cache_env() -> Optional[dict]:
+    """Ambient state folded into point keys: the armed global fault
+    plan (a machine-pinned plan already travels in the task tuple).
+    The sync path is excluded on purpose — all paths are bit-identical
+    by contract, so caching across them is sound."""
+    plan = faults.active_plan()
+    if plan is None:
+        return None
+    return {"faults": plan.to_spec() or "noop"}
+
+
+def _cached_map(fn: Callable[[T], R], tasks: List[T], jobs: Optional[int]) -> List[_Entry]:
+    """Partition *tasks* into cached vs novel points, execute only the
+    novel ones, and return entries in task order.
+
+    Identical keys inside one batch are computed once; keys already in
+    flight elsewhere (another thread of a sweep service) are waited on
+    and read back from the store (single-flight dedupe).  Failed points
+    are returned but never stored.
+    """
+    store = result_store.active_store()
+    assert store is not None
+    fn_name = _fn_name(fn)
+    env = _cache_env()
+    keys = [result_store.point_key(fn_name, t, env=env) for t in tasks]
+
+    instrumented = obs.enabled() or check.armed() or faults.armed()
+    held = _hold_side_state() if instrumented else None
+    # Buffer the store counters' obs mirror: mirrored increments between
+    # two in-process tasks would be drained into the next task's stored
+    # capture and double-counted on every replay.
+    result_store.defer_obs_mirror()
+
+    try:
+        entry_by_key: Dict[str, _Entry] = {}
+        seen: set = set()
+        novel_keys: List[str] = []  # unique, first-seen order
+        novel_tasks: List[T] = []
+        for i, key in enumerate(keys):
+            if key in seen:
+                result_store.record(
+                    "coalesced", key=key, fn=fn_name, index=i, status="coalesced"
+                )
+                continue
+            seen.add(key)
+            capture = store.get_capture(key)
+            if capture is not None:
+                entry_by_key[key] = ("ok", capture)
+                result_store.record("hits", key=key, fn=fn_name, index=i, status="hit")
+            else:
+                novel_keys.append(key)
+                novel_tasks.append(tasks[i])
+
+        # Single-flight: lead the keys nobody else is computing; wait on
+        # the rest after our own batch finishes.
+        leaders: List[Tuple[str, T]] = []
+        followers: List[str] = []
+        for key, task in zip(novel_keys, novel_tasks):
+            if result_store.flight_begin(key):
+                leaders.append((key, task))
+            else:
+                followers.append(key)
+
+        def settle_leader(key: str, entry: _Entry) -> None:
+            """Store + release one computed point (at most once per key)."""
+            if key in entry_by_key:
+                return
+            status, value = entry
+            if status == "ok":
+                store.put_capture(key, value)
+            entry_by_key[key] = entry
+            result_store.flight_finish(key)
+            result_store.record(
+                "misses", key=key, fn=fn_name,
+                status="computed" if status == "ok" else "failed",
+            )
+
+        try:
+            computed = _captured_map(
+                fn,
+                [t for _, t in leaders],
+                jobs,
+                # Streamed per completed point (pool/sequential engines);
+                # resilient journal replays land in the zip below instead.
+                progress=lambda j, entry: settle_leader(leaders[j][0], entry),
+            )
+            for (key, _), entry in zip(leaders, computed):
+                settle_leader(key, entry)
+        finally:
+            for key, _ in leaders:  # crash safety: never strand followers
+                result_store.flight_finish(key)
+
+        for key in followers:
+            result_store.flight_wait(key)
+            capture = store.get_capture(key)
+            if capture is not None:
+                entry_by_key[key] = ("ok", capture)
+                result_store.record("coalesced", key=key, fn=fn_name, status="hit")
+            else:
+                # The other flight failed or never stored; compute inline.
+                entry = _captured_map(fn, [novel_tasks[novel_keys.index(key)]], 1)[0]
+                if entry[0] == "ok":
+                    store.put_capture(key, entry[1])
+                result_store.record("misses", key=key, fn=fn_name, status="computed")
+                entry_by_key[key] = entry
+
+        if held is not None:
+            # Re-merge pre-map state first, so merge order matches a plain
+            # run: everything recorded before the map, then task captures.
+            _merge_side_state(held)
+        return [entry_by_key[key] for key in keys]
+    finally:
+        result_store.flush_obs_mirror()
+
+
+# ----------------------------------------------------------------------
 # Resilient engine: process-per-task, timeout, retry, checkpoint
 # ----------------------------------------------------------------------
 def _fn_name(fn: Callable) -> str:
@@ -459,7 +704,19 @@ def _fn_name(fn: Callable) -> str:
 
 
 def _task_key(task: Any) -> str:
-    """Stable identity of one task for checkpoint matching."""
+    """Stable identity of one task for checkpoint matching.
+
+    A canonical structural digest (:func:`repro.store.task_digest`):
+    dataclasses lower to sorted field items, floats to their exact hex
+    form — unlike the old ``repr`` hash, the key cannot drift across
+    interpreter versions or numpy repr changes.
+    """
+    return result_store.task_digest(task)
+
+
+def _legacy_task_key(task: Any) -> str:
+    """The pre-canonical journal key (``repr`` hash); kept so journals
+    written by older builds still resume instead of re-running."""
     return hashlib.sha256(repr(task).encode()).hexdigest()[:16]
 
 
@@ -554,9 +811,26 @@ class _Journal:
 def _resilient_map(
     fn: Callable[[T], R], tasks: List[T], n_jobs: int, pol: ExecutionPolicy
 ) -> List[R]:
+    """Back-compat wrapper: run the resilient engine and merge captures."""
+    return _merge_captures(_resilient_captures(fn, tasks, n_jobs, pol))
+
+
+def _resilient_captures(
+    fn: Callable[[T], R],
+    tasks: List[T],
+    n_jobs: int,
+    pol: ExecutionPolicy,
+    progress: Optional[Callable[[int, _Entry], None]] = None,
+) -> List[_Entry]:
     """The process-per-task engine behind :func:`parallel_map` when an
     :class:`ExecutionPolicy` is installed.  See the module docstring
-    for the behaviour contract."""
+    for the behaviour contract.
+
+    Returns per-point capture entries in task order (merging is the
+    caller's job, so the cache engine can interleave these with stored
+    captures).  *progress* fires once per point settled live — journal
+    replays do not re-fire it.
+    """
     import multiprocessing
 
     ctx = multiprocessing.get_context()
@@ -574,6 +848,11 @@ def _resilient_map(
     pending: List[int] = []
     for i, key in enumerate(keys):
         rec = completed.get((i, key))
+        if rec is None:
+            # Tolerate journals written before the canonical key scheme
+            # (repr-hash keys): old sweeps still resume, new appends use
+            # the stable keys.
+            rec = completed.get((i, _legacy_task_key(tasks[i])))
         if rec is None:
             pending.append(i)
         elif rec["status"] == "ok":
@@ -621,6 +900,8 @@ def _resilient_map(
                     "payload": _encode_capture(value),
                 }
             )
+            if progress is not None:
+                progress(index, done[index])
         else:
             handle_failure(index, str(value))
 
@@ -653,6 +934,8 @@ def _resilient_map(
                 "attempts": attempt,
             }
         )
+        if progress is not None:
+            progress(index, done[index])
 
     try:
         from multiprocessing.connection import wait as _conn_wait
@@ -723,17 +1006,5 @@ def _resilient_map(
         running.clear()
         journal.close()
 
-    # Merge captured side state and assemble results in task order.
-    results: List[R] = []
-    for i in range(len(tasks)):
-        status, value = done[i]
-        if status == "ok":
-            result, payload, diags, tally = value
-            obs.merge_payload(payload)
-            check.merge_diagnostics(diags)
-            faults.merge_tally(tally)
-            results.append(result)
-        else:
-            _FAILURES.append(value)
-            results.append(FailedPoint(value))
-    return results
+    # Entries in task order; the caller merges captured side state.
+    return [done[i] for i in range(len(tasks))]

@@ -19,7 +19,14 @@ from typing import List, Optional, Sequence, Union
 import numpy as np
 
 from repro.algorithms.prefix import run_prefix_sums
-from repro.experiments.base import ExperimentResult, mean_std, render_series, reps_for
+from repro.experiments.base import (
+    ExperimentResult,
+    drop_failed,
+    mean_std,
+    render_series,
+    reps_for,
+)
+from repro.experiments.executor import parallel_map
 from repro.predict import PREFIX_MODELS, make_source, predict_point, resolve_models
 from repro.qsmlib import QSMMachine, RunConfig
 
@@ -27,10 +34,27 @@ FULL_NS = [4096, 16384, 65536, 262144, 1048576]
 FAST_NS = [4096, 32768, 262144]
 
 
+def _fig1_point_task(task):
+    """One (n, run_seed) point: the measured prefix-sums run.
+
+    Module-level (picklable) for the --jobs process pool and the result
+    cache; the run record travels back to the parent, where predictions
+    are priced uniformly.
+    """
+    n, run_seed = task
+    rng = np.random.default_rng(run_seed)
+    out = run_prefix_sums(
+        rng.integers(0, 1000, size=n),
+        RunConfig(seed=run_seed, check_semantics=False),
+    )
+    return out.run
+
+
 def run(
     fast: bool = False,
     seed: int = 0,
     ns: Optional[List[int]] = None,
+    jobs: int = 1,
     models: Union[str, Sequence[str], None] = None,
 ) -> ExperimentResult:
     ns = ns or (FAST_NS if fast else FULL_NS)
@@ -41,19 +65,24 @@ def run(
     source = make_source("prefix", p=config.machine.p, cpu=cpu)
     model_names = resolve_models(models, default=PREFIX_MODELS)
 
+    tasks = [(n, seed + 1000 * r + 1) for n in ns for r in range(reps)]
+    measured = parallel_map(_fig1_point_task, tasks, jobs=jobs)
+
     total_mean, comm_mean, comm_rel_std = [], [], []
     pred_series = {name: [] for name in model_names}
     records = []
-    for n in ns:
-        runs = []
-        for r in range(reps):
-            run_seed = seed + 1000 * r + 1
-            rng = np.random.default_rng(run_seed)
-            out = run_prefix_sums(
-                rng.integers(0, 1000, size=n),
-                RunConfig(seed=run_seed, check_semantics=False),
-            )
-            runs.append(out.run)
+    for i, n in enumerate(ns):
+        runs = drop_failed(measured[i * reps : (i + 1) * reps])
+        if not runs:
+            # Every rep of this point failed (resilient executor): the
+            # point renders as a gap but the rest of the figure stands.
+            nan = float("nan")
+            total_mean.append(nan)
+            comm_mean.append(nan)
+            comm_rel_std.append(nan)
+            for name in model_names:
+                pred_series[name].append(nan)
+            continue
         cm, cs = mean_std([rr.comm_cycles for rr in runs])
         tm, _ = mean_std([rr.total_cycles for rr in runs])
         total_mean.append(round(tm))

@@ -13,7 +13,14 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Union
 
 from repro.algorithms.listrank import make_random_list, run_list_ranking
-from repro.experiments.base import ExperimentResult, mean_std, render_series, reps_for
+from repro.experiments.base import (
+    ExperimentResult,
+    drop_failed,
+    mean_std,
+    render_series,
+    reps_for,
+)
+from repro.experiments.executor import parallel_map
 from repro.predict import PAPER_MODELS, make_source, predict_point, resolve_models
 from repro.qsmlib import QSMMachine, RunConfig
 
@@ -21,10 +28,24 @@ FULL_NS = [8192, 20000, 40000, 60000, 120000, 256000]
 FAST_NS = [8192, 40000, 120000]
 
 
+def _fig3_point_task(task):
+    """One (n, run_seed) point: the measured list-ranking run.
+
+    Module-level (picklable) for the --jobs process pool and the result
+    cache; the run record travels back to the parent, where predictions
+    are priced uniformly.
+    """
+    n, run_seed = task
+    succ = make_random_list(n, seed=run_seed)
+    out = run_list_ranking(succ, RunConfig(seed=run_seed, check_semantics=False))
+    return out.run
+
+
 def run(
     fast: bool = False,
     seed: int = 0,
     ns: Optional[List[int]] = None,
+    jobs: int = 1,
     models: Union[str, Sequence[str], None] = None,
 ) -> ExperimentResult:
     ns = ns or (FAST_NS if fast else FULL_NS)
@@ -35,16 +56,24 @@ def run(
     source = make_source("listrank", p=config.machine.p, cpu=cpu)
     model_names = resolve_models(models, default=PAPER_MODELS)
 
+    tasks = [(n, seed + 1000 * r + 1) for n in ns for r in range(reps)]
+    measured = parallel_map(_fig3_point_task, tasks, jobs=jobs)
+
     comm_mean, comm_rel_std, total_mean = [], [], []
     pred_series = {name: [] for name in model_names}
     records = []
-    for n in ns:
-        runs = []
-        for r in range(reps):
-            run_seed = seed + 1000 * r + 1
-            succ = make_random_list(n, seed=run_seed)
-            out = run_list_ranking(succ, RunConfig(seed=run_seed, check_semantics=False))
-            runs.append(out.run)
+    for i, n in enumerate(ns):
+        runs = drop_failed(measured[i * reps : (i + 1) * reps])
+        if not runs:
+            # Every rep of this point failed (resilient executor): the
+            # point renders as a gap but the rest of the figure stands.
+            nan = float("nan")
+            comm_mean.append(nan)
+            comm_rel_std.append(nan)
+            total_mean.append(nan)
+            for name in model_names:
+                pred_series[name].append(nan)
+            continue
         cm, cs = mean_std([rr.comm_cycles for rr in runs])
         comm_mean.append(round(cm))
         comm_rel_std.append(round(cs / cm, 4))

@@ -1,0 +1,46 @@
+"""``repro.service`` — sweep-as-a-service batch front-end.
+
+An asyncio server (:class:`~repro.service.server.SweepService`) that
+accepts sweep requests over a local NDJSON-over-TCP endpoint, backs
+them with the content-addressed result store (:mod:`repro.store`), and
+streams per-point progress and the final experiment payload back to
+the client.  A second identical submission — same experiment, seed,
+grid and model set, any job count — answers entirely from cache,
+executing zero simulator points.
+
+The CLI front doors are ``python -m repro.experiments.cli serve`` /
+``submit`` / ``cache``; :mod:`repro.service.client` is the blocking
+client they use.  See docs/SERVICE.md.
+"""
+
+from __future__ import annotations
+
+from repro.service.client import (
+    ServiceError,
+    ping,
+    shutdown,
+    stats,
+    submit,
+    wait_ready,
+)
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    SweepRequest,
+)
+from repro.service.server import SweepService
+
+__all__ = [
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "PROTOCOL_VERSION",
+    "ServiceError",
+    "SweepRequest",
+    "SweepService",
+    "ping",
+    "shutdown",
+    "stats",
+    "submit",
+    "wait_ready",
+]

@@ -1,0 +1,109 @@
+"""Blocking client for the sweep service (used by the ``submit``/
+``cache`` CLI subcommands and the tests).
+
+Each call opens one connection, writes one request line and consumes
+the event stream; :func:`submit` is a generator so callers can render
+per-point progress as it arrives.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from typing import Any, Dict, Iterator, Optional
+
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    SweepRequest,
+    encode_line,
+)
+
+__all__ = ["submit", "ping", "stats", "shutdown", "wait_ready", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The server answered with an ``error`` event."""
+
+
+def _roundtrip(
+    request: Dict[str, Any], host: str, port: int, timeout: Optional[float]
+) -> Iterator[Dict[str, Any]]:
+    request = {"protocol": PROTOCOL_VERSION, **request}
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        # Sweeps can run long; only connect/first-byte honour *timeout*.
+        sock.settimeout(None)
+        fh = sock.makefile("rwb")
+        fh.write(encode_line(request))
+        fh.flush()
+        for line in fh:
+            message = json.loads(line.decode("utf-8"))
+            if message.get("event") == "error":
+                raise ServiceError(message.get("message", "unknown server error"))
+            yield message
+            if message.get("event") == "done":
+                return
+
+
+def _single(
+    request: Dict[str, Any], host: str, port: int, timeout: Optional[float]
+) -> Dict[str, Any]:
+    for message in _roundtrip(request, host, port, timeout):
+        return message
+    raise ServiceError("server closed the connection without answering")
+
+
+def submit(
+    req: SweepRequest,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: Optional[float] = 30.0,
+) -> Iterator[Dict[str, Any]]:
+    """Submit one sweep; yields ``accepted``/``point``/``result``/``done``."""
+    yield from _roundtrip(
+        {"cmd": "sweep", **req.to_payload()}, host, port, timeout
+    )
+
+
+def ping(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: Optional[float] = 5.0,
+) -> Dict[str, Any]:
+    return _single({"cmd": "ping"}, host, port, timeout)
+
+
+def stats(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: Optional[float] = 5.0,
+) -> Dict[str, Any]:
+    return _single({"cmd": "stats"}, host, port, timeout)
+
+
+def shutdown(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: Optional[float] = 5.0,
+) -> Dict[str, Any]:
+    return _single({"cmd": "shutdown"}, host, port, timeout)
+
+
+def wait_ready(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: float = 10.0,
+    interval: float = 0.1,
+) -> bool:
+    """Poll ``ping`` until the server answers (startup races, CI)."""
+    deadline = time.monotonic() + timeout
+    while True:
+        try:
+            ping(host, port, timeout=min(1.0, timeout))
+            return True
+        except (OSError, ServiceError, ValueError):
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(interval)

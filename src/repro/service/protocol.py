@@ -1,0 +1,109 @@
+"""Wire protocol of the sweep service (``repro.service``).
+
+Newline-delimited JSON over a local TCP socket — no HTTP dependency,
+and every message fits one line:
+
+* the client opens a connection and sends **one request line**, e.g.
+  ``{"protocol": 1, "cmd": "sweep", "experiment": "fig1", ...}``;
+* the server streams **event lines** back — ``accepted`` (with the
+  request's content identity), one ``point`` per sweep point as it
+  settles (``status`` hit/computed/coalesced/failed), ``result`` (the
+  experiment payload plus the request's cache counter delta), then
+  ``done`` — or a single ``error``;
+* the connection closes after ``done``/``error``; one connection, one
+  request.
+
+:class:`SweepRequest` is the canonical request shape.  Its
+:meth:`~SweepRequest.identity` deliberately excludes ``jobs``: the
+executor guarantees results are independent of the job count, so two
+requests differing only in parallelism are the *same* sweep.  The
+prediction-model set **is** included — model changes re-identify the
+request even though the underlying simulator points still cache-hit
+(see :func:`repro.store.request_key`).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.store import request_key
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DEFAULT_HOST",
+    "DEFAULT_PORT",
+    "SweepRequest",
+    "encode_line",
+    "decode_line",
+]
+
+PROTOCOL_VERSION = 1
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+
+def encode_line(message: Dict[str, Any]) -> bytes:
+    """One NDJSON wire line (sorted keys — byte-stable for tests)."""
+    return json.dumps(message, sort_keys=True, separators=(",", ":")).encode(
+        "utf-8"
+    ) + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, Any]:
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError(f"expected a JSON object, got {type(message).__name__}")
+    return message
+
+
+@dataclass
+class SweepRequest:
+    """One batch sweep submission."""
+
+    experiment: str
+    fast: bool = True
+    seed: int = 0
+    jobs: int = 1
+    ns: Optional[List[int]] = None
+    models: Optional[List[str]] = field(default=None)
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "experiment": self.experiment,
+            "fast": self.fast,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "ns": self.ns,
+            "models": self.models,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "SweepRequest":
+        exp = payload.get("experiment")
+        if not isinstance(exp, str) or not exp:
+            raise ValueError("sweep request needs an 'experiment' name")
+        ns = payload.get("ns")
+        models = payload.get("models")
+        return cls(
+            experiment=exp,
+            fast=bool(payload.get("fast", True)),
+            seed=int(payload.get("seed", 0)),
+            jobs=int(payload.get("jobs", 1)),
+            ns=[int(n) for n in ns] if ns is not None else None,
+            models=[str(m) for m in models] if models is not None else None,
+        )
+
+    def identity(self) -> str:
+        """Content identity of the request (``jobs`` excluded: results
+        are jobs-invariant by the executor contract)."""
+        return request_key(
+            {
+                "experiment": self.experiment,
+                "fast": self.fast,
+                "seed": self.seed,
+                "ns": self.ns,
+                "models": self.models,
+            }
+        )

@@ -1,0 +1,268 @@
+"""The asyncio batch front-end: sweeps as a service.
+
+:class:`SweepService` listens on a local TCP endpoint, accepts
+:class:`~repro.service.protocol.SweepRequest` submissions, and runs
+them through the normal experiment registry with the process-global
+result store installed — so the first submission of a sweep computes
+and stores every point, and any identical later submission (from any
+client) streams back entirely from cache, executing zero simulator
+points.
+
+Concurrency model
+-----------------
+* the event loop owns all sockets; requests are accepted concurrently;
+* **sweeps execute one at a time** (an :class:`asyncio.Lock`): the
+  experiments mutate process-global state (obs, fault tallies, the
+  store counters used for the per-request delta), so serialising them
+  is what keeps results byte-identical to CLI runs.  Parallelism
+  belongs *inside* a sweep (the request's ``jobs``), and duplicate
+  concurrent submissions coalesce through the store anyway;
+* the blocking experiment runs in the loop's default executor; per
+  point events flow from the sweep thread through
+  :func:`repro.store.set_listener` and ``call_soon_threadsafe`` into an
+  :class:`asyncio.Queue` the handler drains to the client socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional
+
+from repro import store as result_store
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.service.protocol import (
+    DEFAULT_HOST,
+    DEFAULT_PORT,
+    PROTOCOL_VERSION,
+    SweepRequest,
+    decode_line,
+    encode_line,
+)
+
+__all__ = ["SweepService"]
+
+#: One line is one JSON message; sweep requests are small.
+_MAX_LINE = 1 << 20
+
+#: Queue sentinel kinds.
+_POINT = "point"
+_DONE = "done"
+
+
+class SweepService:
+    """One service instance: a store, a listener socket, a sweep lock."""
+
+    def __init__(
+        self,
+        cache_dir: str,
+        host: str = DEFAULT_HOST,
+        port: int = DEFAULT_PORT,
+        jobs: int = 1,
+    ) -> None:
+        self.host = host
+        self.port = port
+        #: Default job count for requests that do not pin their own.
+        self.jobs = jobs
+        self.store = result_store.set_store(cache_dir)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sweep_lock = asyncio.Lock()
+        self._stopping: Optional[asyncio.Event] = None
+        self.requests_served = 0
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener; ``port=0`` picks a free port (tests)."""
+        self._stopping = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        """Serve until a ``shutdown`` request arrives."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None and self._stopping is not None
+        async with self._server:
+            await self._stopping.wait()
+
+    async def stop(self) -> None:
+        if self._stopping is not None:
+            self._stopping.set()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- connection handling --------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                line = await reader.readline()
+                if len(line) > _MAX_LINE:
+                    raise ValueError("request line too long")
+                request = decode_line(line)
+            except Exception as exc:
+                await self._send(writer, {"event": "error", "message": str(exc)})
+                return
+            await self._dispatch(request, writer)
+        except (ConnectionResetError, BrokenPipeError):  # client went away
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _send(self, writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
+        writer.write(encode_line(message))
+        await writer.drain()
+
+    async def _dispatch(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
+    ) -> None:
+        proto = request.get("protocol", PROTOCOL_VERSION)
+        if proto != PROTOCOL_VERSION:
+            await self._send(
+                writer,
+                {
+                    "event": "error",
+                    "message": f"protocol {proto} unsupported (server speaks "
+                    f"{PROTOCOL_VERSION})",
+                },
+            )
+            return
+        cmd = request.get("cmd")
+        if cmd == "ping":
+            await self._send(
+                writer,
+                {
+                    "event": "pong",
+                    "protocol": PROTOCOL_VERSION,
+                    "experiments": sorted(EXPERIMENTS),
+                },
+            )
+        elif cmd == "stats":
+            await self._send(
+                writer,
+                {
+                    "event": "stats",
+                    "store": self.store.stats().to_dict(),
+                    "counters": result_store.counters(),
+                    "requests_served": self.requests_served,
+                },
+            )
+        elif cmd == "shutdown":
+            await self._send(writer, {"event": "ok"})
+            if self._stopping is not None:
+                self._stopping.set()
+        elif cmd == "sweep":
+            try:
+                req = SweepRequest.from_payload(request)
+                if req.experiment not in EXPERIMENTS:
+                    raise ValueError(
+                        f"unknown experiment {req.experiment!r}; available: "
+                        f"{', '.join(sorted(EXPERIMENTS))}"
+                    )
+            except (ValueError, TypeError) as exc:
+                await self._send(writer, {"event": "error", "message": str(exc)})
+                return
+            await self._run_sweep(req, writer)
+        else:
+            await self._send(
+                writer, {"event": "error", "message": f"unknown cmd {cmd!r}"}
+            )
+
+    # -- the sweep path -------------------------------------------------
+    def _execute(self, req: SweepRequest) -> Dict[str, Any]:
+        """Blocking experiment body (runs on an executor thread)."""
+        result = run_experiment(
+            req.experiment,
+            fast=req.fast,
+            seed=req.seed,
+            jobs=req.jobs if req.jobs != 1 else self.jobs,
+            models=req.models,
+            ns=req.ns,
+        )
+        return result.to_json_dict()
+
+    async def _run_sweep(
+        self, req: SweepRequest, writer: asyncio.StreamWriter
+    ) -> None:
+        loop = asyncio.get_running_loop()
+        async with self._sweep_lock:
+            await self._send(
+                writer,
+                {
+                    "event": "accepted",
+                    "request_key": req.identity(),
+                    "experiment": req.experiment,
+                },
+            )
+            queue: asyncio.Queue = asyncio.Queue()
+
+            def listener(event: dict) -> None:
+                # Runs on the sweep thread; hop into the loop.
+                loop.call_soon_threadsafe(queue.put_nowait, (_POINT, event))
+
+            before = result_store.counters()
+            result_store.set_listener(listener)
+            fut = loop.run_in_executor(None, self._execute, req)
+            fut.add_done_callback(lambda f: queue.put_nowait((_DONE, f)))
+            try:
+                while True:
+                    kind, payload = await queue.get()
+                    if kind == _DONE:
+                        break
+                    await self._send(writer, {"event": "point", **payload})
+            finally:
+                result_store.clear_listener()
+            try:
+                payload = fut.result()
+            except Exception as exc:  # experiment blew up: report, keep serving
+                await self._send(
+                    writer,
+                    {"event": "error", "message": f"{type(exc).__name__}: {exc}"},
+                )
+                return
+            after = result_store.counters()
+            cache = {
+                name: after.get(name, 0) - before.get(name, 0)
+                for name in ("hits", "misses", "coalesced", "inflight")
+            }
+            self.requests_served += 1
+            await self._send(
+                writer,
+                {
+                    "event": "result",
+                    "request_key": req.identity(),
+                    "payload": payload,
+                    "cache": cache,
+                },
+            )
+            await self._send(writer, {"event": "done"})
+
+    # -- sync convenience (CLI `serve`) ---------------------------------
+    def run(self) -> None:
+        """Blocking entry point: serve until shutdown."""
+        asyncio.run(self._run_async())
+
+    async def _run_async(self) -> None:
+        await self.start()
+        print(
+            json.dumps(
+                {"serving": self.endpoint, "cache": str(self.store.root)},
+                sort_keys=True,
+            ),
+            flush=True,
+        )
+        await self.serve_forever()
+        await self.stop()

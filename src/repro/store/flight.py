@@ -1,0 +1,57 @@
+"""Single-flight dedupe of identical in-flight points.
+
+When two sweeps (two service requests, or two threads sharing one
+store) need the same point key at the same time, only one should pay
+the simulation; the rest wait and read the store.  :class:`SingleFlight`
+is the tiny synchronisation core: the first caller to :meth:`begin` a
+key becomes its *leader*, later callers are *followers* and
+:meth:`wait` until the leader :meth:`finish`\\ es (whether or not it
+managed to store a result — followers must re-check the store and fall
+back to computing themselves).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """Keyed leader/follower coordination (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._events: Dict[str, threading.Event] = {}
+
+    def begin(self, key: str) -> bool:
+        """True if the caller is now *key*'s leader; False = follower."""
+        with self._lock:
+            if key in self._events:
+                return False
+            self._events[key] = threading.Event()
+            return True
+
+    def wait(self, key: str, timeout: Optional[float] = None) -> bool:
+        """Block until *key*'s leader finishes (True) or *timeout* (False).
+
+        Returns True immediately when nothing is in flight for *key*.
+        """
+        with self._lock:
+            event = self._events.get(key)
+        if event is None:
+            return True
+        return event.wait(timeout)
+
+    def finish(self, key: str) -> None:
+        """Release *key*'s followers; idempotent."""
+        with self._lock:
+            event = self._events.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def inflight(self) -> int:
+        """Number of keys currently being computed."""
+        with self._lock:
+            return len(self._events)

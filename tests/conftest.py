@@ -64,6 +64,18 @@ def _sanitizer_stays_off():
         pytest.fail("a test left repro.check armed; use the sanitizer fixture")
 
 
+@pytest.fixture(autouse=True)
+def _store_stays_off():
+    """Guard: no test may leak a globally-installed result store."""
+    yield
+    from repro import store
+
+    store.clear_listener()
+    if store.active_store() is not None:
+        store.clear_store()
+        pytest.fail("a test left repro.store installed; call store.clear_store()")
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

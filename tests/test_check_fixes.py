@@ -1,0 +1,198 @@
+"""Round-trip tests for the lint autofixer (repro.check.fixes).
+
+Every fixture is patched, re-linted (the finding must be gone),
+re-parsed, and — where behaviour matters — executed to prove the
+patched code does what the rule wants (sorted iteration, no shared
+mutable default).
+"""
+
+import textwrap
+
+from repro.check.fixes import FIXABLE, fix_file, fix_paths, fix_source
+from repro.check.lint import lint_source
+
+
+def _fix(src):
+    src = textwrap.dedent(src)
+    fixed, applied = fix_source(src)
+    return fixed, applied
+
+
+def _codes(source):
+    return [f.code for f in lint_source(textwrap.dedent(source))]
+
+
+class TestQL103:
+    def test_set_literal_wrapped(self):
+        fixed, applied = _fix(
+            """
+            def f():
+                out = []
+                for k in {3, 1, 2}:
+                    out.append(k)
+                return out
+            """
+        )
+        assert [f.code for f in applied] == ["QL103"]
+        assert "for k in sorted({3, 1, 2}):" in fixed
+        assert lint_source(fixed) == []
+        ns = {}
+        exec(fixed, ns)
+        assert ns["f"]() == [1, 2, 3]
+
+    def test_set_call_and_keys_wrapped(self):
+        fixed, applied = _fix(
+            """
+            def f(items, table):
+                a = [v for v in set(items)]
+                b = [k for k in table.keys()]
+                return a, b
+            """
+        )
+        assert sorted(f.code for f in applied) == ["QL103", "QL103"]
+        assert "sorted(set(items))" in fixed
+        assert "sorted(table.keys())" in fixed
+        ns = {}
+        exec(fixed, ns)
+        assert ns["f"]([2, 1], {"b": 0, "a": 0}) == ([1, 2], ["a", "b"])
+
+    def test_multiline_iterable(self):
+        fixed, applied = _fix(
+            """
+            def f():
+                for k in {3,
+                          1}:
+                    pass
+            """
+        )
+        assert len(applied) == 1
+        assert lint_source(fixed) == []
+
+    def test_suppressed_finding_untouched(self):
+        src = textwrap.dedent(
+            """
+            def f(xs):
+                for k in set(xs):  # qsmlint: disable=QL103
+                    pass
+            """
+        )
+        fixed, applied = fix_source(src)
+        assert applied == [] and fixed == src
+
+
+class TestQL106:
+    def test_list_default_guarded(self):
+        fixed, applied = _fix(
+            """
+            def f(x, acc=[]):
+                acc.append(x)
+                return acc
+            """
+        )
+        assert [f.code for f in applied] == ["QL106"]
+        assert "acc=None" in fixed
+        assert lint_source(fixed) == []
+        ns = {}
+        exec(fixed, ns)
+        assert ns["f"](1) == [1]
+        assert ns["f"](2) == [2]  # no shared state across calls
+
+    def test_kwonly_and_positional_defaults(self):
+        fixed, applied = _fix(
+            """
+            def f(a, b={}, *, c=[1, 2]):
+                return a, b, c
+            """
+        )
+        assert len(applied) == 2
+        assert lint_source(fixed) == []
+        ns = {}
+        exec(fixed, ns)
+        assert ns["f"](0) == (0, {}, [1, 2])
+
+    def test_guard_goes_after_docstring(self):
+        fixed, applied = _fix(
+            '''
+            def f(acc=[]):
+                """Doc."""
+                return acc
+            '''
+        )
+        assert len(applied) == 1
+        lines = fixed.splitlines()
+        doc = next(i for i, ln in enumerate(lines) if '"""Doc."""' in ln)
+        assert lines[doc + 1].strip() == "if acc is None:"
+        ns = {}
+        exec(fixed, ns)
+        assert ns["f"].__doc__ == "Doc."
+
+    def test_docstring_only_body(self):
+        fixed, applied = _fix(
+            '''
+            def f(acc=[]):
+                """Doc only."""
+            '''
+        )
+        assert len(applied) == 1
+        assert lint_source(fixed) == []
+        ns = {}
+        exec(fixed, ns)
+        ns["f"]()
+
+    def test_guards_preserve_argument_order(self):
+        fixed, _ = _fix(
+            """
+            def f(a=[], b={}):
+                return a, b
+            """
+        )
+        assert fixed.index("if a is None:") < fixed.index("if b is None:")
+
+
+class TestDriver:
+    def test_idempotent(self):
+        src = """
+        def f(acc=[]):
+            for k in {2, 1}:
+                acc.append(k)
+            return acc
+        """
+        once, applied = _fix(src)
+        assert applied
+        twice, applied2 = fix_source(once)
+        assert applied2 == [] and twice == once
+
+    def test_clean_source_untouched(self):
+        src = "def f(x):\n    return x\n"
+        fixed, applied = fix_source(src)
+        assert fixed == src and applied == []
+
+    def test_fixable_set(self):
+        assert FIXABLE == {"QL103", "QL106"}
+
+    def test_fix_file_in_place(self, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text("def f(acc=[]):\n    return acc\n")
+        applied = fix_file(target)
+        assert [f.code for f in applied] == ["QL106"]
+        assert "acc=None" in target.read_text()
+        assert fix_file(target) == []  # second pass: nothing left
+
+    def test_fix_paths_walks_directories(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text(
+            "def f(xs):\n    return [v for v in set(xs)]\n"
+        )
+        (tmp_path / "pkg" / "b.py").write_text("def g(x):\n    return x\n")
+        applied = fix_paths([tmp_path / "pkg"])
+        assert [f.code for f in applied] == ["QL103"]
+
+    def test_cli_fix_flag(self, tmp_path, capsys):
+        from repro.check.lint import main
+
+        target = tmp_path / "mod.py"
+        target.write_text("def f(acc=[]):\n    return acc\n")
+        rc = main([str(target), "--fix"])
+        assert rc == 0
+        assert "fixed 1 finding(s)" in capsys.readouterr().err
+        assert "acc=None" in target.read_text()

@@ -1,0 +1,132 @@
+"""End-to-end tests for the sweep service (repro.service).
+
+Contracts (see docs/SERVICE.md): a second identical submission answers
+entirely from cache (every point event is a hit, zero misses) with a
+byte-identical experiment payload; stats/ping/shutdown round-trip; bad
+requests produce error events, not dead connections.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro import store
+from repro.service import (
+    ServiceError,
+    SweepRequest,
+    SweepService,
+    client,
+)
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live service on an ephemeral port, torn down afterwards."""
+    svc = SweepService(cache_dir=str(tmp_path / "cas"), port=0, jobs=1)
+    thread = threading.Thread(target=svc.run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while svc.port == 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert svc.port != 0, "service never bound a port"
+    assert client.wait_ready(port=svc.port, timeout=10.0)
+    try:
+        yield svc
+    finally:
+        try:
+            client.shutdown(port=svc.port)
+        except (OSError, ServiceError):
+            pass
+        thread.join(timeout=10.0)
+        store.clear_store()
+
+
+def _collect(events):
+    by_kind = {"point": []}
+    for event in events:
+        kind = event["event"]
+        if kind == "point":
+            by_kind["point"].append(event)
+        else:
+            by_kind[kind] = event
+    return by_kind
+
+
+REQ = SweepRequest(experiment="fig1", fast=True, seed=0, ns=[4096])
+
+
+class TestSweepService:
+    def test_second_submission_is_all_hits_and_byte_identical(self, service):
+        first = _collect(client.submit(REQ, port=service.port))
+        second = _collect(client.submit(REQ, port=service.port))
+
+        assert first["accepted"]["request_key"] == second["accepted"]["request_key"]
+        assert first["result"]["cache"]["misses"] > 0
+        assert all(p["status"] == "computed" for p in first["point"])
+
+        assert second["result"]["cache"]["misses"] == 0
+        assert second["point"], "second run streamed no point events"
+        assert all(p["status"] == "hit" for p in second["point"])
+        assert second["result"]["cache"]["hits"] == len(second["point"])
+
+        blob1 = json.dumps(first["result"]["payload"], sort_keys=True)
+        blob2 = json.dumps(second["result"]["payload"], sort_keys=True)
+        assert blob1 == blob2
+
+    def test_jobs_do_not_change_identity_or_payload(self, service):
+        first = _collect(client.submit(REQ, port=service.port))
+        req4 = SweepRequest(experiment="fig1", fast=True, seed=0, ns=[4096], jobs=4)
+        second = _collect(client.submit(req4, port=service.port))
+        assert first["accepted"]["request_key"] == second["accepted"]["request_key"]
+        assert second["result"]["cache"]["misses"] == 0
+        assert json.dumps(first["result"]["payload"], sort_keys=True) == json.dumps(
+            second["result"]["payload"], sort_keys=True
+        )
+
+    def test_ping_and_stats(self, service):
+        pong = client.ping(port=service.port)
+        assert pong["event"] == "pong" and "fig1" in pong["experiments"]
+        _collect(client.submit(REQ, port=service.port))
+        st = client.stats(port=service.port)
+        assert st["store"]["objects"] > 0
+        assert st["counters"]["misses"] > 0
+        assert st["requests_served"] == 1
+
+    def test_unknown_experiment_is_an_error_event(self, service):
+        bad = SweepRequest(experiment="fig99")
+        with pytest.raises(ServiceError, match="unknown experiment"):
+            list(client.submit(bad, port=service.port))
+        # The connection error did not kill the server.
+        assert client.ping(port=service.port)["event"] == "pong"
+
+    def test_malformed_request_is_an_error_event(self, service):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", service.port), timeout=5) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(b"this is not json\n")
+            fh.flush()
+            reply = json.loads(fh.readline())
+        assert reply["event"] == "error"
+
+    def test_protocol_mismatch_rejected(self, service):
+        import socket
+
+        with socket.create_connection(("127.0.0.1", service.port), timeout=5) as sock:
+            fh = sock.makefile("rwb")
+            fh.write(json.dumps({"protocol": 99, "cmd": "ping"}).encode() + b"\n")
+            fh.flush()
+            reply = json.loads(fh.readline())
+        assert reply["event"] == "error" and "protocol" in reply["message"]
+
+
+class TestRequestShape:
+    def test_payload_roundtrip(self):
+        req = SweepRequest("fig2", fast=False, seed=3, jobs=2, ns=[10, 20])
+        assert SweepRequest.from_payload(req.to_payload()) == req
+
+    def test_missing_experiment_rejected(self):
+        with pytest.raises(ValueError, match="experiment"):
+            SweepRequest.from_payload({"seed": 1})

@@ -1,0 +1,229 @@
+"""Unit tests for repro.store: canonical keys, the CAS, single-flight."""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.machine.config import MachineConfig
+from repro.store import (
+    ResultStore,
+    SingleFlight,
+    canonical,
+    digest,
+    point_key,
+    request_key,
+    task_digest,
+)
+
+
+# ----------------------------------------------------------------------
+# canonical / keys
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Cfg:
+    b: int
+    a: float
+
+
+class TestCanonical:
+    def test_scalars_pass_through(self):
+        assert canonical(None) is None
+        assert canonical(True) is True
+        assert canonical(7) == 7
+        assert canonical("x") == "x"
+
+    def test_float_uses_exact_hex(self):
+        assert canonical(0.1) == ["f", (0.1).hex()]
+        # Distinct floats that print alike still get distinct forms.
+        assert canonical(0.1 + 0.2) != canonical(0.3)
+
+    def test_dataclass_fields_sorted_by_name(self):
+        struct = canonical(_Cfg(b=2, a=1.0))
+        kind, name, items = struct
+        assert kind == "dc" and name.endswith("._Cfg")
+        assert [k for k, _ in items] == ["a", "b"]
+
+    def test_set_and_dict_order_independent(self):
+        assert canonical({3, 1, 2}) == canonical({2, 3, 1})
+        assert canonical({"b": 1, "a": 2}) == canonical({"a": 2, "b": 1})
+
+    def test_ndarray_content_addressed(self):
+        a = np.arange(8, dtype=np.int64)
+        b = np.arange(8, dtype=np.int64)
+        assert canonical(a) == canonical(b)
+        assert canonical(a) != canonical(a.astype(np.int32))
+        kind, dtype, shape, _ = canonical(a)
+        assert kind == "nd" and shape == [8]
+
+    def test_machine_config_is_canonicalisable(self):
+        assert canonical(MachineConfig(p=4)) == canonical(MachineConfig(p=4))
+        assert canonical(MachineConfig(p=4)) != canonical(MachineConfig(p=8))
+
+    def test_digest_is_stable_json(self):
+        assert digest(["x", 1]) == digest(["x", 1])
+        assert digest(["x", 1]) != digest(["x", 2])
+
+
+class TestPointKey:
+    def test_same_input_same_key(self):
+        assert point_key("f", (4096, 1)) == point_key("f", (4096, 1))
+
+    def test_fn_task_env_all_distinguish(self):
+        base = point_key("f", (4096, 1))
+        assert point_key("g", (4096, 1)) != base
+        assert point_key("f", (4096, 2)) != base
+        assert point_key("f", (4096, 1), env={"faults": "drop=0.1"}) != base
+
+    def test_version_salt_invalidates(self):
+        assert point_key("f", (1, 2), version=1) != point_key("f", (1, 2), version=2)
+
+    def test_request_key_sees_models(self):
+        a = request_key({"experiment": "fig1", "models": ["qsm-best"]})
+        b = request_key({"experiment": "fig1", "models": ["bsp-whp"]})
+        assert a != b
+
+    def test_task_digest_short_and_unsalted(self):
+        key = task_digest((4096, MachineConfig(p=4)))
+        assert len(key) == 16 and int(key, 16) >= 0
+        assert key == task_digest((4096, MachineConfig(p=4)))
+
+
+# ----------------------------------------------------------------------
+# CAS
+# ----------------------------------------------------------------------
+KEY = "ab" + "0" * 62
+KEY2 = "cd" + "1" * 62
+
+
+class TestResultStore:
+    def test_blob_roundtrip(self, tmp_path):
+        store = ResultStore(tmp_path / "cas")
+        assert store.get_blob(KEY) is None
+        assert store.put_blob(KEY, b"payload") is True
+        assert store.put_blob(KEY, b"payload") is False  # already present
+        assert store.get_blob(KEY) == b"payload"
+        assert KEY in store and KEY2 not in store
+
+    def test_malformed_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "cas")
+        with pytest.raises(ValueError):
+            store.put_blob("../escape", b"x")
+
+    def test_no_temp_debris_after_put(self, tmp_path):
+        store = ResultStore(tmp_path / "cas")
+        store.put_blob(KEY, b"x" * 100)
+        names = [p.name for p in (tmp_path / "cas" / "objects").rglob("*") if p.is_file()]
+        assert names == [f"{KEY}.bin"]
+
+    def test_corrupt_object_quarantined_and_missed(self, tmp_path):
+        store = ResultStore(tmp_path / "cas")
+        store.put_blob(KEY, b"payload-bytes")
+        path = store._path(KEY)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.get_blob(KEY) is None
+        assert not path.exists()
+        assert path.with_suffix(".corrupt").exists()
+        assert store.stats().corrupt == 1
+        # The key is writable again after quarantine.
+        assert store.put_blob(KEY, b"payload-bytes") is True
+        assert store.get_blob(KEY) == b"payload-bytes"
+
+    def test_capture_roundtrip_numpy(self, tmp_path):
+        store = ResultStore(tmp_path / "cas")
+        capture = ({"result": np.arange(5)}, [1, 2], None, {})
+        store.put_capture(KEY, capture)
+        out = store.get_capture(KEY)
+        np.testing.assert_array_equal(out[0]["result"], np.arange(5))
+        assert out[1:] == capture[1:]
+
+    def test_stats_and_keys(self, tmp_path):
+        store = ResultStore(tmp_path / "cas")
+        store.put_blob(KEY, b"aaaa")
+        store.put_blob(KEY2, b"bbbb")
+        st = store.stats()
+        assert st.objects == 2 and st.corrupt == 0 and st.total_bytes > 0
+        assert sorted(store.keys()) == sorted([KEY, KEY2])
+        assert json.loads(json.dumps(st.to_dict()))["objects"] == 2
+
+    def test_verify(self, tmp_path):
+        store = ResultStore(tmp_path / "cas")
+        store.put_blob(KEY, b"good")
+        store.put_blob(KEY2, b"bad")
+        path = store._path(KEY2)
+        path.write_bytes(b"not a header\ngarbage")
+        ok, bad = store.verify()
+        assert (ok, bad) == (1, 1)
+
+    def test_gc_age_and_budget(self, tmp_path):
+        store = ResultStore(tmp_path / "cas")
+        store.put_blob(KEY, b"a" * 10)
+        store.put_blob(KEY2, b"b" * 10)
+        old = time.time() - 1000
+        os.utime(store._path(KEY), (old, old))
+        removed = store.gc(max_age_seconds=500)
+        assert removed == 1 and KEY not in store and KEY2 in store
+        removed = store.gc(max_bytes=0)
+        assert removed == 1 and KEY2 not in store
+
+    def test_gc_sweeps_debris(self, tmp_path):
+        store = ResultStore(tmp_path / "cas")
+        store.put_blob(KEY, b"payload")
+        path = store._path(KEY)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.get_blob(KEY) is None  # quarantines
+        assert store.gc() == 1  # removes the .corrupt file
+        assert store.stats().corrupt == 0
+
+
+# ----------------------------------------------------------------------
+# single-flight
+# ----------------------------------------------------------------------
+class TestSingleFlight:
+    def test_leader_then_follower(self):
+        sf = SingleFlight()
+        assert sf.begin("k") is True
+        assert sf.begin("k") is False
+        assert sf.inflight() == 1
+        sf.finish("k")
+        assert sf.inflight() == 0
+        sf.finish("k")  # idempotent
+        assert sf.begin("k") is True  # reusable after finish
+        sf.finish("k")
+
+    def test_wait_without_flight_returns_immediately(self):
+        assert SingleFlight().wait("nothing") is True
+
+    def test_wait_timeout(self):
+        sf = SingleFlight()
+        sf.begin("k")
+        assert sf.wait("k", timeout=0.01) is False
+        sf.finish("k")
+
+    def test_follower_blocks_until_leader_finishes(self):
+        sf = SingleFlight()
+        sf.begin("k")
+        released = []
+
+        def follower():
+            sf.wait("k", timeout=5.0)
+            released.append(time.monotonic())
+
+        t = threading.Thread(target=follower)
+        t.start()
+        time.sleep(0.05)
+        assert not released
+        t0 = time.monotonic()
+        sf.finish("k")
+        t.join(timeout=5.0)
+        assert released and released[0] >= t0
