@@ -3,16 +3,21 @@
 
 PYTHON ?= python
 
-.PHONY: test check bench bench-smoke bench-obs bench-check bench-faults report trace-demo serve-demo
+.PHONY: test check check-phases bench bench-smoke bench-obs bench-check bench-faults report trace-demo serve-demo
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
 
-# Static determinism lint (repo must be clean) + a sanitizer-armed smoke
-# experiment; see docs/CHECKING.md.
-check:
+# Static determinism lint (repo must be clean), static phase-safety
+# proofs, and a sanitizer-armed smoke experiment; see docs/CHECKING.md.
+check: check-phases
 	PYTHONPATH=src $(PYTHON) -m repro.check.lint src/repro
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli run fig1 --fast --sanitize=error
+
+# Symbolic phase analyzer: every algorithm must prove QSM-phase-safe
+# and its symbolic cost profile must match repro.predict's closed forms.
+check-phases:
+	PYTHONPATH=src $(PYTHON) -m repro.check.phases src/repro/algorithms
 
 # Re-run the simulator performance benchmark (all three sync paths)
 # and fail if the fastest path's events/sec regressed >20% vs the

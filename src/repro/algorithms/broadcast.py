@@ -24,10 +24,12 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.common import log2ceil
+from repro.check.spec import phase_spec
 from repro.qsmlib import QSMMachine, RunConfig, RunResult, SharedArray
 from repro.util.validation import require
 
 
+@phase_spec(arrays={"B": "p"}, kappa="1")
 def flat_broadcast_program(ctx, B: SharedArray, value: int):
     """Root writes the value into every processor's slot: one phase."""
     p, pid = ctx.p, ctx.pid
@@ -40,6 +42,7 @@ def flat_broadcast_program(ctx, B: SharedArray, value: int):
     return int(ctx.local(B)[0])
 
 
+@phase_spec(arrays={"B": "p"}, kappa="1")
 def tree_broadcast_program(ctx, B: SharedArray, value: int):
     """Binomial-tree broadcast: ceil(log2 p) one-put phases.
 

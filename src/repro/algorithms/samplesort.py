@@ -32,6 +32,7 @@ from repro.algorithms.common import (
     profile_scan_add,
     profile_sort,
 )
+from repro.check.spec import phase_spec
 from repro.qsmlib import QSMMachine, RunConfig, RunResult, SharedArray
 from repro.util.validation import require
 
@@ -47,6 +48,7 @@ class SampleSortParams:
         return max(1, self.oversampling * log2ceil(max(n, 2)))
 
 
+@phase_spec(arrays={"S_in": "n", "S_out": "n"}, assume=("s >= 1",), algo="samplesort")
 def sample_sort_program(ctx, S_in: SharedArray, S_out: SharedArray, params: SampleSortParams):
     """SPMD body of the five-phase sample sort."""
     p, pid = ctx.p, ctx.pid
@@ -105,7 +107,7 @@ def sample_sort_program(ctx, S_in: SharedArray, S_out: SharedArray, params: Samp
     ctx.local(counts.array)[2 * pid : 2 * pid + 2] = pairs_out[pid]
     remote = np.arange(p) != pid
     slots = (np.arange(p) * (2 * p) + 2 * pid)[remote]
-    idx = np.column_stack((slots, slots + 1)).ravel()
+    idx = (slots[:, None] + np.arange(2)).ravel()
     ctx.put(counts.array, idx, pairs_out[remote].ravel())
     yield ctx.sync()
 

@@ -17,7 +17,14 @@ package enforces it twice:
 * a **static determinism lint** (:mod:`repro.check.lint`, runnable as
   ``python -m repro.check.lint src/repro``) that flags wall-clock and
   global-RNG use in model code, unordered iteration feeding event
-  ordering, premature get-handle reads, and general hygiene.
+  ordering, premature get-handle reads, and general hygiene;
+* a **static phase analyzer** (:mod:`repro.check.phases`, runnable as
+  ``python -m repro.check.phases src/repro/algorithms``) that proves
+  the same contract *symbolically for all p*: it splits each SPMD
+  program into phases at ``yield ctx.sync()``, abstracts every index
+  expression into an affine region over ``(p, pid, n, block)``, and
+  emits ``QSA###`` findings plus symbolic per-phase cost profiles
+  cross-checked against :mod:`repro.predict.sources`.
 
 Overhead contract
 -----------------
@@ -76,17 +83,24 @@ MODES = ("error", "warn")
 _SANITIZER: Optional[PhaseSanitizer] = None
 
 
-def arm(mode: str = "error") -> PhaseSanitizer:
+def arm(mode: str = "error", *, sanitizer: Optional[PhaseSanitizer] = None) -> PhaseSanitizer:
     """Arm the runtime sanitizer (fresh state).
 
     ``"error"`` raises :class:`SanitizerError` on the first
     error-severity diagnostic; ``"warn"`` records and reports every
-    diagnostic without raising.
+    diagnostic without raising.  A custom *sanitizer* instance (e.g. a
+    recording subclass, see :mod:`repro.check.validate`) may be
+    installed instead of a fresh :class:`PhaseSanitizer`; its ``mode``
+    is forced to *mode*.
     """
     global _SANITIZER
     if mode not in MODES:
         raise ValueError(f"sanitize mode must be one of {MODES}, got {mode!r}")
-    _SANITIZER = PhaseSanitizer(mode)
+    if sanitizer is None:
+        sanitizer = PhaseSanitizer(mode)
+    else:
+        sanitizer.mode = mode
+    _SANITIZER = sanitizer
     os.environ[ENV_VAR] = mode
     return _SANITIZER
 

@@ -1,0 +1,46 @@
+"""Shared diagnostic plumbing for the ``repro.check`` tool family.
+
+Both checkers that reason about QSM phase discipline — the runtime
+sanitizer (:mod:`repro.check.sanitizer`, ``QS###`` codes) and the
+static phase analyzer (:mod:`repro.check.phases`, ``QSA###`` codes) —
+report through the same frozen :class:`Diagnostic` record, so tooling
+that collects, pickles, filters or pretty-prints findings does not care
+which layer produced them.  The ``tool`` field distinguishes the
+producer and sets the ``[sanitize]`` / ``[phases]`` prefix of the
+rendered line; everything else (code, severity, provenance ``origins``)
+is shared vocabulary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = ["Diagnostic"]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One checker finding, with enough context to locate the bug."""
+
+    code: str
+    severity: str  # "error" | "warning" | "note"
+    message: str
+    phase: Optional[int] = None
+    array: Optional[str] = None
+    cells: Optional[str] = None
+    pids: Tuple[int, ...] = ()
+    #: ``"pid N @ file:line"`` provenance strings, one per involved request.
+    origins: Tuple[str, ...] = ()
+    #: Producer tag: ``"sanitize"`` (runtime) or ``"phases"`` (static).
+    tool: str = "sanitize"
+
+    def format(self) -> str:
+        parts = [f"[{self.tool}] {self.code} ({self.severity})"]
+        if self.phase is not None:
+            parts.append(f"phase {self.phase}")
+        parts.append(self.message)
+        out = " ".join(parts)
+        if self.origins:
+            out += "\n" + "\n".join(f"    enqueued by {o}" for o in self.origins)
+        return out

@@ -5,6 +5,9 @@ fixable subset is
 
 * **QL103** — an unordered ``set``/``frozenset()``/``.keys()``
   iterable is wrapped in ``sorted(...)`` in place;
+* **QL105** — a bare ``except:`` clause becomes
+  ``except Exception:`` (still broad, but no longer swallows
+  ``KeyboardInterrupt``/``SystemExit``);
 * **QL106** — a mutable default argument is replaced with ``None`` and
   a ``if <arg> is None: <arg> = <original>`` guard is inserted at the
   top of the body (after the docstring).
@@ -30,7 +33,7 @@ from repro.check.lint import Finding, lint_source
 __all__ = ["FIXABLE", "fix_source", "fix_file", "fix_paths"]
 
 #: Rules ``--fix`` knows how to patch.
-FIXABLE: Set[str] = {"QL103", "QL106"}
+FIXABLE: Set[str] = {"QL103", "QL105", "QL106"}
 
 #: One splice: replace ``source_bytes[start:end]`` with ``text``.
 #: ``seq`` breaks ties between same-offset insertions (guards for
@@ -71,6 +74,8 @@ class _FixCollector(ast.NodeVisitor):
         self.ql103: Dict[Tuple[int, int], ast.expr] = {}
         #: (line, col) of the default node -> (function node, arg name, default)
         self.ql106: Dict[Tuple[int, int], Tuple[ast.AST, str, ast.expr]] = {}
+        #: (line, col) of each bare ``except:`` handler
+        self.ql105: Dict[Tuple[int, int], ast.ExceptHandler] = {}
 
     # -- QL103 ----------------------------------------------------------
     def visit_For(self, node: ast.For) -> None:
@@ -91,6 +96,12 @@ class _FixCollector(ast.NodeVisitor):
                 flagged = True
         if flagged:
             self.ql103[(iter_node.lineno, iter_node.col_offset)] = iter_node
+
+    # -- QL105 ----------------------------------------------------------
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if node.type is None:
+            self.ql105[(node.lineno, node.col_offset)] = node
+        self.generic_visit(node)
 
     # -- QL106 ----------------------------------------------------------
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
@@ -180,6 +191,16 @@ def fix_source(
             edits.append((start, end, b"sorted(" + blob[start:end] + b")", seq))
             applied.append(finding)
             seq += 1
+        elif finding.code == "QL105" and site in collector.ql105:
+            handler = collector.ql105[site]
+            start = _abs_offset(starts, handler.lineno, handler.col_offset)
+            colon = blob.find(b":", start)
+            # The handler node starts at the ``except`` keyword; rewrite
+            # everything up to the clause colon, preserving the suite.
+            if blob[start : start + 6] == b"except" and colon != -1:
+                edits.append((start, colon, b"except Exception", seq))
+                applied.append(finding)
+                seq += 1
         elif finding.code == "QL106" and site in collector.ql106:
             func, name, default = collector.ql106[site]
             start, end = _node_span(starts, default)

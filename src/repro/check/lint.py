@@ -59,7 +59,7 @@ import re
 import sys
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 RULES: Dict[str, str] = {
     "QL101": "wall-clock call in model code (simulated time must come from the DES clock)",
@@ -377,31 +377,66 @@ class _FileLinter(ast.NodeVisitor):
                 return is_ctx_get(value.elt)
             return False
 
+        def bind_name(name: str, value: ast.AST) -> None:
+            if holds_handle(value) or (
+                isinstance(value, ast.Subscript)
+                and isinstance(value.value, ast.Name)
+                and value.value.id in containers
+            ):
+                tracked.add(name)
+                containers.discard(name)
+            elif is_handle_collection(value):
+                containers.add(name)
+                tracked.discard(name)
+            else:
+                tracked.discard(name)
+                containers.discard(name)
+
+        def bind_attr(target: ast.Attribute, value: ast.AST) -> None:
+            dotted = _dotted(target)
+            if dotted is not None:
+                if holds_handle(value):
+                    attrs.add(dotted)
+                else:
+                    attrs.discard(dotted)
+
         def update_assign(stmt: ast.Assign) -> None:
             value = stmt.value
             for target in stmt.targets:
                 if isinstance(target, ast.Name):
-                    name = target.id
-                    if holds_handle(value) or (
-                        isinstance(value, ast.Subscript)
-                        and isinstance(value.value, ast.Name)
-                        and value.value.id in containers
-                    ):
-                        tracked.add(name)
-                        containers.discard(name)
-                    elif is_handle_collection(value):
-                        containers.add(name)
-                        tracked.discard(name)
-                    else:
-                        tracked.discard(name)
-                        containers.discard(name)
+                    bind_name(target.id, value)
                 elif isinstance(target, ast.Attribute):
-                    dotted = _dotted(target)
-                    if dotted is not None:
-                        if holds_handle(value):
-                            attrs.add(dotted)
-                        else:
-                            attrs.discard(dotted)
+                    bind_attr(target, value)
+                elif isinstance(target, (ast.Tuple, ast.List)):
+                    # Tuple assignment / unpacking: ``h, x = ctx.get(...), y``
+                    # binds element-wise; ``a, b = handles`` binds every
+                    # plain name to a handle when the RHS is a container.
+                    elts = target.elts
+                    if (
+                        isinstance(value, (ast.Tuple, ast.List))
+                        and len(value.elts) == len(elts)
+                        and not any(isinstance(t, ast.Starred) for t in elts)
+                    ):
+                        for t, v in zip(elts, value.elts):
+                            if isinstance(t, ast.Name):
+                                bind_name(t.id, v)
+                            elif isinstance(t, ast.Attribute):
+                                bind_attr(t, v)
+                    elif isinstance(value, ast.Name) and value.id in containers:
+                        for t in elts:
+                            if isinstance(t, ast.Starred):
+                                if isinstance(t.value, ast.Name):
+                                    containers.add(t.value.id)
+                                    tracked.discard(t.value.id)
+                            elif isinstance(t, ast.Name):
+                                tracked.add(t.id)
+                                containers.discard(t.id)
+                    else:
+                        for t in elts:
+                            inner = t.value if isinstance(t, ast.Starred) else t
+                            if isinstance(inner, ast.Name):
+                                tracked.discard(inner.id)
+                                containers.discard(inner.id)
 
         def update_expr_stmt(value: ast.AST) -> None:
             # handles.append(ctx.get(...)) and friends mark the target
@@ -525,6 +560,54 @@ def lint_paths(
     return findings
 
 
+def _baseline_key(finding: Finding) -> str:
+    """Line-insensitive identity used for baseline matching.
+
+    Keyed on ``path:code:message`` so unrelated edits that shift line
+    numbers do not invalidate a recorded baseline; duplicate keys are
+    handled by count.
+    """
+    return f"{Path(finding.path).as_posix()}:{finding.code}:{finding.message}"
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[str, int]:
+    """Read a baseline file into a ``key -> count`` budget."""
+    payload = json.loads(Path(path).read_text())
+    counts = payload.get("findings", {})
+    return {str(k): int(v) for k, v in counts.items()}
+
+
+def write_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> None:
+    """Record *findings* as the accepted baseline at *path*."""
+    counts: Dict[str, int] = {}
+    for f in findings:
+        key = _baseline_key(f)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {"version": 1, "findings": dict(sorted(counts.items()))}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[str, int]
+) -> Tuple[List[Finding], int]:
+    """Split findings into (new, suppressed-count) against *baseline*.
+
+    Each baseline key suppresses at most its recorded count, so adding
+    a second instance of an already-baselined problem still fails.
+    """
+    budget = dict(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for f in findings:
+        key = _baseline_key(f)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(f)
+    return fresh, suppressed
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.check.lint",
@@ -542,6 +625,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--list-rules", action="store_true", help="print the rule catalog")
     parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in FILE; only new findings fail "
+        "(create FILE with --update-baseline)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the --baseline file with the current findings and exit 0",
+    )
+    parser.add_argument(
         "--fix",
         action="store_true",
         help="patch the fixable findings (QL103: wrap in sorted(...); QL106: "
@@ -555,6 +649,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
     if not args.paths:
         parser.error("no paths given (try: python -m repro.check.lint src/repro)")
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline FILE")
 
     if args.fix:
         from repro.check.fixes import fix_paths
@@ -572,6 +668,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.select:
         wanted = {c.strip().upper() for c in args.select.split(",") if c.strip()}
         findings = [f for f in findings if f.code in wanted]
+
+    if args.baseline:
+        if args.update_baseline:
+            write_baseline(args.baseline, findings)
+            print(
+                f"[baseline: recorded {len(findings)} finding(s) in {args.baseline}]",
+                file=sys.stderr,
+            )
+            return 0
+        try:
+            baseline = load_baseline(args.baseline)
+        except OSError as exc:
+            print(
+                f"cannot read baseline {args.baseline}: {exc} "
+                "(create it with --update-baseline)",
+                file=sys.stderr,
+            )
+            return 2
+        findings, suppressed = apply_baseline(findings, baseline)
+        if suppressed:
+            print(
+                f"[baseline: suppressed {suppressed} pre-existing finding(s)]",
+                file=sys.stderr,
+            )
 
     if args.json:
         print(json.dumps([f.to_dict() for f in findings], indent=2))

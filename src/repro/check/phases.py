@@ -1,0 +1,2092 @@
+"""Symbolic SPMD phase analyzer: prove QSM phase-safety statically.
+
+``python -m repro.check.phases src/repro/algorithms`` symbolically
+executes every ``*_program`` generator it finds, splits the body into
+phases at ``yield ctx.sync()``, abstracts each ``ctx.put`` / ``ctx.get``
+/ ``ctx.get_range`` / ``ctx.local`` index expression into an affine
+index region over ``(p, pid, n, block)`` (see
+:mod:`repro.check.symbolic`), and decides the QSM phase contract for
+**all** processor counts at once:
+
+``QSA001`` (error)
+    two processors may write the same cell in one phase
+    (cross-pid write-write overlap, the static face of ``QS001``);
+``QSA002`` (error)
+    a processor may read (``get``) a cell another processor writes in
+    the same phase (the "consume only after sync" rule, cf. ``QS002``);
+``QSA003`` (error)
+    the symbolic per-phase contention κ provably exceeds the bound the
+    program declares via ``@phase_spec(kappa=...)``;
+``QSA004`` (error)
+    an index region provably escapes the array extent (cf. ``QS004``);
+``QSA005`` (note)
+    an index expression is not statically affine (data-dependent
+    traffic) or a proof obligation is undecided — deferred to the
+    runtime sanitizer.
+
+Errors are only reported when they are *witnessed*: an undecided
+obligation becomes an error only if a concrete small configuration
+``(p, n, pids, ...)`` exhibiting the overlap is found, otherwise it
+degrades to a ``QSA005`` note.  Findings carry the same
+``file:line`` provenance the runtime sanitizer attaches to its
+diagnostics, and honour ``# qsa: disable=QSA00N`` line suppressions.
+
+Beyond safety, the analyzer derives a symbolic per-phase cost profile —
+``n_syncs``, put/get word counts and κ as polynomials in ``p``, ``n``
+and opaque auxiliaries — and cross-checks it against the closed forms
+declared in :data:`repro.predict.sources.SYMBOLIC`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import itertools
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.check.diagnostics import Diagnostic
+from repro.check.symbolic import (
+    ONE,
+    PID,
+    ZERO,
+    Expr,
+    Guard,
+    ProofContext,
+    QVar,
+    Region,
+    cross_pid_disjoint,
+    region_injective,
+    region_within,
+    same_pid_disjoint,
+)
+
+__all__ = [
+    "Access",
+    "ArrayInfo",
+    "LoopNode",
+    "OpaqueSym",
+    "PhaseNode",
+    "ProgramAnalyzer",
+    "ProgramReport",
+    "analyze_file",
+    "analyze_paths",
+    "main",
+    "parse_expr_str",
+]
+
+P = Expr.sym("p")
+N = Expr.sym("n")
+PIDE = Expr.sym(PID)
+
+#: ``# qsa: disable=QSA001,QSA004`` suppression comments.
+_SUPPRESS_RE = re.compile(r"#\s*qsa:\s*disable=([A-Z0-9_,\s]+)")
+
+
+# ----------------------------------------------------------------------
+# Tiny expression-string parser (spec extents, SYMBOLIC cross-check)
+# ----------------------------------------------------------------------
+def parse_expr_str(text: str) -> Expr:
+    """Parse ``"4*T + 5"``-style strings into an exact :class:`Expr`."""
+    node = ast.parse(text, mode="eval").body
+    return _expr_from_node(node)
+
+
+def _expr_from_node(node: ast.expr) -> Expr:
+    if isinstance(node, ast.Constant) and isinstance(node.value, int):
+        return Expr.const(node.value)
+    if isinstance(node, ast.Name):
+        return Expr.sym(node.id)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return -_expr_from_node(node.operand)
+    if isinstance(node, ast.BinOp):
+        left, right = _expr_from_node(node.left), _expr_from_node(node.right)
+        if isinstance(node.op, ast.Add):
+            return left + right
+        if isinstance(node.op, ast.Sub):
+            return left - right
+        if isinstance(node.op, ast.Mult):
+            return left * right
+    raise ValueError(f"unsupported symbolic expression: {ast.unparse(node)}")
+
+
+# ----------------------------------------------------------------------
+# Abstract values
+# ----------------------------------------------------------------------
+class _Singleton:
+    def __init__(self, tag: str) -> None:
+        self.tag = tag
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.tag}>"
+
+
+#: Value the analyzer cannot reason about (data-dependent).
+VUNKNOWN = _Singleton("unknown")
+#: Abstract ``None``.
+VNONE = _Singleton("none")
+
+
+@dataclass
+class VInt:
+    """A (symbolic) integer scalar."""
+
+    expr: Expr
+
+
+@dataclass
+class VRegion:
+    """An integer index vector abstracted as an affine region."""
+
+    region: Region
+
+
+@dataclass
+class VMask:
+    """Boolean mask ``positions != exclude`` over an identity region."""
+
+    region: Region
+    exclude: Expr
+
+
+@dataclass
+class ArrayInfo:
+    """Everything the analyzer knows about one shared array."""
+
+    name: str
+    extent: Optional[Expr]
+    block: Optional[Expr]  # per-processor block size (BLOCKED layout)
+    layout: str = "blocked"  # "blocked" | "root"
+
+
+@dataclass
+class VArray:
+    info: ArrayInfo
+
+
+@dataclass
+class VAllocRef:
+    """Result of ``ctx.alloc`` — ``.array`` resolves to the array."""
+
+    info: ArrayInfo
+
+
+@dataclass
+class VLocal:
+    """A ``ctx.local(arr)`` view of this pid's block."""
+
+    info: ArrayInfo
+
+
+@dataclass
+class VTuple:
+    items: Tuple[Any, ...]
+
+
+@dataclass
+class VList:
+    """A list; ``item`` is the join of every element ever appended."""
+
+    item: Any = None
+
+
+@dataclass
+class VObj:
+    """An opaque named object (modules, params, ctx attributes)."""
+
+    name: str
+
+
+def join(a: Any, b: Any) -> Any:
+    """Sound join of two abstract values (control-flow merge)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a is VNONE:
+        return b
+    if b is VNONE:
+        return a
+    if isinstance(a, VInt) and isinstance(b, VInt) and a.expr == b.expr:
+        return a
+    if isinstance(a, VRegion) and isinstance(b, VRegion) and a.region == b.region:
+        return a
+    if (
+        isinstance(a, (VArray, VAllocRef, VLocal))
+        and type(a) is type(b)
+        and a.info is b.info
+    ):
+        return a
+    if isinstance(a, VObj) and isinstance(b, VObj) and a.name == b.name:
+        return a
+    if isinstance(a, VTuple) and isinstance(b, VTuple) and len(a.items) == len(b.items):
+        return VTuple(tuple(join(x, y) for x, y in zip(a.items, b.items)))
+    if isinstance(a, VList) and isinstance(b, VList):
+        return VList(join(a.item, b.item))
+    return VUNKNOWN
+
+
+# ----------------------------------------------------------------------
+# Phase tree
+# ----------------------------------------------------------------------
+@dataclass
+class Access:
+    """One abstracted shared-memory access."""
+
+    kind: str  # "put" | "get" | "local_write"
+    array: str
+    info: Optional[ArrayInfo]
+    region: Optional[Region]
+    guards: Tuple[Guard, ...]
+    line: int
+    origin: str  # "path:line", matching the runtime sanitizer format
+    reason: str = ""  # why region is None
+    #: How many times the enqueue runs per phase (None = data-dependent).
+    multiplier: Optional[Expr] = ONE
+
+
+@dataclass
+class PhaseNode:
+    """Statements between two ``yield ctx.sync()`` boundaries."""
+
+    accesses: List[Access] = field(default_factory=list)
+    charges: List[str] = field(default_factory=list)
+    synced: bool = False
+    sync_line: Optional[int] = None
+
+
+@dataclass
+class LoopNode:
+    """A counted loop whose body contains phase boundaries."""
+
+    count: Optional[Expr]
+    var: Optional[str]
+    order: str  # "fwd" | "rev"
+    body: List[Any] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class OpaqueSym:
+    """A stable but non-affine value modeled as a fresh symbol."""
+
+    name: str
+    origin: str  # python source text; evaluable by the validator
+    floor: int = 0
+    #: For block-size symbols: the array extent this is ceil(extent/p) of.
+    derive_extent: Optional[Expr] = None
+
+
+@dataclass
+class SpecInfo:
+    """Parsed ``@phase_spec`` contract (parsed statically from the AST)."""
+
+    arrays: Dict[str, Expr] = field(default_factory=dict)
+    kappa: Optional[Expr] = None
+    assume: List[Expr] = field(default_factory=list)  # each fact: expr >= 0
+    algo: Optional[str] = None
+    declared: bool = False
+
+
+def _spec_from_decorators(fn: ast.FunctionDef) -> SpecInfo:
+    spec = SpecInfo()
+    for dec in fn.decorator_list:
+        if not isinstance(dec, ast.Call):
+            continue
+        func = dec.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+        if name != "phase_spec":
+            continue
+        spec.declared = True
+        for kw in dec.keywords:
+            try:
+                value = ast.literal_eval(kw.value)
+            except (ValueError, SyntaxError):
+                continue
+            if kw.arg == "arrays" and isinstance(value, dict):
+                for aname, ext in value.items():
+                    spec.arrays[str(aname)] = parse_expr_str(str(ext))
+            elif kw.arg == "kappa" and value is not None:
+                spec.kappa = parse_expr_str(str(value))
+            elif kw.arg == "algo" and value is not None:
+                spec.algo = str(value)
+            elif kw.arg == "assume":
+                for fact in value:
+                    lhs, _, rhs = str(fact).partition(">=")
+                    if rhs:
+                        spec.assume.append(
+                            parse_expr_str(lhs.strip()) - parse_expr_str(rhs.strip())
+                        )
+    return spec
+
+
+def _suppressions(source_lines: Sequence[str]) -> Dict[int, Set[str]]:
+    out: Dict[int, Set[str]] = {}
+    for i, line in enumerate(source_lines, start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m:
+            out[i] = {c.strip() for c in m.group(1).split(",") if c.strip()}
+    return out
+
+
+def _contains_sync(nodes: Iterable[ast.AST]) -> bool:
+    for node in nodes:
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Yield)
+                and isinstance(sub.value, ast.Call)
+                and isinstance(sub.value.func, ast.Attribute)
+                and sub.value.func.attr == "sync"
+            ):
+                return True
+    return False
+
+
+def _is_sync_stmt(stmt: ast.stmt) -> bool:
+    return (
+        isinstance(stmt, ast.Expr)
+        and isinstance(stmt.value, ast.Yield)
+        and isinstance(stmt.value.value, ast.Call)
+        and isinstance(stmt.value.value.func, ast.Attribute)
+        and stmt.value.value.func.attr == "sync"
+    )
+
+
+# ----------------------------------------------------------------------
+# The symbolic executor
+# ----------------------------------------------------------------------
+class ProgramAnalyzer:
+    """Abstractly execute one SPMD program and build its phase tree."""
+
+    def __init__(self, fn: ast.FunctionDef, path: str, source_lines: Sequence[str]):
+        self.fn = fn
+        self.path = path
+        self.relpath = os.path.relpath(path)
+        self.spec = _spec_from_decorators(fn)
+        self.arrays: Dict[str, ArrayInfo] = {}
+        self.opaques: Dict[str, OpaqueSym] = {}  # keyed by normalized origin
+        self.opaque_names: Set[str] = set()
+        self.lower: Dict[str, int] = {"p": 2, "n": 2}
+        self.conditions: List[Expr] = [N - P] + list(self.spec.assume)
+        self.notes: List[str] = []  # structure problems -> QSA005 notes
+        self.suppress = _suppressions(source_lines)
+        self.env: Dict[str, Any] = {}
+        self.top: List[Any] = []
+        self.sink: List[Any] = self.top
+        self.cur = PhaseNode()
+        self.guards: List[Guard] = []
+        self.pguards: List[Guard] = []  # persistent early-exit facts
+        self.mults: List[Optional[Expr]] = []
+        self.record = True
+        self.ignore_sync = False
+        self.stopped = False
+        self._fresh = 0
+        self._blocks = 0
+        self._pending_name: Optional[str] = None
+        self._pending_node: Optional[ast.AST] = None
+
+    # -- symbol plumbing ------------------------------------------------
+    def _fresh_qvar(self) -> str:
+        self._fresh += 1
+        return f"q{self._fresh}"
+
+    def _reserved(self) -> Set[str]:
+        return {"p", "n", PID} | self.opaque_names
+
+    def _opaque(self, node: ast.AST, floor: int = 0) -> VInt:
+        text = ast.unparse(node)
+        try:
+            text = ast.unparse(ast.parse(text, mode="eval").body)
+        except SyntaxError:
+            pass
+        if text in self.opaques:
+            return VInt(Expr.sym(self.opaques[text].name))
+        name = None
+        if node is self._pending_node and self._pending_name:
+            cand = self._pending_name
+            if cand.isidentifier() and cand not in self._reserved():
+                name = cand
+        if name is None:
+            name = f"v{len(self.opaques)}"
+            while name in self._reserved():
+                name += "_"
+        sym = OpaqueSym(name=name, origin=text, floor=floor)
+        self.opaques[text] = sym
+        self.opaque_names.add(name)
+        self.lower[name] = floor
+        return VInt(Expr.sym(name))
+
+    def _register_array(self, name: str, extent: Optional[Expr], layout: str = "blocked") -> ArrayInfo:
+        if name in self.arrays:
+            return self.arrays[name]
+        block: Optional[Expr] = None
+        if extent is not None:
+            if layout == "root":
+                block = extent
+            else:
+                q, r = extent.split_divisible(P)
+                if not r.terms and self.base_ctx().prove_pos(q):
+                    block = q  # extent divides exactly: block == extent/p
+                else:
+                    origin = f"-(-({extent.render()}) // p)"
+                    prior = self.opaques.get(origin)
+                    if prior is not None:
+                        block = Expr.sym(prior.name)  # same extent: same block
+                    else:
+                        self._blocks += 1
+                        bname = "blk" if self._blocks == 1 else f"blk{self._blocks}"
+                        while bname in self._reserved():
+                            bname += "_"
+                        sym = OpaqueSym(
+                            name=bname,
+                            origin=origin,
+                            floor=1,
+                            derive_extent=extent,
+                        )
+                        self.opaques[origin] = sym
+                        self.opaque_names.add(bname)
+                        self.lower[bname] = 1
+                        block = Expr.sym(bname)
+                        # ceil semantics: p*blk >= extent, p*blk <= extent+p-1
+                        self.conditions.append(P * block - extent)
+                        self.conditions.append(extent + P - 1 - P * block)
+        info = ArrayInfo(name=name, extent=extent, block=block, layout=layout)
+        self.arrays[name] = info
+        return info
+
+    # -- proof contexts -------------------------------------------------
+    def base_ctx(self) -> ProofContext:
+        return ProofContext(
+            lower_bounds=dict(self.lower),
+            conditions=list(self.conditions),
+            default_floor=0,
+        )
+
+    def pid_ctx(self) -> ProofContext:
+        ctx = self.base_ctx()
+        ctx.bounded[PID] = (ZERO, P - 1)
+        return ctx
+
+    def cur_ctx(self) -> ProofContext:
+        return self.pid_ctx().with_guards(self.pguards + self.guards)
+
+    # -- entry ----------------------------------------------------------
+    def run(self) -> None:
+        args = self.fn.args
+        names = [a.arg for a in args.args + args.posonlyargs + args.kwonlyargs]
+        for i, name in enumerate(names):
+            if i == 0:
+                self.env[name] = VObj("ctx")
+            elif name in self.spec.arrays:
+                self.env[name] = VArray(self._register_array(name, self.spec.arrays[name]))
+            else:
+                self.env[name] = VObj(name)
+        self.exec_body(self.fn.body)
+        if self.cur.accesses or self.cur.charges:
+            self.sink.append(self.cur)
+        self.cur = PhaseNode()
+
+    # -- statements -----------------------------------------------------
+    def exec_body(self, stmts: Sequence[ast.stmt]) -> None:
+        for stmt in stmts:
+            if self.stopped:
+                break
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: ast.stmt) -> None:
+        if _is_sync_stmt(stmt):
+            self._sync(stmt.lineno)
+            return
+        if isinstance(stmt, ast.Expr):
+            value = stmt.value
+            if isinstance(value, ast.Yield):
+                if value.value is not None:
+                    self.eval(value.value)
+                return
+            self.eval(value)
+        elif isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            self.exec_assign(stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            self.exec_augassign(stmt)
+        elif isinstance(stmt, ast.If):
+            self.exec_if(stmt)
+        elif isinstance(stmt, ast.For):
+            self.exec_for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._note(f"line {stmt.lineno}: while loop analyzed once (unsupported trip count)")
+            if _contains_sync(stmt.body):
+                self._note(f"line {stmt.lineno}: sync inside while loop ignored")
+                old = self.ignore_sync
+                self.ignore_sync = True
+                self._run_data_loop(stmt.body, None)
+                self.ignore_sync = old
+            else:
+                self._run_data_loop(stmt.body, None)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.eval(stmt.value)
+            self.stopped = True
+        elif isinstance(stmt, ast.With):
+            self.exec_body(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.finalbody)
+        elif isinstance(stmt, (ast.Raise, ast.Pass, ast.Break, ast.Continue,
+                               ast.Assert, ast.Delete, ast.Import, ast.ImportFrom,
+                               ast.Global, ast.Nonlocal)):
+            pass
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            self._note(f"line {stmt.lineno}: nested definition not analyzed")
+        else:
+            self._note(f"line {stmt.lineno}: unsupported statement {type(stmt).__name__}")
+
+    def _note(self, msg: str) -> None:
+        if self.record and msg not in self.notes:
+            self.notes.append(msg)
+
+    def _sync(self, line: int) -> None:
+        if self.ignore_sync:
+            return
+        if self.guards:
+            self._note(f"line {line}: sync under a condition breaks phase congruence")
+            return
+        self.cur.synced = True
+        self.cur.sync_line = line
+        self.sink.append(self.cur)
+        self.cur = PhaseNode()
+
+    # -- assignment -----------------------------------------------------
+    def exec_assign(self, stmt) -> None:
+        value_node = stmt.value
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        if value_node is None:  # bare annotation
+            return
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            self._pending_name = targets[0].id
+            self._pending_node = value_node
+        val = self.eval(value_node)
+        self._pending_name = None
+        self._pending_node = None
+        for target in targets:
+            self.assign_target(target, val, stmt.lineno)
+
+    def assign_target(self, target: ast.expr, val: Any, line: int) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = val
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            elts = target.elts
+            if isinstance(val, VTuple) and len(val.items) == len(elts):
+                for t, v in zip(elts, val.items):
+                    self.assign_target(t, v, line)
+            else:
+                for t in elts:
+                    self.assign_target(t, VUNKNOWN, line)
+        elif isinstance(target, ast.Subscript):
+            base = self.eval(target.value)
+            if isinstance(base, VLocal):
+                self._local_write(base.info, target.slice, line)
+            # stores into plain ndarrays/objects carry no shared state
+        elif isinstance(target, ast.Starred):
+            self.assign_target(target.value, VUNKNOWN, line)
+
+    def exec_augassign(self, stmt: ast.AugAssign) -> None:
+        self.eval(stmt.value)
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            cur = self.env.get(target.id)
+            if isinstance(cur, VLocal):
+                self._local_write(cur.info, None, stmt.lineno)
+            elif isinstance(cur, VInt) and isinstance(stmt.op, (ast.Add, ast.Sub, ast.Mult)):
+                self.env[target.id] = VUNKNOWN
+            else:
+                self.env[target.id] = VUNKNOWN
+        elif isinstance(target, ast.Subscript):
+            base = self.eval(target.value)
+            if isinstance(base, VLocal):
+                self._local_write(base.info, target.slice, stmt.lineno)
+
+    def _local_write(self, info: ArrayInfo, slice_node: Optional[ast.expr], line: int) -> None:
+        """Record a write through a ``ctx.local`` view as a global region."""
+        if info.block is None:
+            self._record("local_write", info, None, line, reason="unknown array extent")
+            return
+        offset = ZERO if info.layout == "root" else PIDE * info.block
+        full = Region(base=offset, qvars=(QVar(self._fresh_qvar(), ONE, ZERO, info.block - 1),))
+        region: Optional[Region] = full
+        if slice_node is not None:
+            if isinstance(slice_node, ast.Slice):
+                lo = self.eval(slice_node.lower) if slice_node.lower else VInt(ZERO)
+                hi = self.eval(slice_node.upper) if slice_node.upper else VInt(info.block)
+                if slice_node.step is None and isinstance(lo, VInt) and isinstance(hi, VInt):
+                    width = hi.expr - lo.expr
+                    region = Region(
+                        base=offset + lo.expr,
+                        qvars=(QVar(self._fresh_qvar(), ONE, ZERO, width - 1),),
+                    )
+                else:
+                    region = full  # over-approximate odd slices by the block
+            else:
+                idx = self.eval(slice_node)
+                if isinstance(idx, VInt):
+                    region = Region(base=offset + idx.expr)
+                elif isinstance(idx, VRegion):
+                    region = idx.region.shift(offset)
+                else:
+                    region = full  # data-dependent scatter: whole block
+        self._record("local_write", info, region, line)
+
+    # -- conditionals ---------------------------------------------------
+    def exec_if(self, stmt: ast.If) -> None:
+        decision, gt, gf = self.eval_cond(stmt.test)
+        if decision == "true":
+            self._exec_guarded(stmt.body, gt)
+            return
+        if decision == "false":
+            self._exec_guarded(stmt.orelse, gf)
+            return
+        ends_t = bool(stmt.body) and isinstance(stmt.body[-1], (ast.Return, ast.Raise))
+        ends_f = bool(stmt.orelse) and isinstance(stmt.orelse[-1], (ast.Return, ast.Raise))
+        snapshot = dict(self.env)
+        stopped0 = self.stopped
+        self._exec_guarded(stmt.body, gt)
+        env_t, stopped_t = self.env, self.stopped
+        self.env, self.stopped = dict(snapshot), stopped0
+        self._exec_guarded(stmt.orelse, gf)
+        env_f, stopped_f = self.env, self.stopped
+        ends_t = ends_t or stopped_t
+        ends_f = ends_f or stopped_f
+        if ends_t and ends_f:
+            self.stopped = True
+            return
+        self.stopped = stopped0
+        if ends_t:
+            self.env = env_f
+            self.pguards.extend(gf)
+        elif ends_f:
+            self.env = env_t
+            self.pguards.extend(gt)
+        else:
+            merged: Dict[str, Any] = {}
+            for key in set(env_t) | set(env_f):
+                merged[key] = join(env_t.get(key), env_f.get(key))
+            self.env = merged
+
+    def _exec_guarded(self, body: Sequence[ast.stmt], guards: List[Guard]) -> None:
+        if not body:
+            return
+        if _contains_sync(body):
+            self._note(
+                f"line {body[0].lineno}: sync under a condition breaks phase congruence"
+            )
+        self.guards.extend(guards)
+        try:
+            self.exec_body(body)
+        finally:
+            del self.guards[len(self.guards) - len(guards):]
+
+    def eval_cond(self, test: ast.expr) -> Tuple[str, List[Guard], List[Guard]]:
+        """Evaluate a branch condition -> (decision, true-guards, false-guards)."""
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            dec, gt, gf = self.eval_cond(test.operand)
+            flip = {"true": "false", "false": "true", "both": "both"}[dec]
+            return flip, gf, gt
+        if isinstance(test, ast.BoolOp):
+            decs, gts, gfs = [], [], []
+            for sub in test.values:
+                d, t, f = self.eval_cond(sub)
+                decs.append(d)
+                gts.extend(t)
+                gfs.extend(f)
+            if isinstance(test.op, ast.And):
+                if all(d == "true" for d in decs):
+                    return "true", gts, []
+                if any(d == "false" for d in decs):
+                    return "false", [], []
+                return "both", gts, []
+            if all(d == "false" for d in decs):
+                return "false", [], gfs
+            if any(d == "true" for d in decs):
+                return "true", [], []
+            return "both", [], gfs
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            op = test.ops[0]
+            left = self.eval(test.left)
+            right = self.eval(test.comparators[0])
+            if isinstance(op, (ast.Is, ast.IsNot)):
+                is_none = (
+                    isinstance(test.comparators[0], ast.Constant)
+                    and test.comparators[0].value is None
+                )
+                if is_none and left is VNONE:
+                    return ("true", [], []) if isinstance(op, ast.Is) else ("false", [], [])
+                return "both", [], []
+            if isinstance(left, VInt) and isinstance(right, VInt):
+                a, b = left.expr, right.expr
+                if isinstance(op, ast.Lt):
+                    gt, gf = [Guard(b - a - 1, "ge0")], [Guard(a - b, "ge0")]
+                elif isinstance(op, ast.LtE):
+                    gt, gf = [Guard(b - a, "ge0")], [Guard(a - b - 1, "ge0")]
+                elif isinstance(op, ast.Gt):
+                    gt, gf = [Guard(a - b - 1, "ge0")], [Guard(b - a, "ge0")]
+                elif isinstance(op, ast.GtE):
+                    gt, gf = [Guard(a - b, "ge0")], [Guard(b - a - 1, "ge0")]
+                elif isinstance(op, ast.Eq):
+                    gt, gf = [Guard(a - b, "eq0")], []
+                elif isinstance(op, ast.NotEq):
+                    gt, gf = [], [Guard(a - b, "eq0")]
+                else:
+                    return "both", [], []
+                ctx = self.cur_ctx()
+                diff = a - b
+                if isinstance(op, ast.Eq) and not diff.terms:
+                    return "true", gt, gf
+                if gt and gt[0].op == "ge0" and ctx.prove_nonneg(gt[0].expr):
+                    return "true", gt, gf
+                if gf and gf[0].op == "ge0" and ctx.prove_nonneg(gf[0].expr):
+                    return "false", gt, gf
+                return "both", gt, gf
+            return "both", [], []
+        val = self.eval(test)
+        if isinstance(val, VInt):
+            ctx = self.cur_ctx()
+            if ctx.prove_pos(val.expr):
+                return "true", [], []
+            if not val.expr.terms:
+                return "false", [], []
+            return "both", [Guard(val.expr - 1, "ge0")], [Guard(-val.expr, "ge0")]
+        if isinstance(val, VRegion):
+            cnt = val.region.count()
+            if self.cur_ctx().prove_pos(cnt):
+                return "true", [], []
+            return "both", [], []
+        if val is VNONE:
+            return "false", [], []
+        return "both", [], []
+
+    # -- loops ----------------------------------------------------------
+    def exec_for(self, stmt: ast.For) -> None:
+        count, var, order = self._loop_iter(stmt.iter)
+        if not _contains_sync(stmt.body):
+            self._bind_loop_targets(stmt.target)
+            self._run_data_loop(stmt.body, count)
+            return
+        # Syncful loop: every iteration contributes its own phases.
+        if self.guards:
+            self._note(f"line {stmt.lineno}: loop with sync under a condition")
+        entry_env = dict(self.env)
+        # Pass 1: reach an environment fixpoint without recording.
+        rec0, sink0, cur0 = self.record, self.sink, self.cur
+        self.record = False
+        self.sink, self.cur = [], PhaseNode()
+        self._bind_loop_targets(stmt.target)
+        self.exec_body(stmt.body)
+        env1 = self.env
+        merged: Dict[str, Any] = {}
+        for key in set(entry_env) | set(env1):
+            merged[key] = join(entry_env.get(key), env1.get(key))
+        self.env = merged
+        self.record, self.sink, self.cur = rec0, sink0, cur0
+        # Pass 2: record one symbolic iteration under the joined env.
+        preload = self.cur
+        body_sink: List[Any] = []
+        self.sink, self.cur = body_sink, PhaseNode()
+        self._bind_loop_targets(stmt.target)
+        self.exec_body(stmt.body)
+        trailing = self.cur
+        self.sink = sink0
+        if trailing.accesses or trailing.charges:
+            self._note(
+                f"line {stmt.lineno}: loop body does not end at a phase boundary; "
+                "its tail is folded into the first phase"
+            )
+            if body_sink and isinstance(body_sink[0], PhaseNode):
+                body_sink[0].accesses.extend(trailing.accesses)
+                body_sink[0].charges.extend(trailing.charges)
+        if body_sink:
+            first = body_sink[0]
+            if isinstance(first, PhaseNode) and (preload.accesses or preload.charges):
+                first.accesses[:0] = preload.accesses
+                first.charges[:0] = preload.charges
+            else:
+                body_sink[:0] = [preload] if (preload.accesses or preload.charges) else []
+            self.sink.append(LoopNode(count=count, var=var, order=order,
+                                      body=body_sink, line=stmt.lineno))
+            self.cur = PhaseNode()
+            if trailing.accesses or trailing.charges:
+                self.cur = PhaseNode(
+                    accesses=list(trailing.accesses), charges=list(trailing.charges)
+                )
+        else:
+            self.cur = preload
+            for acc in trailing.accesses:
+                self.cur.accesses.append(acc)
+            self.cur.charges.extend(trailing.charges)
+
+    def _run_data_loop(self, body: Sequence[ast.stmt], count: Optional[Expr]) -> None:
+        self.mults.append(count)
+        try:
+            self.exec_body(body)
+        finally:
+            self.mults.pop()
+
+    def _bind_loop_targets(self, target: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = VUNKNOWN
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for t in target.elts:
+                self._bind_loop_targets(t)
+
+    def _loop_iter(self, node: ast.expr) -> Tuple[Optional[Expr], Optional[str], str]:
+        order = "fwd"
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "reversed"
+            and node.args
+        ):
+            order = "rev"
+            node = node.args[0]
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "range"
+            and not node.keywords
+        ):
+            args = [self.eval(a) for a in node.args]
+            if len(args) == 1 and isinstance(args[0], VInt):
+                return args[0].expr, None, order
+            if len(args) == 2 and all(isinstance(a, VInt) for a in args):
+                return args[1].expr - args[0].expr, None, order
+            return None, None, order
+        self.eval(node)
+        return None, None, order
+
+    # -- expressions ----------------------------------------------------
+    def eval(self, node: ast.expr) -> Any:
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return VInt(ONE if node.value else ZERO)
+            if isinstance(node.value, int):
+                return VInt(Expr.const(node.value))
+            if node.value is None:
+                return VNONE
+            return VUNKNOWN
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            return VObj(node.id)
+        if isinstance(node, ast.Attribute):
+            return self.eval_attr(node)
+        if isinstance(node, ast.Call):
+            return self.eval_call(node)
+        if isinstance(node, ast.BinOp):
+            return self.eval_binop(node)
+        if isinstance(node, ast.UnaryOp):
+            val = self.eval(node.operand)
+            if isinstance(node.op, ast.USub) and isinstance(val, VInt):
+                return VInt(-val.expr)
+            if isinstance(node.op, ast.UAdd) and isinstance(val, VInt):
+                return val
+            return VUNKNOWN
+        if isinstance(node, ast.Compare):
+            return self.eval_compare(node)
+        if isinstance(node, ast.Subscript):
+            return self.eval_subscript(node)
+        if isinstance(node, ast.List):
+            items = [self.eval(e) for e in node.elts]
+            if len(items) == 1 and isinstance(items[0], VInt):
+                return VRegion(Region(base=items[0].expr))
+            out = VList()
+            for it in items:
+                out.item = join(out.item, it)
+            return out
+        if isinstance(node, ast.Tuple):
+            return VTuple(tuple(self.eval(e) for e in node.elts))
+        if isinstance(node, ast.ListComp):
+            return self.eval_listcomp(node)
+        if isinstance(node, ast.IfExp):
+            self.eval_cond(node.test)
+            t = self.eval(node.body)
+            f = self.eval(node.orelse)
+            return join(t, f)
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self.eval(node.value)
+            return VUNKNOWN
+        if isinstance(node, (ast.GeneratorExp, ast.SetComp, ast.DictComp)):
+            return VUNKNOWN
+        if isinstance(node, ast.Starred):
+            self.eval(node.value)
+            return VUNKNOWN
+        if isinstance(node, ast.BoolOp):
+            for sub in node.values:
+                self.eval(sub)
+            return VUNKNOWN
+        return VUNKNOWN
+
+    def eval_attr(self, node: ast.Attribute) -> Any:
+        val = self.eval(node.value)
+        attr = node.attr
+        if isinstance(val, VObj):
+            if val.name == "ctx":
+                if attr == "p":
+                    return VInt(P)
+                if attr == "pid":
+                    return VInt(PIDE)
+            return VObj(f"{val.name}.{attr}")
+        if isinstance(val, (VArray, VAllocRef)):
+            if attr == "array":
+                return VArray(val.info)
+            if attr in ("n", "size") and val.info.extent is not None:
+                return VInt(val.info.extent)
+            return VUNKNOWN
+        if isinstance(val, VRegion):
+            if attr == "size":
+                return VInt(val.region.count())
+            return VUNKNOWN
+        return VUNKNOWN
+
+    def eval_binop(self, node: ast.BinOp) -> Any:
+        if isinstance(node.op, ast.LShift):
+            left = self.eval(node.left)
+            right = self.eval(node.right)
+            if (
+                isinstance(left, VInt)
+                and isinstance(right, VInt)
+                and left.expr.is_const
+                and right.expr.is_const
+            ):
+                return VInt(Expr.const(left.expr.const_value << right.expr.const_value))
+            floor = 1 if isinstance(left, VInt) and left.expr.is_const and left.expr.const_value >= 1 else 0
+            return self._opaque(node, floor=floor)
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        if isinstance(left, VInt) and isinstance(right, VInt):
+            if isinstance(node.op, ast.Add):
+                return VInt(left.expr + right.expr)
+            if isinstance(node.op, ast.Sub):
+                return VInt(left.expr - right.expr)
+            if isinstance(node.op, ast.Mult):
+                return VInt(left.expr * right.expr)
+            return VUNKNOWN
+        if isinstance(left, VRegion) and isinstance(right, VInt):
+            if isinstance(node.op, ast.Add):
+                return VRegion(left.region.shift(right.expr))
+            if isinstance(node.op, ast.Sub):
+                return VRegion(left.region.shift(-right.expr))
+            if isinstance(node.op, ast.Mult):
+                return VRegion(left.region.scale(right.expr))
+            return VUNKNOWN
+        if isinstance(left, VInt) and isinstance(right, VRegion):
+            if isinstance(node.op, ast.Add):
+                return VRegion(right.region.shift(left.expr))
+            if isinstance(node.op, ast.Mult):
+                return VRegion(right.region.scale(left.expr))
+            return VUNKNOWN
+        if isinstance(left, VRegion) and isinstance(right, VRegion):
+            if isinstance(node.op, ast.Add):
+                names1 = {v.name for v in left.region.qvars}
+                if names1.isdisjoint({v.name for v in right.region.qvars}):
+                    return VRegion(left.region.merge(right.region))
+            return VUNKNOWN
+        return VUNKNOWN
+
+    def eval_compare(self, node: ast.Compare) -> Any:
+        left = self.eval(node.left)
+        rights = [self.eval(c) for c in node.comparators]
+        if (
+            len(node.ops) == 1
+            and isinstance(node.ops[0], ast.NotEq)
+            and isinstance(left, VRegion)
+            and isinstance(rights[0], VInt)
+        ):
+            region = left.region
+            if (
+                len(region.qvars) == 1
+                and not region.base.terms
+                and region.qvars[0].coeff == ONE
+                and region.qvars[0].exclude is None
+            ):
+                return VMask(region=region, exclude=rights[0].expr)
+        return VUNKNOWN
+
+    def eval_listcomp(self, node: ast.ListComp) -> Any:
+        if len(node.generators) != 1:
+            return VUNKNOWN
+        gen = node.generators[0]
+        if not isinstance(gen.target, ast.Name) or gen.is_async:
+            return VUNKNOWN
+        count_lo: Optional[Expr] = None
+        count_hi: Optional[Expr] = None
+        it = gen.iter
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+            and not it.keywords
+        ):
+            args = [self.eval(a) for a in it.args]
+            if len(args) == 1 and isinstance(args[0], VInt):
+                count_lo, count_hi = ZERO, args[0].expr - 1
+            elif len(args) == 2 and all(isinstance(a, VInt) for a in args):
+                count_lo, count_hi = args[0].expr, args[1].expr - 1
+        if count_lo is None or count_hi is None:
+            return VUNKNOWN
+        qname = self._fresh_qvar()
+        saved = self.env.get(gen.target.id)
+        self.env[gen.target.id] = VInt(Expr.sym(qname))
+        try:
+            elt = self.eval(node.elt)
+            exclude: Optional[Expr] = None
+            if gen.ifs:
+                if len(gen.ifs) != 1:
+                    return VUNKNOWN
+                cond = gen.ifs[0]
+                if not (
+                    isinstance(cond, ast.Compare)
+                    and len(cond.ops) == 1
+                    and isinstance(cond.ops[0], ast.NotEq)
+                ):
+                    return VUNKNOWN
+                lhs = self.eval(cond.left)
+                rhs = self.eval(cond.comparators[0])
+                if not (isinstance(lhs, VInt) and isinstance(rhs, VInt)):
+                    return VUNKNOWN
+                if lhs.expr == Expr.sym(qname):
+                    exclude = rhs.expr
+                elif rhs.expr == Expr.sym(qname):
+                    exclude = lhs.expr
+                else:
+                    return VUNKNOWN
+        finally:
+            if saved is None:
+                self.env.pop(gen.target.id, None)
+            else:
+                self.env[gen.target.id] = saved
+        if not isinstance(elt, VInt):
+            return VUNKNOWN
+        e = elt.expr
+        if e.degree_in(qname) > 1:
+            return VUNKNOWN
+        coeff = e.coeff_of(qname)
+        if coeff is None:
+            return VUNKNOWN
+        rest = e.drop(qname)
+        # Normalize the quantifier to start at 0.
+        base = rest + coeff * count_lo
+        width = count_hi - count_lo
+        excl = None if exclude is None else exclude - count_lo
+        return VRegion(
+            Region(base=base, qvars=(QVar(qname, coeff, ZERO, width, excl),))
+        )
+
+    # -- calls ----------------------------------------------------------
+    def eval_call(self, node: ast.Call) -> Any:
+        func = node.func
+        args = [self.eval(a) for a in node.args]
+        kwargs = {kw.arg: self.eval(kw.value) for kw in node.keywords}
+        if isinstance(func, ast.Attribute):
+            recv = self.eval(func.value)
+            meth = func.attr
+            if isinstance(recv, VObj) and recv.name == "ctx":
+                return self.eval_ctx_call(node, meth, args, kwargs)
+            if isinstance(recv, VObj) and (recv.name == "np" or recv.name.startswith("np.")):
+                return self.eval_np_call(node, meth, args, kwargs)
+            if isinstance(recv, (VArray, VAllocRef)):
+                if meth == "local_offset" and args and isinstance(args[0], VInt):
+                    if recv.info.block is not None:
+                        offset = ZERO if recv.info.layout == "root" else args[0].expr * recv.info.block
+                        return VInt(offset)
+                    return VUNKNOWN
+                if meth == "local_view":
+                    return VLocal(recv.info)
+                return VUNKNOWN
+            if isinstance(recv, VRegion):
+                if meth in ("ravel", "astype", "copy", "reshape", "flatten", "tolist"):
+                    return recv
+                return VUNKNOWN
+            if isinstance(recv, VList):
+                if meth == "append" and args:
+                    recv.item = join(recv.item, args[0])
+                    return VNONE
+                return VUNKNOWN
+            if isinstance(recv, VObj) and not recv.name.startswith(("ctx", "np")):
+                # Stable parameter-object derived scalar (params.iterations(p), ...)
+                return self._opaque(node, floor=0)
+            return VUNKNOWN
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in ("int", "abs", "round"):
+                return args[0] if args and isinstance(args[0], VInt) else VUNKNOWN
+            if name == "len":
+                if args and isinstance(args[0], VLocal) and args[0].info.block is not None:
+                    return VInt(args[0].info.block)
+                if args and isinstance(args[0], VRegion):
+                    return VInt(args[0].region.count())
+                if args and isinstance(args[0], (VArray, VAllocRef)) and args[0].info.extent is not None:
+                    return VInt(args[0].info.extent)
+                return VUNKNOWN
+            if name in ("max", "min") and len(args) == 2:
+                a, b = args
+                if isinstance(a, VInt) and isinstance(b, VInt):
+                    ctx = self.cur_ctx()
+                    if ctx.prove_nonneg(a.expr - b.expr):
+                        return a if name == "max" else b
+                    if ctx.prove_nonneg(b.expr - a.expr):
+                        return b if name == "max" else a
+                return VUNKNOWN
+            if name == "log2ceil":
+                return self._opaque(node, floor=0)
+            return VUNKNOWN
+        return VUNKNOWN
+
+    def eval_ctx_call(self, node: ast.Call, meth: str, args: List[Any], kwargs: Dict[str, Any]) -> Any:
+        line = node.lineno
+        if meth == "local":
+            if args and isinstance(args[0], (VArray, VAllocRef)):
+                return VLocal(args[0].info)
+            return VUNKNOWN
+        if meth == "local_offset":
+            if args and isinstance(args[0], (VArray, VAllocRef)) and args[0].info.block is not None:
+                info = args[0].info
+                return VInt(ZERO if info.layout == "root" else PIDE * info.block)
+            return VUNKNOWN
+        if meth in ("get", "put"):
+            info = args[0].info if args and isinstance(args[0], (VArray, VAllocRef)) else None
+            region, reason = self._as_region(args[1] if len(args) > 1 else VUNKNOWN)
+            self._record("get" if meth == "get" else "put", info, region, line, reason=reason)
+            return VUNKNOWN
+        if meth in ("get_range", "put_range"):
+            info = args[0].info if args and isinstance(args[0], (VArray, VAllocRef)) else None
+            start = args[1] if len(args) > 1 else VUNKNOWN
+            region: Optional[Region] = None
+            reason = "data-dependent start or count"
+            if meth == "get_range":
+                cnt = args[2] if len(args) > 2 else VUNKNOWN
+                if isinstance(start, VInt) and isinstance(cnt, VInt):
+                    region = Region(
+                        base=start.expr,
+                        qvars=(QVar(self._fresh_qvar(), ONE, ZERO, cnt.expr - 1),),
+                    )
+                    reason = ""
+            else:
+                values = args[2] if len(args) > 2 else VUNKNOWN
+                if isinstance(start, VInt) and isinstance(values, VRegion):
+                    cnt = values.region.count()
+                    region = Region(
+                        base=start.expr,
+                        qvars=(QVar(self._fresh_qvar(), ONE, ZERO, cnt - 1),),
+                    )
+                    reason = ""
+            self._record("get" if meth == "get_range" else "put", info, region, line, reason=reason)
+            return VUNKNOWN
+        if meth == "alloc":
+            lit = node.args[0] if node.args else None
+            aname = lit.value if isinstance(lit, ast.Constant) and isinstance(lit.value, str) else None
+            if aname is None:
+                aname = self._pending_name or f"alloc@{line}"
+            extent = args[1].expr if len(args) > 1 and isinstance(args[1], VInt) else None
+            layout = "blocked"
+            for kw in node.keywords:
+                if kw.arg == "layout" and "ROOT" in ast.unparse(kw.value):
+                    layout = "root"
+            return VAllocRef(self._register_array(aname, extent, layout))
+        if meth in ("charge", "charge_cycles"):
+            if self.record and node.args:
+                self.cur.charges.append(ast.unparse(node.args[0]))
+            return VUNKNOWN
+        if meth in ("observe", "free", "sync"):
+            return VUNKNOWN
+        return VUNKNOWN
+
+    def eval_np_call(self, node: ast.Call, meth: str, args: List[Any], kwargs: Dict[str, Any]) -> Any:
+        if meth == "arange":
+            if len(args) == 1 and isinstance(args[0], VInt):
+                return VRegion(Region(qvars=(QVar(self._fresh_qvar(), ONE, ZERO, args[0].expr - 1),)))
+            if len(args) == 2 and all(isinstance(a, VInt) for a in args):
+                lo, hi = args[0].expr, args[1].expr
+                return VRegion(
+                    Region(base=lo, qvars=(QVar(self._fresh_qvar(), ONE, ZERO, hi - lo - 1),))
+                )
+            return VUNKNOWN
+        if meth in ("array", "asarray"):
+            if args and isinstance(args[0], (VRegion, VMask)):
+                return args[0]
+            return VUNKNOWN
+        if meth in ("cumsum", "add", "multiply", "subtract"):
+            out = kwargs.get("out")
+            if isinstance(out, VLocal):
+                self._local_write(out.info, None, node.lineno)
+            return VUNKNOWN
+        return VUNKNOWN
+
+    def eval_subscript(self, node: ast.Subscript) -> Any:
+        value = self.eval(node.value)
+        sl = node.slice
+        if isinstance(value, VLocal):
+            if not isinstance(sl, ast.Slice):
+                self.eval(sl)
+            return VUNKNOWN  # local *read*: plain node-local data
+        if isinstance(value, VRegion):
+            if (
+                isinstance(sl, ast.Tuple)
+                and len(sl.elts) == 2
+                and isinstance(sl.elts[1], ast.Constant)
+                and sl.elts[1].value is None
+            ):
+                return value  # x[:, None]: reshape only
+            if isinstance(sl, ast.Slice):
+                return VUNKNOWN
+            idx = self.eval(sl)
+            if isinstance(idx, VMask):
+                return self._apply_mask(value, idx)
+            return VUNKNOWN
+        if isinstance(value, VList):
+            if not isinstance(sl, ast.Slice):
+                self.eval(sl)
+            return value.item if value.item is not None else VUNKNOWN
+        if isinstance(value, VTuple):
+            if isinstance(sl, ast.Constant) and isinstance(sl.value, int):
+                try:
+                    return value.items[sl.value]
+                except IndexError:
+                    return VUNKNOWN
+            out = None
+            for it in value.items:
+                out = join(out, it)
+            return out if out is not None else VUNKNOWN
+        if not isinstance(sl, ast.Slice):
+            self.eval(sl)
+        return VUNKNOWN
+
+    def _apply_mask(self, value: VRegion, mask: VMask) -> Any:
+        region = value.region
+        mvar = mask.region.qvars[0]
+        if len(region.qvars) != 1:
+            return VUNKNOWN
+        qv = region.qvars[0]
+        if qv.lo == mvar.lo and qv.hi == mvar.hi and qv.exclude is None:
+            new = QVar(qv.name, qv.coeff, qv.lo, qv.hi, mask.exclude)
+            return VRegion(Region(base=region.base, qvars=(new,)))
+        return VUNKNOWN
+
+    def _as_region(self, val: Any) -> Tuple[Optional[Region], str]:
+        if isinstance(val, VRegion):
+            return val.region, ""
+        if isinstance(val, VInt):
+            return Region(base=val.expr), ""
+        return None, "index expression is not statically affine"
+
+    def _record(self, kind: str, info: Optional[ArrayInfo], region: Optional[Region],
+                line: int, reason: str = "") -> None:
+        if not self.record:
+            return
+        mult: Optional[Expr] = ONE
+        for m in self.mults:
+            mult = None if (mult is None or m is None) else mult * m
+        if region is None and not reason:
+            reason = "index expression is not statically affine"
+        self.cur.accesses.append(
+            Access(
+                kind=kind,
+                array=info.name if info else "?",
+                info=info,
+                region=region,
+                guards=tuple(self.pguards + self.guards),
+                line=line,
+                origin=f"{self.relpath}:{line}",
+                reason=reason,
+                multiplier=mult,
+            )
+        )
+
+
+# ----------------------------------------------------------------------
+# Pinned-pid substitution
+# ----------------------------------------------------------------------
+def _subst_region(region: Region, name: str, value: Expr) -> Region:
+    return Region(
+        base=region.base.subst(name, value),
+        qvars=tuple(
+            QVar(
+                v.name,
+                v.coeff.subst(name, value),
+                v.lo.subst(name, value),
+                v.hi.subst(name, value),
+                None if v.exclude is None else v.exclude.subst(name, value),
+            )
+            for v in region.qvars
+        ),
+    )
+
+
+def _pinned_const(guards: Sequence[Guard]) -> Optional[int]:
+    for g in guards:
+        c = g.pinned_pid()
+        if c is not None:
+            return c
+    return None
+
+
+def _pin(region: Region, guards: Sequence[Guard]):
+    """Substitute a guard-pinned ``pid == c`` into region and guards.
+
+    Corner expansion over an ``eq0``-pinned pid is lossy (the prover
+    would range it over ``[0, p-1]``), so the constant is folded in
+    before any disjointness/bounds obligation.  Returns
+    ``(region, guards, pin)``; ``None`` if a guard becomes constantly
+    false (dead branch -> obligation vacuous).
+    """
+    c = _pinned_const(guards)
+    if c is None:
+        return region, tuple(guards), None
+    ce = Expr.const(c)
+    out: List[Guard] = []
+    for g in guards:
+        e = g.expr.subst(PID, ce)
+        if e.is_const:
+            v = e.const_value
+            if (g.op == "eq0" and v != 0) or (g.op == "ge0" and v < 0):
+                return None
+            continue
+        out.append(Guard(e, g.op))
+    return _subst_region(region, PID, ce), tuple(out), c
+
+
+# ----------------------------------------------------------------------
+# Flattened phases and the findings engine
+# ----------------------------------------------------------------------
+@dataclass
+class FlatPhase:
+    """One phase of the flattened tree (loop bodies appear once)."""
+
+    index: int
+    node: PhaseNode
+    mult: Optional[Expr]  # how many times the phase repeats (loop nesting)
+    kappa: Optional[Expr] = None
+
+
+@dataclass
+class ProgramReport:
+    """Everything the analyzer derived about one SPMD program."""
+
+    name: str
+    path: str
+    line: int
+    algo: Optional[str]
+    phases: List[FlatPhase]
+    findings: List[Diagnostic]
+    notes: List[str]
+    profile: Dict[str, Optional[Expr]]
+    opaques: Dict[str, OpaqueSym]
+    crosscheck: Optional[Dict[str, str]] = None
+    analyzer: Optional[ProgramAnalyzer] = None
+
+    @property
+    def errors(self) -> List[Diagnostic]:
+        return [d for d in self.findings if d.severity == "error"]
+
+
+_WITNESS_CELL_CAP = 4096
+
+
+class _Engine:
+    """Turn one analyzed program into findings + a symbolic profile."""
+
+    def __init__(self, an: ProgramAnalyzer) -> None:
+        self.an = an
+        self.findings: List[Diagnostic] = []
+        self._noted: Set[Tuple[str, str]] = set()
+
+    # -- witness machinery ---------------------------------------------
+    def _witness_envs(self) -> Iterable[Dict[str, int]]:
+        free = [s for s in self.an.opaques.values() if s.derive_extent is None]
+        blks = [s for s in self.an.opaques.values() if s.derive_extent is not None]
+        for p in (2, 3, 4):
+            for n in (p, 2 * p, p * p, 3 * p + 1):
+                ranges = [range(s.floor, s.floor + 3) for s in free]
+                for combo in itertools.product(*ranges):
+                    env = {"p": p, "n": n}
+                    env.update({s.name: v for s, v in zip(free, combo)})
+                    ok = True
+                    for s in blks:
+                        try:
+                            ext = s.derive_extent.evaluate(env)
+                        except Exception:
+                            ok = False
+                            break
+                        env[s.name] = -(-ext // p)
+                    if not ok:
+                        continue
+                    try:
+                        if any(c.evaluate(env) < 0 for c in self.an.conditions):
+                            continue
+                    except Exception:
+                        continue
+                    yield env
+
+    @staticmethod
+    def _guards_hold(guards: Sequence[Guard], env: Dict[str, int], pid: int) -> bool:
+        e = dict(env)
+        e[PID] = pid
+        for g in guards:
+            try:
+                v = g.expr.evaluate(e)
+            except Exception:
+                return False  # can't certify the branch is taken
+            if (g.op == "eq0" and v != 0) or (g.op == "ge0" and v < 0):
+                return False
+        return True
+
+    @staticmethod
+    def _cells(region: Region, env: Dict[str, int], pid: int) -> Optional[Set[int]]:
+        e = dict(env)
+        e[PID] = pid
+        out: Set[int] = set()
+        try:
+            base = region.base.evaluate(e)
+            spans = []
+            for v in region.qvars:
+                lo, hi = v.lo.evaluate(e), v.hi.evaluate(e)
+                co = v.coeff.evaluate(e)
+                ex = None if v.exclude is None else v.exclude.evaluate(e)
+                vals = [x for x in range(lo, hi + 1) if x != ex]
+                spans.append([co * x for x in vals])
+            total = 1
+            for s in spans:
+                total *= max(len(s), 1)
+                if total > _WITNESS_CELL_CAP:
+                    return None
+            for combo in itertools.product(*spans):
+                out.add(base + sum(combo))
+            return out
+        except Exception:
+            return None
+
+    def _witness_overlap(self, a: "Access", b: "Access", cross: bool):
+        """Search small configs for a concrete overlapping pair."""
+        for env in self._witness_envs():
+            p = env["p"]
+            for pa in range(p):
+                if not self._guards_hold(a.guards, env, pa):
+                    continue
+                ca = self._cells(a.region, env, pa)
+                if not ca:
+                    continue
+                pbs = [x for x in range(p) if x != pa] if cross else [pa]
+                for pb in pbs:
+                    if not cross and a is b:
+                        break
+                    if not self._guards_hold(b.guards, env, pb):
+                        continue
+                    cb = self._cells(b.region, env, pb)
+                    if not cb:
+                        continue
+                    inter = ca & cb
+                    if inter:
+                        return env, pa, pb, tuple(sorted(inter)[:4])
+        return None
+
+    def _witness_oob(self, acc: "Access", extent: Expr):
+        for env in self._witness_envs():
+            try:
+                ext = extent.evaluate(env)
+            except Exception:
+                continue
+            for pid in range(env["p"]):
+                if not self._guards_hold(acc.guards, env, pid):
+                    continue
+                cells = self._cells(acc.region, env, pid)
+                if not cells:
+                    continue
+                bad = sorted(c for c in cells if c < 0 or c >= ext)
+                if bad:
+                    return env, pid, tuple(bad[:4])
+        return None
+
+    # -- diagnostics ----------------------------------------------------
+    def _emit(self, code: str, severity: str, message: str, phase: Optional[int],
+              array: Optional[str], origins: Sequence[str],
+              pids: Sequence[int] = (), cells=None) -> None:
+        self.findings.append(
+            Diagnostic(
+                code=code,
+                severity=severity,
+                message=message,
+                phase=phase,
+                array=array,
+                cells=cells,
+                pids=tuple(pids),
+                origins=tuple(origins),
+                tool="phases",
+            )
+        )
+
+    def _note_once(self, key: Tuple[str, str], code: str, message: str,
+                   phase: Optional[int], array: Optional[str],
+                   origins: Sequence[str]) -> None:
+        if key in self._noted:
+            return
+        self._noted.add(key)
+        self._emit(code, "note", message, phase, array, origins)
+
+    @staticmethod
+    def _env_str(env: Dict[str, int]) -> str:
+        return ", ".join(f"{k}={v}" for k, v in sorted(env.items()))
+
+    # -- proof obligations ----------------------------------------------
+    def _cross_disjoint(self, a: "Access", b: "Access") -> bool:
+        pa = _pin(a.region, a.guards)
+        pb = _pin(b.region, b.guards)
+        if pa is None or pb is None:
+            return True  # dead branch
+        ra, ga, ca = pa
+        rb, gb, cb = pb
+        if ca is not None and cb is not None:
+            return True if ca == cb else cross_pid_disjoint(ra, ga, rb, gb, self.an.base_ctx())
+        return cross_pid_disjoint(ra, ga, rb, gb, self.an.base_ctx())
+
+    def _same_disjoint(self, a: "Access", b: "Access") -> bool:
+        ca, cb = _pinned_const(a.guards), _pinned_const(b.guards)
+        if ca is not None and cb is not None and ca != cb:
+            return True  # never the same processor
+        pin = ca if ca is not None else cb
+        ra, ga = a.region, list(a.guards)
+        rb, gb = b.region, list(b.guards)
+        if pin is not None:
+            pa = _pin(ra, tuple(ga) + (Guard(PIDE - Expr.const(pin), "eq0"),))
+            pb = _pin(rb, tuple(gb) + (Guard(PIDE - Expr.const(pin), "eq0"),))
+            if pa is None or pb is None:
+                return True
+            ra, ga, _ = pa
+            rb, gb, _ = pb
+        return same_pid_disjoint(ra, ga, rb, gb, self.an.base_ctx())
+
+    def _check_unknown(self, acc: "Access", phase: int) -> bool:
+        """Record a QSA005 note for a non-affine access; True if unknown."""
+        if acc.region is not None:
+            return False
+        self._note_once(
+            (acc.origin, acc.kind),
+            "QSA005",
+            f"{acc.kind} on '{acc.array}' deferred to the runtime sanitizer: "
+            f"{acc.reason or 'index expression is not statically affine'}",
+            phase,
+            acc.array,
+            [acc.origin],
+        )
+        return True
+
+    def _check_bounds(self, acc: "Access", phase: int) -> None:
+        if acc.region is None or acc.info is None or acc.info.extent is None:
+            return
+        pinned = _pin(acc.region, acc.guards)
+        if pinned is None:
+            return
+        region, guards, _ = pinned
+        ctx = self.an.pid_ctx().with_guards(guards)
+        if region_within(region, acc.info.extent, ctx):
+            return
+        wit = self._witness_oob(acc, acc.info.extent)
+        if wit is not None:
+            env, pid, cells = wit
+            self._emit(
+                "QSA004",
+                "error",
+                f"{acc.kind} region {acc.region.render()} escapes array "
+                f"'{acc.array}' (extent {acc.info.extent.render()}); "
+                f"witness {self._env_str(env)}, pid {pid}, cells {list(cells)}",
+                phase,
+                acc.array,
+                [acc.origin],
+                pids=(pid,),
+                cells=cells,
+            )
+        else:
+            self._note_once(
+                (acc.origin, "bounds"),
+                "QSA005",
+                f"could not prove {acc.kind} region {acc.region.render()} stays "
+                f"within '{acc.array}' (extent {acc.info.extent.render()}); "
+                "deferred to the runtime sanitizer",
+                phase,
+                acc.array,
+                [acc.origin],
+            )
+
+    def _line_disabled(self, code: str, origins: Sequence[str]) -> bool:
+        for origin in origins:
+            try:
+                line = int(origin.rsplit(":", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            if code in self.an.suppress.get(line, set()):
+                return True
+        return False
+
+    def _check_pair(self, code: str, a: "Access", b: "Access", cross: bool,
+                    phase: int, what: str) -> None:
+        if a.region is None or b.region is None:
+            return
+        if self._line_disabled(code, (a.origin, b.origin)):
+            return  # the obligation itself is disabled at the source line
+        proven = self._cross_disjoint(a, b) if cross else self._same_disjoint(a, b)
+        if proven:
+            return
+        wit = self._witness_overlap(a, b, cross)
+        origins = [a.origin] if a is b else [a.origin, b.origin]
+        if wit is not None:
+            env, pa, pb, cells = wit
+            self._emit(
+                code,
+                "error",
+                f"{what} on '{a.array}': {a.region.render()} vs "
+                f"{b.region.render()}; witness {self._env_str(env)}, "
+                f"pids {pa}/{pb}, cells {list(cells)}",
+                phase,
+                a.array,
+                origins,
+                pids=(pa, pb),
+                cells=cells,
+            )
+        else:
+            self._note_once(
+                (f"{a.origin}|{b.origin}", code),
+                "QSA005",
+                f"undecided {what} on '{a.array}': {a.region.render()} vs "
+                f"{b.region.render()}; deferred to the runtime sanitizer",
+                phase,
+                a.array,
+                origins,
+            )
+
+    # -- per-phase safety -----------------------------------------------
+    def _check_phase(self, fp: FlatPhase) -> None:
+        by_array: Dict[str, List[Access]] = {}
+        for acc in fp.node.accesses:
+            if self._check_unknown(acc, fp.index):
+                continue
+            if acc.kind in ("put", "get"):
+                self._check_bounds(acc, fp.index)
+            key = acc.info.name if acc.info else f"?@{acc.line}"
+            by_array.setdefault(key, []).append(acc)
+        for accs in by_array.values():
+            writes = [a for a in accs if a.kind in ("put", "local_write")]
+            gets = [a for a in accs if a.kind == "get"]
+            for i, a in enumerate(writes):
+                for b in writes[i:]:
+                    if (
+                        a.kind == "local_write"
+                        and b.kind == "local_write"
+                        and a.info is not None
+                        and a.info.layout == "blocked"
+                    ):
+                        continue  # own-block by construction
+                    self._check_pair(
+                        "QSA001", a, b, True, fp.index,
+                        "cross-pid write-write overlap",
+                    )
+            for g in gets:
+                for w in writes:
+                    self._check_pair(
+                        "QSA002", g, w, True, fp.index,
+                        "same-phase read of a remotely written region",
+                    )
+                    if w.kind == "put":
+                        self._check_pair(
+                            "QSA002", g, w, False, fp.index,
+                            "same-phase read of a region written by the same pid",
+                        )
+
+    # -- contention ------------------------------------------------------
+    def _phase_kappa(self, fp: FlatPhase) -> Optional[Expr]:
+        queued = [a for a in fp.node.accesses if a.kind in ("put", "get")]
+        if not queued:
+            return ZERO
+        if any(a.region is None for a in queued):
+            return None
+        if any(a.multiplier is None or a.multiplier != ONE for a in queued):
+            return None  # data-loop enqueues: per-cell multiplicity unknown
+        prepped = [_pin(a.region, a.guards) for a in queued]
+        if any(p is None for p in prepped):
+            prepped = [p for p in prepped if p is not None]
+            if not prepped:
+                return ZERO
+        ctx = self.an.base_ctx()
+
+        def injective(a: "Access") -> bool:
+            pa = _pin(a.region, a.guards)
+            if pa is None:
+                return True
+            region, guards, _ = pa
+            return region_injective(region, self.an.pid_ctx().with_guards(guards))
+
+        if all(injective(a) for a in queued):
+            slotted = True
+            for i, a in enumerate(queued):
+                for b in queued[i:]:
+                    if not self._cross_disjoint(a, b):
+                        slotted = False
+                        break
+                    if b is not a and not self._same_disjoint(a, b):
+                        slotted = False
+                        break
+                if not slotted:
+                    break
+            if slotted:
+                return ONE
+            if len(queued) == 1:
+                a = queued[0]
+                pa = _pin(a.region, a.guards)
+                if pa is not None and pa[2] is None and PID not in a.region.value_expr().symbols():
+                    ok = all(
+                        PID not in g.expr.symbols() for g in a.guards
+                    )
+                    if ok:
+                        return P  # every pid issues the same slots
+        return None
+
+    def _check_kappa(self, fp: FlatPhase) -> None:
+        declared = self.an.spec.kappa
+        if declared is None or fp.kappa is None:
+            return
+        if self.an.base_ctx().prove_nonneg(fp.kappa - declared - ONE):
+            origins = sorted(
+                {a.origin for a in fp.node.accesses if a.kind in ("put", "get")}
+            )
+            self._emit(
+                "QSA003",
+                "error",
+                f"symbolic contention kappa = {fp.kappa.render()} exceeds the "
+                f"declared bound kappa = {declared.render()}",
+                fp.index,
+                None,
+                origins,
+            )
+
+    # -- totals ----------------------------------------------------------
+    def _tree_syncs(self, nodes: Sequence[Any]) -> Optional[Expr]:
+        total = ZERO
+        for nd in nodes:
+            if isinstance(nd, PhaseNode):
+                if nd.synced:
+                    total = total + ONE
+            else:
+                inner = self._tree_syncs(nd.body)
+                if inner is None or nd.count is None:
+                    return None
+                total = total + nd.count * inner
+        return total
+
+    def _tree_words(self, nodes: Sequence[Any], kind: str) -> Optional[Expr]:
+        total = ZERO
+        for nd in nodes:
+            if isinstance(nd, PhaseNode):
+                for acc in nd.accesses:
+                    if acc.kind != kind:
+                        continue
+                    if acc.region is None or acc.multiplier is None:
+                        return None
+                    total = total + acc.region.count() * acc.multiplier
+            else:
+                inner = self._tree_words(nd.body, kind)
+                if inner is None or nd.count is None:
+                    return None
+                total = total + nd.count * inner
+        return total
+
+    def _program_kappa(self, phases: List[FlatPhase]) -> Optional[Expr]:
+        kappas = [fp.kappa for fp in phases]
+        if not kappas:
+            return ZERO
+        if any(k is None for k in kappas):
+            return None
+        ctx = self.an.base_ctx()
+        for cand in kappas:
+            if all(ctx.prove_nonneg(cand - other) for other in kappas):
+                return cand
+        return None
+
+    # -- assembly --------------------------------------------------------
+    def _flatten(self, nodes: Sequence[Any], mult: Optional[Expr],
+                 out: List[FlatPhase]) -> None:
+        for nd in nodes:
+            if isinstance(nd, PhaseNode):
+                out.append(FlatPhase(index=len(out), node=nd, mult=mult))
+            else:
+                inner = None if (mult is None or nd.count is None) else mult * nd.count
+                self._flatten(nd.body, inner, out)
+
+    def _suppressed(self, diag: Diagnostic) -> bool:
+        for origin in diag.origins:
+            try:
+                line = int(origin.rsplit(":", 1)[1])
+            except (IndexError, ValueError):
+                continue
+            if diag.code in self.an.suppress.get(line, set()):
+                return True
+        return False
+
+    def run(self) -> ProgramReport:
+        an = self.an
+        phases: List[FlatPhase] = []
+        self._flatten(an.top, ONE, phases)
+        for fp in phases:
+            self._check_phase(fp)
+            fp.kappa = self._phase_kappa(fp)
+            self._check_kappa(fp)
+        for note in an.notes:
+            self._note_once(("structure", note), "QSA005", note, None, None, [])
+        profile: Dict[str, Optional[Expr]] = {
+            "n_syncs": self._tree_syncs(an.top),
+            "put_words": self._tree_words(an.top, "put"),
+            "get_words": self._tree_words(an.top, "get"),
+            "kappa": self._program_kappa(phases),
+        }
+        findings = [d for d in self.findings if not self._suppressed(d)]
+        order = {"error": 0, "warn": 1, "note": 2}
+        findings.sort(key=lambda d: (order.get(d.severity, 3), d.code, d.phase or 0))
+        report = ProgramReport(
+            name=an.fn.name,
+            path=an.relpath,
+            line=an.fn.lineno,
+            algo=an.spec.algo,
+            phases=phases,
+            findings=findings,
+            notes=list(an.notes),
+            profile=profile,
+            opaques=dict(an.opaques),
+            analyzer=an,
+        )
+        report.crosscheck = _crosscheck(report)
+        return report
+
+
+# ----------------------------------------------------------------------
+# SYMBOLIC cross-check against repro.predict.sources
+# ----------------------------------------------------------------------
+def _normalize_origin(text: str) -> str:
+    try:
+        return ast.unparse(ast.parse(text, mode="eval").body)
+    except SyntaxError:
+        return text
+
+
+def _crosscheck(report: ProgramReport) -> Optional[Dict[str, str]]:
+    if report.algo is None:
+        return None
+    try:
+        from repro.predict import sources
+    except Exception as exc:  # pragma: no cover - predict layer always ships
+        return {"status": f"skipped: repro.predict.sources unavailable ({exc})"}
+    table = getattr(sources, "SYMBOLIC", {})
+    entry = table.get(report.algo)
+    if entry is None:
+        return {"status": f"skipped: no SYMBOLIC entry for algo {report.algo!r}"}
+    rename: Dict[str, str] = {}
+    for sname, origin in entry.get("symbols", {}).items():
+        sym = report.opaques.get(_normalize_origin(origin))
+        if sym is not None and sym.name != sname:
+            rename[sym.name] = sname
+    out: Dict[str, str] = {}
+    for key in ("n_syncs", "put_words", "get_words", "kappa"):
+        want = entry.get(key)
+        if want is None:
+            out[key] = "skipped"
+            continue
+        want_expr = parse_expr_str(want)
+        got = report.profile.get(key)
+        if got is None:
+            out[key] = f"mismatch: no closed form derived (declared {want})"
+            continue
+        for old, new in rename.items():
+            got = got.subst(old, Expr.sym(new))
+        out[key] = (
+            "ok" if got == want_expr
+            else f"mismatch: derived {got.render()} != declared {want}"
+        )
+    return out
+
+
+def crosscheck_failed(report: ProgramReport) -> bool:
+    cc = report.crosscheck
+    return bool(cc) and any(v.startswith("mismatch") for v in cc.values())
+
+
+# ----------------------------------------------------------------------
+# Discovery and reporting
+# ----------------------------------------------------------------------
+def analyze_file(path: str) -> List[ProgramReport]:
+    """Analyze every SPMD program in one source file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    reports: List[ProgramReport] = []
+    for node in tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if not (node.name.endswith("_program") or _spec_from_decorators(node).declared):
+            continue
+        analyzer = ProgramAnalyzer(node, path, lines)
+        analyzer.run()
+        reports.append(_Engine(analyzer).run())
+    return reports
+
+
+def analyze_paths(paths: Sequence[str], select: Optional[str] = None) -> List[ProgramReport]:
+    """Analyze all programs under the given files/directories."""
+    files: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, names in os.walk(path):
+                dirs[:] = [d for d in dirs if d != "__pycache__"]
+                files.extend(
+                    os.path.join(root, f) for f in sorted(names) if f.endswith(".py")
+                )
+        else:
+            files.append(path)
+    reports: List[ProgramReport] = []
+    for path in files:
+        reports.extend(analyze_file(path))
+    if select:
+        reports = [r for r in reports if select in r.name]
+    return reports
+
+
+def _render_expr(e: Optional[Expr]) -> str:
+    return "?" if e is None else e.render()
+
+
+def _render_report(report: ProgramReport, out) -> None:
+    print(f"{report.name}  ({report.path}:{report.line})", file=out)
+    for fp in report.phases:
+        head = f"  phase {fp.index}"
+        if fp.node.sync_line is not None:
+            head += f" (sync @ line {fp.node.sync_line})"
+        elif not fp.node.synced:
+            head += " (open tail)"
+        if fp.mult is None:
+            head += "  [x ?]"
+        elif fp.mult != ONE:
+            head += f"  [x {fp.mult.render()}]"
+        print(head, file=out)
+        for acc in fp.node.accesses:
+            region = acc.region.render() if acc.region is not None else f"<{acc.reason}>"
+            mult = ""
+            if acc.multiplier is None:
+                mult = "  x?"
+            elif acc.multiplier != ONE:
+                mult = f"  x{acc.multiplier.render()}"
+            print(f"    {acc.kind:<11} {acc.array:<12} {region}{mult}", file=out)
+        print(f"    kappa = {_render_expr(fp.kappa)}", file=out)
+    prof = report.profile
+    print(
+        "  profile: "
+        + "  ".join(f"{k}={_render_expr(prof.get(k))}"
+                    for k in ("n_syncs", "put_words", "get_words", "kappa")),
+        file=out,
+    )
+    if report.crosscheck is not None:
+        body = ", ".join(f"{k}: {v}" for k, v in report.crosscheck.items())
+        print(f"  crosscheck[{report.algo}]: {body}", file=out)
+    for diag in report.findings:
+        for line in diag.format().splitlines():
+            print(f"  {line}", file=out)
+    errors = len(report.errors)
+    notes = len(report.findings) - errors
+    status = "CLEAN" if not errors else f"{errors} error(s)"
+    if notes:
+        status += f", {notes} note(s)"
+    print(f"  => {status}", file=out)
+
+
+def _json_report(report: ProgramReport) -> Dict[str, Any]:
+    return {
+        "program": report.name,
+        "path": report.path,
+        "line": report.line,
+        "algo": report.algo,
+        "phases": [
+            {
+                "index": fp.index,
+                "sync_line": fp.node.sync_line,
+                "repeat": None if fp.mult is None else fp.mult.render(),
+                "kappa": None if fp.kappa is None else fp.kappa.render(),
+                "accesses": [
+                    {
+                        "kind": acc.kind,
+                        "array": acc.array,
+                        "region": None if acc.region is None else acc.region.render(),
+                        "reason": acc.reason or None,
+                        "origin": acc.origin,
+                        "multiplier": None if acc.multiplier is None else acc.multiplier.render(),
+                    }
+                    for acc in fp.node.accesses
+                ],
+            }
+            for fp in report.phases
+        ],
+        "profile": {
+            k: (None if v is None else v.render()) for k, v in report.profile.items()
+        },
+        "crosscheck": report.crosscheck,
+        "findings": [
+            {
+                "code": d.code,
+                "severity": d.severity,
+                "message": d.message,
+                "phase": d.phase,
+                "array": d.array,
+                "pids": list(d.pids),
+                "cells": None if d.cells is None else list(d.cells),
+                "origins": list(d.origins),
+            }
+            for d in report.findings
+        ],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check.phases",
+        description="Statically prove QSM phase-safety and extract symbolic costs.",
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to analyze")
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--select", default=None, metavar="SUBSTR",
+        help="only analyze programs whose name contains SUBSTR",
+    )
+    args = parser.parse_args(argv)
+    try:
+        reports = analyze_paths(args.paths, select=args.select)
+    except (OSError, SyntaxError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not reports:
+        print("no SPMD programs found", file=sys.stderr)
+        return 2
+    failed = any(r.errors or crosscheck_failed(r) for r in reports)
+    if args.json:
+        payload = {
+            "tool": "phases",
+            "ok": not failed,
+            "programs": [_json_report(r) for r in reports],
+        }
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    else:
+        for i, report in enumerate(reports):
+            if i:
+                print()
+            _render_report(report, sys.stdout)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -46,6 +46,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.check.diagnostics import Diagnostic
+
 #: Library frames skipped when attributing an enqueue to program code.
 _INTERNAL_SUFFIXES = (
     os.sep + os.path.join("qsmlib", "requests.py"),
@@ -59,31 +61,6 @@ _MAX_CELLS_LISTED = 8
 #: Minimum single-cell write multiplicity before QS008 considers the
 #: cell "hot" — below this, κ-dominance is noise, not a pattern.
 _HOT_CELL_MIN = 8
-
-
-@dataclass(frozen=True)
-class Diagnostic:
-    """One sanitizer finding, with enough context to locate the bug."""
-
-    code: str
-    severity: str  # "error" | "warning"
-    message: str
-    phase: Optional[int] = None
-    array: Optional[str] = None
-    cells: Optional[str] = None
-    pids: Tuple[int, ...] = ()
-    #: ``"pid N @ file:line"`` provenance strings, one per involved request.
-    origins: Tuple[str, ...] = ()
-
-    def format(self) -> str:
-        parts = [f"[sanitize] {self.code} ({self.severity})"]
-        if self.phase is not None:
-            parts.append(f"phase {self.phase}")
-        parts.append(self.message)
-        out = " ".join(parts)
-        if self.origins:
-            out += "\n" + "\n".join(f"    enqueued by {o}" for o in self.origins)
-        return out
 
 
 class SanitizerError(RuntimeError):

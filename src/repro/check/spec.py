@@ -1,0 +1,83 @@
+"""Phase-safety annotations for SPMD programs.
+
+:func:`phase_spec` attaches a small declarative contract to a
+``*_program`` generator so the static phase analyzer
+(:mod:`repro.check.phases`) knows what the runtime would only discover
+dynamically:
+
+* the symbolic **extent** of each shared-array *parameter* (arrays the
+  program allocates itself are picked up from the ``ctx.alloc`` call);
+* the declared **contention bound** κ the program promises per phase
+  (``kappa="1"`` for fully slotted communication) — exceeding it is a
+  QSA003 finding;
+* extra **assumptions** relating the symbols (``"n >= p"``), usable by
+  the analyzer's inequality prover;
+* the **algo** key tying the program to its closed-form profile source
+  in :mod:`repro.predict.sources` for the symbolic cost cross-check.
+
+The decorator is deliberately inert at runtime: it stores the spec on
+``func.__phase_spec__`` and returns the function unchanged, so
+annotated programs import and run with zero overhead and no dependency
+on the analyzer.
+
+Example::
+
+    @phase_spec(arrays={"A": "n", "R": "n", "T": "p*p"},
+                kappa="1", algo="prefix")
+    def prefix_sums_program(ctx, A, R, T):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+__all__ = ["phase_spec", "PhaseSpec"]
+
+
+class PhaseSpec:
+    """The declarative contract attached by :func:`phase_spec`."""
+
+    __slots__ = ("arrays", "kappa", "assume", "algo")
+
+    def __init__(
+        self,
+        arrays: Optional[Dict[str, str]] = None,
+        kappa: Optional[str] = None,
+        assume: Sequence[str] = (),
+        algo: Optional[str] = None,
+    ) -> None:
+        self.arrays = dict(arrays or {})
+        self.kappa = kappa
+        self.assume = tuple(assume)
+        self.algo = algo
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PhaseSpec(arrays={self.arrays!r}, kappa={self.kappa!r}, "
+            f"assume={self.assume!r}, algo={self.algo!r})"
+        )
+
+
+def phase_spec(
+    arrays: Optional[Dict[str, str]] = None,
+    kappa: Optional[str] = None,
+    assume: Sequence[str] = (),
+    algo: Optional[str] = None,
+):
+    """Annotate an SPMD program for the static phase analyzer.
+
+    ``arrays`` maps shared-array parameter names to extent expressions
+    over ``p``/``n`` (e.g. ``{"T": "p*p"}``); ``kappa`` is the declared
+    per-phase contention bound as an expression (``"1"``, ``"p"``) or
+    ``None`` to skip the QSA003 check; ``assume`` lists inequality
+    facts ``"<expr> >= <expr>"`` the prover may rely on; ``algo`` names
+    the :mod:`repro.predict.sources` entry to cross-check against.
+    """
+    spec = PhaseSpec(arrays=arrays, kappa=kappa, assume=assume, algo=algo)
+
+    def decorate(func):
+        func.__phase_spec__ = spec
+        return func
+
+    return decorate

@@ -1,0 +1,702 @@
+"""Symbolic algebra for the static phase analyzer.
+
+The phase analyzer (:mod:`repro.check.phases`) abstracts every shared
+memory index expression of an SPMD program into an **affine index
+region** over the model symbols — ``p`` (processors), ``pid`` (this
+processor), ``n`` (problem size), per-array block sizes, and opaque
+auxiliaries (``s = params.samples_per_proc(n)``, ``stride = 1 << k``).
+This module supplies the three layers that make those regions
+decidable:
+
+* :class:`Expr` — exact multivariate integer polynomials (the index
+  arithmetic the programs actually perform is products and sums of
+  symbols, e.g. ``d*p + pid`` or ``d*(p*s) + pid*s + j``);
+* :class:`Region` — a set of indices ``{base + Σ coeff_i·v_i}`` with
+  each quantifier ``v_i`` ranging over a symbolic interval, optionally
+  excluding one value (the ubiquitous ``d ≠ pid``);
+* a **prover** (:class:`ProofContext`) deciding nonnegativity of
+  polynomials under interval bounds and affine guard conditions, from
+  which region bounds checks, cross-processor disjointness (the
+  block-decomposition + pid-shift argument) and injectivity (κ = 1)
+  follow.
+
+Everything is exact integer arithmetic — a successful proof holds for
+**all** ``p ≥ 2`` (and all valid ``pid``, ``n``, …), which is what lets
+the analyzer certify phase-safety once instead of once per
+configuration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Expr",
+    "QVar",
+    "Region",
+    "Guard",
+    "ProofContext",
+    "cross_pid_disjoint",
+    "same_pid_disjoint",
+    "region_injective",
+    "region_within",
+]
+
+#: A monomial: sorted tuple of symbol names (repeats encode powers).
+Mono = Tuple[str, ...]
+
+#: Symbol reserved for "this processor" in every region expression.
+PID = "pid"
+
+
+@dataclass(frozen=True)
+class Expr:
+    """Exact multivariate polynomial with integer coefficients.
+
+    Canonical form: sorted, coefficient-merged, zero-free term tuple —
+    so structural equality is semantic equality (``s*(p-1)`` and
+    ``p*s - s`` compare equal).
+    """
+
+    terms: Tuple[Tuple[Mono, int], ...] = ()
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def const(c: int) -> "Expr":
+        return Expr(((tuple(), int(c)),)) if c else Expr()
+
+    @staticmethod
+    def sym(name: str) -> "Expr":
+        return Expr((((name,), 1),))
+
+    @staticmethod
+    def _make(raw: Dict[Mono, int]) -> "Expr":
+        terms = tuple(sorted((m, c) for m, c in raw.items() if c))
+        return Expr(terms)
+
+    # -- arithmetic -----------------------------------------------------
+    def __add__(self, other) -> "Expr":
+        other = _as_expr(other)
+        raw: Dict[Mono, int] = dict(self.terms)
+        for m, c in other.terms:
+            raw[m] = raw.get(m, 0) + c
+        return Expr._make(raw)
+
+    def __radd__(self, other) -> "Expr":
+        return self.__add__(other)
+
+    def __sub__(self, other) -> "Expr":
+        return self + (-_as_expr(other))
+
+    def __rsub__(self, other) -> "Expr":
+        return _as_expr(other) + (-self)
+
+    def __neg__(self) -> "Expr":
+        return Expr(tuple((m, -c) for m, c in self.terms))
+
+    def __mul__(self, other) -> "Expr":
+        other = _as_expr(other)
+        raw: Dict[Mono, int] = {}
+        for m1, c1 in self.terms:
+            for m2, c2 in other.terms:
+                m = tuple(sorted(m1 + m2))
+                raw[m] = raw.get(m, 0) + c1 * c2
+        return Expr._make(raw)
+
+    def __rmul__(self, other) -> "Expr":
+        return self.__mul__(other)
+
+    # -- queries --------------------------------------------------------
+    @property
+    def is_const(self) -> bool:
+        return all(m == () for m, _ in self.terms)
+
+    @property
+    def const_value(self) -> int:
+        if not self.is_const:
+            raise ValueError(f"{self.render()} is not constant")
+        return self.terms[0][1] if self.terms else 0
+
+    def symbols(self) -> Tuple[str, ...]:
+        out = set()
+        for m, _ in self.terms:
+            out.update(m)
+        return tuple(sorted(out))
+
+    def degree_in(self, name: str) -> int:
+        return max((m.count(name) for m, _ in self.terms), default=0)
+
+    def coeff_of(self, name: str) -> Optional["Expr"]:
+        """Coefficient of *name* when affine in it, else ``None``."""
+        if self.degree_in(name) > 1:
+            return None
+        raw: Dict[Mono, int] = {}
+        for m, c in self.terms:
+            if name in m:
+                rest = list(m)
+                rest.remove(name)
+                mono = tuple(rest)
+                raw[mono] = raw.get(mono, 0) + c
+        return Expr._make(raw)
+
+    def drop(self, name: str) -> "Expr":
+        """Terms of this polynomial not containing *name*."""
+        return Expr(tuple((m, c) for m, c in self.terms if name not in m))
+
+    def subst(self, name: str, value: "Expr") -> "Expr":
+        """Substitute ``name := value`` (value may mention other symbols)."""
+        out = Expr()
+        for m, c in self.terms:
+            term = Expr.const(c)
+            for s in m:
+                term = term * (value if s == name else Expr.sym(s))
+            out = out + term
+        return out
+
+    def evaluate(self, env: Dict[str, int]) -> int:
+        total = 0
+        for m, c in self.terms:
+            v = c
+            for s in m:
+                v *= env[s]
+            total += v
+        return total
+
+    def split_divisible(self, mod: "Expr") -> Tuple["Expr", "Expr"]:
+        """Split into ``(q, r)`` with ``self == q*mod + r``.
+
+        *mod* must be a single-term polynomial (``c·mono``); ``q``
+        collects the terms exactly divisible by it, ``r`` the rest.
+        """
+        if len(mod.terms) != 1:
+            raise ValueError(f"modulus must be a single term, got {mod.render()}")
+        mmono, mc = mod.terms[0]
+        q_raw: Dict[Mono, int] = {}
+        r_raw: Dict[Mono, int] = {}
+        for m, c in self.terms:
+            quotient_mono = _mono_divide(m, mmono)
+            if quotient_mono is not None and c % mc == 0:
+                q_raw[quotient_mono] = q_raw.get(quotient_mono, 0) + c // mc
+            else:
+                r_raw[m] = r_raw.get(m, 0) + c
+        return Expr._make(q_raw), Expr._make(r_raw)
+
+    def render(self) -> str:
+        if not self.terms:
+            return "0"
+        parts: List[str] = []
+        for m, c in self.terms:
+            body = "*".join(m)
+            if not m:
+                frag = str(abs(c))
+            elif abs(c) == 1:
+                frag = body
+            else:
+                frag = f"{abs(c)}*{body}"
+            if not parts:
+                parts.append(frag if c > 0 else f"-{frag}")
+            else:
+                parts.append(f"+ {frag}" if c > 0 else f"- {frag}")
+        return " ".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Expr({self.render()})"
+
+
+def _as_expr(x) -> Expr:
+    if isinstance(x, Expr):
+        return x
+    if isinstance(x, int):
+        return Expr.const(x)
+    raise TypeError(f"cannot coerce {x!r} to Expr")
+
+
+def _mono_divide(m: Mono, by: Mono) -> Optional[Mono]:
+    """``m / by`` as multisets, or ``None`` when not divisible."""
+    rest = list(m)
+    for s in by:
+        if s not in rest:
+            return None
+        rest.remove(s)
+    return tuple(rest)
+
+
+ZERO = Expr()
+ONE = Expr.const(1)
+
+
+# ----------------------------------------------------------------------
+# Regions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class QVar:
+    """One quantifier of a region: ``coeff·v`` with ``v ∈ [lo, hi]``,
+    optionally excluding ``v == exclude`` (the ``d ≠ pid`` pattern)."""
+
+    name: str
+    coeff: Expr
+    lo: Expr
+    hi: Expr
+    exclude: Optional[Expr] = None
+
+
+@dataclass(frozen=True)
+class Region:
+    """The index set ``{ base + Σ coeff_i·v_i  :  lo_i ≤ v_i ≤ hi_i }``."""
+
+    base: Expr = ZERO
+    qvars: Tuple[QVar, ...] = ()
+
+    def shift(self, e: Expr) -> "Region":
+        return replace(self, base=self.base + e)
+
+    def scale(self, e: Expr) -> "Region":
+        return Region(
+            base=self.base * e,
+            qvars=tuple(replace(v, coeff=v.coeff * e) for v in self.qvars),
+        )
+
+    def merge(self, other: "Region") -> "Region":
+        """Pointwise sum (the ``x[:, None] + arange(s)`` outer pattern)."""
+        return Region(base=self.base + other.base, qvars=self.qvars + other.qvars)
+
+    def count(self) -> Expr:
+        """Cardinality, assuming quantifier values are pairwise distinct
+        (injectivity is proven separately where it matters)."""
+        total = ONE
+        for v in self.qvars:
+            width = v.hi - v.lo + 1
+            if v.exclude is not None:
+                width = width - 1
+            total = total * width
+        return total
+
+    def value_expr(self) -> Expr:
+        """The region's generic element, quantifiers as free symbols."""
+        e = self.base
+        for v in self.qvars:
+            e = e + v.coeff * Expr.sym(v.name)
+        return e
+
+    def rename_pid(self, new: str) -> "Region":
+        return Region(
+            base=self.base.subst(PID, Expr.sym(new)),
+            qvars=tuple(
+                QVar(
+                    v.name,
+                    v.coeff.subst(PID, Expr.sym(new)),
+                    v.lo.subst(PID, Expr.sym(new)),
+                    v.hi.subst(PID, Expr.sym(new)),
+                    None if v.exclude is None else v.exclude.subst(PID, Expr.sym(new)),
+                )
+                for v in self.qvars
+            ),
+        )
+
+    def render(self) -> str:
+        if not self.qvars:
+            return f"{{{self.base.render()}}}"
+        body = self.value_expr().render()
+        quals = []
+        for v in self.qvars:
+            q = f"{v.lo.render()}<={v.name}<={v.hi.render()}"
+            if v.exclude is not None:
+                q += f", {v.name}!={v.exclude.render()}"
+            quals.append(q)
+        return f"{{{body} : {'; '.join(quals)}}}"
+
+
+@dataclass(frozen=True)
+class Guard:
+    """An affine path condition: ``expr == 0`` or ``expr >= 0``."""
+
+    expr: Expr
+    op: str  # "eq0" | "ge0"
+
+    def pinned_pid(self) -> Optional[int]:
+        """The constant this guard pins ``pid`` to, if it is ``pid == c``."""
+        if self.op != "eq0":
+            return None
+        coeff = self.expr.coeff_of(PID)
+        if coeff is None or not coeff.is_const or abs(coeff.const_value) != 1:
+            return None
+        rest = self.expr.drop(PID)
+        if not rest.is_const:
+            return None
+        return -rest.const_value * coeff.const_value
+
+    def rename_pid(self, new: str) -> "Guard":
+        return Guard(self.expr.subst(PID, Expr.sym(new)), self.op)
+
+    def render(self) -> str:
+        return f"{self.expr.render()} {'==' if self.op == 'eq0' else '>='} 0"
+
+
+# ----------------------------------------------------------------------
+# The prover
+# ----------------------------------------------------------------------
+@dataclass
+class ProofContext:
+    """Decides ``e >= 0`` under interval bounds and affine conditions.
+
+    *bounded* maps a symbol to its inclusive symbolic range (quantifier
+    variables, ``pid`` renamings); *lower_bounds* gives the global
+    integer floor of each base symbol (``p ≥ 2``, ``s ≥ 1``, …);
+    *conditions* are extra facts ``expr ≥ 0`` (path guards, declared
+    assumptions) the prover may subtract.
+
+    The procedure is sound and deliberately incomplete: eliminate
+    bounded variables at their interval endpoints (valid because every
+    expression the analyzer builds is affine in them), then shift each
+    base symbol by its floor and accept when every coefficient of the
+    expanded polynomial is nonnegative; on failure, retry after
+    subtracting a known-nonnegative condition (depth-limited).
+    """
+
+    bounded: Dict[str, Tuple[Expr, Expr]] = field(default_factory=dict)
+    lower_bounds: Dict[str, int] = field(default_factory=dict)
+    conditions: List[Expr] = field(default_factory=list)
+    #: Default floor for symbols not listed in *lower_bounds*.
+    default_floor: int = 0
+
+    def child(self, **kw) -> "ProofContext":
+        out = ProofContext(
+            bounded=dict(self.bounded),
+            lower_bounds=dict(self.lower_bounds),
+            conditions=list(self.conditions),
+            default_floor=self.default_floor,
+        )
+        for k, v in kw.items():
+            getattr(out, k).update(v) if isinstance(v, dict) else setattr(out, k, v)
+        return out
+
+    def with_qvars(self, qvars: Iterable[QVar]) -> "ProofContext":
+        out = self.child()
+        for v in qvars:
+            out.bounded[v.name] = (v.lo, v.hi)
+        return out
+
+    def with_guards(self, guards: Iterable[Guard]) -> "ProofContext":
+        out = self.child()
+        for g in guards:
+            if g.op == "ge0":
+                out.conditions.append(g.expr)
+            else:  # eq0: both directions are usable facts
+                out.conditions.append(g.expr)
+                out.conditions.append(-g.expr)
+        return out
+
+    # ------------------------------------------------------------------
+    def prove_nonneg(self, e: Expr, _depth: int = 2) -> bool:
+        if self._nonneg_core(e):
+            return True
+        if _depth <= 0:
+            return False
+        for cond in self.conditions:
+            if self.prove_nonneg(e - cond, _depth - 1):
+                return True
+        return False
+
+    def prove_pos(self, e: Expr) -> bool:
+        return self.prove_nonneg(e - 1)
+
+    def prove_zero(self, e: Expr) -> bool:
+        return not e.terms
+
+    # ------------------------------------------------------------------
+    def _nonneg_core(self, e: Expr) -> bool:
+        # 1. eliminate bounded symbols at their interval endpoints.
+        for name in e.symbols():
+            if name in self.bounded:
+                if e.degree_in(name) > 1:
+                    return False
+                lo, hi = self.bounded[name]
+                return self._nonneg_core(e.subst(name, lo)) and self._nonneg_core(
+                    e.subst(name, hi)
+                )
+        # 2. shift every base symbol by its integer floor; all-nonneg
+        #    coefficients of the shifted polynomial prove nonnegativity.
+        for name in e.symbols():
+            floor = self.lower_bounds.get(name, self.default_floor)
+            e = e.subst(name, Expr.sym(name) + floor)
+        return all(c >= 0 for _, c in e.terms)
+
+    # ------------------------------------------------------------------
+    def corner_exprs(self, e: Expr, names: Sequence[str]) -> List[Expr]:
+        """*e* at every endpoint combination of the given bounded vars."""
+        names = [n for n in names if n in e.symbols()]
+        out = [e]
+        for name in names:
+            lo, hi = self.bounded[name]
+            nxt: List[Expr] = []
+            for cur in out:
+                if cur.degree_in(name) == 0:
+                    nxt.append(cur)
+                else:
+                    nxt.append(cur.subst(name, lo))
+                    nxt.append(cur.subst(name, hi))
+            out = nxt
+        return out
+
+
+# ----------------------------------------------------------------------
+# Region-level decisions
+# ----------------------------------------------------------------------
+def region_within(region: Region, extent: Expr, ctx: ProofContext) -> bool:
+    """Prove ``region ⊆ [0, extent)`` (the QSA004 bounds obligation)."""
+    local = ctx.with_qvars(region.qvars)
+    e = region.value_expr()
+    names = [v.name for v in region.qvars]
+    for corner in local.corner_exprs(e, names):
+        if not local.prove_nonneg(corner):
+            return False
+        if not local.prove_nonneg(extent - 1 - corner):
+            return False
+    return True
+
+
+def region_injective(region: Region, ctx: ProofContext) -> bool:
+    """Prove distinct quantifier assignments hit distinct indices.
+
+    Recursive span argument: a quantifier whose coefficient strictly
+    dominates the combined span of the remaining quantifiers separates
+    the region into non-overlapping copies of the remainder.
+    """
+    qvars = list(region.qvars)
+
+    def spans(rest: List[QVar]) -> Expr:
+        total = ZERO
+        for v in rest:
+            total = total + v.coeff * (v.hi - v.lo)
+        return total
+
+    def recurse(vs: List[QVar]) -> bool:
+        if not vs:
+            return True
+        for i, v in enumerate(vs):
+            rest = vs[:i] + vs[i + 1 :]
+            # coeff positive and > span of the rest
+            if ctx.prove_pos(v.coeff) and ctx.prove_nonneg(
+                v.coeff - 1 - spans(rest)
+            ):
+                if recurse(rest):
+                    return True
+        return False
+
+    # Spans must be evaluated with quantifier bounds known.
+    ctx = ctx.with_qvars(qvars)
+    return recurse(qvars)
+
+
+def _pid_shift_disjoint(
+    e1: Expr, e2: Expr, pid1: str, pid2: str, names: Sequence[str], ctx: ProofContext
+) -> bool:
+    """Disjointness via the pid-shift argument.
+
+    When both expressions move with ``pid`` at the same positive rate
+    ``a`` and the pid-independent parts differ by less than ``a``,
+    distinct pids give values in disjoint residue windows.
+    """
+    a1, a2 = e1.coeff_of(pid1), e2.coeff_of(pid2)
+    if a1 is None or a2 is None or a1 != a2:
+        return False
+    if not ctx.prove_pos(a1):
+        return False
+    w = e1.drop(pid1) - e2.drop(pid2)
+    for corner in ctx.corner_exprs(w, names):
+        if not ctx.prove_nonneg(a1 - 1 - corner):  # w <= a-1
+            return False
+        if not ctx.prove_nonneg(corner + a1 - 1):  # w >= -(a-1)
+            return False
+    return True
+
+
+def _interval_separated(
+    e1: Expr, e2: Expr, names: Sequence[str], ctx: ProofContext
+) -> bool:
+    """Disjointness by pure interval separation (all corners ordered)."""
+    for lhs, rhs in ((e1, e2), (e2, e1)):
+        diff = lhs - rhs - 1
+        if all(ctx.prove_nonneg(c) for c in ctx.corner_exprs(diff, names)):
+            return True
+    return False
+
+
+def _exclusion_disjoint(
+    e1: Expr,
+    e2: Expr,
+    qvars: Sequence[QVar],
+    names: Sequence[str],
+    ctx: ProofContext,
+) -> bool:
+    """Disjointness via an excluded quantifier value: when
+    ``e1 - e2 == a·(v - excl)`` with ``a > 0`` and ``v != excl``,
+    the difference can never vanish."""
+    diff = e1 - e2
+    for v in qvars:
+        if v.exclude is None:
+            continue
+        a = diff.coeff_of(v.name)
+        if a is None or not a.terms:
+            continue
+        residue = diff - a * (Expr.sym(v.name) - v.exclude)
+        if residue.terms:
+            continue
+        if ctx.prove_pos(a) or ctx.prove_pos(-a):
+            return True
+    return False
+
+
+def _modulus_candidates(*regions: Region) -> List[Expr]:
+    """Single-term candidate block sizes for residue decomposition."""
+    seen: Dict[Tuple, Expr] = {}
+    for region in regions:
+        exprs = [v.coeff for v in region.qvars]
+        exprs.extend(Expr(((m, c),)) for m, c in region.base.terms if m)
+        for e in exprs:
+            for m, c in e.terms:
+                if not m:
+                    continue
+                cand = Expr(((m, abs(c)),))
+                seen[cand.terms] = cand
+                if abs(c) != 1:
+                    unit = Expr(((m, 1),))
+                    seen[unit.terms] = unit
+    # Prefer larger moduli (more structure stripped into the quotient).
+    return sorted(seen.values(), key=lambda e: (-len(e.terms[0][0]), e.terms))
+
+
+def _decompose(e: Expr, mod: Expr, names: Sequence[str], ctx: ProofContext):
+    """``e = q·mod + r`` with proof ``0 ≤ r ≤ mod-1``; None if unprovable."""
+    q, r = e.split_divisible(mod)
+    for corner in ctx.corner_exprs(r, names):
+        if not ctx.prove_nonneg(corner):
+            return None
+        if not ctx.prove_nonneg(mod - 1 - corner):
+            return None
+    return q, r
+
+
+def _exprs_disjoint(
+    e1: Expr,
+    e2: Expr,
+    pid1: str,
+    pid2: str,
+    qvars: Sequence[QVar],
+    names: Sequence[str],
+    ctx: ProofContext,
+    depth: int = 2,
+) -> bool:
+    """Core disjointness test on two generic-element expressions."""
+    if _pid_shift_disjoint(e1, e2, pid1, pid2, names, ctx):
+        return True
+    if _interval_separated(e1, e2, names, ctx):
+        return True
+    if _exclusion_disjoint(e1, e2, qvars, names, ctx):
+        return True
+    if depth <= 0:
+        return False
+    # Residue decomposition: disjoint quotients or disjoint remainders
+    # both separate the full values.  Candidate moduli come from the
+    # quantifier coefficients as well as the value terms — the block
+    # size of `{d*p + pid}` lives in d's coefficient, not in the base.
+    for mod in _modulus_candidates(Region(base=e1, qvars=tuple(qvars)), Region(base=e2)):
+        if not ctx.prove_pos(mod):
+            continue
+        d1 = _decompose(e1, mod, names, ctx)
+        d2 = _decompose(e2, mod, names, ctx)
+        if d1 is None or d2 is None:
+            continue
+        (q1, r1), (q2, r2) = d1, d2
+        if (q1.terms or q2.terms) and (
+            _exprs_disjoint(r1, r2, pid1, pid2, qvars, names, ctx, depth - 1)
+            or _exprs_disjoint(q1, q2, pid1, pid2, qvars, names, ctx, depth - 1)
+        ):
+            return True
+    return False
+
+
+def _prepare_pair(
+    r1: Region,
+    g1: Sequence[Guard],
+    r2: Region,
+    g2: Sequence[Guard],
+    base_ctx: ProofContext,
+    pid1: str,
+    pid2: str,
+):
+    """Rename pids apart, uniquify quantifiers, build the joint context."""
+    r1 = r1.rename_pid(pid1)
+    r2 = r2.rename_pid(pid2)
+
+    def uniquify(region: Region, tag: str) -> Region:
+        mapping = {v.name: f"{v.name}_{tag}" for v in region.qvars}
+        base = region.base
+        qvars = []
+        for v in region.qvars:
+            coeff, lo, hi = v.coeff, v.lo, v.hi
+            excl = v.exclude
+            for old, new in mapping.items():
+                coeff = coeff.subst(old, Expr.sym(new))
+                lo = lo.subst(old, Expr.sym(new))
+                hi = hi.subst(old, Expr.sym(new))
+                if excl is not None:
+                    excl = excl.subst(old, Expr.sym(new))
+            qvars.append(QVar(mapping[v.name], coeff, lo, hi, excl))
+        for old, new in mapping.items():
+            base = base.subst(old, Expr.sym(new))
+        return Region(base=base, qvars=tuple(qvars))
+
+    r1 = uniquify(r1, "a")
+    r2 = uniquify(r2, "b")
+    qvars = list(r1.qvars) + list(r2.qvars)
+    p = Expr.sym("p")
+    ctx = base_ctx.with_qvars(qvars)
+    for pv in (pid1, pid2):
+        ctx.bounded[pv] = (ZERO, p - 1)
+    ctx = ctx.with_guards(
+        [g.rename_pid(pid1) for g in g1] + [g.rename_pid(pid2) for g in g2]
+    )
+    names = [v.name for v in qvars] + [pid1, pid2]
+    return r1, r2, qvars, names, ctx
+
+
+def cross_pid_disjoint(
+    r1: Region,
+    g1: Sequence[Guard],
+    r2: Region,
+    g2: Sequence[Guard],
+    base_ctx: ProofContext,
+) -> bool:
+    """Prove the two accesses never touch a common cell from two
+    *distinct* processors (the QSA001/QSA002 obligation)."""
+    c1 = next((c for g in g1 if (c := g.pinned_pid()) is not None), None)
+    c2 = next((c for g in g2 if (c := g.pinned_pid()) is not None), None)
+    if c1 is not None and c2 is not None and c1 == c2:
+        return True  # both accesses live on one fixed pid: no distinct pair
+    r1p, r2p, qvars, names, ctx = _prepare_pair(r1, g1, r2, g2, base_ctx, "pid_a", "pid_b")
+    return _exprs_disjoint(
+        r1p.value_expr(), r2p.value_expr(), "pid_a", "pid_b", qvars, names, ctx
+    )
+
+
+def same_pid_disjoint(
+    r1: Region,
+    g1: Sequence[Guard],
+    r2: Region,
+    g2: Sequence[Guard],
+    base_ctx: ProofContext,
+) -> bool:
+    """Prove two accesses of the *same* processor are disjoint (the κ=1
+    obligation between distinct enqueues of one pid)."""
+    # Keep pid shared: rename both sides to the same symbol.
+    r1p, r2p, qvars, names, ctx = _prepare_pair(r1, g1, r2, g2, base_ctx, PID, PID)
+    names = [n for n in names if n != PID] + [PID]
+    e1, e2 = r1p.value_expr(), r2p.value_expr()
+    if _interval_separated(e1, e2, names, ctx):
+        return True
+    return _exclusion_disjoint(e1, e2, qvars, names, ctx) or _exprs_disjoint(
+        e1, e2, PID, PID, qvars, names, ctx
+    )

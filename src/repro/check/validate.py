@@ -1,0 +1,193 @@
+"""Runtime validation of the static phase analyzer.
+
+The analyzer (:mod:`repro.check.phases`) claims its affine index
+regions **over-approximate** every access a program can make: for any
+concrete ``(p, n, params, seed)``, the cells a processor actually
+enqueues in phase *i* must be a subset of the statically derived
+region, and the symbolic per-phase κ must dominate the measured one.
+
+This module checks that claim end to end:
+
+* :class:`ShadowRecorder` is a :class:`~repro.check.sanitizer.PhaseSanitizer`
+  that additionally records every queued index per
+  ``(phase, array, kind, pid)`` before running the normal shadow pass —
+  install it with ``check.arm("warn", sanitizer=ShadowRecorder())``;
+* :func:`validate_report` instantiates a program's static phase tree at
+  the concrete configuration (loop counts and opaque symbols evaluated
+  from the real parameter objects) and compares it against the
+  recorder's shadow sets and the run's tracked κ.
+
+Used by ``tests/test_check_validate.py`` as a property test over the
+three paper algorithms.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.check.phases import (
+    Access,
+    LoopNode,
+    PhaseNode,
+    ProgramReport,
+    _Engine,
+)
+from repro.check.sanitizer import PhaseSanitizer
+
+__all__ = ["ShadowRecorder", "opaque_env", "expand_phases", "validate_report"]
+
+
+class ShadowRecorder(PhaseSanitizer):
+    """Sanitizer that shadows the per-phase index sets it checks.
+
+    ``shadow[i]`` maps ``(array_name, kind, pid)`` to the set of global
+    indices processor *pid* queued for *array_name* in phase *i*
+    (``kind`` is ``"put"`` or ``"get"``).
+    """
+
+    def __init__(self, mode: str = "warn") -> None:
+        super().__init__(mode)
+        self.shadow: List[Dict[Tuple[str, str, int], Set[int]]] = []
+
+    def check_phase(self, queues, phase_idx: int) -> None:
+        while len(self.shadow) <= phase_idx:
+            self.shadow.append({})
+        rec = self.shadow[phase_idx]
+        for q in queues:
+            for kind, reqs in (("get", q.gets), ("put", q.puts)):
+                for req in reqs:
+                    key = (req.arr.name, kind, q.pid)
+                    cells = rec.setdefault(key, set())
+                    cells.update(int(i) for i in np.asarray(req.indices).ravel())
+        super().check_phase(queues, phase_idx)
+
+
+def opaque_env(report: ProgramReport, p: int, n: int,
+               namespace: Optional[Dict[str, Any]] = None) -> Dict[str, int]:
+    """Concrete values for every symbol of *report* at ``(p, n)``.
+
+    Opaque symbols are evaluated from their recorded source text
+    (``params.iterations(p)``, ``-(-(n) // p)`` ...) against
+    *namespace*, which must provide the objects those texts reference
+    (typically ``{"params": params}``).  Evaluation is in registration
+    order so block symbols may reference earlier opaques.
+    """
+    ns: Dict[str, Any] = dict(namespace or {})
+    ns.update({"p": p, "n": n})
+    env: Dict[str, int] = {"p": p, "n": n}
+    for sym in report.opaques.values():
+        value = eval(sym.origin, {"__builtins__": {}}, ns)  # noqa: S307
+        env[sym.name] = int(value)
+        ns[sym.name] = int(value)
+    return env
+
+
+def expand_phases(nodes, env: Dict[str, int]) -> List[PhaseNode]:
+    """Unroll the phase tree at a concrete configuration.
+
+    Only *synced* phases are kept — they are what the runtime sanitizer
+    sees; an open trailing tail never reaches ``check_phase``.
+    """
+    out: List[PhaseNode] = []
+    for nd in nodes:
+        if isinstance(nd, PhaseNode):
+            if nd.synced:
+                out.append(nd)
+        elif isinstance(nd, LoopNode):
+            if nd.count is None:
+                raise ValueError(
+                    f"loop at line {nd.line} has a data-dependent trip count; "
+                    "cannot expand the phase tree"
+                )
+            count = int(nd.count.evaluate(env))
+            body = expand_phases(nd.body, env)
+            out.extend(body * count)
+    return out
+
+
+def _static_cells(accesses: List[Access], env: Dict[str, int],
+                  pid: int) -> Optional[Set[int]]:
+    """Union of the statically allowed cells; ``None`` = unbounded."""
+    allowed: Set[int] = set()
+    for acc in accesses:
+        if acc.region is None:
+            return None  # data-dependent: the static side claims nothing
+        if not _Engine._guards_hold(acc.guards, env, pid):
+            continue  # branch not taken on this pid
+        cells = _Engine._cells(acc.region, env, pid)
+        if cells is None:
+            return None
+        allowed |= cells
+    return allowed
+
+
+def validate_report(
+    report: ProgramReport,
+    recorder: ShadowRecorder,
+    run,
+    *,
+    p: int,
+    n: int,
+    namespace: Optional[Dict[str, Any]] = None,
+    name_map: Optional[Dict[str, str]] = None,
+) -> List[str]:
+    """Check static ⊇ runtime for one recorded run; returns problems.
+
+    *name_map* translates runtime array names to the analyzer's names
+    (``{"prefix.A": "A"}``); unlisted names must match directly.
+    An empty return value means every recorded index set was covered by
+    its static region and every tracked κ was dominated.
+    """
+    env = opaque_env(report, p, n, namespace)
+    assert report.analyzer is not None
+    static = expand_phases(report.analyzer.top, env)
+    name_map = name_map or {}
+    problems: List[str] = []
+
+    if len(static) != len(recorder.shadow):
+        problems.append(
+            f"{report.name}: static phase count {len(static)} != "
+            f"recorded {len(recorder.shadow)} at {env}"
+        )
+    for i, (ph, rec) in enumerate(zip(static, recorder.shadow)):
+        by_key: Dict[Tuple[str, str], List[Access]] = {}
+        for acc in ph.accesses:
+            if acc.kind in ("put", "get"):
+                by_key.setdefault((acc.array, acc.kind), []).append(acc)
+        for (aname, kind, pid), cells in rec.items():
+            sname = name_map.get(aname, aname)
+            accs = by_key.get((sname, kind))
+            if accs is None:
+                problems.append(
+                    f"{report.name} phase {i}: runtime {kind} on {aname!r} "
+                    f"(pid {pid}) has no static access at all"
+                )
+                continue
+            allowed = _static_cells(accs, env, pid)
+            if allowed is None:
+                continue  # deferred to the runtime sanitizer (QSA005)
+            extra = sorted(cells - allowed)
+            if extra:
+                problems.append(
+                    f"{report.name} phase {i}: pid {pid} {kind} cells {extra[:8]} "
+                    f"on {aname!r} escape the static region at {env}"
+                )
+
+    # κ domination: symbolic per-phase κ >= the tracked runtime κ.
+    kappa_by_node = {id(fp.node): fp.kappa for fp in report.phases}
+    for i, ph in enumerate(static):
+        if i >= len(run.phases):
+            break
+        observed = run.phases[i].kappa
+        symbolic = kappa_by_node.get(id(ph))
+        if observed is None or symbolic is None:
+            continue
+        bound = int(symbolic.evaluate(env))
+        if observed > bound:
+            problems.append(
+                f"{report.name} phase {i}: observed kappa {observed} exceeds "
+                f"symbolic bound {bound} at {env}"
+            )
+    return problems

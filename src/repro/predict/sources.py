@@ -346,3 +346,38 @@ def make_source(algo: str, p: int, cpu: CPUModel = None, **kwargs) -> ProfileSou
 register_source("prefix", PrefixSource)
 register_source("samplesort", SampleSortSource)
 register_source("listrank", ListRankSource)
+
+
+# ----------------------------------------------------------------------
+# Symbolic closed forms (static cross-check)
+# ----------------------------------------------------------------------
+#: Exact symbolic profiles over ``(p, n, params)``, cross-checked by the
+#: static phase analyzer (``python -m repro.check.phases``).  Values are
+#: polynomial strings over ``p``/``n`` and the named opaque symbols;
+#: ``None`` marks quantities with no closed form (data-dependent traffic
+#: the analyzer defers to the runtime sanitizer).  ``symbols`` maps each
+#: opaque symbol to the program source text it abstracts, letting the
+#: analyzer align its derived symbols with these names.
+SYMBOLIC: Dict[str, Dict[str, object]] = {
+    "prefix": {
+        "n_syncs": "1",
+        "put_words": "p - 1",
+        "get_words": "0",
+        "kappa": "1",
+        "symbols": {},
+    },
+    "samplesort": {
+        "n_syncs": "5",
+        "put_words": None,  # bucket traffic is data-dependent
+        "get_words": None,
+        "kappa": None,
+        "symbols": {"s": "params.samples_per_proc(n)"},
+    },
+    "listrank": {
+        "n_syncs": "4*T + 5",
+        "put_words": None,  # contraction traffic is data-dependent
+        "get_words": None,
+        "kappa": None,
+        "symbols": {"T": "params.iterations(p)"},
+    },
+}

@@ -1,0 +1,68 @@
+"""Seeded QSM phase-contract bugs for the static phase analyzer.
+
+Each ``*_program`` below violates exactly one ``QSA###`` rule; the
+tests in ``tests/test_check_phases.py`` pin the code and the
+``file:line`` provenance the analyzer must report.  Keep this file
+append-only — line numbers are asserted.
+"""
+
+import numpy as np
+
+from repro.check.spec import phase_spec
+
+
+@phase_spec(arrays={"B": "p"})
+def ww_overlap_program(ctx, B):
+    """QSA001: every pid writes cell 0 of a shared array."""
+    ctx.put(B, [0], [ctx.pid])  # line 18: cross-pid write-write overlap
+    yield ctx.sync()
+
+
+@phase_spec(arrays={"B": "p"})
+def read_written_program(ctx, B):
+    """QSA002: pid reads a cell its left neighbour writes this phase."""
+    if ctx.pid + 1 < ctx.p:
+        ctx.put(B, [ctx.pid + 1], [1])  # line 26: remote write
+    h = ctx.get(B, [ctx.pid])  # line 27: same-phase read of that region
+    yield ctx.sync()
+    del h
+
+
+@phase_spec(arrays={"B": "p"}, kappa="1")
+def hot_spot_program(ctx, B):
+    """QSA003: all p processors get cell 0 -> kappa = p > declared 1."""
+    h = ctx.get(B, [0])  # line 35: p-way contention on one cell
+    yield ctx.sync()
+    del h
+
+
+@phase_spec(arrays={"B": "p"})
+def oob_program(ctx, B):
+    """QSA004: pid p-1 writes one cell past the extent."""
+    ctx.put(B, [ctx.pid + 1], [1])  # line 43: B[p] escapes extent p
+    yield ctx.sync()
+
+
+@phase_spec(arrays={"A": "n", "B": "p"})
+def data_dependent_program(ctx, A, B):
+    """QSA005: destination computed from data -> deferred to runtime."""
+    target = int(ctx.local(A)[0]) % ctx.p
+    ctx.put(B, [target], [1])  # line 51: not statically affine
+    yield ctx.sync()
+
+
+@phase_spec(arrays={"B": "p"})
+def suppressed_overlap_program(ctx, B):
+    """Same bug as QSA001 above, silenced by a line suppression."""
+    ctx.put(B, [0], [ctx.pid])  # qsa: disable=QSA001
+    yield ctx.sync()
+
+
+@phase_spec(arrays={"A": "n", "R": "p*p"}, kappa="1")
+def clean_shift_program(ctx, A, R):
+    """Control: slotted all-to-all exchange, provably QSA-clean."""
+    ctx.local(R)[ctx.pid] = 0  # own slot: disjoint from incoming puts
+    peers = np.array([d for d in range(ctx.p) if d != ctx.pid])
+    if peers.size:
+        ctx.put(R, peers * ctx.p + ctx.pid, np.zeros(len(peers)))
+    yield ctx.sync()

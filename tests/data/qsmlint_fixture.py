@@ -78,3 +78,20 @@ class _Holder:
         yield ctx.sync()
         good = self.h.data  # allowed: after the sync
         return bad, good
+
+
+def tuple_bound_handles(ctx, arr):
+    h1, h2 = ctx.get(arr, [0]), ctx.get_range(arr, 1, 2)
+    early = h1.data + h2.data.sum()  # line 85: QL104 x2 (tuple assignment)
+    yield ctx.sync()
+    late = h1.data + h2.data.sum()  # allowed: after the sync
+    return early, late
+
+
+def unpacked_container_handles(ctx, arr):
+    handles = [ctx.get(arr, [0]), ctx.get(arr, [1])]
+    first, second = handles
+    early = first.data + second.data  # line 94: QL104 x2 (unpacked container)
+    yield ctx.sync()
+    late = first.data + second.data  # allowed: after the sync
+    return early, late

@@ -149,6 +149,80 @@ class TestQL106:
         assert fixed.index("if a is None:") < fixed.index("if b is None:")
 
 
+class TestQL105:
+    def test_bare_except_rewritten(self):
+        fixed, applied = _fix(
+            """
+            def f():
+                try:
+                    g()
+                except:
+                    return None
+            """
+        )
+        assert [f.code for f in applied] == ["QL105"]
+        assert "except Exception:" in fixed
+        assert lint_source(fixed) == []
+
+    def test_trailing_comment_preserved(self):
+        fixed, applied = _fix(
+            """
+            def f():
+                try:
+                    g()
+                except:  # last resort
+                    pass
+            """
+        )
+        assert len(applied) == 1
+        assert "except Exception:  # last resort" in fixed
+
+    def test_typed_handler_untouched(self):
+        src = textwrap.dedent(
+            """
+            def f():
+                try:
+                    g()
+                except ValueError:
+                    pass
+            """
+        )
+        fixed, applied = fix_source(src)
+        assert applied == [] and fixed == src
+
+    def test_multiple_handlers_one_pass(self):
+        fixed, applied = _fix(
+            """
+            def f():
+                try:
+                    g()
+                except:
+                    pass
+                try:
+                    h()
+                except :
+                    raise
+            """
+        )
+        assert [f.code for f in applied] == ["QL105", "QL105"]
+        assert fixed.count("except Exception:") == 2
+        again, applied2 = fix_source(fixed)
+        assert applied2 == [] and again == fixed
+
+    def test_suppressed_finding_untouched(self):
+        src = textwrap.dedent(
+            """
+            def f():
+                try:
+                    g()
+                except:  # qsmlint: disable=QL105
+                    pass
+            """
+        )
+        fixed, applied = fix_source(src)
+        assert applied == [] and fixed == src
+
+
 class TestDriver:
     def test_idempotent(self):
         src = """
@@ -168,7 +242,7 @@ class TestDriver:
         assert fixed == src and applied == []
 
     def test_fixable_set(self):
-        assert FIXABLE == {"QL103", "QL106"}
+        assert FIXABLE == {"QL103", "QL105", "QL106"}
 
     def test_fix_file_in_place(self, tmp_path):
         target = tmp_path / "mod.py"

@@ -51,6 +51,8 @@ def test_fixture_findings_at_expected_lines():
         (67, "QL104"),  # container-held handle, subscript read
         (68, "QL104"),  # comprehension over handle container
         (77, "QL104"),  # attribute-held handle
+        (85, "QL104"),  # tuple-assignment-bound handles
+        (94, "QL104"),  # handles unpacked from a container
     }
     assert got == expected
 
@@ -210,6 +212,60 @@ def test_main_model_flag_forces_scope(tmp_path, capsys):
     assert lint.main([str(f)]) == 0  # not a model path
     assert lint.main([str(f), "--model"]) == 1
     assert "QL101" in capsys.readouterr().out
+
+
+def test_main_baseline_roundtrip(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    baseline = tmp_path / "lint-baseline.json"
+
+    # Record the accepted state; the run itself passes.
+    assert lint.main([str(dirty), "--baseline", str(baseline), "--update-baseline"]) == 0
+    assert "recorded 1 finding(s)" in capsys.readouterr().err
+    payload = json.loads(baseline.read_text())
+    assert payload["version"] == 1 and len(payload["findings"]) == 1
+
+    # Same findings -> suppressed, exit 0.
+    assert lint.main([str(dirty), "--baseline", str(baseline)]) == 0
+    captured = capsys.readouterr()
+    assert "suppressed 1 pre-existing" in captured.err
+    assert "QL106" not in captured.out
+
+    # A NEW finding still fails, and only it is reported.
+    dirty.write_text("def f(x=[]):\n    try:\n        return x\n    except:\n        pass\n")
+    assert lint.main([str(dirty), "--baseline", str(baseline)]) == 1
+    out = capsys.readouterr().out
+    assert "QL105" in out and "QL106" not in out
+
+
+def test_main_baseline_shifted_lines_still_match(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    baseline = tmp_path / "b.json"
+    assert lint.main([str(dirty), "--baseline", str(baseline), "--update-baseline"]) == 0
+    capsys.readouterr()
+    # Prepend unrelated lines: the finding moves but stays baselined.
+    dirty.write_text("import os\n\n\ndef f(x=[]):\n    return x\n")
+    assert lint.main([str(dirty), "--baseline", str(baseline)]) == 0
+
+
+def test_main_baseline_duplicate_counting(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text("def f(x=[]):\n    return x\n")
+    baseline = tmp_path / "b.json"
+    assert lint.main([str(dirty), "--baseline", str(baseline), "--update-baseline"]) == 0
+    capsys.readouterr()
+    # A second instance of the SAME keyed finding is new, not baselined.
+    dirty.write_text("def f(x=[]):\n    return x\n\n\ndef g(x=[]):\n    return x\n")
+    assert lint.main([str(dirty), "--baseline", str(baseline)]) == 1
+    assert "suppressed 1 pre-existing" in capsys.readouterr().err
+
+
+def test_main_baseline_missing_file_errors(tmp_path, capsys):
+    clean = tmp_path / "clean.py"
+    clean.write_text("x = 1\n")
+    assert lint.main([str(clean), "--baseline", str(tmp_path / "nope.json")]) == 2
+    assert "--update-baseline" in capsys.readouterr().err
 
 
 def test_main_list_rules(capsys):

@@ -1,0 +1,168 @@
+"""Static phase analyzer (`repro.check.phases`): seeded-bug fixture
+coverage, CLEAN proofs for the paper algorithms, symbolic profiles
+cross-checked against the closed forms, and CLI behavior."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.check import phases
+from repro.check.phases import (
+    analyze_file,
+    analyze_paths,
+    crosscheck_failed,
+)
+
+FIXTURE = Path(__file__).parent / "data" / "qsa_fixture.py"
+ALGORITHMS = Path(__file__).resolve().parents[1] / "src" / "repro" / "algorithms"
+
+
+@pytest.fixture(scope="module")
+def fixture_reports():
+    return {r.name: r for r in analyze_file(FIXTURE)}
+
+
+@pytest.fixture(scope="module")
+def algo_reports():
+    return {r.name: r for r in analyze_paths([str(ALGORITHMS)])}
+
+
+# ----------------------------------------------------------------------
+# Seeded bugs: each fixture program produces exactly its QSA code
+# ----------------------------------------------------------------------
+def _origin_lines(diag):
+    return {int(o.rsplit(":", 1)[1]) for o in diag.origins}
+
+
+def test_fixture_ww_overlap(fixture_reports):
+    rep = fixture_reports["ww_overlap_program"]
+    assert [d.code for d in rep.errors] == ["QSA001"]
+    diag = rep.errors[0]
+    assert all("qsa_fixture.py:" in o for o in diag.origins)
+    assert _origin_lines(diag) == {17}
+    assert diag.pids and diag.cells is not None
+
+
+def test_fixture_read_of_written(fixture_reports):
+    rep = fixture_reports["read_written_program"]
+    assert [d.code for d in rep.errors] == ["QSA002"]
+    assert _origin_lines(rep.errors[0]) == {25, 26}
+
+
+def test_fixture_kappa_exceeded(fixture_reports):
+    rep = fixture_reports["hot_spot_program"]
+    assert [d.code for d in rep.errors] == ["QSA003"]
+    assert _origin_lines(rep.errors[0]) == {34}
+
+
+def test_fixture_out_of_bounds(fixture_reports):
+    rep = fixture_reports["oob_program"]
+    assert [d.code for d in rep.errors] == ["QSA004"]
+    assert _origin_lines(rep.errors[0]) == {42}
+
+
+def test_fixture_data_dependent_is_note_only(fixture_reports):
+    rep = fixture_reports["data_dependent_program"]
+    assert rep.errors == []
+    codes = {d.code for d in rep.findings}
+    assert codes == {"QSA005"}
+    assert all(d.severity == "note" for d in rep.findings)
+    assert any(50 in _origin_lines(d) for d in rep.findings)
+
+
+def test_fixture_suppression_silences(fixture_reports):
+    rep = fixture_reports["suppressed_overlap_program"]
+    assert rep.findings == []
+
+
+def test_fixture_clean_control(fixture_reports):
+    rep = fixture_reports["clean_shift_program"]
+    assert rep.findings == []
+    prof = rep.profile
+    assert prof["kappa"].render() == "1"
+    assert prof["put_words"].render() == "-1 + p"
+
+
+def test_fixture_findings_carry_tool_tag(fixture_reports):
+    for rep in fixture_reports.values():
+        for d in rep.findings:
+            assert d.tool == "phases"
+            assert d.format().startswith("[phases]")
+
+
+# ----------------------------------------------------------------------
+# The paper algorithms are statically phase-safe
+# ----------------------------------------------------------------------
+def test_all_algorithm_programs_prove_clean(algo_reports):
+    assert len(algo_reports) >= 6
+    for name, rep in algo_reports.items():
+        assert rep.errors == [], f"{name}: " + "\n".join(
+            d.format() for d in rep.errors
+        )
+        assert not crosscheck_failed(rep), f"{name}: {rep.crosscheck}"
+
+
+def test_prefix_profile_matches_closed_form(algo_reports):
+    rep = algo_reports["prefix_sums_program"]
+    prof = rep.profile
+    assert prof["n_syncs"].render() == "1"
+    assert prof["put_words"].render() == "-1 + p"
+    assert prof["get_words"].render() == "0"
+    assert prof["kappa"].render() == "1"
+    assert rep.crosscheck == {
+        "n_syncs": "ok", "put_words": "ok", "get_words": "ok", "kappa": "ok"
+    }
+
+
+def test_samplesort_sync_count_crosschecks(algo_reports):
+    rep = algo_reports["sample_sort_program"]
+    assert rep.crosscheck["n_syncs"] == "ok"
+    assert rep.profile["n_syncs"].render() == "5"
+
+
+def test_listrank_sync_count_crosschecks(algo_reports):
+    rep = algo_reports["list_rank_program"]
+    assert rep.crosscheck["n_syncs"] == "ok"
+    assert rep.profile["n_syncs"].evaluate({"T": 6}) == 29
+
+
+# ----------------------------------------------------------------------
+# CLI entry point
+# ----------------------------------------------------------------------
+def test_main_algorithms_exit_zero(capsys):
+    assert phases.main([str(ALGORITHMS)]) == 0
+    out = capsys.readouterr().out
+    assert "=> CLEAN" in out and "crosscheck[prefix]" in out
+
+
+def test_main_fixture_exit_one_with_provenance(capsys):
+    assert phases.main([str(FIXTURE)]) == 1
+    out = capsys.readouterr().out
+    assert "QSA001" in out and "qsa_fixture.py:17" in out
+
+
+def test_main_json_payload(capsys):
+    assert phases.main([str(FIXTURE), "--json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tool"] == "phases" and payload["ok"] is False
+    by_name = {p["program"]: p for p in payload["programs"]}
+    codes = {d["code"] for d in by_name["ww_overlap_program"]["findings"]}
+    assert codes == {"QSA001"}
+    assert by_name["clean_shift_program"]["findings"] == []
+    assert by_name["clean_shift_program"]["profile"]["put_words"] == "-1 + p"
+
+
+def test_main_select_filters(capsys):
+    assert phases.main([str(FIXTURE), "--select", "clean_shift"]) == 0
+    out = capsys.readouterr().out
+    assert "clean_shift_program" in out and "ww_overlap" not in out
+
+
+def test_main_no_programs_exit_two(tmp_path, capsys):
+    empty = tmp_path / "empty.py"
+    empty.write_text("x = 1\n")
+    assert phases.main([str(empty)]) == 2
+    assert "no SPMD programs" in capsys.readouterr().err

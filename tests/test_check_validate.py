@@ -1,0 +1,121 @@
+"""Property tests: static phase regions over-approximate runtime behavior.
+
+For each paper algorithm, every configuration ``p x seed`` must satisfy
+
+* the cells each processor actually enqueues per phase are a subset of
+  the statically derived affine region for that phase/array/kind, and
+* the measured per-phase contention never exceeds the symbolic κ.
+
+This is the contract that makes the analyzer's CLEAN verdicts
+meaningful: a region that under-approximated would let real conflicts
+slip past the static layer.
+"""
+
+import numpy as np
+import pytest
+
+import repro.algorithms.listrank as listrank_mod
+import repro.algorithms.prefix as prefix_mod
+import repro.algorithms.samplesort as samplesort_mod
+from repro import check
+from repro.algorithms.listrank import ListRankParams, make_random_list, run_list_ranking
+from repro.algorithms.prefix import run_prefix_sums
+from repro.algorithms.samplesort import SampleSortParams, run_sample_sort
+from repro.check.phases import analyze_file
+from repro.check.validate import ShadowRecorder, validate_report
+from repro.machine.config import MachineConfig
+from repro.qsmlib import RunConfig
+
+PS = (1, 2, 4, 8)
+SEEDS = (3, 11)
+
+
+def cfg(p, seed):
+    return RunConfig(
+        machine=MachineConfig(p=p), seed=seed, track_kappa=True
+    )
+
+
+def report_for(module, name):
+    for rep in analyze_file(module.__file__):
+        if rep.name == name:
+            return rep
+    raise AssertionError(f"no program {name!r} in {module.__file__}")
+
+
+@pytest.fixture(autouse=True)
+def _disarm_after():
+    yield
+    check.disarm()
+
+
+def record(fn):
+    recorder = check.arm("warn", sanitizer=ShadowRecorder())
+    try:
+        out = fn()
+    finally:
+        check.disarm()
+    return recorder, out
+
+
+@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_prefix_regions_cover_runtime(p, seed):
+    rep = report_for(prefix_mod, "prefix_sums_program")
+    n = 8 * p + 3
+    values = np.random.default_rng(seed).integers(0, 50, n)
+    recorder, out = record(lambda: run_prefix_sums(values, cfg(p, seed)))
+    problems = validate_report(
+        rep, recorder, out.run, p=p, n=n,
+        name_map={"prefix.A": "A", "prefix.R": "R", "prefix.T": "T"},
+    )
+    assert problems == []
+
+
+@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_samplesort_regions_cover_runtime(p, seed):
+    rep = report_for(samplesort_mod, "sample_sort_program")
+    n = max(256, 32 * p)
+    params = SampleSortParams()
+    values = np.random.default_rng(seed).integers(0, 10_000, n)
+    recorder, out = record(
+        lambda: run_sample_sort(values, cfg(p, seed), params=params)
+    )
+    problems = validate_report(
+        rep, recorder, out.run, p=p, n=n,
+        namespace={"params": params},
+        name_map={"ss.in": "S_in", "ss.out": "S_out"},
+    )
+    assert problems == []
+
+
+@pytest.mark.parametrize("p", PS)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_listrank_regions_cover_runtime(p, seed):
+    rep = report_for(listrank_mod, "list_rank_program")
+    n = 16 * p
+    params = ListRankParams()
+    succ = make_random_list(n, seed)
+    recorder, out = record(
+        lambda: run_list_ranking(succ, cfg(p, seed), params=params)
+    )
+    problems = validate_report(
+        rep, recorder, out.run, p=p, n=n,
+        namespace={"params": params},
+        name_map={"lr.S": "S", "lr.Pr": "Pr", "lr.D": "D", "lr.R": "R"},
+    )
+    assert problems == []
+
+
+def test_prefix_symbolic_kappa_dominates():
+    """The program-level symbolic κ evaluates above every observed κ."""
+    rep = report_for(prefix_mod, "prefix_sums_program")
+    assert rep.profile["kappa"] is not None
+    for p in (2, 4, 8):
+        values = np.arange(8 * p)
+        out = run_prefix_sums(values, cfg(p, 1))
+        bound = rep.profile["kappa"].evaluate({"p": p, "n": values.size})
+        for ph in out.run.phases:
+            assert ph.kappa is not None
+            assert ph.kappa <= bound
