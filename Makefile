@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test check check-phases bench bench-smoke bench-obs bench-check bench-faults report trace-demo serve-demo
+.PHONY: test check check-phases bench bench-smoke bench-obs bench-check bench-faults bench-topology report trace-demo serve-demo
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -48,6 +48,12 @@ bench-check:
 bench-faults:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_faults.py \
 		--check benchmarks/BENCH_perf.json --tolerance 0.03
+
+# Topology smoke: the flat machine must match the pre-topology golden
+# timings exactly, and a small cluster grid must report bit-identical
+# timings under the fast and epoch sync paths.
+bench-topology:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_topology.py
 
 report:
 	PYTHONPATH=src $(PYTHON) -m repro.experiments.cli report REPORT.md --fast

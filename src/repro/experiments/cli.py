@@ -8,6 +8,7 @@ Usage::
     qsm-repro run fig2 --models qsm-best,bsp-whp --ns 4096 --json out.json
     qsm-repro run fig2 --trace out.json --metrics out.jsonl
     qsm-repro run fig2 --cache .qsm-cache --jobs 4
+    qsm-repro run fig8 --topology cluster,cores=4,intra_g=0.375
     qsm-repro all [--fast]
     qsm-repro serve --cache .qsm-cache
     qsm-repro submit fig1 --fast --json out.json
@@ -78,8 +79,15 @@ def build_parser() -> argparse.ArgumentParser:
         "docs/SERVICE.md); a re-run of an identical sweep replays from the "
         "store and executes zero simulator points"
     )
+    topology_help = (
+        "machine topology for the simulated runs: 'flat' (the default "
+        "all-to-all g/o/l network) or 'cluster[,cores=C,intra_g=G,intra_o=O,"
+        "intra_l=L,wire_g=W]' (two-tier cluster of multicores — see "
+        "docs/MODEL.md); experiments without a topology knob ignore it"
+    )
 
     def add_resilience_args(p) -> None:
+        p.add_argument("--topology", metavar="SPEC", help=topology_help)
         p.add_argument("--cache", metavar="DIR", help=cache_help)
         p.add_argument(
             "--sync-path", choices=["slow", "fast", "epoch"],
@@ -451,6 +459,21 @@ def _cmd_cache(args) -> int:
     return 0
 
 
+def _resolve_topology_arg(args):
+    """Parse ``--topology`` before any work runs (exit 2 on a bad spec,
+    listing the available topology kinds and parameter keys)."""
+    spec = getattr(args, "topology", None)
+    if not spec:
+        return None
+    from repro.machine.config import parse_topology
+
+    try:
+        return parse_topology(spec)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+
+
 def _resolve_models_arg(args) -> Optional[List[str]]:
     """Validate ``--models`` against the registry before any work runs."""
     spec = getattr(args, "models", None)
@@ -490,6 +513,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_cache(args)
 
     models = _resolve_models_arg(args)
+    topology = _resolve_topology_arg(args)
     observing = _obs_setup(args)
     sanitizing = _sanitize_setup(args)
     faulting = _faults_setup(args)
@@ -508,6 +532,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             seed=args.seed,
             jobs=args.jobs,
             models=models,
+            topology=topology,
         )
         print(f"[wrote markdown report to {args.output}]")
         if observing:
@@ -533,6 +558,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             jobs=args.jobs,
             models=models,
             ns=getattr(args, "ns", None),
+            topology=topology,
         )
         elapsed = time.time() - t0
         elapsed_by_id[exp_id] = elapsed

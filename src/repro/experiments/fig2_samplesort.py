@@ -28,6 +28,7 @@ from repro.experiments.base import (
     reps_for,
 )
 from repro.experiments.executor import parallel_map
+from repro.machine.config import MachineConfig, Topology
 from repro.predict import PAPER_MODELS, make_source, predict_point, resolve_models
 from repro.qsmlib import QSMMachine, RunConfig
 
@@ -36,17 +37,19 @@ FAST_NS = [8192, 65536, 250000]
 
 
 def _fig2_point_task(task) -> tuple:
-    """One (n, run_seed) point: the measured run.
+    """One (machine, n, run_seed) point: the measured run.
 
-    Module-level (picklable) for the --jobs process pool; the run
-    record travels back to the parent, where every requested model —
-    including the observed-skew ones — is priced uniformly.
+    Module-level (picklable) for the --jobs process pool and the result
+    cache (the machine config in the task salts the store key, so flat
+    and cluster sweeps never share cached points); the run record
+    travels back to the parent, where every requested model — including
+    the observed-skew ones — is priced uniformly.
     """
-    n, run_seed = task
+    machine, n, run_seed = task
     rng = np.random.default_rng(run_seed)
     out = run_sample_sort(
         rng.integers(0, 2**62, size=n),
-        RunConfig(seed=run_seed, check_semantics=False),
+        RunConfig(machine=machine, seed=run_seed, check_semantics=False),
     )
     return out.run.comm_cycles, out.run.total_cycles, out.run
 
@@ -57,16 +60,18 @@ def run(
     ns: Optional[List[int]] = None,
     jobs: int = 1,
     models: Union[str, Sequence[str], None] = None,
+    topology: Optional[Topology] = None,
 ) -> ExperimentResult:
     ns = ns or (FAST_NS if fast else FULL_NS)
     reps = reps_for(fast)
-    config = RunConfig(seed=seed, check_semantics=False)
+    machine = MachineConfig() if topology is None else MachineConfig(topology=topology)
+    config = RunConfig(machine=machine, seed=seed, check_semantics=False)
     qm = QSMMachine(config)
     costs, cpu = qm.cost_model(), qm.machine.cpus[0]
     source = make_source("samplesort", p=config.machine.p, cpu=cpu)
     model_names = resolve_models(models, default=PAPER_MODELS)
 
-    tasks = [(n, seed + 1000 * r + 1) for n in ns for r in range(reps)]
+    tasks = [(machine, n, seed + 1000 * r + 1) for n in ns for r in range(reps)]
     measured = parallel_map(_fig2_point_task, tasks, jobs=jobs)
 
     comm_mean, comm_rel_std, total_mean = [], [], []
@@ -93,9 +98,12 @@ def run(
             pred_series[rec.model].append(round(rec.comm_cycles))
             records.append(rec)
 
+    title = "Sample sort: measured vs predicted communication (cycles, p=16)"
+    if not machine.topology.is_flat:
+        title += f" [{machine.topology.describe()}]"
     result = render_series(
         "fig2",
-        "Sample sort: measured vs predicted communication (cycles, p=16)",
+        title,
         "n",
         ns,
         {
@@ -107,4 +115,5 @@ def run(
     )
     result.data["models"] = list(model_names)
     result.data["predictions"] = [rec.to_dict() for rec in records]
+    result.data["topology"] = machine.topology.describe()
     return result

@@ -13,6 +13,7 @@ from repro.experiments import (
     fig5_latency_crossover,
     fig6_overhead_crossover,
     fig7_membank,
+    fig8_topology,
     table1_contract,
     table2_node,
     table3_observed,
@@ -32,6 +33,7 @@ EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
     "fig5": fig5_latency_crossover.run,
     "fig6": fig6_overhead_crossover.run,
     "fig7": fig7_membank.run,
+    "fig8": fig8_topology.run,
 }
 
 
@@ -66,12 +68,15 @@ def run_experiment(
     jobs: int = 1,
     models=None,
     ns=None,
+    topology=None,
 ) -> ExperimentResult:
     """Run one experiment, forwarding only the knobs its runner declares.
 
-    ``models`` (registered prediction-model names) and ``ns`` (problem
-    sizes) are optional overrides; experiments without prediction lines
-    or an n grid silently ignore them, so ``all --models ...`` works.
+    ``models`` (registered prediction-model names), ``ns`` (problem
+    sizes) and ``topology`` (a parsed
+    :class:`~repro.machine.config.Topology`) are optional overrides;
+    experiments without prediction lines, an n grid or a topology knob
+    silently ignore them, so ``all --models ... --topology ...`` works.
     """
     runner = get_experiment(exp_id)
     kwargs = {"fast": fast, "seed": seed}
@@ -81,4 +86,6 @@ def run_experiment(
         kwargs["models"] = models
     if ns is not None and accepts_keyword(runner, "ns"):
         kwargs["ns"] = list(ns)
+    if topology is not None and accepts_keyword(runner, "topology"):
+        kwargs["topology"] = topology
     return runner(**kwargs)

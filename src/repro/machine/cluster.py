@@ -35,7 +35,10 @@ class Machine:
         self.faults = _faults.state_for(config.faults, config.p, salt=fault_salt)
         if self.faults is not None and self.sim.obs is not None:
             self.sim.obs.add_finalizer(self.faults.harvest_obs)
-        self.network = Network(self.sim, config.network, config.p, faults=self.faults)
+        self.network = Network(
+            self.sim, config.network, config.p, faults=self.faults,
+            topology=config.topology,
+        )
         self.cpus: List[CPUModel] = [CPUModel(config.node) for _ in range(config.p)]
 
     @property

@@ -6,7 +6,11 @@ Three layers of configuration, mirroring the paper's tables:
   Table 2 (functional-unit mix, issue width, cache hierarchy, clock);
 * :class:`NetworkConfig` — the network hardware parameters of Table 3
   (gap ``g`` in cycles/byte, per-message overhead ``o``, latency ``l``);
-* :class:`MachineConfig` — ``p`` nodes plus a network.
+* a :data:`Topology` — how the ``p`` processors share that network:
+  :class:`FlatTopology` (every pair crosses the one NIC, the paper's
+  implicit assumption) or :class:`ClusterTopology` (cores grouped into
+  multi-core nodes with a cheap intra-node tier, after Task & Chauhan);
+* :class:`MachineConfig` — ``p`` nodes plus a network plus a topology.
 
 :data:`TABLE4_PRESETS` carries the six architectures of Table 4 with the
 paper's published ``(p, l, o, g)`` values (already converted to clock
@@ -17,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 from repro.faults.plan import FaultPlan
 from repro.util.validation import check_nonnegative, check_positive, check_power_of_two
@@ -144,6 +148,171 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class FlatTopology:
+    """Single-tier topology: every processor pair crosses the one NIC.
+
+    This is the paper's implicit machine shape — all derived costs are
+    bit-identical to the pre-topology code paths, which the golden tests
+    pin.
+    """
+
+    @property
+    def is_flat(self) -> bool:
+        return True
+
+    @property
+    def kind(self) -> str:
+        return "flat"
+
+    def validate_for(self, p: int) -> None:
+        pass
+
+    def intra_peer_fraction(self, p: int) -> float:
+        """Fraction of a processor's peers reachable on the cheap tier
+        (0.0: there is no cheap tier)."""
+        return 0.0
+
+    def describe(self) -> str:
+        return "flat"
+
+
+@dataclass(frozen=True)
+class ClusterTopology:
+    """Two-tier cluster-of-multicores topology (Task & Chauhan).
+
+    ``p`` cores are grouped contiguously into nodes of
+    ``cores_per_node`` (core ``pid`` lives on node
+    ``pid // cores_per_node``).  Messages between cores of one node pay
+    the cheap intra-node ``g/o/l`` (shared-memory transfers); messages
+    between nodes pay the machine's :class:`NetworkConfig` tier on the
+    send side and, on the receive side, contend for the destination
+    *node's* shared wire at ``node_wire_gap_cycles_per_byte`` —
+    bandwidth is shared per node, not per core.
+    """
+
+    cores_per_node: int = 4
+    #: Intra-node tier: shared-memory transfer costs between cores of
+    #: one node (defaults: 8× cheaper gap/overhead than the default
+    #: network, no wire latency).
+    intra_gap_cycles_per_byte: float = 0.375
+    intra_overhead_cycles: float = 50.0
+    intra_latency_cycles: float = 0.0
+    #: Per-byte drain rate of a node's shared inter-node wire (the
+    #: receive-side bottleneck all of that node's cores contend on).
+    #: ``None`` means the NetworkConfig gap (per-core NIC rate).
+    node_wire_gap_cycles_per_byte: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        check_positive("cores_per_node", self.cores_per_node)
+        check_positive("intra_gap_cycles_per_byte", self.intra_gap_cycles_per_byte)
+        check_nonnegative("intra_overhead_cycles", self.intra_overhead_cycles)
+        check_nonnegative("intra_latency_cycles", self.intra_latency_cycles)
+        if self.node_wire_gap_cycles_per_byte is not None:
+            check_positive(
+                "node_wire_gap_cycles_per_byte", self.node_wire_gap_cycles_per_byte
+            )
+
+    @property
+    def is_flat(self) -> bool:
+        return False
+
+    @property
+    def kind(self) -> str:
+        return "cluster"
+
+    def validate_for(self, p: int) -> None:
+        if p % self.cores_per_node:
+            raise ValueError(
+                f"cores_per_node={self.cores_per_node} does not divide p={p}"
+            )
+
+    def n_nodes(self, p: int) -> int:
+        return p // self.cores_per_node
+
+    def node_of(self, pid: int) -> int:
+        return pid // self.cores_per_node
+
+    def intra_peer_fraction(self, p: int) -> float:
+        """Fraction of a processor's ``p - 1`` peers on its own node —
+        the weight of the cheap tier under uniformly spread traffic
+        (the effective-``g`` mix of docs/MODEL.md)."""
+        if p <= 1:
+            return 0.0
+        return (min(self.cores_per_node, p) - 1) / (p - 1)
+
+    def describe(self) -> str:
+        parts = [
+            f"cores={self.cores_per_node}",
+            f"intra_g={self.intra_gap_cycles_per_byte:g}",
+            f"intra_o={self.intra_overhead_cycles:g}",
+            f"intra_l={self.intra_latency_cycles:g}",
+        ]
+        if self.node_wire_gap_cycles_per_byte is not None:
+            parts.append(f"wire_g={self.node_wire_gap_cycles_per_byte:g}")
+        return "cluster(" + ",".join(parts) + ")"
+
+
+Topology = Union[FlatTopology, ClusterTopology]
+
+
+def available_topologies() -> tuple:
+    """Registered topology kinds, for CLI help and error messages."""
+    return ("flat", "cluster")
+
+
+#: ``--topology`` spec keys -> ClusterTopology field names.
+_CLUSTER_SPEC_KEYS = {
+    "cores": ("cores_per_node", int),
+    "intra_g": ("intra_gap_cycles_per_byte", float),
+    "intra_o": ("intra_overhead_cycles", float),
+    "intra_l": ("intra_latency_cycles", float),
+    "wire_g": ("node_wire_gap_cycles_per_byte", float),
+}
+
+
+def parse_topology(spec: str) -> Topology:
+    """Parse a ``--topology`` spec: a kind name plus ``key=value`` pairs.
+
+    Examples: ``flat``; ``cluster``;
+    ``cluster,cores=4,intra_g=0.375,intra_o=50,intra_l=0,wire_g=3``.
+    Raises :class:`ValueError` (naming the available kinds/keys) on
+    anything unknown — the CLI turns that into an exit-2 usage error.
+    """
+    parts = [part.strip() for part in spec.strip().split(",") if part.strip()]
+    if not parts:
+        raise ValueError(
+            f"empty topology spec; available topologies: "
+            f"{', '.join(available_topologies())}"
+        )
+    kind, params = parts[0], parts[1:]
+    if kind not in available_topologies():
+        raise ValueError(
+            f"unknown topology {kind!r}; available topologies: "
+            f"{', '.join(available_topologies())}"
+        )
+    if kind == "flat":
+        if params:
+            raise ValueError("topology 'flat' takes no parameters")
+        return FlatTopology()
+    kwargs = {}
+    for item in params:
+        key, sep, value = item.partition("=")
+        if not sep or key not in _CLUSTER_SPEC_KEYS:
+            raise ValueError(
+                f"bad cluster topology parameter {item!r}; known keys: "
+                f"{', '.join(sorted(_CLUSTER_SPEC_KEYS))}"
+            )
+        field_name, conv = _CLUSTER_SPEC_KEYS[key]
+        try:
+            kwargs[field_name] = conv(value)
+        except ValueError:
+            raise ValueError(
+                f"bad value for cluster topology key {key!r}: {value!r}"
+            ) from None
+    return ClusterTopology(**kwargs)
+
+
+@dataclass(frozen=True)
 class MachineConfig:
     """A complete simulated machine: ``p`` identical nodes + network."""
 
@@ -153,9 +322,14 @@ class MachineConfig:
     #: Optional machine-pinned fault plan (overrides the process-global
     #: plan armed via :func:`repro.faults.arm` / ``QSM_FAULTS``).
     faults: Optional[FaultPlan] = None
+    #: How the p processors share the network: flat (the paper's
+    #: single-tier default) or a cluster of multi-core nodes.  Rides in
+    #: the dataclass so `repro.store` point keys are salted by it.
+    topology: Topology = field(default_factory=FlatTopology)
 
     def __post_init__(self) -> None:
         check_positive("p", self.p)
+        self.topology.validate_for(self.p)
 
     def with_faults(self, faults: Optional[FaultPlan]) -> "MachineConfig":
         """A copy with the fault plan replaced (``None`` clears it)."""
@@ -163,11 +337,16 @@ class MachineConfig:
 
     def with_network(self, **changes) -> "MachineConfig":
         """A copy with some network parameters replaced (used by the
-        l/o sweeps of Figures 4–6)."""
+        l/o sweeps of Figures 4–6).  Under a cluster topology these are
+        the *inter-node* tier's parameters."""
         return dataclasses.replace(self, network=dataclasses.replace(self.network, **changes))
 
     def with_p(self, p: int) -> "MachineConfig":
         return dataclasses.replace(self, p=p)
+
+    def with_topology(self, topology: Topology) -> "MachineConfig":
+        """A copy with the topology replaced."""
+        return dataclasses.replace(self, topology=topology)
 
 
 def default_machine(p: int = 16) -> MachineConfig:

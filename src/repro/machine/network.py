@@ -13,6 +13,17 @@ engine, receive engine), so messages from one node pipeline behind each
 other while messages to distinct nodes proceed in parallel — this is
 what lets bulk-synchronous programs hide ``l`` and amortise ``o``, the
 central phenomenon the paper measures.
+
+Under a :class:`~repro.machine.config.ClusterTopology` the same
+structure is priced per *tier*: an intra-node message pays the cheap
+shared-memory ``g/o/l`` on both sides and drains through the
+destination core's private receive engine, while an inter-node message
+pays the NetworkConfig tier to inject and then contends for the
+destination **node's** shared wire :class:`Resource` — every core of a
+node shares that ingress bandwidth, which is exactly the receive-side
+bottleneck the cluster model adds (see docs/MODEL.md).  Every message
+still crosses exactly one receive resource, so the fast analytic send
+path and the epoch kernel stay bit-identical to the per-message oracle.
 """
 
 from __future__ import annotations
@@ -22,7 +33,7 @@ from functools import partial
 from heapq import heappush
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
-from repro.machine.config import NetworkConfig
+from repro.machine.config import FlatTopology, NetworkConfig, Topology
 from repro.sim import Event, Process, Resource, Simulator, Store
 from repro.sim.engine import _Deferred
 from repro.sim.monitor import TallyStat
@@ -47,17 +58,91 @@ class Message:
             raise ValueError(f"nbytes must be >= 0, got {self.nbytes}")
 
 
+class _ClusterTiers:
+    """Precomputed per-tier charges of one :class:`ClusterTopology`.
+
+    One instance per network; ``None`` on the flat path, so flat keeps
+    the exact pre-topology arithmetic (and zero per-message overhead).
+    """
+
+    __slots__ = (
+        "node_of",
+        "n_nodes",
+        "intra_overhead",
+        "intra_gap",
+        "intra_latency",
+        "inter_overhead",
+        "inter_gap",
+        "inter_latency",
+        "wire_gap",
+    )
+
+    def __init__(self, topology, config: NetworkConfig, p: int) -> None:
+        c = topology.cores_per_node
+        self.node_of = [pid // c for pid in range(p)]
+        self.n_nodes = (p + c - 1) // c
+        self.intra_overhead = topology.intra_overhead_cycles
+        self.intra_gap = topology.intra_gap_cycles_per_byte
+        self.intra_latency = topology.intra_latency_cycles
+        self.inter_overhead = config.overhead_cycles
+        self.inter_gap = config.gap_cycles_per_byte
+        self.inter_latency = config.latency_cycles
+        wire = topology.node_wire_gap_cycles_per_byte
+        self.wire_gap = config.gap_cycles_per_byte if wire is None else wire
+
+    def is_intra(self, src: int, dst: int) -> bool:
+        return self.node_of[src] == self.node_of[dst]
+
+    def send_cycles(self, src: int, dst: int, nbytes: int) -> float:
+        """Sender-side NIC occupancy to inject one message."""
+        if self.node_of[src] == self.node_of[dst]:
+            return self.intra_overhead + nbytes * self.intra_gap
+        return self.inter_overhead + nbytes * self.inter_gap
+
+    def recv_cycles(self, src: int, dst: int, nbytes: int) -> float:
+        """Receive-side hold: the core's engine (intra) or the shared
+        node wire's drain rate (inter)."""
+        if self.node_of[src] == self.node_of[dst]:
+            return self.intra_overhead + nbytes * self.intra_gap
+        return self.inter_overhead + nbytes * self.wire_gap
+
+    def latency(self, src: int, dst: int) -> float:
+        if self.node_of[src] == self.node_of[dst]:
+            return self.intra_latency
+        return self.inter_latency
+
+
 class Network:
     """``p`` NIC pairs plus wires, all inside one simulator."""
 
     def __init__(
-        self, sim: Simulator, config: NetworkConfig, p: int, faults=None
+        self,
+        sim: Simulator,
+        config: NetworkConfig,
+        p: int,
+        faults=None,
+        topology: Optional[Topology] = None,
     ) -> None:
         if p < 1:
             raise ValueError(f"need at least one node, got p={p}")
         self.sim = sim
         self.config = config
         self.p = p
+        self.topology = FlatTopology() if topology is None else topology
+        #: ``None`` on the flat (pre-topology, bit-pinned) path.
+        self._tiers: Optional[_ClusterTiers] = (
+            None if self.topology.is_flat else _ClusterTiers(self.topology, config, p)
+        )
+        #: Per-node shared ingress wires (cluster topology only): every
+        #: inter-node delivery to a core of node i serialises here.
+        self.node_wire: List[Resource] = (
+            []
+            if self._tiers is None
+            else [
+                Resource(sim, capacity=1, name=f"node{i}.wire")
+                for i in range(self._tiers.n_nodes)
+            ]
+        )
         #: Optional :class:`~repro.faults.state.FaultState` — ``None``
         #: (the default) is the zero-overhead path: one load + branch
         #: per wire crossing, never a draw.
@@ -141,25 +226,48 @@ class Network:
 
         sim = self.sim
         cfg = self.config
-        latency = cfg.latency_cycles
-        send_cycles = cfg.message_send_cycles
+        tiers = self._tiers
         arrive = self._fast_arrive
         queue = sim._queue
         seq = sim._seq
         burst_bytes = burst_msgs = 0
         t = t_begin = sim.now
-        for dst, nbytes, *rest in entries:
-            msg = Message(src=src, dst=dst, tag=tag, nbytes=nbytes)
-            self._check_ids(msg)
-            # Same float accumulation as the chained timeouts.
-            if rest and rest[0]:
-                t = t + rest[0]
-            t = t + send_cycles(nbytes)
-            msg.sent_at = t
-            burst_bytes += nbytes
-            burst_msgs += 1
-            # Inlined sim.defer_at (t + latency can never precede now).
-            heappush(queue, (t + latency, next(seq), _Deferred(partial(arrive, msg))))
+        if tiers is None:
+            latency = cfg.latency_cycles
+            send_cycles = cfg.message_send_cycles
+            for dst, nbytes, *rest in entries:
+                msg = Message(src=src, dst=dst, tag=tag, nbytes=nbytes)
+                self._check_ids(msg)
+                # Same float accumulation as the chained timeouts.
+                if rest and rest[0]:
+                    t = t + rest[0]
+                t = t + send_cycles(nbytes)
+                msg.sent_at = t
+                burst_bytes += nbytes
+                burst_msgs += 1
+                # Inlined sim.defer_at (t + latency can never precede now).
+                heappush(queue, (t + latency, next(seq), _Deferred(partial(arrive, msg))))
+        else:
+            # Cluster topology: per-destination tier pricing, same
+            # chained-adds discipline (the epoch tables mirror these
+            # float operations elementwise).
+            node_of = tiers.node_of
+            my_node = node_of[src]
+            for dst, nbytes, *rest in entries:
+                msg = Message(src=src, dst=dst, tag=tag, nbytes=nbytes)
+                self._check_ids(msg)
+                if rest and rest[0]:
+                    t = t + rest[0]
+                if node_of[dst] == my_node:
+                    t = t + (tiers.intra_overhead + nbytes * tiers.intra_gap)
+                    latency = tiers.intra_latency
+                else:
+                    t = t + (tiers.inter_overhead + nbytes * tiers.inter_gap)
+                    latency = tiers.inter_latency
+                msg.sent_at = t
+                burst_bytes += nbytes
+                burst_msgs += 1
+                heappush(queue, (t + latency, next(seq), _Deferred(partial(arrive, msg))))
         self.bytes_sent += burst_bytes
         self.messages_sent += burst_msgs
         obs = sim.obs
@@ -177,10 +285,31 @@ class Network:
         yield done
         self.send_engine[src].unclaim(req)
 
+    def _recv_resource(self, msg: Message) -> Resource:
+        """The single FCFS resource this delivery drains through: the
+        destination core's engine, or (inter-node under a cluster
+        topology) the destination node's shared wire."""
+        tiers = self._tiers
+        if tiers is None or tiers.node_of[msg.src] == tiers.node_of[msg.dst]:
+            return self.recv_engine[msg.dst]
+        return self.node_wire[tiers.node_of[msg.dst]]
+
     def _fast_arrive(self, msg: Message) -> None:
         """Message hits the receiving NIC: claim the FCFS engine."""
-        engine = self.recv_engine[msg.dst]
-        hold = self.config.message_recv_cycles(msg.nbytes) + self._bounce_debt[msg.dst]
+        tiers = self._tiers
+        if tiers is None:
+            engine = self.recv_engine[msg.dst]
+            hold = self.config.message_recv_cycles(msg.nbytes) + self._bounce_debt[msg.dst]
+        elif tiers.node_of[msg.src] == tiers.node_of[msg.dst]:
+            engine = self.recv_engine[msg.dst]
+            hold = (
+                tiers.intra_overhead + msg.nbytes * tiers.intra_gap
+            ) + self._bounce_debt[msg.dst]
+        else:
+            engine = self.node_wire[tiers.node_of[msg.dst]]
+            hold = (
+                tiers.inter_overhead + msg.nbytes * tiers.wire_gap
+            ) + self._bounce_debt[msg.dst]
         self._bounce_debt[msg.dst] = 0.0
         req = engine.try_claim()
         if req is not None:
@@ -189,25 +318,25 @@ class Network:
             sim = self.sim
             heappush(
                 sim._queue,
-                (sim._now + hold, next(sim._seq), _Deferred(partial(self._fast_deliver, msg, req))),
+                (sim._now + hold, next(sim._seq), _Deferred(partial(self._fast_deliver, msg, engine, req))),
             )
             return
         # Engine busy: join the FCFS queue; the hook runs synchronously
         # when the releaser frees the slot (same instant a grant event
         # would have fired), skipping the grant round-trip.
-        engine.wait_claim(partial(self._fast_hold, msg, hold))
+        engine.wait_claim(partial(self._fast_hold, msg, engine, hold))
 
-    def _fast_hold(self, msg: Message, hold: float, req) -> None:
+    def _fast_hold(self, msg: Message, engine: Resource, hold: float, req) -> None:
         """Receive engine granted: occupy it for the service time."""
         sim = self.sim
         heappush(
             sim._queue,
-            (sim._now + hold, next(sim._seq), _Deferred(partial(self._fast_deliver, msg, req))),
+            (sim._now + hold, next(sim._seq), _Deferred(partial(self._fast_deliver, msg, engine, req))),
         )
 
-    def _fast_deliver(self, msg: Message, req) -> None:
+    def _fast_deliver(self, msg: Message, engine: Resource, req) -> None:
         """Service complete: free the engine and deposit the message."""
-        self.recv_engine[msg.dst].unclaim(req)
+        engine.unclaim(req)
         msg.delivered_at = self.sim.now
         self.latency_stat.record(msg.delivered_at - msg.sent_at)
         obs = self.sim.obs
@@ -236,7 +365,12 @@ class Network:
         has finished injecting the message; delivery continues in the
         background."""
         self._check_ids(msg)
-        yield from self.send_engine[msg.src].serve(self.config.message_send_cycles(msg.nbytes))
+        tiers = self._tiers
+        if tiers is None:
+            send_cycles = self.config.message_send_cycles(msg.nbytes)
+        else:
+            send_cycles = tiers.send_cycles(msg.src, msg.dst, msg.nbytes)
+        yield from self.send_engine[msg.src].serve(send_cycles)
         msg.sent_at = self.sim.now
         self.bytes_sent += msg.nbytes
         self.messages_sent += 1
@@ -260,13 +394,25 @@ class Network:
         return msg
 
     def _wire_and_recv(self, msg: Message):
+        tiers = self._tiers
+        intra = tiers is not None and tiers.node_of[msg.src] == tiers.node_of[msg.dst]
         faults = self.faults
-        if faults is not None and faults.plan.perturbs_network:
+        # Under a cluster topology only inter-node crossings are
+        # faultable: intra-node transfers are shared-memory traffic, not
+        # wire traffic (docs/MODEL.md).  The flat path is untouched, so
+        # the seeded fault draw order matches the pre-topology goldens.
+        if faults is not None and faults.plan.perturbs_network and not intra:
             delivered = yield from self._faulty_wire(msg, faults)
             if not delivered:
                 return  # message declared lost; faults.fatal is set
-        elif self.config.latency_cycles:
-            yield self.sim.timeout(self.config.latency_cycles)
+        else:
+            if tiers is None:
+                latency = self.config.latency_cycles
+            else:
+                latency = tiers.latency(msg.src, msg.dst)
+            if latency:
+                yield self.sim.timeout(latency)
+        engine = self._recv_resource(msg)
         slots = self.config.recv_buffer_slots
         if slots:
             # Receiver-overrun model: a message arriving at a full
@@ -275,7 +421,7 @@ class Network:
             # bounce also steals NACK-handling cycles from the receive
             # engine, collected by the next successful delivery.
             attempt = 0
-            while self.recv_engine[msg.dst].queue_length >= slots:
+            while engine.queue_length >= slots:
                 self.retries += 1
                 self._bounce_debt[msg.dst] += self.config.nack_cycles
                 # Exponential backoff (capped), as real transports use —
@@ -283,9 +429,12 @@ class Network:
                 backoff = self.config.retry_backoff_cycles * (1 << min(attempt, 10))
                 attempt += 1
                 yield self.sim.timeout(backoff + self.config.latency_cycles)
-        hold = self.config.message_recv_cycles(msg.nbytes) + self._bounce_debt[msg.dst]
+        if tiers is None:
+            hold = self.config.message_recv_cycles(msg.nbytes) + self._bounce_debt[msg.dst]
+        else:
+            hold = tiers.recv_cycles(msg.src, msg.dst, msg.nbytes) + self._bounce_debt[msg.dst]
         self._bounce_debt[msg.dst] = 0.0
-        yield from self.recv_engine[msg.dst].serve(hold)
+        yield from engine.serve(hold)
         msg.delivered_at = self.sim.now
         self.latency_stat.record(msg.delivered_at - msg.sent_at)
         obs = self.sim.obs

@@ -11,7 +11,11 @@ package is that comparison as one pipeline:
   §3.2 skew analyses for prefix sums, sample sort, list ranking);
 * :mod:`~repro.predict.models` — the builtin model variants
   (``qsm-best``, ``qsm-whp``, ``qsm-observed``, ``bsp-best``,
-  ``bsp-whp``, ``bsp-observed``, ``logp``);
+  ``bsp-whp``, ``bsp-observed``, ``logp``), their topology-aware twins
+  (``qsm-cluster``, ``bsp-cluster``, ``logp-cluster`` — tier-mixed
+  word costs under a cluster topology, identical to the flat variants
+  otherwise) and ``qsm-faulty`` (the armed fault plan's expected
+  retransmission traffic and latency tax);
 * :mod:`~repro.predict.engine` — the :class:`Predictor` protocol, the
   model registry, and the evaluation helpers producing uniform
   :class:`PredictionRecord` s (with ``predict.*`` obs counters/spans).
@@ -39,9 +43,13 @@ from repro.predict.engine import (
 )
 from repro.predict.models import (
     BUILTIN_MODELS,
+    bsp_cluster_comm_cycles,
     bsp_comm_cycles,
+    logp_cluster_comm_cycles,
     logp_comm_cycles,
+    qsm_cluster_comm_cycles,
     qsm_comm_cycles,
+    qsm_faulty_comm_cycles,
 )
 from repro.predict.profile import PhaseComm, PhaseProfile
 from repro.predict.sources import (
@@ -76,14 +84,18 @@ __all__ = [
     "ListRankSource",
     "available_models",
     "available_sources",
+    "bsp_cluster_comm_cycles",
     "bsp_comm_cycles",
     "evaluate",
     "get_model",
+    "logp_cluster_comm_cycles",
     "logp_comm_cycles",
     "make_source",
     "predict_point",
     "predict_value",
+    "qsm_cluster_comm_cycles",
     "qsm_comm_cycles",
+    "qsm_faulty_comm_cycles",
     "register_model",
     "register_source",
     "resolve_models",

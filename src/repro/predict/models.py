@@ -16,13 +16,25 @@ in cycles:
   approximated by the effective word cost (one bulk message per peer
   carries many words; see ``docs/PREDICTION.md``).
 
-The seven registered variants are the engine's vocabulary: the name
+Topology-aware twins (``qsm-cluster``, ``bsp-cluster``,
+``logp-cluster``) price the same profiles against the cost model's
+:meth:`~repro.qsmlib.costmodel.CommCostModel.effective` tier mix: under
+a cluster topology a fraction ``f = (c-1)/(p-1)`` of each processor's
+remote words stays on-node and pays the cheap intra tier, so every
+per-word cost mixes as ``f·intra + (1-f)·inter`` (docs/MODEL.md).  On a
+flat machine ``effective`` is the identity, so the cluster variants
+degenerate bit-for-bit to their flat twins — the golden tests pin this.
+``qsm-faulty`` scales the QSM price by the fault plan's expected
+retransmission traffic and adds its expected per-sync latency tax.
+
+The registered variants are the engine's vocabulary: the name
 (``qsm-whp``, ``bsp-observed``, ...) picks a family evaluator and the
 scenario whose profile it is fed.
 """
 
 from __future__ import annotations
 
+from repro import faults as _faults
 from repro.core.models import LogPModel, PhaseWork
 from repro.core.params import LogPParams
 from repro.predict.engine import ModelVariant, register_model
@@ -79,6 +91,49 @@ def logp_comm_cycles(profile: PhaseProfile, costs: CommCostModel) -> float:
     return total
 
 
+def qsm_cluster_comm_cycles(profile: PhaseProfile, costs: CommCostModel) -> float:
+    """QSM priced with the topology's traffic-weighted tier mix.
+
+    Identical arithmetic to :func:`qsm_comm_cycles`, fed the
+    ``effective(p)`` cost model — on a flat topology that is the same
+    object, so this variant equals ``qsm-best`` there bit-for-bit.
+    """
+    return qsm_comm_cycles(profile, costs.effective(profile.p))
+
+
+def bsp_cluster_comm_cycles(profile: PhaseProfile, costs: CommCostModel) -> float:
+    """BSP with tier-mixed word costs; the barrier stays an inter-node
+    tree (the mixed model delegates ``L`` to the inter tier)."""
+    eff = costs.effective(profile.p)
+    return qsm_comm_cycles(profile, eff) + profile.n_syncs * eff.barrier_cycles(profile.p)
+
+
+def logp_cluster_comm_cycles(profile: PhaseProfile, costs: CommCostModel) -> float:
+    """LogP with tier-mixed ``o``/``l``/``g`` (the effective model's
+    network carries the mixed overhead and latency)."""
+    return logp_comm_cycles(profile, costs.effective(profile.p))
+
+
+def qsm_faulty_comm_cycles(profile: PhaseProfile, costs: CommCostModel) -> float:
+    """QSM under the armed fault plan's expected perturbation.
+
+    Drop-with-retransmit injects every crossing ``1/(1-drop)`` times in
+    expectation, re-paying the full ``o + g·bytes`` charge each time —
+    a pure multiplier on the QSM price
+    (:meth:`~repro.qsmlib.costmodel.CommCostModel.fault_traffic_factor`).
+    Delay jitter and retransmission waits extend each phase's critical
+    path by the expected per-delivery slip, charged once per sync
+    (:meth:`~repro.qsmlib.costmodel.CommCostModel.fault_extra_latency_cycles`).
+    With no plan armed both terms are the identity and this variant
+    equals ``qsm-best`` exactly.
+    """
+    plan = _faults.active_plan()
+    base = qsm_comm_cycles(profile, costs)
+    return base * costs.fault_traffic_factor(plan) + (
+        profile.n_syncs * costs.fault_extra_latency_cycles(plan)
+    )
+
+
 #: The paper's model family × load-balance scenario grid, plus LogP.
 BUILTIN_MODELS = (
     ModelVariant(
@@ -108,6 +163,23 @@ BUILTIN_MODELS = (
     ModelVariant(
         "logp", "logp", "best", logp_comm_cycles,
         doc="LogP per-message accounting of the best-case message pattern",
+    ),
+    ModelVariant(
+        "qsm-cluster", "qsm", "best", qsm_cluster_comm_cycles,
+        doc="QSM closed form with topology-mixed tier costs (== qsm-best on flat)",
+    ),
+    ModelVariant(
+        "bsp-cluster", "bsp", "best", bsp_cluster_comm_cycles,
+        doc="BSP with tier-mixed word costs and an inter-node barrier L",
+    ),
+    ModelVariant(
+        "logp-cluster", "logp", "best", logp_cluster_comm_cycles,
+        doc="LogP with tier-mixed o/l/g (== logp on flat)",
+    ),
+    ModelVariant(
+        "qsm-faulty", "qsm", "best", qsm_faulty_comm_cycles,
+        doc="QSM scaled by the armed fault plan's expected retransmission "
+            "traffic plus its per-sync latency tax (== qsm-best unperturbed)",
     ),
 )
 

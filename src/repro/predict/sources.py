@@ -14,6 +14,11 @@ the pre-refactor prediction lines bit-for-bit; the golden-value tests
 pin this.  ``messages`` is one bulk message per peer for phases with
 traffic — the LogP view of the same pattern.
 
+Sources are also topology-agnostic: profiles count *words moved*, not
+where they land, so the same profile prices under flat or tier-mixed
+cluster cost models (the ``*-cluster`` variants in
+:mod:`repro.predict.models` swap the pricing, never the profile).
+
 Register a new algorithm with :func:`register_source`; figures resolve
 sources by algorithm name via :func:`make_source`.
 """

@@ -51,9 +51,14 @@ from repro.msg.collectives import CONTROL_BYTES, _children, _parent
 from repro.qsmlib.costmodel import build_epoch_tables
 
 # Heap-entry kinds, ordered by pop frequency.  Entries are plain tuples:
-#   (time, seq, _DELIVER, dst, stream)
-#   (time, seq, _ARRIVE, dst, hold, stream)
+#   (time, seq, _DELIVER, queue, dst, stream)
+#   (time, seq, _ARRIVE, queue, dst, hold, stream)
 #   (time, seq, _NODE, pid)
+# `queue` indexes the FCFS receive resource the chunk drains through:
+# the dst core's engine (queue == dst; always, on a flat topology) or a
+# node's shared ingress wire (queue == p + node, cluster inter-node).
+# Heap ordering compares only (time, seq), so the extra element never
+# perturbs tie-breaking.
 _DELIVER, _ARRIVE, _NODE = 0, 1, 2
 
 # Stream keys: one per logically distinct message flow within a phase
@@ -76,7 +81,8 @@ class EpochPhase:
         self.start = machine.sim.now
         self.latency = machine.config.network.latency_cycles
         self.tables = build_epoch_tables(
-            traffic, local_words, sw, machine.config.network, machine.cpus[0]
+            traffic, local_words, sw, machine.config.network, machine.cpus[0],
+            topology=machine.config.topology,
         )
         # Straggler penalties accumulate in ascending pid order, exactly
         # as the DES charges them during its pid-ordered bootstraps.
@@ -93,9 +99,14 @@ class EpochPhase:
         self.messages_sent = 0
         self._heap: list = []
         self._seq = count()
-        # Receive-engine state (mirrors the NIC FCFS Resource).
-        self._busy = [False] * p
-        self._fifo: List[deque] = [deque() for _ in range(p)]
+        # Receive-engine state (mirrors the NIC FCFS Resources): one
+        # queue per core engine, plus one per shared node wire under a
+        # cluster topology.
+        node_of = self.tables.node_of
+        nqueues = p if node_of is None else p + node_of[-1] + 1
+        self._node_of = node_of
+        self._busy = [False] * nqueues
+        self._fifo: List[deque] = [deque() for _ in range(nqueues)]
         # Per-node message accounting (the counting endpoint).  Stream
         # keys are small ints, so the counters are flat lists indexed by
         # stream — the hot loop never hashes anything.  The wait state
@@ -138,17 +149,18 @@ class EpochPhase:
             now = entry[0]
             kind = entry[2]
             if kind == _DELIVER:
-                dst = entry[3]
-                stream = entry[4]
+                queue = entry[3]
+                dst = entry[4]
+                stream = entry[5]
                 # Free the engine first: the next queued chunk starts
                 # service before this delivery wakes any waiter (the
                 # order _fast_deliver's unclaim-then-hook enforces).
-                q = fifo[dst]
+                q = fifo[queue]
                 if q:
-                    hold2, stream2 = q.popleft()
-                    heappush(heap, (now + hold2, next(seq), _DELIVER, dst, stream2))
+                    hold2, dst2, stream2 = q.popleft()
+                    heappush(heap, (now + hold2, next(seq), _DELIVER, queue, dst2, stream2))
                 else:
-                    busy[dst] = False
+                    busy[queue] = False
                 d = delivered[dst]
                 got = d[stream] + 1
                 d[stream] = got
@@ -157,12 +169,12 @@ class EpochPhase:
                     consumed[dst][stream] = wait_target[dst]
                     heappush(heap, (now, next(seq), _NODE, dst))
             elif kind == _ARRIVE:
-                dst = entry[3]
-                if busy[dst]:
-                    fifo[dst].append((entry[4], entry[5]))
+                queue = entry[3]
+                if busy[queue]:
+                    fifo[queue].append((entry[5], entry[4], entry[6]))
                 else:
-                    busy[dst] = True
-                    heappush(heap, (now + entry[4], next(seq), _DELIVER, dst, entry[5]))
+                    busy[queue] = True
+                    heappush(heap, (now + entry[5], next(seq), _DELIVER, queue, entry[4], entry[6]))
             else:  # _NODE: resume the node generator at `now`
                 pid = entry[3]
                 try:
@@ -203,10 +215,13 @@ class EpochPhase:
             return
 
         # -- 1. plan exchange ------------------------------------------
-        t = self._send_uniform(
-            pid, t, tb.plan_dsts[pid], tb.plan_occupancy, tb.plan_hold,
-            tb.plan_bytes, _PLAN,
-        )
+        if tb.plan_sends is not None:
+            t = self._send_burst(pid, t, tb.plan_sends[pid], _PLAN)
+        else:
+            t = self._send_uniform(
+                pid, t, tb.plan_dsts[pid], tb.plan_occupancy, tb.plan_hold,
+                tb.plan_bytes, _PLAN,
+            )
         t = yield
         if not self._try_recv(pid, _PLAN, p - 1):
             t = yield
@@ -288,16 +303,28 @@ class EpochPhase:
         """
         heap = self._heap
         seq = self._seq
-        latency = self.latency
         dsts = sched.dsts
         gaps = sched.gaps
         occs = sched.occupancy
         holds = sched.holds
+        lats = sched.lats
         t = t0
-        for k in range(sched.count):
-            t = t + gaps[k]
-            t = t + occs[k]
-            heappush(heap, (t + latency, next(seq), _ARRIVE, dsts[k], holds[k], stream))
+        if lats is None:
+            latency = self.latency
+            for k in range(sched.count):
+                t = t + gaps[k]
+                t = t + occs[k]
+                heappush(
+                    heap, (t + latency, next(seq), _ARRIVE, dsts[k], dsts[k], holds[k], stream)
+                )
+        else:
+            queues = sched.queues
+            for k in range(sched.count):
+                t = t + gaps[k]
+                t = t + occs[k]
+                heappush(
+                    heap, (t + lats[k], next(seq), _ARRIVE, queues[k], dsts[k], holds[k], stream)
+                )
         heappush(heap, (t, next(seq), _NODE, pid))
         self.bytes_sent += sched.total_bytes
         self.messages_sent += sched.count
@@ -313,7 +340,7 @@ class EpochPhase:
         t = t0
         for dst in dsts:
             t = t + occ
-            heappush(heap, (t + latency, next(seq), _ARRIVE, dst, hold, stream))
+            heappush(heap, (t + latency, next(seq), _ARRIVE, dst, dst, hold, stream))
         heappush(heap, (t, next(seq), _NODE, pid))
         self.bytes_sent += len(dsts) * nbytes
         self.messages_sent += len(dsts)
@@ -322,10 +349,21 @@ class EpochPhase:
     def _send_control(self, pid: int, t0: float, dst: int, stream) -> float:
         """Single barrier control message."""
         tb = self.tables
-        t = t0 + tb.control_occupancy
+        node_of = self._node_of
+        if node_of is None:
+            occ, hold, latency, queue = (
+                tb.control_occupancy, tb.control_hold, self.latency, dst,
+            )
+        elif node_of[pid] == node_of[dst]:
+            occ, hold, latency = tb.control_intra
+            queue = dst
+        else:
+            occ, hold, latency = tb.control_inter
+            queue = self.p + node_of[dst]
+        t = t0 + occ
         heap = self._heap
         seq = self._seq
-        heappush(heap, (t + self.latency, next(seq), _ARRIVE, dst, tb.control_hold, stream))
+        heappush(heap, (t + latency, next(seq), _ARRIVE, queue, dst, hold, stream))
         heappush(heap, (t, next(seq), _NODE, pid))
         self.bytes_sent += CONTROL_BYTES
         self.messages_sent += 1

@@ -106,7 +106,10 @@ class QSMMachine:
     def cost_model(self) -> CommCostModel:
         """The analytic communication cost model matching this machine."""
         return CommCostModel.for_machine(
-            self.config.machine.network, self.config.software, self.machine.cpus[0]
+            self.config.machine.network,
+            self.config.software,
+            self.machine.cpus[0],
+            topology=self.config.machine.topology,
         )
 
     # ------------------------------------------------------------------

@@ -8,8 +8,8 @@ from repro.experiments.cli import build_parser, main
 def test_list_prints_all(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out.split()
-    assert "fig1" in out and "table4" in out
-    assert len(out) == 11
+    assert "fig1" in out and "fig8" in out and "table4" in out
+    assert len(out) == 12
 
 
 def test_run_single_experiment(capsys):

@@ -30,6 +30,7 @@ def test_registry_covers_every_table_and_figure():
         "fig5",
         "fig6",
         "fig7",
+        "fig8",
     }
 
 
