@@ -3,7 +3,7 @@
 
 PYTHON ?= python
 
-.PHONY: test check check-phases bench bench-smoke bench-obs bench-check bench-faults bench-topology report trace-demo serve-demo
+.PHONY: test check check-phases bench bench-smoke bench-obs bench-check bench-faults bench-topology report trace-demo serve-demo serve-chaos
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -q
@@ -63,6 +63,12 @@ report:
 # byte-identical; see docs/SERVICE.md.
 serve-demo:
 	bash examples/serve_demo.sh
+
+# Crash-safety chaos smoke: kill -9 the server process group mid-sweep,
+# restart on the same cache, require journal replay plus an idempotent
+# all-hits resubmit that is byte-identical to an untouched control run.
+serve-chaos:
+	PYTHONPATH=src $(PYTHON) examples/serve_chaos.py
 
 # Produce a Perfetto-loadable trace + metrics dump from the fig1 sweep
 # (open trace_demo.json at https://ui.perfetto.dev).

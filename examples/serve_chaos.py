@@ -1,0 +1,157 @@
+"""Chaos smoke for the hardened sweep service (docs/SERVICE.md).
+
+The crash-safety acceptance test, end to end against real processes:
+
+1. start the service, submit a fig1 sweep, and ``kill -9`` the whole
+   server process group mid-sweep (server, runner, task workers — the
+   power-cord scenario);
+2. restart the service on the same cache directory: the durable
+   request journal replays the interrupted request detached, finishing
+   the sweep into the content-addressed store;
+3. resubmit the identical request: it must answer **entirely from
+   cache** (zero misses, every point a hit) with a payload
+   byte-identical to an untouched control service.
+
+Run from the repo root (``make serve-chaos``)::
+
+    PYTHONPATH=src python examples/serve_chaos.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = str(REPO_ROOT / "src")
+
+#: Small but multi-point: enough sweep time to land a kill mid-flight.
+SWEEP_NS = [4096, 32768]
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def start_server(cache: str):
+    """Launch a service subprocess in its own process group; returns
+    ``(proc, port)`` once it reports its bound endpoint."""
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.experiments.cli",
+            "serve",
+            "--cache",
+            cache,
+            "--port",
+            "0",
+            "--jobs",
+            "1",
+        ],
+        stdout=subprocess.PIPE,
+        env=_env(),
+        start_new_session=True,  # killpg reaches runners + task workers
+        text=True,
+    )
+    line = proc.stdout.readline()
+    banner = json.loads(line)
+    port = int(banner["serving"].rsplit(":", 1)[1])
+    return proc, port
+
+
+def main() -> int:
+    sys.path.insert(0, SRC)
+    from repro.service import SweepRequest, client
+
+    req = SweepRequest(experiment="fig1", fast=True, seed=0, ns=SWEEP_NS)
+    work = tempfile.mkdtemp(prefix="qsm-chaos-")
+    cache = os.path.join(work, "cache")
+    control_cache = os.path.join(work, "control")
+    procs = []
+    try:
+        # -- 1. submit, then pull the power cord mid-sweep ------------
+        proc, port = start_server(cache)
+        procs.append(proc)
+        assert client.wait_ready(port=port, timeout=60.0), "server never came up"
+        killed = False
+        try:
+            for event in client.submit(req, port=port, timeout=60.0):
+                if event.get("event") == "point" and not killed:
+                    os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+                    killed = True
+                    print("[killed -9 the server process group mid-sweep]")
+        except (OSError, client.ServiceError, ValueError):
+            pass  # the stream dying with the server is the point
+        assert killed, "sweep finished before the kill landed; nothing tested"
+        proc.wait(timeout=30.0)
+
+        # -- 2. restart: the journal replays the interrupted sweep ----
+        proc2, port2 = start_server(cache)
+        procs.append(proc2)
+        assert client.wait_ready(port=port2, timeout=60.0), "restart never came up"
+        deadline = time.monotonic() + 300.0
+        while True:
+            st = client.stats(port=port2)
+            if st["requests_served"] >= 1:
+                break
+            assert time.monotonic() < deadline, "journal replay never finished"
+            time.sleep(0.25)
+        assert st["requests_replayed"] == 1, st
+        print(f"[replayed {st['requests_replayed']} interrupted request from the journal]")
+
+        # -- 3. idempotent resubmit: all hits, zero recompute ---------
+        points = []
+        result = None
+        for event in client.submit(req, port=port2, timeout=60.0, retries=3):
+            if event.get("event") == "point":
+                points.append(event)
+            elif event.get("event") == "result":
+                result = event
+        assert result is not None, "resubmit produced no result"
+        assert result["cache"]["misses"] == 0, result["cache"]
+        assert points and all(p["status"] == "hit" for p in points), points
+        print(f"[resubmit: {len(points)} point(s), all hits, zero misses]")
+
+        # -- byte-identity vs an untouched control service ------------
+        proc3, port3 = start_server(control_cache)
+        procs.append(proc3)
+        assert client.wait_ready(port=port3, timeout=60.0)
+        control = None
+        for event in client.submit(req, port=port3, timeout=60.0):
+            if event.get("event") == "result":
+                control = event
+        blob = json.dumps(result["payload"], sort_keys=True)
+        control_blob = json.dumps(control["payload"], sort_keys=True)
+        assert blob == control_blob, "crash-replayed payload diverged from control"
+        print("[payload byte-identical to the untouched control service]")
+
+        for port_ in (port2, port3):
+            try:
+                client.shutdown(port=port_)
+            except (OSError, client.ServiceError):
+                pass
+        print("== OK: kill -9 -> restart -> replay -> idempotent resubmit ==")
+        return 0
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                try:
+                    os.killpg(os.getpgid(proc.pid), signal.SIGKILL)
+                except (ProcessLookupError, OSError):
+                    pass
+                proc.wait(timeout=10.0)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

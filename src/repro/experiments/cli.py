@@ -10,8 +10,10 @@ Usage::
     qsm-repro run fig2 --cache .qsm-cache --jobs 4
     qsm-repro run fig8 --topology cluster,cores=4,intra_g=0.375
     qsm-repro all [--fast]
-    qsm-repro serve --cache .qsm-cache
-    qsm-repro submit fig1 --fast --json out.json
+    qsm-repro serve --cache .qsm-cache --max-workers 4 --token SECRET
+    qsm-repro submit fig1 --fast --json out.json --retries 5 --deadline 60
+    qsm-repro service health
+    qsm-repro service drain --token SECRET
     qsm-repro cache stats .qsm-cache
 
 (or ``python -m repro.experiments.cli ...``).
@@ -161,6 +163,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--jobs", type=int, default=1,
         help="default worker processes for requests that do not pin their own",
     )
+    serve_p.add_argument(
+        "--token", default=None,
+        help="shared-secret token required for sweep/drain/shutdown "
+        "(default: the QSM_SERVICE_TOKEN environment variable; unset = open)",
+    )
+    serve_p.add_argument(
+        "--max-workers", type=int, default=2, dest="max_workers",
+        help="concurrent sweep runner processes (default 2)",
+    )
+    serve_p.add_argument(
+        "--queue-limit", type=int, default=8, dest="queue_limit",
+        help="admitted requests allowed to wait for a runner before new "
+        "submissions are rejected as overloaded (default 8)",
+    )
+    serve_p.add_argument(
+        "--max-inflight-per-client", type=int, default=4, dest="max_inflight",
+        help="concurrent requests one client may have queued or running (default 4)",
+    )
+    serve_p.add_argument(
+        "--points-per-minute", type=float, default=None, dest="points_per_minute",
+        help="per-client sweep-point budget per minute (default: unlimited)",
+    )
+    serve_p.add_argument(
+        "--deadline", type=float, default=None,
+        help="default per-request deadline in seconds for requests that do "
+        "not carry their own (default: none)",
+    )
+    serve_p.add_argument(
+        "--read-timeout", type=float, default=30.0, dest="read_timeout",
+        help="close a connection that sends no request line within this "
+        "many seconds (default 30)",
+    )
+    serve_p.add_argument(
+        "--no-journal", action="store_true", dest="no_journal",
+        help="disable the durable request journal (no crash-restart replay)",
+    )
 
     sub_p = sub.add_parser("submit", help="submit one sweep to a running service")
     sub_p.add_argument("experiment", choices=sorted(EXPERIMENTS))
@@ -181,7 +219,46 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub_p.add_argument(
         "--timeout", type=float, default=30.0,
-        help="connect timeout in seconds (the sweep itself is unbounded)",
+        help="connect timeout in seconds (the sweep itself is unbounded "
+        "unless --deadline caps it)",
+    )
+    sub_p.add_argument(
+        "--token", default=None,
+        help="shared-secret token (default: QSM_SERVICE_TOKEN env var)",
+    )
+    sub_p.add_argument(
+        "--retries", type=int, default=0,
+        help="resubmission budget for transient failures (connection "
+        "refused/reset, server overloaded); backs off with jitter and "
+        "resumes from cache — idempotent (default 0)",
+    )
+    sub_p.add_argument(
+        "--deadline", type=float, default=None,
+        help="cancel the sweep server-side after this many seconds; "
+        "completed points stay cached, resubmitting resumes",
+    )
+    sub_p.add_argument(
+        "--faults", metavar="SPEC", help=faults_help + " (armed per-request)",
+    )
+    sub_p.add_argument(
+        "--client", default=None,
+        help="quota identity to submit as (default: the peer address)",
+    )
+
+    svc_p = sub.add_parser(
+        "service", help="operate a running sweep service (probes, drain, shutdown)"
+    )
+    svc_p.add_argument(
+        "action", choices=["ping", "stats", "health", "ready", "drain", "shutdown"]
+    )
+    svc_p.add_argument("--host", default=None, help="service address (default 127.0.0.1)")
+    svc_p.add_argument("--port", type=int, default=None, help="service port (default 8642)")
+    svc_p.add_argument(
+        "--token", default=None,
+        help="shared-secret token (default: QSM_SERVICE_TOKEN env var)",
+    )
+    svc_p.add_argument(
+        "--timeout", type=float, default=5.0, help="connect timeout in seconds"
     )
 
     cache_p = sub.add_parser("cache", help="inspect or maintain a result store")
@@ -372,6 +449,14 @@ def _cache_teardown() -> None:
     os.environ.pop(store.ENV_VAR, None)
 
 
+def _service_token(args) -> Optional[str]:
+    """``--token`` wins; fall back to ``QSM_SERVICE_TOKEN``."""
+    token = getattr(args, "token", None)
+    if token:
+        return token
+    return os.environ.get("QSM_SERVICE_TOKEN") or None
+
+
 def _cmd_serve(args) -> int:
     from repro.service import DEFAULT_HOST, DEFAULT_PORT, SweepService
 
@@ -380,11 +465,54 @@ def _cmd_serve(args) -> int:
         host=args.host or DEFAULT_HOST,
         port=DEFAULT_PORT if args.port is None else args.port,
         jobs=args.jobs,
+        token=_service_token(args),
+        max_workers=args.max_workers,
+        queue_limit=args.queue_limit,
+        max_inflight_per_client=args.max_inflight,
+        points_per_minute=args.points_per_minute,
+        read_timeout=args.read_timeout,
+        journal=not args.no_journal,
+        default_deadline=args.deadline,
     )
     try:
         service.run()
     except KeyboardInterrupt:  # pragma: no cover - interactive exit
         pass
+    return 0
+
+
+def _cmd_service(args) -> int:
+    """Operate a running service: probes, drain, shutdown."""
+    import json
+
+    from repro.service import DEFAULT_HOST, DEFAULT_PORT, ServiceError
+    from repro.service import client as service_client
+
+    host = args.host or DEFAULT_HOST
+    port = DEFAULT_PORT if args.port is None else args.port
+    calls = {
+        "ping": lambda: service_client.ping(host, port, timeout=args.timeout),
+        "stats": lambda: service_client.stats(host, port, timeout=args.timeout),
+        "health": lambda: service_client.health(host, port, timeout=args.timeout),
+        "ready": lambda: service_client.ready(host, port, timeout=args.timeout),
+        "drain": lambda: service_client.drain(
+            host, port, timeout=args.timeout, token=_service_token(args)
+        ),
+        "shutdown": lambda: service_client.shutdown(
+            host, port, timeout=args.timeout, token=_service_token(args)
+        ),
+    }
+    try:
+        reply = calls[args.action]()
+    except OSError as exc:
+        print(f"error: service unreachable at {host}:{port}: {exc}", file=sys.stderr)
+        return 3
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(json.dumps(reply, indent=2, sort_keys=True))
+    if args.action == "ready" and not reply.get("ready", False):
+        return 1
     return 0
 
 
@@ -400,25 +528,47 @@ def _cmd_submit(args) -> int:
         jobs=args.jobs,
         ns=args.ns,
         models=models,
+        faults=args.faults or None,
+        deadline_seconds=args.deadline,
+        client=args.client,
     )
     host = args.host or DEFAULT_HOST
     port = DEFAULT_PORT if args.port is None else args.port
     points = {"hit": 0, "computed": 0, "coalesced": 0, "failed": 0}
     result_event = None
     try:
-        for event in service_client.submit(req, host, port, timeout=args.timeout):
+        for event in service_client.submit(
+            req,
+            host,
+            port,
+            timeout=args.timeout,
+            token=_service_token(args),
+            retries=args.retries,
+        ):
             kind = event.get("event")
             if kind == "accepted":
                 print(f"[accepted {event['request_key'][:16]} @ {host}:{port}]")
+            elif kind == "retry":
+                # The stream restarts: drop per-point tallies from the
+                # aborted attempt (the resubmit replays them from cache).
+                points = dict.fromkeys(points, 0)
+                print(
+                    f"[transient failure ({event.get('reason')}); retrying in "
+                    f"{event.get('delay_seconds')}s]",
+                    file=sys.stderr,
+                )
             elif kind == "point":
                 points[event.get("status", "computed")] = (
                     points.get(event.get("status", "computed"), 0) + 1
                 )
             elif kind == "result":
                 result_event = event
-    except (OSError, ServiceError) as exc:
+    except OSError as exc:
+        print(f"error: service unreachable: {exc}", file=sys.stderr)
+        return 3
+    except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return 3 if exc.code in ("timeout", "overloaded") else 2
     if result_event is None:
         print("error: server closed the stream without a result", file=sys.stderr)
         return 2
@@ -429,6 +579,19 @@ def _cmd_submit(args) -> int:
         f"[cache: {cache.get('hits', 0)} hit(s), {cache.get('misses', 0)} "
         f"miss(es), {cache.get('coalesced', 0)} coalesced]"
     )
+    if result_event.get("faults"):
+        rendered = ", ".join(
+            f"{k}={v:g}" for k, v in sorted(result_event["faults"].items())
+        )
+        print(f"[fault injection totals: {rendered}]", file=sys.stderr)
+    for diag in result_event.get("diagnostics", []):
+        print(diag, file=sys.stderr)
+    if result_event.get("failures"):
+        print(
+            f"[{len(result_event['failures'])} sweep point(s) failed; "
+            "results contain gaps]",
+            file=sys.stderr,
+        )
     if args.json:
         import json
 
@@ -444,13 +607,21 @@ def _cmd_cache(args) -> int:
 
     from repro.store import ResultStore
 
+    from repro import store as store_state
+
     store = ResultStore(args.dir)
     if args.action == "stats":
-        print(json.dumps(store.stats().to_dict(), indent=2, sort_keys=True))
+        blob = store.stats().to_dict()
+        # Session store counters ride along so scripted pipelines see
+        # runtime quarantine events, not just the on-disk .corrupt count.
+        blob["counters"] = store_state.counters()
+        print(json.dumps(blob, indent=2, sort_keys=True))
         return 0
     if args.action == "verify":
+        before = store_state.counters()["quarantined"]
         ok, bad = store.verify()
-        print(f"[verified {ok} object(s); quarantined {bad}]")
+        quarantined = store_state.counters()["quarantined"] - before
+        print(f"[verified {ok} object(s); quarantined {quarantined}]")
         return 1 if bad else 0
     max_age = None if args.max_age_days is None else args.max_age_days * 86400.0
     removed = store.gc(max_age_seconds=max_age, max_bytes=args.max_bytes)
@@ -509,6 +680,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "submit":
         return _cmd_submit(args)
+    if args.command == "service":
+        return _cmd_service(args)
     if args.command == "cache":
         return _cmd_cache(args)
 

@@ -153,6 +153,14 @@ class ExecutionPolicy:
     #: Directory for the per-point JSONL checkpoint journal (None
     #: disables checkpointing).
     checkpoint_dir: Optional[str] = None
+    #: Absolute ``time.monotonic()`` stamp after which no further point
+    #: may start and running points are cancelled (None = no deadline).
+    #: Unlike the per-point ``task_timeout_seconds``, this bounds the
+    #: *whole request*: the sweep service arms it so a per-request
+    #: deadline cancels the underlying ``parallel_map`` cleanly —
+    #: already-finished points keep their results (and stay cached),
+    #: the rest come back as failed points with a ``deadline`` error.
+    deadline_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.task_timeout_seconds is not None and not self.task_timeout_seconds > 0:
@@ -905,10 +913,10 @@ def _resilient_captures(
         else:
             handle_failure(index, str(value))
 
-    def handle_failure(index: int, error: str) -> None:
+    def handle_failure(index: int, error: str, final: bool = False) -> None:
         attempt = attempts_log.setdefault(index, [])
         attempt_no = len(attempt) + 1
-        retrying = attempt_no <= pol.max_retries
+        retrying = not final and attempt_no <= pol.max_retries
         backoff = pol.backoff_for(attempt_no) if retrying else 0.0
         attempt.append(
             {"attempt": attempt_no, "error": error, "backoff_seconds": backoff}
@@ -942,6 +950,24 @@ def _resilient_captures(
 
         while pending or running or delayed:
             now = time.monotonic()
+            # Whole-request deadline: stop starting points, cancel the
+            # running ones, and fail everything outstanding — no retries
+            # (they could not beat the deadline either).
+            if pol.deadline_at is not None and now >= pol.deadline_at:
+                for proc, conn, _, _ in running.values():
+                    proc.terminate()
+                for proc, conn, _, _ in running.values():
+                    proc.join()
+                    conn.close()
+                outstanding = sorted(
+                    set(pending) | set(running) | {idx for _, idx, _ in delayed}
+                )
+                running.clear()
+                pending.clear()
+                delayed.clear()
+                for idx in outstanding:
+                    handle_failure(idx, "request deadline exceeded", final=True)
+                break
             # Promote retry waits whose backoff has elapsed (front of
             # the queue: retries should not starve behind fresh points).
             ready = [d for d in delayed if d[0] <= now]
@@ -968,6 +994,8 @@ def _resilient_captures(
                 wait_s = min(
                     wait_s, max(0.0, min(d[0] for d in delayed) - time.monotonic())
                 )
+            if pol.deadline_at is not None:
+                wait_s = min(wait_s, max(0.0, pol.deadline_at - time.monotonic()))
             conn_map = {conn: idx for idx, (_, conn, _, _) in running.items()}
             for conn in _conn_wait(list(conn_map), timeout=wait_s):
                 idx = conn_map[conn]

@@ -1,0 +1,209 @@
+"""Admission control for the sweep service: who gets in, and when.
+
+The hardened front-end never buffers unboundedly and never silently
+starves a tenant.  Every ``sweep`` submission passes through one
+:class:`AdmissionController` before it may touch a runner slot:
+
+* **authentication** — an optional shared-secret token
+  (``--token``/``QSM_SERVICE_TOKEN``); compared constant-time;
+* **bounded queue** — at most ``queue_limit`` requests may wait for a
+  runner; the next one is rejected with an explicit ``overloaded``
+  error (backpressure the client can back off on) instead of being
+  buffered;
+* **per-client in-flight cap** — one tenant cannot occupy every
+  runner slot; excess submissions are rejected with ``quota``;
+* **points-per-minute budget** — a token bucket per client, charged
+  with the request's estimated point count; a client that burns its
+  budget is rejected with ``quota`` until the bucket refills.
+
+All decisions happen on the server's event loop (single-threaded), so
+the controller needs no locking; the injected ``clock`` makes the rate
+limiter deterministic under test.
+"""
+
+from __future__ import annotations
+
+import hmac
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, NamedTuple, Optional
+
+__all__ = [
+    "AdmissionPolicy",
+    "AdmissionDecision",
+    "AdmissionController",
+    "TokenBucket",
+]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """The knobs of :class:`AdmissionController` (``serve`` CLI flags)."""
+
+    #: Concurrent sweep runners (each is its own process).
+    max_workers: int = 2
+    #: Requests allowed to wait for a runner before ``overloaded``.
+    queue_limit: int = 8
+    #: Concurrent admitted (queued or running) requests per client.
+    max_inflight_per_client: int = 4
+    #: Sustained sweep-point budget per client (None = unlimited).
+    points_per_minute: Optional[float] = None
+    #: Shared-secret token (None = open service).
+    token: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {self.max_workers!r}")
+        if self.queue_limit < 0:
+            raise ValueError(f"queue_limit must be >= 0, got {self.queue_limit!r}")
+        if self.max_inflight_per_client < 1:
+            raise ValueError(
+                f"max_inflight_per_client must be >= 1, "
+                f"got {self.max_inflight_per_client!r}"
+            )
+        if self.points_per_minute is not None and not self.points_per_minute > 0:
+            raise ValueError(
+                f"points_per_minute must be > 0, got {self.points_per_minute!r}"
+            )
+
+
+class TokenBucket:
+    """A leaky token bucket: ``rate_per_minute`` sustained, one-minute
+    burst capacity, refilled lazily from the injected clock."""
+
+    def __init__(
+        self,
+        rate_per_minute: float,
+        capacity: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.rate_per_second = rate_per_minute / 60.0
+        self.capacity = rate_per_minute if capacity is None else capacity
+        self._clock = clock
+        self._level = self.capacity
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._level = min(self.capacity, self._level + (now - self._last) * self.rate_per_second)
+        self._last = now
+
+    def try_consume(self, cost: float) -> bool:
+        """Spend *cost* tokens if available; False = over budget."""
+        self._refill()
+        if cost > self._level:
+            return False
+        self._level -= cost
+        return True
+
+    def level(self) -> float:
+        self._refill()
+        return self._level
+
+
+class AdmissionDecision(NamedTuple):
+    admitted: bool
+    code: str  # "" when admitted, else an ERROR_CODES entry
+    message: str
+
+
+_ADMITTED = AdmissionDecision(True, "", "")
+
+
+class AdmissionController:
+    """Gatekeeper in front of the runner pool (event-loop-confined)."""
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.policy = policy
+        self._clock = clock
+        self._inflight: Dict[str, int] = {}
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._queued = 0
+        self._draining = False
+
+    # -- authn ----------------------------------------------------------
+    def authorized(self, token: Optional[str]) -> bool:
+        """Constant-time shared-secret check (always True when open)."""
+        if self.policy.token is None:
+            return True
+        return isinstance(token, str) and hmac.compare_digest(token, self.policy.token)
+
+    # -- lifecycle ------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def begin_drain(self) -> None:
+        """Stop admitting; running/queued work is the server's to settle."""
+        self._draining = True
+
+    # -- the decision ---------------------------------------------------
+    def admit(self, client_id: str, cost: float = 1.0) -> AdmissionDecision:
+        """Admit one request for *client_id*, charging *cost* estimated
+        sweep points against its rate budget.  On admission the request
+        counts as queued until :meth:`started` and in-flight until
+        :meth:`finished`."""
+        if self._draining:
+            return AdmissionDecision(
+                False, "draining", "server is draining; resubmit elsewhere or later"
+            )
+        if self._queued >= self.policy.queue_limit:
+            return AdmissionDecision(
+                False,
+                "overloaded",
+                f"admission queue full ({self._queued} waiting); "
+                "back off and resubmit (idempotent)",
+            )
+        inflight = self._inflight.get(client_id, 0)
+        if inflight >= self.policy.max_inflight_per_client:
+            return AdmissionDecision(
+                False,
+                "quota",
+                f"client {client_id!r} already has {inflight} request(s) in flight "
+                f"(limit {self.policy.max_inflight_per_client})",
+            )
+        if self.policy.points_per_minute is not None:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = self._buckets[client_id] = TokenBucket(
+                    self.policy.points_per_minute, clock=self._clock
+                )
+            if not bucket.try_consume(cost):
+                return AdmissionDecision(
+                    False,
+                    "quota",
+                    f"client {client_id!r} exceeded its "
+                    f"{self.policy.points_per_minute:g} points-per-minute budget "
+                    f"(requested {cost:g}, {bucket.level():.1f} available)",
+                )
+        self._inflight[client_id] = inflight + 1
+        self._queued += 1
+        return _ADMITTED
+
+    def started(self, client_id: str) -> None:
+        """The request left the queue for a runner slot."""
+        self._queued = max(0, self._queued - 1)
+
+    def finished(self, client_id: str) -> None:
+        """The request reached a terminal state; free its in-flight slot."""
+        left = self._inflight.get(client_id, 0) - 1
+        if left > 0:
+            self._inflight[client_id] = left
+        else:
+            self._inflight.pop(client_id, None)
+
+    # -- introspection (the `health` command) ---------------------------
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "draining": self._draining,
+            "queued": self._queued,
+            "inflight_clients": len(self._inflight),
+            "inflight_total": sum(self._inflight.values()),
+            "queue_limit": self.policy.queue_limit,
+            "max_workers": self.policy.max_workers,
+            "authenticated": self.policy.token is not None,
+        }

@@ -1,14 +1,25 @@
 """Blocking client for the sweep service (used by the ``submit``/
-``cache`` CLI subcommands and the tests).
+``service``/``cache`` CLI subcommands and the tests).
 
 Each call opens one connection, writes one request line and consumes
 the event stream; :func:`submit` is a generator so callers can render
 per-point progress as it arrives.
+
+Hardened-service additions: every call takes an optional ``token``
+(the server's shared secret), :exc:`ServiceError` carries the server's
+machine-readable ``code``, and :func:`submit` owns a retry budget —
+transient failures (connection refused/reset, ``overloaded`` pushback)
+back off exponentially with jitter and resubmit.  Resubmission is safe
+because requests are idempotent by content identity: completed points
+are served from the store, so a retried sweep never recomputes work
+that already finished.  Each retry is announced to the consumer as a
+``{"event": "retry", ...}`` marker — treat it as a stream restart.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
 import time
 from typing import Any, Dict, Iterator, Optional
@@ -21,17 +32,44 @@ from repro.service.protocol import (
     encode_line,
 )
 
-__all__ = ["submit", "ping", "stats", "shutdown", "wait_ready", "ServiceError"]
+__all__ = [
+    "submit",
+    "ping",
+    "stats",
+    "health",
+    "ready",
+    "drain",
+    "shutdown",
+    "wait_ready",
+    "ServiceError",
+]
+
+#: Server pushback worth retrying: the request was *not* started.
+RETRYABLE_CODES = ("overloaded", "timeout")
 
 
 class ServiceError(RuntimeError):
-    """The server answered with an ``error`` event."""
+    """The server answered with an ``error`` event.
+
+    ``code`` is the machine-readable error class (one of
+    :data:`repro.service.protocol.ERROR_CODES`; ``"internal"`` when a
+    v1 server omitted it)."""
+
+    def __init__(self, message: str, code: str = "internal") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 def _roundtrip(
-    request: Dict[str, Any], host: str, port: int, timeout: Optional[float]
+    request: Dict[str, Any],
+    host: str,
+    port: int,
+    timeout: Optional[float],
+    token: Optional[str] = None,
 ) -> Iterator[Dict[str, Any]]:
     request = {"protocol": PROTOCOL_VERSION, **request}
+    if token is not None:
+        request["token"] = token
     with socket.create_connection((host, port), timeout=timeout) as sock:
         # Sweeps can run long; only connect/first-byte honour *timeout*.
         sock.settimeout(None)
@@ -41,18 +79,40 @@ def _roundtrip(
         for line in fh:
             message = json.loads(line.decode("utf-8"))
             if message.get("event") == "error":
-                raise ServiceError(message.get("message", "unknown server error"))
+                raise ServiceError(
+                    message.get("message", "unknown server error"),
+                    code=message.get("code", "internal"),
+                )
             yield message
             if message.get("event") == "done":
                 return
 
 
 def _single(
-    request: Dict[str, Any], host: str, port: int, timeout: Optional[float]
+    request: Dict[str, Any],
+    host: str,
+    port: int,
+    timeout: Optional[float],
+    token: Optional[str] = None,
 ) -> Dict[str, Any]:
-    for message in _roundtrip(request, host, port, timeout):
+    for message in _roundtrip(request, host, port, timeout, token):
         return message
     raise ServiceError("server closed the connection without answering")
+
+
+def backoff_delays(
+    retries: int,
+    base: float = 0.25,
+    cap: float = 8.0,
+    rng: Optional[random.Random] = None,
+) -> Iterator[float]:
+    """Exponential backoff with full jitter: ``uniform(0, min(cap,
+    base * 2**k))`` — the standard thundering-herd-free schedule, so N
+    clients bounced by one ``overloaded`` server do not resubmit in
+    lockstep."""
+    rng = rng or random.Random()
+    for attempt in range(retries):
+        yield rng.uniform(0.0, min(cap, base * (2.0 ** attempt)))
 
 
 def submit(
@@ -60,11 +120,44 @@ def submit(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     timeout: Optional[float] = 30.0,
+    token: Optional[str] = None,
+    retries: int = 0,
+    backoff_base: float = 0.25,
+    rng: Optional[random.Random] = None,
 ) -> Iterator[Dict[str, Any]]:
-    """Submit one sweep; yields ``accepted``/``point``/``result``/``done``."""
-    yield from _roundtrip(
-        {"cmd": "sweep", **req.to_payload()}, host, port, timeout
-    )
+    """Submit one sweep; yields ``accepted``/``point``/``result``/``done``.
+
+    With ``retries`` > 0, transient failures — connection errors and
+    retryable server pushback (:data:`RETRYABLE_CODES`) — sleep one
+    jittered backoff step and resubmit the identical (idempotent)
+    request, yielding a ``retry`` marker first.  Non-retryable server
+    errors and an exhausted budget raise."""
+    delays = backoff_delays(retries, base=backoff_base, rng=rng)
+    attempt = 0
+    while True:
+        attempt += 1
+        try:
+            yield from _roundtrip(
+                {"cmd": "sweep", **req.to_payload()}, host, port, timeout, token
+            )
+            return
+        except (OSError, ServiceError) as exc:
+            retryable = isinstance(exc, OSError) or (
+                isinstance(exc, ServiceError) and exc.code in RETRYABLE_CODES
+            )
+            if not retryable:
+                raise
+            try:
+                delay = next(delays)
+            except StopIteration:
+                raise exc from None
+            yield {
+                "event": "retry",
+                "attempt": attempt,
+                "delay_seconds": round(delay, 3),
+                "reason": str(exc),
+            }
+            time.sleep(delay)
 
 
 def ping(
@@ -83,12 +176,41 @@ def stats(
     return _single({"cmd": "stats"}, host, port, timeout)
 
 
-def shutdown(
+def health(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     timeout: Optional[float] = 5.0,
 ) -> Dict[str, Any]:
-    return _single({"cmd": "shutdown"}, host, port, timeout)
+    """Liveness + load snapshot (queue depth, in-flight, draining)."""
+    return _single({"cmd": "health"}, host, port, timeout)
+
+
+def ready(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: Optional[float] = 5.0,
+) -> Dict[str, Any]:
+    """Readiness probe: is the server admitting new sweeps right now?"""
+    return _single({"cmd": "ready"}, host, port, timeout)
+
+
+def drain(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: Optional[float] = 5.0,
+    token: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Begin graceful shutdown: stop admissions, finish in-flight work."""
+    return _single({"cmd": "drain"}, host, port, timeout, token)
+
+
+def shutdown(
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    timeout: Optional[float] = 5.0,
+    token: Optional[str] = None,
+) -> Dict[str, Any]:
+    return _single({"cmd": "shutdown"}, host, port, timeout, token)
 
 
 def wait_ready(
@@ -97,8 +219,13 @@ def wait_ready(
     timeout: float = 10.0,
     interval: float = 0.1,
 ) -> bool:
-    """Poll ``ping`` until the server answers (startup races, CI)."""
+    """Poll ``ping`` until the server answers (startup races, CI).
+
+    The poll interval grows 1.5x per miss (capped at one second) with a
+    little jitter, so a fleet of waiting clients spreads out instead of
+    hammering a booting server in lockstep."""
     deadline = time.monotonic() + timeout
+    rng = random.Random()
     while True:
         try:
             ping(host, port, timeout=min(1.0, timeout))
@@ -106,4 +233,5 @@ def wait_ready(
         except (OSError, ServiceError, ValueError):
             if time.monotonic() >= deadline:
                 return False
-            time.sleep(interval)
+            time.sleep(min(interval, max(0.0, deadline - time.monotonic())))
+            interval = min(1.0, interval * 1.5) * (0.8 + 0.4 * rng.random())

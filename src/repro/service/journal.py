@@ -1,0 +1,145 @@
+"""Durable request journal for the sweep service.
+
+Append-only JSONL under the service cache directory
+(``<cache>/service/journal.jsonl``): one record per request state
+transition, keyed by the request's content identity
+(:meth:`repro.service.protocol.SweepRequest.identity`).
+
+The lifecycle::
+
+    accepted ──► running ──► done
+                    │  └───► failed
+                    └──────► cancelled
+
+Every record carries the full request payload, so the journal alone is
+enough to reconstruct and re-run a request.  Records are flushed and
+fsynced before the server acts on the transition — a ``kill -9`` can
+lose at most work *after* the recorded state, never the record of the
+state itself.
+
+On restart :meth:`RequestJournal.replay` folds the log last-writer-wins
+(tolerating a truncated final line from a crash mid-append), and
+:meth:`RequestJournal.interrupted` yields the requests that were
+``accepted``/``running`` when the process died.  The server re-queues
+those as detached runs: their sweep points land in the shared
+content-addressed store, so the original client's idempotent resubmit
+is served entirely from cache — byte-identical, zero recomputation.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["RequestJournal", "TERMINAL_STATES", "JOURNAL_STATES"]
+
+#: Every state a journal record may carry, in lifecycle order.
+JOURNAL_STATES = ("accepted", "running", "done", "failed", "cancelled")
+TERMINAL_STATES = frozenset(("done", "failed", "cancelled"))
+
+
+class RequestJournal:
+    """Append-only JSONL journal of sweep-request state transitions."""
+
+    FILENAME = "journal.jsonl"
+
+    def __init__(self, directory) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / self.FILENAME
+
+    # -- writing --------------------------------------------------------
+    def record(
+        self,
+        request_id: str,
+        state: str,
+        payload: Optional[Dict[str, Any]] = None,
+        **extra: Any,
+    ) -> None:
+        """Append one state transition and fsync it to disk."""
+        if state not in JOURNAL_STATES:
+            raise ValueError(f"unknown journal state {state!r}")
+        entry: Dict[str, Any] = {
+            "request": request_id,
+            "state": state,
+            "ts": time.time(),
+        }
+        if payload is not None:
+            entry["payload"] = payload
+        if extra:
+            entry.update(extra)
+        line = json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n"
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line)
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    # -- reading --------------------------------------------------------
+    def replay(self) -> Dict[str, Dict[str, Any]]:
+        """Fold the log last-writer-wins into ``{request_id: record}``.
+
+        The final record of a crashed process may be truncated
+        mid-line; such a tail (and any other unparsable line) is
+        skipped, never fatal — the journal must always be readable
+        after a crash.
+        """
+        states: Dict[str, Dict[str, Any]] = {}
+        try:
+            raw = self.path.read_text(encoding="utf-8", errors="replace")
+        except (FileNotFoundError, OSError):
+            return states
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a crash mid-append
+            if not isinstance(entry, dict):
+                continue
+            request_id = entry.get("request")
+            if not isinstance(request_id, str) or entry.get("state") not in JOURNAL_STATES:
+                continue
+            prev = states.get(request_id)
+            if prev is not None and "payload" not in entry:
+                # Later transitions may omit the payload; keep the one
+                # recorded at acceptance so interrupted() can re-run.
+                payload = prev.get("payload")
+                if payload is not None:
+                    entry = dict(entry)
+                    entry["payload"] = payload
+            states[request_id] = entry
+        return states
+
+    def interrupted(self) -> List[Dict[str, Any]]:
+        """Records whose last state is non-terminal (crash casualties),
+        oldest first — each with the original request ``payload``."""
+        pending = [
+            entry
+            for entry in self.replay().values()
+            if entry.get("state") not in TERMINAL_STATES
+            and isinstance(entry.get("payload"), dict)
+        ]
+        pending.sort(key=lambda e: (e.get("ts") or 0.0, e.get("request", "")))
+        return pending
+
+    def compact(self) -> int:
+        """Rewrite the journal keeping only the latest record per
+        request; returns the number of records kept.  Atomic (tmp +
+        replace); safe to run at startup after replay."""
+        states = self.replay()
+        entries = sorted(
+            states.values(), key=lambda e: (e.get("ts") or 0.0, e.get("request", ""))
+        )
+        tmp = self.path.with_name(f"{self.FILENAME}.tmp{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for entry in entries:
+                fh.write(json.dumps(entry, sort_keys=True, separators=(",", ":")) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self.path)
+        return len(entries)

@@ -4,7 +4,7 @@ Newline-delimited JSON over a local TCP socket — no HTTP dependency,
 and every message fits one line:
 
 * the client opens a connection and sends **one request line**, e.g.
-  ``{"protocol": 1, "cmd": "sweep", "experiment": "fig1", ...}``;
+  ``{"protocol": 2, "cmd": "sweep", "experiment": "fig1", ...}``;
 * the server streams **event lines** back — ``accepted`` (with the
   request's content identity), one ``point`` per sweep point as it
   settles (``status`` hit/computed/coalesced/failed), ``result`` (the
@@ -13,13 +13,28 @@ and every message fits one line:
 * the connection closes after ``done``/``error``; one connection, one
   request.
 
+Protocol **v2** (the hardened multi-tenant service) adds on top of v1:
+
+* an optional top-level ``token`` field — the shared secret checked
+  against the server's ``--token``/``QSM_SERVICE_TOKEN`` for the
+  state-changing commands (``sweep``, ``drain``, ``shutdown``);
+* ``health`` / ``ready`` commands for orchestration probes and
+  ``drain`` for graceful shutdown;
+* structured errors: every ``error`` event carries a machine-readable
+  ``code`` (see :data:`ERROR_CODES`) next to the human ``message``;
+* per-request fields on ``sweep``: ``faults`` (a seeded fault-plan
+  spec armed for this request only), ``deadline_seconds`` (cancels the
+  sweep when exceeded) and ``client`` (quota identity; defaults to the
+  peer address).
+
+v1 requests remain accepted — their fields are a strict subset.
+
 :class:`SweepRequest` is the canonical request shape.  Its
-:meth:`~SweepRequest.identity` deliberately excludes ``jobs``: the
-executor guarantees results are independent of the job count, so two
-requests differing only in parallelism are the *same* sweep.  The
-prediction-model set **is** included — model changes re-identify the
-request even though the underlying simulator points still cache-hit
-(see :func:`repro.store.request_key`).
+:meth:`~SweepRequest.identity` deliberately excludes ``jobs`` (the
+executor guarantees results are independent of the job count) and the
+v2 transport fields ``deadline_seconds``/``client`` (they change how a
+sweep is *served*, never what it computes).  The prediction-model set
+and the fault spec **are** included — both change the answer.
 """
 
 from __future__ import annotations
@@ -32,16 +47,34 @@ from repro.store import request_key
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "SUPPORTED_VERSIONS",
     "DEFAULT_HOST",
     "DEFAULT_PORT",
+    "ERROR_CODES",
     "SweepRequest",
     "encode_line",
     "decode_line",
+    "error_event",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+#: Versions the server answers; v1 requests are a subset of v2.
+SUPPORTED_VERSIONS = (1, 2)
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
+
+#: Machine-readable ``error`` event codes (the ``code`` field).
+ERROR_CODES = (
+    "bad_request",  # malformed/oversized line, unknown cmd, bad fields
+    "protocol",  # unsupported protocol version
+    "unauthorized",  # missing/wrong shared-secret token
+    "overloaded",  # admission queue full — back off and retry
+    "quota",  # per-client in-flight or points-per-minute quota hit
+    "draining",  # server is draining; no new work admitted
+    "deadline",  # the request's deadline expired mid-sweep
+    "timeout",  # the connection idled past the read timeout
+    "internal",  # the sweep blew up server-side
+)
 
 
 def encode_line(message: Dict[str, Any]) -> bytes:
@@ -58,6 +91,11 @@ def decode_line(line: bytes) -> Dict[str, Any]:
     return message
 
 
+def error_event(code: str, message: str) -> Dict[str, Any]:
+    """A structured ``error`` event line."""
+    return {"event": "error", "code": code, "message": message}
+
+
 @dataclass
 class SweepRequest:
     """One batch sweep submission."""
@@ -68,9 +106,17 @@ class SweepRequest:
     jobs: int = 1
     ns: Optional[List[int]] = None
     models: Optional[List[str]] = field(default=None)
+    #: Per-request fault-plan spec (``drop=0.05,seed=3``); armed only
+    #: inside this request's runner, never globally on the server.
+    faults: Optional[str] = None
+    #: Cancel the sweep when this wall budget is exceeded (server may
+    #: also cap it); counted from the moment the sweep starts running.
+    deadline_seconds: Optional[float] = None
+    #: Quota identity; defaults server-side to the peer address.
+    client: Optional[str] = None
 
     def to_payload(self) -> Dict[str, Any]:
-        return {
+        payload: Dict[str, Any] = {
             "experiment": self.experiment,
             "fast": self.fast,
             "seed": self.seed,
@@ -78,6 +124,15 @@ class SweepRequest:
             "ns": self.ns,
             "models": self.models,
         }
+        # v2 fields travel only when set, so v1 servers/journals keep
+        # accepting the common shape unchanged.
+        if self.faults is not None:
+            payload["faults"] = self.faults
+        if self.deadline_seconds is not None:
+            payload["deadline_seconds"] = self.deadline_seconds
+        if self.client is not None:
+            payload["client"] = self.client
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "SweepRequest":
@@ -86,6 +141,17 @@ class SweepRequest:
             raise ValueError("sweep request needs an 'experiment' name")
         ns = payload.get("ns")
         models = payload.get("models")
+        faults = payload.get("faults")
+        if faults is not None and (not isinstance(faults, str) or not faults):
+            raise ValueError("'faults' must be a non-empty spec string")
+        deadline = payload.get("deadline_seconds")
+        if deadline is not None:
+            deadline = float(deadline)
+            if not deadline > 0:
+                raise ValueError(f"'deadline_seconds' must be > 0, got {deadline!r}")
+        client = payload.get("client")
+        if client is not None and not isinstance(client, str):
+            raise ValueError("'client' must be a string")
         return cls(
             experiment=exp,
             fast=bool(payload.get("fast", True)),
@@ -93,17 +159,23 @@ class SweepRequest:
             jobs=int(payload.get("jobs", 1)),
             ns=[int(n) for n in ns] if ns is not None else None,
             models=[str(m) for m in models] if models is not None else None,
+            faults=faults,
+            deadline_seconds=deadline,
+            client=client,
         )
 
     def identity(self) -> str:
-        """Content identity of the request (``jobs`` excluded: results
-        are jobs-invariant by the executor contract)."""
-        return request_key(
-            {
-                "experiment": self.experiment,
-                "fast": self.fast,
-                "seed": self.seed,
-                "ns": self.ns,
-                "models": self.models,
-            }
-        )
+        """Content identity of the request (``jobs`` and the transport
+        fields excluded: results are jobs-invariant by the executor
+        contract, and deadlines/client ids never change the answer)."""
+        ident: Dict[str, Any] = {
+            "experiment": self.experiment,
+            "fast": self.fast,
+            "seed": self.seed,
+            "ns": self.ns,
+            "models": self.models,
+        }
+        # Folded only when set so v1 request identities are unchanged.
+        if self.faults is not None:
+            ident["faults"] = self.faults
+        return request_key(ident)

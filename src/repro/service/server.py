@@ -1,57 +1,104 @@
-"""The asyncio batch front-end: sweeps as a service.
+"""The asyncio batch front-end: sweeps as a multi-tenant service.
 
 :class:`SweepService` listens on a local TCP endpoint, accepts
 :class:`~repro.service.protocol.SweepRequest` submissions, and runs
-them through the normal experiment registry with the process-global
-result store installed — so the first submission of a sweep computes
-and stores every point, and any identical later submission (from any
-client) streams back entirely from cache, executing zero simulator
-points.
+them through the normal experiment registry against a shared
+content-addressed result store — the first submission of a sweep
+computes and stores every point, and any identical later submission
+(from any client) streams back entirely from cache.
 
-Concurrency model
------------------
-* the event loop owns all sockets; requests are accepted concurrently;
-* **sweeps execute one at a time** (an :class:`asyncio.Lock`): the
-  experiments mutate process-global state (obs, fault tallies, the
-  store counters used for the per-request delta), so serialising them
-  is what keeps results byte-identical to CLI runs.  Parallelism
-  belongs *inside* a sweep (the request's ``jobs``), and duplicate
-  concurrent submissions coalesce through the store anyway;
-* the blocking experiment runs in the loop's default executor; per
-  point events flow from the sweep thread through
-  :func:`repro.store.set_listener` and ``call_soon_threadsafe`` into an
-  :class:`asyncio.Queue` the handler drains to the client socket.
+Concurrency model (v2 — the hardened service)
+---------------------------------------------
+* the event loop owns all sockets and all bookkeeping; requests are
+  accepted concurrently and pass one
+  :class:`~repro.service.admission.AdmissionController` (token auth,
+  bounded queue, per-client quotas) before touching a runner slot;
+* admitted requests queue for a **bounded pool of sweep runners**;
+  each runner is a forked process (:mod:`repro.service.runner`), so
+  per-request state — obs capture, fault plan, sanitizer diagnostics,
+  store counter delta — is exactly as isolated as a serial CLI run.
+  Concurrent requests sharing points still compute each point once:
+  single-flight is file-backed under the store
+  (:class:`repro.store.FileFlight`), so leadership holds *across* the
+  runner processes;
+* per-point events flow from each runner over a pipe, through a pump
+  thread and ``call_soon_threadsafe``, into the event loop and on to
+  the submitting client's socket;
+* every state transition is journalled
+  (:class:`~repro.service.journal.RequestJournal`) before the server
+  acts on it; on restart, requests that were accepted/running when the
+  process died re-run detached, so an idempotent client resubmit is
+  answered byte-identically from cache with zero recomputation.
+
+Graceful degradation: ``drain`` stops admissions and the server exits
+once in-flight work settles; ``health``/``ready`` answer orchestration
+probes; malformed, oversized, unauthorized or over-quota requests get
+structured ``error`` events (:data:`repro.service.protocol.ERROR_CODES`),
+never a dead connection.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import threading
+from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from repro import store as result_store
-from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.store import FileFlight, ResultStore
+from repro.service.admission import AdmissionController, AdmissionPolicy
+from repro.service.journal import RequestJournal
 from repro.service.protocol import (
     DEFAULT_HOST,
     DEFAULT_PORT,
     PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
     SweepRequest,
     decode_line,
     encode_line,
+    error_event,
 )
+from repro.service.runner import spawn_runner
 
 __all__ = ["SweepService"]
 
 #: One line is one JSON message; sweep requests are small.
 _MAX_LINE = 1 << 20
 
-#: Queue sentinel kinds.
-_POINT = "point"
-_DONE = "done"
+#: Cache counters accumulated per request and reported by ``stats``.
+_COUNTER_NAMES = ("hits", "misses", "coalesced", "inflight", "quarantined")
+
+#: Admission cost estimate for requests that do not pin an ``ns`` grid.
+_DEFAULT_COST_POINTS = 8.0
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting for / occupying a runner slot."""
+
+    req: SweepRequest
+    payload: Dict[str, Any]
+    request_id: str
+    client_id: str
+    #: False for journal-replayed (detached) runs: they were admitted
+    #: in a previous life and have no connection to stream to.
+    admitted: bool = True
+    events: Optional[asyncio.Queue] = field(default=None, repr=False)
+
+    def emit(self, message: Optional[Dict[str, Any]]) -> None:
+        """Queue one event for the submitting connection (no-op when
+        detached); ``None`` closes the stream."""
+        if self.events is not None:
+            self.events.put_nowait(message)
 
 
 class SweepService:
-    """One service instance: a store, a listener socket, a sweep lock."""
+    """One service instance: a store, a listener socket, a runner pool."""
+
+    #: Parent-side hard-kill backstop past a request's own deadline
+    #: (the runner cancels itself at the deadline; this catches a
+    #: runner that wedged outside the executor).
+    DEADLINE_GRACE_SECONDS = 10.0
 
     def __init__(
         self,
@@ -59,28 +106,96 @@ class SweepService:
         host: str = DEFAULT_HOST,
         port: int = DEFAULT_PORT,
         jobs: int = 1,
+        *,
+        token: Optional[str] = None,
+        max_workers: int = 2,
+        queue_limit: int = 8,
+        max_inflight_per_client: int = 4,
+        points_per_minute: Optional[float] = None,
+        read_timeout: float = 30.0,
+        journal: bool = True,
+        default_deadline: Optional[float] = None,
+        policy: Optional[AdmissionPolicy] = None,
     ) -> None:
         self.host = host
         self.port = port
         #: Default job count for requests that do not pin their own.
         self.jobs = jobs
-        self.store = result_store.set_store(cache_dir)
+        self.cache_dir = str(cache_dir)
+        #: Per-instance store handle — deliberately NOT installed as the
+        #: process-global store: runners install their own on the same
+        #: directory, and a test process may host several services.
+        self.store = ResultStore(cache_dir)
+        self._flight = FileFlight(self.store.root / "flight")
+        self.admission = AdmissionController(
+            policy
+            or AdmissionPolicy(
+                max_workers=max_workers,
+                queue_limit=queue_limit,
+                max_inflight_per_client=max_inflight_per_client,
+                points_per_minute=points_per_minute,
+                token=token,
+            )
+        )
+        self.read_timeout = read_timeout
+        #: Deadline applied to requests that do not carry their own.
+        self.default_deadline = default_deadline
+        self.journal: Optional[RequestJournal] = (
+            RequestJournal(self.store.root / "service") if journal else None
+        )
         self._server: Optional[asyncio.AbstractServer] = None
-        self._sweep_lock = asyncio.Lock()
         self._stopping: Optional[asyncio.Event] = None
+        self._queue: Optional[asyncio.Queue] = None
+        self._workers: list = []
+        self._procs: Dict[str, Any] = {}
+        self._counters: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
         self.requests_served = 0
+        self.requests_replayed = 0
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
-        """Bind the listener; ``port=0`` picks a free port (tests)."""
+        """Bind the listener and the runner pool; ``port=0`` picks a
+        free port (tests).  Interrupted journalled requests re-queue as
+        detached runs before the first connection is accepted."""
         self._stopping = asyncio.Event()
+        self._queue = asyncio.Queue()
+        if self.journal is not None:
+            self._replay_journal()
+        self._workers = [
+            asyncio.ensure_future(self._worker())
+            for _ in range(self.admission.policy.max_workers)
+        ]
         self._server = await asyncio.start_server(
-            self._handle_connection, self.host, self.port
+            self._handle_connection, self.host, self.port, limit=_MAX_LINE
         )
         self.port = self._server.sockets[0].getsockname()[1]
 
+    def _replay_journal(self) -> None:
+        assert self.journal is not None and self._queue is not None
+        interrupted = self.journal.interrupted()
+        self.journal.compact()
+        for entry in interrupted:
+            request_id = entry["request"]
+            try:
+                req = SweepRequest.from_payload(entry["payload"])
+            except (ValueError, TypeError) as exc:
+                self.journal.record(
+                    request_id, "failed", error=f"unreplayable: {exc}"
+                )
+                continue
+            self.requests_replayed += 1
+            self._queue.put_nowait(
+                _Pending(
+                    req=req,
+                    payload=entry["payload"],
+                    request_id=request_id,
+                    client_id=str(entry.get("client") or req.client or "replay"),
+                    admitted=False,
+                )
+            )
+
     async def serve_forever(self) -> None:
-        """Serve until a ``shutdown`` request arrives."""
+        """Serve until a ``shutdown`` request (or a completed drain)."""
         if self._server is None:
             await self.start()
         assert self._server is not None and self._stopping is not None
@@ -88,12 +203,28 @@ class SweepService:
             await self._stopping.wait()
 
     async def stop(self) -> None:
+        """Tear down: sockets, worker tasks, live runner processes.
+        Requests cut off mid-run stay journalled as ``running`` and
+        replay on the next start (crash-equivalent shutdown)."""
         if self._stopping is not None:
             self._stopping.set()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        for task in self._workers:
+            task.cancel()
+        if self._workers:
+            await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        procs = list(self._procs.values())
+        self._procs.clear()
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+        loop = asyncio.get_running_loop()
+        for proc in procs:
+            await loop.run_in_executor(None, proc.join, 5.0)
 
     @property
     def endpoint(self) -> str:
@@ -105,12 +236,32 @@ class SweepService:
     ) -> None:
         try:
             try:
-                line = await reader.readline()
-                if len(line) > _MAX_LINE:
-                    raise ValueError("request line too long")
+                line = await asyncio.wait_for(reader.readline(), self.read_timeout)
+            except asyncio.TimeoutError:
+                await self._send(
+                    writer,
+                    error_event(
+                        "timeout",
+                        f"no request within {self.read_timeout:g}s; closing",
+                    ),
+                )
+                return
+            except ValueError:
+                # The StreamReader line limit tripped mid-line.
+                await self._send(
+                    writer,
+                    error_event(
+                        "bad_request", f"request line exceeds {_MAX_LINE} bytes"
+                    ),
+                )
+                return
+            if not line:
+                return  # clean disconnect before any request
+            try:
                 request = decode_line(line)
-            except Exception as exc:
-                await self._send(writer, {"event": "error", "message": str(exc)})
+            except (ValueError, UnicodeDecodeError) as exc:
+                # Includes a mid-line disconnect (truncated JSON tail).
+                await self._send(writer, error_event("bad_request", str(exc)))
                 return
             await self._dispatch(request, writer)
         except (ConnectionResetError, BrokenPipeError):  # client went away
@@ -119,7 +270,7 @@ class SweepService:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            except (ConnectionResetError, BrokenPipeError, OSError):  # pragma: no cover
                 pass
 
     async def _send(self, writer: asyncio.StreamWriter, message: Dict[str, Any]) -> None:
@@ -130,18 +281,29 @@ class SweepService:
         self, request: Dict[str, Any], writer: asyncio.StreamWriter
     ) -> None:
         proto = request.get("protocol", PROTOCOL_VERSION)
-        if proto != PROTOCOL_VERSION:
+        if proto not in SUPPORTED_VERSIONS:
             await self._send(
                 writer,
-                {
-                    "event": "error",
-                    "message": f"protocol {proto} unsupported (server speaks "
-                    f"{PROTOCOL_VERSION})",
-                },
+                error_event(
+                    "protocol",
+                    f"protocol {proto} unsupported (server speaks "
+                    f"{PROTOCOL_VERSION}, accepts {list(SUPPORTED_VERSIONS)})",
+                ),
             )
             return
         cmd = request.get("cmd")
+        if cmd in ("sweep", "drain", "shutdown") and not self.admission.authorized(
+            request.get("token")
+        ):
+            await self._send(
+                writer,
+                error_event("unauthorized", f"command {cmd!r} requires a valid token"),
+            )
+            return
+
         if cmd == "ping":
+            from repro.experiments.registry import EXPERIMENTS
+
             await self._send(
                 writer,
                 {
@@ -151,115 +313,276 @@ class SweepService:
                 },
             )
         elif cmd == "stats":
+            counters = dict(self._counters)
+            counters["inflight_now"] = self._flight.inflight()
             await self._send(
                 writer,
                 {
                     "event": "stats",
                     "store": self.store.stats().to_dict(),
-                    "counters": result_store.counters(),
+                    "counters": counters,
                     "requests_served": self.requests_served,
+                    "requests_replayed": self.requests_replayed,
+                    "admission": self.admission.snapshot(),
+                    "journal": (
+                        str(self.journal.path) if self.journal is not None else None
+                    ),
                 },
             )
+        elif cmd == "health":
+            snap = self.admission.snapshot()
+            await self._send(
+                writer,
+                {
+                    "event": "health",
+                    "status": "draining" if self.admission.draining else "ok",
+                    "requests_served": self.requests_served,
+                    "runners_live": len(self._procs),
+                    **snap,
+                },
+            )
+        elif cmd == "ready":
+            snap = self.admission.snapshot()
+            ready = (
+                not self.admission.draining
+                and snap["queued"] < self.admission.policy.queue_limit
+            )
+            await self._send(
+                writer,
+                {"event": "ready", "ready": ready, "draining": snap["draining"]},
+            )
+        elif cmd == "drain":
+            self.admission.begin_drain()
+            await self._send(writer, {"event": "ok", "draining": True})
+            self._maybe_finish_drain()
         elif cmd == "shutdown":
             await self._send(writer, {"event": "ok"})
             if self._stopping is not None:
                 self._stopping.set()
         elif cmd == "sweep":
-            try:
-                req = SweepRequest.from_payload(request)
-                if req.experiment not in EXPERIMENTS:
-                    raise ValueError(
-                        f"unknown experiment {req.experiment!r}; available: "
-                        f"{', '.join(sorted(EXPERIMENTS))}"
-                    )
-            except (ValueError, TypeError) as exc:
-                await self._send(writer, {"event": "error", "message": str(exc)})
-                return
-            await self._run_sweep(req, writer)
+            await self._admit_sweep(request, writer)
         else:
             await self._send(
-                writer, {"event": "error", "message": f"unknown cmd {cmd!r}"}
+                writer, error_event("bad_request", f"unknown cmd {cmd!r}")
             )
 
     # -- the sweep path -------------------------------------------------
-    def _execute(self, req: SweepRequest) -> Dict[str, Any]:
-        """Blocking experiment body (runs on an executor thread)."""
-        result = run_experiment(
-            req.experiment,
-            fast=req.fast,
-            seed=req.seed,
-            jobs=req.jobs if req.jobs != 1 else self.jobs,
-            models=req.models,
-            ns=req.ns,
-        )
-        return result.to_json_dict()
-
-    async def _run_sweep(
-        self, req: SweepRequest, writer: asyncio.StreamWriter
+    async def _admit_sweep(
+        self, request: Dict[str, Any], writer: asyncio.StreamWriter
     ) -> None:
-        loop = asyncio.get_running_loop()
-        async with self._sweep_lock:
-            await self._send(
-                writer,
-                {
-                    "event": "accepted",
-                    "request_key": req.identity(),
-                    "experiment": req.experiment,
-                },
-            )
-            queue: asyncio.Queue = asyncio.Queue()
+        from repro.experiments.registry import EXPERIMENTS
 
-            def listener(event: dict) -> None:
-                # Runs on the sweep thread; hop into the loop.
-                loop.call_soon_threadsafe(queue.put_nowait, (_POINT, event))
-
-            before = result_store.counters()
-            result_store.set_listener(listener)
-            fut = loop.run_in_executor(None, self._execute, req)
-            fut.add_done_callback(lambda f: queue.put_nowait((_DONE, f)))
-            try:
-                while True:
-                    kind, payload = await queue.get()
-                    if kind == _DONE:
-                        break
-                    await self._send(writer, {"event": "point", **payload})
-            finally:
-                result_store.clear_listener()
-            try:
-                payload = fut.result()
-            except Exception as exc:  # experiment blew up: report, keep serving
-                await self._send(
-                    writer,
-                    {"event": "error", "message": f"{type(exc).__name__}: {exc}"},
+        try:
+            req = SweepRequest.from_payload(request)
+            if req.experiment not in EXPERIMENTS:
+                raise ValueError(
+                    f"unknown experiment {req.experiment!r}; available: "
+                    f"{', '.join(sorted(EXPERIMENTS))}"
                 )
-                return
-            after = result_store.counters()
-            cache = {
-                name: after.get(name, 0) - before.get(name, 0)
-                for name in ("hits", "misses", "coalesced", "inflight")
-            }
-            self.requests_served += 1
-            await self._send(
-                writer,
-                {
-                    "event": "result",
-                    "request_key": req.identity(),
-                    "payload": payload,
-                    "cache": cache,
-                },
+        except (ValueError, TypeError) as exc:
+            await self._send(writer, error_event("bad_request", str(exc)))
+            return
+        if req.deadline_seconds is None and self.default_deadline is not None:
+            req.deadline_seconds = self.default_deadline
+
+        peer = writer.get_extra_info("peername")
+        client_id = req.client or (f"{peer[0]}" if peer else "anonymous")
+        cost = float(len(req.ns)) if req.ns else _DEFAULT_COST_POINTS
+        decision = self.admission.admit(client_id, cost)
+        if not decision.admitted:
+            await self._send(writer, error_event(decision.code, decision.message))
+            return
+
+        request_id = req.identity()
+        pending = _Pending(
+            req=req,
+            payload=req.to_payload(),
+            request_id=request_id,
+            client_id=client_id,
+            events=asyncio.Queue(),
+        )
+        if self.journal is not None:
+            self.journal.record(
+                request_id, "accepted", payload=pending.payload, client=client_id
             )
-            await self._send(writer, {"event": "done"})
+        assert self._queue is not None
+        await self._send(
+            writer,
+            {
+                "event": "accepted",
+                "request_key": request_id,
+                "experiment": req.experiment,
+                "queued": self._queue.qsize(),
+            },
+        )
+        self._queue.put_nowait(pending)
+        assert pending.events is not None
+        while True:
+            message = await pending.events.get()
+            if message is None:
+                break
+            await self._send(writer, message)
+
+    async def _worker(self) -> None:
+        """One runner slot: pull admitted requests, run them to a
+        terminal state, settle quota accounting."""
+        assert self._queue is not None
+        while True:
+            pending = await self._queue.get()
+            if pending.admitted:
+                self.admission.started(pending.client_id)
+            try:
+                await self._run_pending(pending)
+            finally:
+                if pending.admitted:
+                    self.admission.finished(pending.client_id)
+                self._maybe_finish_drain()
+
+    def _maybe_finish_drain(self) -> None:
+        if self.admission.draining and self._stopping is not None:
+            snap = self.admission.snapshot()
+            idle = (
+                snap["inflight_total"] == 0
+                and not self._procs
+                and (self._queue is None or self._queue.empty())
+            )
+            if idle:
+                self._stopping.set()
+
+    async def _run_pending(self, pending: _Pending) -> None:
+        req = pending.req
+        request_id = pending.request_id
+        if self.journal is not None:
+            self.journal.record(request_id, "running")
+        loop = asyncio.get_running_loop()
+        try:
+            proc, conn = spawn_runner(pending.payload, self.cache_dir, self.jobs)
+        except OSError as exc:
+            if self.journal is not None:
+                self.journal.record(request_id, "failed", error=str(exc))
+            pending.emit(error_event("internal", f"could not fork runner: {exc}"))
+            pending.emit(None)
+            return
+        self._procs[request_id] = proc
+        chan: asyncio.Queue = asyncio.Queue()
+
+        def pump() -> None:
+            while True:
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    msg = ("eof", None)
+                try:
+                    loop.call_soon_threadsafe(chan.put_nowait, msg)
+                except RuntimeError:  # loop already closed (server torn down)
+                    return
+                if msg[0] == "eof":
+                    return
+
+        threading.Thread(
+            target=pump, name=f"runner-pump-{request_id[:8]}", daemon=True
+        ).start()
+
+        hard_deadline = None
+        if req.deadline_seconds is not None:
+            hard_deadline = (
+                loop.time() + req.deadline_seconds + self.DEADLINE_GRACE_SECONDS
+            )
+        terminal = None
+        try:
+            while terminal is None:
+                timeout = (
+                    None
+                    if hard_deadline is None
+                    else max(0.0, hard_deadline - loop.time())
+                )
+                try:
+                    kind, data = await asyncio.wait_for(chan.get(), timeout)
+                except asyncio.TimeoutError:
+                    proc.terminate()
+                    terminal = (
+                        "cancelled",
+                        f"deadline of {req.deadline_seconds:g}s exceeded "
+                        "(runner killed past the grace period)",
+                    )
+                    break
+                if kind == "point":
+                    pending.emit({"event": "point", **data})
+                elif kind == "eof":
+                    terminal = ("error", "sweep runner died before reporting")
+                else:
+                    terminal = (kind, data)
+        finally:
+            if terminal is None:  # cancelled mid-run (service stopping)
+                proc.terminate()
+            else:
+                await self._settle(pending, terminal)
+            self._procs.pop(request_id, None)
+            await loop.run_in_executor(None, self._reap, proc, conn)
+
+    async def _settle(self, pending: _Pending, terminal) -> None:
+        """Journal + report one terminal runner message."""
+        kind, data = terminal
+        request_id = pending.request_id
+        if kind == "result":
+            cache = data.get("cache", {})
+            for name in _COUNTER_NAMES:
+                self._counters[name] += int(cache.get(name, 0))
+            self.requests_served += 1
+            if self.journal is not None:
+                self.journal.record(request_id, "done")
+            event: Dict[str, Any] = {
+                "event": "result",
+                "request_key": request_id,
+                "payload": data["payload"],
+                "cache": cache,
+            }
+            # Per-request side channels travel only when non-empty, so
+            # v1 consumers see exactly the v1 result shape.
+            for extra in ("faults", "diagnostics", "failures"):
+                if data.get(extra):
+                    event[extra] = data[extra]
+            pending.emit(event)
+            pending.emit({"event": "done"})
+        elif kind == "cancelled":
+            if self.journal is not None:
+                self.journal.record(request_id, "cancelled", error=str(data))
+            pending.emit(error_event("deadline", str(data)))
+        else:
+            if self.journal is not None:
+                self.journal.record(request_id, "failed", error=str(data))
+            pending.emit(error_event("internal", str(data)))
+        pending.emit(None)
+
+    @staticmethod
+    def _reap(proc, conn) -> None:
+        """Blocking runner cleanup (runs on the default executor)."""
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - wedged runner
+            proc.kill()
+            proc.join(timeout=5.0)
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
 
     # -- sync convenience (CLI `serve`) ---------------------------------
     def run(self) -> None:
-        """Blocking entry point: serve until shutdown."""
+        """Blocking entry point: serve until shutdown/drain completes."""
         asyncio.run(self._run_async())
 
     async def _run_async(self) -> None:
         await self.start()
         print(
             json.dumps(
-                {"serving": self.endpoint, "cache": str(self.store.root)},
+                {
+                    "serving": self.endpoint,
+                    "cache": str(self.store.root),
+                    "workers": self.admission.policy.max_workers,
+                    "journal": (
+                        str(self.journal.path) if self.journal is not None else None
+                    ),
+                },
                 sort_keys=True,
             ),
             flush=True,

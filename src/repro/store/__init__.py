@@ -31,7 +31,7 @@ import os
 from typing import Any, Callable, Dict, Optional, Union
 
 from repro.store.cas import ResultStore, StoreStats
-from repro.store.flight import SingleFlight
+from repro.store.flight import FileFlight, SingleFlight
 from repro.store.keys import (
     STORE_VERSION,
     canonical,
@@ -45,6 +45,7 @@ __all__ = [
     "ResultStore",
     "StoreStats",
     "SingleFlight",
+    "FileFlight",
     "STORE_VERSION",
     "ENV_VAR",
     "canonical",
@@ -72,6 +73,11 @@ ENV_VAR = "QSM_CACHE"
 
 _STORE: Optional[ResultStore] = None
 _FLIGHT = SingleFlight()
+#: Cross-process single-flight bound to the installed store's directory
+#: (two *processes* sharing a store coalesce identical in-flight points,
+#: not just two threads — the hardened sweep service runs one process
+#: per request).
+_CROSS: Optional[FileFlight] = None
 _COUNTS: Dict[str, int] = {}
 _LISTENER: Optional[Callable[[dict], None]] = None
 
@@ -79,18 +85,26 @@ _LISTENER: Optional[Callable[[dict], None]] = None
 def set_store(store: Union[ResultStore, str, os.PathLike]) -> ResultStore:
     """Install the process-global result store (a :class:`ResultStore`
     or a directory path) and reset the counters."""
-    global _STORE
+    global _STORE, _CROSS
     if not isinstance(store, ResultStore):
         store = ResultStore(store)
     _STORE = store
+    _CROSS = FileFlight(store.root / "flight")
     _COUNTS.clear()
     return store
 
 
 def clear_store() -> None:
     """Uninstall the store (``parallel_map`` reverts to plain execution)."""
-    global _STORE
+    global _STORE, _CROSS
     _STORE = None
+    _CROSS = None
+
+
+def _flight():
+    """The active single-flight table: file-backed (cross-process) when
+    a store is installed, the in-process fallback otherwise."""
+    return _CROSS if _CROSS is not None else _FLIGHT
 
 
 def active_store() -> Optional[ResultStore]:
@@ -102,10 +116,11 @@ def active_store() -> Optional[ResultStore]:
 def counters() -> Dict[str, int]:
     """Counters accumulated since :func:`set_store`/:func:`reset_counters`:
     ``hits``, ``misses``, ``coalesced``, ``inflight`` (points that
-    entered flight), plus the live ``inflight_now`` gauge."""
+    entered flight), ``quarantined`` (corrupt objects sidelined on
+    read), plus the live ``inflight_now`` gauge."""
     out = dict(_COUNTS)
-    out["inflight_now"] = _FLIGHT.inflight()
-    for name in ("hits", "misses", "coalesced", "inflight"):
+    out["inflight_now"] = _flight().inflight()
+    for name in ("hits", "misses", "coalesced", "inflight", "quarantined"):
         out.setdefault(name, 0)
     return out
 
@@ -179,23 +194,28 @@ def notify(event: dict) -> None:
 
 # -- single-flight over the installed store ----------------------------
 def flight_begin(key: str) -> bool:
-    """Enter *key* into flight; True = leader (must compute + finish)."""
-    leader = _FLIGHT.begin(key)
+    """Enter *key* into flight; True = leader (must compute + finish).
+
+    With a store installed, flight is coordinated through lock files
+    under the store directory, so leadership holds across *processes*
+    sharing the store (concurrent service requests), not just threads.
+    """
+    leader = _flight().begin(key)
     if leader:
         record("inflight")
     return leader
 
 
 def flight_wait(key: str, timeout: Optional[float] = None) -> bool:
-    return _FLIGHT.wait(key, timeout)
+    return _flight().wait(key, timeout)
 
 
 def flight_finish(key: str) -> None:
-    _FLIGHT.finish(key)
+    _flight().finish(key)
 
 
 def inflight() -> int:
-    return _FLIGHT.inflight()
+    return _flight().inflight()
 
 
 # Honour QSM_CACHE=DIR at import (mirrors the QSM_OBS/QSM_FAULTS idiom)

@@ -138,7 +138,11 @@ class ResultStore:
         try:
             os.replace(path, path.with_suffix(".corrupt"))
         except OSError:  # pragma: no cover - racing quarantines
-            pass
+            return
+        # Late import: repro.store imports this module at package init.
+        from repro import store as _store
+
+        _store.record("quarantined", key=path.stem, status="quarantined")
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -201,6 +205,11 @@ class ResultStore:
                 ok += 1
         return ok, bad
 
+    #: gc never touches a ``.tmp*`` file younger than this: a concurrent
+    #: writer may be between its write and the atomic ``os.replace``,
+    #: and unlinking the temp mid-rename would fail that write.
+    TMP_GRACE_SECONDS = 60.0
+
     def gc(
         self,
         max_age_seconds: Optional[float] = None,
@@ -209,12 +218,19 @@ class ResultStore:
     ) -> int:
         """Remove corrupt quarantines, stale temp files, objects older
         than *max_age_seconds*, then oldest-first until the store fits
-        in *max_bytes*.  Returns the number of files removed."""
+        in *max_bytes*.  Returns the number of files removed.
+
+        Safe under a concurrent writer: fresh ``.tmp*`` files (younger
+        than :data:`TMP_GRACE_SECONDS`) are in-flight atomic writes and
+        are left alone; only abandoned ones are swept.
+        """
         now = time.time() if now is None else now
         removed = 0
         live: List[Tuple[float, int, Path]] = []
         for path, st in self._scan():
             if not path.name.endswith(".bin"):
+                if ".tmp" in path.name and now - st.st_mtime < self.TMP_GRACE_SECONDS:
+                    continue  # a concurrent writer's in-flight temp file
                 path.unlink(missing_ok=True)
                 removed += 1
                 continue

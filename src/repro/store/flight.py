@@ -8,14 +8,30 @@ key becomes its *leader*, later callers are *followers* and
 :meth:`wait` until the leader :meth:`finish`\\ es (whether or not it
 managed to store a result — followers must re-check the store and fall
 back to computing themselves).
+
+:class:`FileFlight` is the cross-*process* variant, coordinating
+through lock files under the store directory.  The hardened sweep
+service runs every request in its own runner process (per-request
+state isolation), so two concurrent requests that share points meet in
+the filesystem, not in one process's lock table: the leader creates
+``<root>/flight/<key>.lock`` with ``O_EXCL`` (atomic on every POSIX
+filesystem, also across threads of one process), followers poll for
+its disappearance and then re-read the store.  Locks record their
+owner's pid and a random nonce; a lock whose owner is dead — the
+kill ``-9`` mid-sweep case — is *stale* and is stolen by the next
+contender instead of wedging every future sweep of that point.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
+import time
+from pathlib import Path
 from typing import Dict, Optional
 
-__all__ = ["SingleFlight"]
+__all__ = ["SingleFlight", "FileFlight"]
 
 
 class SingleFlight:
@@ -55,3 +71,105 @@ class SingleFlight:
         """Number of keys currently being computed."""
         with self._lock:
             return len(self._events)
+
+
+class FileFlight:
+    """Cross-process leader/follower coordination via lock files.
+
+    Same contract as :class:`SingleFlight` (``begin``/``wait``/
+    ``finish``/``inflight``) but keyed through a directory, so runner
+    *processes* sharing one store dedupe in-flight points too.  A lock
+    whose owning pid no longer exists — or whose file is older than
+    ``stale_after_seconds`` (pid reuse safety net) — is treated as
+    abandoned and stolen.
+    """
+
+    def __init__(
+        self,
+        directory,
+        stale_after_seconds: float = 900.0,
+        poll_seconds: float = 0.02,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stale_after_seconds = stale_after_seconds
+        self.poll_seconds = poll_seconds
+        #: key -> nonce for locks this instance owns (finish() proof).
+        self._owned: Dict[str, str] = {}
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.lock"
+
+    def _is_stale(self, path: Path) -> bool:
+        """Whether *path*'s owner is gone (crashed leader)."""
+        try:
+            age = time.time() - path.stat().st_mtime
+        except OSError:  # gone already: not stale, just finished
+            return False
+        try:
+            info = json.loads(path.read_text())
+            pid = info["pid"]
+        except (OSError, ValueError, KeyError, TypeError):
+            # Unreadable/partial lock: give the writer a beat, then steal.
+            return age > 5.0
+        if not isinstance(pid, int):
+            return age > 5.0
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return True  # owner is dead: the kill -9 case
+        except PermissionError:  # pragma: no cover - other-user pid
+            pass
+        return age > self.stale_after_seconds
+
+    def begin(self, key: str) -> bool:
+        """True if the caller is now *key*'s leader; False = follower."""
+        path = self._path(key)
+        nonce = os.urandom(8).hex()
+        for _ in range(2):  # one retry after stealing a stale lock
+            try:
+                fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                if self._is_stale(path):
+                    path.unlink(missing_ok=True)
+                    continue
+                return False
+            with os.fdopen(fd, "w") as fh:
+                json.dump({"pid": os.getpid(), "nonce": nonce, "ts": time.time()}, fh)
+            self._owned[key] = nonce
+            return True
+        return False
+
+    def wait(self, key: str, timeout: Optional[float] = None) -> bool:
+        """Block until *key*'s leader finishes (True) or *timeout* (False).
+
+        Returns True immediately when nothing is in flight for *key*;
+        a stale lock is stolen (removed) rather than waited on.
+        """
+        path = self._path(key)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while path.exists():
+            if self._is_stale(path):
+                path.unlink(missing_ok=True)
+                return True
+            if deadline is not None and time.monotonic() >= deadline:
+                return False
+            time.sleep(self.poll_seconds)
+        return True
+
+    def finish(self, key: str) -> None:
+        """Release *key* if this instance leads it; idempotent, and a
+        no-op for followers or a lock that was stolen from us."""
+        nonce = self._owned.pop(key, None)
+        if nonce is None:
+            return
+        path = self._path(key)
+        try:
+            if json.loads(path.read_text()).get("nonce") == nonce:
+                path.unlink(missing_ok=True)
+        except (OSError, ValueError):
+            pass
+
+    def inflight(self) -> int:
+        """Number of keys currently locked in the directory."""
+        return sum(1 for p in self.directory.glob("*.lock"))

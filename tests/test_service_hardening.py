@@ -1,0 +1,661 @@
+"""Hardened sweep-service tests: concurrency, admission, journal, fuzz.
+
+Contracts (docs/SERVICE.md, "Hardening"):
+
+* concurrent requests are exactly as isolated as serial CLI runs —
+  per-request fault tallies, cache counter deltas and payloads match
+  the serial baselines byte-for-byte;
+* admission control rejects over-queue (``overloaded``), over-quota
+  (``quota``) and unauthenticated (``unauthorized``) submissions with
+  structured errors, never by wedging the connection;
+* a request deadline cancels the sweep mid-``parallel_map`` with a
+  ``deadline`` error; completed points stay cached;
+* the durable journal replays interrupted requests on restart, so an
+  idempotent resubmit is served from cache byte-identically with zero
+  recomputed points;
+* arbitrary junk on the socket — malformed JSON, oversized lines,
+  mid-line disconnects, unknown commands — never kills the server.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS
+from repro.service import (
+    AdmissionController,
+    AdmissionPolicy,
+    RequestJournal,
+    ServiceError,
+    SweepRequest,
+    SweepService,
+    client,
+)
+from repro.service.client import backoff_delays
+from repro.service.protocol import encode_line
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+
+GATE_ENV = "QSM_TEST_GATE_DIR"
+
+
+def _gated_run(fast: bool = False, seed: int = 0) -> ExperimentResult:
+    """A registry-shaped experiment that blocks on a filesystem gate
+    (the forked runner inherits the env var), so tests control exactly
+    when a request occupies its runner slot and when it finishes."""
+    base = Path(os.environ[GATE_ENV])
+    (base / f"started-{seed}").touch()
+    deadline = time.time() + 60.0
+    while not (base / "release").exists():
+        if time.time() > deadline:  # pragma: no cover - test hang guard
+            raise RuntimeError("gate never released")
+        time.sleep(0.02)
+    return ExperimentResult("gated", "gated", "gated", {"seed": seed})
+
+
+def _sleep_point(seconds: float) -> float:
+    time.sleep(seconds)
+    return seconds
+
+
+def _sleepy_run(fast: bool = False, seed: int = 0, jobs: int = 1) -> ExperimentResult:
+    """An experiment whose points sleep far past any test deadline, so
+    only deadline cancellation can end it."""
+    from repro.experiments.executor import is_failed, parallel_map
+
+    values = parallel_map(_sleep_point, [120.0, 120.0], jobs=2)
+    done = sum(1 for v in values if not is_failed(v))
+    return ExperimentResult("sleepy", "sleepy", "sleepy", {"done": done})
+
+
+@contextmanager
+def live_service(cache_dir, **kwargs):
+    """A service on an ephemeral port in a background thread."""
+    svc = SweepService(cache_dir=str(cache_dir), port=0, **kwargs)
+    thread = threading.Thread(target=svc.run, daemon=True)
+    thread.start()
+    deadline = time.monotonic() + 10.0
+    while svc.port == 0 and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert svc.port != 0, "service never bound a port"
+    assert client.wait_ready(port=svc.port, timeout=10.0)
+    try:
+        yield svc
+    finally:
+        try:
+            client.shutdown(
+                port=svc.port, token=svc.admission.policy.token
+            )
+        except (OSError, ServiceError):
+            pass
+        thread.join(timeout=15.0)
+
+
+def _collect(events):
+    by_kind = {"point": []}
+    for event in events:
+        kind = event["event"]
+        if kind == "point":
+            by_kind["point"].append(event)
+        elif kind == "retry":
+            by_kind["point"] = []  # stream restart
+        else:
+            by_kind[kind] = event
+    return by_kind
+
+
+# ----------------------------------------------------------------------
+# admission control (unit, deterministic fake clock)
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_queue_limit_rejects_overloaded(self):
+        ctl = AdmissionController(AdmissionPolicy(queue_limit=2))
+        assert ctl.admit("a").admitted
+        assert ctl.admit("b").admitted
+        decision = ctl.admit("c")
+        assert not decision.admitted and decision.code == "overloaded"
+        ctl.started("a")  # a moves to a runner slot; queue has room again
+        assert ctl.admit("c").admitted
+
+    def test_per_client_inflight_cap(self):
+        ctl = AdmissionController(
+            AdmissionPolicy(queue_limit=100, max_inflight_per_client=2)
+        )
+        assert ctl.admit("alice").admitted
+        ctl.started("alice")
+        assert ctl.admit("alice").admitted
+        ctl.started("alice")
+        decision = ctl.admit("alice")
+        assert not decision.admitted and decision.code == "quota"
+        assert ctl.admit("bob").admitted  # other tenants are unaffected
+        ctl.finished("alice")
+        assert ctl.admit("alice").admitted
+
+    def test_points_per_minute_bucket(self):
+        clock = [0.0]
+        ctl = AdmissionController(
+            AdmissionPolicy(queue_limit=100, points_per_minute=60.0),
+            clock=lambda: clock[0],
+        )
+        assert ctl.admit("a", cost=60.0).admitted  # burns the full burst
+        ctl.started("a")
+        ctl.finished("a")
+        decision = ctl.admit("a", cost=10.0)
+        assert not decision.admitted and decision.code == "quota"
+        clock[0] += 10.0  # 60/min refills 1 point per second
+        assert ctl.admit("a", cost=10.0).admitted
+
+    def test_drain_stops_admissions(self):
+        ctl = AdmissionController(AdmissionPolicy())
+        ctl.begin_drain()
+        decision = ctl.admit("a")
+        assert not decision.admitted and decision.code == "draining"
+
+    def test_token_auth(self):
+        ctl = AdmissionController(AdmissionPolicy(token="sekrit"))
+        assert ctl.authorized("sekrit")
+        assert not ctl.authorized("wrong")
+        assert not ctl.authorized(None)
+        assert AdmissionController(AdmissionPolicy()).authorized(None)
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(max_workers=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(points_per_minute=0.0)
+
+
+# ----------------------------------------------------------------------
+# the request journal (unit)
+# ----------------------------------------------------------------------
+class TestJournal:
+    def test_record_replay_last_writer_wins(self, tmp_path):
+        j = RequestJournal(tmp_path)
+        j.record("r1", "accepted", payload={"experiment": "fig1"})
+        j.record("r1", "running")
+        j.record("r2", "accepted", payload={"experiment": "fig2"})
+        j.record("r1", "done")
+        states = j.replay()
+        assert states["r1"]["state"] == "done"
+        assert states["r2"]["state"] == "accepted"
+        # Later transitions inherit the payload recorded at acceptance.
+        assert states["r1"]["payload"] == {"experiment": "fig1"}
+
+    def test_interrupted_skips_terminal_states(self, tmp_path):
+        j = RequestJournal(tmp_path)
+        j.record("done", "accepted", payload={"experiment": "a"})
+        j.record("done", "done")
+        j.record("crashed", "accepted", payload={"experiment": "b"})
+        j.record("crashed", "running")
+        j.record("cancelled", "accepted", payload={"experiment": "c"})
+        j.record("cancelled", "cancelled")
+        pending = j.interrupted()
+        assert [e["request"] for e in pending] == ["crashed"]
+
+    def test_truncated_tail_tolerated(self, tmp_path):
+        j = RequestJournal(tmp_path)
+        j.record("r1", "accepted", payload={"experiment": "a"})
+        with open(j.path, "a") as fh:
+            fh.write('{"request": "r2", "state": "acc')  # kill -9 mid-append
+        states = j.replay()
+        assert set(states) == {"r1"}
+
+    def test_unknown_states_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            RequestJournal(tmp_path).record("r", "exploded")
+
+    def test_compact_keeps_latest_only(self, tmp_path):
+        j = RequestJournal(tmp_path)
+        for _ in range(3):
+            j.record("r1", "accepted", payload={"experiment": "a"})
+            j.record("r1", "done")
+        assert j.compact() == 1
+        lines = j.path.read_text().strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["state"] == "done"
+
+
+# ----------------------------------------------------------------------
+# client backoff
+# ----------------------------------------------------------------------
+class TestClientBackoff:
+    def test_delays_grow_and_stay_jittered(self):
+        import random
+
+        delays = list(backoff_delays(6, base=0.25, cap=8.0, rng=random.Random(7)))
+        assert len(delays) == 6
+        for k, d in enumerate(delays):
+            assert 0.0 <= d <= min(8.0, 0.25 * 2**k)
+
+    def test_submit_retries_on_overloaded_then_succeeds(self):
+        """A hand-rolled server: two overloaded bounces, then a result.
+        The client must back off, resubmit, and surface retry markers."""
+        bounces = 2
+        result = {"event": "result", "request_key": "k", "payload": {}, "cache": {}}
+        accepted = {"event": "accepted", "request_key": "k", "experiment": "fig1"}
+        served = []
+
+        srv = socket.create_server(("127.0.0.1", 0))
+        port = srv.getsockname()[1]
+
+        def serve():
+            for i in range(bounces + 1):
+                conn, _ = srv.accept()
+                with conn:
+                    conn.makefile("rb").readline()
+                    if i < bounces:
+                        conn.sendall(
+                            encode_line(
+                                {"event": "error", "code": "overloaded", "message": "full"}
+                            )
+                        )
+                    else:
+                        for msg in (accepted, result, {"event": "done"}):
+                            conn.sendall(encode_line(msg))
+                    served.append(i)
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            events = _collect(
+                client.submit(
+                    SweepRequest(experiment="fig1"),
+                    port=port,
+                    retries=5,
+                    backoff_base=0.01,
+                )
+            )
+        finally:
+            thread.join(timeout=10.0)
+            srv.close()
+        assert served == [0, 1, 2]
+        assert events["result"]["request_key"] == "k"
+
+    def test_submit_exhausted_budget_raises(self):
+        srv = socket.create_server(("127.0.0.1", 0))
+        port = srv.getsockname()[1]
+
+        def serve():
+            for _ in range(2):
+                conn, _ = srv.accept()
+                with conn:
+                    conn.makefile("rb").readline()
+                    conn.sendall(
+                        encode_line(
+                            {"event": "error", "code": "overloaded", "message": "full"}
+                        )
+                    )
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        try:
+            with pytest.raises(ServiceError) as err:
+                list(
+                    client.submit(
+                        SweepRequest(experiment="fig1"),
+                        port=port,
+                        retries=1,
+                        backoff_base=0.01,
+                    )
+                )
+            assert err.value.code == "overloaded"
+        finally:
+            thread.join(timeout=10.0)
+            srv.close()
+
+
+# ----------------------------------------------------------------------
+# concurrent isolation (the tentpole acceptance test)
+# ----------------------------------------------------------------------
+FAULTY_A = "drop=0.2,seed=11"
+FAULTY_B = "jitter=500,seed=23"
+
+
+def _serial_baseline(cache_dir, faults_spec):
+    """One request on a fresh single-worker service = the serial run."""
+    req = SweepRequest(experiment="fig1", fast=True, seed=0, ns=[4096], faults=faults_spec)
+    with live_service(cache_dir, max_workers=1) as svc:
+        events = _collect(client.submit(req, port=svc.port))
+    return events
+
+
+class TestConcurrentIsolation:
+    def test_disjoint_fault_plans_match_serial_runs(self, tmp_path):
+        base_a = _serial_baseline(tmp_path / "base-a", FAULTY_A)
+        base_b = _serial_baseline(tmp_path / "base-b", FAULTY_B)
+        assert base_a["result"]["faults"], "fault plan A never fired"
+        assert (
+            base_a["accepted"]["request_key"] != base_b["accepted"]["request_key"]
+        ), "fault plans must fold into the request identity"
+
+        results = {}
+        with live_service(tmp_path / "shared", max_workers=2) as svc:
+
+            def submit(tag, spec):
+                req = SweepRequest(
+                    experiment="fig1", fast=True, seed=0, ns=[4096], faults=spec
+                )
+                results[tag] = _collect(client.submit(req, port=svc.port))
+
+            threads = [
+                threading.Thread(target=submit, args=("a", FAULTY_A)),
+                threading.Thread(target=submit, args=("b", FAULTY_B)),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+
+        for tag, base in (("a", base_a), ("b", base_b)):
+            conc = results[tag]
+            # Payload byte-identity with the serial run.
+            assert json.dumps(conc["result"]["payload"], sort_keys=True) == json.dumps(
+                base["result"]["payload"], sort_keys=True
+            )
+            # Exact per-request fault tallies: no cross-request bleed.
+            assert conc["result"].get("faults") == base["result"].get("faults")
+            # Exact per-request cache counter deltas.
+            assert conc["result"]["cache"] == base["result"]["cache"]
+            assert conc["result"]["cache"]["misses"] == len(base["point"])
+
+
+# ----------------------------------------------------------------------
+# admission + quotas against a live server
+# ----------------------------------------------------------------------
+@pytest.fixture
+def gate(tmp_path, monkeypatch):
+    gate_dir = tmp_path / "gate"
+    gate_dir.mkdir()
+    monkeypatch.setenv(GATE_ENV, str(gate_dir))
+    monkeypatch.setitem(EXPERIMENTS, "gated", _gated_run)
+    return gate_dir
+
+
+def _wait_for(predicate, timeout=30.0, message="condition"):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, f"timed out waiting for {message}"
+        time.sleep(0.02)
+
+
+class TestAdmissionLive:
+    def test_overloaded_rejection_and_recovery(self, tmp_path, gate):
+        with live_service(
+            tmp_path / "cas", max_workers=1, queue_limit=1, journal=False
+        ) as svc:
+            gen1 = client.submit(
+                SweepRequest(experiment="gated", seed=1), port=svc.port
+            )
+            assert next(gen1)["event"] == "accepted"
+            _wait_for(
+                lambda: (gate / "started-1").exists(), message="runner start"
+            )
+            gen2 = client.submit(
+                SweepRequest(experiment="gated", seed=2), port=svc.port
+            )
+            assert next(gen2)["event"] == "accepted"  # fills the queue
+            with pytest.raises(ServiceError) as err:
+                list(
+                    client.submit(
+                        SweepRequest(experiment="gated", seed=3), port=svc.port
+                    )
+                )
+            assert err.value.code == "overloaded"
+            (gate / "release").touch()
+            done1, done2 = _collect(gen1), _collect(gen2)
+            assert done1["result"]["payload"]["data"]["seed"] == 1
+            assert done2["result"]["payload"]["data"]["seed"] == 2
+            # Capacity freed: a new submission is admitted again.
+            done4 = _collect(
+                client.submit(SweepRequest(experiment="gated", seed=4), port=svc.port)
+            )
+            assert done4["result"]["payload"]["data"]["seed"] == 4
+
+    def test_per_client_quota_rejection(self, tmp_path, gate):
+        with live_service(
+            tmp_path / "cas",
+            max_workers=1,
+            queue_limit=10,
+            max_inflight_per_client=1,
+            journal=False,
+        ) as svc:
+            gen1 = client.submit(
+                SweepRequest(experiment="gated", seed=1, client="alice"), port=svc.port
+            )
+            assert next(gen1)["event"] == "accepted"
+            _wait_for(lambda: (gate / "started-1").exists(), message="runner start")
+            with pytest.raises(ServiceError) as err:
+                list(
+                    client.submit(
+                        SweepRequest(experiment="gated", seed=2, client="alice"),
+                        port=svc.port,
+                    )
+                )
+            assert err.value.code == "quota"
+            # A different tenant is unaffected by alice's quota.
+            gen3 = client.submit(
+                SweepRequest(experiment="gated", seed=3, client="bob"), port=svc.port
+            )
+            assert next(gen3)["event"] == "accepted"
+            (gate / "release").touch()
+            _collect(gen1)
+            _collect(gen3)
+
+    def test_token_auth_guards_state_changing_commands(self, tmp_path):
+        with live_service(tmp_path / "cas", token="sekrit", journal=False) as svc:
+            # Probes stay open.
+            assert client.ping(port=svc.port)["event"] == "pong"
+            assert client.health(port=svc.port)["event"] == "health"
+            with pytest.raises(ServiceError) as err:
+                list(
+                    client.submit(
+                        SweepRequest(experiment="fig1", fast=True, ns=[4096]),
+                        port=svc.port,
+                    )
+                )
+            assert err.value.code == "unauthorized"
+            with pytest.raises(ServiceError):
+                client.drain(port=svc.port, token="wrong")
+            # The right token goes through.
+            events = _collect(
+                client.submit(
+                    SweepRequest(experiment="fig1", fast=True, ns=[4096]),
+                    port=svc.port,
+                    token="sekrit",
+                )
+            )
+            assert events["result"]["cache"]["misses"] > 0
+
+    def test_drain_refuses_new_work_then_exits(self, tmp_path, gate):
+        svc = SweepService(cache_dir=str(tmp_path / "cas"), port=0, journal=False)
+        thread = threading.Thread(target=svc.run, daemon=True)
+        thread.start()
+        _wait_for(lambda: svc.port != 0, message="bind")
+        assert client.wait_ready(port=svc.port, timeout=10.0)
+        assert client.ready(port=svc.port)["ready"] is True
+
+        # In-flight work holds the server in the draining state.
+        gen1 = client.submit(SweepRequest(experiment="gated", seed=1), port=svc.port)
+        assert next(gen1)["event"] == "accepted"
+        _wait_for(lambda: (gate / "started-1").exists(), message="runner start")
+
+        assert client.drain(port=svc.port)["draining"] is True
+        assert client.ready(port=svc.port)["ready"] is False
+        with pytest.raises(ServiceError) as err:
+            list(client.submit(SweepRequest(experiment="fig1"), port=svc.port))
+        assert err.value.code == "draining"
+
+        # The admitted request still finishes; then the server exits.
+        (gate / "release").touch()
+        assert _collect(gen1)["result"]["payload"]["data"]["seed"] == 1
+        thread.join(timeout=15.0)
+        assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# deadlines
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_deadline_cancels_sweep_with_structured_error(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setitem(EXPERIMENTS, "sleepy", _sleepy_run)
+        with live_service(tmp_path / "cas", max_workers=1) as svc:
+            t0 = time.monotonic()
+            with pytest.raises(ServiceError) as err:
+                list(
+                    client.submit(
+                        SweepRequest(experiment="sleepy", deadline_seconds=1.0),
+                        port=svc.port,
+                    )
+                )
+            elapsed = time.monotonic() - t0
+            assert err.value.code == "deadline"
+            assert elapsed < 60.0, "deadline did not cancel the 120s points"
+            # The journal recorded the cancellation durably.
+            assert svc.journal is not None
+            states = svc.journal.replay()
+            assert any(e["state"] == "cancelled" for e in states.values())
+
+
+# ----------------------------------------------------------------------
+# durable journal: crash replay + idempotent resubmit
+# ----------------------------------------------------------------------
+class TestJournalReplay:
+    def test_interrupted_request_replays_and_resubmit_is_all_hits(self, tmp_path):
+        req = SweepRequest(experiment="fig1", fast=True, seed=0, ns=[4096])
+
+        # Baseline payload from an untouched service.
+        with live_service(tmp_path / "base") as svc:
+            baseline = _collect(client.submit(req, port=svc.port))
+
+        # A crashed server's journal: accepted, started running, died.
+        cache = tmp_path / "crashed"
+        journal = RequestJournal(Path(cache) / "service")
+        journal.record(
+            req.identity(), "accepted", payload=req.to_payload(), client="alice"
+        )
+        journal.record(req.identity(), "running")
+
+        with live_service(cache) as svc:
+            # The restart re-queued the interrupted request detached;
+            # wait for it to finish into the shared store.
+            _wait_for(
+                lambda: client.stats(port=svc.port)["requests_served"] >= 1,
+                timeout=120.0,
+                message="journal replay",
+            )
+            st = client.stats(port=svc.port)
+            assert st["requests_replayed"] == 1
+            assert st["counters"]["misses"] > 0
+
+            # Idempotent resubmit: byte-identical, zero recomputation.
+            events = _collect(client.submit(req, port=svc.port))
+            assert events["result"]["cache"]["misses"] == 0
+            assert events["point"] and all(
+                p["status"] == "hit" for p in events["point"]
+            )
+            assert json.dumps(
+                events["result"]["payload"], sort_keys=True
+            ) == json.dumps(baseline["result"]["payload"], sort_keys=True)
+
+            states = svc.journal.replay()
+            assert states[req.identity()]["state"] == "done"
+
+
+# ----------------------------------------------------------------------
+# protocol robustness: junk in, structured errors (or clean close) out
+# ----------------------------------------------------------------------
+def _raw_exchange(port, blob, read_reply=True):
+    """Send raw bytes; return the first reply line (b'' on clean close)."""
+    with socket.create_connection(("127.0.0.1", port), timeout=10.0) as sock:
+        sock.settimeout(10.0)
+        try:
+            sock.sendall(blob)
+        except (BrokenPipeError, ConnectionResetError):
+            return b""
+        if not read_reply:
+            return b""
+        fh = sock.makefile("rb")
+        try:
+            return fh.readline()
+        except (ConnectionResetError, socket.timeout):
+            return b""
+
+
+class TestProtocolRobustness:
+    def test_fuzz_junk_lines_never_kill_the_server(self, tmp_path):
+        import random
+
+        rng = random.Random(1234)
+        with live_service(tmp_path / "cas", journal=False) as svc:
+            for _ in range(25):
+                junk = bytes(
+                    rng.randrange(256) for _ in range(rng.randrange(1, 200))
+                )
+                reply = _raw_exchange(svc.port, junk + b"\n")
+                if reply:  # structured error, or a clean close — never a wedge
+                    assert json.loads(reply)["event"] == "error"
+            assert client.ping(port=svc.port)["event"] == "pong"
+
+    def test_structured_error_codes(self, tmp_path):
+        with live_service(tmp_path / "cas", journal=False) as svc:
+            cases = [
+                (b"not json\n", "bad_request"),
+                (json.dumps({"cmd": "explode"}).encode() + b"\n", "bad_request"),
+                (json.dumps({"protocol": 99, "cmd": "ping"}).encode() + b"\n", "protocol"),
+                (
+                    json.dumps({"cmd": "sweep", "experiment": "nope"}).encode() + b"\n",
+                    "bad_request",
+                ),
+            ]
+            for blob, code in cases:
+                reply = json.loads(_raw_exchange(svc.port, blob))
+                assert reply["event"] == "error"
+                assert reply["code"] == code
+
+    def test_v1_requests_still_accepted(self, tmp_path):
+        with live_service(tmp_path / "cas", journal=False) as svc:
+            reply = json.loads(
+                _raw_exchange(
+                    svc.port, json.dumps({"protocol": 1, "cmd": "ping"}).encode() + b"\n"
+                )
+            )
+            assert reply["event"] == "pong"
+
+    def test_oversized_line_rejected(self, tmp_path):
+        with live_service(tmp_path / "cas", journal=False) as svc:
+            blob = b'{"pad": "' + b"x" * (2 << 20) + b'"}\n'
+            reply = _raw_exchange(svc.port, blob)
+            if reply:
+                msg = json.loads(reply)
+                assert msg["event"] == "error" and msg["code"] == "bad_request"
+            assert client.ping(port=svc.port)["event"] == "pong"
+
+    def test_midline_disconnect_is_clean(self, tmp_path):
+        with live_service(tmp_path / "cas", journal=False) as svc:
+            _raw_exchange(svc.port, b'{"protocol": 2, "cmd"', read_reply=False)
+            assert client.ping(port=svc.port)["event"] == "pong"
+
+    def test_read_timeout_closes_idle_connections(self, tmp_path):
+        with live_service(
+            tmp_path / "cas", read_timeout=0.3, journal=False
+        ) as svc:
+            with socket.create_connection(("127.0.0.1", svc.port), timeout=10.0) as sock:
+                sock.settimeout(10.0)
+                fh = sock.makefile("rb")
+                reply = fh.readline()  # send nothing; server must time out
+            msg = json.loads(reply)
+            assert msg["event"] == "error" and msg["code"] == "timeout"
+            assert client.ping(port=svc.port)["event"] == "pong"

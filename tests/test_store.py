@@ -227,3 +227,148 @@ class TestSingleFlight:
         sf.finish("k")
         t.join(timeout=5.0)
         assert released and released[0] >= t0
+
+
+# ----------------------------------------------------------------------
+# cross-process single-flight (the hardened service's coordination)
+# ----------------------------------------------------------------------
+class TestFileFlight:
+    def test_leader_then_follower_across_instances(self, tmp_path):
+        from repro.store import FileFlight
+
+        a = FileFlight(tmp_path / "flight")
+        b = FileFlight(tmp_path / "flight")  # a second "process"
+        assert a.begin("k") is True
+        assert b.begin("k") is False
+        assert a.inflight() == 1 and b.inflight() == 1
+        a.finish("k")
+        assert a.inflight() == 0
+        assert b.wait("k", timeout=1.0) is True
+        assert b.begin("k") is True  # reusable after finish
+        b.finish("k")
+
+    def test_wait_without_flight_returns_immediately(self, tmp_path):
+        from repro.store import FileFlight
+
+        assert FileFlight(tmp_path / "flight").wait("nothing") is True
+
+    def test_wait_timeout(self, tmp_path):
+        from repro.store import FileFlight
+
+        ff = FileFlight(tmp_path / "flight")
+        ff.begin("k")
+        assert ff.wait("k", timeout=0.05) is False
+        ff.finish("k")
+
+    def test_dead_leader_lock_is_stolen(self, tmp_path):
+        """The kill -9 case: a lock owned by a dead pid must not wedge
+        every future sweep of that point."""
+        import subprocess
+
+        from repro.store import FileFlight
+
+        # A real pid that is guaranteed dead once communicate() returns.
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        ff = FileFlight(tmp_path / "flight")
+        lock = tmp_path / "flight" / "k.lock"
+        lock.write_text(json.dumps({"pid": proc.pid, "nonce": "dead", "ts": 0}))
+        assert ff.wait("k", timeout=1.0) is True  # steals, does not block
+        lock.write_text(json.dumps({"pid": proc.pid, "nonce": "dead", "ts": 0}))
+        assert ff.begin("k") is True  # steals and takes leadership
+        ff.finish("k")
+        assert ff.inflight() == 0
+
+    def test_finish_never_releases_a_stolen_lock(self, tmp_path):
+        """An old leader coming back after its lock aged out and was
+        re-taken must not release the new leader's lock."""
+        from repro.store import FileFlight
+
+        old = FileFlight(tmp_path / "flight")
+        assert old.begin("k") is True
+        # Age the lock past a new contender's staleness window (the pid
+        # is alive, so only the age fallback applies) and let it steal.
+        lock = tmp_path / "flight" / "k.lock"
+        past = time.time() - 60
+        os.utime(lock, (past, past))
+        new = FileFlight(tmp_path / "flight", stale_after_seconds=5.0)
+        assert new.begin("k") is True
+        assert old.inflight() == 1
+        old.finish("k")  # nonce mismatch: must be a no-op
+        assert new.inflight() == 1
+        new.finish("k")
+        assert new.inflight() == 0
+
+    def test_unreadable_lock_gets_grace_then_steals(self, tmp_path):
+        from repro.store import FileFlight
+
+        ff = FileFlight(tmp_path / "flight")
+        lock = tmp_path / "flight" / "k.lock"
+        lock.write_text("not json")
+        assert ff.begin("k") is False  # fresh garbage: assume mid-write
+        old = time.time() - 60
+        os.utime(lock, (old, old))
+        assert ff.begin("k") is True  # aged garbage: stolen
+        ff.finish("k")
+
+
+# ----------------------------------------------------------------------
+# store hardening: gc vs concurrent writers, quarantine counter
+# ----------------------------------------------------------------------
+class TestStoreHardening:
+    def test_gc_spares_fresh_tmp_files(self, tmp_path):
+        """A .tmp file younger than the grace window is a concurrent
+        writer mid-atomic-write; gc must not unlink it."""
+        store = ResultStore(tmp_path / "cas")
+        store.put_blob(KEY, b"payload")
+        shard = store._path(KEY).parent
+        fresh = shard / f"{KEY}.bin.tmp9999"
+        fresh.write_bytes(b"half-written")
+        assert store.gc() == 0
+        assert fresh.exists()
+        # Once abandoned past the grace window it is debris.
+        old = time.time() - 2 * ResultStore.TMP_GRACE_SECONDS
+        os.utime(fresh, (old, old))
+        assert store.gc() == 1
+        assert not fresh.exists()
+
+    def test_quarantine_bumps_store_counter(self, tmp_path):
+        import repro.store as store_state
+
+        store = ResultStore(tmp_path / "cas")
+        store.put_blob(KEY, b"payload")
+        raw = bytearray(store._path(KEY).read_bytes())
+        raw[-1] ^= 0xFF
+        store._path(KEY).write_bytes(bytes(raw))
+        store_state.reset_counters()
+        assert store.get_blob(KEY) is None
+        assert store_state.counters()["quarantined"] == 1
+        store_state.reset_counters()
+
+    def test_verify_safe_under_concurrent_writer(self, tmp_path):
+        """verify() walking the tree while another thread writes objects
+        must neither crash nor quarantine the in-flight writes."""
+        store = ResultStore(tmp_path / "cas")
+        stop = threading.Event()
+        written = []
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                key = digest({"concurrent": i})
+                store.put_blob(key, b"x" * 64)
+                written.append(key)
+                i += 1
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            deadline = time.monotonic() + 1.0
+            while time.monotonic() < deadline:
+                ok, bad = store.verify()
+                assert bad == 0
+        finally:
+            stop.set()
+            t.join(timeout=10.0)
+        ok, bad = store.verify()
+        assert bad == 0 and ok == len(set(written))
