@@ -16,6 +16,16 @@ starves a tenant.  Every ``sweep`` submission passes through one
   with the request's estimated point count; a client that burns its
   budget is rejected with ``quota`` until the bucket refills.
 
+The ``client`` field of a request is *cooperative*: it is whatever
+string the submitter chose, so per-client fairness is an agreement
+between well-behaved tenants, not a security boundary.  The
+enforcement backstop is the **peer address**: every submission is also
+charged against a per-peer in-flight cap and rate bucket scaled by
+``peer_backstop_factor``, so a client minting a fresh ``client`` value
+per request is still bounded by its connection's source address.
+(True per-tenant enforcement needs per-client credentials; the single
+shared token only gates access to the service as a whole.)
+
 All decisions happen on the server's event loop (single-threaded), so
 the controller needs no locking; the injected ``clock`` makes the rate
 limiter deterministic under test.
@@ -50,6 +60,11 @@ class AdmissionPolicy:
     points_per_minute: Optional[float] = None
     #: Shared-secret token (None = open service).
     token: Optional[str] = None
+    #: Enforcement backstop: a single peer address gets at most this
+    #: multiple of the per-client caps no matter how many ``client``
+    #: identities it mints (None disables the backstop).  > 1 leaves
+    #: headroom for several genuine tenants behind one address.
+    peer_backstop_factor: Optional[float] = 4.0
 
     def __post_init__(self) -> None:
         if self.max_workers < 1:
@@ -64,6 +79,11 @@ class AdmissionPolicy:
         if self.points_per_minute is not None and not self.points_per_minute > 0:
             raise ValueError(
                 f"points_per_minute must be > 0, got {self.points_per_minute!r}"
+            )
+        if self.peer_backstop_factor is not None and not self.peer_backstop_factor >= 1:
+            raise ValueError(
+                f"peer_backstop_factor must be >= 1, "
+                f"got {self.peer_backstop_factor!r}"
             )
 
 
@@ -122,6 +142,10 @@ class AdmissionController:
         self._clock = clock
         self._inflight: Dict[str, int] = {}
         self._buckets: Dict[str, TokenBucket] = {}
+        #: Peer-address backstop accounting, separate from the
+        #: cooperative per-client books (one address hosts many ids).
+        self._peer_inflight: Dict[str, int] = {}
+        self._peer_buckets: Dict[str, TokenBucket] = {}
         self._queued = 0
         self._draining = False
 
@@ -142,11 +166,15 @@ class AdmissionController:
         self._draining = True
 
     # -- the decision ---------------------------------------------------
-    def admit(self, client_id: str, cost: float = 1.0) -> AdmissionDecision:
+    def admit(
+        self, client_id: str, cost: float = 1.0, peer_id: Optional[str] = None
+    ) -> AdmissionDecision:
         """Admit one request for *client_id*, charging *cost* estimated
-        sweep points against its rate budget.  On admission the request
+        sweep points against its rate budget — and, when *peer_id* is
+        given, against the peer address's backstop caps too (the
+        ``client`` string is self-declared).  On admission the request
         counts as queued until :meth:`started` and in-flight until
-        :meth:`finished`."""
+        :meth:`finished` (settled with the same *peer_id*)."""
         if self._draining:
             return AdmissionDecision(
                 False, "draining", "server is draining; resubmit elsewhere or later"
@@ -166,13 +194,34 @@ class AdmissionController:
                 f"client {client_id!r} already has {inflight} request(s) in flight "
                 f"(limit {self.policy.max_inflight_per_client})",
             )
+        factor = self.policy.peer_backstop_factor
+        backstop = factor is not None and peer_id is not None
+        if backstop:
+            peer_cap = int(self.policy.max_inflight_per_client * factor)
+            peer_inflight = self._peer_inflight.get(peer_id, 0)
+            if peer_inflight >= peer_cap:
+                return AdmissionDecision(
+                    False,
+                    "quota",
+                    f"peer {peer_id!r} already has {peer_inflight} request(s) in "
+                    f"flight across all client ids (backstop limit {peer_cap})",
+                )
         if self.policy.points_per_minute is not None:
             bucket = self._buckets.get(client_id)
             if bucket is None:
                 bucket = self._buckets[client_id] = TokenBucket(
                     self.policy.points_per_minute, clock=self._clock
                 )
-            if not bucket.try_consume(cost):
+            peer_bucket = None
+            if backstop:
+                peer_bucket = self._peer_buckets.get(peer_id)
+                if peer_bucket is None:
+                    peer_bucket = self._peer_buckets[peer_id] = TokenBucket(
+                        self.policy.points_per_minute * factor, clock=self._clock
+                    )
+            # Check both budgets before consuming either, so a
+            # rejection never burns tokens from the other book.
+            if bucket.level() < cost:
                 return AdmissionDecision(
                     False,
                     "quota",
@@ -180,7 +229,21 @@ class AdmissionController:
                     f"{self.policy.points_per_minute:g} points-per-minute budget "
                     f"(requested {cost:g}, {bucket.level():.1f} available)",
                 )
+            if peer_bucket is not None and peer_bucket.level() < cost:
+                return AdmissionDecision(
+                    False,
+                    "quota",
+                    f"peer {peer_id!r} exceeded its backstop "
+                    f"{self.policy.points_per_minute * factor:g} "
+                    f"points-per-minute budget across all client ids "
+                    f"(requested {cost:g}, {peer_bucket.level():.1f} available)",
+                )
+            bucket.try_consume(cost)
+            if peer_bucket is not None:
+                peer_bucket.try_consume(cost)
         self._inflight[client_id] = inflight + 1
+        if backstop:
+            self._peer_inflight[peer_id] = self._peer_inflight.get(peer_id, 0) + 1
         self._queued += 1
         return _ADMITTED
 
@@ -188,13 +251,20 @@ class AdmissionController:
         """The request left the queue for a runner slot."""
         self._queued = max(0, self._queued - 1)
 
-    def finished(self, client_id: str) -> None:
-        """The request reached a terminal state; free its in-flight slot."""
+    def finished(self, client_id: str, peer_id: Optional[str] = None) -> None:
+        """The request reached a terminal state; free its in-flight
+        slot (and its peer's, when one was charged on admit)."""
         left = self._inflight.get(client_id, 0) - 1
         if left > 0:
             self._inflight[client_id] = left
         else:
             self._inflight.pop(client_id, None)
+        if peer_id is not None:
+            peer_left = self._peer_inflight.get(peer_id, 0) - 1
+            if peer_left > 0:
+                self._peer_inflight[peer_id] = peer_left
+            else:
+                self._peer_inflight.pop(peer_id, None)
 
     # -- introspection (the `health` command) ---------------------------
     def snapshot(self) -> Dict[str, object]:
@@ -202,6 +272,7 @@ class AdmissionController:
             "draining": self._draining,
             "queued": self._queued,
             "inflight_clients": len(self._inflight),
+            "inflight_peers": len(self._peer_inflight),
             "inflight_total": sum(self._inflight.values()),
             "queue_limit": self.policy.queue_limit,
             "max_workers": self.policy.max_workers,

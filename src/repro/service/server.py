@@ -40,6 +40,7 @@ never a dead connection.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import json
 import threading
 from dataclasses import dataclass, field
@@ -71,6 +72,11 @@ _COUNTER_NAMES = ("hits", "misses", "coalesced", "inflight", "quarantined")
 #: Admission cost estimate for requests that do not pin an ``ns`` grid.
 _DEFAULT_COST_POINTS = 8.0
 
+#: Per-submission ids: ``request_id`` is *content* identity and is
+#: shared by coalescing resubmissions, so live-process bookkeeping
+#: (the runner table) must not key on it.
+_SUBMISSION_IDS = itertools.count(1)
+
 
 @dataclass
 class _Pending:
@@ -83,6 +89,10 @@ class _Pending:
     #: False for journal-replayed (detached) runs: they were admitted
     #: in a previous life and have no connection to stream to.
     admitted: bool = True
+    #: Peer address the quota backstop charged; settled on finish.
+    peer_id: Optional[str] = None
+    #: Unique per submission even when ``request_id`` collides.
+    submission_id: int = field(default_factory=lambda: next(_SUBMISSION_IDS))
     events: Optional[asyncio.Queue] = field(default=None, repr=False)
 
     def emit(self, message: Optional[Dict[str, Any]]) -> None:
@@ -147,7 +157,9 @@ class SweepService:
         self._stopping: Optional[asyncio.Event] = None
         self._queue: Optional[asyncio.Queue] = None
         self._workers: list = []
-        self._procs: Dict[str, Any] = {}
+        #: Live runner processes keyed by ``_Pending.submission_id``
+        #: (NOT ``request_id``: coalescing resubmissions share that).
+        self._procs: Dict[int, Any] = {}
         self._counters: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
         self.requests_served = 0
         self.requests_replayed = 0
@@ -386,9 +398,10 @@ class SweepService:
             req.deadline_seconds = self.default_deadline
 
         peer = writer.get_extra_info("peername")
-        client_id = req.client or (f"{peer[0]}" if peer else "anonymous")
+        peer_id = f"{peer[0]}" if peer else "anonymous"
+        client_id = req.client or peer_id
         cost = float(len(req.ns)) if req.ns else _DEFAULT_COST_POINTS
-        decision = self.admission.admit(client_id, cost)
+        decision = self.admission.admit(client_id, cost, peer_id=peer_id)
         if not decision.admitted:
             await self._send(writer, error_event(decision.code, decision.message))
             return
@@ -399,23 +412,39 @@ class SweepService:
             payload=req.to_payload(),
             request_id=request_id,
             client_id=client_id,
+            peer_id=peer_id,
             events=asyncio.Queue(),
         )
-        if self.journal is not None:
-            self.journal.record(
-                request_id, "accepted", payload=pending.payload, client=client_id
-            )
         assert self._queue is not None
+        if self.journal is not None:
+            try:
+                self.journal.record(
+                    request_id, "accepted", payload=pending.payload, client=client_id
+                )
+            except OSError as exc:
+                # Not yet enqueued, so the admission slots are still
+                # ours to settle; never leak them on a journal failure.
+                self.admission.started(client_id)
+                self.admission.finished(client_id, peer_id)
+                await self._send(
+                    writer, error_event("internal", f"journal write failed: {exc}")
+                )
+                return
+        queued_behind = self._queue.qsize()
+        # Enqueue BEFORE the accepted send: if the client vanished and
+        # drain() raises, the worker still runs the request and settles
+        # the admission counters — a flaky client must never leak a
+        # queue or in-flight slot.
+        self._queue.put_nowait(pending)
         await self._send(
             writer,
             {
                 "event": "accepted",
                 "request_key": request_id,
                 "experiment": req.experiment,
-                "queued": self._queue.qsize(),
+                "queued": queued_behind,
             },
         )
-        self._queue.put_nowait(pending)
         assert pending.events is not None
         while True:
             message = await pending.events.get()
@@ -433,9 +462,27 @@ class SweepService:
                 self.admission.started(pending.client_id)
             try:
                 await self._run_pending(pending)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:
+                # An unexpected failure (journal I/O, a settle bug)
+                # must cost one request, not a runner slot forever: a
+                # silently shrinking pool leaves admitted clients
+                # blocked on an event stream nobody will ever feed.
+                try:
+                    if self.journal is not None:
+                        self.journal.record(
+                            pending.request_id, "failed", error=f"internal: {exc}"
+                        )
+                except OSError:
+                    pass
+                pending.emit(
+                    error_event("internal", f"request failed inside the server: {exc}")
+                )
+                pending.emit(None)
             finally:
                 if pending.admitted:
-                    self.admission.finished(pending.client_id)
+                    self.admission.finished(pending.client_id, pending.peer_id)
                 self._maybe_finish_drain()
 
     def _maybe_finish_drain(self) -> None:
@@ -463,7 +510,7 @@ class SweepService:
             pending.emit(error_event("internal", f"could not fork runner: {exc}"))
             pending.emit(None)
             return
-        self._procs[request_id] = proc
+        self._procs[pending.submission_id] = proc
         chan: asyncio.Queue = asyncio.Queue()
 
         def pump() -> None:
@@ -513,12 +560,16 @@ class SweepService:
                 else:
                     terminal = (kind, data)
         finally:
-            if terminal is None:  # cancelled mid-run (service stopping)
-                proc.terminate()
-            else:
-                await self._settle(pending, terminal)
-            self._procs.pop(request_id, None)
-            await loop.run_in_executor(None, self._reap, proc, conn)
+            try:
+                if terminal is None:  # cancelled mid-run (service stopping)
+                    proc.terminate()
+                else:
+                    await self._settle(pending, terminal)
+            finally:
+                # Even a failing settle (journal I/O) must not leave the
+                # runner untracked/unreaped.
+                self._procs.pop(pending.submission_id, None)
+                await loop.run_in_executor(None, self._reap, proc, conn)
 
     async def _settle(self, pending: _Pending, terminal) -> None:
         """Journal + report one terminal runner message."""

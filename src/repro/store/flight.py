@@ -122,6 +122,44 @@ class FileFlight:
             pass
         return age > self.stale_after_seconds
 
+    def _try_steal(self, path: Path) -> bool:
+        """Claim a stale lock atomically; True = this caller stole it.
+
+        A bare check-then-unlink is racy: two contenders can both judge
+        the same lock stale, and the slower unlink then deletes the
+        lock the faster one just *re-created* — two leaders.  Claiming
+        by ``os.rename`` to a unique name makes exactly one contender
+        win (rename is atomic; the loser gets ENOENT), and the claimed
+        file's content is re-verified against what the staleness check
+        read, so a lock that changed hands in between is handed back
+        instead of stolen.
+        """
+        try:
+            raw = path.read_bytes()
+        except OSError:
+            return False  # gone already: leader finished, nothing to steal
+        if not self._is_stale(path):
+            return False
+        claim = self.directory / f".steal-{os.getpid()}-{os.urandom(4).hex()}"
+        try:
+            os.rename(path, claim)
+        except OSError:
+            return False  # another contender claimed it first
+        try:
+            unchanged = claim.read_bytes() == raw
+        except OSError:  # pragma: no cover - claim vanished under us
+            return True
+        if not unchanged:
+            # The stale leader finished and a NEW live leader re-created
+            # the lock between our read and the rename: restore it.
+            try:
+                os.rename(claim, path)
+            except OSError:  # pragma: no cover - restore raced
+                claim.unlink(missing_ok=True)
+            return False
+        claim.unlink(missing_ok=True)
+        return True
+
     def begin(self, key: str) -> bool:
         """True if the caller is now *key*'s leader; False = follower."""
         path = self._path(key)
@@ -130,8 +168,7 @@ class FileFlight:
             try:
                 fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
             except FileExistsError:
-                if self._is_stale(path):
-                    path.unlink(missing_ok=True)
+                if self._try_steal(path):
                     continue
                 return False
             with os.fdopen(fd, "w") as fh:
@@ -144,13 +181,13 @@ class FileFlight:
         """Block until *key*'s leader finishes (True) or *timeout* (False).
 
         Returns True immediately when nothing is in flight for *key*;
-        a stale lock is stolen (removed) rather than waited on.
+        a stale lock is stolen (removed, atomically — see
+        :meth:`_try_steal`) rather than waited on.
         """
         path = self._path(key)
         deadline = None if timeout is None else time.monotonic() + timeout
         while path.exists():
-            if self._is_stale(path):
-                path.unlink(missing_ok=True)
+            if self._try_steal(path):
                 return True
             if deadline is not None and time.monotonic() >= deadline:
                 return False

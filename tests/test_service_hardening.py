@@ -169,6 +169,54 @@ class TestAdmission:
         assert not ctl.authorized(None)
         assert AdmissionController(AdmissionPolicy()).authorized(None)
 
+    def test_peer_backstop_caps_minted_client_ids(self):
+        """`client` is self-declared: fresh ids per request must still
+        be bounded by the peer address's in-flight backstop."""
+        ctl = AdmissionController(
+            AdmissionPolicy(
+                queue_limit=100, max_inflight_per_client=1, peer_backstop_factor=2.0
+            )
+        )
+        assert ctl.admit("a", peer_id="10.0.0.1").admitted
+        assert ctl.admit("b", peer_id="10.0.0.1").admitted
+        decision = ctl.admit("c", peer_id="10.0.0.1")  # fresh id, same address
+        assert not decision.admitted and decision.code == "quota"
+        assert "peer" in decision.message
+        assert ctl.admit("d", peer_id="10.0.0.2").admitted  # other peers fine
+        ctl.finished("a", "10.0.0.1")
+        assert ctl.admit("e", peer_id="10.0.0.1").admitted
+
+    def test_peer_backstop_rate_bucket(self):
+        clock = [0.0]
+        ctl = AdmissionController(
+            AdmissionPolicy(
+                queue_limit=100, points_per_minute=60.0, peer_backstop_factor=2.0
+            ),
+            clock=lambda: clock[0],
+        )
+        assert ctl.admit("a", cost=60.0, peer_id="ip").admitted
+        assert ctl.admit("b", cost=60.0, peer_id="ip").admitted  # peer burst: 120
+        decision = ctl.admit("c", cost=10.0, peer_id="ip")  # fresh id, dry peer
+        assert not decision.admitted and decision.code == "quota"
+        assert "peer" in decision.message
+        clock[0] += 10.0  # 120/min refills 2 points per second
+        assert ctl.admit("c", cost=10.0, peer_id="ip").admitted
+
+    def test_rejected_admission_burns_no_client_tokens(self):
+        """A peer-backstop rejection must not charge the client's own
+        bucket (check both budgets, then consume)."""
+        clock = [0.0]
+        ctl = AdmissionController(
+            AdmissionPolicy(
+                queue_limit=100, points_per_minute=60.0, peer_backstop_factor=1.0
+            ),
+            clock=lambda: clock[0],
+        )
+        assert ctl.admit("a", cost=60.0, peer_id="ip").admitted  # peer is dry
+        assert not ctl.admit("b", cost=30.0, peer_id="ip").admitted
+        clock[0] += 30.0  # peer refills 30 points; b's bucket must be intact
+        assert ctl.admit("b", cost=30.0, peer_id="ip").admitted
+
     def test_policy_validation(self):
         with pytest.raises(ValueError):
             AdmissionPolicy(max_workers=0)
@@ -501,6 +549,105 @@ class TestAdmissionLive:
         assert _collect(gen1)["result"]["payload"]["data"]["seed"] == 1
         thread.join(timeout=15.0)
         assert not thread.is_alive()
+
+
+# ----------------------------------------------------------------------
+# failure-path regressions: flaky clients, crashing workers, coalescing
+# ----------------------------------------------------------------------
+class TestFailurePaths:
+    def test_disconnect_before_accepted_send_settles_admission(self, tmp_path, gate):
+        """A client that vanishes between admit() and the ``accepted``
+        send must not leak a queue or in-flight slot: the request is
+        already enqueued, so the worker runs it and settles the books."""
+        (gate / "release").touch()  # gated points finish immediately
+        with live_service(tmp_path / "cas", max_workers=1, journal=False) as svc:
+            real_send = svc._send
+            failed = {"n": 0}
+
+            async def dead_client_send(writer, message):
+                if message.get("event") == "accepted" and failed["n"] == 0:
+                    failed["n"] += 1
+                    raise ConnectionResetError("client vanished mid-accept")
+                await real_send(writer, message)
+
+            svc._send = dead_client_send
+            with socket.create_connection(
+                ("127.0.0.1", svc.port), timeout=10.0
+            ) as sock:
+                sock.sendall(
+                    encode_line(
+                        {
+                            "cmd": "sweep",
+                            **SweepRequest(experiment="gated", seed=31).to_payload(),
+                        }
+                    )
+                )
+                assert sock.recv(4096) == b""  # server closed without answering
+            # The orphaned request still runs to completion...
+            _wait_for(lambda: svc.requests_served >= 1, message="orphan settles")
+            # ...and every admission counter settles with it.
+            _wait_for(
+                lambda: svc.admission.snapshot()["inflight_total"] == 0
+                and svc.admission.snapshot()["queued"] == 0,
+                message="admission books settle",
+            )
+            # No leaked slots: a fresh submission is admitted and served.
+            done = _collect(
+                client.submit(
+                    SweepRequest(experiment="gated", seed=32), port=svc.port
+                )
+            )
+            assert done["result"]["payload"]["data"]["seed"] == 32
+
+    def test_worker_survives_internal_failure(self, tmp_path, gate):
+        """An unexpected exception inside the request path costs one
+        request (structured ``internal`` error), never a runner slot."""
+        (gate / "release").touch()
+        with live_service(tmp_path / "cas", max_workers=1, journal=False) as svc:
+            real_run = SweepService._run_pending
+            calls = {"n": 0}
+
+            async def flaky_run(pending):
+                calls["n"] += 1
+                if calls["n"] == 1:
+                    raise RuntimeError("injected settle bug")
+                await real_run(svc, pending)
+
+            svc._run_pending = flaky_run
+            with pytest.raises(ServiceError) as err:
+                list(
+                    client.submit(
+                        SweepRequest(experiment="gated", seed=41), port=svc.port
+                    )
+                )
+            assert err.value.code == "internal"
+            # The lone worker survived the crash and serves the next one.
+            done = _collect(
+                client.submit(
+                    SweepRequest(experiment="gated", seed=42), port=svc.port
+                )
+            )
+            assert done["result"]["payload"]["data"]["seed"] == 42
+
+    def test_identical_concurrent_submissions_track_both_runners(
+        self, tmp_path, gate
+    ):
+        """Two live submissions of the SAME request (the coalescing
+        case) share a request_key but must each keep their own runner
+        tracked until it finishes — no orphaned processes on stop."""
+        with live_service(tmp_path / "cas", max_workers=2, journal=False) as svc:
+            req = SweepRequest(experiment="gated", seed=51)
+            gen1 = client.submit(req, port=svc.port)
+            gen2 = client.submit(req, port=svc.port)
+            accept1, accept2 = next(gen1), next(gen2)
+            assert accept1["event"] == accept2["event"] == "accepted"
+            assert accept1["request_key"] == accept2["request_key"]
+            _wait_for(lambda: len(svc._procs) == 2, message="both runners tracked")
+            (gate / "release").touch()
+            done1, done2 = _collect(gen1), _collect(gen2)
+            assert done1["result"]["payload"]["data"]["seed"] == 51
+            assert done2["result"]["payload"]["data"]["seed"] == 51
+            _wait_for(lambda: not svc._procs, message="runner table drained")
 
 
 # ----------------------------------------------------------------------

@@ -311,6 +311,62 @@ class TestFileFlight:
         assert ff.begin("k") is True  # aged garbage: stolen
         ff.finish("k")
 
+    def test_stale_steal_has_a_single_winner(self, tmp_path):
+        """Two contenders finding the same stale lock: exactly one may
+        take leadership (the claim is an atomic rename, not a racy
+        check-then-unlink), and no steal debris is left behind."""
+        import subprocess
+
+        from repro.store import FileFlight
+
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        flight_dir = tmp_path / "flight"
+        a = FileFlight(flight_dir)
+        b = FileFlight(flight_dir)
+        lock = flight_dir / "k.lock"
+        lock.write_text(json.dumps({"pid": proc.pid, "nonce": "dead", "ts": 0}))
+        outcomes = [a.begin("k"), b.begin("k")]
+        assert outcomes == [True, False]  # a stole; b follows the new leader
+        assert a.inflight() == 1
+        assert list(flight_dir.iterdir()) == [lock]  # no .steal- leftovers
+        a.finish("k")
+        assert a.inflight() == 0
+
+    def test_steal_hands_back_a_lock_that_changed_hands(self, tmp_path):
+        """The review interleaving: contender B judges the lock stale,
+        but before B's claim lands the stale leader's lock is replaced
+        by a NEW live leader's.  B must hand the live lock back intact
+        instead of deleting it (which would mint two leaders)."""
+        import subprocess
+
+        from repro.store import FileFlight
+
+        proc = subprocess.Popen(["true"])
+        proc.wait()
+        flight_dir = tmp_path / "flight"
+        leader = FileFlight(flight_dir)
+        b = FileFlight(flight_dir)
+        lock = flight_dir / "k.lock"
+        lock.write_text(json.dumps({"pid": proc.pid, "nonce": "dead", "ts": 0}))
+
+        real_is_stale = b._is_stale
+
+        def lock_changes_hands_mid_check(path):
+            verdict = real_is_stale(path)
+            lock.unlink()  # the stale lock is claimed elsewhere...
+            assert leader.begin("k")  # ...and a live leader re-creates it
+            return verdict
+
+        b._is_stale = lock_changes_hands_mid_check
+        assert b._try_steal(lock) is False  # claim verified, handed back
+        b._is_stale = real_is_stale
+
+        assert leader.inflight() == 1  # the live leader's lock survived
+        assert b.begin("k") is False  # b is its follower, not a co-leader
+        leader.finish("k")
+        assert leader.inflight() == 0
+
 
 # ----------------------------------------------------------------------
 # store hardening: gc vs concurrent writers, quarantine counter
